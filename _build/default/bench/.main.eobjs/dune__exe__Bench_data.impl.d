@@ -1,0 +1,1 @@
+bench/bench_data.ml: Array Graphflow Hashtbl List Obj Printf String Sys Unix

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Bench_data Benchmark Float Format Graphflow Hashtbl List Measure Printexc Printf Staged String Sys Test Time Toolkit Unix

@@ -1,0 +1,82 @@
+(* Shared datasets and measurement helpers for the benchmark harness.
+
+   Every dataset is the paper's named analogue (see DESIGN.md Section 3)
+   scaled by GF_BENCH_SCALE (default 0.25) so the full suite runs on a small
+   container. All numbers are wall-clock of a second (warm) run, as in
+   Section 8.1.1. *)
+
+module Gf = Graphflow
+
+let scale =
+  match Sys.getenv_opt "GF_BENCH_SCALE" with
+  | Some s -> (try float_of_string s with _ -> 0.25)
+  | None -> 0.25
+
+(* Smaller scale for the plan-spectrum experiments, which run dozens of
+   plans per query, including plans whose intermediate results are orders of
+   magnitude larger than the output (that asymmetry is the experiment). *)
+let spectrum_scale = scale *. 0.22
+
+let memo f =
+  let cache = Hashtbl.create 8 in
+  fun key ->
+    match Hashtbl.find_opt cache key with
+    | Some v -> v
+    | None ->
+        let v = f key in
+        Hashtbl.replace cache key v;
+        v
+
+let dataset_at : Gf.Generators.dataset_name * float -> Gf.Graph.t =
+  memo (fun (name, sc) -> Gf.Generators.dataset ~scale:sc name)
+
+let dataset name = dataset_at (name, scale)
+
+(* Edge-labeled variant (the paper's Q^J_i construction randomizes edge
+   labels on both the data and the query). *)
+let labeled : Gf.Generators.dataset_name * float * int -> Gf.Graph.t =
+  memo (fun (name, sc, nl) ->
+      Gf.Graph.relabel (dataset_at (name, sc)) (Gf.Rng.create 1000) ~num_vlabels:1
+        ~num_elabels:nl)
+
+let labeled_query i nl =
+  Gf.Patterns.randomize_edge_labels (Gf.Rng.create (2000 + i + (100 * nl))) (Gf.Patterns.q i)
+    ~num_elabels:nl
+
+let catalog : Gf.Graph.t -> Gf.Catalog.t =
+  (* Keyed by physical graph identity. *)
+  let cache : (Obj.t * Gf.Catalog.t) list ref = ref [] in
+  fun g ->
+    match List.assq_opt (Obj.repr g) !cache with
+    | Some c -> c
+    | None ->
+        let c = Gf.Catalog.create ~z:500 g in
+        cache := (Obj.repr g, c) :: !cache;
+        c
+
+(* Warm run, then measured run. *)
+let time_warm f =
+  ignore (f ());
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+(* One (cold) measured run, for heavyweight cells. *)
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+let order_name order =
+  "a" ^ String.concat "a" (Array.to_list order |> List.map (fun v -> string_of_int (v + 1)))
+
+let header title =
+  Printf.printf "\n==================== %s ====================\n%!" title
+
+let subheader t = Printf.printf "---- %s ----\n%!" t
+
+let fmt_count n =
+  if n >= 1_000_000_000 then Printf.sprintf "%.1fB" (float_of_int n /. 1e9)
+  else if n >= 1_000_000 then Printf.sprintf "%.1fM" (float_of_int n /. 1e6)
+  else if n >= 1_000 then Printf.sprintf "%.1fK" (float_of_int n /. 1e3)
+  else string_of_int n

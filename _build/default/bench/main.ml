@@ -1,0 +1,834 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 8 and Appendices B-D) on the synthetic dataset
+   analogues, plus the ablations DESIGN.md calls out.
+
+   Usage:
+     dune exec bench/main.exe                 -- run everything
+     dune exec bench/main.exe -- --only table3,figure7
+     dune exec bench/main.exe -- --list
+     GF_BENCH_SCALE=0.1 dune exec bench/main.exe
+
+   Output convention per experiment: the paper's rows with our measured
+   values; absolute numbers differ from the paper (different hardware,
+   dataset scale), the *shape* is what EXPERIMENTS.md tracks. *)
+
+module Gf = Graphflow
+open Bench_data
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: intersection cache on/off across diamond-X WCO plans.      *)
+(* ------------------------------------------------------------------ *)
+
+let table3 () =
+  header "Table 3: intersection cache utility (diamond-X, amazon)";
+  let g = dataset Gf.Generators.Amazon in
+  let cat = catalog g in
+  let q = Gf.Patterns.diamond_x in
+  let orders = Gf.Planner.all_wco_orders cat q |> List.map fst in
+  let rows =
+    List.map
+      (fun o ->
+        let plan = Gf.Plan.wco q o in
+        let t_on, c_on = time_warm (fun () -> Gf.Exec.run ~cache:true g plan) in
+        let t_off, _ = time_warm (fun () -> Gf.Exec.run ~cache:false g plan) in
+        (o, t_on, t_off, c_on.Gf.Counters.cache_hits))
+      orders
+  in
+  let rows = List.sort (fun (_, a, _, _) (_, b, _, _) -> compare a b) rows in
+  Printf.printf "%-14s %10s %10s %12s\n" "QVO" "cache on" "cache off" "cache hits";
+  List.iter
+    (fun (o, ton, toff, hits) ->
+      Printf.printf "%-14s %9.3fs %9.3fs %12s\n" (order_name o) ton toff (fmt_count hits))
+    rows;
+  let used = List.filter (fun (_, _, _, h) -> h > 0) rows in
+  let best_ratio =
+    List.fold_left (fun acc (_, ton, toff, _) -> Float.max acc (toff /. ton)) 1.0 used
+  in
+  Printf.printf "plans using the cache: %d of %d; best speedup from caching: %.1fx\n"
+    (List.length used) (List.length rows) best_ratio
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: adjacency list direction effects (asymmetric triangle).    *)
+(* ------------------------------------------------------------------ *)
+
+let table4 () =
+  header "Table 4: QVO direction effects (asymmetric triangle)";
+  let q = Gf.Patterns.asymmetric_triangle in
+  List.iter
+    (fun (label, name) ->
+      let g = dataset name in
+      subheader label;
+      Printf.printf "%-10s %10s %12s %14s\n" "QVO" "time" "part. m." "i-cost";
+      let rows =
+        List.map
+          (fun o ->
+            let plan = Gf.Plan.wco q o in
+            let t, c = time_warm (fun () -> Gf.Exec.run g plan) in
+            (o, t, c))
+          (List.map fst (Gf.Planner.all_wco_orders (catalog g) q))
+      in
+      List.iter
+        (fun (o, t, c) ->
+          Printf.printf "%-10s %9.3fs %12s %14s\n" (order_name o) t
+            (fmt_count (Gf.Counters.intermediate c))
+            (fmt_count c.Gf.Counters.icost))
+        (List.sort (fun (_, a, _) (_, b, _) -> compare a b) rows))
+    [ ("berkstan", Gf.Generators.Berkstan); ("livejournal", Gf.Generators.Livejournal) ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 5: intermediate-result effects (tailed triangle, cache off).  *)
+(* ------------------------------------------------------------------ *)
+
+let table5 () =
+  header "Table 5: EDGE-TRIANGLE vs EDGE-2PATH (tailed triangle, cache off)";
+  let q = Gf.Patterns.tailed_triangle in
+  List.iter
+    (fun (label, name) ->
+      let g = dataset name in
+      subheader label;
+      Printf.printf "%-12s %-14s %10s %12s %14s\n" "QVO" "family" "time" "part. m." "i-cost";
+      let rows =
+        List.map
+          (fun o ->
+            let plan = Gf.Plan.wco q o in
+            let t, c = time_warm (fun () -> Gf.Exec.run ~cache:false g plan) in
+            (* EDGE-TRIANGLE plans close the triangle (vertex a3 = 2) before
+               matching the tail (a4 = 3). *)
+            let fam =
+              let pos v =
+                let p = ref (-1) in
+                Array.iteri (fun i x -> if x = v then p := i) o;
+                !p
+              in
+              if pos 2 < pos 3 then "EDGE-TRIANGLE" else "EDGE-2PATH"
+            in
+            (o, fam, t, c))
+          (List.map fst (Gf.Planner.all_wco_orders (catalog g) q))
+      in
+      List.iter
+        (fun (o, fam, t, c) ->
+          Printf.printf "%-12s %-14s %9.3fs %12s %14s\n" (order_name o) fam t
+            (fmt_count (Gf.Counters.intermediate c))
+            (fmt_count c.Gf.Counters.icost))
+        (List.sort (fun (_, _, a, _) (_, _, b, _) -> compare a b) rows))
+    [ ("amazon", Gf.Generators.Amazon); ("epinions", Gf.Generators.Epinions) ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 6: intersection cache hits (symmetric diamond-X).             *)
+(* ------------------------------------------------------------------ *)
+
+let table6 () =
+  header "Table 6: cache-utilization QVO groups (symmetric diamond-X)";
+  let q = Gf.Patterns.symmetric_diamond_x in
+  List.iter
+    (fun (label, name) ->
+      let g = dataset name in
+      subheader label;
+      Printf.printf "%-12s %10s %12s %14s %12s\n" "QVO" "time" "part. m." "i-cost" "cache hits";
+      List.iter
+        (fun o ->
+          let plan = Gf.Plan.wco q o in
+          let t, c = time_warm (fun () -> Gf.Exec.run g plan) in
+          Printf.printf "%-12s %9.3fs %12s %14s %12s\n" (order_name o) t
+            (fmt_count (Gf.Counters.intermediate c))
+            (fmt_count c.Gf.Counters.icost)
+            (fmt_count c.Gf.Counters.cache_hits))
+        [ [| 1; 2; 0; 3 |] (* a2a3a1a4: cache-friendly group *); [| 0; 1; 2; 3 |] (* a1a2a3a4 *) ])
+    [ ("amazon", Gf.Generators.Amazon); ("epinions", Gf.Generators.Epinions) ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 7: a sample of the subgraph catalogue.                        *)
+(* ------------------------------------------------------------------ *)
+
+let table7 () =
+  header "Table 7: subgraph catalogue sample (epinions, 2 vertex / 2 edge labels)";
+  let g =
+    Gf.Graph.relabel (dataset Gf.Generators.Epinions) (Gf.Rng.create 4000) ~num_vlabels:2
+      ~num_elabels:2
+  in
+  let cat = Gf.Catalog.create ~z:500 g in
+  let show desc qk new_vertex =
+    match Gf.Catalog.entry cat qk ~new_vertex with
+    | None -> ()
+    | Some e -> Format.printf "%-46s %a@." desc Gf.Catalog.pp_entry e
+  in
+  let q s = Gf.Db.parse_query s in
+  show "(1:l0 -e0-> 2:l1 ; fwd(2); 3:l0)" (q "a:0, b:1, c:0, a->b@0, b->c@0") 2;
+  show "(1:l0 -e0-> 2:l1 ; fwd(2); 3:l1)" (q "a:0, b:1, c:1, a->b@0, b->c@0") 2;
+  show "(1:l0 -e0-> 2:l1 ; fwd(2)@e1; 3:l0)" (q "a:0, b:1, c:0, a->b@0, b->c@1") 2;
+  show "(1:l0 -e0-> 2:l0 ; fwd(1), fwd(2); 3:l0)" (q "a:0, b:0, c:0, a->b@0, a->c@0, b->c@0") 2;
+  show "(1:l0 -e0-> 2:l0 ; bwd(1), bwd(2); 3:l0)" (q "a:0, b:0, c:0, a->b@0, c->a@0, c->b@0") 2
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: plan spectra and the optimizer's pick.                    *)
+(* ------------------------------------------------------------------ *)
+
+let spectrum_datasets () =
+  [
+    ("amazon (unlabeled)", dataset_at (Gf.Generators.Amazon, spectrum_scale), 1);
+    ("epinions (3 labels)", labeled (Gf.Generators.Epinions, spectrum_scale, 3), 3);
+    ("google (5 labels)", labeled (Gf.Generators.Google, spectrum_scale, 5), 5);
+  ]
+
+let figure7 () =
+  header "Figure 7: plan spectra; x = optimizer pick";
+  let queries = [ 1; 2; 3; 4; 5; 6; 7; 8; 11; 12; 13 ] in
+  let within_opt = ref 0 and total = ref 0 and within14 = ref 0 and within2 = ref 0 in
+  let max_plan_time = ref 0.0 in
+  List.iter
+    (fun (dlabel, g, nl) ->
+      let cat = catalog g in
+      subheader dlabel;
+      List.iter
+        (fun i ->
+          let q = if nl = 1 then Gf.Patterns.q i else labeled_query i nl in
+          match time_once (fun () -> Gf.Planner.plan cat q) with
+          | exception Gf.Planner.No_plan _ -> ()
+          | plan_time, (picked, _) ->
+              max_plan_time := Float.max !max_plan_time plan_time;
+              let s = Gf.Spectrum.run ~per_subset_cap:4 ~family_cap:12 g q in
+              let times = List.map (fun e -> e.Gf.Spectrum.seconds) s.Gf.Spectrum.entries in
+              let tmin = List.fold_left Float.min infinity times in
+              let tmax = List.fold_left Float.max 0.0 times in
+              let tpick, _ = time_warm (fun () -> Gf.Exec.run g picked) in
+              let fam f =
+                List.length (List.filter (fun e -> e.Gf.Spectrum.family = f) s.Gf.Spectrum.entries)
+              in
+              incr total;
+              let ratio = tpick /. Float.max tmin 1e-6 in
+              if ratio <= 1.05 then incr within_opt;
+              if ratio <= 1.4 then incr within14;
+              if ratio <= 2.0 then incr within2;
+              Printf.printf
+                "Q%-2d%s W(%d) B(%d) H(%d): spectrum %.4fs..%.4fs  pick %.4fs (%.2fx of best)\n%!"
+                i
+                (if nl > 1 then Printf.sprintf "_%d" nl else "")
+                (fam Gf.Spectrum.Wco) (fam Gf.Spectrum.Bj) (fam Gf.Spectrum.Hybrid) tmin tmax
+                tpick ratio)
+        queries)
+    (spectrum_datasets ());
+  Printf.printf
+    "\noptimizer pick: optimal (<=1.05x) in %d/%d spectra, within 1.4x in %d, within 2x in %d\n"
+    !within_opt !total !within14 !within2;
+  Printf.printf "max optimization time across all spectra: %.0fms (paper: 331ms, 1.4s for Q7_5)\n"
+    (1000.0 *. !max_plan_time)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: fixed vs adaptive plan spectra.                           *)
+(* ------------------------------------------------------------------ *)
+
+let figure8 () =
+  header "Figure 8: adaptive QVO selection (fixed vs adaptive, per plan)";
+  let datasets =
+    [
+      ("amazon", dataset_at (Gf.Generators.Amazon, spectrum_scale));
+      ("epinions", dataset_at (Gf.Generators.Epinions, spectrum_scale));
+      ("google", dataset_at (Gf.Generators.Google, spectrum_scale));
+    ]
+  in
+  List.iter
+    (fun (dlabel, g) ->
+      let cat = catalog g in
+      subheader dlabel;
+      List.iter
+        (fun i ->
+          let q = Gf.Patterns.q i in
+          let orders = Gf.Planner.all_wco_orders cat q |> List.map fst in
+          let improvements = ref [] in
+          List.iter
+            (fun o ->
+              let plan = Gf.Plan.wco q o in
+              let tf, _ = time_warm (fun () -> Gf.Exec.run g plan) in
+              let ta, _ = time_warm (fun () -> Gf.Adaptive.run cat g q plan) in
+              improvements := (tf, ta) :: !improvements)
+            orders;
+          let fixed = List.map fst !improvements and adap = List.map snd !improvements in
+          let spread l = List.fold_left Float.max 0.0 l /. Float.max (List.fold_left Float.min infinity l) 1e-6 in
+          let best_gain =
+            List.fold_left (fun acc (f, a) -> Float.max acc (f /. Float.max a 1e-6)) 0.0 !improvements
+          in
+          Printf.printf
+            "Q%-2d (%d plans): fixed %.4fs..%.4fs (spread %.1fx) | adaptive %.4fs..%.4fs (spread %.1fx) | best gain %.2fx\n"
+            i (List.length orders)
+            (List.fold_left Float.min infinity fixed) (List.fold_left Float.max 0.0 fixed) (spread fixed)
+            (List.fold_left Float.min infinity adap) (List.fold_left Float.max 0.0 adap) (spread adap)
+            best_gain)
+        [ 2; 3; 4; 5; 6 ])
+    datasets;
+  (* Q10: adapt the E/I chain computing the diamond inside hybrid plans
+     (each plan joins the diamond side with the triangle side on a4; the
+     diamond side is a 2-deep E/I chain, which is what adapts). *)
+  subheader "Q10 hybrid plans (amazon): diamond side adapted";
+  let g = dataset_at (Gf.Generators.Amazon, spectrum_scale) in
+  let cat = catalog g in
+  let q = Gf.Patterns.q 10 in
+  let triangle_side = Gf.Plan.wco q [| 3; 4; 5 |] in
+  List.iter
+    (fun diamond_order ->
+      let plan = Gf.Plan.hash_join q triangle_side (Gf.Plan.wco q diamond_order) in
+      assert (Gf.Adaptive.adaptable plan);
+      let tf, _ = time_warm (fun () -> Gf.Exec.run g plan) in
+      let ta, _ = time_warm (fun () -> Gf.Adaptive.run cat g q plan) in
+      Printf.printf "hybrid (diamond %s): fixed %.4fs adaptive %.4fs (%.2fx)\n"
+        (order_name diamond_order) tf ta
+        (tf /. Float.max ta 1e-6))
+    [ [| 0; 1; 2; 3 |]; [| 1; 2; 0; 3 |]; [| 1; 2; 3; 0 |]; [| 2; 3; 1; 0 |]; [| 0; 2; 1; 3 |] ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: EmptyHeaded spectra vs Graphflow spectra.                 *)
+(* ------------------------------------------------------------------ *)
+
+let figure9 () =
+  header "Figure 9: EH plan spectra (all bag-ordering rewrites of the min-width GHD)";
+  let combos =
+    [ (3, Gf.Generators.Amazon); (7, Gf.Generators.Epinions); (8, Gf.Generators.Amazon) ]
+  in
+  List.iter
+    (fun (qi, dname) ->
+      let g = dataset_at (dname, spectrum_scale) in
+      let q = Gf.Patterns.q qi in
+      let d = Gf.Ghd.min_width_decomposition q in
+      Format.printf "Q%d on %s: GHD %a@." qi
+        (Gf.Generators.dataset_name_to_string dname)
+        Gf.Ghd.pp_decomposition d;
+      (* Cartesian product of bag orderings, capped. *)
+      let per_bag = Gf.Ghd.bag_orders q d |> Array.map (fun l -> List.filteri (fun i _ -> i < 6) l) in
+      let rec combos_of i acc =
+        if i = Array.length per_bag then [ List.rev acc ]
+        else List.concat_map (fun o -> combos_of (i + 1) (o :: acc)) per_bag.(i)
+      in
+      let all = combos_of 0 [] in
+      let times =
+        List.map
+          (fun orders ->
+            let p = Gf.Ghd.plan_with_orders q d (Array.of_list orders) in
+            fst (time_warm (fun () -> Gf.Exec.run g p)))
+          (List.filteri (fun i _ -> i < 24) all)
+      in
+      let gf = Gf.Spectrum.run ~per_subset_cap:3 ~family_cap:8 g q in
+      let gf_times = List.map (fun e -> e.Gf.Spectrum.seconds) gf.Gf.Spectrum.entries in
+      Printf.printf "EH(%d plans): %.4fs .. %.4fs | GF(%d plans): %.4fs .. %.4fs\n"
+        (List.length times)
+        (List.fold_left Float.min infinity times)
+        (List.fold_left Float.max 0.0 times)
+        (List.length gf_times)
+        (List.fold_left Float.min infinity gf_times)
+        (List.fold_left Float.max 0.0 gf_times))
+    combos
+
+(* ------------------------------------------------------------------ *)
+(* Table 9: Graphflow vs EH-g vs EH-b.                                 *)
+(* ------------------------------------------------------------------ *)
+
+let table9 () =
+  header "Table 9: Graphflow (GF) vs EmptyHeaded good/bad orderings (EH-g / EH-b)";
+  let queries = [ 1; 3; 5; 7; 8; 9; 12; 13 ] in
+  let datasets =
+    [
+      ("amazon", Gf.Generators.Amazon);
+      ("google", Gf.Generators.Google);
+      ("epinions", Gf.Generators.Epinions);
+    ]
+  in
+  List.iter
+    (fun (dlabel, dname) ->
+      subheader dlabel;
+      Printf.printf "%-8s %12s %12s %12s %12s\n" "query" "EH-b" "EH-g" "GF" "EH-b/GF";
+      List.iter
+        (fun qi ->
+          List.iter
+            (fun nl ->
+              let g = if nl = 1 then dataset_at (dname, spectrum_scale) else labeled (dname, spectrum_scale, nl) in
+              let cat = catalog g in
+              let q = if nl = 1 then Gf.Patterns.q qi else labeled_query qi nl in
+              let name = Printf.sprintf "Q%d%s" qi (if nl > 1 then Printf.sprintf "_%d" nl else "") in
+              try
+                let d = Gf.Ghd.min_width_decomposition q in
+                let gf_plan, _ = Gf.Planner.plan cat q in
+                let t_gf, _ = time_once (fun () -> Gf.Exec.run g gf_plan) in
+                let t_ehb, _ =
+                  time_once (fun () -> Gf.Exec.run g (Gf.Ghd.to_plan cat q d Gf.Ghd.Worst_estimated))
+                in
+                let t_ehg, _ =
+                  time_once (fun () -> Gf.Exec.run g (Gf.Ghd.to_plan cat q d Gf.Ghd.Best_estimated))
+                in
+                Printf.printf "%-8s %11.3fs %11.3fs %11.3fs %11.1fx\n" name t_ehb t_ehg t_gf
+                  (t_ehb /. Float.max t_gf 1e-6)
+              with e -> Printf.printf "%-8s skipped (%s)\n" name (Printexc.to_string e))
+            [ 1; 2 ])
+        queries)
+    datasets
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10: the seamless hybrid plan for Q9.                         *)
+(* ------------------------------------------------------------------ *)
+
+let figure10 () =
+  header "Figure 10: the optimizer's Q9 plan (intersections after a binary join)";
+  let g = dataset_at (Gf.Generators.Amazon, spectrum_scale) in
+  let cat = catalog g in
+  let q = Gf.Patterns.q 9 in
+  let plan, cost = Gf.Planner.plan cat q in
+  Format.printf "%a@.estimated cost %.0f@." Gf.Plan.pp plan cost;
+  let has_join = ref false and extend_after_join = ref false in
+  let rec walk above_join = function
+    | Gf.Plan.Scan _ -> ()
+    | Gf.Plan.Extend { child; _ } ->
+        if above_join then extend_after_join := true;
+        walk above_join child
+    | Gf.Plan.Hash_join { build; probe; _ } ->
+        has_join := true;
+        walk false build;
+        walk false probe
+  in
+  let rec walk_root = function
+    | Gf.Plan.Extend { child; _ } ->
+        (match child with
+        | Gf.Plan.Hash_join _ -> extend_after_join := true
+        | _ -> ());
+        walk_root child
+    | Gf.Plan.Hash_join { build; probe; _ } ->
+        has_join := true;
+        walk false build;
+        walk false probe
+    | Gf.Plan.Scan _ -> ()
+  in
+  walk_root plan;
+  let t, c = time_once (fun () -> Gf.Exec.run g plan) in
+  Printf.printf "matches %s in %.3fs; plan %s a join%s\n"
+    (fmt_count c.Gf.Counters.output) t
+    (if !has_join then "contains" else "does not contain")
+    (if !extend_after_join then " with an E/I above it (not expressible as a GHD)" else "")
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11: parallel scalability (hardware-gated: 1 physical core).  *)
+(* ------------------------------------------------------------------ *)
+
+let figure11 () =
+  header "Figure 11: work-stealing parallel execution (NOTE: container has 1 physical core)";
+  let runs =
+    [
+      ("Q1 twitter", dataset_at (Gf.Generators.Twitter, scale *. 0.5), Gf.Patterns.q 1);
+      ("Q1 livejournal", dataset_at (Gf.Generators.Livejournal, scale *. 0.5), Gf.Patterns.q 1);
+      ("Q2 livejournal", dataset_at (Gf.Generators.Livejournal, scale *. 0.5), Gf.Patterns.q 2);
+      ("Q14 google", dataset_at (Gf.Generators.Google, scale *. 0.5), Gf.Patterns.q 14);
+    ]
+  in
+  List.iter
+    (fun (label, g, q) ->
+      let cat = catalog g in
+      let order, _ = Gf.Planner.best_wco_order cat q in
+      let plan = Gf.Plan.wco q order in
+      Printf.printf "%-16s" label;
+      List.iter
+        (fun d ->
+          let t, r = time_once (fun () -> Gf.Parallel.run ~domains:d g plan) in
+          let active = Array.fold_left (fun a o -> a + if o > 0 then 1 else 0) 0 r.Gf.Parallel.per_domain_output in
+          Printf.printf "  %dd: %.3fs (%d active)" d t active)
+        [ 1; 2; 4 ];
+      print_newline ())
+    runs;
+  print_endline
+    "(on one physical core the speedup cannot manifest; the per-domain outputs show the";
+  print_endline " shared work queue functioning — see EXPERIMENTS.md)"
+
+(* ------------------------------------------------------------------ *)
+(* Tables 10 & 11: catalogue accuracy (q-error) vs z and h.            *)
+(* ------------------------------------------------------------------ *)
+
+let qerror_queries g nl =
+  (* Random connected 5-vertex patterns; labels randomized when nl > 1. *)
+  let rng = Gf.Rng.create 77 in
+  List.init 40 (fun i ->
+      let dense = i mod 2 = 0 in
+      let q0 = Gf.Patterns.random_query rng ~num_vertices:5 ~dense ~num_vlabels:1 in
+      if nl = 1 then q0 else Gf.Patterns.randomize_edge_labels rng q0 ~num_elabels:nl)
+  |> List.filter_map (fun q ->
+         (* ground truth through the executor *)
+         match Gf.Planner.plan (catalog g) q with
+         | exception _ -> None
+         | plan, _ ->
+             let truth = float_of_int (Gf.Exec.count g plan) in
+             Some (q, truth))
+
+let qerror_distribution errors =
+  let buckets = [ 2.0; 3.0; 5.0; 10.0; 20.0 ] in
+  let n_at t = List.length (List.filter (fun e -> e <= t) errors) in
+  String.concat " "
+    (List.map (fun t -> Printf.sprintf "<=%.0f:%d" t (n_at t)) buckets)
+  ^ Printf.sprintf " >20:%d" (List.length errors - n_at 20.0)
+
+let table10 () =
+  header "Table 10: q-error and catalogue construction time vs z (h=3)";
+  List.iter
+    (fun (dlabel, g, nl) ->
+      subheader dlabel;
+      let queries = qerror_queries g nl in
+      Printf.printf "(%d 5-vertex queries)\n" (List.length queries);
+      List.iter
+        (fun z ->
+          let cat = Gf.Catalog.create ~h:3 ~z g in
+          let build_t, n = time_once (fun () -> Gf.Catalog.build_exhaustive cat) in
+          let errors =
+            List.map
+              (fun (q, truth) ->
+                Gf.Catalog.q_error ~estimate:(Gf.Catalog.estimate_cardinality cat q) ~truth)
+              queries
+          in
+          Printf.printf "z=%-5d build %6.2fs (%d entries)  %s\n" z build_t n
+            (qerror_distribution errors))
+        [ 100; 500; 1000 ])
+    [
+      ("amazon (unlabeled)", dataset_at (Gf.Generators.Amazon, spectrum_scale), 1);
+      ("google (3 labels)", labeled (Gf.Generators.Google, spectrum_scale, 3), 3);
+    ]
+
+let table11 () =
+  header "Table 11: q-error vs h (z=1000), with the independence-estimator baseline";
+  List.iter
+    (fun (dlabel, g, nl, hs) ->
+      subheader dlabel;
+      let queries = qerror_queries g nl in
+      List.iter
+        (fun h ->
+          let cat = Gf.Catalog.create ~h ~z:1000 g in
+          let _, n = time_once (fun () -> Gf.Catalog.build_exhaustive cat) in
+          let errors =
+            List.map
+              (fun (q, truth) ->
+                Gf.Catalog.q_error ~estimate:(Gf.Catalog.estimate_cardinality cat q) ~truth)
+              queries
+          in
+          Printf.printf "h=%d (%6d entries)  %s\n" h n (qerror_distribution errors))
+        hs;
+      let pg =
+        List.map
+          (fun (q, truth) -> Gf.Catalog.q_error ~estimate:(Gf.Independence.estimate g q) ~truth)
+          queries
+      in
+      Printf.printf "independence (PG)    %s\n" (qerror_distribution pg))
+    [
+      ("amazon (unlabeled)", dataset_at (Gf.Generators.Amazon, spectrum_scale), 1, [ 2; 3; 4 ]);
+      ("google (3 labels)", labeled (Gf.Generators.Google, spectrum_scale, 3), 3, [ 2; 3 ]);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 12: Graphflow vs CFL on the human-like dataset.               *)
+(* ------------------------------------------------------------------ *)
+
+let table12 () =
+  header "Table 12: Graphflow (GF) vs CFL-lite, human-like graph, output limit 100k";
+  let g = dataset_at (Gf.Generators.Human, Float.min 1.0 (scale *. 4.0)) in
+  let cat = catalog g in
+  let limit = 100_000 in
+  List.iter
+    (fun dense ->
+      List.iter
+        (fun nv ->
+          let rng = Gf.Rng.create (500 + nv + if dense then 1 else 0) in
+          let queries =
+            List.init 25 (fun _ -> Gf.Query_gen.from_data g rng ~num_vertices:nv ~dense)
+          in
+          let gf_total = ref 0.0 and cfl_total = ref 0.0 and ok = ref 0 in
+          let matches = ref 0 in
+          List.iter
+            (fun q ->
+              match Gf.Planner.plan cat q with
+              | exception _ -> ()
+              | plan, _ ->
+                  let t_gf, c = time_once (fun () -> Gf.Exec.run ~distinct:true ~limit g plan) in
+                  let t_cfl, _ = time_once (fun () -> Gf.Cfl_baseline.run ~limit g q) in
+                  matches := !matches + c.Gf.Counters.output;
+                  gf_total := !gf_total +. t_gf;
+                  cfl_total := !cfl_total +. t_cfl;
+                  incr ok)
+            queries;
+          if !ok > 0 then
+            Printf.printf
+              "Q%d%s (%d queries, %s matches): GF %.4fs  CFL %.4fs (avg/query, CFL/GF %.1fx)\n"
+              nv
+              (if dense then "d" else "s")
+              !ok (fmt_count !matches)
+              (!gf_total /. float_of_int !ok)
+              (!cfl_total /. float_of_int !ok)
+              (!cfl_total /. Float.max !gf_total 1e-6))
+        [ 10; 15; 20 ])
+    [ false; true ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 13: Graphflow vs Neo4j-style binary joins.                    *)
+(* ------------------------------------------------------------------ *)
+
+let table13 () =
+  header "Table 13: Graphflow (GF) vs binary-join-only baseline (Neo4j stand-in)";
+  List.iter
+    (fun (dlabel, dname) ->
+      let g = dataset dname in
+      let cat = catalog g in
+      subheader dlabel;
+      List.iter
+        (fun qi ->
+          let q = Gf.Patterns.q qi in
+          let plan, _ = Gf.Planner.plan cat q in
+          let t_gf, _ = time_once (fun () -> Gf.Exec.run g plan) in
+          let t_bj, s = time_once (fun () -> Gf.Bj_baseline.run g q) in
+          Printf.printf "Q%-3d GF %8.3fs   BJ %8.3fs (%.0fx, %s intermediate)\n" qi t_gf t_bj
+            (t_bj /. Float.max t_gf 1e-6)
+            (fmt_count s.Gf.Bj_baseline.intermediate))
+        [ 1; 2; 4 ])
+    [ ("amazon", Gf.Generators.Amazon); ("epinions", Gf.Generators.Epinions) ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_cache_consciousness () =
+  header "Ablation: cache-conscious vs cache-oblivious optimizer (Section 5.2)";
+  let g = dataset Gf.Generators.Livejournal in
+  let cat = catalog g in
+  List.iter
+    (fun (label, q) ->
+      let o_con, _ = Gf.Planner.best_wco_order ~cache_conscious:true cat q in
+      let o_obl, _ = Gf.Planner.best_wco_order ~cache_conscious:false cat q in
+      let t_con, c_con = time_warm (fun () -> Gf.Exec.run g (Gf.Plan.wco q o_con)) in
+      let t_obl, _ = time_warm (fun () -> Gf.Exec.run g (Gf.Plan.wco q o_obl)) in
+      Printf.printf "%-22s conscious picks %s (%.3fs, %s hits); oblivious picks %s (%.3fs)\n"
+        label (order_name o_con) t_con
+        (fmt_count c_con.Gf.Counters.cache_hits)
+        (order_name o_obl) t_obl)
+    [
+      ("diamond-X", Gf.Patterns.diamond_x);
+      ("symmetric diamond-X", Gf.Patterns.symmetric_diamond_x);
+    ]
+
+let ablation_projection_constraint () =
+  header "Ablation: projection constraint, plans P1 vs P2 (Figure 3)";
+  let g = dataset Gf.Generators.Amazon in
+  let q = Gf.Patterns.diamond_x in
+  (* P1 (in our plan space): join of the two induced triangles on {a2,a3}. *)
+  let p1 = Gf.Plan.hash_join q (Gf.Plan.wco q [| 1; 2; 0 |]) (Gf.Plan.wco q [| 1; 2; 3 |]) in
+  (* P2 (outside it): the right subtree drops the a2->a3 edge, computing the
+     open path a2->a4<-a3 instead of the induced triangle. *)
+  let q_no23 =
+    Gf.Query.create ~num_vertices:4
+      ~edges:
+        (Array.of_list
+           (Array.to_list q.Gf.Query.edges
+           |> List.filter (fun (e : Gf.Query.edge) -> not (e.src = 1 && e.dst = 2))))
+      ()
+  in
+  let right_open = Gf.Plan.wco q_no23 [| 1; 3; 2 |] in
+  let p2 = Gf.Plan.hash_join q (Gf.Plan.wco q [| 1; 2; 0 |]) right_open in
+  let t1, c1 = time_warm (fun () -> Gf.Exec.run g p1) in
+  let t2, c2 = time_warm (fun () -> Gf.Exec.run g p2) in
+  Printf.printf "P1 (projection-constrained): %.3fs, %s matches\n" t1 (fmt_count c1.Gf.Counters.output);
+  Printf.printf "P2 (edge dropped from right subtree): %.3fs, %s matches (%.1fx slower)\n" t2
+    (fmt_count c2.Gf.Counters.output)
+    (t2 /. Float.max t1 1e-6)
+
+let ablation_hashjoin_weights () =
+  header "Ablation: empirical HASH-JOIN weight calibration (Section 4.2)";
+  let g = dataset_at (Gf.Generators.Amazon, spectrum_scale) in
+  (* E/I profile points. *)
+  let ei =
+    List.map
+      (fun o ->
+        let plan = Gf.Plan.wco Gf.Patterns.diamond_x o in
+        let t, c = time_warm (fun () -> Gf.Exec.run ~cache:false g plan) in
+        (float_of_int c.Gf.Counters.icost, t))
+      (Gf.Query.connected_orders Gf.Patterns.diamond_x |> List.filteri (fun i _ -> i < 6))
+  in
+  (* HASH-JOIN profile points from BJ-style joins of sub-plans. *)
+  let hj =
+    List.filter_map
+      (fun qi ->
+        let q = Gf.Patterns.q qi in
+        let plans, _ = Gf.Spectrum.plans ~per_subset_cap:3 ~family_cap:4 q in
+        match List.find_opt (fun (f, _) -> f = Gf.Spectrum.Bj) plans with
+        | None -> None
+        | Some (_, p) ->
+            let t, c = time_warm (fun () -> Gf.Exec.run g p) in
+            Some
+              ( float_of_int c.Gf.Counters.hj_build_tuples,
+                float_of_int c.Gf.Counters.hj_probe_tuples,
+                t ))
+      [ 2; 11; 12; 13 ]
+  in
+  let w = Gf.Cost.calibrate ~ei ~hj in
+  Printf.printf "profiled %d E/I points, %d HASH-JOIN points -> w1 = %.2f, w2 = %.2f\n"
+    (List.length ei) (List.length hj) w.Gf.Cost.w1 w.Gf.Cost.w2
+
+let ablation_estimators () =
+  header "Ablation: cardinality estimators (catalogue vs wander-join sampling vs independence)";
+  List.iter
+    (fun (dlabel, g, nl) ->
+      subheader dlabel;
+      let queries = qerror_queries g nl in
+      let cat = Gf.Catalog.create ~h:3 ~z:1000 g in
+      let errs name f =
+        let t0 = Unix.gettimeofday () in
+        let es = List.map (fun (q, truth) -> Gf.Catalog.q_error ~estimate:(f q) ~truth) queries in
+        Printf.printf "%-22s %s  (%.2fs)\n" name (qerror_distribution es)
+          (Unix.gettimeofday () -. t0)
+      in
+      errs "catalogue (h=3)" (fun q -> Gf.Catalog.estimate_cardinality cat q);
+      let rng = Gf.Rng.create 99 in
+      errs "wander-join (2k walks)" (fun q -> Gf.Wander.estimate g q ~walks:2000 rng);
+      errs "independence (PG)" (fun q -> Gf.Independence.estimate g q))
+    [
+      ("amazon (unlabeled)", dataset_at (Gf.Generators.Amazon, spectrum_scale), 1);
+      ("google (3 labels)", labeled (Gf.Generators.Google, spectrum_scale, 3), 3);
+    ]
+
+let ablation_intersection_kernel () =
+  header "Ablation: pairwise-cascade vs Leapfrog Triejoin multiway intersection";
+  let g = dataset Gf.Generators.Livejournal in
+  List.iter
+    (fun (label, q, order) ->
+      let plan = Gf.Plan.wco q order in
+      let tp, cp = time_warm (fun () -> Gf.Exec.run ~leapfrog:false g plan) in
+      let tl, cl = time_warm (fun () -> Gf.Exec.run ~leapfrog:true g plan) in
+      assert (cp.Gf.Counters.output = cl.Gf.Counters.output);
+      Printf.printf "%-22s pairwise %.3fs  leapfrog %.3fs (%.2fx) on %s matches\n" label tp tl
+        (tp /. Float.max tl 1e-6)
+        (fmt_count cp.Gf.Counters.output))
+    [
+      ("triangle", Gf.Patterns.asymmetric_triangle, [| 0; 1; 2 |]);
+      ("diamond-X", Gf.Patterns.diamond_x, [| 1; 2; 0; 3 |]);
+      ("4-clique", Gf.Patterns.clique 4 ~cyclic:false, [| 0; 1; 2; 3 |]);
+      ("5-clique", Gf.Patterns.clique 5 ~cyclic:false, [| 0; 1; 2; 3; 4 |]);
+    ]
+
+let ablation_factorized_count () =
+  header "Ablation: factorized counting (Sections 3.2.3 / 10)";
+  let g = dataset Gf.Generators.Livejournal in
+  List.iter
+    (fun (label, q, order) ->
+      let plan = Gf.Plan.wco q order in
+      let t_enum, c = time_warm (fun () -> Gf.Exec.run g plan) in
+      let t_fast, n = time_warm (fun () -> Gf.Exec.count_fast g plan) in
+      assert (n = c.Gf.Counters.output);
+      Printf.printf "%-22s enumerate %.3fs  count-only %.3fs (%.2fx) for %s matches\n" label
+        t_enum t_fast
+        (t_enum /. Float.max t_fast 1e-6)
+        (fmt_count n))
+    [
+      ("triangle", Gf.Patterns.asymmetric_triangle, [| 0; 1; 2 |]);
+      ("diamond-X (friendly)", Gf.Patterns.diamond_x, [| 1; 2; 0; 3 |]);
+      ("tailed triangle", Gf.Patterns.tailed_triangle, [| 0; 1; 2; 3 |]);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table/figure.          *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_suite () =
+  header "Bechamel micro-benchmarks (one per table/figure, scaled-down kernels)";
+  let open Bechamel in
+  let g = dataset_at (Gf.Generators.Amazon, 0.05) in
+  let cat = Gf.Catalog.create ~z:100 g in
+  let run_plan plan () = ignore (Gf.Exec.run g plan) in
+  let dx = Gf.Patterns.diamond_x in
+  let tt = Gf.Patterns.tailed_triangle in
+  let sdx = Gf.Patterns.symmetric_diamond_x in
+  let tri = Gf.Patterns.asymmetric_triangle in
+  let mk name f = Test.make ~name (Staged.stage f) in
+  let tests =
+    [
+      mk "table3/diamondx-cache-on" (run_plan (Gf.Plan.wco dx [| 1; 2; 0; 3 |]));
+      mk "table3/diamondx-cache-off" (fun () ->
+          ignore (Gf.Exec.run ~cache:false g (Gf.Plan.wco dx [| 1; 2; 0; 3 |])));
+      mk "table4/triangle-fwd-fwd" (run_plan (Gf.Plan.wco tri [| 0; 1; 2 |]));
+      mk "table5/tailed-triangle" (run_plan (Gf.Plan.wco tt [| 0; 1; 2; 3 |]));
+      mk "table6/symmetric-diamondx" (run_plan (Gf.Plan.wco sdx [| 1; 2; 0; 3 |]));
+      mk "table7/catalogue-entry" (fun () ->
+          ignore (Gf.Catalog.mu_estimate cat tri ~new_vertex:2));
+      mk "figure7/optimize-diamondx" (fun () -> ignore (Gf.Planner.plan cat dx));
+      mk "figure8/adaptive-diamondx" (fun () ->
+          ignore (Gf.Adaptive.run cat g dx (Gf.Plan.wco dx [| 1; 2; 0; 3 |])));
+      mk "figure9/ghd-decompose" (fun () -> ignore (Gf.Ghd.min_width_decomposition dx));
+      mk "table9/eh-plan" (fun () ->
+          let d = Gf.Ghd.min_width_decomposition dx in
+          ignore (Gf.Exec.run g (Gf.Ghd.to_plan cat dx d Gf.Ghd.Lexicographic)));
+      mk "figure10/q9-hybrid" (fun () -> ignore (Gf.Planner.plan cat (Gf.Patterns.q 9)));
+      mk "figure11/parallel-2dom" (fun () ->
+          ignore (Gf.Parallel.run ~domains:2 g (Gf.Plan.wco tri [| 0; 1; 2 |])));
+      mk "table10/cardinality-estimate" (fun () ->
+          ignore (Gf.Catalog.estimate_cardinality cat dx));
+      mk "table11/independence-estimate" (fun () -> ignore (Gf.Independence.estimate g dx));
+      mk "table12/cfl-triangle" (fun () -> ignore (Gf.Cfl_baseline.count ~limit:1000 g tri));
+      mk "table13/bj-triangle" (fun () -> ignore (Gf.Bj_baseline.count g tri));
+    ]
+  in
+  let benchmark test =
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 10) () in
+    let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"t" [ test ]) in
+    let ols =
+      Analyze.all
+        (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+        instance results
+    in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Printf.printf "%-34s %12.1f ns/run\n" name est
+        | _ -> Printf.printf "%-34s (no estimate)\n" name)
+      ols
+  in
+  List.iter benchmark tests
+
+(* ------------------------------------------------------------------ *)
+(* Driver.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [
+    ("table3", table3);
+    ("table4", table4);
+    ("table5", table5);
+    ("table6", table6);
+    ("table7", table7);
+    ("figure7", figure7);
+    ("figure8", figure8);
+    ("figure9", figure9);
+    ("table9", table9);
+    ("figure10", figure10);
+    ("figure11", figure11);
+    ("table10", table10);
+    ("table11", table11);
+    ("table12", table12);
+    ("table13", table13);
+    ("ablation_cache", ablation_cache_consciousness);
+    ("ablation_projection", ablation_projection_constraint);
+    ("ablation_weights", ablation_hashjoin_weights);
+    ("ablation_estimators", ablation_estimators);
+    ("ablation_intersection", ablation_intersection_kernel);
+    ("ablation_factorized", ablation_factorized_count);
+    ("bechamel", bechamel_suite);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse = function
+    | "--list" :: _ ->
+        List.iter (fun (n, _) -> print_endline n) sections;
+        exit 0
+    | "--only" :: spec :: rest ->
+        let wanted = String.split_on_char ',' spec in
+        let chosen = List.filter (fun (n, _) -> List.mem n wanted) sections in
+        if chosen = [] then (prerr_endline "no matching section"; exit 1);
+        (chosen, rest) |> fun (c, _) -> c
+    | _ :: rest -> parse rest
+    | [] -> sections
+  in
+  let chosen = parse args in
+  Printf.printf "bench scale: %.2f (set GF_BENCH_SCALE to change)\n" scale;
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (name, f) ->
+      try f ()
+      with e ->
+        Printf.printf "[%s FAILED: %s]\n" name (Printexc.to_string e))
+    chosen;
+  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,201 @@
+(* gfq — command-line front end for the Graphflow reproduction.
+
+   Subcommands: generate, stats, plan, run, spectrum, catalogue. Graphs come
+   either from a file saved by [generate] (--graph) or from a named
+   synthetic dataset (--dataset, --scale). *)
+
+open Cmdliner
+module Gf = Graphflow
+
+let load_graph graph_file dataset scale labels seed =
+  let g =
+    match (graph_file, dataset) with
+    | Some path, _ -> Gf.Graph_io.load path
+    | None, Some name -> (
+        match Gf.Generators.dataset_name_of_string name with
+        | Some d -> Gf.Generators.dataset ~scale d
+        | None -> failwith (Printf.sprintf "unknown dataset %S" name))
+    | None, None -> failwith "provide --graph FILE or --dataset NAME"
+  in
+  if labels > 1 then Gf.Graph.relabel g (Gf.Rng.create seed) ~num_vlabels:1 ~num_elabels:labels
+  else g
+
+(* Common options *)
+let graph_file =
+  Arg.(value & opt (some string) None & info [ "graph"; "g" ] ~docv:"FILE" ~doc:"Graph file.")
+
+let dataset =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dataset"; "d" ] ~docv:"NAME"
+        ~doc:"Synthetic dataset: amazon, epinions, google, berkstan, livejournal, twitter, human.")
+
+let scale =
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Dataset scale factor (default 1.0).")
+
+let labels =
+  Arg.(
+    value & opt int 1
+    & info [ "labels" ] ~doc:"Randomly assign this many edge labels (the paper's Q^J_i setup).")
+
+let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Random seed for labeling.")
+
+let query_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "query"; "q" ] ~docv:"PATTERN"
+        ~doc:"Query pattern, e.g. 'a1->a2, a2->a3, a1->a3', or Q1..Q14 for the benchmark set.")
+
+let parse_query s =
+  match
+    if String.length s >= 2 && s.[0] = 'Q' then int_of_string_opt (String.sub s 1 (String.length s - 1))
+    else None
+  with
+  | Some i -> Gf.Patterns.q i
+  | None ->
+      (* MATCH (...) patterns go through the Cypher frontend, everything
+         else through the edge-list DSL. *)
+      let upper = String.uppercase_ascii (String.trim s) in
+      if String.length upper >= 5 && String.sub upper 0 5 = "MATCH" then
+        fst (Gf.Cypher.parse s)
+      else Gf.Db.parse_query s
+
+let generate_cmd =
+  let out = Arg.(required & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output path.") in
+  let dataset_pos = Arg.(required & pos 0 (some string) None & info [] ~docv:"DATASET") in
+  let go dname scale labels seed out =
+    let g = load_graph None (Some dname) scale labels seed in
+    Gf.Graph_io.save g out;
+    Format.printf "wrote %s: %a@." out Gf.Graph_stats.pp_summary (Gf.Graph_stats.summarize g)
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate a synthetic dataset and save it.")
+    Term.(const go $ dataset_pos $ scale $ labels $ seed $ out)
+
+let stats_cmd =
+  let go graph_file dataset scale labels seed =
+    let g = load_graph graph_file dataset scale labels seed in
+    Format.printf "%a@." Gf.Graph_stats.pp_summary (Gf.Graph_stats.summarize g)
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Print structural statistics of a graph.")
+    Term.(const go $ graph_file $ dataset $ scale $ labels $ seed)
+
+let plan_cmd =
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz dot instead of text.") in
+  let go graph_file dataset scale labels seed qs dot =
+    let g = load_graph graph_file dataset scale labels seed in
+    let db = Gf.Db.create g in
+    let q = parse_query qs in
+    if dot then
+      let p, _ = Gf.Db.plan db q in
+      print_string (Gf.Plan.to_dot p)
+    else print_string (Gf.Db.explain db q)
+  in
+  Cmd.v (Cmd.info "plan" ~doc:"Show the optimizer's plan for a query.")
+    Term.(const go $ graph_file $ dataset $ scale $ labels $ seed $ query_arg $ dot)
+
+let run_cmd =
+  let adaptive = Arg.(value & flag & info [ "adaptive" ] ~doc:"Adaptive QVO selection.") in
+  let limit = Arg.(value & opt (some int) None & info [ "limit" ] ~doc:"Stop after N matches.") in
+  let go graph_file dataset scale labels seed qs adaptive limit =
+    let g = load_graph graph_file dataset scale labels seed in
+    let db = Gf.Db.create g in
+    let q = parse_query qs in
+    let secs, c = Gf.Rng.create 0 |> fun _ ->
+      let t0 = Unix.gettimeofday () in
+      let c = Gf.Db.run ~adaptive ?limit db q in
+      (Unix.gettimeofday () -. t0, c)
+    in
+    Format.printf "matches: %d@.time: %.3fs@.%a@." c.Gf.Counters.output secs Gf.Counters.pp c
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Optimize and execute a query.")
+    Term.(const go $ graph_file $ dataset $ scale $ labels $ seed $ query_arg $ adaptive $ limit)
+
+let spectrum_cmd =
+  let go graph_file dataset scale labels seed qs =
+    let g = load_graph graph_file dataset scale labels seed in
+    let db = Gf.Db.create g in
+    let q = parse_query qs in
+    let s = Gf.Spectrum.run g q in
+    let picked, _ = Gf.Db.plan db q in
+    print_string (Gf.Spectrum.summary s ~picked_signature:(Gf.Plan.signature picked))
+  in
+  Cmd.v (Cmd.info "spectrum" ~doc:"Run every plan in the query's plan spectrum.")
+    Term.(const go $ graph_file $ dataset $ scale $ labels $ seed $ query_arg)
+
+let catalogue_cmd =
+  let h = Arg.(value & opt int 3 & info [ "H"; "max-pattern" ] ~doc:"Max pattern size (paper's h).") in
+  let z = Arg.(value & opt int 1000 & info [ "z"; "samples" ] ~doc:"Sample size (paper's z).") in
+  let go graph_file dataset scale labels seed h z =
+    let g = load_graph graph_file dataset scale labels seed in
+    let cat = Gf.Catalog.create ~h ~z g in
+    let secs, n = Gf.Rng.create 0 |> fun _ ->
+      let t0 = Unix.gettimeofday () in
+      let n = Gf.Catalog.build_exhaustive cat in
+      (Unix.gettimeofday () -. t0, n)
+    in
+    Format.printf "catalogue: %d entries (h=%d z=%d) built in %.2fs@." n h z secs
+  in
+  Cmd.v (Cmd.info "catalogue" ~doc:"Build the exhaustive subgraph catalogue.")
+    Term.(const go $ graph_file $ dataset $ scale $ labels $ seed $ h $ z)
+
+let shell_cmd =
+  let go graph_file dataset scale labels seed =
+    let g = load_graph graph_file dataset scale labels seed in
+    let db = Gf.Db.create g in
+    Format.printf "graphflow shell — %a@." Gf.Graph_stats.pp_summary
+      (Gf.Graph_stats.summarize ~samples:200 g);
+    print_endline
+      "enter a pattern (DSL or MATCH ...) to count it; \\p PATTERN explains; \\e PATTERN\n\
+       estimates cardinality; \\a PATTERN runs adaptively; \\q quits.";
+    let rec loop () =
+      print_string "gfq> ";
+      match try Some (read_line ()) with End_of_file -> None with
+      | None -> ()
+      | Some line ->
+          let line = String.trim line in
+          let continue = ref true in
+          (try
+             if line = "" then ()
+             else if line = "\\q" then continue := false
+             else if String.length line >= 2 && line.[0] = '\\' then begin
+               let cmd = line.[1] in
+               let rest = String.trim (String.sub line 2 (String.length line - 2)) in
+               let q = parse_query rest in
+               match cmd with
+               | 'p' -> print_string (Gf.Db.explain db q)
+               | 'e' -> Format.printf "estimated %.1f matches@." (Gf.Db.estimate_cardinality db q)
+               | 'a' ->
+                   let t0 = Unix.gettimeofday () in
+                   let c = Gf.Db.run ~adaptive:true db q in
+                   Format.printf "%d matches in %.3fs (adaptive)@." c.Gf.Counters.output
+                     (Unix.gettimeofday () -. t0)
+               | _ -> print_endline "unknown command; \\p \\e \\a \\q"
+             end
+             else begin
+               let q = parse_query line in
+               let t0 = Unix.gettimeofday () in
+               let c = Gf.Db.run db q in
+               Format.printf "%d matches in %.3fs (i-cost %d, cache hits %d)@."
+                 c.Gf.Counters.output
+                 (Unix.gettimeofday () -. t0)
+                 c.Gf.Counters.icost c.Gf.Counters.cache_hits
+             end
+           with
+          | Failure m -> print_endline ("error: " ^ m)
+          | Invalid_argument m -> print_endline ("error: " ^ m));
+          if !continue then loop ()
+    in
+    loop ()
+  in
+  Cmd.v
+    (Cmd.info "shell" ~doc:"Interactive query shell over a loaded graph.")
+    Term.(const go $ graph_file $ dataset $ scale $ labels $ seed)
+
+let () =
+  let info = Cmd.info "gfq" ~doc:"Subgraph queries with hybrid worst-case optimal plans." in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; stats_cmd; plan_cmd; run_cmd; spectrum_cmd; catalogue_cmd; shell_cmd ]))

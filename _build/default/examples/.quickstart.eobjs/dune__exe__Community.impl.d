@@ -1,0 +1,1 @@
+examples/community.ml: Array Format Graphflow List Printf Unix

@@ -1,0 +1,1 @@
+examples/fraud_detection.ml: Array Format Graphflow List Printf String Unix

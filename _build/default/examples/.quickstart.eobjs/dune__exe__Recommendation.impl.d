@@ -1,0 +1,1 @@
+examples/recommendation.ml: Array Format Graphflow List Printf Unix

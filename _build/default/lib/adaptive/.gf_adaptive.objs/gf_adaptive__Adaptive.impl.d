@@ -1,0 +1,1 @@
+lib/adaptive/adaptive.ml: Array Float Gf_catalog Gf_exec Gf_graph Gf_opt Gf_plan Gf_query Gf_util Hashtbl List

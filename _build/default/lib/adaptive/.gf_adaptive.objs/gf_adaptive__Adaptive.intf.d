@@ -1,0 +1,1 @@
+lib/adaptive/adaptive.mli: Gf_catalog Gf_exec Gf_graph Gf_plan Gf_query

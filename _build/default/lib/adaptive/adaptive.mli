@@ -1,0 +1,37 @@
+(** Adaptive evaluation of WCO plan parts (Section 6).
+
+    Every maximal chain of two or more E/I operators in a fixed plan is
+    replaced by an adaptive segment. The segment fixes the sub-plan below
+    the chain (its anchor: a SCAN or a HASH-JOIN) and, for each anchor
+    tuple, re-estimates the cost of every connected ordering of the chain's
+    remaining query vertices using the tuple's *actual* adjacency list sizes
+    (catalogue averages are replaced by observed sizes, and selectivities are
+    scaled by the observed/estimated ratios — Example 6.2). The tuple is
+    routed to the cheapest ordering's pipeline; each ordering keeps its own
+    intersection-cache state.
+
+    Results are identical to the fixed plan's; only the work differs. *)
+
+type stats = {
+  segments : int;  (** adaptive segments installed *)
+  candidate_orderings : int;  (** total candidate orderings across segments *)
+  tuples_routed : int;  (** anchor tuples that went through a cost re-evaluation *)
+  orderings_used : int;  (** distinct orderings that received at least one tuple *)
+}
+
+(** [run cat g q plan] executes [plan] with adaptive segments. The plan must
+    be a plan for [q]. Output tuple schema is [Plan.vars plan] (adaptive
+    segments permute their output back to the fixed schema). *)
+val run :
+  ?cache:bool ->
+  ?limit:int ->
+  ?sink:(int array -> unit) ->
+  Gf_catalog.Catalog.t ->
+  Gf_graph.Graph.t ->
+  Gf_query.Query.t ->
+  Gf_plan.Plan.t ->
+  Gf_exec.Counters.t * stats
+
+(** [adaptable plan] is true when [plan] contains a chain of >= 2 E/I
+    operators (the paper adapts exactly those plans). *)
+val adaptable : Gf_plan.Plan.t -> bool

@@ -1,0 +1,1 @@
+lib/baseline/bj.ml: Array Gf_graph Gf_query Gf_util List

@@ -1,0 +1,1 @@
+lib/baseline/bj.mli: Gf_graph Gf_query

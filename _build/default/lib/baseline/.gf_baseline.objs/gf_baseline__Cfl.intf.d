@@ -1,0 +1,1 @@
+lib/baseline/cfl.mli: Gf_graph Gf_query Gf_util

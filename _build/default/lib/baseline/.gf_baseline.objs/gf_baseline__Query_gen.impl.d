@@ -1,0 +1,1 @@
+lib/baseline/query_gen.ml: Array Gf_graph Gf_query Gf_util Hashtbl List

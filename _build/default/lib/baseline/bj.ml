@@ -1,0 +1,143 @@
+module Graph = Gf_graph.Graph
+module Query = Gf_query.Query
+module Bitset = Gf_util.Bitset
+
+type stats = { matches : int; intermediate : int; expansions : int }
+
+exception Limit_reached
+
+(* Greedy default: after the first edge, prefer edges whose endpoints are
+   both bound (cheap closing filters), then edges touching the prefix. *)
+let default_order q =
+  let n = Array.length q.Query.edges in
+  let used = Array.make n false in
+  let bound = ref Bitset.empty in
+  let order = ref [] in
+  let bind (e : Query.edge) = bound := Bitset.add e.src (Bitset.add e.dst !bound) in
+  used.(0) <- true;
+  bind q.Query.edges.(0);
+  order := [ 0 ];
+  for _ = 2 to n do
+    let pick = ref (-1) in
+    (* First choice: a closing edge. *)
+    for i = 0 to n - 1 do
+      if
+        (not used.(i)) && !pick < 0
+        && Bitset.mem q.Query.edges.(i).src !bound
+        && Bitset.mem q.Query.edges.(i).dst !bound
+      then pick := i
+    done;
+    (* Otherwise: any edge touching the prefix. *)
+    if !pick < 0 then
+      for i = 0 to n - 1 do
+        if
+          (not used.(i)) && !pick < 0
+          && (Bitset.mem q.Query.edges.(i).src !bound || Bitset.mem q.Query.edges.(i).dst !bound)
+        then pick := i
+      done;
+    if !pick >= 0 then begin
+      used.(!pick) <- true;
+      bind q.Query.edges.(!pick);
+      order := !pick :: !order
+    end
+  done;
+  List.rev !order
+
+let run ?edge_order ?limit g q =
+  let order = match edge_order with Some o -> o | None -> default_order q in
+  if List.length order <> Array.length q.Query.edges then
+    invalid_arg "Bj.run: order must cover every edge exactly once";
+  let assignment = Array.make (Query.num_vertices q) (-1) in
+  let matches = ref 0 in
+  let intermediate = ref 0 in
+  let expansions = ref 0 in
+  let edges = Array.of_list (List.map (fun i -> q.Query.edges.(i)) order) in
+  let n = Array.length edges in
+  let rec step i =
+    if i = n then begin
+      incr matches;
+      match limit with Some l when !matches >= l -> raise Limit_reached | _ -> ()
+    end
+    else begin
+      let e = edges.(i) in
+      let bs = assignment.(e.src) >= 0 and bd = assignment.(e.dst) >= 0 in
+      if bs && bd then begin
+        (* Closing join: existence check. *)
+        if Graph.has_edge g assignment.(e.src) assignment.(e.dst) ~elabel:e.label then begin
+          incr intermediate;
+          step (i + 1)
+        end
+      end
+      else if bs then begin
+        let arr, lo, hi =
+          Graph.neighbours g Graph.Fwd assignment.(e.src) ~elabel:e.label
+            ~nlabel:(Query.vlabel q e.dst)
+        in
+        expansions := !expansions + (hi - lo);
+        for j = lo to hi - 1 do
+          assignment.(e.dst) <- arr.(j);
+          incr intermediate;
+          step (i + 1)
+        done;
+        assignment.(e.dst) <- -1
+      end
+      else if bd then begin
+        let arr, lo, hi =
+          Graph.neighbours g Graph.Bwd assignment.(e.dst) ~elabel:e.label
+            ~nlabel:(Query.vlabel q e.src)
+        in
+        expansions := !expansions + (hi - lo);
+        for j = lo to hi - 1 do
+          assignment.(e.src) <- arr.(j);
+          incr intermediate;
+          step (i + 1)
+        done;
+        assignment.(e.src) <- -1
+      end
+      else begin
+        (* Disconnected prefix: scan the edge (Cartesian with the prefix). *)
+        Graph.iter_edges g ~elabel:e.label ~slabel:(Query.vlabel q e.src)
+          ~dlabel:(Query.vlabel q e.dst) (fun u v ->
+            assignment.(e.src) <- u;
+            assignment.(e.dst) <- v;
+            incr intermediate;
+            step (i + 1));
+        assignment.(e.src) <- -1;
+        assignment.(e.dst) <- -1
+      end
+    end
+  in
+  (try step 0 with Limit_reached -> ());
+  { matches = !matches; intermediate = !intermediate; expansions = !expansions }
+
+let count ?edge_order g q = (run ?edge_order g q).matches
+
+let all_edge_orders ?(max_orders = 5000) q =
+  let n = Array.length q.Query.edges in
+  let acc = ref [] in
+  let count = ref 0 in
+  let used = Array.make n false in
+  let exception Done in
+  let rec go depth bound prefix =
+    if !count >= max_orders then raise Done;
+    if depth = n then begin
+      acc := List.rev prefix :: !acc;
+      incr count
+    end
+    else
+      for i = 0 to n - 1 do
+        if not used.(i) then begin
+          let e = q.Query.edges.(i) in
+          let touches =
+            depth = 0 || Bitset.mem e.src bound || Bitset.mem e.dst bound
+          in
+          if touches then begin
+            used.(i) <- true;
+            go (depth + 1) (Bitset.add e.src (Bitset.add e.dst bound)) (i :: prefix);
+            used.(i) <- false
+          end
+        end
+      done
+  in
+  (try go 0 Bitset.empty [] with Done -> ());
+  List.rev !acc

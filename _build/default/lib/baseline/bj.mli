@@ -1,0 +1,27 @@
+(** Neo4j-style binary-join evaluation (Appendix D baseline).
+
+    Queries are evaluated one query edge at a time with left-deep
+    index-nested-loop joins: an edge sharing one endpoint with the bound
+    prefix expands partial matches through a single adjacency list; an edge
+    whose endpoints are both bound closes a cycle with an existence check.
+    Open intermediate structures (e.g. open triangles) are therefore
+    computed — exactly the plan class the paper's projection constraint
+    excludes, and the reason BJ plans collapse on cyclic queries. *)
+
+type stats = {
+  matches : int;
+  intermediate : int;  (** partial matches produced *)
+  expansions : int;  (** adjacency entries touched by expand operators *)
+}
+
+(** [run g q] evaluates with the default greedy edge order (expansions
+    before the closing checks they enable). [edge_order] overrides it with
+    explicit edge indices into [q.edges]. [limit] stops early. *)
+val run : ?edge_order:int list -> ?limit:int -> Gf_graph.Graph.t -> Gf_query.Query.t -> stats
+
+val count : ?edge_order:int list -> Gf_graph.Graph.t -> Gf_query.Query.t -> int
+
+(** [all_edge_orders q] enumerates the connected edge orders (prefix stays
+    connected), for spectrum-style exploration. Capped at [max_orders]
+    (default 5000). *)
+val all_edge_orders : ?max_orders:int -> Gf_query.Query.t -> int list list

@@ -1,0 +1,161 @@
+module Graph = Gf_graph.Graph
+module Query = Gf_query.Query
+module Bitset = Gf_util.Bitset
+
+type stats = {
+  matches : int;
+  backtracks : int;
+  candidates_checked : int;
+  core_size : int;
+}
+
+exception Limit_reached
+
+let core q =
+  let n = Query.num_vertices q in
+  let alive = ref (Bitset.full n) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Bitset.iter
+      (fun v ->
+        let deg = Bitset.cardinal (Bitset.inter (Query.neighbours q v) !alive) in
+        if deg <= 1 then begin
+          alive := Bitset.remove v !alive;
+          changed := true
+        end)
+      !alive
+  done;
+  !alive
+
+(* Degree lower-bound filter: a data vertex can match a query vertex only if
+   it has at least as many forward and backward neighbours. *)
+let degree_ok g q qv dv =
+  let fwd_need =
+    Array.fold_left
+      (fun acc (e : Query.edge) -> if e.src = qv then acc + 1 else acc)
+      0 q.Query.edges
+  in
+  let bwd_need =
+    Array.fold_left
+      (fun acc (e : Query.edge) -> if e.dst = qv then acc + 1 else acc)
+      0 q.Query.edges
+  in
+  Graph.degree g Graph.Fwd dv >= fwd_need && Graph.degree g Graph.Bwd dv >= bwd_need
+
+(* Candidate sets ("CPI-lite"): label + degree filtered. *)
+let candidates g q =
+  Array.init (Query.num_vertices q) (fun qv ->
+      Graph.vertices_with_label g (Query.vlabel q qv)
+      |> Array.to_list
+      |> List.filter (degree_ok g q qv)
+      |> Array.of_list)
+
+let matching_order q (cands : int array array) =
+  let n = Query.num_vertices q in
+  let co = core q in
+  let pick_region region placed order =
+    (* Greedy: among unplaced region vertices adjacent to placed (or any if
+       none placed), pick the smallest candidate set. *)
+    let rec go placed acc =
+      let best = ref (-1) in
+      Bitset.iter
+        (fun v ->
+          if not (Bitset.mem v placed) then begin
+            let adjacent =
+              placed = Bitset.empty
+              || Bitset.inter (Query.neighbours q v) placed <> Bitset.empty
+            in
+            if adjacent then
+              if !best < 0 || Array.length cands.(v) < Array.length cands.(!best) then best := v
+          end)
+        region;
+      if !best < 0 then (placed, List.rev acc)
+      else go (Bitset.add !best placed) (!best :: acc)
+    in
+    let placed', region_order = go placed [] in
+    (placed', order @ region_order)
+  in
+  let placed, order =
+    if co <> Bitset.empty then pick_region co Bitset.empty [] else (Bitset.empty, [])
+  in
+  (* Forest vertices: those adjacent to placed first; seed with everything. *)
+  let rest = Bitset.diff (Bitset.full n) placed in
+  let _, order = pick_region rest placed order in
+  Array.of_list order
+
+let run ?limit g q =
+  let cands = candidates g q in
+  let order = matching_order q cands in
+  let n = Query.num_vertices q in
+  let assignment = Array.make n (-1) in
+  let used = Hashtbl.create 16 in
+  let matches = ref 0 and backtracks = ref 0 and checked = ref 0 in
+  let consistent qv dv =
+    Array.for_all
+      (fun (e : Query.edge) ->
+        if e.src = qv && assignment.(e.dst) >= 0 then
+          Graph.has_edge g dv assignment.(e.dst) ~elabel:e.label
+        else if e.dst = qv && assignment.(e.src) >= 0 then
+          Graph.has_edge g assignment.(e.src) dv ~elabel:e.label
+        else true)
+      q.Query.edges
+  in
+  let rec go depth =
+    if depth = n then begin
+      incr matches;
+      match limit with Some l when !matches >= l -> raise Limit_reached | _ -> ()
+    end
+    else begin
+      let qv = order.(depth) in
+      (* Candidates: from a matched neighbour's adjacency when available,
+         otherwise the CPI candidate set. *)
+      let from_neighbour =
+        let found = ref None in
+        Array.iter
+          (fun (e : Query.edge) ->
+            if !found = None then begin
+              if e.src = qv && assignment.(e.dst) >= 0 then
+                found := Some (assignment.(e.dst), Graph.Bwd, e.label)
+              else if e.dst = qv && assignment.(e.src) >= 0 then
+                found := Some (assignment.(e.src), Graph.Fwd, e.label)
+            end)
+          q.Query.edges;
+        !found
+      in
+      let pool =
+        match from_neighbour with
+        | Some (dv, dir, el) ->
+            let arr, lo, hi = Graph.neighbours g dir dv ~elabel:el ~nlabel:(Query.vlabel q qv) in
+            Array.sub arr lo (hi - lo)
+        | None -> cands.(qv)
+      in
+      let extended = ref false in
+      Array.iter
+        (fun dv ->
+          incr checked;
+          if
+            (not (Hashtbl.mem used dv))
+            && degree_ok g q qv dv
+            && consistent qv dv
+          then begin
+            extended := true;
+            assignment.(qv) <- dv;
+            Hashtbl.replace used dv ();
+            go (depth + 1);
+            Hashtbl.remove used dv;
+            assignment.(qv) <- -1
+          end)
+        pool;
+      if not !extended then incr backtracks
+    end
+  in
+  (try go 0 with Limit_reached -> ());
+  {
+    matches = !matches;
+    backtracks = !backtracks;
+    candidates_checked = !checked;
+    core_size = Bitset.cardinal (core q);
+  }
+
+let count ?limit g q = (run ?limit g q).matches

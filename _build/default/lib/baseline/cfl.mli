@@ -1,0 +1,28 @@
+(** CFL-style subgraph matching baseline (Appendix C).
+
+    A backtracking matcher in the spirit of CFL [Bi et al., SIGMOD 2016]:
+    the query is decomposed into a dense *core* (its 2-core) and a *forest*;
+    the core is matched first (it has fewer matches), the forest last. A
+    CPI-like candidate index filters candidates by vertex label and by
+    forward/backward degree lower bounds before the search. Matches are
+    injective on vertices (subgraph isomorphism), as in the CFL paper, and
+    enumeration stops at [limit] matches, matching the Table 12 protocol.
+
+    Simplifications relative to full CFL are documented in DESIGN.md: path
+    cardinality estimation over the CPI is replaced by a
+    smallest-candidate-set-first order, and postponed Cartesian products are
+    not factorized (both sides are enumerated). *)
+
+type stats = {
+  matches : int;
+  backtracks : int;
+  candidates_checked : int;
+  core_size : int;
+}
+
+val run : ?limit:int -> Gf_graph.Graph.t -> Gf_query.Query.t -> stats
+
+val count : ?limit:int -> Gf_graph.Graph.t -> Gf_query.Query.t -> int
+
+(** [core q] is the 2-core's vertex set (empty for trees). *)
+val core : Gf_query.Query.t -> Gf_util.Bitset.t

@@ -1,0 +1,112 @@
+module Graph = Gf_graph.Graph
+module Query = Gf_query.Query
+module Rng = Gf_util.Rng
+
+let neighbours_all g v =
+  let acc = ref [] in
+  for el = 0 to Graph.num_elabels g - 1 do
+    List.iter
+      (fun dir ->
+        let arr, lo, hi = Graph.neighbours_any_nlabel g dir v ~elabel:el in
+        for i = lo to hi - 1 do
+          acc := arr.(i) :: !acc
+        done)
+      [ Graph.Fwd; Graph.Bwd ]
+  done;
+  !acc
+
+let from_data g rng ~num_vertices ~dense =
+  let n = Graph.num_vertices g in
+  if num_vertices > n then invalid_arg "Query_gen.from_data: graph too small";
+  (* Grow a connected vertex set by random neighbour expansion; retry from a
+     new seed when stuck (e.g. an isolated vertex). *)
+  let rec grow attempts =
+    if attempts > 200 then invalid_arg "Query_gen.from_data: cannot grow a connected set";
+    let chosen = Hashtbl.create 32 in
+    let members = ref [] in
+    let add v =
+      if not (Hashtbl.mem chosen v) then begin
+        Hashtbl.replace chosen v ();
+        members := v :: !members
+      end
+    in
+    add (Rng.int rng n);
+    let stuck = ref false in
+    while Hashtbl.length chosen < num_vertices && not !stuck do
+      (* Candidates: neighbours of a random member not yet chosen. *)
+      let ms = Array.of_list !members in
+      let found = ref None in
+      let tries = ref 0 in
+      while !found = None && !tries < 50 do
+        incr tries;
+        let v = ms.(Rng.int rng (Array.length ms)) in
+        let nbrs = neighbours_all g v |> List.filter (fun w -> not (Hashtbl.mem chosen w)) in
+        if nbrs <> [] then found := Some (List.nth nbrs (Rng.int rng (List.length nbrs)))
+      done;
+      match !found with Some w -> add w | None -> stuck := true
+    done;
+    if Hashtbl.length chosen < num_vertices then grow (attempts + 1)
+    else Array.of_list (List.rev !members)
+  in
+  let members = grow 0 in
+  let index = Hashtbl.create 32 in
+  Array.iteri (fun i v -> Hashtbl.replace index v i) members;
+  (* Induced data edges, dropping one direction of reciprocal pairs (the
+     planner's SCAN matches a single edge per vertex pair). *)
+  let seen_pair = Hashtbl.create 64 in
+  let induced = ref [] in
+  Array.iteri
+    (fun qi v ->
+      for el = 0 to Graph.num_elabels g - 1 do
+        let arr, lo, hi = Graph.neighbours_any_nlabel g Graph.Fwd v ~elabel:el in
+        for i = lo to hi - 1 do
+          match Hashtbl.find_opt index arr.(i) with
+          | Some qj ->
+              let key = (min qi qj, max qi qj) in
+              if not (Hashtbl.mem seen_pair key) then begin
+                Hashtbl.replace seen_pair key ();
+                induced := Query.{ src = qi; dst = qj; label = el } :: !induced
+              end
+          | None -> ()
+        done
+      done)
+    members;
+  let induced = Array.of_list !induced in
+  let vlabels = Array.map (Graph.vlabel g) members in
+  let nv = Array.length members in
+  let target_edges =
+    if dense then Array.length induced
+    else min (Array.length induced) (nv + (nv / 4))
+  in
+  (* Keep a spanning tree first (connectivity), then random extras. *)
+  let order = Array.init (Array.length induced) (fun i -> i) in
+  Rng.shuffle rng order;
+  let parent = Array.init nv (fun i -> i) in
+  let rec find x = if parent.(x) = x then x else (parent.(x) <- find parent.(x); find parent.(x)) in
+  let kept = Array.make (Array.length induced) false in
+  let kept_count = ref 0 in
+  Array.iter
+    (fun i ->
+      let e = induced.(i) in
+      let a = find e.Query.src and b = find e.Query.dst in
+      if a <> b then begin
+        parent.(a) <- b;
+        kept.(i) <- true;
+        incr kept_count
+      end)
+    order;
+  Array.iter
+    (fun i ->
+      if (not kept.(i)) && !kept_count < target_edges then begin
+        kept.(i) <- true;
+        incr kept_count
+      end)
+    order;
+  let edges =
+    Array.to_list induced
+    |> List.filteri (fun i _ -> kept.(i))
+    |> Array.of_list
+  in
+  let q = Query.create ~num_vertices:nv ~vlabels ~edges () in
+  assert (Query.is_connected q);
+  q

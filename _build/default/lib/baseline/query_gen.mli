@@ -1,0 +1,15 @@
+(** Query workload generation by data-graph extraction.
+
+    The CFL evaluation's query sets are random connected subgraphs *of the
+    data graph* (so every query has at least one match): sparse sets keep
+    average query-vertex degree <= 3, dense sets keep more of the induced
+    edges. This module reproduces that protocol. *)
+
+(** [from_data g rng ~num_vertices ~dense] grows a random connected vertex
+    set by neighbour expansion and returns a query over its induced edges:
+    all of them when [dense] (minus one direction of any reciprocal pair),
+    a spanning tree plus a few extras when sparse. Vertex labels are copied
+    from the data. Raises [Invalid_argument] when the graph has fewer than
+    [num_vertices] vertices or the walk cannot grow (isolated region). *)
+val from_data :
+  Gf_graph.Graph.t -> Gf_util.Rng.t -> num_vertices:int -> dense:bool -> Gf_query.Query.t

@@ -1,0 +1,1 @@
+lib/catalog/catalog.ml: Array Float Format Fun Gf_graph Gf_query Gf_util Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/catalog/catalog.mli: Format Gf_graph Gf_query

@@ -1,0 +1,1 @@
+lib/catalog/independence.ml: Array Gf_graph Gf_query

@@ -1,0 +1,1 @@
+lib/catalog/independence.mli: Gf_graph Gf_query

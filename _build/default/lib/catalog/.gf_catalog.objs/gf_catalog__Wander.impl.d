@@ -1,0 +1,1 @@
+lib/catalog/wander.ml: Array Gf_graph Gf_query Gf_util List

@@ -1,0 +1,1 @@
+lib/catalog/wander.mli: Gf_graph Gf_query Gf_util

@@ -1,0 +1,534 @@
+module Graph = Gf_graph.Graph
+module Query = Gf_query.Query
+module Canon = Gf_query.Canon
+module Bitset = Gf_util.Bitset
+module Rng = Gf_util.Rng
+module Int_vec = Gf_util.Int_vec
+module Sorted = Gf_util.Sorted
+
+type entry = {
+  mu : float;
+  sizes : ((int * Graph.direction * int) * float) list;
+  total_size : float;
+  samples : int;
+}
+
+type t = {
+  g : Graph.t;
+  h : int;
+  z : int;
+  rng : Rng.t;
+  entries : (string, entry) Hashtbl.t;
+  edge_lists : (int * int * int, (int * int) array) Hashtbl.t;
+  edge_counts : (int * int * int, int) Hashtbl.t;
+  avg_sizes : (Graph.direction * int * int * int, float) Hashtbl.t;
+}
+
+let create ?(h = 3) ?(z = 1000) ?(seed = 7) g =
+  if h < 2 then invalid_arg "Catalog.create: h must be >= 2";
+  if z < 1 then invalid_arg "Catalog.create: z must be >= 1";
+  {
+    g;
+    h;
+    z;
+    rng = Rng.create seed;
+    entries = Hashtbl.create 1024;
+    edge_lists = Hashtbl.create 64;
+    edge_counts = Hashtbl.create 64;
+    avg_sizes = Hashtbl.create 64;
+  }
+
+let h t = t.h
+let z t = t.z
+let graph t = t.g
+let num_entries t = Hashtbl.length t.entries
+
+let edge_count t ~elabel ~slabel ~dlabel =
+  let key = (elabel, slabel, dlabel) in
+  match Hashtbl.find_opt t.edge_counts key with
+  | Some c -> c
+  | None ->
+      let c = Graph.count_edges t.g ~elabel ~slabel ~dlabel in
+      Hashtbl.replace t.edge_counts key c;
+      c
+
+let edge_list t ~elabel ~slabel ~dlabel =
+  let key = (elabel, slabel, dlabel) in
+  match Hashtbl.find_opt t.edge_lists key with
+  | Some l -> l
+  | None ->
+      let acc = ref [] in
+      Graph.iter_edges t.g ~elabel ~slabel ~dlabel (fun u v -> acc := (u, v) :: !acc);
+      let arr = Array.of_list !acc in
+      Hashtbl.replace t.edge_lists key arr;
+      arr
+
+let avg_partition_size t ~dir ~slabel ~elabel ~nlabel =
+  let key = (dir, slabel, elabel, nlabel) in
+  match Hashtbl.find_opt t.avg_sizes key with
+  | Some s -> s
+  | None ->
+      let vs = Graph.vertices_with_label t.g slabel in
+      let total =
+        Array.fold_left
+          (fun acc v -> acc + Graph.partition_size t.g dir v ~elabel ~nlabel)
+          0 vs
+      in
+      let s =
+        if Array.length vs = 0 then 0.0
+        else float_of_int total /. float_of_int (Array.length vs)
+      in
+      Hashtbl.replace t.avg_sizes key s;
+      s
+
+(* Descriptors of the extension of [qk minus new_v] to [qk], in qk's own
+   vertex ids: (source vertex, direction, edge label). *)
+let extension_descriptors qk new_v =
+  Array.to_list qk.Query.edges
+  |> List.filter_map (fun (e : Query.edge) ->
+         if e.dst = new_v then Some (e.src, Graph.Fwd, e.label)
+         else if e.src = new_v then Some (e.dst, Graph.Bwd, e.label)
+         else None)
+
+let global_avg_sizes t qk new_v =
+  let nl = Query.vlabel qk new_v in
+  List.map
+    (fun (src, dir, el) ->
+      ((src, dir, el), avg_partition_size t ~dir ~slabel:(Query.vlabel qk src) ~elabel:el ~nlabel:nl))
+    (extension_descriptors qk new_v)
+
+(* Measure the extension statistics by sampling z edges at the SCAN and
+   streaming the sub-query's matches through to the last extension
+   (Section 5.1). Work is capped so that a single entry never costs more
+   than a few hundred thousand operations. *)
+let sample_entry t qk new_v =
+  let k = Query.num_vertices qk in
+  let descriptors = extension_descriptors qk new_v in
+  assert (descriptors <> []);
+  (* Choose a connected order ending with the new vertex. *)
+  let order =
+    let all = Query.connected_orders qk in
+    match List.find_opt (fun o -> o.(k - 1) = new_v) all with
+    | Some o -> o
+    | None -> invalid_arg "Catalog: sub-query minus new vertex is disconnected"
+  in
+  let scan_edges =
+    Array.to_list qk.Query.edges
+    |> List.filter (fun (e : Query.edge) ->
+           (e.src = order.(0) && e.dst = order.(1)) || (e.src = order.(1) && e.dst = order.(0)))
+  in
+  let scan_edge = List.hd scan_edges in
+  let extra_scan_checks = List.tl scan_edges in
+  let pool =
+    edge_list t ~elabel:scan_edge.Query.label
+      ~slabel:(Query.vlabel qk scan_edge.Query.src)
+      ~dlabel:(Query.vlabel qk scan_edge.Query.dst)
+  in
+  if Array.length pool = 0 then
+    { mu = 0.0; sizes = global_avg_sizes t qk new_v; total_size = 0.0; samples = 0 }
+  else begin
+    let npool = Array.length pool in
+    let nsample = min t.z npool in
+    let indices =
+      if nsample = npool then Array.init npool (fun i -> i)
+      else Rng.sample_without_replacement t.rng ~n:npool ~k:nsample
+    in
+    (* Position of each query vertex in the match tuple (= order index). *)
+    let pos = Array.make k (-1) in
+    Array.iteri (fun i v -> pos.(v) <- i) order;
+    let step_descriptors depth =
+      (* Descriptors for extending to order.(depth). *)
+      let target = order.(depth) in
+      Array.to_list qk.Query.edges
+      |> List.filter_map (fun (e : Query.edge) ->
+             if e.dst = target && pos.(e.src) < depth then Some (pos.(e.src), Graph.Fwd, e.label)
+             else if e.src = target && pos.(e.dst) < depth then
+               Some (pos.(e.dst), Graph.Bwd, e.label)
+             else None)
+      |> Array.of_list
+    in
+    let steps = Array.init k (fun d -> if d < 2 then [||] else step_descriptors d) in
+    (* Accumulators for the final step. *)
+    let measured = ref 0 in
+    let mu_sum = ref 0.0 in
+    let nd_final = Array.length steps.(k - 1) in
+    let size_sums = Array.make nd_final 0.0 in
+    let max_measure = max (4 * t.z) 4000 in
+    let scratch = Int_vec.create () and result = Int_vec.create () in
+    let tuple = Array.make k 0 in
+    let final_target_label = Query.vlabel qk new_v in
+    let exception Done in
+    let rec extend depth =
+      if !measured >= max_measure then raise Done;
+      let target = order.(depth) in
+      let target_label = Query.vlabel qk target in
+      let ds = steps.(depth) in
+      let slices =
+        Array.map
+          (fun (p, dir, el) ->
+            Graph.neighbours t.g dir tuple.(p) ~elabel:el ~nlabel:target_label)
+          ds
+      in
+      if depth = k - 1 then begin
+        (* Measure: record each list's size and the extension count. *)
+        incr measured;
+        Array.iteri
+          (fun i s -> size_sums.(i) <- size_sums.(i) +. float_of_int (Sorted.slice_len s))
+          slices;
+        Int_vec.clear result;
+        Sorted.intersect result slices ~scratch;
+        mu_sum := !mu_sum +. float_of_int (Int_vec.length result);
+        ignore final_target_label
+      end
+      else begin
+        Int_vec.clear result;
+        Sorted.intersect result slices ~scratch;
+        (* [result] is reused by recursive calls: copy it out first. *)
+        let exts = Int_vec.to_array result in
+        Array.iter
+          (fun w ->
+            tuple.(depth) <- w;
+            extend (depth + 1))
+          exts
+      end
+    in
+    (try
+       Array.iter
+         (fun i ->
+           let u, v = pool.(i) in
+           let a, b = if scan_edge.Query.src = order.(0) then (u, v) else (v, u) in
+           tuple.(0) <- a;
+           tuple.(1) <- b;
+           let ok =
+             List.for_all
+               (fun (e : Query.edge) ->
+                 let s = if e.src = order.(0) then a else b in
+                 let d = if e.dst = order.(0) then a else b in
+                 Graph.has_edge t.g s d ~elabel:e.label)
+               extra_scan_checks
+           in
+           if ok then if k = 2 then incr measured else extend 2)
+         indices
+     with Done -> ());
+    if !measured = 0 then
+      { mu = 0.0; sizes = global_avg_sizes t qk new_v; total_size = 0.0; samples = 0 }
+    else begin
+      let n = float_of_int !measured in
+      (* Map descriptor statistics onto canonical vertex ids. *)
+      let _, perm = Canon.code ~mark:new_v qk in
+      let sizes =
+        Array.to_list steps.(k - 1)
+        |> List.mapi (fun i (p, dir, el) -> ((perm.(order.(p)), dir, el), size_sums.(i) /. n))
+      in
+      let total_size = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 sizes in
+      { mu = !mu_sum /. n; sizes; total_size; samples = !measured }
+    end
+  end
+
+let entry t qk ~new_vertex =
+  let k = Query.num_vertices qk in
+  if k > t.h + 1 then None
+  else begin
+    let code, _ = Canon.code ~mark:new_vertex qk in
+    match Hashtbl.find_opt t.entries code with
+    | Some e -> Some e
+    | None ->
+        let e = sample_entry t qk new_vertex in
+        Hashtbl.replace t.entries code e;
+        Some e
+  end
+
+(* Section 5.2 fallback: for oversize patterns, remove every (k - h - 1)-size
+   subset of the old vertices that keeps the pattern valid, and take the
+   minimum selectivity over the resulting catalogue entries. *)
+let rec mu_estimate t qk ~new_vertex =
+  match entry t qk ~new_vertex with
+  | Some e -> e.mu
+  | None ->
+      let k = Query.num_vertices qk in
+      let removable = Bitset.remove new_vertex (Bitset.full k) in
+      let want_remove = k - (t.h + 1) in
+      let candidates = ref [] in
+      let rec choose picked count start =
+        if count = want_remove then candidates := picked :: !candidates
+        else
+          for v = start to k - 1 do
+            if Bitset.mem v removable then choose (Bitset.add v picked) (count + 1) (v + 1)
+          done
+      in
+      choose Bitset.empty 0 0;
+      let best = ref infinity in
+      List.iter
+        (fun rm ->
+          let keep = Bitset.diff (Bitset.full k) rm in
+          let sub, map = Query.induced qk keep in
+          (* Position of the new vertex in the reduced pattern. *)
+          let new_pos = ref (-1) in
+          Array.iteri (fun i v -> if v = new_vertex then new_pos := i) map;
+          if !new_pos >= 0 then begin
+            let np = !new_pos in
+            let old_part = Bitset.remove np (Bitset.full (Query.num_vertices sub)) in
+            if
+              Query.is_connected sub
+              && Query.is_connected_subset sub old_part
+              && extension_descriptors sub np <> []
+            then begin
+              let m = mu_estimate t sub ~new_vertex:np in
+              if m < !best then best := m
+            end
+          end)
+        !candidates;
+      if !best < infinity then !best
+      else
+        (* No valid removal (heavily disconnected after removal): fall back
+           to the least global average list size, a coarse upper bound. *)
+        List.fold_left
+          (fun acc (_, s) -> Float.min acc s)
+          infinity
+          (global_avg_sizes t qk new_vertex)
+        |> fun x -> if x = infinity then 1.0 else x
+
+let descriptor_size t qk ~new_vertex ~src ~dir ~elabel =
+  let global () =
+    avg_partition_size t ~dir ~slabel:(Query.vlabel qk src) ~elabel
+      ~nlabel:(Query.vlabel qk new_vertex)
+  in
+  match entry t qk ~new_vertex with
+  | None -> global ()
+  | Some e ->
+      if e.samples = 0 then global ()
+      else begin
+        let _, perm = Canon.code ~mark:new_vertex qk in
+        match List.assoc_opt (perm.(src), dir, elabel) e.sizes with
+        | Some s -> s
+        | None -> global ()
+      end
+
+let estimate_cardinality t q =
+  let n = Query.num_vertices q in
+  let memo = Hashtbl.create 64 in
+  let rec card s =
+    match Hashtbl.find_opt memo s with
+    | Some c -> c
+    | None ->
+        let c =
+          if Bitset.cardinal s = 2 then begin
+            match Query.edges_within q s with
+            | [] -> 0.0
+            | es ->
+                (* With >1 edge between the pair the exact joint count is not
+                   indexed; approximate with the most selective edge. *)
+                List.fold_left
+                  (fun acc (e : Query.edge) ->
+                    Float.min acc
+                      (float_of_int
+                         (edge_count t ~elabel:e.label ~slabel:(Query.vlabel q e.src)
+                            ~dlabel:(Query.vlabel q e.dst))))
+                  infinity es
+          end
+          else begin
+            let best = ref infinity in
+            Bitset.iter
+              (fun v ->
+                let rest = Bitset.remove v s in
+                if Query.is_connected_subset q rest then begin
+                  let sub, map = Query.induced q s in
+                  let vpos = ref (-1) in
+                  Array.iteri (fun i ov -> if ov = v then vpos := i) map;
+                  if extension_descriptors sub !vpos <> [] then begin
+                    let est = card rest *. mu_estimate t sub ~new_vertex:!vpos in
+                    if est < !best then best := est
+                  end
+                end)
+              s;
+            if !best < infinity then !best else 0.0
+          end
+        in
+        Hashtbl.replace memo s c;
+        c
+  in
+  card (Bitset.full n)
+
+(* ---------- exhaustive construction (Tables 10-11) ---------- *)
+
+let build_exhaustive t =
+  let g = t.g in
+  let nv = Graph.num_vlabels g and ne = Graph.num_elabels g in
+  (* Level-2 patterns: one per (elabel, slabel, dlabel). *)
+  let level2 =
+    List.concat_map
+      (fun el ->
+        List.concat_map
+          (fun sl ->
+            List.map
+              (fun dl ->
+                Query.create ~num_vertices:2 ~vlabels:[| sl; dl |]
+                  ~edges:[| { Query.src = 0; dst = 1; label = el } |]
+                  ())
+              (List.init nv (fun i -> i)))
+          (List.init nv (fun i -> i)))
+      (List.init ne (fun i -> i))
+  in
+  (* Connection options for the new vertex towards one existing vertex:
+     nothing, or a single directed labeled edge either way. *)
+  let conn_options = ref [ None ] in
+  for el = ne - 1 downto 0 do
+    conn_options := Some (`Out, el) :: Some (`In, el) :: !conn_options
+  done;
+  let conn_options = Array.of_list !conn_options in
+  let extend_pattern (q : Query.t) =
+    (* All ways to attach one new vertex. *)
+    let j = Query.num_vertices q in
+    let results = ref [] in
+    let assignment = Array.make j None in
+    let rec assign i any =
+      if i = j then begin
+        if any then
+          for lv = 0 to nv - 1 do
+            let new_edges =
+              Array.to_list assignment
+              |> List.mapi (fun src c ->
+                     match c with
+                     | None -> []
+                     | Some (`Out, el) -> [ { Query.src; dst = j; label = el } ]
+                     | Some (`In, el) -> [ { Query.src = j; dst = src; label = el } ])
+              |> List.concat
+            in
+            let qk =
+              Query.create ~num_vertices:(j + 1)
+                ~vlabels:(Array.append q.Query.vlabels [| lv |])
+                ~edges:(Array.append q.Query.edges (Array.of_list new_edges))
+                ()
+            in
+            results := qk :: !results
+          done
+      end
+      else
+        Array.iter
+          (fun c ->
+            assignment.(i) <- c;
+            assign (i + 1) (any || c <> None))
+          conn_options
+    in
+    assign 0 false;
+    !results
+  in
+  let seen_patterns = Hashtbl.create 256 in
+  let dedup qs =
+    List.filter
+      (fun q ->
+        let code, _ = Canon.code q in
+        if Hashtbl.mem seen_patterns code then false
+        else begin
+          Hashtbl.replace seen_patterns code ();
+          true
+        end)
+      qs
+  in
+  let level = ref (dedup level2) in
+  for j = 2 to t.h do
+    let next = ref [] in
+    List.iter
+      (fun q ->
+        List.iter
+          (fun qk ->
+            (* Materialize the entry for this extension. *)
+            ignore (entry t qk ~new_vertex:j);
+            if j + 1 <= t.h then next := qk :: !next)
+          (extend_pattern q))
+      !level;
+    level := dedup !next
+  done;
+  num_entries t
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "graphflow-catalog v1\n%d %d\n" t.h t.z;
+      Hashtbl.iter
+        (fun code e ->
+          Printf.fprintf oc "entry %s %.17g %.17g %d %d\n" code e.mu e.total_size e.samples
+            (List.length e.sizes);
+          List.iter
+            (fun ((v, dir, el), s) ->
+              Printf.fprintf oc "size %d %c %d %.17g\n" v
+                (match dir with Graph.Fwd -> 'f' | Graph.Bwd -> 'b')
+                el s)
+            e.sizes)
+        t.entries)
+
+let load g path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let fail msg = failwith (Printf.sprintf "Catalog.load %s: %s" path msg) in
+      (try if input_line ic <> "graphflow-catalog v1" then fail "bad header"
+       with End_of_file -> fail "empty file");
+      let h, z =
+        match String.split_on_char ' ' (input_line ic) with
+        | [ a; b ] -> (int_of_string a, int_of_string b)
+        | _ -> fail "bad parameter line"
+      in
+      let t = create ~h ~z g in
+      let pending = ref None in
+      let flush_pending () =
+        match !pending with
+        | Some (code, mu, total_size, samples, sizes) ->
+            Hashtbl.replace t.entries code
+              { mu; total_size; samples; sizes = List.rev sizes };
+            pending := None
+        | None -> ()
+      in
+      (try
+         while true do
+           let line = input_line ic in
+           match String.split_on_char ' ' line with
+           | "entry" :: code :: mu :: total :: samples :: _nsizes :: [] ->
+               flush_pending ();
+               pending :=
+                 Some
+                   ( code,
+                     float_of_string mu,
+                     float_of_string total,
+                     int_of_string samples,
+                     [] )
+           | [ "size"; v; dir; el; s ] -> (
+               match !pending with
+               | None -> fail "size line without entry"
+               | Some (code, mu, total, samples, sizes) ->
+                   let d =
+                     match dir with
+                     | "f" -> Graph.Fwd
+                     | "b" -> Graph.Bwd
+                     | _ -> fail "bad direction"
+                   in
+                   pending :=
+                     Some
+                       ( code,
+                         mu,
+                         total,
+                         samples,
+                         ((int_of_string v, d, int_of_string el), float_of_string s) :: sizes ))
+           | [ "" ] -> ()
+           | _ -> fail ("bad line: " ^ line)
+         done
+       with End_of_file -> ());
+      flush_pending ();
+      t)
+
+let q_error ~estimate ~truth =
+  let e = Float.max 1.0 estimate and r = Float.max 1.0 truth in
+  Float.max (e /. r) (r /. e)
+
+let pp_entry fmt e =
+  Format.fprintf fmt "mu=%.3f samples=%d sizes=[%s]" e.mu e.samples
+    (String.concat "; "
+       (List.map
+          (fun ((v, dir, el), s) ->
+            Printf.sprintf "%d.%s@%d:%.1f" v
+              (match dir with Graph.Fwd -> "fwd" | Graph.Bwd -> "bwd")
+              el s)
+          e.sizes))

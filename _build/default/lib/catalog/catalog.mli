@@ -1,0 +1,111 @@
+(** The subgraph catalogue (Section 5).
+
+    Each entry describes extending a sub-query [Q_{k-1}] by one query vertex
+    into [Q_k] through a set of adjacency list descriptors [A], and stores:
+
+    - [mu]: the average number of [Q_k] matches produced per [Q_{k-1}]
+      match (selectivity), and
+    - [|A|]: the average size of each intersected adjacency list.
+
+    Entries are keyed by the canonical code of [Q_k] with the new vertex
+    distinguished, so isomorphic extensions share one entry. Statistics come
+    from sampling: [z] random edges seed a WCO plan of [Q_k] whose last E/I
+    measures list sizes and extension counts (Section 5.1).
+
+    Entries exist only for extensions of at-most-[h]-vertex sub-queries;
+    larger patterns are estimated by the minimum-over-removals fallback of
+    Section 5.2, implemented by [mu_estimate].
+
+    The default construction is lazy — entries materialize on first lookup —
+    so a catalogue is cheap to create and pay-as-you-go for a workload.
+    [build_exhaustive] eagerly enumerates every pattern (the paper's
+    construction, measured in Tables 10-11). *)
+
+type t
+
+(** [create ?h ?z ?seed g] is an empty catalogue over [g]. Defaults match
+    the paper: [h = 3], [z = 1000]. *)
+val create : ?h:int -> ?z:int -> ?seed:int -> Gf_graph.Graph.t -> t
+
+val h : t -> int
+val z : t -> int
+val graph : t -> Gf_graph.Graph.t
+
+(** Statistics of one materialized entry. [sizes] maps each descriptor —
+    identified by (canonical source-vertex id, direction, edge label) — to
+    its average list size. [samples] is the number of measured [Q_{k-1}]
+    matches (0 when the sampler found none, in which case [mu] is 0 and
+    sizes fall back to global per-label averages). *)
+type entry = {
+  mu : float;
+  sizes : ((int * Gf_graph.Graph.direction * int) * float) list;
+  total_size : float;
+  samples : int;
+}
+
+(** [entry cat qk ~new_vertex] is the entry for extending
+    [qk minus new_vertex] to [qk]. [None] when [qk] has more than [h + 1]
+    vertices (the catalogue does not store such patterns). Requires [qk]
+    connected and [qk minus new_vertex] connected and nonempty. *)
+val entry : t -> Gf_query.Query.t -> new_vertex:int -> entry option
+
+(** [mu_estimate cat qk ~new_vertex] estimates the selectivity of the
+    extension, applying the Section 5.2 fallback (minimum over removals of
+    vertex subsets) when the pattern exceeds [h + 1] vertices. *)
+val mu_estimate : t -> Gf_query.Query.t -> new_vertex:int -> float
+
+(** [descriptor_size cat qk ~new_vertex ~src ~dir ~elabel] estimates the
+    average size of the descriptor's adjacency list in the context of the
+    extension, falling back to global label averages for oversize
+    patterns. *)
+val descriptor_size :
+  t ->
+  Gf_query.Query.t ->
+  new_vertex:int ->
+  src:int ->
+  dir:Gf_graph.Graph.direction ->
+  elabel:int ->
+  float
+
+(** [avg_partition_size cat ~dir ~slabel ~elabel ~nlabel] is the global
+    average adjacency-partition size: the mean, over vertices labeled
+    [slabel], of the partition for ([elabel], [nlabel]) in direction
+    [dir]. *)
+val avg_partition_size :
+  t -> dir:Gf_graph.Graph.direction -> slabel:int -> elabel:int -> nlabel:int -> float
+
+(** [edge_count cat ~elabel ~slabel ~dlabel] is the exact number of matching
+    data edges (memoized) — the paper's initialization of 2-vertex
+    sub-query cardinalities. *)
+val edge_count : t -> elabel:int -> slabel:int -> dlabel:int -> int
+
+(** [estimate_cardinality cat q] estimates [|Q|] as a product of [mu]s along
+    extension sequences, minimized over the choice of extension order
+    (dynamic program over connected vertex subsets). *)
+val estimate_cardinality : t -> Gf_query.Query.t -> float
+
+(** [build_exhaustive cat] eagerly materializes every entry extending a
+    connected pattern of 2..h vertices to h+1 vertices, enumerating all
+    shapes and label assignments (at most one edge per ordered vertex pair,
+    no anti-parallel pairs — matching the paper's entry counts). Returns the
+    number of entries. *)
+val build_exhaustive : t -> int
+
+val num_entries : t -> int
+
+(** [q_error ~estimate ~truth] is
+    [max (estimate / truth) (truth / estimate)] with both clamped to at
+    least 1, the metric of Tables 10-11. *)
+val q_error : estimate:float -> truth:float -> float
+
+val pp_entry : Format.formatter -> entry -> unit
+
+(** [save cat path] persists the materialized entries (lazy entries computed
+    so far, or everything after [build_exhaustive]) so a later session can
+    skip sampling. *)
+val save : t -> string -> unit
+
+(** [load g path] restores a catalogue saved by [save]. The graph must be
+    the one the statistics were sampled from (the file records only
+    parameters and entries). Raises [Failure] on malformed input. *)
+val load : Gf_graph.Graph.t -> string -> t

@@ -1,0 +1,25 @@
+module Graph = Gf_graph.Graph
+module Query = Gf_query.Query
+
+let estimate g q =
+  let edge_card = ref 1.0 in
+  Array.iter
+    (fun (e : Query.edge) ->
+      let c =
+        Graph.count_edges g ~elabel:e.label ~slabel:(Query.vlabel q e.src)
+          ~dlabel:(Query.vlabel q e.dst)
+      in
+      edge_card := !edge_card *. float_of_int c)
+    q.Query.edges;
+  let divisor = ref 1.0 in
+  for v = 0 to Query.num_vertices q - 1 do
+    let deg =
+      Array.fold_left
+        (fun acc (e : Query.edge) -> if e.src = v || e.dst = v then acc + 1 else acc)
+        0 q.Query.edges
+    in
+    let domain = Array.length (Graph.vertices_with_label g (Query.vlabel q v)) in
+    if deg > 1 && domain > 0 then
+      divisor := !divisor *. (float_of_int domain ** float_of_int (deg - 1))
+  done;
+  if !divisor = 0.0 then 0.0 else !edge_card /. !divisor

@@ -1,0 +1,10 @@
+(** Textbook independence-assumption cardinality estimator, standing in for
+    PostgreSQL in the Appendix B comparison.
+
+    Each query edge is a relation over (src, dst); the estimate is the
+    System-R formula: the product of per-edge cardinalities divided, for
+    every query vertex shared by [d] edges, by the vertex-domain size raised
+    to [d - 1]. No correlation between edges is modeled, which is exactly
+    why it collapses on cyclic patterns. *)
+
+val estimate : Gf_graph.Graph.t -> Gf_query.Query.t -> float

@@ -1,0 +1,20 @@
+(** Sampling-based cardinality estimation by random walks (wander-join
+    style) — the "more advanced cardinality estimator based on sampling"
+    that Section 10 lists as future work for the optimizer.
+
+    A walk follows a WCO extension order: it draws a uniform random data
+    edge for the scanned query edge, then at each E/I step draws a uniform
+    member of the extension set. The inverse sampling probability — the
+    product of the pool sizes along the walk — is an unbiased estimate of
+    the match count; walks that die (empty extension set) contribute zero.
+    Averaging many walks converges to |Q| with variance governed by the
+    walk plan's skew. *)
+
+(** [estimate g q ~walks rng] runs [walks] random walks. Returns 0 when the
+    scanned edge has no matches. *)
+val estimate : Gf_graph.Graph.t -> Gf_query.Query.t -> walks:int -> Gf_util.Rng.t -> float
+
+(** [estimate_with_order] uses the given prefix-connected query vertex
+    ordering instead of the default (the first connected ordering). *)
+val estimate_with_order :
+  Gf_graph.Graph.t -> Gf_query.Query.t -> order:int array -> walks:int -> Gf_util.Rng.t -> float

@@ -1,0 +1,83 @@
+module Graph = Gf_graph.Graph
+module Generators = Gf_graph.Generators
+module Graph_stats = Gf_graph.Stats
+module Graph_io = Gf_graph.Graph_io
+module Query = Gf_query.Query
+module Query_parser = Gf_query.Parser
+module Cypher = Gf_query.Cypher
+module Patterns = Gf_query.Patterns
+module Canon = Gf_query.Canon
+module Plan = Gf_plan.Plan
+module Exec = Gf_exec.Exec
+module Counters = Gf_exec.Counters
+module Naive = Gf_exec.Naive
+module Parallel = Gf_exec.Parallel
+module Catalog = Gf_catalog.Catalog
+module Independence = Gf_catalog.Independence
+module Wander = Gf_catalog.Wander
+module Cost = Gf_opt.Cost
+module Cost_model = Gf_opt.Cost_model
+module Planner = Gf_opt.Planner
+module Adaptive = Gf_adaptive.Adaptive
+module Simplex = Gf_lp.Simplex
+module Edge_cover = Gf_lp.Edge_cover
+module Ghd = Gf_ghd.Ghd
+module Bj_baseline = Gf_baseline.Bj
+module Cfl_baseline = Gf_baseline.Cfl
+module Query_gen = Gf_baseline.Query_gen
+module Spectrum = Gf_spectrum.Spectrum
+module Rng = Gf_util.Rng
+module Bitset = Gf_util.Bitset
+
+module Db = struct
+  type t = { graph : Graph.t; catalog : Catalog.t; opts : Planner.opts }
+
+  let create ?h ?z ?seed ?(opts = Planner.default_opts) graph =
+    { graph; catalog = Catalog.create ?h ?z ?seed graph; opts }
+
+  let graph db = db.graph
+  let catalog db = db.catalog
+  let parse_query = Query_parser.parse
+  let plan db q = Planner.plan ~opts:db.opts db.catalog q
+
+  let run ?(adaptive = false) ?limit ?sink db q =
+    let p, _ = plan db q in
+    if adaptive && Adaptive.adaptable p then
+      fst (Adaptive.run ?limit ?sink db.catalog db.graph q p)
+    else Exec.run ?limit ?sink db.graph p
+
+  let count ?adaptive db q =
+    let c = run ?adaptive db q in
+    c.Counters.output
+
+  let explain db q =
+    let p, cost = plan db q in
+    Format.asprintf "estimated cost: %.0f i-cost units@.%a@." cost Plan.pp p
+
+  let estimate_cardinality db q = Catalog.estimate_cardinality db.catalog q
+
+  let count_by ?adaptive db q ~key =
+    let p, _ = plan db q in
+    let schema = Plan.vars p in
+    let positions =
+      List.map
+        (fun v ->
+          let pos = ref (-1) in
+          Array.iteri (fun i x -> if x = v then pos := i) schema;
+          if !pos < 0 then invalid_arg "Db.count_by: key vertex not in query";
+          !pos)
+        key
+    in
+    let groups = Hashtbl.create 1024 in
+    let sink t =
+      let k = Array.of_list (List.map (fun p -> t.(p)) positions) in
+      Hashtbl.replace groups k (1 + Option.value ~default:0 (Hashtbl.find_opt groups k))
+    in
+    let (_ : Counters.t) =
+      if Option.value ~default:false adaptive && Adaptive.adaptable p then
+        fst (Adaptive.run ~sink db.catalog db.graph q p)
+      else Exec.run ~sink db.graph p
+    in
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) groups []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+end

@@ -1,0 +1,92 @@
+(** Graphflow-style subgraph query processing: the public API.
+
+    This is an OCaml reproduction of the system described in Mhedhbi &
+    Salihoglu, "Optimizing Subgraph Queries by Combining Binary and
+    Worst-Case Optimal Joins" (VLDB 2019): a cost-based optimizer producing
+    worst-case optimal, binary-join, and hybrid plans over a labeled
+    in-memory graph, plus adaptive re-ordering at runtime.
+
+    Quick start:
+    {[
+      let g = Graphflow.Generators.dataset Graphflow.Generators.Amazon in
+      let db = Graphflow.Db.create g in
+      let q = Graphflow.Db.parse_query "a1->a2, a2->a3, a1->a3" in
+      let n = Graphflow.Db.count db q in
+      Printf.printf "%d triangles\n" n
+    ]}
+
+    The [Db] module is the session facade; the re-exported modules expose
+    each subsystem for advanced use (see DESIGN.md for the map). *)
+
+module Graph = Gf_graph.Graph
+module Generators = Gf_graph.Generators
+module Graph_stats = Gf_graph.Stats
+module Graph_io = Gf_graph.Graph_io
+module Query = Gf_query.Query
+module Query_parser = Gf_query.Parser
+module Cypher = Gf_query.Cypher
+module Patterns = Gf_query.Patterns
+module Canon = Gf_query.Canon
+module Plan = Gf_plan.Plan
+module Exec = Gf_exec.Exec
+module Counters = Gf_exec.Counters
+module Naive = Gf_exec.Naive
+module Parallel = Gf_exec.Parallel
+module Catalog = Gf_catalog.Catalog
+module Independence = Gf_catalog.Independence
+module Wander = Gf_catalog.Wander
+module Cost = Gf_opt.Cost
+module Cost_model = Gf_opt.Cost_model
+module Planner = Gf_opt.Planner
+module Adaptive = Gf_adaptive.Adaptive
+module Simplex = Gf_lp.Simplex
+module Edge_cover = Gf_lp.Edge_cover
+module Ghd = Gf_ghd.Ghd
+module Bj_baseline = Gf_baseline.Bj
+module Cfl_baseline = Gf_baseline.Cfl
+module Query_gen = Gf_baseline.Query_gen
+module Spectrum = Gf_spectrum.Spectrum
+module Rng = Gf_util.Rng
+module Bitset = Gf_util.Bitset
+
+(** Session facade: a graph plus its subgraph catalogue and planner
+    configuration. *)
+module Db : sig
+  type t
+
+  (** [create g] attaches a lazily-populated catalogue ([h], [z] as in the
+      paper; defaults 3 and 1000) and default planner options. *)
+  val create : ?h:int -> ?z:int -> ?seed:int -> ?opts:Gf_opt.Planner.opts -> Graph.t -> t
+
+  val graph : t -> Graph.t
+  val catalog : t -> Catalog.t
+
+  (** [parse_query s] parses the pattern DSL (see {!Query_parser}). *)
+  val parse_query : string -> Query.t
+
+  (** [plan db q] is the optimizer's plan and its estimated cost. *)
+  val plan : t -> Query.t -> Plan.t * float
+
+  (** [count db q] optimizes and executes, returning the number of matches.
+      [adaptive] enables runtime re-ordering of E/I chains (default off). *)
+  val count : ?adaptive:bool -> t -> Query.t -> int
+
+  (** [run db q] optimizes and executes; returns execution counters.
+      [sink] receives every match (a reused buffer in [Plan.vars] column
+      order). *)
+  val run :
+    ?adaptive:bool -> ?limit:int -> ?sink:(int array -> unit) -> t -> Query.t -> Counters.t
+
+  (** [explain db q] is a human-readable description of the chosen plan. *)
+  val explain : t -> Query.t -> string
+
+  (** [estimate_cardinality db q] is the catalogue-based estimate of the
+      number of matches. *)
+  val estimate_cardinality : t -> Query.t -> float
+
+  (** [count_by db q ~key] groups matches by the data vertices bound to the
+      given query vertices and counts each group; returns groups sorted by
+      descending count. Example: diamonds grouped by (a1, a4) rank
+      recommendation candidates. *)
+  val count_by : ?adaptive:bool -> t -> Query.t -> key:int list -> (int array * int) list
+end

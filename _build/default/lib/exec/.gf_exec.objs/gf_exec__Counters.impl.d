@@ -1,0 +1,1 @@
+lib/exec/counters.ml: Format List

@@ -1,0 +1,1 @@
+lib/exec/exec.ml: Array Counters Gf_graph Gf_plan Gf_query Gf_util Join_table List

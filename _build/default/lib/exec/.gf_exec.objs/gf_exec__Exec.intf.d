@@ -1,0 +1,1 @@
+lib/exec/exec.mli: Counters Gf_graph Gf_plan

@@ -1,0 +1,1 @@
+lib/exec/join_table.ml: Array Gf_util Hashtbl

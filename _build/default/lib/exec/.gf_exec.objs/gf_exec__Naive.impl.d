@@ -1,0 +1,1 @@
+lib/exec/naive.ml: Array Gf_graph Gf_query Gf_util List

@@ -1,0 +1,1 @@
+lib/exec/naive.mli: Gf_graph Gf_query

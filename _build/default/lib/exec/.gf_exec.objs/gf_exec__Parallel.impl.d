@@ -1,0 +1,1 @@
+lib/exec/parallel.ml: Array Atomic Counters Domain Exec Gf_graph Gf_plan Gf_query

@@ -1,0 +1,1 @@
+lib/exec/parallel.mli: Counters Gf_graph Gf_plan

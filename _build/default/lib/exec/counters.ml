@@ -1,0 +1,41 @@
+type t = {
+  mutable icost : int;
+  mutable produced : int;
+  mutable output : int;
+  mutable cache_hits : int;
+  mutable intersections : int;
+  mutable hj_build_tuples : int;
+  mutable hj_probe_tuples : int;
+}
+
+let create () =
+  {
+    icost = 0;
+    produced = 0;
+    output = 0;
+    cache_hits = 0;
+    intersections = 0;
+    hj_build_tuples = 0;
+    hj_probe_tuples = 0;
+  }
+
+let intermediate c = c.produced - c.output
+
+let add dst src =
+  dst.icost <- dst.icost + src.icost;
+  dst.produced <- dst.produced + src.produced;
+  dst.output <- dst.output + src.output;
+  dst.cache_hits <- dst.cache_hits + src.cache_hits;
+  dst.intersections <- dst.intersections + src.intersections;
+  dst.hj_build_tuples <- dst.hj_build_tuples + src.hj_build_tuples;
+  dst.hj_probe_tuples <- dst.hj_probe_tuples + src.hj_probe_tuples
+
+let merge cs =
+  let out = create () in
+  List.iter (add out) cs;
+  out
+
+let pp fmt c =
+  Format.fprintf fmt
+    "output=%d intermediate=%d icost=%d cache_hits=%d intersections=%d hj=(%d,%d)" c.output
+    (intermediate c) c.icost c.cache_hits c.intersections c.hj_build_tuples c.hj_probe_tuples

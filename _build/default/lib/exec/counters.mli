@@ -1,0 +1,26 @@
+(** Profiling counters matching the paper's reported metrics.
+
+    [icost] is the *actual* i-cost of a run (Eq. 1): the summed sizes of the
+    adjacency lists accessed by E/I operators, not counting lists whose
+    intersection was served from the cache. [intermediate] is the number of
+    partial matches produced by non-root operators ("part. m." in Tables
+    4-6). *)
+
+type t = {
+  mutable icost : int;
+  mutable produced : int;  (** tuples emitted by every operator, root included *)
+  mutable output : int;
+  mutable cache_hits : int;
+  mutable intersections : int;  (** E/I extension-set computations performed *)
+  mutable hj_build_tuples : int;
+  mutable hj_probe_tuples : int;
+}
+
+val create : unit -> t
+val intermediate : t -> int
+val add : t -> t -> unit
+
+(** [merge cs] sums a list of counters (parallel execution). *)
+val merge : t list -> t
+
+val pp : Format.formatter -> t -> unit

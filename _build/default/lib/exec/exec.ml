@@ -1,0 +1,254 @@
+module Graph = Gf_graph.Graph
+module Plan = Gf_plan.Plan
+module Int_vec = Gf_util.Int_vec
+module Sorted = Gf_util.Sorted
+
+exception Limit_reached
+
+type env = { g : Graph.t; cache : bool; distinct : bool; leapfrog : bool; c : Counters.t }
+
+type rewrite =
+  (env -> Plan.t -> (int array -> unit) -> unit) ->
+  env ->
+  Plan.t ->
+  ((int array -> unit) -> unit) option
+
+let tuple_contains tuple len v =
+  let rec go i = i < len && (tuple.(i) = v || go (i + 1)) in
+  go 0
+
+(* Compile [plan] into a driver function: [driver sink] runs the pipeline,
+   passing each produced tuple (a reused buffer) to [sink]. [rewrite] lets a
+   caller (the adaptive executor) take over compilation of chosen sub-plans;
+   it receives the recursive compiler so intercepted segments can still
+   compile their own children normally. *)
+let rec compile_rw rewrite env plan =
+  match rewrite (compile_rw rewrite) env plan with
+  | Some driver -> driver
+  | None -> compile_structural rewrite env plan
+
+and compile_structural rewrite env plan =
+  let compile env plan = compile_rw rewrite env plan in
+  match plan with
+  | Plan.Scan { edge; slabel; dlabel; _ } ->
+      let buf = Array.make 2 0 in
+      fun sink ->
+        Graph.iter_edges env.g ~elabel:edge.Gf_query.Query.label ~slabel ~dlabel (fun u v ->
+            buf.(0) <- u;
+            buf.(1) <- v;
+            env.c.produced <- env.c.produced + 1;
+            sink buf)
+  | Plan.Extend { child; target_label; descriptors; vars; _ } ->
+      let child_driver = compile env child in
+      let width = Array.length vars in
+      let nd = Array.length descriptors in
+      let buf = Array.make width 0 in
+      if nd = 1 then begin
+        (* Single descriptor: the extension set is the adjacency list itself;
+           iterate it directly, no copy. Cache = remembering the source. *)
+        let d = descriptors.(0) in
+        let last_src = ref (-1) in
+        fun sink ->
+          last_src := -1;
+          child_driver (fun t ->
+              Array.blit t 0 buf 0 (width - 1);
+              let src = t.(d.Plan.pos) in
+              let arr, lo, hi =
+                Graph.neighbours env.g d.Plan.dir src ~elabel:d.Plan.elabel
+                  ~nlabel:target_label
+              in
+              if env.cache && src = !last_src then
+                env.c.cache_hits <- env.c.cache_hits + 1
+              else begin
+                env.c.icost <- env.c.icost + (hi - lo);
+                env.c.intersections <- env.c.intersections + 1;
+                last_src := src
+              end;
+              for i = lo to hi - 1 do
+                let w = Array.unsafe_get arr i in
+                if not (env.distinct && tuple_contains buf (width - 1) w) then begin
+                  buf.(width - 1) <- w;
+                  env.c.produced <- env.c.produced + 1;
+                  sink buf
+                end
+              done)
+      end
+      else begin
+        let slices = Array.make nd ([||], 0, 0) in
+        let srcs = Array.make nd (-1) in
+        let last_srcs = Array.make nd (-1) in
+        let result = Int_vec.create ~capacity:64 () in
+        let scratch = Int_vec.create ~capacity:64 () in
+        let cache_valid = ref false in
+        fun sink ->
+          cache_valid := false;
+          Array.fill last_srcs 0 nd (-1);
+          child_driver (fun t ->
+              Array.blit t 0 buf 0 (width - 1);
+              let same = ref !cache_valid in
+              for i = 0 to nd - 1 do
+                let s = t.(descriptors.(i).Plan.pos) in
+                srcs.(i) <- s;
+                if s <> last_srcs.(i) then same := false
+              done;
+              if env.cache && !same then env.c.cache_hits <- env.c.cache_hits + 1
+              else begin
+                for i = 0 to nd - 1 do
+                  let d = descriptors.(i) in
+                  let slice =
+                    Graph.neighbours env.g d.Plan.dir srcs.(i) ~elabel:d.Plan.elabel
+                      ~nlabel:target_label
+                  in
+                  slices.(i) <- slice;
+                  env.c.icost <- env.c.icost + Sorted.slice_len slice
+                done;
+                env.c.intersections <- env.c.intersections + 1;
+                Int_vec.clear result;
+                if env.leapfrog then Sorted.leapfrog result slices
+                else Sorted.intersect result slices ~scratch;
+                Array.blit srcs 0 last_srcs 0 nd;
+                cache_valid := true
+              end;
+              let n = Int_vec.length result in
+              let data = Int_vec.data result in
+              for i = 0 to n - 1 do
+                let w = Array.unsafe_get data i in
+                if not (env.distinct && tuple_contains buf (width - 1) w) then begin
+                  buf.(width - 1) <- w;
+                  env.c.produced <- env.c.produced + 1;
+                  sink buf
+                end
+              done)
+      end
+  | Plan.Hash_join
+      { build; probe; build_key_pos; probe_key_pos; build_extra_pos; vars; _ } ->
+      let build_driver = compile env build in
+      let probe_driver = compile env probe in
+      let key_len = Array.length build_key_pos in
+      let brow_len = Array.length (Plan.vars build) in
+      let pwidth = Array.length (Plan.vars probe) in
+      let width = Array.length vars in
+      let nextra = Array.length build_extra_pos in
+      let buf = Array.make width 0 in
+      let key_buf = Array.make key_len 0 in
+      fun sink ->
+        let table = Join_table.create ~key_len ~row_len:brow_len in
+        build_driver (fun t ->
+            for i = 0 to key_len - 1 do
+              key_buf.(i) <- t.(build_key_pos.(i))
+            done;
+            Join_table.add table key_buf t;
+            env.c.hj_build_tuples <- env.c.hj_build_tuples + 1);
+        probe_driver (fun t ->
+            env.c.hj_probe_tuples <- env.c.hj_probe_tuples + 1;
+            for i = 0 to key_len - 1 do
+              key_buf.(i) <- t.(probe_key_pos.(i))
+            done;
+            Array.blit t 0 buf 0 pwidth;
+            Join_table.iter_matches table key_buf (fun row ->
+                let ok = ref true in
+                for i = 0 to nextra - 1 do
+                  let v = row.(build_extra_pos.(i)) in
+                  buf.(pwidth + i) <- v;
+                  if env.distinct && tuple_contains buf pwidth v then ok := false
+                done;
+                (* Injectivity among the build-extra columns themselves. *)
+                if !ok && env.distinct && nextra > 1 then begin
+                  for i = 0 to nextra - 1 do
+                    for j = i + 1 to nextra - 1 do
+                      if buf.(pwidth + i) = buf.(pwidth + j) then ok := false
+                    done
+                  done
+                end;
+                if !ok then begin
+                  env.c.produced <- env.c.produced + 1;
+                  sink buf
+                end))
+
+let no_rewrite _ _ _ = None
+
+let run_rw ~rewrite ?(cache = true) ?(distinct = false) ?(leapfrog = false) ?limit
+    ?(sink = fun _ -> ()) g plan =
+  let c = Counters.create () in
+  let env = { g; cache; distinct; leapfrog; c } in
+  let driver = compile_rw rewrite env plan in
+  let final t =
+    c.output <- c.output + 1;
+    sink t;
+    match limit with Some l when c.output >= l -> raise Limit_reached | _ -> ()
+  in
+  (try driver final with Limit_reached -> ());
+  c
+
+let run ?cache ?distinct ?leapfrog ?limit ?sink g plan =
+  run_rw ~rewrite:no_rewrite ?cache ?distinct ?leapfrog ?limit ?sink g plan
+
+let count ?cache ?distinct g plan =
+  let c = run ?cache ?distinct g plan in
+  c.Counters.output
+
+let count_fast ?(cache = true) g plan =
+  match plan with
+  | Plan.Extend { child; target_label; descriptors; _ } ->
+      let c = Counters.create () in
+      let env = { g; cache; distinct = false; leapfrog = false; c } in
+      let child_driver = compile_rw no_rewrite env child in
+      let nd = Array.length descriptors in
+      let total = ref 0 in
+      if nd = 1 then begin
+        let d = descriptors.(0) in
+        let last_src = ref (-1) in
+        let last_n = ref 0 in
+        child_driver (fun t ->
+            let src = t.(d.Plan.pos) in
+            if cache && src = !last_src then c.Counters.cache_hits <- c.Counters.cache_hits + 1
+            else begin
+              let _, lo, hi =
+                Graph.neighbours env.g d.Plan.dir src ~elabel:d.Plan.elabel ~nlabel:target_label
+              in
+              c.Counters.icost <- c.Counters.icost + (hi - lo);
+              last_n := hi - lo;
+              last_src := src
+            end;
+            total := !total + !last_n)
+      end
+      else begin
+        let slices = Array.make nd ([||], 0, 0) in
+        let srcs = Array.make nd (-1) in
+        let last_srcs = Array.make nd (-1) in
+        let result = Int_vec.create () and scratch = Int_vec.create () in
+        let cache_valid = ref false in
+        let last_n = ref 0 in
+        child_driver (fun t ->
+            let same = ref !cache_valid in
+            for i = 0 to nd - 1 do
+              let s = t.(descriptors.(i).Plan.pos) in
+              srcs.(i) <- s;
+              if s <> last_srcs.(i) then same := false
+            done;
+            if cache && !same then c.Counters.cache_hits <- c.Counters.cache_hits + 1
+            else begin
+              for i = 0 to nd - 1 do
+                let d = descriptors.(i) in
+                let slice =
+                  Graph.neighbours env.g d.Plan.dir srcs.(i) ~elabel:d.Plan.elabel
+                    ~nlabel:target_label
+                in
+                slices.(i) <- slice;
+                c.Counters.icost <- c.Counters.icost + Sorted.slice_len slice
+              done;
+              Int_vec.clear result;
+              Sorted.intersect result slices ~scratch;
+              last_n := Int_vec.length result;
+              Array.blit srcs 0 last_srcs 0 nd;
+              cache_valid := true
+            end;
+            total := !total + !last_n)
+      end;
+      !total
+  | _ -> count ~cache g plan
+
+let collect ?cache ?distinct g plan =
+  let acc = ref [] in
+  let (_ : Counters.t) = run ?cache ?distinct ~sink:(fun t -> acc := Array.copy t :: !acc) g plan in
+  List.rev !acc

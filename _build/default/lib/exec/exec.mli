@@ -1,0 +1,73 @@
+(** Push-based plan execution.
+
+    A plan compiles to nested closures: SCAN drives the pipeline, each E/I
+    extends tuples in place, HASH-JOIN materializes its build side eagerly
+    on first demand. Tuples handed to [sink] are reused buffers — copy them
+    if you need to retain them. Column order is [Plan.vars plan].
+
+    [cache] toggles the E/I intersection cache (Table 3 studies exactly this
+    switch). [distinct] requests injective (subgraph-isomorphism) matches
+    instead of the default homomorphic join semantics; the CFL comparison
+    uses it. [limit] stops execution after that many output tuples. *)
+
+val run :
+  ?cache:bool ->
+  ?distinct:bool ->
+  ?leapfrog:bool ->
+  ?limit:int ->
+  ?sink:(int array -> unit) ->
+  Gf_graph.Graph.t ->
+  Gf_plan.Plan.t ->
+  Counters.t
+
+(** [count g p] is the number of matches. *)
+val count : ?cache:bool -> ?distinct:bool -> Gf_graph.Graph.t -> Gf_plan.Plan.t -> int
+
+(** [count_fast g p] counts matches without materializing the final
+    extension: when the plan's root is an E/I operator, each extension set
+    contributes its size instead of being enumerated — the simplest form of
+    the factorized processing the paper discusses in Sections 3.2.3 and 10.
+    Combined with the intersection cache this skips the whole output loop
+    for cache-hitting tuples. Homomorphic semantics only. *)
+val count_fast : ?cache:bool -> Gf_graph.Graph.t -> Gf_plan.Plan.t -> int
+
+(** [collect g p] materializes all output tuples (tests and small queries
+    only). *)
+val collect : ?cache:bool -> ?distinct:bool -> Gf_graph.Graph.t -> Gf_plan.Plan.t -> int array list
+
+(** The executor's environment: exposed so cooperating executors (the
+    adaptive evaluator) can build custom drivers that share counters and
+    semantics. *)
+type env = {
+  g : Gf_graph.Graph.t;
+  cache : bool;
+  distinct : bool;
+  leapfrog : bool;  (** multiway intersections via Leapfrog Triejoin instead of the pairwise cascade *)
+  c : Counters.t;
+}
+
+(** A rewrite hook: [rewrite recurse env plan] may return a replacement
+    driver for [plan]; [recurse env child] compiles children with the same
+    hook applied. Returning [None] compiles [plan] structurally. *)
+type rewrite =
+  (env -> Gf_plan.Plan.t -> (int array -> unit) -> unit) ->
+  env ->
+  Gf_plan.Plan.t ->
+  ((int array -> unit) -> unit) option
+
+(** [compile_rw rewrite env plan] is the compiler itself: returns the driver
+    that pushes each produced tuple into a sink. For cooperating executors
+    (the adaptive evaluator, the parallel runner). *)
+val compile_rw : rewrite -> env -> Gf_plan.Plan.t -> (int array -> unit) -> unit
+
+(** [run_rw ~rewrite g p] is [run] with a rewrite hook. *)
+val run_rw :
+  rewrite:rewrite ->
+  ?cache:bool ->
+  ?distinct:bool ->
+  ?leapfrog:bool ->
+  ?limit:int ->
+  ?sink:(int array -> unit) ->
+  Gf_graph.Graph.t ->
+  Gf_plan.Plan.t ->
+  Counters.t

@@ -1,0 +1,52 @@
+module Key = struct
+  type t = int array
+
+  let equal (a : int array) b = a = b
+  let hash (a : int array) = Hashtbl.hash a
+end
+
+module H = Hashtbl.Make (Key)
+
+type t = {
+  rows : Gf_util.Int_vec.t; (* concatenated rows, stride row_len *)
+  index : Gf_util.Int_vec.t H.t; (* key -> row start offsets *)
+  key_len : int;
+  row_len : int;
+  view : int array; (* reusable row view handed to iter_matches callbacks *)
+  mutable count : int;
+}
+
+let create ~key_len ~row_len =
+  {
+    rows = Gf_util.Int_vec.create ~capacity:1024 ();
+    index = H.create 1024;
+    key_len;
+    row_len;
+    view = Array.make (max row_len 1) 0;
+    count = 0;
+  }
+
+let add t key row =
+  assert (Array.length key = t.key_len && Array.length row = t.row_len);
+  let start = Gf_util.Int_vec.length t.rows in
+  Gf_util.Int_vec.push_array t.rows row 0 t.row_len;
+  (match H.find_opt t.index key with
+  | Some offsets -> Gf_util.Int_vec.push offsets start
+  | None ->
+      let offsets = Gf_util.Int_vec.create ~capacity:4 () in
+      Gf_util.Int_vec.push offsets start;
+      H.replace t.index (Array.copy key) offsets);
+  t.count <- t.count + 1
+
+let size t = t.count
+
+let iter_matches t key f =
+  match H.find_opt t.index key with
+  | None -> ()
+  | Some offsets ->
+      let data = Gf_util.Int_vec.data t.rows in
+      Gf_util.Int_vec.iter
+        (fun start ->
+          Array.blit data start t.view 0 t.row_len;
+          f t.view)
+        offsets

@@ -1,0 +1,15 @@
+(** Hash table of fixed-stride integer rows keyed by integer tuples — the
+    build side of HASH-JOIN. *)
+
+type t
+
+val create : key_len:int -> row_len:int -> t
+
+(** [add t key row] stores a copy of [row] under a copy of [key]. *)
+val add : t -> int array -> int array -> unit
+
+val size : t -> int
+
+(** [iter_matches t key f] applies [f row] to every stored row whose key
+    equals [key]; [row] is a view that must not be retained across calls. *)
+val iter_matches : t -> int array -> (int array -> unit) -> unit

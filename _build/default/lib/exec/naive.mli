@@ -1,0 +1,13 @@
+(** Reference matcher: straightforward backtracking over query vertices.
+
+    Exponentially slower than the operator pipeline but obviously correct;
+    the test suite checks every plan's output against it. [distinct]
+    selects injective matches (subgraph isomorphism) instead of
+    homomorphisms. *)
+
+(** [count g q] is the number of matches of query [q] in [g]. *)
+val count : ?distinct:bool -> Gf_graph.Graph.t -> Gf_query.Query.t -> int
+
+(** [collect g q] lists all matches; tuple column [i] is the data vertex
+    bound to query vertex [i]. *)
+val collect : ?distinct:bool -> Gf_graph.Graph.t -> Gf_query.Query.t -> int array list

@@ -1,0 +1,62 @@
+module Graph = Gf_graph.Graph
+module Plan = Gf_plan.Plan
+
+type report = { counters : Counters.t; per_domain_output : int array }
+
+(* The SCAN that streams tuples into the root pipeline: probe side of joins,
+   child of extends. *)
+let rec driving_scan = function
+  | Plan.Scan _ as s -> s
+  | Plan.Extend { child; _ } -> driving_scan child
+  | Plan.Hash_join { probe; _ } -> driving_scan probe
+
+let run ?(domains = 1) ?(cache = true) ?(chunk = 64) g plan =
+  let driver_node = driving_scan plan in
+  let num_sources =
+    match driver_node with
+    | Plan.Scan { slabel; _ } -> Array.length (Graph.vertices_with_label g slabel)
+    | _ -> assert false
+  in
+  let next = Atomic.make 0 in
+  let worker () =
+    let c = Counters.create () in
+    let env = { Exec.g; cache; distinct = false; leapfrog = false; c } in
+    (* Replace (physically) the driving scan with a chunk-pulling scan. *)
+    let rewrite _recurse (env : Exec.env) node =
+      match node with
+      | Plan.Scan { edge; slabel; dlabel; _ } when node == driver_node ->
+          let buf = Array.make 2 0 in
+          Some
+            (fun sink ->
+              let continue = ref true in
+              while !continue do
+                let lo = Atomic.fetch_and_add next chunk in
+                if lo >= num_sources then continue := false
+                else begin
+                  let hi = min num_sources (lo + chunk) in
+                  Graph.iter_edges_range env.Exec.g ~elabel:edge.Gf_query.Query.label ~slabel
+                    ~dlabel ~lo ~hi (fun u v ->
+                      buf.(0) <- u;
+                      buf.(1) <- v;
+                      env.Exec.c.Counters.produced <- env.Exec.c.Counters.produced + 1;
+                      sink buf)
+                end
+              done)
+      | _ -> None
+    in
+    let driver = Exec.compile_rw rewrite env plan in
+    driver (fun _ -> c.Counters.output <- c.Counters.output + 1);
+    c
+  in
+  if domains <= 1 then begin
+    let c = worker () in
+    { counters = c; per_domain_output = [| c.Counters.output |] }
+  end
+  else begin
+    let handles = Array.init domains (fun _ -> Domain.spawn worker) in
+    let results = Array.map Domain.join handles in
+    {
+      counters = Counters.merge (Array.to_list results);
+      per_domain_output = Array.map (fun c -> c.Counters.output) results;
+    }
+  end

@@ -1,0 +1,20 @@
+(** Work-stealing parallel execution (Section 7).
+
+    Every domain ("worker" in the paper) gets its own copy of the compiled
+    plan and pulls ranges of the driving SCAN's source vertices from a
+    shared queue, performing E/I extensions without coordination. The
+    driving SCAN is found by following probe/child edges from the root: in
+    a WCO plan it is the plan's only SCAN; in a hybrid plan each domain
+    additionally builds its own copy of the hash tables (the paper instead
+    shares a partitioned table — with [d >> w] partitions and locks — which
+    matters only for build-heavy plans; Figure 11's queries are WCO).
+
+    The graph is immutable and shared. Counters are per-domain and merged. *)
+
+type report = {
+  counters : Counters.t;
+  per_domain_output : int array;  (** work division across domains *)
+}
+
+(** [run ~domains g plan] executes with that many domains. *)
+val run : ?domains:int -> ?cache:bool -> ?chunk:int -> Gf_graph.Graph.t -> Gf_plan.Plan.t -> report

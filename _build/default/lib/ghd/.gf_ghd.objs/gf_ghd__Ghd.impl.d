@@ -1,0 +1,1 @@
+lib/ghd/ghd.ml: Array Float Format Gf_lp Gf_opt Gf_plan Gf_query Gf_util List Printf String

@@ -1,0 +1,1 @@
+lib/ghd/ghd.mli: Format Gf_catalog Gf_plan Gf_query Gf_util

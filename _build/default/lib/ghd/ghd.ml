@@ -1,0 +1,229 @@
+module Bitset = Gf_util.Bitset
+module Query = Gf_query.Query
+module Plan = Gf_plan.Plan
+module Planner = Gf_opt.Planner
+module Edge_cover = Gf_lp.Edge_cover
+
+type decomposition = {
+  bags : Bitset.t array;
+  tree : (int * int) list;
+  width : float;
+}
+
+type ordering_mode = Lexicographic | Best_estimated | Worst_estimated
+
+let edges_covered q bags =
+  Array.for_all
+    (fun (e : Query.edge) ->
+      List.exists (fun b -> Bitset.mem e.src b && Bitset.mem e.dst b) (Array.to_list bags))
+    q.Query.edges
+
+(* Running intersection for a given tree: for every vertex, the bags that
+   contain it must form a connected subtree. *)
+let running_intersection bags tree =
+  let nb = Array.length bags in
+  let adj = Array.make nb [] in
+  List.iter
+    (fun (i, j) ->
+      adj.(i) <- j :: adj.(i);
+      adj.(j) <- i :: adj.(j))
+    tree;
+  let all_vertices = Array.fold_left Bitset.union Bitset.empty bags in
+  let ok = ref true in
+  Bitset.iter
+    (fun v ->
+      let holders = List.filter (fun i -> Bitset.mem v bags.(i)) (List.init nb (fun i -> i)) in
+      match holders with
+      | [] | [ _ ] -> ()
+      | start :: _ ->
+          (* BFS within holder bags only. *)
+          let visited = Array.make nb false in
+          let rec bfs frontier =
+            match frontier with
+            | [] -> ()
+            | i :: rest ->
+                let next =
+                  List.filter
+                    (fun j -> Bitset.mem v bags.(j) && not visited.(j))
+                    adj.(i)
+                in
+                List.iter (fun j -> visited.(j) <- true) next;
+                bfs (rest @ next)
+          in
+          visited.(start) <- true;
+          bfs [ start ];
+          List.iter (fun i -> if not visited.(i) then ok := false) holders)
+    all_vertices;
+  !ok
+
+let decompositions q =
+  let m = Query.num_vertices q in
+  let full = Bitset.full m in
+  let connected =
+    List.filter
+      (fun s -> Bitset.cardinal s >= 2 && Query.is_connected_subset q s)
+      (List.init (full + 1) (fun s -> s))
+  in
+  let width bags =
+    Array.fold_left (fun w b -> Float.max w (Edge_cover.fractional_cover_subset q b)) 0.0 bags
+  in
+  let acc = ref [] in
+  (* 1 bag. *)
+  acc := [ { bags = [| full |]; tree = []; width = width [| full |] } ];
+  (* Acyclic queries: the width-1 join tree whose bags are the query edges
+     (needs as many bags as edges, so it is added explicitly rather than
+     through the bounded-bag enumeration below). *)
+  let acyclic = Array.length q.Query.edges = m - 1 in
+  if acyclic && m > 2 then begin
+    let bags =
+      Array.map (fun (e : Query.edge) -> Bitset.of_list [ e.src; e.dst ]) q.Query.edges
+    in
+    let nb = Array.length bags in
+    (* Spanning tree of the bag-overlap graph: attach each bag to the first
+       earlier bag sharing a vertex (exists since q is connected). *)
+    let tree = ref [] in
+    for i = 1 to nb - 1 do
+      let j = ref (-1) in
+      for k = 0 to i - 1 do
+        if !j < 0 && Bitset.inter bags.(i) bags.(k) <> Bitset.empty then j := k
+      done;
+      if !j >= 0 then tree := (!j, i) :: !tree
+    done;
+    if List.length !tree = nb - 1 && running_intersection bags !tree then
+      acc := { bags; tree = !tree; width = 1.0 } :: !acc
+  end;
+  (* 2 bags. *)
+  List.iter
+    (fun b1 ->
+      List.iter
+        (fun b2 ->
+          if
+            b1 < b2
+            && Bitset.union b1 b2 = full
+            && Bitset.inter b1 b2 <> Bitset.empty
+            && (not (Bitset.subset b1 b2))
+            && (not (Bitset.subset b2 b1))
+            && edges_covered q [| b1; b2 |]
+          then
+            acc := { bags = [| b1; b2 |]; tree = [ (0, 1) ]; width = width [| b1; b2 |] } :: !acc)
+        connected)
+    connected;
+  (* 3 bags, star trees (which include paths: a path is a star whose center
+     is the middle bag). *)
+  let carr = Array.of_list connected in
+  let nc = Array.length carr in
+  for i = 0 to nc - 1 do
+    for j = i + 1 to nc - 1 do
+      for k = j + 1 to nc - 1 do
+        let b1 = carr.(i) and b2 = carr.(j) and b3 = carr.(k) in
+        if
+          Bitset.union (Bitset.union b1 b2) b3 = full
+          && edges_covered q [| b1; b2; b3 |]
+          && (not (Bitset.subset b1 b2))
+          && (not (Bitset.subset b2 b1))
+          && (not (Bitset.subset b1 b3))
+          && (not (Bitset.subset b3 b1))
+          && (not (Bitset.subset b2 b3))
+          && (not (Bitset.subset b3 b2))
+        then begin
+          let bags = [| b1; b2; b3 |] in
+          (* Try each bag as the center of a star tree. *)
+          let rec try_center c =
+            if c >= 3 then ()
+            else begin
+              let others = List.filter (fun x -> x <> c) [ 0; 1; 2 ] in
+              let tree = List.map (fun o -> (c, o)) others in
+              let overlaps =
+                List.for_all (fun o -> Bitset.inter bags.(c) bags.(o) <> Bitset.empty) others
+              in
+              if overlaps && running_intersection bags tree then
+                acc := { bags; tree; width = width bags } :: !acc
+              else try_center (c + 1)
+            end
+          in
+          try_center 0
+        end
+      done
+    done
+  done;
+  List.sort
+    (fun a b ->
+      let wa = (a.width, Array.length a.bags, Array.fold_left (fun s x -> s + Bitset.cardinal x) 0 a.bags) in
+      let wb = (b.width, Array.length b.bags, Array.fold_left (fun s x -> s + Bitset.cardinal x) 0 b.bags) in
+      compare wa wb)
+    !acc
+
+let min_width_decomposition q =
+  match decompositions q with
+  | [] -> invalid_arg "Ghd: no decomposition"
+  | d :: _ -> d
+
+let bag_orders q d =
+  Array.map
+    (fun bag ->
+      let sub, map = Query.induced q bag in
+      Query.connected_orders sub |> List.map (fun o -> Array.map (fun i -> map.(i)) o))
+    d.bags
+
+let plan_with_orders q d orders =
+  let nb = Array.length d.bags in
+  if Array.length orders <> nb then invalid_arg "Ghd.plan_with_orders: arity";
+  let bag_plan i = Plan.wco q orders.(i) in
+  if nb = 1 then bag_plan 0
+  else begin
+    (* Join along the tree, starting from bag 0, always attaching a bag
+       adjacent (in the tree) to the already-joined set. *)
+    let joined = ref [ 0 ] in
+    let plan = ref (bag_plan 0) in
+    let remaining = ref (List.init (nb - 1) (fun i -> i + 1)) in
+    while !remaining <> [] do
+      let next =
+        List.find
+          (fun r ->
+            List.exists
+              (fun (a, b) -> (a = r && List.mem b !joined) || (b = r && List.mem a !joined))
+              d.tree)
+          !remaining
+      in
+      plan := Plan.hash_join q (bag_plan next) !plan;
+      joined := next :: !joined;
+      remaining := List.filter (( <> ) next) !remaining
+    done;
+    !plan
+  end
+
+let to_plan cat q d mode =
+  let all = bag_orders q d in
+  let orders =
+    Array.map
+      (fun candidates ->
+        match candidates with
+        | [] -> invalid_arg "Ghd.to_plan: empty bag"
+        | _ -> (
+            match mode with
+            | Lexicographic ->
+                List.fold_left
+                  (fun best o -> if compare o best < 0 then o else best)
+                  (List.hd candidates) candidates
+            | Best_estimated | Worst_estimated ->
+                let ranked =
+                  List.map (fun o -> (o, Planner.wco_order_cost cat q o)) candidates
+                in
+                let pick cmp =
+                  List.fold_left
+                    (fun (bo, bc) (o, c) -> if cmp c bc then (o, c) else (bo, bc))
+                    (List.hd ranked) (List.tl ranked)
+                in
+                fst (pick (if mode = Best_estimated then ( < ) else ( > )))))
+      all
+  in
+  plan_with_orders q d orders
+
+let pp_decomposition fmt d =
+  Format.fprintf fmt "width=%.2f bags=[%s] tree=[%s]" d.width
+    (String.concat "; "
+       (Array.to_list d.bags
+       |> List.map (fun b ->
+              String.concat ","
+                (List.map (fun v -> Printf.sprintf "a%d" (v + 1)) (Bitset.elements b)))))
+    (String.concat "; " (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) d.tree))

@@ -1,0 +1,53 @@
+(** EmptyHeaded emulation (Sections 1.1, 8.4 and Appendix A).
+
+    EmptyHeaded plans are generalized hypertree decompositions: each bag is
+    evaluated with Generic Join and materialized, then bags are joined up
+    the tree with binary joins. The planner picks a minimum-width GHD, where
+    a bag's width is its fractional edge cover number (its AGM exponent).
+    EmptyHeaded does not optimize the query vertex orderings inside bags —
+    it uses the lexicographic order of the user's variable names — which is
+    the paper's EH-b ("bad") configuration; EH-g ("good") receives the
+    orderings Graphflow's optimizer picks.
+
+    Following Appendix A, only decompositions whose bags are *induced*
+    sub-queries (the projection constraint) are enumerated; the paper
+    verified EmptyHeaded's actual picks satisfy this for every benchmark
+    query. Decompositions of up to 3 bags are considered, which covers every
+    minimum-width decomposition of the <= 7-vertex benchmark queries. *)
+
+type decomposition = {
+  bags : Gf_util.Bitset.t array;
+  tree : (int * int) list;  (** tree edges between bag indices *)
+  width : float;
+}
+
+(** [decompositions q] enumerates valid decompositions (connected bags,
+    every query edge inside a bag, running intersection property, no bag
+    contained in another), minimum width first. *)
+val decompositions : Gf_query.Query.t -> decomposition list
+
+(** [min_width_decomposition q] is the first minimum-width decomposition
+    (ties: fewest bags, then smallest total bag size). *)
+val min_width_decomposition : Gf_query.Query.t -> decomposition
+
+(** How to order query vertices inside each bag. *)
+type ordering_mode =
+  | Lexicographic  (** EmptyHeaded's default: variable-name order (EH-b uses the worst rewrite) *)
+  | Best_estimated  (** Graphflow's orderings (EH-g) *)
+  | Worst_estimated  (** adversarial rewrite: worst estimated orderings *)
+
+(** [to_plan cat q d mode] builds the operator plan: per-bag WCO plans
+    joined along the tree. *)
+val to_plan :
+  Gf_catalog.Catalog.t -> Gf_query.Query.t -> decomposition -> ordering_mode -> Gf_plan.Plan.t
+
+(** [bag_orders q d] lists, per bag, every valid ordering — the axis of the
+    EH spectra of Figure 9. *)
+val bag_orders : Gf_query.Query.t -> decomposition -> int array list array
+
+(** [plan_with_orders q d orders] builds the plan using the given per-bag
+    orderings. *)
+val plan_with_orders :
+  Gf_query.Query.t -> decomposition -> int array array -> Gf_plan.Plan.t
+
+val pp_decomposition : Format.formatter -> decomposition -> unit

@@ -1,0 +1,1 @@
+lib/graph/generators.ml: Array Gf_util Graph Hashtbl List

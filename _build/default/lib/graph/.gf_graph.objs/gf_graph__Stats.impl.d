@@ -1,0 +1,1 @@
+lib/graph/stats.ml: Array Format Gf_util Graph Hashtbl List

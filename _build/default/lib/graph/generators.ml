@@ -1,0 +1,150 @@
+module Rng = Gf_util.Rng
+
+let unlabeled_vlabel n = Array.make n 0
+
+let erdos_renyi rng ~n ~m =
+  let seen = Hashtbl.create (2 * m) in
+  let edges = ref [] in
+  let count = ref 0 in
+  while !count < m do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then begin
+      let key = (u * n) + v in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        edges := (u, v, 0) :: !edges;
+        incr count
+      end
+    end
+  done;
+  Graph.build ~num_vlabels:1 ~num_elabels:1 ~vlabel:(unlabeled_vlabel n)
+    ~edges:(Array.of_list !edges)
+
+(* Shared preferential-attachment engine. [triad u] optionally proposes a
+   neighbour of the previous target to close a triangle. [max_out] bounds
+   every vertex's out-degree: reciprocated edges otherwise turn in-degree
+   hubs into out-degree hubs, which real co-purchase/web graphs do not have
+   (e.g. SNAP Amazon caps out-degree at 10) and which make star-shaped
+   query outputs astronomically large. *)
+let preferential rng ~n ~m_per ~p_triad ~recip ?max_out () =
+  let edges = ref [] in
+  let out_deg = Array.make n 0 in
+  let cap = match max_out with Some c -> c | None -> max_int in
+  let add u v =
+    if u <> v && out_deg.(u) < cap then begin
+      edges := (u, v, 0) :: !edges;
+      out_deg.(u) <- out_deg.(u) + 1;
+      if Rng.float rng 1.0 < recip && out_deg.(v) < cap then begin
+        edges := (v, u, 0) :: !edges;
+        out_deg.(v) <- out_deg.(v) + 1
+      end
+    end
+  in
+  (* Pool of targets, each vertex repeated (in-degree + 1) times. *)
+  let pool = Gf_util.Int_vec.create ~capacity:(4 * n * m_per) () in
+  (* Out-neighbour lists kept for triad formation. *)
+  let outs = Array.make n [] in
+  let seed_size = max 2 (min n (m_per + 1)) in
+  for v = 0 to seed_size - 1 do
+    Gf_util.Int_vec.push pool v;
+    if v > 0 then begin
+      add v (v - 1);
+      outs.(v) <- (v - 1) :: outs.(v);
+      Gf_util.Int_vec.push pool (v - 1)
+    end
+  done;
+  for v = seed_size to n - 1 do
+    let last_target = ref (-1) in
+    for _ = 1 to m_per do
+      let target =
+        if
+          !last_target >= 0
+          && outs.(!last_target) <> []
+          && Rng.float rng 1.0 < p_triad
+        then begin
+          (* Triad formation: attach to a neighbour of the previous target. *)
+          let nbrs = outs.(!last_target) in
+          List.nth nbrs (Rng.int rng (List.length nbrs))
+        end
+        else Gf_util.Int_vec.get pool (Rng.int rng (Gf_util.Int_vec.length pool))
+      in
+      if target <> v then begin
+        add v target;
+        outs.(v) <- target :: outs.(v);
+        Gf_util.Int_vec.push pool target;
+        last_target := target
+      end
+    done;
+    Gf_util.Int_vec.push pool v
+  done;
+  Graph.build ~num_vlabels:1 ~num_elabels:1 ~vlabel:(unlabeled_vlabel n)
+    ~edges:(Array.of_list !edges)
+
+let barabasi_albert rng ~n ~m_per ~recip =
+  preferential rng ~n ~m_per ~p_triad:0.0 ~recip ()
+
+let holme_kim ?max_out rng ~n ~m_per ~p_triad ~recip =
+  preferential rng ~n ~m_per ~p_triad ~recip ?max_out ()
+
+let plant_cliques rng g ~count ~size =
+  let n = Graph.num_vertices g in
+  let extra = ref [] in
+  for _ = 1 to count do
+    let members = Rng.sample_without_replacement rng ~n ~k:(min size n) in
+    let k = Array.length members in
+    for i = 0 to k - 1 do
+      for j = i + 1 to k - 1 do
+        extra := (members.(i), members.(j), 0) :: !extra
+      done
+    done
+  done;
+  Graph.build ~num_vlabels:(Graph.num_vlabels g) ~num_elabels:(Graph.num_elabels g)
+    ~vlabel:(Array.init n (Graph.vlabel g))
+    ~edges:(Array.append (Graph.edge_array g) (Array.of_list !extra))
+
+type dataset_name = Amazon | Epinions | Google | Berkstan | Livejournal | Twitter | Human
+
+let dataset_name_to_string = function
+  | Amazon -> "amazon"
+  | Epinions -> "epinions"
+  | Google -> "google"
+  | Berkstan -> "berkstan"
+  | Livejournal -> "livejournal"
+  | Twitter -> "twitter"
+  | Human -> "human"
+
+let all_dataset_names = [ Amazon; Epinions; Google; Berkstan; Livejournal; Twitter; Human ]
+
+let dataset_name_of_string s =
+  List.find_opt (fun d -> dataset_name_to_string d = s) all_dataset_names
+
+let scaled scale n = max 64 (int_of_float (float_of_int n *. scale))
+
+let dataset ?(scale = 1.0) name =
+  let s = scaled scale in
+  match name with
+  | Amazon ->
+      (* Product co-purchasing: moderate size, high clustering, small
+         bounded out-degree (SNAP Amazon caps it at 10). *)
+      holme_kim ~max_out:10 (Rng.create 101) ~n:(s 18_000) ~m_per:5 ~p_triad:0.5 ~recip:0.30
+  | Epinions ->
+      (* Who-trusts-whom social: smaller, skewed, some clustering. *)
+      holme_kim (Rng.create 102) ~n:(s 8_000) ~m_per:7 ~p_triad:0.25 ~recip:0.25
+  | Google ->
+      (* Web: skewed in-degree, low reciprocity, plus a sprinkling of dense
+         subgraphs (link farms) so large clique queries are satisfiable. *)
+      let base = barabasi_albert (Rng.create 103) ~n:(s 22_000) ~m_per:6 ~recip:0.05 in
+      plant_cliques (Rng.create 113) base
+        ~count:(max 2 (s 22_000 / 900))
+        ~size:9
+  | Berkstan ->
+      (* Web, heavier skew: larger m_per concentrates backward lists. *)
+      barabasi_albert (Rng.create 104) ~n:(s 10_000) ~m_per:11 ~recip:0.02
+  | Livejournal ->
+      holme_kim (Rng.create 105) ~n:(s 50_000) ~m_per:9 ~p_triad:0.20 ~recip:0.40
+  | Twitter -> barabasi_albert (Rng.create 106) ~n:(s 70_000) ~m_per:11 ~recip:0.10
+  | Human ->
+      (* Dense labeled graph standing in for the CFL paper's human PPI
+         dataset: 4,674 vertices, ~86k edges, 44 vertex labels. *)
+      let g = erdos_renyi (Rng.create 107) ~n:(s 4_674) ~m:(s 86_282) in
+      Graph.relabel g (Rng.create 108) ~num_vlabels:44 ~num_elabels:1

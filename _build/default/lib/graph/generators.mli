@@ -1,0 +1,51 @@
+(** Synthetic graph generators.
+
+    The paper evaluates on SNAP datasets whose relevant differences are
+    structural: degree skew (and its asymmetry between forward and backward
+    lists), clustering coefficient (cyclicity), and size. These generators
+    expose exactly those knobs; [dataset] instantiates named analogues of the
+    paper's six graphs at container-friendly scale. All generators are
+    deterministic given the [Rng.t]. *)
+
+(** [erdos_renyi rng ~n ~m] draws [m] distinct directed edges uniformly. *)
+val erdos_renyi : Gf_util.Rng.t -> n:int -> m:int -> Graph.t
+
+(** [barabasi_albert rng ~n ~m_per ~recip] grows a preferential-attachment
+    digraph: each new vertex emits [m_per] out-edges to targets chosen
+    proportionally to in-degree (+1), giving web-like skewed *backward*
+    lists and near-uniform forward lists. Each edge is reciprocated with
+    probability [recip]. *)
+val barabasi_albert : Gf_util.Rng.t -> n:int -> m_per:int -> recip:float -> Graph.t
+
+(** [holme_kim rng ~n ~m_per ~p_triad ~recip] is Barabasi-Albert with triad
+    formation: after each preferential edge, with probability [p_triad] the
+    next edge closes a triangle through the previous target. High [p_triad]
+    yields the high clustering coefficients of co-purchase/social graphs. *)
+val holme_kim :
+  ?max_out:int ->
+  Gf_util.Rng.t ->
+  n:int ->
+  m_per:int ->
+  p_triad:float ->
+  recip:float ->
+  Graph.t
+
+(** [plant_cliques rng g ~count ~size] returns [g] plus [count] embedded
+    cliques of [size] random vertices each (acyclic orientation). Real web
+    graphs contain such dense subgraphs (link farms, boilerplate navigation),
+    which is what makes the paper's 7-clique query Q14 satisfiable on
+    Google; pure preferential-attachment graphs have none. *)
+val plant_cliques : Gf_util.Rng.t -> Graph.t -> count:int -> size:int -> Graph.t
+
+type dataset_name = Amazon | Epinions | Google | Berkstan | Livejournal | Twitter | Human
+
+val dataset_name_of_string : string -> dataset_name option
+val dataset_name_to_string : dataset_name -> string
+val all_dataset_names : dataset_name list
+
+(** [dataset ?scale name] builds the named analogue with a fixed seed.
+    [scale] multiplies the vertex count (default 1.0 = the scaled-down
+    defaults documented in DESIGN.md). [Human] is the 44-label dense graph
+    used by the CFL comparison; the others are unlabeled (1 vertex label,
+    1 edge label) like the paper's defaults. *)
+val dataset : ?scale:float -> dataset_name -> Graph.t

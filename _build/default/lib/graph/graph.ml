@@ -1,0 +1,203 @@
+type direction = Fwd | Bwd
+
+type side = {
+  nbr : int array;
+  (* Partition offsets: slot (v, el, nl) at index (v * ne + el) * nv + nl.
+     Length n * ne * nv + 1. Neighbour ids are sorted within a partition. *)
+  off : int array;
+}
+
+type t = {
+  n : int;
+  m : int;
+  nv : int;
+  ne : int;
+  vlabel : int array;
+  fwd : side;
+  bwd : side;
+  by_label : int array array; (* vertices grouped by label, ascending *)
+}
+
+let num_vertices g = g.n
+let num_edges g = g.m
+let num_vlabels g = g.nv
+let num_elabels g = g.ne
+let vlabel g v = g.vlabel.(v)
+
+let slot g v el nl = ((v * g.ne) + el) * g.nv + nl
+
+let build_side ~n ~nv ~ne ~vlabel ~sources ~targets ~elabels =
+  let m = Array.length sources in
+  let nslots = (n * ne * nv) + 1 in
+  let off = Array.make nslots 0 in
+  let slot v el nl = ((v * ne) + el) * nv + nl in
+  for e = 0 to m - 1 do
+    let s = slot sources.(e) elabels.(e) vlabel.(targets.(e)) in
+    off.(s + 1) <- off.(s + 1) + 1
+  done;
+  for i = 1 to nslots - 1 do
+    off.(i) <- off.(i) + off.(i - 1)
+  done;
+  let cursor = Array.copy off in
+  let nbr = Array.make m 0 in
+  for e = 0 to m - 1 do
+    let s = slot sources.(e) elabels.(e) vlabel.(targets.(e)) in
+    nbr.(cursor.(s)) <- targets.(e);
+    cursor.(s) <- cursor.(s) + 1
+  done;
+  (* Sort each partition by neighbour id. *)
+  for s = 0 to nslots - 2 do
+    let lo = off.(s) and hi = off.(s + 1) in
+    if hi - lo > 1 then begin
+      let part = Array.sub nbr lo (hi - lo) in
+      Array.sort compare part;
+      Array.blit part 0 nbr lo (hi - lo)
+    end
+  done;
+  { nbr; off }
+
+let build ~num_vlabels ~num_elabels ~vlabel ~edges =
+  let n = Array.length vlabel in
+  Array.iter
+    (fun l ->
+      if l < 0 || l >= num_vlabels then invalid_arg "Graph.build: vertex label out of range")
+    vlabel;
+  (* Drop self-loops and duplicates. *)
+  let seen = Hashtbl.create (2 * Array.length edges) in
+  let keep = ref [] in
+  let count = ref 0 in
+  Array.iter
+    (fun ((u, v, el) as e) ->
+      if u <> v then begin
+        if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Graph.build: vertex out of range";
+        if el < 0 || el >= num_elabels then invalid_arg "Graph.build: edge label out of range";
+        let key = ((u * n) + v) * num_elabels + el in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.replace seen key ();
+          keep := e :: !keep;
+          incr count
+        end
+      end)
+    edges;
+  let m = !count in
+  let srcs = Array.make m 0 and dsts = Array.make m 0 and els = Array.make m 0 in
+  List.iteri
+    (fun i (u, v, el) ->
+      srcs.(i) <- u;
+      dsts.(i) <- v;
+      els.(i) <- el)
+    !keep;
+  let fwd =
+    build_side ~n ~nv:num_vlabels ~ne:num_elabels ~vlabel ~sources:srcs ~targets:dsts
+      ~elabels:els
+  in
+  let bwd =
+    build_side ~n ~nv:num_vlabels ~ne:num_elabels ~vlabel ~sources:dsts ~targets:srcs
+      ~elabels:els
+  in
+  let by_label = Array.make num_vlabels [] in
+  for v = n - 1 downto 0 do
+    by_label.(vlabel.(v)) <- v :: by_label.(vlabel.(v))
+  done;
+  {
+    n;
+    m;
+    nv = num_vlabels;
+    ne = num_elabels;
+    vlabel = Array.copy vlabel;
+    fwd;
+    bwd;
+    by_label = Array.map Array.of_list by_label;
+  }
+
+let side g = function Fwd -> g.fwd | Bwd -> g.bwd
+
+let neighbours g dir v ~elabel ~nlabel : Gf_util.Sorted.slice =
+  let s = side g dir in
+  let i = slot g v elabel nlabel in
+  (s.nbr, s.off.(i), s.off.(i + 1))
+
+let neighbours_any_nlabel g dir v ~elabel : Gf_util.Sorted.slice =
+  let s = side g dir in
+  let i0 = slot g v elabel 0 in
+  (s.nbr, s.off.(i0), s.off.(i0 + g.nv))
+
+let degree g dir v =
+  let s = side g dir in
+  let lo = slot g v 0 0 in
+  s.off.(lo + (g.ne * g.nv)) - s.off.(lo)
+
+let partition_size g dir v ~elabel ~nlabel =
+  let s = side g dir in
+  let i = slot g v elabel nlabel in
+  s.off.(i + 1) - s.off.(i)
+
+let has_edge g u v ~elabel =
+  let arr, lo, hi = neighbours g Fwd u ~elabel ~nlabel:g.vlabel.(v) in
+  Gf_util.Sorted.member arr lo hi v
+
+let vertices_with_label g l = g.by_label.(l)
+
+let iter_edges_range g ~elabel ~slabel ~dlabel ~lo ~hi f =
+  let vs = g.by_label.(slabel) in
+  for i = lo to hi - 1 do
+    let u = vs.(i) in
+    let arr, plo, phi = neighbours g Fwd u ~elabel ~nlabel:dlabel in
+    for j = plo to phi - 1 do
+      f u (Array.unsafe_get arr j)
+    done
+  done
+
+let iter_edges g ~elabel ~slabel ~dlabel f =
+  iter_edges_range g ~elabel ~slabel ~dlabel ~lo:0 ~hi:(Array.length g.by_label.(slabel)) f
+
+let count_edges g ~elabel ~slabel ~dlabel =
+  let vs = g.by_label.(slabel) in
+  let total = ref 0 in
+  Array.iter (fun u -> total := !total + partition_size g Fwd u ~elabel ~nlabel:dlabel) vs;
+  !total
+
+let sample_edge g rng ~elabel ~slabel ~dlabel =
+  let total = count_edges g ~elabel ~slabel ~dlabel in
+  if total = 0 then None
+  else begin
+    let k = ref (Gf_util.Rng.int rng total) in
+    let vs = g.by_label.(slabel) in
+    let result = ref None in
+    (try
+       Array.iter
+         (fun u ->
+           let sz = partition_size g Fwd u ~elabel ~nlabel:dlabel in
+           if !k < sz then begin
+             let arr, lo, _ = neighbours g Fwd u ~elabel ~nlabel:dlabel in
+             result := Some (u, arr.(lo + !k));
+             raise Exit
+           end
+           else k := !k - sz)
+         vs
+     with Exit -> ());
+    !result
+  end
+
+let edge_array g =
+  let out = Array.make g.m (0, 0, 0) in
+  let i = ref 0 in
+  for v = 0 to g.n - 1 do
+    for el = 0 to g.ne - 1 do
+      for nl = 0 to g.nv - 1 do
+        let arr, lo, hi = neighbours g Fwd v ~elabel:el ~nlabel:nl in
+        for j = lo to hi - 1 do
+          out.(!i) <- (v, arr.(j), el);
+          incr i
+        done
+      done
+    done
+  done;
+  out
+
+let relabel g rng ~num_vlabels ~num_elabels =
+  let vlabel = Array.init g.n (fun _ -> Gf_util.Rng.int rng num_vlabels) in
+  let edges =
+    Array.map (fun (u, v, _) -> (u, v, Gf_util.Rng.int rng num_elabels)) (edge_array g)
+  in
+  build ~num_vlabels ~num_elabels ~vlabel ~edges

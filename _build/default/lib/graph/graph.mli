@@ -1,0 +1,85 @@
+(** In-memory directed labeled graph with label-partitioned sorted adjacency
+    lists — the storage layer of Section 2 of the paper.
+
+    Both forward and backward adjacency lists are indexed. Each vertex's list
+    is partitioned first by edge label and then by the label of the neighbour
+    vertex; within a partition, neighbours are sorted by vertex id so that
+    multiway intersections run over sorted slices. Partition bounds are O(1)
+    lookups. *)
+
+type t
+
+type direction = Fwd | Bwd
+
+(** [build ~num_vlabels ~num_elabels ~vlabel ~edges] constructs the indexes
+    from an edge list [(src, dst, elabel)]. Self-loops and duplicate
+    [(src, dst, elabel)] triples are dropped. [vlabel.(v)] is the label of
+    vertex [v]; its length defines the number of vertices. *)
+val build :
+  num_vlabels:int ->
+  num_elabels:int ->
+  vlabel:int array ->
+  edges:(int * int * int) array ->
+  t
+
+val num_vertices : t -> int
+val num_edges : t -> int
+val num_vlabels : t -> int
+val num_elabels : t -> int
+val vlabel : t -> int -> int
+
+(** [neighbours g dir v ~elabel ~nlabel] is the sorted slice of [v]'s
+    neighbours along [dir] restricted to edge label [elabel] and neighbour
+    vertex label [nlabel]. *)
+val neighbours :
+  t -> direction -> int -> elabel:int -> nlabel:int -> Gf_util.Sorted.slice
+
+(** [neighbours_any_nlabel g dir v ~elabel] is the slice covering every
+    neighbour label for [elabel] (partitions for a given edge label are
+    contiguous; note ids are only sorted within one neighbour-label
+    partition). *)
+val neighbours_any_nlabel : t -> direction -> int -> elabel:int -> Gf_util.Sorted.slice
+
+(** [degree g dir v] is the total size of [v]'s adjacency list along [dir],
+    all partitions included. *)
+val degree : t -> direction -> int -> int
+
+(** [partition_size g dir v ~elabel ~nlabel] is the size of one partition. *)
+val partition_size : t -> direction -> int -> elabel:int -> nlabel:int -> int
+
+(** [has_edge g u v ~elabel] tests the presence of edge [u -> v] with the
+    given label (binary search). *)
+val has_edge : t -> int -> int -> elabel:int -> bool
+
+(** [vertices_with_label g l] is the ascending array of vertices labeled
+    [l]. *)
+val vertices_with_label : t -> int -> int array
+
+(** [iter_edges g ~elabel ~slabel ~dlabel f] calls [f u v] for every edge
+    [u -> v] with edge label [elabel], source label [slabel], destination
+    label [dlabel] — the SCAN operator's access path. *)
+val iter_edges : t -> elabel:int -> slabel:int -> dlabel:int -> (int -> int -> unit) -> unit
+
+(** [iter_edges_range] is [iter_edges] restricted to sources drawn from a
+    sub-range of the label's vertex array — the unit of parallel work
+    division. [lo] inclusive, [hi] exclusive, indices into
+    [vertices_with_label g slabel]. *)
+val iter_edges_range :
+  t -> elabel:int -> slabel:int -> dlabel:int -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+
+(** [count_edges g ~elabel ~slabel ~dlabel] is the number of edges the
+    corresponding SCAN would produce. *)
+val count_edges : t -> elabel:int -> slabel:int -> dlabel:int -> int
+
+(** [sample_edge g rng ~elabel ~slabel ~dlabel] draws a uniform random edge
+    matching the predicates, or [None] when none exists. *)
+val sample_edge :
+  t -> Gf_util.Rng.t -> elabel:int -> slabel:int -> dlabel:int -> (int * int) option
+
+(** [relabel g rng ~num_vlabels ~num_elabels] assigns uniform random vertex
+    and edge labels, as the paper does for its labeled-query experiments
+    (the Q^J_i notation). *)
+val relabel : t -> Gf_util.Rng.t -> num_vlabels:int -> num_elabels:int -> t
+
+(** [edge_array g] lists all edges as [(src, dst, elabel)] in index order. *)
+val edge_array : t -> (int * int * int) array

@@ -1,0 +1,46 @@
+let save g path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "graphflow v1\n";
+      Printf.fprintf oc "%d %d %d %d\n" (Graph.num_vertices g) (Graph.num_edges g)
+        (Graph.num_vlabels g) (Graph.num_elabels g);
+      for v = 0 to Graph.num_vertices g - 1 do
+        let l = Graph.vlabel g v in
+        if l <> 0 then Printf.fprintf oc "v %d %d\n" v l
+      done;
+      Array.iter
+        (fun (u, v, el) -> Printf.fprintf oc "e %d %d %d\n" u v el)
+        (Graph.edge_array g))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let fail msg = failwith (Printf.sprintf "Graph_io.load %s: %s" path msg) in
+      let header = try input_line ic with End_of_file -> fail "empty file" in
+      if header <> "graphflow v1" then fail "bad header";
+      let n, m, nv, ne =
+        match String.split_on_char ' ' (input_line ic) with
+        | [ a; b; c; d ] -> (int_of_string a, int_of_string b, int_of_string c, int_of_string d)
+        | _ -> fail "bad size line"
+      in
+      let vlabel = Array.make n 0 in
+      let edges = ref [] in
+      let count = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           if line <> "" then
+             match String.split_on_char ' ' line with
+             | [ "v"; id; l ] -> vlabel.(int_of_string id) <- int_of_string l
+             | [ "e"; u; v; el ] ->
+                 edges := (int_of_string u, int_of_string v, int_of_string el) :: !edges;
+                 incr count
+             | _ -> fail ("bad line: " ^ line)
+         done
+       with End_of_file -> ());
+      if !count <> m then fail (Printf.sprintf "expected %d edges, got %d" m !count);
+      Graph.build ~num_vlabels:nv ~num_elabels:ne ~vlabel ~edges:(Array.of_list !edges))

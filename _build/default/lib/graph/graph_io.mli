@@ -1,0 +1,16 @@
+(** Text serialization of graphs.
+
+    Format:
+    {v
+    graphflow v1
+    <num_vertices> <num_edges> <num_vlabels> <num_elabels>
+    v <id> <vlabel>        (one line per vertex with nonzero label)
+    e <src> <dst> <elabel> (one line per edge)
+    v}
+    Vertices absent from [v] lines have label 0. *)
+
+val save : Graph.t -> string -> unit
+
+(** [load path] parses a file written by [save]. Raises [Failure] with a
+    descriptive message on malformed input. *)
+val load : string -> Graph.t

@@ -1,0 +1,107 @@
+type summary = {
+  num_vertices : int;
+  num_edges : int;
+  avg_out_degree : float;
+  max_out_degree : int;
+  max_in_degree : int;
+  out_degree_cv : float;
+  in_degree_cv : float;
+  avg_clustering : float;
+}
+
+let degree_moments g dir =
+  let n = Graph.num_vertices g in
+  let sum = ref 0.0 and sumsq = ref 0.0 and maxd = ref 0 in
+  for v = 0 to n - 1 do
+    let d = Graph.degree g dir v in
+    sum := !sum +. float_of_int d;
+    sumsq := !sumsq +. (float_of_int d *. float_of_int d);
+    if d > !maxd then maxd := d
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  let cv = if mean > 0.0 then sqrt (max 0.0 var) /. mean else 0.0 in
+  (mean, cv, !maxd)
+
+(* Undirected local clustering of vertex v, treating every edge as
+   undirected: |edges among neighbours| / (d * (d-1)). *)
+let local_clustering g v =
+  let nbrs = Hashtbl.create 16 in
+  let add u = if u <> v then Hashtbl.replace nbrs u () in
+  let collect dir =
+    for el = 0 to Graph.num_elabels g - 1 do
+      let arr, lo, hi = Graph.neighbours_any_nlabel g dir v ~elabel:el in
+      for i = lo to hi - 1 do
+        add arr.(i)
+      done
+    done
+  in
+  collect Graph.Fwd;
+  collect Graph.Bwd;
+  let d = Hashtbl.length nbrs in
+  if d < 2 then 0.0
+  else begin
+    let links = ref 0 in
+    let connected a b =
+      let rec any el =
+        el < Graph.num_elabels g
+        && (Graph.has_edge g a b ~elabel:el || Graph.has_edge g b a ~elabel:el || any (el + 1))
+      in
+      any 0
+    in
+    let keys = Hashtbl.fold (fun k () acc -> k :: acc) nbrs [] in
+    let rec pairs = function
+      | [] -> ()
+      | x :: rest ->
+          List.iter (fun y -> if connected x y then incr links) rest;
+          pairs rest
+    in
+    pairs keys;
+    2.0 *. float_of_int !links /. (float_of_int d *. float_of_int (d - 1))
+  end
+
+let summarize ?(samples = 2000) g =
+  let n = Graph.num_vertices g in
+  let out_mean, out_cv, max_out = degree_moments g Graph.Fwd in
+  let _, in_cv, max_in = degree_moments g Graph.Bwd in
+  let rng = Gf_util.Rng.create 42 in
+  let k = min samples n in
+  let acc = ref 0.0 in
+  for _ = 1 to k do
+    acc := !acc +. local_clustering g (Gf_util.Rng.int rng n)
+  done;
+  {
+    num_vertices = n;
+    num_edges = Graph.num_edges g;
+    avg_out_degree = out_mean;
+    max_out_degree = max_out;
+    max_in_degree = max_in;
+    out_degree_cv = out_cv;
+    in_degree_cv = in_cv;
+    avg_clustering = (if k > 0 then !acc /. float_of_int k else 0.0);
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "n=%d m=%d avg_out=%.2f max_out=%d max_in=%d out_cv=%.2f in_cv=%.2f clustering=%.3f"
+    s.num_vertices s.num_edges s.avg_out_degree s.max_out_degree s.max_in_degree
+    s.out_degree_cv s.in_degree_cv s.avg_clustering
+
+let count_triangles_sampled g rng ~samples =
+  let m = Graph.num_edges g in
+  if m = 0 then 0.0
+  else begin
+    let total = ref 0 in
+    let drawn = ref 0 in
+    for _ = 1 to samples do
+      match Graph.sample_edge g rng ~elabel:0 ~slabel:0 ~dlabel:0 with
+      | None -> ()
+      | Some (u, v) ->
+          incr drawn;
+          let a, alo, ahi = Graph.neighbours g Graph.Fwd u ~elabel:0 ~nlabel:0 in
+          let b, blo, bhi = Graph.neighbours g Graph.Fwd v ~elabel:0 ~nlabel:0 in
+          total := !total + Gf_util.Sorted.count_intersect2 a alo ahi b blo bhi
+    done;
+    if !drawn = 0 then 0.0
+    else float_of_int !total /. float_of_int !drawn *. float_of_int m
+  end

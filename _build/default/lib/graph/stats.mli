@@ -1,0 +1,26 @@
+(** Structural statistics used to characterize datasets (Section 8.1.2 lists
+    size, adjacency-list skew, and clustering coefficient as the properties
+    that drive plan choice). *)
+
+type summary = {
+  num_vertices : int;
+  num_edges : int;
+  avg_out_degree : float;
+  max_out_degree : int;
+  max_in_degree : int;
+  (* Skew = coefficient of variation (stddev / mean) of the degree
+     distribution; the forward/backward contrast drives Table 4. *)
+  out_degree_cv : float;
+  in_degree_cv : float;
+  avg_clustering : float; (* sampled average local (undirected) clustering *)
+}
+
+(** [summarize ?samples g] computes a summary; clustering is estimated from
+    [samples] random vertices (default 2000). *)
+val summarize : ?samples:int -> Graph.t -> summary
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** [count_triangles_sampled g rng ~samples] estimates the number of directed
+    triangles [u -> v -> w, u -> w] from sampled edges. *)
+val count_triangles_sampled : Graph.t -> Gf_util.Rng.t -> samples:int -> float

@@ -1,0 +1,1 @@
+lib/lp/edge_cover.ml: Array Gf_query Gf_util Hashtbl List Simplex

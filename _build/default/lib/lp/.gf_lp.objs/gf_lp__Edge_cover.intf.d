@@ -1,0 +1,1 @@
+lib/lp/edge_cover.mli: Gf_query Gf_util

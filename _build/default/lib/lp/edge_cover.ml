@@ -1,0 +1,29 @@
+module Bitset = Gf_util.Bitset
+module Query = Gf_query.Query
+
+let fractional_cover_subset q s =
+  let vertices = Bitset.to_array s in
+  let edges = Query.edges_within q s in
+  if edges = [] && Array.length vertices > 1 then
+    invalid_arg "Edge_cover: no edges to cover with";
+  let ne = List.length edges in
+  if Array.length vertices = 0 then 0.0
+  else if ne = 0 then invalid_arg "Edge_cover: isolated vertex"
+  else begin
+    let vidx = Hashtbl.create 8 in
+    Array.iteri (fun i v -> Hashtbl.replace vidx v i) vertices;
+    let m = Array.length vertices in
+    let a = Array.make_matrix m ne 0.0 in
+    List.iteri
+      (fun j (e : Query.edge) ->
+        a.(Hashtbl.find vidx e.src).(j) <- 1.0;
+        a.(Hashtbl.find vidx e.dst).(j) <- 1.0)
+      edges;
+    let b = Array.make m 1.0 in
+    let c = Array.make ne 1.0 in
+    match Simplex.minimize ~c ~a ~b with
+    | Some (obj, _) -> obj
+    | None -> invalid_arg "Edge_cover: infeasible (isolated vertex)"
+  end
+
+let fractional_cover q = fractional_cover_subset q (Bitset.full (Query.num_vertices q))

@@ -1,0 +1,11 @@
+(** Fractional edge covers — the AGM exponents that define GHD widths. *)
+
+(** [fractional_cover q] is the minimum fractional edge cover number of the
+    query's underlying hypergraph (each edge covers its two endpoints):
+    1.5 for a triangle, k/2 for a k-clique, (k+1)/2 rounded suitably for odd
+    cycles, etc. Raises [Invalid_argument] when some vertex is isolated. *)
+val fractional_cover : Gf_query.Query.t -> float
+
+(** [fractional_cover_subset q s] covers only the vertices in [s] using only
+    the edges induced on [s]. *)
+val fractional_cover_subset : Gf_query.Query.t -> Gf_util.Bitset.t -> float

@@ -1,0 +1,137 @@
+(* Two-phase tableau simplex with Bland's rule (no cycling). The problem
+   min c.x, A x >= b, x >= 0 is rewritten with surplus variables s >= 0 as
+   A x - s = b and artificial variables r >= 0 (after flipping rows with
+   negative b): phase 1 minimizes sum(r); phase 2 minimizes c.x. *)
+
+let eps = 1e-9
+
+type tableau = {
+  t : float array array; (* m+1 rows, n+1 cols; last row = objective, last col = rhs *)
+  basis : int array; (* basic variable per row *)
+  m : int;
+  n : int;
+}
+
+let pivot tb ~row ~col =
+  let { t; m; n; basis } = tb in
+  let p = t.(row).(col) in
+  for j = 0 to n do
+    t.(row).(j) <- t.(row).(j) /. p
+  done;
+  for i = 0 to m do
+    if i <> row && Float.abs t.(i).(col) > eps then begin
+      let f = t.(i).(col) in
+      for j = 0 to n do
+        t.(i).(j) <- t.(i).(j) -. (f *. t.(row).(j))
+      done
+    end
+  done;
+  basis.(row) <- col
+
+(* Returns true at optimum, false if unbounded. [allowed] limits entering
+   columns (used to block artificials in phase 2). *)
+let rec iterate tb ~allowed =
+  let { t; m; n; _ } = tb in
+  (* Bland: smallest-index column with negative reduced cost. *)
+  let col = ref (-1) in
+  (try
+     for j = 0 to n - 1 do
+       if allowed j && t.(m).(j) < -.eps then begin
+         col := j;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if !col < 0 then true
+  else begin
+    let c = !col in
+    let row = ref (-1) in
+    let best = ref infinity in
+    for i = 0 to m - 1 do
+      if t.(i).(c) > eps then begin
+        let ratio = t.(i).(n) /. t.(i).(c) in
+        if
+          ratio < !best -. eps
+          || (ratio < !best +. eps && (!row < 0 || tb.basis.(i) < tb.basis.(!row)))
+        then begin
+          best := ratio;
+          row := i
+        end
+      end
+    done;
+    if !row < 0 then false
+    else begin
+      pivot tb ~row:!row ~col:c;
+      iterate tb ~allowed
+    end
+  end
+
+let minimize ~c ~a ~b =
+  let m = Array.length b in
+  let nx = Array.length c in
+  if m = 0 then Some (0.0, Array.make nx 0.0)
+  else begin
+    (* Columns: x (nx) | surplus (m) | artificial (m) | rhs. *)
+    let n = nx + m + m in
+    let t = Array.make_matrix (m + 1) (n + 1) 0.0 in
+    for i = 0 to m - 1 do
+      let flip = b.(i) < 0.0 in
+      let sgn = if flip then -1.0 else 1.0 in
+      for j = 0 to nx - 1 do
+        t.(i).(j) <- sgn *. a.(i).(j)
+      done;
+      t.(i).(nx + i) <- sgn *. -1.0;
+      t.(i).(nx + m + i) <- 1.0;
+      t.(i).(n) <- sgn *. b.(i)
+    done;
+    (* Phase-1 objective: sum of artificials, expressed over non-basic vars. *)
+    for j = 0 to n do
+      let s = ref 0.0 in
+      for i = 0 to m - 1 do
+        s := !s +. t.(i).(j)
+      done;
+      t.(m).(j) <- -. !s
+    done;
+    for i = 0 to m - 1 do
+      t.(m).(nx + m + i) <- 0.0
+    done;
+    let tb = { t; basis = Array.init m (fun i -> nx + m + i); m; n } in
+    if not (iterate tb ~allowed:(fun _ -> true)) then None
+    else if Float.abs t.(m).(n) > 1e-6 then None (* infeasible *)
+    else begin
+      (* Drive remaining artificials out of the basis where possible. *)
+      for i = 0 to m - 1 do
+        if tb.basis.(i) >= nx + m then begin
+          let found = ref (-1) in
+          for j = 0 to nx + m - 1 do
+            if !found < 0 && Float.abs t.(i).(j) > eps then found := j
+          done;
+          if !found >= 0 then pivot tb ~row:i ~col:!found
+        end
+      done;
+      (* Phase-2 objective. *)
+      for j = 0 to n do
+        t.(m).(j) <- (if j < nx then c.(j) else 0.0)
+      done;
+      (* Express objective over the current basis. *)
+      for i = 0 to m - 1 do
+        let bv = tb.basis.(i) in
+        if bv < nx && Float.abs t.(m).(bv) > eps then begin
+          let f = t.(m).(bv) in
+          for j = 0 to n do
+            t.(m).(j) <- t.(m).(j) -. (f *. t.(i).(j))
+          done
+        end
+      done;
+      let allowed j = j < nx + m in
+      if not (iterate tb ~allowed) then None
+      else begin
+        let x = Array.make nx 0.0 in
+        for i = 0 to m - 1 do
+          if tb.basis.(i) < nx then x.(tb.basis.(i)) <- t.(i).(n)
+        done;
+        let obj = Array.fold_left ( +. ) 0.0 (Array.mapi (fun j cj -> cj *. x.(j)) c) in
+        Some (obj, x)
+      end
+    end
+  end

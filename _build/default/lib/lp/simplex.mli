@@ -1,0 +1,8 @@
+(** A small dense two-phase simplex solver, sized for fractional edge cover
+    LPs (tens of variables and constraints). *)
+
+(** [minimize ~c ~a ~b] solves: minimize [c . x] subject to [a x >= b],
+    [x >= 0]. Returns [Some (objective, x)] at an optimum, [None] when
+    infeasible. Unbounded problems cannot arise for covering LPs with
+    [c >= 0] but are reported as [None] too. *)
+val minimize : c:float array -> a:float array array -> b:float array -> (float * float array) option

@@ -1,0 +1,1 @@
+lib/optimizer/cost_model.ml: Array Cost Float Gf_catalog Gf_graph Gf_query Gf_util Hashtbl List

@@ -1,0 +1,1 @@
+lib/optimizer/cost_model.mli: Cost Gf_catalog Gf_query Gf_util

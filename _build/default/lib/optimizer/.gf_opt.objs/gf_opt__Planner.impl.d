@@ -1,0 +1,1 @@
+lib/optimizer/planner.ml: Array Cost Cost_model Gf_catalog Gf_plan Gf_query Gf_util Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/optimizer/planner.mli: Cost Gf_catalog Gf_plan Gf_query

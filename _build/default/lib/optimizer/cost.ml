@@ -1,0 +1,31 @@
+type weights = { w1 : float; w2 : float }
+
+let default_weights = { w1 = 3.0; w2 = 1.0 }
+
+let calibrate ~ei ~hj =
+  (* Step 1: icost-per-second slope through the origin. *)
+  let num = List.fold_left (fun acc (ic, t) -> acc +. (ic *. t)) 0.0 ei in
+  let den = List.fold_left (fun acc (_, t) -> acc +. (t *. t)) 0.0 ei in
+  if den <= 0.0 || num <= 0.0 then default_weights
+  else begin
+    let icost_per_sec = num /. den in
+    (* Step 2: least squares of w1*n1 + w2*n2 = icost_per_sec * t.
+       Normal equations for two variables. *)
+    let s11 = ref 0.0 and s12 = ref 0.0 and s22 = ref 0.0 and b1 = ref 0.0 and b2 = ref 0.0 in
+    List.iter
+      (fun (n1, n2, t) ->
+        let y = icost_per_sec *. t in
+        s11 := !s11 +. (n1 *. n1);
+        s12 := !s12 +. (n1 *. n2);
+        s22 := !s22 +. (n2 *. n2);
+        b1 := !b1 +. (n1 *. y);
+        b2 := !b2 +. (n2 *. y))
+      hj;
+    let det = (!s11 *. !s22) -. (!s12 *. !s12) in
+    if Float.abs det < 1e-9 then default_weights
+    else begin
+      let w1 = ((!s22 *. !b1) -. (!s12 *. !b2)) /. det in
+      let w2 = ((!s11 *. !b2) -. (!s12 *. !b1)) /. det in
+      if w1 > 0.0 && w2 > 0.0 then { w1; w2 } else default_weights
+    end
+  end

@@ -1,0 +1,18 @@
+(** HASH-JOIN cost normalization (Section 4.2).
+
+    A HASH-JOIN hashing [n1] tuples and probing [n2] costs
+    [w1 * n1 + w2 * n2] i-cost units. The weights are picked empirically:
+    profiled [(i-cost, seconds)] pairs from E/I operators convert seconds
+    into i-cost units, then [(n1, n2, seconds)] triples from HASH-JOIN
+    operators are least-squares fitted. *)
+
+type weights = { w1 : float; w2 : float }
+
+(** Defaults used when no calibration has been run; hashing a tuple is
+    treated as ~3x the cost of touching one adjacency-list entry. *)
+val default_weights : weights
+
+(** [calibrate ~ei ~hj] fits weights from profile logs: [ei] holds
+    [(icost, seconds)] samples, [hj] holds [(n1, n2, seconds)] samples.
+    Returns [default_weights] when either log is empty or degenerate. *)
+val calibrate : ei:(float * float) list -> hj:(float * float * float) list -> weights

@@ -1,0 +1,40 @@
+(** The optimizer's estimation layer: per-query memoized cardinalities and
+    the i-cost of candidate operators, backed by the subgraph catalogue.
+
+    The "chain" of a plan is the sequence of sub-query vertex sets from the
+    anchor of its root E/I chain (a SCAN pair or a HASH-JOIN output) to the
+    plan's own vertex set. Cache-conscious i-cost estimation (Section 5.2)
+    multiplies intersected list sizes by the cardinality of the smallest
+    chain prefix containing every descriptor source instead of the full
+    child cardinality: tuples stream in nested-loop order along the chain,
+    so an intersection whose inputs avoid the most recently extended
+    vertices repeats consecutively and is served by the E/I cache. *)
+
+type t
+
+val create :
+  ?cache_conscious:bool ->
+  ?weights:Cost.weights ->
+  Gf_catalog.Catalog.t ->
+  Gf_query.Query.t ->
+  t
+
+val query : t -> Gf_query.Query.t
+val cache_conscious : t -> bool
+
+(** [card t s] is the estimated number of matches of the sub-query induced
+    on vertex set [s] (|s| >= 2). Memoized. *)
+val card : t -> Gf_util.Bitset.t -> float
+
+(** [mu t ~child ~v] is the estimated selectivity of extending the sub-query
+    on [child] by vertex [v]. Memoized. *)
+val mu : t -> child:Gf_util.Bitset.t -> v:int -> float
+
+(** [extension_icost t ~chain ~child ~v] is the estimated i-cost of the E/I
+    operator extending [child] (whose root chain prefixes are [chain],
+    anchor first, [child] last) by [v]. *)
+val extension_icost : t -> chain:Gf_util.Bitset.t list -> child:Gf_util.Bitset.t -> v:int -> float
+
+(** [hash_join_cost t s1 s2] is [w1 * card s1 + w2 * card s2] ([s1] is the
+    build side). *)
+val hash_join_cost : t -> Gf_util.Bitset.t -> Gf_util.Bitset.t -> float

@@ -1,0 +1,56 @@
+(** The dynamic-programming optimizer (Section 4.3, Algorithm 1).
+
+    For every connected vertex subset [S] of the query, the best plan is the
+    cheapest of: (i) the best fully-enumerated WCO plan for [S]; (ii) the
+    best plan for [S minus v] extended by an E/I operator; (iii) a HASH-JOIN
+    of two smaller connected subsets whose union is [S], whose overlap is
+    nonempty, and whose edges cover the sub-query induced on [S] (the
+    projection constraint). HASH-JOINs convertible to an E/I — one side
+    contributing a single new vertex — are pruned in [Hybrid] mode
+    (Section 4.3's last rule) but kept in [Bj_only] mode, where they are the
+    only way to grow plans.
+
+    WCO plans are enumerated exhaustively (all prefix-connected orderings)
+    so that cache-conscious costs see the full ordering; for queries larger
+    than [beam_threshold] vertices this enumeration is skipped and only the
+    [beam_width] cheapest sub-queries per level are kept (Section 4.4). *)
+
+type mode = Hybrid | Wco_only | Bj_only
+
+type opts = {
+  mode : mode;
+  cache_conscious : bool;  (** the cache-oblivious ablation sets this false *)
+  weights : Cost.weights;
+  beam_threshold : int;  (** default 8; above this, no exhaustive WCO enumeration *)
+  beam_width : int;  (** default 5 *)
+}
+
+val default_opts : opts
+
+(** Raised when the requested plan space contains no plan for the query
+    (e.g. [Bj_only] on a query containing a triangle: under the projection
+    constraint a triangle is only computable by an intersection). *)
+exception No_plan of string
+
+(** [plan cat q] is the chosen plan and its estimated cost (i-cost units). *)
+val plan : ?opts:opts -> Gf_catalog.Catalog.t -> Gf_query.Query.t -> Gf_plan.Plan.t * float
+
+(** [best_wco_order cat q] is the minimum-estimated-cost query vertex
+    ordering over all prefix-connected orderings, with its cost. Used both
+    by the optimizer and to hand "good" orderings to the EmptyHeaded
+    emulation (EH-g). *)
+val best_wco_order :
+  ?cache_conscious:bool -> Gf_catalog.Catalog.t -> Gf_query.Query.t -> int array * float
+
+(** [wco_order_cost cat q order] is the estimated cost of one ordering. *)
+val wco_order_cost :
+  ?cache_conscious:bool -> Gf_catalog.Catalog.t -> Gf_query.Query.t -> int array -> float
+
+(** [all_wco_orders cat q] lists every prefix-connected ordering with its
+    estimated cost, deduplicated so the two orderings that differ only in
+    the orientation of the scanned first edge appear once. *)
+val all_wco_orders :
+  ?cache_conscious:bool ->
+  Gf_catalog.Catalog.t ->
+  Gf_query.Query.t ->
+  (int array * float) list

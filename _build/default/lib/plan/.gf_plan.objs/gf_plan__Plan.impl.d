@@ -1,0 +1,1 @@
+lib/plan/plan.ml: Array Buffer Format Gf_graph Gf_query Gf_util List Printf String

@@ -1,0 +1,1 @@
+lib/plan/plan.mli: Format Gf_graph Gf_query Gf_util

@@ -1,0 +1,93 @@
+(** Query plans (Section 4.1): rooted operator trees over three operators.
+
+    - [Scan] matches a single query edge (leaf);
+    - [Extend] is the EXTEND/INTERSECT (E/I) operator: it adds one query
+      vertex to each partial match by intersecting the adjacency lists named
+      by its descriptors;
+    - [Hash_join] joins two sub-plans on their common query vertices.
+
+    Every node carries its output schema [vars]: the query vertices of each
+    tuple column, in order. A chain of [Scan]+[Extend] nodes is a WCO plan;
+    a tree of [Hash_join]s over [Scan]s is a BJ plan; anything else is a
+    hybrid plan. *)
+
+(** An adjacency list descriptor [(pos, dir, elabel)] (Section 3.1): during
+    extension of tuple [t], the list
+    [Graph.neighbours g dir t.(pos) ~elabel ~nlabel:target_label] joins the
+    intersection. *)
+type descriptor = {
+  pos : int;  (** column index into the child's schema *)
+  dir : Gf_graph.Graph.direction;
+  elabel : int;
+}
+
+type t = private
+  | Scan of { edge : Gf_query.Query.edge; slabel : int; dlabel : int; vars : int array }
+  | Extend of {
+      child : t;
+      target : int;
+      target_label : int;
+      descriptors : descriptor array;
+      vars : int array;
+    }
+  | Hash_join of {
+      build : t;
+      probe : t;
+      key : int array;  (** shared query vertices *)
+      build_key_pos : int array;
+      probe_key_pos : int array;
+      build_extra_pos : int array;  (** build columns not part of the key *)
+      vars : int array;  (** probe schema followed by build-only vertices *)
+    }
+
+(** [vars p] is the output schema. *)
+val vars : t -> int array
+
+(** [var_set p] is the set of query vertices covered. *)
+val var_set : t -> Gf_util.Bitset.t
+
+(** [scan q e] matches query edge [e] of [q]. Raises [Invalid_argument] when
+    [q] has another edge between the same pair of vertices (such queries
+    need their first E/I to re-check the extra edge; our benchmark queries
+    have at most one edge per ordered pair). *)
+val scan : Gf_query.Query.t -> Gf_query.Query.edge -> t
+
+(** [extend q child target] adds query vertex [target]; the descriptors are
+    derived from every edge of [q] between [target] and the child's
+    vertices. Raises [Invalid_argument] if there is no such edge or [target]
+    is already covered. *)
+val extend : Gf_query.Query.t -> t -> int -> t
+
+(** [hash_join q build probe] joins on the common vertices. Raises
+    [Invalid_argument] when the overlap is empty or when the union of the
+    children's edge sets does not cover every edge of [q] induced on the
+    union of their vertices (such a plan would silently drop a predicate). *)
+val hash_join : Gf_query.Query.t -> t -> t -> t
+
+(** [wco q order] is the WCO plan for the query vertex ordering [order]:
+    a [Scan] of the edge between [order.(0)] and [order.(1)] followed by
+    E/I extensions. [order] may cover a subset of [q]'s vertices, producing
+    a sub-plan for the induced sub-query (every edge between a new vertex
+    and the bound prefix becomes a descriptor, so induced semantics hold).
+    Raises [Invalid_argument] when a prefix is disconnected. *)
+val wco : Gf_query.Query.t -> int array -> t
+
+(** [num_ei_operators p] counts E/I nodes; [max_ei_chain p] is the longest
+    chain of consecutive E/I operators ending at the root of any sub-plan
+    (the unit the adaptive evaluator rewrites). *)
+val num_ei_operators : t -> int
+
+val max_ei_chain : t -> int
+
+(** [signature p] is a canonical string of the operator tree, used to
+    deduplicate plans that perform identical operations (e.g. the two
+    orderings sharing a SCAN of the same edge). *)
+val signature : t -> string
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** [to_dot p] renders the operator tree as a Graphviz digraph (drawn with
+    the query on top as in the paper's plan figures):
+    [dune exec bin/gfq.exe -- plan ... --dot | dot -Tpng > plan.png]. *)
+val to_dot : t -> string

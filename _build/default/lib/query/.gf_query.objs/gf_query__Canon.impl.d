@@ -1,0 +1,1 @@
+lib/query/canon.ml: Array Buffer List Printf Query

@@ -1,0 +1,1 @@
+lib/query/canon.mli: Query

@@ -1,0 +1,1 @@
+lib/query/cypher.ml: Array Hashtbl List Option Printf Query String

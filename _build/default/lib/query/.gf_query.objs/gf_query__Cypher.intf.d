@@ -1,0 +1,1 @@
+lib/query/cypher.mli: Query

@@ -1,0 +1,1 @@
+lib/query/parser.ml: Array Hashtbl List Option Printf Query String

@@ -1,0 +1,1 @@
+lib/query/patterns.ml: Array Gf_util Hashtbl List Printf Query

@@ -1,0 +1,1 @@
+lib/query/patterns.mli: Gf_util Query

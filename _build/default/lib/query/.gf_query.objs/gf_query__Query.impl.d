@@ -1,0 +1,1 @@
+lib/query/query.ml: Array Format Gf_util Hashtbl List

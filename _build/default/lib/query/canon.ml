@@ -1,0 +1,59 @@
+let encode_under q mark perm =
+  (* perm.(i) = canonical position of original vertex i. *)
+  let n = Query.num_vertices q in
+  let vl = Array.make n 0 in
+  for i = 0 to n - 1 do
+    vl.(perm.(i)) <- Query.vlabel q i
+  done;
+  let edges =
+    Array.to_list q.Query.edges
+    |> List.map (fun e -> (perm.(e.Query.src), perm.(e.Query.dst), e.Query.label))
+    |> List.sort compare
+  in
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (string_of_int n);
+  Buffer.add_char buf '|';
+  Array.iter
+    (fun l ->
+      Buffer.add_string buf (string_of_int l);
+      Buffer.add_char buf ',')
+    vl;
+  (match mark with
+  | None -> Buffer.add_string buf "|-"
+  | Some m ->
+      Buffer.add_char buf '|';
+      Buffer.add_string buf (string_of_int perm.(m)));
+  List.iter
+    (fun (s, d, l) -> Buffer.add_string buf (Printf.sprintf "|%d>%d@%d" s d l))
+    edges;
+  Buffer.contents buf
+
+let rec perms_of = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) l in
+          List.map (fun p -> x :: p) (perms_of rest))
+        l
+
+let code ?mark q =
+  let n = Query.num_vertices q in
+  if n > 8 then invalid_arg "Canon.code: pattern too large";
+  let best = ref None in
+  List.iter
+    (fun p ->
+      (* p as list: position i holds original vertex p_i; invert it. *)
+      let perm = Array.make n 0 in
+      List.iteri (fun pos orig -> perm.(orig) <- pos) p;
+      let s = encode_under q mark perm in
+      match !best with
+      | Some (bs, _) when bs <= s -> ()
+      | _ -> best := Some (s, perm))
+    (perms_of (List.init n (fun i -> i)));
+  match !best with Some r -> r | None -> assert false
+
+let iso ?mark1 ?mark2 q1 q2 =
+  Query.num_vertices q1 = Query.num_vertices q2
+  && Query.num_edges q1 = Query.num_edges q2
+  && fst (code ?mark:mark1 q1) = fst (code ?mark:mark2 q2)

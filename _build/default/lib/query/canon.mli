@@ -1,0 +1,16 @@
+(** Canonical codes for small query patterns.
+
+    The subgraph catalogue (Section 5) keys its entries by pattern shape:
+    two extensions with isomorphic labeled sub-queries (and the same new
+    vertex) must share an entry. [code] computes, by brute force over vertex
+    permutations, a canonical string for a query, optionally distinguishing
+    one vertex (the "new" vertex of an extension). Practical pattern sizes
+    are <= h + 1 <= 5 vertices; anything up to 8 is accepted. *)
+
+(** [code ?mark q] is [(canonical_string, perm)] where [perm.(i)] is the
+    canonical position of original vertex [i]. When [mark] is given, that
+    vertex is distinguished so it always occupies a fixed role in the code. *)
+val code : ?mark:int -> Query.t -> string * int array
+
+(** [iso ?mark1 ?mark2 q1 q2] tests labeled isomorphism (respecting marks). *)
+val iso : ?mark1:int -> ?mark2:int -> Query.t -> Query.t -> bool

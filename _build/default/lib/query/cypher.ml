@@ -1,0 +1,190 @@
+(* Recursive-descent parser for the MATCH pattern fragment. *)
+
+type token =
+  | Match
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Colon
+  | Comma
+  | Dash (* - *)
+  | Arrow_right (* -> *)
+  | Arrow_left (* <- *)
+  | Ident of string
+
+let tokenize s =
+  let fail msg = failwith (Printf.sprintf "Cypher parse error: %s (in %S)" msg s) in
+  let n = String.length s in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let is_ident c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' then incr i
+    else if c = '(' then (tokens := Lparen :: !tokens; incr i)
+    else if c = ')' then (tokens := Rparen :: !tokens; incr i)
+    else if c = '[' then (tokens := Lbracket :: !tokens; incr i)
+    else if c = ']' then (tokens := Rbracket :: !tokens; incr i)
+    else if c = ':' then (tokens := Colon :: !tokens; incr i)
+    else if c = ',' then (tokens := Comma :: !tokens; incr i)
+    else if c = '-' then begin
+      if !i + 1 < n && s.[!i + 1] = '>' then (tokens := Arrow_right :: !tokens; i := !i + 2)
+      else (tokens := Dash :: !tokens; incr i)
+    end
+    else if c = '<' then begin
+      if !i + 1 < n && s.[!i + 1] = '-' then (tokens := Arrow_left :: !tokens; i := !i + 2)
+      else fail "stray '<'"
+    end
+    else if is_ident c then begin
+      let j = ref !i in
+      while !j < n && is_ident s.[!j] do
+        incr j
+      done;
+      let word = String.sub s !i (!j - !i) in
+      i := !j;
+      if String.uppercase_ascii word = "MATCH" then tokens := Match :: !tokens
+      else tokens := Ident word :: !tokens
+    end
+    else fail (Printf.sprintf "unexpected character %c" c)
+  done;
+  List.rev !tokens
+
+type intern = { table : (string, int) Hashtbl.t; mutable next : int }
+
+let intern t name =
+  match Hashtbl.find_opt t.table name with
+  | Some i -> i
+  | None ->
+      let i = t.next in
+      t.next <- t.next + 1;
+      Hashtbl.replace t.table name i;
+      i
+
+let parse s =
+  let fail msg = failwith (Printf.sprintf "Cypher parse error: %s (in %S)" msg s) in
+  let tokens = ref (tokenize s) in
+  let peek () = match !tokens with t :: _ -> Some t | [] -> None in
+  let next () =
+    match !tokens with
+    | t :: rest ->
+        tokens := rest;
+        t
+    | [] -> fail "unexpected end of input"
+  in
+  let expect t what = if next () <> t then fail ("expected " ^ what) in
+  let vars = { table = Hashtbl.create 8; next = 0 } in
+  let labels = { table = Hashtbl.create 8; next = 0 } in
+  let etypes = { table = Hashtbl.create 8; next = 0 } in
+  let anon = ref 0 in
+  let vlabels = Hashtbl.create 8 in
+  let edges = ref [] in
+  (* A label token is an integer (used directly) or a name (interned). *)
+  let label_id pool = function
+    | Ident w -> (
+        match int_of_string_opt w with Some i when i >= 0 -> i | _ -> intern pool w)
+    | _ -> fail "expected a label"
+  in
+  let parse_node () =
+    expect Lparen "'('";
+    let name =
+      match peek () with
+      | Some (Ident w) ->
+          ignore (next ());
+          w
+      | _ ->
+          incr anon;
+          Printf.sprintf "$anon%d" !anon
+    in
+    let v = intern vars name in
+    (match peek () with
+    | Some Colon ->
+        ignore (next ());
+        Hashtbl.replace vlabels v (label_id labels (next ()))
+    | _ -> ());
+    expect Rparen "')'";
+    v
+  in
+  (* edge := '-' ('[' ... ']')? '->'   |   '<-' ('[' ... ']')? '-' *)
+  let parse_edge () =
+    let bracket_type () =
+      match peek () with
+      | Some Lbracket ->
+          ignore (next ());
+          let t =
+            match peek () with
+            | Some Colon ->
+                ignore (next ());
+                label_id etypes (next ())
+            | _ -> 0
+          in
+          expect Rbracket "']'";
+          t
+      | _ -> 0
+    in
+    match next () with
+    | Dash ->
+        let t = bracket_type () in
+        (match next () with
+        | Arrow_right -> `Out t
+        | Dash -> fail "undirected edges are not supported; use -> or <-"
+        | _ -> fail "expected '->'")
+    | Arrow_right ->
+        (* '-[..]->' tokenizes Dash then Arrow_right; bare '-->' tokenizes
+           Dash Dash '>'... handled by Dash branch; a direct Arrow_right
+           means '->' with no dash: accept as forward edge. *)
+        `Out 0
+    | Arrow_left ->
+        let t = bracket_type () in
+        expect Dash "'-'";
+        `In t
+    | _ -> fail "expected an edge"
+  in
+  let parse_pattern () =
+    let v = ref (parse_node ()) in
+    let rec chain () =
+      match peek () with
+      | Some (Dash | Arrow_left | Arrow_right) ->
+          let e = parse_edge () in
+          let w = parse_node () in
+          (match e with
+          | `Out t -> edges := (!v, w, t) :: !edges
+          | `In t -> edges := (w, !v, t) :: !edges);
+          v := w;
+          chain ()
+      | _ -> ()
+    in
+    chain ()
+  in
+  (match peek () with Some Match -> ignore (next ()) | _ -> ());
+  parse_pattern ();
+  let rec more () =
+    match peek () with
+    | Some Comma ->
+        ignore (next ());
+        (match peek () with Some Match -> ignore (next ()) | _ -> ());
+        parse_pattern ();
+        more ()
+    | Some t ->
+        ignore t;
+        fail "trailing tokens"
+    | None -> ()
+  in
+  more ();
+  let n = vars.next in
+  if n = 0 then fail "no vertices";
+  let vl = Array.init n (fun i -> Option.value ~default:0 (Hashtbl.find_opt vlabels i)) in
+  let q =
+    try
+      Query.create ~num_vertices:n ~vlabels:vl
+        ~edges:
+          (Array.of_list
+             (List.rev_map (fun (a, b, t) -> Query.{ src = a; dst = b; label = t }) !edges))
+        ()
+    with Invalid_argument m -> fail m
+  in
+  if not (Query.is_connected q) then fail "pattern is not connected";
+  let table = Hashtbl.fold (fun k v acc -> (k, v) :: acc) vars.table [] in
+  (q, List.sort (fun (_, a) (_, b) -> compare a b) table)

@@ -1,0 +1,24 @@
+(** A small openCypher-style frontend (the Graphflow system of Section 7
+    "supports a subset of the Cypher language"; this module accepts the
+    corresponding MATCH pattern fragment).
+
+    Grammar (whitespace-insensitive):
+    {v
+    query    := 'MATCH' pattern (',' pattern)*
+    pattern  := node (edge node)*
+    node     := '(' name? (':' label)? ')'
+    edge     := '-' ('[' (':' type)? ']')? '->'
+              | '<-' ('[' (':' type)? ']')? '-'
+    v}
+    Vertex labels and edge types are written as integers (the storage layer
+    is label-id based) or as names, which are interned in first-appearance
+    order. Anonymous nodes [()] get fresh variables.
+
+    Examples:
+    - ["MATCH (a)-->(b), (b)-->(c), (a)-->(c)"] — the asymmetric triangle;
+    - ["MATCH (a:0)-[:1]->(b)<-[:1]-(c)"] — labeled, with a reversed edge;
+    - ["MATCH (a)-->(b)-->(c)-->(a)"] — a directed 3-cycle as one chain. *)
+
+(** [parse s] returns the query and the variable table (name -> vertex id).
+    Raises [Failure] with a message on syntax errors. *)
+val parse : string -> Query.t * (string * int) list

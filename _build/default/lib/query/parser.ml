@@ -1,0 +1,63 @@
+let parse s =
+  let fail msg = failwith (Printf.sprintf "Query parse error: %s (in %S)" msg s) in
+  let items = String.split_on_char ',' s |> List.map String.trim |> List.filter (( <> ) "") in
+  if items = [] then fail "empty query";
+  let names = Hashtbl.create 8 in
+  let next = ref 0 in
+  let vertex name =
+    if name = "" then fail "empty vertex name";
+    String.iter
+      (fun c ->
+        if not ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_')
+        then fail ("bad vertex name " ^ name))
+      name;
+    match Hashtbl.find_opt names name with
+    | Some i -> i
+    | None ->
+        let i = !next in
+        incr next;
+        Hashtbl.replace names name i;
+        i
+  in
+  let vlabels = Hashtbl.create 8 in
+  let edges = ref [] in
+  let parse_int what str =
+    match int_of_string_opt (String.trim str) with
+    | Some i when i >= 0 -> i
+    | _ -> fail ("bad " ^ what ^ " " ^ str)
+  in
+  List.iter
+    (fun item ->
+      match String.index_opt item '>' with
+      | Some gt when gt > 0 && item.[gt - 1] = '-' ->
+          let lhs = String.trim (String.sub item 0 (gt - 1)) in
+          let rhs = String.trim (String.sub item (gt + 1) (String.length item - gt - 1)) in
+          let rhs_name, elabel =
+            match String.index_opt rhs '@' with
+            | None -> (rhs, 0)
+            | Some at ->
+                ( String.trim (String.sub rhs 0 at),
+                  parse_int "edge label" (String.sub rhs (at + 1) (String.length rhs - at - 1)) )
+          in
+          let u = vertex lhs and v = vertex rhs_name in
+          edges := Query.{ src = u; dst = v; label = elabel } :: !edges
+      | _ -> (
+          match String.index_opt item ':' with
+          | Some colon ->
+              let name = String.trim (String.sub item 0 colon) in
+              let l =
+                parse_int "vertex label"
+                  (String.sub item (colon + 1) (String.length item - colon - 1))
+              in
+              Hashtbl.replace vlabels (vertex name) l
+          | None -> fail ("expected edge or label declaration, got " ^ item)))
+    items;
+  let n = !next in
+  if n = 0 then fail "no vertices";
+  let vl = Array.init n (fun i -> Option.value ~default:0 (Hashtbl.find_opt vlabels i)) in
+  let q =
+    try Query.create ~num_vertices:n ~vlabels:vl ~edges:(Array.of_list (List.rev !edges)) ()
+    with Invalid_argument m -> fail m
+  in
+  if not (Query.is_connected q) then fail "query is not connected";
+  q

@@ -1,0 +1,16 @@
+(** A tiny textual pattern language for queries.
+
+    Grammar (whitespace-insensitive):
+    {v
+    query := item (',' item)*
+    item  := name ':' int            vertex label declaration
+           | name '->' name tag?     directed query edge
+    tag   := '@' int                 edge label (default 0)
+    v}
+    Vertex names are bound to indices 0, 1, ... in order of first
+    appearance. Example: ["a1->a2, a2->a3, a1->a3"] is the asymmetric
+    triangle; ["u:1, u->v@2"] labels vertex [u] with 1 and the edge with 2. *)
+
+(** [parse s] raises [Failure] with a position message on syntax errors,
+    duplicate edges, or unconnected queries. *)
+val parse : string -> Query.t

@@ -1,0 +1,88 @@
+let u = Query.unlabeled_edges
+
+let asymmetric_triangle = u 3 [ (0, 1); (1, 2); (0, 2) ]
+let diamond_x = u 4 [ (0, 1); (0, 2); (1, 2); (1, 3); (2, 3) ]
+
+(* Two directed 3-cycles sharing the edge a2->a3 (vertices 1->2 here):
+   cycle 1: a1->a2->a3->a1; cycle 2: a2->a3->a4->a2. *)
+let symmetric_diamond_x = u 4 [ (0, 1); (1, 2); (2, 0); (2, 3); (3, 1) ]
+
+let tailed_triangle = u 4 [ (0, 1); (0, 2); (1, 2); (1, 3) ]
+
+let clique k ~cyclic =
+  (* Acyclic: i->j for i<j. Cyclic: the outer ring is rotated
+     (0->1->...->k-1->0), chords stay i->j. *)
+  let edges = ref [] in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      if cyclic && i = 0 && j = k - 1 then edges := (k - 1, 0) :: !edges
+      else edges := (i, j) :: !edges
+    done
+  done;
+  u k !edges
+
+let cycle k = u k (List.init k (fun i -> (i, (i + 1) mod k)))
+let path k = u k (List.init (k - 1) (fun i -> (i, i + 1)))
+
+let q = function
+  | 1 -> asymmetric_triangle
+  | 2 -> cycle 4
+  | 3 -> diamond_x
+  | 4 -> symmetric_diamond_x
+  | 5 -> clique 4 ~cyclic:false
+  | 6 -> clique 4 ~cyclic:true
+  | 7 -> clique 5 ~cyclic:false
+  | 8 ->
+      (* Bowtie: triangles (a1,a2,a3) and (a3,a4,a5) sharing a3. *)
+      u 5 [ (0, 1); (1, 2); (0, 2); (2, 3); (3, 4); (2, 4) ]
+  | 9 ->
+      (* Two triangles sharing a3, closed through a6 (Figure 10's query). *)
+      u 6 [ (0, 1); (1, 2); (0, 2); (2, 3); (3, 4); (2, 4); (0, 5); (4, 5) ]
+  | 10 ->
+      (* Diamond-X on (a1..a4) joined on a4 with triangle (a4,a5,a6). *)
+      u 6 [ (0, 1); (0, 2); (1, 2); (1, 3); (2, 3); (3, 4); (4, 5); (3, 5) ]
+  | 11 -> u 5 [ (0, 1); (0, 2); (0, 3); (0, 4) ]
+  | 12 -> cycle 6
+  | 13 -> u 6 [ (0, 1); (0, 2); (2, 3); (3, 4); (3, 5) ]
+  | 14 -> clique 7 ~cyclic:false
+  | i -> invalid_arg (Printf.sprintf "Patterns.q: no query Q%d" i)
+
+let name i =
+  if i >= 1 && i <= 14 then Printf.sprintf "Q%d" i
+  else invalid_arg "Patterns.name"
+
+let randomize_edge_labels rng q ~num_elabels =
+  let edges =
+    Array.map
+      (fun e -> { e with Query.label = Gf_util.Rng.int rng num_elabels })
+      q.Query.edges
+  in
+  Query.create ~num_vertices:q.Query.num_vertices ~vlabels:q.Query.vlabels ~edges ()
+
+let random_query rng ~num_vertices ~dense ~num_vlabels =
+  let n = num_vertices in
+  let target_edges =
+    if dense then n * 2 (* avg degree 4 *)
+    else n + (n / 4)    (* avg degree ~2.5 *)
+  in
+  let edges = Hashtbl.create 32 in
+  let add i j =
+    let i, j, flip = if Gf_util.Rng.bool rng then (i, j, false) else (j, i, true) in
+    ignore flip;
+    if i <> j && not (Hashtbl.mem edges (i, j)) && not (Hashtbl.mem edges (j, i)) then
+      Hashtbl.replace edges (i, j) ()
+  in
+  (* Random spanning tree first to guarantee connectivity. *)
+  for v = 1 to n - 1 do
+    add v (Gf_util.Rng.int rng v)
+  done;
+  let guard = ref 0 in
+  while Hashtbl.length edges < target_edges && !guard < 100 * target_edges do
+    incr guard;
+    add (Gf_util.Rng.int rng n) (Gf_util.Rng.int rng n)
+  done;
+  let vlabels = Array.init n (fun _ -> Gf_util.Rng.int rng num_vlabels) in
+  let edge_list =
+    Hashtbl.fold (fun (i, j) () acc -> Query.{ src = i; dst = j; label = 0 } :: acc) edges []
+  in
+  Query.create ~num_vertices:n ~vlabels ~edges:(Array.of_list edge_list) ()

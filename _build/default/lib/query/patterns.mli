@@ -1,0 +1,45 @@
+(** The benchmark query set.
+
+    [q 1] .. [q 14] are the fourteen queries of the paper's Figure 6 as
+    reconstructed in DESIGN.md Section 4, plus the demonstration queries of
+    Sections 3-4. All are unlabeled; [randomize_edge_labels] produces the
+    Q^J_i labeled variants. *)
+
+(** [q i] for [i] in [1 .. 14]. Raises [Invalid_argument] otherwise. *)
+val q : int -> Query.t
+
+val name : int -> string
+
+(** Asymmetric triangle a1->a2, a2->a3, a1->a3 (Section 3.2.1; = Q1). *)
+val asymmetric_triangle : Query.t
+
+(** Diamond-X, the running example of Figure 1 (= Q3). *)
+val diamond_x : Query.t
+
+(** Symmetric diamond-X of Figure 2(a): two directed 3-cycles sharing an
+    edge (= Q4). *)
+val symmetric_diamond_x : Query.t
+
+(** Tailed triangle of Figure 2(b). *)
+val tailed_triangle : Query.t
+
+(** [clique k ~cyclic] is a k-clique; acyclic orientation (i->j for i<j) or
+    with the outer cycle reversed into a rotation when [cyclic]. *)
+val clique : int -> cyclic:bool -> Query.t
+
+(** [cycle k] is the directed k-cycle. *)
+val cycle : int -> Query.t
+
+(** [path k] is the directed k-vertex path. *)
+val path : int -> Query.t
+
+(** [randomize_edge_labels rng q ~num_elabels] assigns each query edge a
+    uniform random label — the paper's Q^J_i construction. *)
+val randomize_edge_labels : Gf_util.Rng.t -> Query.t -> num_elabels:int -> Query.t
+
+(** [random_query rng ~num_vertices ~dense ~num_vlabels] draws a random
+    connected query in the style of the CFL evaluation's query sets: average
+    degree <= 3 when [dense] is false, > 3 when true; vertex labels drawn
+    uniformly. *)
+val random_query :
+  Gf_util.Rng.t -> num_vertices:int -> dense:bool -> num_vlabels:int -> Query.t

@@ -1,0 +1,1 @@
+lib/spectrum/spectrum.ml: Buffer Gf_exec Gf_plan Gf_query Gf_util Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/spectrum/spectrum.mli: Gf_exec Gf_graph Gf_plan Gf_query

@@ -1,0 +1,51 @@
+(** Plan spectra (Figures 7-9): enumerate the plan space of a query,
+    execute every plan, and relate the optimizer's pick to the spectrum.
+
+    WCO plans are enumerated exactly (every prefix-connected ordering,
+    deduplicated by operator signature). BJ and hybrid plans are enumerated
+    recursively over connected vertex subsets; because the hybrid space is
+    exponential, at most [per_subset_cap] distinct-signature sub-plans are
+    kept per subset and at most [family_cap] plans per family overall — the
+    caps are reported so a spectrum never silently claims exhaustiveness. *)
+
+type family = Wco | Bj | Hybrid
+
+val family_to_string : family -> string
+
+type entry = {
+  plan : Gf_plan.Plan.t;
+  family : family;
+  seconds : float;
+  counters : Gf_exec.Counters.t;
+}
+
+type t = {
+  entries : entry list;
+  capped : bool;  (** true when enumeration hit a cap *)
+}
+
+(** [plans q] enumerates the plan space (without running anything).
+    [wco_cap] bounds the WCO family separately (orderings are cheap to
+    enumerate exactly; default 128). *)
+val plans :
+  ?per_subset_cap:int ->
+  ?family_cap:int ->
+  ?wco_cap:int ->
+  Gf_query.Query.t ->
+  (family * Gf_plan.Plan.t) list * bool
+
+(** [run g q] builds and executes the spectrum. [cache] is passed to the
+    executor (Table 3 runs a spectrum with the cache off). *)
+val run :
+  ?per_subset_cap:int ->
+  ?family_cap:int ->
+  ?wco_cap:int ->
+  ?cache:bool ->
+  Gf_graph.Graph.t ->
+  Gf_query.Query.t ->
+  t
+
+(** [summary spectrum ~picked_signature] formats one line per family:
+    count, min / median / max runtime, and where the plan with the given
+    signature (the optimizer's pick) falls. *)
+val summary : t -> picked_signature:string -> string

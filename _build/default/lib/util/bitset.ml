@@ -1,0 +1,53 @@
+type t = int
+
+let empty = 0
+let singleton i = 1 lsl i
+let mem i s = s land (1 lsl i) <> 0
+let add i s = s lor (1 lsl i)
+let remove i s = s land lnot (1 lsl i)
+let union a b = a lor b
+let inter a b = a land b
+let diff a b = a land lnot b
+
+let cardinal s =
+  let rec go s acc = if s = 0 then acc else go (s land (s - 1)) (acc + 1) in
+  go s 0
+
+let subset a b = a land b = a
+
+let iter f s =
+  let s = ref s in
+  while !s <> 0 do
+    let bit = !s land - !s in
+    (* log2 of an isolated bit *)
+    let rec idx b i = if b = 1 then i else idx (b lsr 1) (i + 1) in
+    f (idx bit 0);
+    s := !s land (!s - 1)
+  done
+
+let elements s =
+  let acc = ref [] in
+  iter (fun i -> acc := i :: !acc) s;
+  List.rev !acc
+
+let to_array s = Array.of_list (elements s)
+let of_list l = List.fold_left (fun s i -> add i s) empty l
+let full n = (1 lsl n) - 1
+
+let fold_proper_nonempty_subsets f s init =
+  (* Standard submask enumeration: (sub - 1) land s walks all submasks. *)
+  let acc = ref init in
+  let sub = ref ((s - 1) land s) in
+  while !sub <> 0 do
+    acc := f !sub !acc;
+    sub := (!sub - 1) land s
+  done;
+  !acc
+
+let min_elt s =
+  if s = 0 then raise Not_found;
+  let rec idx b i = if b land 1 = 1 then i else idx (b lsr 1) (i + 1) in
+  idx s 0
+
+let pp fmt s =
+  Format.fprintf fmt "{%s}" (String.concat "," (List.map string_of_int (elements s)))

@@ -1,0 +1,36 @@
+(** Subsets of [{0, ..., 61}] represented as the bits of an [int].
+
+    Query vertex subsets (queries have at most ~20 vertices) are manipulated
+    as bitsets throughout the optimizer's dynamic program. *)
+
+type t = int
+
+val empty : t
+val singleton : int -> t
+val mem : int -> t -> bool
+val add : int -> t -> t
+val remove : int -> t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val cardinal : t -> int
+val subset : t -> t -> bool
+
+(** [iter f s] applies [f] to members in increasing order. *)
+val iter : (int -> unit) -> t -> unit
+
+val elements : t -> int list
+val to_array : t -> int array
+val of_list : int list -> t
+
+(** [full n] is [{0, ..., n-1}]. *)
+val full : int -> t
+
+(** [fold_proper_nonempty_subsets f s init] folds over every subset [s'] of
+    [s] with [s' <> empty] and [s' <> s]. *)
+val fold_proper_nonempty_subsets : (t -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** [min_elt s] is the smallest member. Raises [Not_found] on empty. *)
+val min_elt : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,78 @@
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 16) () =
+  { data = Array.make (max capacity 1) 0; len = 0 }
+
+let length v = v.len
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Int_vec.get";
+  Array.unsafe_get v.data i
+
+let set v i x =
+  if i < 0 || i >= v.len then invalid_arg "Int_vec.set";
+  Array.unsafe_set v.data i x
+
+let unsafe_get v i = Array.unsafe_get v.data i
+
+let ensure v n =
+  if n > Array.length v.data then begin
+    let cap = ref (Array.length v.data) in
+    while !cap < n do
+      cap := !cap * 2
+    done;
+    let data = Array.make !cap 0 in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end
+
+let push v x =
+  ensure v (v.len + 1);
+  Array.unsafe_set v.data v.len x;
+  v.len <- v.len + 1
+
+let clear v = v.len <- 0
+let is_empty v = v.len = 0
+let data v = v.data
+let to_array v = Array.sub v.data 0 v.len
+
+let of_array a =
+  let v = create ~capacity:(max 1 (Array.length a)) () in
+  Array.blit a 0 v.data 0 (Array.length a);
+  v.len <- Array.length a;
+  v
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f (Array.unsafe_get v.data i)
+  done
+
+let fold_left f init v =
+  let acc = ref init in
+  for i = 0 to v.len - 1 do
+    acc := f !acc (Array.unsafe_get v.data i)
+  done;
+  !acc
+
+let push_array dst a lo hi =
+  let n = hi - lo in
+  if n > 0 then begin
+    ensure dst (dst.len + n);
+    Array.blit a lo dst.data dst.len n;
+    dst.len <- dst.len + n
+  end
+
+let append dst src = push_array dst src.data 0 src.len
+
+let copy_from dst src =
+  ensure dst src.len;
+  Array.blit src.data 0 dst.data 0 src.len;
+  dst.len <- src.len
+
+let pp fmt v =
+  Format.fprintf fmt "[@[";
+  for i = 0 to v.len - 1 do
+    if i > 0 then Format.fprintf fmt ";@ ";
+    Format.fprintf fmt "%d" v.data.(i)
+  done;
+  Format.fprintf fmt "@]]"

@@ -1,0 +1,52 @@
+(** Growable arrays of unboxed integers.
+
+    Used pervasively as output buffers for intersections and as flat tuple
+    storage; all operations are amortized O(1) and allocation-light. *)
+
+type t
+
+(** [create ?capacity ()] is an empty vector. *)
+val create : ?capacity:int -> unit -> t
+
+val length : t -> int
+
+(** [get v i] is the [i]th element. Raises [Invalid_argument] when out of
+    bounds. *)
+val get : t -> int -> int
+
+val set : t -> int -> int -> unit
+
+(** [unsafe_get v i] skips the bounds check; only for hot inner loops whose
+    indices are proved in range by construction. *)
+val unsafe_get : t -> int -> int
+
+val push : t -> int -> unit
+
+(** [clear v] resets the length to 0 without releasing storage. *)
+val clear : t -> unit
+
+val is_empty : t -> bool
+
+(** [data v] is the backing array; only indices [0 .. length v - 1] are
+    meaningful. The array is invalidated by the next [push] that grows it. *)
+val data : t -> int array
+
+val to_array : t -> int array
+
+val of_array : int array -> t
+
+val iter : (int -> unit) -> t -> unit
+
+val fold_left : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+(** [append dst src] pushes all elements of [src] onto [dst]. *)
+val append : t -> t -> unit
+
+(** [push_array dst a lo hi] pushes [a.(lo) .. a.(hi-1)] onto [dst]. *)
+val push_array : t -> int array -> int -> int -> unit
+
+(** [copy_from dst src] makes [dst] an exact copy of [src]'s contents,
+    reusing [dst]'s storage when large enough. *)
+val copy_from : t -> t -> unit
+
+val pp : Format.formatter -> t -> unit

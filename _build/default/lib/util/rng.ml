@@ -1,0 +1,66 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = int64 t }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int";
+  (* Rejection-free for our purposes: modulo bias is negligible for n << 2^63
+     and determinism matters more than perfect uniformity here. *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (int64 t) 1) (Int64.of_int n))
+
+let float t x =
+  let u = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  x *. u /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let geometric t p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Rng.geometric";
+  if p >= 1.0 then 0
+  else begin
+    let u = ref (float t 1.0) in
+    while !u <= 0.0 do
+      u := float t 1.0
+    done;
+    int_of_float (Float.floor (log !u /. log (1.0 -. p)))
+  end
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement t ~n ~k =
+  if k > n then invalid_arg "Rng.sample_without_replacement";
+  (* Floyd's algorithm keeps this O(k) in expectation. *)
+  let chosen = Hashtbl.create (2 * k) in
+  for j = n - k to n - 1 do
+    let r = int t (j + 1) in
+    if Hashtbl.mem chosen r then Hashtbl.replace chosen j ()
+    else Hashtbl.replace chosen r ()
+  done;
+  let out = Array.make k 0 in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun x () ->
+      out.(!i) <- x;
+      incr i)
+    chosen;
+  Array.sort compare out;
+  out

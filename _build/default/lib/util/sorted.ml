@@ -1,0 +1,165 @@
+type slice = int array * int * int
+
+let slice_len ((_, lo, hi) : slice) = hi - lo
+
+let lower_bound a lo hi x =
+  let l = ref lo and h = ref hi in
+  while !l < !h do
+    let mid = (!l + !h) / 2 in
+    if Array.unsafe_get a mid < x then l := mid + 1 else h := mid
+  done;
+  !l
+
+let member a lo hi x =
+  let i = lower_bound a lo hi x in
+  i < hi && Array.unsafe_get a i = x
+
+(* Exponential search for x in a.(lo..hi-1), returns the least index with
+   a.(i) >= x. Starts from lo, doubling the probe distance: O(log d) where d is
+   the distance to the answer, which makes skewed intersections cheap. *)
+let gallop a lo hi x =
+  if lo >= hi || Array.unsafe_get a lo >= x then lo
+  else begin
+    let step = ref 1 in
+    let prev = ref lo in
+    let cur = ref (lo + 1) in
+    while !cur < hi && Array.unsafe_get a !cur < x do
+      prev := !cur;
+      step := !step * 2;
+      cur := min hi (!cur + !step)
+    done;
+    lower_bound a (!prev + 1) (min !cur hi) x
+  end
+
+let intersect2_tandem out a alo ahi b blo bhi =
+  let i = ref alo and j = ref blo in
+  while !i < ahi && !j < bhi do
+    let x = Array.unsafe_get a !i and y = Array.unsafe_get b !j in
+    if x < y then incr i
+    else if y < x then incr j
+    else begin
+      Int_vec.push out x;
+      incr i;
+      incr j
+    end
+  done
+
+(* When |b| >> |a|, iterate over a and gallop in b. *)
+let intersect2_gallop out a alo ahi b blo bhi =
+  let j = ref blo in
+  let i = ref alo in
+  while !i < ahi && !j < bhi do
+    let x = Array.unsafe_get a !i in
+    j := gallop b !j bhi x;
+    if !j < bhi && Array.unsafe_get b !j = x then begin
+      Int_vec.push out x;
+      incr j
+    end;
+    incr i
+  done
+
+let gallop_threshold = 16
+
+let intersect2 out a alo ahi b blo bhi =
+  let la = ahi - alo and lb = bhi - blo in
+  if la = 0 || lb = 0 then ()
+  else if lb > la * gallop_threshold then intersect2_gallop out a alo ahi b blo bhi
+  else if la > lb * gallop_threshold then intersect2_gallop out b blo bhi a alo ahi
+  else intersect2_tandem out a alo ahi b blo bhi
+
+let count_intersect2 a alo ahi b blo bhi =
+  let out = Int_vec.create ~capacity:64 () in
+  intersect2 out a alo ahi b blo bhi;
+  Int_vec.length out
+
+let intersect out (slices : slice array) ~scratch =
+  match Array.length slices with
+  | 0 -> ()
+  | 1 ->
+      let a, lo, hi = slices.(0) in
+      Int_vec.push_array out a lo hi
+  | n ->
+      let order = Array.init n (fun i -> i) in
+      Array.sort (fun i j -> compare (slice_len slices.(i)) (slice_len slices.(j))) order;
+      let a0, lo0, hi0 = slices.(order.(0)) in
+      let a1, lo1, hi1 = slices.(order.(1)) in
+      if n = 2 then intersect2 out a0 lo0 hi0 a1 lo1 hi1
+      else begin
+        (* Iteratively narrow a running result, ping-ponging between the two
+           buffers so no per-call allocation happens. *)
+        let cur = scratch in
+        Int_vec.clear cur;
+        intersect2 cur a0 lo0 hi0 a1 lo1 hi1;
+        let tmp = Int_vec.create ~capacity:(Int_vec.length cur) () in
+        let curr = ref cur and next = ref tmp in
+        for k = 2 to n - 2 do
+          let b, blo, bhi = slices.(order.(k)) in
+          Int_vec.clear !next;
+          intersect2 !next (Int_vec.data !curr) 0 (Int_vec.length !curr) b blo bhi;
+          let t = !curr in
+          curr := !next;
+          next := t
+        done;
+        let b, blo, bhi = slices.(order.(n - 1)) in
+        intersect2 out (Int_vec.data !curr) 0 (Int_vec.length !curr) b blo bhi
+      end
+
+let leapfrog out (slices : slice array) =
+  let k = Array.length slices in
+  if k = 0 then ()
+  else if k = 1 then begin
+    let a, lo, hi = slices.(0) in
+    Int_vec.push_array out a lo hi
+  end
+  else begin
+    (* Current cursor per iterator; none may start empty. *)
+    let pos = Array.make k 0 in
+    let nonempty = ref true in
+    for i = 0 to k - 1 do
+      let _, lo, hi = slices.(i) in
+      pos.(i) <- lo;
+      if lo >= hi then nonempty := false
+    done;
+    if !nonempty then begin
+      (* Sort iterators by first key so neighbours differ the most; then
+         round-robin: each iterator seeks to >= the previous one's key. *)
+      let order = Array.init k (fun i -> i) in
+      Array.sort
+        (fun i j ->
+          let a, lo, _ = slices.(i) and b, mo, _ = slices.(j) in
+          compare a.(lo) b.(mo))
+        order;
+      let key i = let a, _, _ = slices.(i) in a.(pos.(i)) in
+      let p = ref 0 in
+      (* Largest first key = key of the last iterator in sorted order. *)
+      let max_key = ref (key order.(k - 1)) in
+      let exception Done in
+      (try
+         while true do
+           let it = order.(!p) in
+           let a, _, hi = slices.(it) in
+           if key it = !max_key then begin
+             (* All k iterators agree. *)
+             Int_vec.push out !max_key;
+             pos.(it) <- pos.(it) + 1;
+             if pos.(it) >= hi then raise Done;
+             max_key := a.(pos.(it));
+             p := (!p + 1) mod k
+           end
+           else begin
+             pos.(it) <- gallop a pos.(it) hi !max_key;
+             if pos.(it) >= hi then raise Done;
+             max_key := a.(pos.(it));
+             p := (!p + 1) mod k
+           end
+         done
+       with Done -> ())
+    end
+  end
+
+let is_sorted_strict a lo hi =
+  let ok = ref true in
+  for i = lo + 1 to hi - 1 do
+    if a.(i - 1) >= a.(i) then ok := false
+  done;
+  !ok

@@ -1,0 +1,44 @@
+(** Intersection kernels over sorted integer slices.
+
+    A slice is a triple [(arr, lo, hi)] denoting [arr.(lo) .. arr.(hi - 1)],
+    strictly increasing. These kernels are the computational core of the
+    EXTEND/INTERSECT operator: the worst-case optimal multiway intersection is
+    realized as iterative 2-way in-tandem intersections, smallest lists first,
+    with galloping (exponential) search when one side is much longer. *)
+
+type slice = int array * int * int
+
+val slice_len : slice -> int
+
+(** [member a lo hi x] is binary search for [x] in the slice. *)
+val member : int array -> int -> int -> int -> bool
+
+(** [lower_bound a lo hi x] is the least index [i in [lo, hi]] with
+    [a.(i) >= x] (or [hi] when none). *)
+val lower_bound : int array -> int -> int -> int -> int
+
+(** [intersect2 out a alo ahi b blo bhi] appends the intersection of two
+    sorted slices onto [out]. Switches between in-tandem merging and galloping
+    depending on the length ratio. *)
+val intersect2 :
+  Int_vec.t -> int array -> int -> int -> int array -> int -> int -> unit
+
+(** [intersect out slices ~scratch] appends the k-way intersection onto
+    [out]. [scratch] is a reusable temporary buffer. With zero slices the
+    result is empty; with one slice it is a copy of that slice. *)
+val intersect : Int_vec.t -> slice array -> scratch:Int_vec.t -> unit
+
+(** [leapfrog out slices] appends the k-way intersection onto [out] using
+    the Leapfrog Triejoin unary join [Veldhuizen 2012]: all iterators chase
+    the running maximum with galloping seeks, emitting on full agreement.
+    Worst-case optimal like the pairwise cascade but with different
+    constants: it touches every list once instead of narrowing through
+    intermediate buffers. *)
+val leapfrog : Int_vec.t -> slice array -> unit
+
+(** [count_intersect2 a alo ahi b blo bhi] counts intersection size without
+    materializing it. *)
+val count_intersect2 : int array -> int -> int -> int array -> int -> int -> int
+
+(** [is_sorted_strict a lo hi] checks strict ascending order (test helper). *)
+val is_sorted_strict : int array -> int -> int -> bool

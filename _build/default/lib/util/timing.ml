@@ -1,0 +1,8 @@
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let r = f () in
+  (now () -. t0, r)
+
+let time_s f = fst (time f)

@@ -1,0 +1,7 @@
+(** Wall-clock timing helpers for the benchmark harness. *)
+
+(** [time f] runs [f ()] and returns [(seconds, result)]. *)
+val time : (unit -> 'a) -> float * 'a
+
+(** [time_s f] is just the elapsed seconds. *)
+val time_s : (unit -> unit) -> float

@@ -1,0 +1,1 @@
+test/test_adaptive.ml: Alcotest Array Gf_adaptive Gf_catalog Gf_exec Gf_graph Gf_opt Gf_plan Gf_query Gf_util List Patterns Printf Query

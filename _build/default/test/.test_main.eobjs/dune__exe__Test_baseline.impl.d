@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Gf_baseline Gf_exec Gf_graph Gf_query Gf_util List Patterns Printf

@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest Float Gf_catalog Gf_exec Gf_graph Gf_query Gf_util List Option Patterns Printf Query

@@ -1,0 +1,1 @@
+test/test_cypher.ml: Alcotest Array Canon Cypher Gf_query List Parser Patterns Query

@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Graphflow List Printf String

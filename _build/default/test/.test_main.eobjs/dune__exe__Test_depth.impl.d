@@ -1,0 +1,1 @@
+test/test_depth.ml: Alcotest Array Filename Float Fun Gf_adaptive Gf_baseline Gf_catalog Gf_exec Gf_ghd Gf_graph Gf_opt Gf_plan Gf_query Gf_util Graphflow List Patterns Printf Query Sys

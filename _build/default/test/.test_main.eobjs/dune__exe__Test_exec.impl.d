@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Gf_exec Gf_graph Gf_plan Gf_query Gf_util List Patterns Printf QCheck2 QCheck_alcotest Query String

@@ -1,0 +1,1 @@
+test/test_ghd.ml: Alcotest Array Gf_catalog Gf_exec Gf_ghd Gf_graph Gf_lp Gf_query Gf_util List Patterns Printf QCheck2 QCheck_alcotest Query

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Filename Fun Generators Gf_graph Gf_util Graph Graph_io List QCheck2 QCheck_alcotest Stats Sys

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Canon Filename Format Fun Gf_catalog Gf_exec Gf_ghd Gf_graph Gf_plan Gf_query Gf_util Graphflow List Patterns Printf Query String Sys

@@ -1,0 +1,1 @@
+test/test_persistence.ml: Alcotest Exec Filename Fun Gf_catalog Gf_exec Gf_graph Gf_plan Gf_query Gf_util List Option Patterns Plan Printf Query Sys

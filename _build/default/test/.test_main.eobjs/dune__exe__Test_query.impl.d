@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Array Canon Gf_query Gf_util List Parser Patterns Printf QCheck2 QCheck_alcotest Query

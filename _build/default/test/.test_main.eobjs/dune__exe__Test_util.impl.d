@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitset Gf_util Hashtbl Int_vec List Printf QCheck2 QCheck_alcotest Rng Sorted

@@ -1,0 +1,1 @@
+test/test_wander.ml: Alcotest Array Gf_catalog Gf_exec Gf_graph Gf_query Gf_util List Patterns Printf

@@ -1,0 +1,96 @@
+open Gf_query
+module Bj = Gf_baseline.Bj
+module Cfl = Gf_baseline.Cfl
+module Naive = Gf_exec.Naive
+module Generators = Gf_graph.Generators
+module Graph = Gf_graph.Graph
+module Rng = Gf_util.Rng
+module Bitset = Gf_util.Bitset
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let graph () = Generators.holme_kim (Rng.create 61) ~n:200 ~m_per:4 ~p_triad:0.5 ~recip:0.3
+
+let test_bj_correct () =
+  let g = graph () in
+  List.iter
+    (fun i ->
+      let q = Patterns.q i in
+      check_int (Printf.sprintf "Q%d BJ count" i) (Naive.count g q) (Bj.count g q))
+    [ 1; 2; 3; 4; 5; 8; 11; 13 ]
+
+let test_bj_orders_all_correct () =
+  let g = graph () in
+  let q = Patterns.asymmetric_triangle in
+  let expected = Naive.count g q in
+  List.iter
+    (fun order -> check_int "order-insensitive" expected (Bj.count ~edge_order:order g q))
+    (Bj.all_edge_orders q)
+
+let test_bj_limit_and_stats () =
+  let g = graph () in
+  let q = Patterns.asymmetric_triangle in
+  let s = Bj.run ~limit:3 g q in
+  check_int "limit" 3 s.Bj.matches;
+  let full = Bj.run g q in
+  check_bool "open triangles blow up intermediates" true (full.Bj.intermediate > full.Bj.matches)
+
+let test_bj_all_edge_orders_cap () =
+  let q = Patterns.q 14 in
+  let orders = Bj.all_edge_orders ~max_orders:50 q in
+  check_int "capped" 50 (List.length orders)
+
+let test_cfl_core () =
+  check_int "triangle core" 3 (Bitset.cardinal (Cfl.core Patterns.asymmetric_triangle));
+  check_int "tree core empty" 0 (Bitset.cardinal (Cfl.core (Patterns.q 13)));
+  check_int "tailed triangle core" 3 (Bitset.cardinal (Cfl.core Patterns.tailed_triangle));
+  check_int "bowtie core" 5 (Bitset.cardinal (Cfl.core (Patterns.q 8)))
+
+let test_cfl_correct () =
+  let g = Graph.relabel (graph ()) (Rng.create 62) ~num_vlabels:4 ~num_elabels:1 in
+  List.iter
+    (fun i ->
+      let q = Patterns.q i in
+      check_int
+        (Printf.sprintf "Q%d CFL count (distinct)" i)
+        (Naive.count ~distinct:true g q)
+        (Cfl.count g q))
+    [ 1; 2; 3; 4; 11; 13 ]
+
+let test_cfl_random_queries () =
+  let g = Generators.dataset ~scale:0.25 Generators.Human in
+  let rng = Rng.create 63 in
+  for _ = 1 to 5 do
+    let q = Patterns.random_query rng ~num_vertices:5 ~dense:false ~num_vlabels:44 in
+    check_int "random query matches naive"
+      (Naive.count ~distinct:true g q)
+      (Cfl.count g q)
+  done
+
+let test_cfl_limit () =
+  let g = graph () in
+  let q = Patterns.asymmetric_triangle in
+  let full = Cfl.count g q in
+  if full > 2 then begin
+    let s = Cfl.run ~limit:2 g q in
+    check_int "limit" 2 s.Cfl.matches
+  end
+
+let suite =
+  [
+    ( "baseline.bj",
+      [
+        Alcotest.test_case "correct" `Slow test_bj_correct;
+        Alcotest.test_case "all orders" `Quick test_bj_orders_all_correct;
+        Alcotest.test_case "limit/stats" `Quick test_bj_limit_and_stats;
+        Alcotest.test_case "order cap" `Quick test_bj_all_edge_orders_cap;
+      ] );
+    ( "baseline.cfl",
+      [
+        Alcotest.test_case "2-core" `Quick test_cfl_core;
+        Alcotest.test_case "correct" `Slow test_cfl_correct;
+        Alcotest.test_case "random human queries" `Slow test_cfl_random_queries;
+        Alcotest.test_case "limit" `Quick test_cfl_limit;
+      ] );
+  ]

@@ -1,0 +1,155 @@
+(* Cross-subsystem agreement on random inputs: for random small queries on
+   random graphs, every execution path in the repository must produce the
+   same match count as the naive reference matcher. This is the test that
+   catches planner/executor disagreements no unit test anticipates. *)
+
+open Gf_query
+module Catalog = Gf_catalog.Catalog
+module Planner = Gf_opt.Planner
+module Plan = Gf_plan.Plan
+module Exec = Gf_exec.Exec
+module Parallel = Gf_exec.Parallel
+module Naive = Gf_exec.Naive
+module Counters = Gf_exec.Counters
+module Adaptive = Gf_adaptive.Adaptive
+module Ghd = Gf_ghd.Ghd
+module Bj = Gf_baseline.Bj
+module Cfl = Gf_baseline.Cfl
+module Query_gen = Gf_baseline.Query_gen
+module Spectrum = Gf_spectrum.Spectrum
+module Graph = Gf_graph.Graph
+module Generators = Gf_graph.Generators
+module Rng = Gf_util.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let random_graph rng =
+  let n = 40 + Rng.int rng 80 in
+  let g =
+    Generators.holme_kim rng ~n ~m_per:(2 + Rng.int rng 3)
+      ~p_triad:(Rng.float rng 0.6) ~recip:(Rng.float rng 0.5)
+  in
+  if Rng.bool rng then Graph.relabel g rng ~num_vlabels:(1 + Rng.int rng 2) ~num_elabels:(1 + Rng.int rng 2)
+  else g
+
+(* A random connected query without anti-parallel pairs, labels within the
+   graph's alphabets. *)
+let random_query rng g =
+  let nv = 3 + Rng.int rng 3 in
+  let q0 = Patterns.random_query rng ~num_vertices:nv ~dense:(Rng.bool rng) ~num_vlabels:(Graph.num_vlabels g) in
+  Patterns.randomize_edge_labels rng q0 ~num_elabels:(Graph.num_elabels g)
+
+let prop_all_engines_agree =
+  QCheck2.Test.make ~name:"planner/adaptive/ghd/bj/parallel/leapfrog = naive" ~count:30
+    QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng in
+      let q = random_query rng g in
+      let expected = Naive.count g q in
+      let cat = Catalog.create ~z:150 g in
+      let plan, _ = Planner.plan cat q in
+      let ok msg v =
+        if v <> expected then
+          QCheck2.Test.fail_reportf "%s: %d <> naive %d on %s" msg v expected
+            (Query.to_string q)
+        else true
+      in
+      ok "planner" (Exec.count g plan)
+      && ok "cache off" (Exec.run ~cache:false g plan).Counters.output
+      && ok "leapfrog" (Exec.run ~leapfrog:true g plan).Counters.output
+      && ok "count_fast" (Exec.count_fast g plan)
+      && ok "parallel(3)" (Parallel.run ~domains:3 g plan).Parallel.counters.Counters.output
+      && ok "adaptive" (fst (Adaptive.run cat g q plan)).Counters.output
+      && ok "bj baseline" (Bj.count g q)
+      && ok "eh plan"
+           (Exec.count g (Ghd.to_plan cat q (Ghd.min_width_decomposition q) Ghd.Lexicographic)))
+
+let prop_spectrum_plans_agree =
+  QCheck2.Test.make ~name:"every spectrum plan = naive" ~count:15
+    QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng in
+      let q = random_query rng g in
+      let expected = Naive.count g q in
+      let all, _ = Spectrum.plans ~per_subset_cap:3 ~family_cap:8 q in
+      List.for_all
+        (fun (fam, p) ->
+          let got = Exec.count g p in
+          if got <> expected then
+            QCheck2.Test.fail_reportf "%s plan: %d <> %d on %s"
+              (Spectrum.family_to_string fam) got expected (Query.to_string q)
+          else true)
+        all)
+
+let prop_cfl_agrees_distinct =
+  QCheck2.Test.make ~name:"cfl = naive distinct" ~count:20
+    QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng in
+      let q = random_query rng g in
+      Cfl.count g q = Naive.count ~distinct:true g q)
+
+let prop_data_queries_match =
+  QCheck2.Test.make ~name:"data-extracted queries have >= 1 distinct match" ~count:20
+    QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng in
+      let q = Query_gen.from_data g rng ~num_vertices:(4 + Rng.int rng 4) ~dense:(Rng.bool rng) in
+      Naive.count ~distinct:true g q >= 1)
+
+let test_count_by () =
+  let g = Generators.holme_kim (Rng.create 7) ~n:150 ~m_per:4 ~p_triad:0.5 ~recip:0.3 in
+  let db = Graphflow.Db.create ~z:150 g in
+  let q = Patterns.asymmetric_triangle in
+  let by_a1 = Graphflow.Db.count_by db q ~key:[ 0 ] in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 by_a1 in
+  check_int "group counts sum to total" (Graphflow.Db.count db q) total;
+  (* Sorted descending. *)
+  let rec desc = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a >= b && desc rest
+    | _ -> true
+  in
+  check_bool "descending" true (desc by_a1);
+  (* Grouping by all vertices gives singleton groups. *)
+  let by_all = Graphflow.Db.count_by db q ~key:[ 0; 1; 2 ] in
+  check_bool "all-key groups are singletons" true (List.for_all (fun (_, n) -> n = 1) by_all);
+  check_bool "bad key rejected" true
+    (try ignore (Graphflow.Db.count_by db q ~key:[ 9 ]); false with Invalid_argument _ -> true)
+
+let test_to_dot () =
+  let q = Patterns.q 9 in
+  let hybrid =
+    Plan.extend q
+      (Plan.hash_join q (Plan.wco q [| 2; 3; 4 |]) (Plan.wco q [| 0; 1; 2 |]))
+      5
+  in
+  let dot = Plan.to_dot hybrid in
+  check_bool "digraph" true (String.length dot > 0 && String.sub dot 0 7 = "digraph");
+  List.iter
+    (fun needle ->
+      check_bool (needle ^ " present") true
+        (let re = Str.regexp_string needle in
+         try ignore (Str.search_forward re dot 0); true with Not_found -> false))
+    [ "SCAN"; "HASH-JOIN"; "E/I"; "build"; "probe" ]
+
+let suite =
+  let q t = QCheck_alcotest.to_alcotest t in
+  [
+    ( "crosscheck",
+      [
+        q prop_all_engines_agree;
+        q prop_spectrum_plans_agree;
+        q prop_cfl_agrees_distinct;
+        q prop_data_queries_match;
+      ] );
+    ( "api",
+      [
+        Alcotest.test_case "count_by" `Quick test_count_by;
+        Alcotest.test_case "to_dot" `Quick test_to_dot;
+      ] );
+  ]

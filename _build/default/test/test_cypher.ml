@@ -1,0 +1,80 @@
+open Gf_query
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_triangle () =
+  let q, vars = Cypher.parse "MATCH (a)-->(b), (b)-->(c), (a)-->(c)" in
+  check_bool "triangle" true (Query.equal q Patterns.asymmetric_triangle);
+  Alcotest.(check (list (pair string int))) "vars" [ ("a", 0); ("b", 1); ("c", 2) ] vars
+
+let test_chain () =
+  let q, _ = Cypher.parse "MATCH (a)-->(b)-->(c)-->(a)" in
+  check_bool "3-cycle" true (Canon.iso q (Patterns.cycle 3))
+
+let test_reversed_edge () =
+  let q, _ = Cypher.parse "MATCH (a)-->(b)<--(c)" in
+  check_int "n" 3 (Query.num_vertices q);
+  check_bool "a->b" true (Query.has_edge q 0 1);
+  check_bool "c->b" true (Query.has_edge q 2 1)
+
+let test_labels_numeric () =
+  let q, _ = Cypher.parse "MATCH (a:1)-[:2]->(b:0)" in
+  check_int "vlabel a" 1 (Query.vlabel q 0);
+  check_int "vlabel b" 0 (Query.vlabel q 1);
+  check_int "elabel" 2 q.Query.edges.(0).Query.label
+
+let test_labels_named () =
+  (* Named labels are interned in order of first appearance. *)
+  let q, _ = Cypher.parse "MATCH (a:Person)-[:KNOWS]->(b:Person)-[:LIKES]->(c:Post)" in
+  check_int "Person = 0" 0 (Query.vlabel q 0);
+  check_int "Person again" 0 (Query.vlabel q 1);
+  check_int "Post = 1" 1 (Query.vlabel q 2);
+  check_int "KNOWS = 0" 0 q.Query.edges.(0).Query.label;
+  check_int "LIKES = 1" 1 q.Query.edges.(1).Query.label
+
+let test_anonymous_nodes () =
+  let q, vars = Cypher.parse "MATCH (a)-->()-->(a)" in
+  check_int "two vars incl anon" 2 (List.length vars);
+  (* a -> anon -> a *)
+  check_bool "fwd" true (Query.has_edge q 0 1);
+  check_bool "bwd" true (Query.has_edge q 1 0)
+
+let test_diamond_x () =
+  let q, _ = Cypher.parse "MATCH (a)-->(b), (a)-->(c), (b)-->(c), (b)-->(d), (c)-->(d)" in
+  check_bool "diamond-x" true (Query.equal q Patterns.diamond_x)
+
+let test_match_keyword_optional () =
+  let q, _ = Cypher.parse "(a)-->(b)" in
+  check_int "edge" 1 (Query.num_edges q)
+
+let test_errors () =
+  let fails s = try ignore (Cypher.parse s); false with Failure _ -> true in
+  check_bool "empty" true (fails "");
+  check_bool "unclosed paren" true (fails "MATCH (a");
+  check_bool "undirected" true (fails "MATCH (a)--(b)");
+  check_bool "disconnected" true (fails "MATCH (a)-->(b), (c)-->(d)");
+  check_bool "stray <" true (fails "MATCH (a)<(b)");
+  check_bool "trailing" true (fails "MATCH (a)-->(b) extra")
+
+let test_agrees_with_dsl () =
+  let q1, _ = Cypher.parse "MATCH (u)-->(v), (v)-->(w), (u)-->(w), (v)-->(x), (w)-->(x)" in
+  let q2 = Parser.parse "u->v, v->w, u->w, v->x, w->x" in
+  check_bool "same query" true (Query.equal q1 q2)
+
+let suite =
+  [
+    ( "query.cypher",
+      [
+        Alcotest.test_case "triangle" `Quick test_triangle;
+        Alcotest.test_case "chain" `Quick test_chain;
+        Alcotest.test_case "reversed edge" `Quick test_reversed_edge;
+        Alcotest.test_case "numeric labels" `Quick test_labels_numeric;
+        Alcotest.test_case "named labels" `Quick test_labels_named;
+        Alcotest.test_case "anonymous nodes" `Quick test_anonymous_nodes;
+        Alcotest.test_case "diamond-x" `Quick test_diamond_x;
+        Alcotest.test_case "optional MATCH" `Quick test_match_keyword_optional;
+        Alcotest.test_case "errors" `Quick test_errors;
+        Alcotest.test_case "agrees with DSL" `Quick test_agrees_with_dsl;
+      ] );
+  ]

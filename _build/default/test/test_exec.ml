@@ -1,0 +1,301 @@
+open Gf_query
+module Plan = Gf_plan.Plan
+module Exec = Gf_exec.Exec
+module Naive = Gf_exec.Naive
+module Counters = Gf_exec.Counters
+module Graph = Gf_graph.Graph
+module Generators = Gf_graph.Generators
+module Rng = Gf_util.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Small unlabeled test graph with a healthy mix of triangles and paths. *)
+let small_graph () =
+  Generators.holme_kim (Rng.create 77) ~n:300 ~m_per:4 ~p_triad:0.5 ~recip:0.3
+
+let labeled_graph () =
+  Graph.relabel (small_graph ()) (Rng.create 78) ~num_vlabels:2 ~num_elabels:2
+
+let sort_tuples l = List.sort compare l
+
+(* Reorder an exec tuple (in plan schema order) into query-vertex order. *)
+let to_assignment schema tuple =
+  let n = Array.length schema in
+  let out = Array.make n (-1) in
+  Array.iteri (fun i v -> out.(v) <- tuple.(i)) schema;
+  out
+
+let check_plan_matches_naive ?(distinct = false) g q plan label =
+  let expected = Naive.collect ~distinct g q |> sort_tuples in
+  let got =
+    Exec.collect ~distinct g plan
+    |> List.map (to_assignment (Plan.vars plan))
+    |> sort_tuples
+  in
+  Alcotest.(check (list (array int))) label expected got
+
+let test_triangle_all_orders () =
+  let g = small_graph () in
+  let q = Patterns.asymmetric_triangle in
+  let expected = Naive.count g q in
+  check_bool "graph has triangles" true (expected > 0);
+  List.iter
+    (fun order ->
+      let plan = Plan.wco q order in
+      check_int
+        (Printf.sprintf "order %s" (String.concat "" (Array.to_list order |> List.map string_of_int)))
+        expected (Exec.count g plan))
+    (Query.connected_orders q)
+
+let test_triangle_tuples_match_naive () =
+  let g = small_graph () in
+  let q = Patterns.asymmetric_triangle in
+  let plan = Plan.wco q [| 0; 1; 2 |] in
+  check_plan_matches_naive g q plan "triangle tuples"
+
+let test_diamond_x_all_orders () =
+  let g = small_graph () in
+  let q = Patterns.diamond_x in
+  let expected = Naive.count g q in
+  check_bool "graph has diamond-x" true (expected > 0);
+  List.iter
+    (fun order ->
+      let plan = Plan.wco q order in
+      check_int "diamond-x order" expected (Exec.count g plan))
+    (Query.connected_orders q)
+
+let test_labeled_query () =
+  let g = labeled_graph () in
+  let q =
+    Query.create ~num_vertices:3 ~vlabels:[| 0; 1; 0 |]
+      ~edges:
+        [|
+          { Query.src = 0; dst = 1; label = 0 };
+          { Query.src = 1; dst = 2; label = 1 };
+          { Query.src = 0; dst = 2; label = 0 };
+        |]
+      ()
+  in
+  let plan = Plan.wco q [| 0; 1; 2 |] in
+  check_plan_matches_naive g q plan "labeled triangle";
+  check_int "labeled count" (Naive.count g q) (Exec.count g plan)
+
+let test_hash_join_diamond_x () =
+  let g = small_graph () in
+  let q = Patterns.diamond_x in
+  let expected = Naive.count g q in
+  (* Diamond-X as join of triangles (a1,a2,a3) and (a2,a3,a4) on {a2,a3} —
+     the hybrid plan of Figure 1(c). *)
+  let t1 = Plan.wco q [| 1; 2; 0 |] in
+  let t2 = Plan.wco q [| 1; 2; 3 |] in
+  let plan = Plan.hash_join q t1 t2 in
+  check_int "hybrid = wco count" expected (Exec.count g plan);
+  check_plan_matches_naive g q plan "hybrid tuples"
+
+let test_bj_plan_four_cycle () =
+  let g = small_graph () in
+  let q = Patterns.cycle 4 in
+  let expected = Naive.count g q in
+  (* 4-cycle as a join of two 2-paths: {a1,a2,a3} path and {a3,a4,a1} path,
+     joined on {a1,a3}. *)
+  let p1 = Plan.wco q [| 0; 1; 2 |] in
+  let p2 = Plan.wco q [| 2; 3; 0 |] in
+  let plan = Plan.hash_join q p1 p2 in
+  check_int "bj 4-cycle" expected (Exec.count g plan);
+  check_plan_matches_naive g q plan "bj tuples"
+
+let test_extend_after_join () =
+  (* A plan outside GHD space: join two edges into a path, then intersect to
+     close the triangle... here: tailed triangle = join(edge a1a2, edge a2a4)
+     -> path, then extend a3 by 2-way intersection. *)
+  let g = small_graph () in
+  let q = Patterns.tailed_triangle in
+  let e01 = List.find (fun (e : Query.edge) -> e.src = 0 && e.dst = 1) (Array.to_list q.Query.edges) in
+  let e13 = List.find (fun (e : Query.edge) -> e.src = 1 && e.dst = 3) (Array.to_list q.Query.edges) in
+  let p = Plan.hash_join q (Plan.scan q e01) (Plan.scan q e13) in
+  let plan = Plan.extend q p 2 in
+  check_int "extend after join" (Naive.count g q) (Exec.count g plan);
+  check_plan_matches_naive g q plan "extend-after-join tuples"
+
+let test_cache_semantics () =
+  let g = small_graph () in
+  let q = Patterns.diamond_x in
+  (* Ordering a2 a3 a1 a4 (0-indexed: 1 2 0 3): the last E/I re-intersects
+     a2/a3 lists, whose values change only with the scan tuple -> cache hits. *)
+  let plan = Plan.wco q [| 1; 2; 0; 3 |] in
+  let on = Exec.run ~cache:true g plan in
+  let off = Exec.run ~cache:false g plan in
+  check_int "same output" on.Counters.output off.Counters.output;
+  check_bool "cache hits happen" true (on.Counters.cache_hits > 0);
+  check_int "no hits when off" 0 off.Counters.cache_hits;
+  check_bool "cache lowers icost" true (on.Counters.icost < off.Counters.icost)
+
+let test_no_cache_benefit_ordering () =
+  let g = small_graph () in
+  let q = Patterns.diamond_x in
+  (* Ordering a1 a2 a3 a4: last E/I touches a3 = the just-extended vertex,
+     so consecutive tuples rarely share sources. Expect far fewer hits than
+     the cache-friendly ordering. *)
+  let friendly = Exec.run g (Plan.wco q [| 1; 2; 0; 3 |]) in
+  let unfriendly = Exec.run g (Plan.wco q [| 0; 1; 2; 3 |]) in
+  check_bool "friendly ordering caches more" true
+    (friendly.Counters.cache_hits > unfriendly.Counters.cache_hits)
+
+let test_icost_counts_list_sizes () =
+  (* Hand-built graph: vertex 0 -> {1,2,3}, so extending the single edge
+     (0,1) by descriptor on 0 costs |adj(0)| = 3. *)
+  let g =
+    Graph.build ~num_vlabels:1 ~num_elabels:1 ~vlabel:(Array.make 5 0)
+      ~edges:[| (0, 1, 0); (0, 2, 0); (0, 3, 0); (4, 0, 0) |]
+  in
+  let q = Query.unlabeled_edges 3 [ (0, 1); (0, 2) ] in
+  let plan = Plan.wco q [| 0; 1; 2 |] in
+  let c = Exec.run ~cache:false g plan in
+  (* Scan produces all 4 edges (u,v). The E/I accesses u's forward list:
+     |fwd(0)| = 3 for the three (0,_) tuples, |fwd(4)| = 1 for (4,0):
+     icost = 3*3 + 1 = 10; output = 3*3 + 1 = 10; intermediate = 4 scans. *)
+  check_int "icost" 10 c.Counters.icost;
+  check_int "output" 10 c.Counters.output;
+  check_int "intermediate" 4 (Counters.intermediate c)
+
+let test_leapfrog_execution () =
+  let g = small_graph () in
+  List.iter
+    (fun i ->
+      let q = Patterns.q i in
+      List.iter
+        (fun order ->
+          let plan = Plan.wco q order in
+          check_int
+            (Printf.sprintf "Q%d leapfrog = pairwise" i)
+            (Exec.count g plan)
+            (Exec.run ~leapfrog:true g plan).Counters.output)
+        (List.filteri (fun j _ -> j < 2) (Query.connected_orders q)))
+    [ 1; 3; 5; 7 ]
+
+let test_limit () =
+  let g = small_graph () in
+  let q = Patterns.asymmetric_triangle in
+  let plan = Plan.wco q [| 0; 1; 2 |] in
+  let c = Exec.run ~limit:5 g plan in
+  check_int "limited" 5 c.Counters.output
+
+let test_distinct () =
+  let g = small_graph () in
+  (* The 2-path a1->a2<-a3 can map a1 = a3 homomorphically. *)
+  let q = Query.unlabeled_edges 3 [ (0, 1); (2, 1) ] in
+  let plan = Plan.wco q [| 0; 1; 2 |] in
+  let homo = Exec.count g plan in
+  let iso = Exec.count ~distinct:true g plan in
+  check_int "naive homo" (Naive.count g q) homo;
+  check_int "naive iso" (Naive.count ~distinct:true g q) iso;
+  check_bool "iso < homo" true (iso < homo)
+
+let test_distinct_hash_join () =
+  let g = small_graph () in
+  let q = Patterns.cycle 4 in
+  let p1 = Plan.wco q [| 0; 1; 2 |] in
+  let p2 = Plan.wco q [| 2; 3; 0 |] in
+  let plan = Plan.hash_join q p1 p2 in
+  check_int "distinct join" (Naive.count ~distinct:true g q) (Exec.count ~distinct:true g plan)
+
+let test_plan_validation () =
+  let q = Patterns.diamond_x in
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check_bool "extend bound target" true
+    (bad (fun () -> Plan.extend q (Plan.wco q [| 0; 1; 2 |]) 2));
+  let q6 = Patterns.cycle 6 in
+  check_bool "non-adjacent extend" true
+    (bad (fun () -> Plan.extend q6 (Plan.wco q6 [| 0; 1 |]) 3));
+  check_bool "disjoint join" true
+    (bad (fun () -> Plan.hash_join q6 (Plan.wco q6 [| 0; 1 |]) (Plan.wco q6 [| 3; 4 |])));
+  check_bool "uncovered edge join" true
+    (bad (fun () ->
+         (* Join paths a1a2a3 and a3a4a5 of diamond-free 5-cycle... use Q3:
+            triangles {0,1,2} and {1,3} edge: union misses edge 2->3. *)
+         let t1 = Plan.wco q [| 0; 1; 2 |] in
+         let e13 =
+           Array.to_list q.Query.edges |> List.find (fun (e : Query.edge) -> e.src = 1 && e.dst = 3)
+         in
+         Plan.hash_join q t1 (Plan.scan q e13)));
+  check_bool "wco disconnected prefix" true (bad (fun () -> Plan.wco q6 [| 0; 3 |]))
+
+let test_plan_printing_and_signature () =
+  let q = Patterns.diamond_x in
+  let p1 = Plan.wco q [| 0; 1; 2; 3 |] in
+  let p2 = Plan.wco q [| 1; 0; 2; 3 |] in
+  (* Same scanned edge (a1,a2) and same intersections: equal signatures. *)
+  Alcotest.(check string) "signature dedup" (Plan.signature p1) (Plan.signature p2);
+  let p3 = Plan.wco q [| 1; 2; 0; 3 |] in
+  check_bool "different plans differ" true (Plan.signature p1 <> Plan.signature p3);
+  check_bool "printable" true (String.length (Plan.to_string p1) > 0)
+
+let test_ei_chain_metrics () =
+  let q = Patterns.diamond_x in
+  let wco = Plan.wco q [| 0; 1; 2; 3 |] in
+  check_int "wco ei ops" 2 (Plan.num_ei_operators wco);
+  check_int "wco chain" 2 (Plan.max_ei_chain wco);
+  let hybrid = Plan.hash_join q (Plan.wco q [| 1; 2; 0 |]) (Plan.wco q [| 1; 2; 3 |]) in
+  check_int "hybrid ei ops" 2 (Plan.num_ei_operators hybrid);
+  check_int "hybrid chain" 1 (Plan.max_ei_chain hybrid)
+
+(* Property: on random small graphs, every connected order of every <=5-vertex
+   benchmark query agrees with the naive matcher. *)
+let prop_all_orders_correct =
+  let gen = QCheck2.Gen.(pair (int_range 1 8) (int_bound 10_000)) in
+  QCheck2.Test.make ~name:"wco plans match naive matcher" ~count:25 gen (fun (qi, seed) ->
+      let qi = if qi > 6 then 11 else qi (* keep patterns small *) in
+      let q = Patterns.q qi in
+      let rng = Rng.create seed in
+      let g = Generators.holme_kim rng ~n:60 ~m_per:3 ~p_triad:0.4 ~recip:0.3 in
+      let expected = Naive.count g q in
+      List.for_all
+        (fun order -> Exec.count g (Plan.wco q order) = expected)
+        (Query.connected_orders q))
+
+let prop_labeled_plans_correct =
+  let gen = QCheck2.Gen.(int_bound 10_000) in
+  QCheck2.Test.make ~name:"labeled wco plans match naive" ~count:20 gen (fun seed ->
+      let rng = Rng.create seed in
+      let g0 = Generators.holme_kim rng ~n:80 ~m_per:3 ~p_triad:0.4 ~recip:0.3 in
+      let g = Graph.relabel g0 rng ~num_vlabels:2 ~num_elabels:2 in
+      let q0 = Patterns.q (1 + Rng.int rng 4) in
+      let q = Patterns.randomize_edge_labels rng q0 ~num_elabels:2 in
+      let expected = Naive.count g q in
+      List.for_all
+        (fun order -> Exec.count g (Plan.wco q order) = expected)
+        (Query.connected_orders q))
+
+let suite =
+  let q t = QCheck_alcotest.to_alcotest t in
+  [
+    ( "exec.correctness",
+      [
+        Alcotest.test_case "triangle all orders" `Quick test_triangle_all_orders;
+        Alcotest.test_case "triangle tuples" `Quick test_triangle_tuples_match_naive;
+        Alcotest.test_case "diamond-x all orders" `Quick test_diamond_x_all_orders;
+        Alcotest.test_case "labeled query" `Quick test_labeled_query;
+        Alcotest.test_case "hash join diamond-x" `Quick test_hash_join_diamond_x;
+        Alcotest.test_case "bj 4-cycle" `Quick test_bj_plan_four_cycle;
+        Alcotest.test_case "extend after join" `Quick test_extend_after_join;
+        q prop_all_orders_correct;
+        q prop_labeled_plans_correct;
+      ] );
+    ( "exec.features",
+      [
+        Alcotest.test_case "cache semantics" `Quick test_cache_semantics;
+        Alcotest.test_case "cache-friendly ordering" `Quick test_no_cache_benefit_ordering;
+        Alcotest.test_case "icost counting" `Quick test_icost_counts_list_sizes;
+        Alcotest.test_case "leapfrog exec" `Quick test_leapfrog_execution;
+        Alcotest.test_case "limit" `Quick test_limit;
+        Alcotest.test_case "distinct" `Quick test_distinct;
+        Alcotest.test_case "distinct hash join" `Quick test_distinct_hash_join;
+      ] );
+    ( "plan.structure",
+      [
+        Alcotest.test_case "validation" `Quick test_plan_validation;
+        Alcotest.test_case "printing/signature" `Quick test_plan_printing_and_signature;
+        Alcotest.test_case "ei chains" `Quick test_ei_chain_metrics;
+      ] );
+  ]

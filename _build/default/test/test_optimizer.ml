@@ -1,0 +1,286 @@
+open Gf_query
+module Catalog = Gf_catalog.Catalog
+module Cost = Gf_opt.Cost
+module Cost_model = Gf_opt.Cost_model
+module Planner = Gf_opt.Planner
+module Plan = Gf_plan.Plan
+module Exec = Gf_exec.Exec
+module Naive = Gf_exec.Naive
+module Counters = Gf_exec.Counters
+module Graph = Gf_graph.Graph
+module Generators = Gf_graph.Generators
+module Rng = Gf_util.Rng
+module Bitset = Gf_util.Bitset
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let graph () = Generators.holme_kim (Rng.create 42) ~n:180 ~m_per:3 ~p_triad:0.5 ~recip:0.35
+
+let cat_of g = Catalog.create ~z:400 ~h:3 g
+
+let test_planner_correct_all_queries () =
+  let g = graph () in
+  let cat = cat_of g in
+  List.iter
+    (fun i ->
+      let q = Patterns.q i in
+      let p, _cost = Planner.plan cat q in
+      let expected = Naive.count g q in
+      check_int (Printf.sprintf "Q%d hybrid plan count" i) expected (Exec.count g p))
+    [ 1; 2; 3; 4; 5; 6; 8; 11; 12; 13 ]
+
+let test_planner_correct_labeled () =
+  let g = Graph.relabel (graph ()) (Rng.create 5) ~num_vlabels:2 ~num_elabels:2 in
+  let cat = cat_of g in
+  let rng = Rng.create 6 in
+  List.iter
+    (fun i ->
+      let q = Patterns.randomize_edge_labels rng (Patterns.q i) ~num_elabels:2 in
+      let p, _ = Planner.plan cat q in
+      check_int
+        (Printf.sprintf "Q%d labeled plan count" i)
+        (Naive.count g q) (Exec.count g p))
+    [ 1; 2; 3; 4; 8; 11 ]
+
+let test_wco_only_mode () =
+  let g = graph () in
+  let cat = cat_of g in
+  let opts = { Planner.default_opts with mode = Planner.Wco_only } in
+  let p, _ = Planner.plan ~opts cat Patterns.diamond_x in
+  (* A WCO plan has exactly m - 2 E/I operators and no joins. *)
+  check_int "wco plan shape" 2 (Plan.num_ei_operators p);
+  check_int "wco chain" 2 (Plan.max_ei_chain p);
+  check_int "count" (Naive.count g Patterns.diamond_x) (Exec.count g p)
+
+let test_bj_only_four_cycle () =
+  let g = graph () in
+  let cat = cat_of g in
+  let opts = { Planner.default_opts with mode = Planner.Bj_only } in
+  let q = Patterns.cycle 4 in
+  let p, _ = Planner.plan ~opts cat q in
+  check_int "no E/I in BJ plan" 0 (Plan.num_ei_operators p);
+  check_int "count" (Naive.count g q) (Exec.count g p)
+
+let test_bj_only_triangle_impossible () =
+  let g = graph () in
+  let cat = cat_of g in
+  let opts = { Planner.default_opts with mode = Planner.Bj_only } in
+  check_bool "no BJ plan for triangle" true
+    (try
+       ignore (Planner.plan ~opts cat Patterns.asymmetric_triangle);
+       false
+     with Planner.No_plan _ -> true)
+
+let test_antiparallel_rejected () =
+  let g = graph () in
+  let cat = cat_of g in
+  let q = Query.unlabeled_edges 3 [ (0, 1); (1, 0); (1, 2) ] in
+  check_bool "anti-parallel pair raises No_plan" true
+    (try
+       ignore (Planner.plan cat q);
+       false
+     with Planner.No_plan _ -> true)
+
+let test_wco_order_counts () =
+  let g = graph () in
+  let cat = cat_of g in
+  (* Asymmetric triangle: exactly 3 deduplicated QVOs (Section 3.2.1). *)
+  check_int "triangle orders" 3
+    (List.length (Planner.all_wco_orders cat Patterns.asymmetric_triangle));
+  (* Diamond-X: 5 scan pairs x 2 completion orders = 10 orderings. *)
+  check_int "diamond-x orders" 10 (List.length (Planner.all_wco_orders cat Patterns.diamond_x))
+
+let test_best_order_is_min_cost () =
+  let g = graph () in
+  let cat = cat_of g in
+  let q = Patterns.diamond_x in
+  let all = Planner.all_wco_orders cat q in
+  let _, best_cost = Planner.best_wco_order cat q in
+  List.iter (fun (_, c) -> check_bool "best <= all" true (best_cost <= c +. 1e-9)) all
+
+let test_wco_order_cost_consistent () =
+  let g = graph () in
+  let cat = cat_of g in
+  let q = Patterns.diamond_x in
+  List.iter
+    (fun (o, c) ->
+      let c2 = Planner.wco_order_cost cat q o in
+      check_bool
+        (Printf.sprintf "cost consistent (%f vs %f)" c c2)
+        true
+        (abs_float (c -. c2) <= 1e-6 *. Float.max 1.0 c))
+    (Planner.all_wco_orders cat q)
+
+let test_triangle_direction_choice () =
+  (* On a preferential-attachment graph backward lists are heavy-tailed;
+     Section 3.2.1's sigma_1 (forward-forward intersections, ordering
+     a1 a2 a3) must be the picked ordering, and estimated i-costs must rank
+     the plans in the same order as their actual i-costs. *)
+  let g = Generators.barabasi_albert (Rng.create 11) ~n:2500 ~m_per:5 ~recip:0.0 in
+  let cat = Catalog.create ~z:2000 g in
+  let q = Patterns.asymmetric_triangle in
+  let orders = Planner.all_wco_orders cat q in
+  let actual_icost o =
+    let c = Exec.run ~cache:false g (Plan.wco q o) in
+    float_of_int c.Counters.icost
+  in
+  (* The picked ordering must be the true best, and estimated order must
+     agree with actual order for every pair separated by more than 20% in
+     actual i-cost (near-ties may flip). *)
+  let actuals = List.map (fun (o, est) -> (o, est, actual_icost o)) orders in
+  let best_est = List.fold_left (fun a b -> let _, ea, _ = a and _, eb, _ = b in if eb < ea then b else a) (List.hd actuals) actuals in
+  let best_act = List.fold_left (fun a b -> let _, _, aa = a and _, _, ab = b in if ab < aa then b else a) (List.hd actuals) actuals in
+  let key (o, _, _) = String.concat "" (Array.to_list o |> List.map string_of_int) in
+  Alcotest.(check string) "picked = true best" (key best_act) (key best_est);
+  List.iter
+    (fun (o1, e1, a1) ->
+      List.iter
+        (fun (o2, e2, a2) ->
+          if a1 *. 1.2 < a2 then
+            check_bool
+              (Printf.sprintf "est order %s(%f) < %s(%f)" (key (o1, e1, a1)) e1
+                 (key (o2, e2, a2)) e2)
+              true (e1 < e2))
+        actuals)
+    actuals
+
+let test_cache_conscious_beats_oblivious_on_symmetric_diamond () =
+  (* Section 5.2: on the symmetric diamond-X the cache-conscious optimizer
+     picks an ordering that uses the intersection cache; the oblivious one
+     cannot tell the two groups apart. We check the conscious pick actually
+     gets cache hits at runtime. *)
+  let g = graph () in
+  let cat = cat_of g in
+  let q = Patterns.symmetric_diamond_x in
+  let order, _ = Planner.best_wco_order ~cache_conscious:true cat q in
+  let c = Exec.run ~cache:true g (Plan.wco q order) in
+  check_bool "conscious pick uses the cache" true (c.Counters.cache_hits > 0)
+
+let test_hybrid_cost_never_worse () =
+  let g = graph () in
+  let cat = cat_of g in
+  List.iter
+    (fun i ->
+      let q = Patterns.q i in
+      let _, hybrid_cost = Planner.plan cat q in
+      let _, wco_cost =
+        Planner.plan ~opts:{ Planner.default_opts with mode = Planner.Wco_only } cat q
+      in
+      check_bool
+        (Printf.sprintf "Q%d hybrid (%f) <= wco (%f)" i hybrid_cost wco_cost)
+        true
+        (hybrid_cost <= wco_cost +. 1e-6))
+    [ 1; 2; 3; 5; 8; 11; 12; 13 ]
+
+let test_beam_mode_still_correct () =
+  let g = graph () in
+  let cat = cat_of g in
+  let opts = { Planner.default_opts with beam_threshold = 4; beam_width = 3 } in
+  List.iter
+    (fun i ->
+      let q = Patterns.q i in
+      let p, _ = Planner.plan ~opts cat q in
+      check_int (Printf.sprintf "Q%d beam plan count" i) (Naive.count g q) (Exec.count g p))
+    [ 3; 8; 12; 13 ]
+
+let test_projection_constraint_no_open_triangles () =
+  (* Every Hash_join in a chosen plan must satisfy the edge-coverage rule;
+     Plan.hash_join enforces it, so just stress the planner across queries
+     and datasets to make sure construction never raises. *)
+  let g = Generators.barabasi_albert (Rng.create 12) ~n:500 ~m_per:5 ~recip:0.2 in
+  let cat = Catalog.create ~z:300 g in
+  List.iter
+    (fun i ->
+      let q = Patterns.q i in
+      let p, _ = Planner.plan cat q in
+      check_int (Printf.sprintf "Q%d on web graph" i) (Naive.count g q) (Exec.count g p))
+    [ 1; 2; 3; 4; 8; 10; 11; 13 ]
+
+let test_calibration_recovers_weights () =
+  (* Synthetic: time = icost / 1000 for E/I; hash joins obey
+     w1 = 5, w2 = 2 in the same time unit. *)
+  let ei = List.init 20 (fun i -> let ic = float_of_int ((i + 1) * 1000) in (ic, ic /. 1000.0)) in
+  let hj =
+    List.init 30 (fun i ->
+        let n1 = float_of_int ((i mod 6) + 1) *. 100.0 in
+        let n2 = float_of_int ((i mod 5) + 1) *. 300.0 in
+        (n1, n2, ((5.0 *. n1) +. (2.0 *. n2)) /. 1000.0))
+  in
+  let w = Cost.calibrate ~ei ~hj in
+  check_bool (Printf.sprintf "w1 ~5 (%f)" w.Cost.w1) true (abs_float (w.Cost.w1 -. 5.0) < 0.01);
+  check_bool (Printf.sprintf "w2 ~2 (%f)" w.Cost.w2) true (abs_float (w.Cost.w2 -. 2.0) < 0.01)
+
+let test_calibration_degenerate () =
+  let w = Cost.calibrate ~ei:[] ~hj:[] in
+  check_bool "defaults" true (w = Cost.default_weights)
+
+let test_cost_model_card_matches_catalog () =
+  let g = graph () in
+  let cat = Catalog.create ~z:1_000_000 g in
+  let q = Patterns.asymmetric_triangle in
+  let model = Cost_model.create cat q in
+  let card = Cost_model.card model (Bitset.full 3) in
+  let truth = float_of_int (Naive.count g q) in
+  check_bool
+    (Printf.sprintf "card est %f vs truth %f" card truth)
+    true
+    (Catalog.q_error ~estimate:card ~truth <= 2.0)
+
+let test_cost_model_cache_conscious_cheaper () =
+  (* On a triangle-rich graph (complete DAG: C(n,3) triangles >> C(n,2)
+     edges), the cache-friendly diamond-X ordering must cost strictly less
+     under conscious estimation: the last E/I's inputs repeat per scanned
+     edge, not per triangle. *)
+  let n = 40 in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      edges := (i, j, 0) :: !edges
+    done
+  done;
+  let g =
+    Graph.build ~num_vlabels:1 ~num_elabels:1 ~vlabel:(Array.make n 0)
+      ~edges:(Array.of_list !edges)
+  in
+  let cat = Catalog.create ~z:2000 g in
+  let q = Patterns.diamond_x in
+  (* Ordering a2 a3 a1 a4 (0-based: 1 2 0 3): last extension's descriptors
+     touch a2, a3 = the scan pair. *)
+  let order = [| 1; 2; 0; 3 |] in
+  let conscious = Planner.wco_order_cost ~cache_conscious:true cat q order in
+  let oblivious = Planner.wco_order_cost ~cache_conscious:false cat q order in
+  check_bool
+    (Printf.sprintf "conscious %f < oblivious %f" conscious oblivious)
+    true (conscious < oblivious)
+
+let suite =
+  [
+    ( "optimizer.planner",
+      [
+        Alcotest.test_case "correct on all queries" `Slow test_planner_correct_all_queries;
+        Alcotest.test_case "correct labeled" `Slow test_planner_correct_labeled;
+        Alcotest.test_case "wco-only mode" `Quick test_wco_only_mode;
+        Alcotest.test_case "bj-only 4-cycle" `Quick test_bj_only_four_cycle;
+        Alcotest.test_case "bj-only triangle impossible" `Quick test_bj_only_triangle_impossible;
+        Alcotest.test_case "beam mode" `Slow test_beam_mode_still_correct;
+        Alcotest.test_case "web graph queries" `Slow test_projection_constraint_no_open_triangles;
+        Alcotest.test_case "anti-parallel rejected" `Quick test_antiparallel_rejected;
+        Alcotest.test_case "hybrid never worse" `Slow test_hybrid_cost_never_worse;
+      ] );
+    ( "optimizer.orders",
+      [
+        Alcotest.test_case "order counts" `Quick test_wco_order_counts;
+        Alcotest.test_case "best order min" `Quick test_best_order_is_min_cost;
+        Alcotest.test_case "order cost consistent" `Quick test_wco_order_cost_consistent;
+        Alcotest.test_case "triangle directions" `Slow test_triangle_direction_choice;
+        Alcotest.test_case "cache-conscious pick" `Quick test_cache_conscious_beats_oblivious_on_symmetric_diamond;
+      ] );
+    ( "optimizer.cost",
+      [
+        Alcotest.test_case "calibration" `Quick test_calibration_recovers_weights;
+        Alcotest.test_case "calibration degenerate" `Quick test_calibration_degenerate;
+        Alcotest.test_case "card matches" `Slow test_cost_model_card_matches_catalog;
+        Alcotest.test_case "conscious cheaper" `Quick test_cost_model_cache_conscious_cheaper;
+      ] );
+  ]

@@ -1,0 +1,108 @@
+open Gf_query
+module Catalog = Gf_catalog.Catalog
+module Generators = Gf_graph.Generators
+module Rng = Gf_util.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let graph () = Generators.holme_kim (Rng.create 95) ~n:200 ~m_per:4 ~p_triad:0.5 ~recip:0.3
+
+let test_catalog_roundtrip () =
+  let g = graph () in
+  let cat = Catalog.create ~h:3 ~z:200 g in
+  (* Materialize some entries. *)
+  ignore (Catalog.entry cat Patterns.asymmetric_triangle ~new_vertex:2);
+  ignore (Catalog.entry cat Patterns.diamond_x ~new_vertex:3);
+  ignore (Catalog.entry cat (Patterns.cycle 3) ~new_vertex:2);
+  let n = Catalog.num_entries cat in
+  check_bool "entries materialized" true (n >= 3);
+  let path = Filename.temp_file "gf_cat" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Catalog.save cat path;
+      let cat2 = Catalog.load g path in
+      check_int "same entry count" n (Catalog.num_entries cat2);
+      check_int "same h" (Catalog.h cat) (Catalog.h cat2);
+      check_int "same z" (Catalog.z cat) (Catalog.z cat2);
+      (* Loaded entries must be identical (no resampling). *)
+      let e1 = Option.get (Catalog.entry cat Patterns.asymmetric_triangle ~new_vertex:2) in
+      let e2 = Option.get (Catalog.entry cat2 Patterns.asymmetric_triangle ~new_vertex:2) in
+      check_bool "identical mu" true (e1.Catalog.mu = e2.Catalog.mu);
+      check_int "identical samples" e1.Catalog.samples e2.Catalog.samples;
+      check_bool "identical sizes" true (e1.Catalog.sizes = e2.Catalog.sizes))
+
+let test_catalog_load_then_extend () =
+  (* A loaded catalogue still materializes new entries lazily. *)
+  let g = graph () in
+  let cat = Catalog.create ~h:3 ~z:200 g in
+  ignore (Catalog.entry cat Patterns.asymmetric_triangle ~new_vertex:2);
+  let path = Filename.temp_file "gf_cat" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Catalog.save cat path;
+      let cat2 = Catalog.load g path in
+      let before = Catalog.num_entries cat2 in
+      ignore (Catalog.entry cat2 Patterns.tailed_triangle ~new_vertex:3);
+      check_bool "lazy growth after load" true (Catalog.num_entries cat2 > before))
+
+let test_catalog_load_errors () =
+  let g = graph () in
+  let fails content =
+    let path = Filename.temp_file "gf_cat" ".txt" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let oc = open_out path in
+        output_string oc content;
+        close_out oc;
+        try
+          ignore (Catalog.load g path);
+          false
+        with Failure _ -> true)
+  in
+  check_bool "empty" true (fails "");
+  check_bool "bad header" true (fails "nope\n");
+  check_bool "bad params" true (fails "graphflow-catalog v1\nxyz\n");
+  check_bool "orphan size" true (fails "graphflow-catalog v1\n3 100\nsize 0 f 0 1.0\n")
+
+let test_count_fast_matches_count () =
+  let g = graph () in
+  let open Gf_plan in
+  let open Gf_exec in
+  List.iter
+    (fun i ->
+      let q = Patterns.q i in
+      List.iter
+        (fun order ->
+          let plan = Plan.wco q order in
+          check_int
+            (Printf.sprintf "Q%d count_fast" i)
+            (Exec.count g plan) (Exec.count_fast g plan))
+        (List.filteri (fun j _ -> j < 3) (Query.connected_orders q)))
+    [ 1; 2; 3; 4; 5; 11 ]
+
+let test_count_fast_non_extend_root () =
+  let g = graph () in
+  let open Gf_plan in
+  let open Gf_exec in
+  let q = Patterns.cycle 4 in
+  let plan = Plan.hash_join q (Plan.wco q [| 0; 1; 2 |]) (Plan.wco q [| 2; 3; 0 |]) in
+  check_int "join root falls back" (Exec.count g plan) (Exec.count_fast g plan)
+
+let suite =
+  [
+    ( "persistence",
+      [
+        Alcotest.test_case "catalog roundtrip" `Quick test_catalog_roundtrip;
+        Alcotest.test_case "load then extend" `Quick test_catalog_load_then_extend;
+        Alcotest.test_case "load errors" `Quick test_catalog_load_errors;
+      ] );
+    ( "exec.count_fast",
+      [
+        Alcotest.test_case "matches count" `Quick test_count_fast_matches_count;
+        Alcotest.test_case "non-extend root" `Quick test_count_fast_non_extend_root;
+      ] );
+  ]

@@ -1,0 +1,256 @@
+open Gf_query
+module Bitset = Gf_util.Bitset
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let triangle = Patterns.asymmetric_triangle
+let dx = Patterns.diamond_x
+
+let test_create_validation () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check_bool "self loop" true
+    (bad (fun () -> Query.unlabeled_edges 2 [ (0, 0) ]));
+  check_bool "duplicate edge" true
+    (bad (fun () -> Query.unlabeled_edges 2 [ (0, 1); (0, 1) ]));
+  check_bool "out of range" true (bad (fun () -> Query.unlabeled_edges 2 [ (0, 2) ]));
+  check_bool "anti-parallel ok" false
+    (bad (fun () -> Query.unlabeled_edges 2 [ (0, 1); (1, 0) ]))
+
+let test_basic_accessors () =
+  check_int "n" 4 (Query.num_vertices dx);
+  check_int "m" 5 (Query.num_edges dx);
+  check_bool "has 0->1" true (Query.has_edge dx 0 1);
+  check_bool "no 1->0" false (Query.has_edge dx 1 0);
+  check_bool "adjacent both ways" true (Query.adjacent dx 1 0);
+  Alcotest.(check (list int)) "neighbours of a2" [ 0; 2; 3 ]
+    (Bitset.elements (Query.neighbours dx 1))
+
+let test_connectivity () =
+  check_bool "triangle connected" true (Query.is_connected triangle);
+  check_bool "subset {0,1}" true (Query.is_connected_subset dx (Bitset.of_list [ 0; 1 ]));
+  check_bool "subset {0,3}" false (Query.is_connected_subset dx (Bitset.of_list [ 0; 3 ]));
+  check_bool "singleton" true (Query.is_connected_subset dx (Bitset.singleton 2));
+  check_bool "empty" false (Query.is_connected_subset dx Bitset.empty);
+  let disconnected =
+    Query.create ~num_vertices:4
+      ~edges:[| { Query.src = 0; dst = 1; label = 0 }; { Query.src = 2; dst = 3; label = 0 } |]
+      ()
+  in
+  check_bool "disconnected" false (Query.is_connected disconnected)
+
+let test_induced () =
+  (* Diamond-X onto {a1,a2,a3} = triangle. *)
+  let sub, map = Query.induced dx (Bitset.of_list [ 0; 1; 2 ]) in
+  check_int "sub n" 3 (Query.num_vertices sub);
+  check_int "sub m" 3 (Query.num_edges sub);
+  Alcotest.(check (array int)) "map" [| 0; 1; 2 |] map;
+  check_bool "iso to triangle" true (Canon.iso sub triangle);
+  (* Onto {a2,a3,a4}: triangle a2->a3, a2->a4, a3->a4. *)
+  let sub2, map2 = Query.induced dx (Bitset.of_list [ 1; 2; 3 ]) in
+  Alcotest.(check (array int)) "map2" [| 1; 2; 3 |] map2;
+  check_bool "second triangle" true (Canon.iso sub2 triangle);
+  (* Onto {a1,a4}: no edges. *)
+  let sub3, _ = Query.induced dx (Bitset.of_list [ 0; 3 ]) in
+  check_int "no edges" 0 (Query.num_edges sub3)
+
+let test_connected_orders_triangle () =
+  let orders = Query.connected_orders triangle in
+  (* Triangle: all 3! = 6 orders have connected prefixes. *)
+  check_int "count" 6 (List.length orders);
+  List.iter
+    (fun o ->
+      check_int "length" 3 (Array.length o);
+      let sorted = Array.copy o in
+      Array.sort compare sorted;
+      Alcotest.(check (array int)) "permutation" [| 0; 1; 2 |] sorted)
+    orders
+
+let test_connected_orders_star () =
+  (* 4-star: center 0. First vertex can be anything, but prefixes must stay
+     connected: after two leaves without center, disconnected. *)
+  let star = Patterns.q 11 in
+  let orders = Query.connected_orders star in
+  List.iter
+    (fun o ->
+      let prefix = ref Bitset.empty in
+      Array.iter
+        (fun v ->
+          prefix := Bitset.add v !prefix;
+          check_bool "prefix connected" true (Query.is_connected_subset star !prefix))
+        o)
+    orders;
+  (* center first: 4! orders; center second: 4 choices of first leaf, then 3! = 24+24 = 48 *)
+  check_int "count" 48 (List.length orders)
+
+let test_connected_orders_extending () =
+  let orders = Query.connected_orders_extending dx ~bound:(Bitset.of_list [ 0; 1 ]) in
+  (* Extend {a1,a2} by {a3,a4}: a3 first then a4 always ok; a4 first (adj to
+     a2) then a3 ok: 2 orders. *)
+  check_int "count" 2 (List.length orders);
+  List.iter (fun o -> check_int "len" 2 (Array.length o)) orders
+
+let test_automorphisms () =
+  check_int "asym triangle trivial" 1 (List.length (Query.automorphisms triangle));
+  check_int "diamond-x trivial" 1 (List.length (Query.automorphisms dx));
+  (* Directed 4-cycle has the rotation group of order 4. *)
+  check_int "4-cycle rotations" 4 (List.length (Query.automorphisms (Patterns.cycle 4)));
+  (* Symmetric diamond-X: swapping the two 3-cycles (a1 <-> a4). *)
+  check_int "sym diamond-x" 2 (List.length (Query.automorphisms Patterns.symmetric_diamond_x))
+
+let test_relabel_vertices () =
+  let perm = [| 2; 0; 1 |] in
+  let t2 = Query.relabel_vertices triangle perm in
+  (* 0->1 becomes 2->0, 1->2 becomes 0->1, 0->2 becomes 2->1 *)
+  check_bool "2->0" true (Query.has_edge t2 2 0);
+  check_bool "0->1" true (Query.has_edge t2 0 1);
+  check_bool "2->1" true (Query.has_edge t2 2 1);
+  check_bool "equal self" true (Query.equal triangle triangle);
+  check_bool "not equal" false (Query.equal triangle t2)
+
+(* ---------- Canon ---------- *)
+
+let test_canon_iso_invariance () =
+  (* Any vertex renaming of diamond-X has the same code. *)
+  let base, _ = (Canon.code dx, ()) in
+  List.iter
+    (fun perm_list ->
+      let perm = Array.of_list perm_list in
+      let renamed = Query.relabel_vertices dx perm in
+      Alcotest.(check string) "code invariant" (fst base) (fst (Canon.code renamed)))
+    [ [ 1; 0; 2; 3 ]; [ 3; 2; 1; 0 ]; [ 2; 3; 0; 1 ] ]
+
+let test_canon_distinguishes () =
+  check_bool "triangle vs 3-cycle" false (Canon.iso triangle (Patterns.cycle 3));
+  check_bool "dx vs tailed" false (Canon.iso dx Patterns.tailed_triangle);
+  check_bool "labels matter" false
+    (Canon.iso triangle
+       (Query.create ~num_vertices:3 ~vlabels:[| 1; 0; 0 |]
+          ~edges:(triangle.Query.edges) ()))
+
+let test_canon_mark () =
+  (* Tailed triangle: marking the tail vertex vs a triangle vertex differ. *)
+  let t = Patterns.tailed_triangle in
+  check_bool "mark 3 vs mark 0" false
+    (fst (Canon.code ~mark:3 t) = fst (Canon.code ~mark:0 t));
+  (* In the directed 3-cycle every vertex is equivalent: marks agree. *)
+  let c3 = Patterns.cycle 3 in
+  Alcotest.(check string) "cycle marks equal"
+    (fst (Canon.code ~mark:0 c3))
+    (fst (Canon.code ~mark:1 c3))
+
+let test_canon_perm_is_consistent () =
+  let code, perm = Canon.code dx in
+  (* Applying the returned permutation must give a query whose identity
+     permutation yields the same code. *)
+  let canonical = Query.relabel_vertices dx perm in
+  let code2, _ = Canon.code canonical in
+  Alcotest.(check string) "perm consistent" code code2
+
+(* Property: canonical code is invariant under random relabeling. *)
+let prop_canon_invariant =
+  let gen = QCheck2.Gen.(pair (int_range 2 5) (int_bound 1000)) in
+  QCheck2.Test.make ~name:"canon code invariant under relabeling" ~count:100 gen
+    (fun (n, seed) ->
+      let rng = Gf_util.Rng.create seed in
+      let q = Patterns.random_query rng ~num_vertices:n ~dense:true ~num_vlabels:2 in
+      let perm = Array.init n (fun i -> i) in
+      Gf_util.Rng.shuffle rng perm;
+      let q2 = Query.relabel_vertices q perm in
+      fst (Canon.code q) = fst (Canon.code q2))
+
+(* ---------- Parser ---------- *)
+
+let test_parser_triangle () =
+  let q = Parser.parse "a1->a2, a2->a3, a1->a3" in
+  check_bool "parses to triangle" true (Query.equal q triangle)
+
+let test_parser_labels () =
+  let q = Parser.parse "u:1, u->v@2, v->w, w:3" in
+  check_int "vlabel u" 1 (Query.vlabel q 0);
+  check_int "vlabel v" 0 (Query.vlabel q 1);
+  check_int "vlabel w" 3 (Query.vlabel q 2);
+  check_bool "edge label" true
+    (Array.exists (fun e -> e.Query.src = 0 && e.Query.dst = 1 && e.Query.label = 2)
+       q.Query.edges)
+
+let test_parser_errors () =
+  let fails s = try ignore (Parser.parse s); false with Failure _ -> true in
+  check_bool "empty" true (fails "");
+  check_bool "garbage" true (fails "hello world");
+  check_bool "self loop" true (fails "a->a");
+  check_bool "disconnected" true (fails "a->b, c->d");
+  check_bool "dup edge" true (fails "a->b, a->b")
+
+(* ---------- Patterns ---------- *)
+
+let test_patterns_shapes () =
+  let expect = [ (1, 3, 3); (2, 4, 4); (3, 4, 5); (4, 4, 5); (5, 4, 6); (6, 4, 6);
+                 (7, 5, 10); (8, 5, 6); (9, 6, 8); (10, 6, 8); (11, 5, 4); (12, 6, 6);
+                 (13, 6, 5); (14, 7, 21) ] in
+  List.iter
+    (fun (i, n, m) ->
+      let q = Patterns.q i in
+      check_int (Printf.sprintf "Q%d vertices" i) n (Query.num_vertices q);
+      check_int (Printf.sprintf "Q%d edges" i) m (Query.num_edges q);
+      check_bool (Printf.sprintf "Q%d connected" i) true (Query.is_connected q))
+    expect
+
+let test_patterns_q12_is_cycle () =
+  check_bool "Q12 = 6-cycle" true (Canon.iso (Patterns.q 12) (Patterns.cycle 6))
+
+let test_randomize_edge_labels () =
+  let rng = Gf_util.Rng.create 17 in
+  let q = Patterns.randomize_edge_labels rng (Patterns.q 3) ~num_elabels:3 in
+  check_int "same shape" 5 (Query.num_edges q);
+  check_bool "labels in range" true
+    (Array.for_all (fun e -> e.Query.label >= 0 && e.Query.label < 3) q.Query.edges)
+
+let test_random_query () =
+  let rng = Gf_util.Rng.create 23 in
+  for n = 3 to 10 do
+    let sparse = Patterns.random_query rng ~num_vertices:n ~dense:false ~num_vlabels:4 in
+    let dense = Patterns.random_query rng ~num_vertices:n ~dense:true ~num_vlabels:4 in
+    check_bool "sparse connected" true (Query.is_connected sparse);
+    check_bool "dense connected" true (Query.is_connected dense);
+    check_bool "dense has more edges" true
+      (Query.num_edges dense >= Query.num_edges sparse)
+  done
+
+let suite =
+  let q t = QCheck_alcotest.to_alcotest t in
+  [
+    ( "query.core",
+      [
+        Alcotest.test_case "validation" `Quick test_create_validation;
+        Alcotest.test_case "accessors" `Quick test_basic_accessors;
+        Alcotest.test_case "connectivity" `Quick test_connectivity;
+        Alcotest.test_case "induced" `Quick test_induced;
+        Alcotest.test_case "orders triangle" `Quick test_connected_orders_triangle;
+        Alcotest.test_case "orders star" `Quick test_connected_orders_star;
+        Alcotest.test_case "orders extending" `Quick test_connected_orders_extending;
+        Alcotest.test_case "automorphisms" `Quick test_automorphisms;
+        Alcotest.test_case "relabel" `Quick test_relabel_vertices;
+      ] );
+    ( "query.canon",
+      [
+        Alcotest.test_case "iso invariance" `Quick test_canon_iso_invariance;
+        Alcotest.test_case "distinguishes" `Quick test_canon_distinguishes;
+        Alcotest.test_case "marks" `Quick test_canon_mark;
+        Alcotest.test_case "perm consistent" `Quick test_canon_perm_is_consistent;
+        q prop_canon_invariant;
+      ] );
+    ( "query.parser",
+      [
+        Alcotest.test_case "triangle" `Quick test_parser_triangle;
+        Alcotest.test_case "labels" `Quick test_parser_labels;
+        Alcotest.test_case "errors" `Quick test_parser_errors;
+      ] );
+    ( "query.patterns",
+      [
+        Alcotest.test_case "shapes" `Quick test_patterns_shapes;
+        Alcotest.test_case "q12 cycle" `Quick test_patterns_q12_is_cycle;
+        Alcotest.test_case "randomize labels" `Quick test_randomize_edge_labels;
+        Alcotest.test_case "random query" `Quick test_random_query;
+      ] );
+  ]

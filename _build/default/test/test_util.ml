@@ -1,0 +1,334 @@
+open Gf_util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------- Int_vec ---------- *)
+
+let test_int_vec_basic () =
+  let v = Int_vec.create () in
+  check_bool "empty" true (Int_vec.is_empty v);
+  for i = 0 to 99 do
+    Int_vec.push v (i * 2)
+  done;
+  check_int "length" 100 (Int_vec.length v);
+  check_int "get 7" 14 (Int_vec.get v 7);
+  Int_vec.set v 7 (-1);
+  check_int "set/get" (-1) (Int_vec.get v 7);
+  Int_vec.clear v;
+  check_int "cleared" 0 (Int_vec.length v)
+
+let test_int_vec_bounds () =
+  let v = Int_vec.of_array [| 1; 2; 3 |] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Int_vec.get") (fun () ->
+      ignore (Int_vec.get v 3));
+  Alcotest.check_raises "get neg" (Invalid_argument "Int_vec.get") (fun () ->
+      ignore (Int_vec.get v (-1)));
+  Alcotest.check_raises "set oob" (Invalid_argument "Int_vec.set") (fun () ->
+      Int_vec.set v 5 0)
+
+let test_int_vec_append () =
+  let a = Int_vec.of_array [| 1; 2 |] and b = Int_vec.of_array [| 3; 4; 5 |] in
+  Int_vec.append a b;
+  Alcotest.(check (array int)) "append" [| 1; 2; 3; 4; 5 |] (Int_vec.to_array a);
+  let c = Int_vec.create () in
+  Int_vec.push_array c [| 9; 8; 7; 6 |] 1 3;
+  Alcotest.(check (array int)) "push_array slice" [| 8; 7 |] (Int_vec.to_array c)
+
+let test_int_vec_copy_from () =
+  let a = Int_vec.of_array [| 1; 2; 3 |] in
+  let b = Int_vec.of_array [| 9 |] in
+  Int_vec.copy_from b a;
+  Alcotest.(check (array int)) "copied" [| 1; 2; 3 |] (Int_vec.to_array b);
+  Int_vec.push a 4;
+  check_int "independent" 3 (Int_vec.length b)
+
+let test_int_vec_fold_iter () =
+  let v = Int_vec.of_array [| 1; 2; 3; 4 |] in
+  check_int "fold sum" 10 (Int_vec.fold_left ( + ) 0 v);
+  let acc = ref [] in
+  Int_vec.iter (fun x -> acc := x :: !acc) v;
+  Alcotest.(check (list int)) "iter order" [ 4; 3; 2; 1 ] !acc
+
+(* ---------- Rng ---------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref true in
+  for _ = 1 to 20 do
+    if Rng.int a 1_000_000 <> Rng.int b 1_000_000 then same := false
+  done;
+  check_bool "streams differ" false !same
+
+let test_rng_range () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 17 in
+    check_bool "in range" true (x >= 0 && x < 17)
+  done
+
+let test_rng_uniformity () =
+  let r = Rng.create 11 in
+  let buckets = Array.make 10 0 in
+  let trials = 50_000 in
+  for _ = 1 to trials do
+    let i = Rng.int r 10 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let frac = float_of_int c /. float_of_int trials in
+      check_bool (Printf.sprintf "bucket %d near 0.1 (%f)" i frac) true
+        (frac > 0.08 && frac < 0.12))
+    buckets
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 5 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_sample_without_replacement () =
+  let r = Rng.create 9 in
+  let s = Rng.sample_without_replacement r ~n:100 ~k:30 in
+  check_int "size" 30 (Array.length s);
+  let distinct = Hashtbl.create 64 in
+  Array.iter
+    (fun x ->
+      check_bool "range" true (x >= 0 && x < 100);
+      check_bool "distinct" false (Hashtbl.mem distinct x);
+      Hashtbl.replace distinct x ())
+    s;
+  check_bool "ascending" true (Sorted.is_sorted_strict s 0 (Array.length s))
+
+let test_rng_geometric () =
+  let r = Rng.create 13 in
+  check_int "p=1 is 0" 0 (Rng.geometric r 1.0);
+  let sum = ref 0 in
+  let trials = 20_000 in
+  for _ = 1 to trials do
+    sum := !sum + Rng.geometric r 0.5
+  done;
+  (* mean of geometric(0.5) failures-before-success = 1 *)
+  let mean = float_of_int !sum /. float_of_int trials in
+  check_bool (Printf.sprintf "mean near 1 (%f)" mean) true (mean > 0.9 && mean < 1.1)
+
+(* ---------- Sorted ---------- *)
+
+let naive_intersect a b =
+  Array.to_list a |> List.filter (fun x -> Array.exists (( = ) x) b) |> Array.of_list
+
+let test_intersect2_small () =
+  let a = [| 1; 3; 5; 7; 9 |] and b = [| 2; 3; 4; 7; 10 |] in
+  let out = Int_vec.create () in
+  Sorted.intersect2 out a 0 (Array.length a) b 0 (Array.length b);
+  Alcotest.(check (array int)) "intersection" [| 3; 7 |] (Int_vec.to_array out)
+
+let test_intersect2_disjoint_and_empty () =
+  let out = Int_vec.create () in
+  Sorted.intersect2 out [| 1; 2 |] 0 2 [| 3; 4 |] 0 2;
+  check_int "disjoint" 0 (Int_vec.length out);
+  Sorted.intersect2 out [||] 0 0 [| 1 |] 0 1;
+  check_int "empty lhs" 0 (Int_vec.length out)
+
+let test_intersect2_galloping_path () =
+  (* Force the galloping branch with a strongly skewed size ratio. *)
+  let big = Array.init 10_000 (fun i -> i * 3) in
+  let small = [| 0; 4242; 4243; 2999 * 3; 9999 * 3 |] in
+  let out = Int_vec.create () in
+  Sorted.intersect2 out small 0 (Array.length small) big 0 (Array.length big);
+  (* 4242 = 3 * 1414 is in [big]; 4243 is not. *)
+  Alcotest.(check (array int)) "gallop" [| 0; 4242; 2999 * 3; 9999 * 3 |] (Int_vec.to_array out)
+
+let test_intersect2_slices () =
+  let a = [| 0; 1; 2; 3; 4; 5 |] in
+  let out = Int_vec.create () in
+  (* Only consider a[2..5) = {2,3,4} against {3,4,5}. *)
+  Sorted.intersect2 out a 2 5 [| 3; 4; 5 |] 0 3;
+  Alcotest.(check (array int)) "slice" [| 3; 4 |] (Int_vec.to_array out)
+
+let test_intersect_multiway () =
+  let slices =
+    [|
+      ([| 1; 2; 3; 4; 5; 6; 7; 8 |], 0, 8);
+      ([| 2; 4; 6; 8; 10 |], 0, 5);
+      ([| 4; 5; 6; 7; 8 |], 0, 5);
+    |]
+  in
+  let out = Int_vec.create () and scratch = Int_vec.create () in
+  Sorted.intersect out slices ~scratch;
+  Alcotest.(check (array int)) "3-way" [| 4; 6; 8 |] (Int_vec.to_array out)
+
+let test_intersect_single_and_zero () =
+  let out = Int_vec.create () and scratch = Int_vec.create () in
+  Sorted.intersect out [| ([| 5; 6 |], 0, 2) |] ~scratch;
+  Alcotest.(check (array int)) "1-way copies" [| 5; 6 |] (Int_vec.to_array out);
+  Int_vec.clear out;
+  Sorted.intersect out [||] ~scratch;
+  check_int "0-way empty" 0 (Int_vec.length out)
+
+let test_leapfrog_small () =
+  let slices =
+    [|
+      ([| 1; 2; 3; 4; 5; 6; 7; 8 |], 0, 8);
+      ([| 2; 4; 6; 8; 10 |], 0, 5);
+      ([| 4; 5; 6; 7; 8 |], 0, 5);
+    |]
+  in
+  let out = Int_vec.create () in
+  Sorted.leapfrog out slices;
+  Alcotest.(check (array int)) "3-way leapfrog" [| 4; 6; 8 |] (Int_vec.to_array out)
+
+let test_leapfrog_edge_cases () =
+  let out = Int_vec.create () in
+  Sorted.leapfrog out [||];
+  check_int "0-way" 0 (Int_vec.length out);
+  Sorted.leapfrog out [| ([| 3; 9 |], 0, 2) |];
+  Alcotest.(check (array int)) "1-way copies" [| 3; 9 |] (Int_vec.to_array out);
+  Int_vec.clear out;
+  Sorted.leapfrog out [| ([| 1 |], 0, 1); ([||], 0, 0) |];
+  check_int "empty iterator" 0 (Int_vec.length out);
+  Int_vec.clear out;
+  Sorted.leapfrog out [| ([| 1; 3 |], 0, 2); ([| 2; 4 |], 0, 2) |];
+  check_int "disjoint" 0 (Int_vec.length out)
+
+let prop_leapfrog_matches_pairwise =
+  let gen = QCheck2.Gen.(list_size (int_range 2 6) (list_size (int_bound 120) (int_bound 400))) in
+  QCheck2.Test.make ~name:"leapfrog = pairwise cascade" ~count:300 gen (fun lists ->
+      let arrays = List.map (fun l -> List.sort_uniq compare l |> Array.of_list) lists in
+      let slices = Array.of_list (List.map (fun a -> (a, 0, Array.length a)) arrays) in
+      let out1 = Int_vec.create () and scratch = Int_vec.create () in
+      Sorted.intersect out1 slices ~scratch;
+      let out2 = Int_vec.create () in
+      Sorted.leapfrog out2 slices;
+      Int_vec.to_array out1 = Int_vec.to_array out2)
+
+let test_lower_bound_member () =
+  let a = [| 2; 4; 6; 8 |] in
+  check_int "lb exact" 1 (Sorted.lower_bound a 0 4 4);
+  check_int "lb between" 2 (Sorted.lower_bound a 0 4 5);
+  check_int "lb before" 0 (Sorted.lower_bound a 0 4 0);
+  check_int "lb after" 4 (Sorted.lower_bound a 0 4 99);
+  check_bool "member yes" true (Sorted.member a 0 4 6);
+  check_bool "member no" false (Sorted.member a 0 4 5)
+
+(* Property: intersect2 agrees with a naive quadratic implementation. *)
+let prop_intersect2 =
+  let gen =
+    QCheck2.Gen.(
+      pair (list_size (int_bound 200) (int_bound 500)) (list_size (int_bound 200) (int_bound 500)))
+  in
+  QCheck2.Test.make ~name:"intersect2 matches naive" ~count:300 gen (fun (la, lb) ->
+      let dedup_sort l = List.sort_uniq compare l |> Array.of_list in
+      let a = dedup_sort la and b = dedup_sort lb in
+      let out = Int_vec.create () in
+      Sorted.intersect2 out a 0 (Array.length a) b 0 (Array.length b);
+      Int_vec.to_array out = naive_intersect a b)
+
+let prop_intersect_multiway =
+  let gen = QCheck2.Gen.(list_size (int_range 2 5) (list_size (int_bound 100) (int_bound 300))) in
+  QCheck2.Test.make ~name:"k-way intersect matches pairwise folding" ~count:200 gen
+    (fun lists ->
+      let arrays = List.map (fun l -> List.sort_uniq compare l |> Array.of_list) lists in
+      let slices = Array.of_list (List.map (fun a -> (a, 0, Array.length a)) arrays) in
+      let out = Int_vec.create () and scratch = Int_vec.create () in
+      Sorted.intersect out slices ~scratch;
+      let expected =
+        match arrays with
+        | [] -> [||]
+        | first :: rest -> List.fold_left (fun acc a -> naive_intersect acc a) first rest
+      in
+      Int_vec.to_array out = expected)
+
+let prop_gallop_equals_tandem =
+  let gen = QCheck2.Gen.(pair (list_size (int_bound 20) (int_bound 2000)) (list_size (int_range 500 800) (int_bound 2000))) in
+  QCheck2.Test.make ~name:"gallop path = tandem path" ~count:100 gen (fun (la, lb) ->
+      let a = List.sort_uniq compare la |> Array.of_list in
+      let b = List.sort_uniq compare lb |> Array.of_list in
+      let out = Int_vec.create () in
+      Sorted.intersect2 out a 0 (Array.length a) b 0 (Array.length b);
+      Int_vec.to_array out = naive_intersect a b)
+
+(* ---------- Bitset ---------- *)
+
+let test_bitset_basic () =
+  let s = Bitset.of_list [ 0; 3; 5 ] in
+  check_bool "mem 3" true (Bitset.mem 3 s);
+  check_bool "mem 1" false (Bitset.mem 1 s);
+  check_int "cardinal" 3 (Bitset.cardinal s);
+  Alcotest.(check (list int)) "elements sorted" [ 0; 3; 5 ] (Bitset.elements s);
+  check_int "min_elt" 0 (Bitset.min_elt s);
+  let s2 = Bitset.remove 0 s in
+  check_int "min after remove" 3 (Bitset.min_elt s2);
+  check_bool "subset" true (Bitset.subset s2 s);
+  check_bool "not subset" false (Bitset.subset s s2)
+
+let test_bitset_set_ops () =
+  let a = Bitset.of_list [ 1; 2; 3 ] and b = Bitset.of_list [ 3; 4 ] in
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4 ] (Bitset.elements (Bitset.union a b));
+  Alcotest.(check (list int)) "inter" [ 3 ] (Bitset.elements (Bitset.inter a b));
+  Alcotest.(check (list int)) "diff" [ 1; 2 ] (Bitset.elements (Bitset.diff a b));
+  check_int "full 4" 15 (Bitset.full 4)
+
+let test_bitset_subset_enumeration () =
+  let s = Bitset.of_list [ 0; 1; 2 ] in
+  let subsets = Bitset.fold_proper_nonempty_subsets (fun x acc -> x :: acc) s [] in
+  check_int "2^3 - 2 proper nonempty" 6 (List.length subsets);
+  List.iter
+    (fun x ->
+      check_bool "proper" true (x <> s && x <> Bitset.empty);
+      check_bool "subset" true (Bitset.subset x s))
+    subsets
+
+let suite =
+  let q t = QCheck_alcotest.to_alcotest t in
+  [
+    ( "util.int_vec",
+      [
+        Alcotest.test_case "basic" `Quick test_int_vec_basic;
+        Alcotest.test_case "bounds" `Quick test_int_vec_bounds;
+        Alcotest.test_case "append" `Quick test_int_vec_append;
+        Alcotest.test_case "copy_from" `Quick test_int_vec_copy_from;
+        Alcotest.test_case "fold/iter" `Quick test_int_vec_fold_iter;
+      ] );
+    ( "util.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "seeds differ" `Quick test_rng_different_seeds;
+        Alcotest.test_case "range" `Quick test_rng_range;
+        Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+        Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+        Alcotest.test_case "sample w/o replacement" `Quick test_rng_sample_without_replacement;
+        Alcotest.test_case "geometric" `Quick test_rng_geometric;
+      ] );
+    ( "util.sorted",
+      [
+        Alcotest.test_case "intersect2 small" `Quick test_intersect2_small;
+        Alcotest.test_case "disjoint/empty" `Quick test_intersect2_disjoint_and_empty;
+        Alcotest.test_case "galloping" `Quick test_intersect2_galloping_path;
+        Alcotest.test_case "slices" `Quick test_intersect2_slices;
+        Alcotest.test_case "multiway" `Quick test_intersect_multiway;
+        Alcotest.test_case "single/zero way" `Quick test_intersect_single_and_zero;
+        Alcotest.test_case "lower_bound/member" `Quick test_lower_bound_member;
+        Alcotest.test_case "leapfrog small" `Quick test_leapfrog_small;
+        Alcotest.test_case "leapfrog edges" `Quick test_leapfrog_edge_cases;
+        q prop_intersect2;
+        q prop_intersect_multiway;
+        q prop_gallop_equals_tandem;
+        q prop_leapfrog_matches_pairwise;
+      ] );
+    ( "util.bitset",
+      [
+        Alcotest.test_case "basic" `Quick test_bitset_basic;
+        Alcotest.test_case "set ops" `Quick test_bitset_set_ops;
+        Alcotest.test_case "subset enumeration" `Quick test_bitset_subset_enumeration;
+      ] );
+  ]
