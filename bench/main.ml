@@ -404,6 +404,19 @@ let figure10 () =
 (* Figure 11: parallel scalability (hardware-gated: 1 physical core).  *)
 (* ------------------------------------------------------------------ *)
 
+let busy_stats (r : Gf.Parallel.report) =
+  (* max/min per-domain busy time: 1.00 is a perfectly balanced load *)
+  let busys =
+    Array.to_list r.Gf.Parallel.per_domain
+    |> List.map (fun (c : Gf.Counters.t) -> c.Gf.Counters.busy_s)
+    |> List.filter (fun b -> b > 0.)
+  in
+  match busys with
+  | [] -> 1.0
+  | b :: rest ->
+      let mx = List.fold_left max b rest and mn = List.fold_left min b rest in
+      if mn <= 0. then Float.infinity else mx /. mn
+
 let figure11 () =
   header "Figure 11: work-stealing parallel execution (NOTE: container has 1 physical core)";
   let runs =
@@ -423,14 +436,33 @@ let figure11 () =
       List.iter
         (fun d ->
           let t, r = time_once (fun () -> Gf.Parallel.run ~domains:d g plan) in
-          let active = Array.fold_left (fun a o -> a + if o > 0 then 1 else 0) 0 r.Gf.Parallel.per_domain_output in
-          Printf.printf "  %dd: %.3fs (%d active)" d t active)
+          let active =
+            Array.fold_left (fun a o -> a + if o > 0 then 1 else 0) 0 r.Gf.Parallel.per_domain_output
+          in
+          let c = r.Gf.Parallel.counters in
+          Printf.printf "  %dd: %.3fs (%d active, %d morsels, %d steals, imb %.2f)" d t
+            active c.Gf.Counters.morsels c.Gf.Counters.steals (busy_stats r))
         [ 1; 2; 4 ];
       print_newline ())
     runs;
+  (* A/B: static chunked scheduling vs morsel-driven work stealing on the
+     most skewed dataset. The imbalance column (max/min per-domain busy
+     time) is the figure's point: stealing flattens it. *)
+  subheader "chunked baseline vs morsel-driven (Q1 twitter, 4 domains)";
+  let g = dataset_at (Gf.Generators.Twitter, scale *. 0.5) in
+  let q = Gf.Patterns.q 1 in
+  let order, _ = Gf.Planner.best_wco_order (catalog g) q in
+  let plan = Gf.Plan.wco q order in
+  let t_old, r_old = time_once (fun () -> Gf.Parallel.run_chunked ~domains:4 ~chunk:64 g plan) in
+  let t_new, r_new = time_once (fun () -> Gf.Parallel.run ~domains:4 ~chunk:64 g plan) in
+  Printf.printf "chunked: %.3fs  imbalance %.2f  (hash-join builds re-run per domain)\n" t_old
+    (busy_stats r_old);
+  Printf.printf "morsel:  %.3fs  imbalance %.2f  (%d morsels, %d steals, builds shared)\n" t_new
+    (busy_stats r_new) r_new.Gf.Parallel.counters.Gf.Counters.morsels
+    r_new.Gf.Parallel.counters.Gf.Counters.steals;
   print_endline
-    "(on one physical core the speedup cannot manifest; the per-domain outputs show the";
-  print_endline " shared work queue functioning — see EXPERIMENTS.md)"
+    "(on one physical core the speedup cannot manifest; morsel counts, steal counts and";
+  print_endline " the busy-time imbalance show the scheduler functioning — see EXPERIMENTS.md)"
 
 (* ------------------------------------------------------------------ *)
 (* Tables 10 & 11: catalogue accuracy (q-error) vs z and h.            *)

@@ -42,6 +42,7 @@ type step = {
   slices : Sorted.slice array;
   result : Int_vec.t;
   scratch : Int_vec.t;
+  scratch2 : Int_vec.t;
   mutable cache_valid : bool;
 }
 
@@ -108,6 +109,7 @@ let build_ordering cat model q ~anchor_vars ~bound_set ~fixed_schema order =
             slices = Array.make nd ([||], 0, 0);
             result = Int_vec.create ~capacity:32 ();
             scratch = Int_vec.create ~capacity:32 ();
+            scratch2 = Int_vec.create ~capacity:32 ();
             cache_valid = false;
           }
         in
@@ -254,7 +256,7 @@ let run ?(cache = true) ?limit ?(sink = fun _ -> ()) cat g q plan =
                         done;
                         c.Counters.intersections <- c.Counters.intersections + 1;
                         Int_vec.clear st.result;
-                        Sorted.intersect st.result st.slices ~scratch:st.scratch;
+                        Sorted.intersect ~scratch2:st.scratch2 st.result st.slices ~scratch:st.scratch;
                         Array.blit st.srcs 0 st.last_srcs 0 nd;
                         st.cache_valid <- true
                       end;

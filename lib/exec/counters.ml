@@ -6,6 +6,9 @@ type t = {
   mutable intersections : int;
   mutable hj_build_tuples : int;
   mutable hj_probe_tuples : int;
+  mutable morsels : int;
+  mutable steals : int;
+  mutable busy_s : float;
 }
 
 let create () =
@@ -17,6 +20,9 @@ let create () =
     intersections = 0;
     hj_build_tuples = 0;
     hj_probe_tuples = 0;
+    morsels = 0;
+    steals = 0;
+    busy_s = 0.0;
   }
 
 let intermediate c = c.produced - c.output
@@ -28,7 +34,10 @@ let add dst src =
   dst.cache_hits <- dst.cache_hits + src.cache_hits;
   dst.intersections <- dst.intersections + src.intersections;
   dst.hj_build_tuples <- dst.hj_build_tuples + src.hj_build_tuples;
-  dst.hj_probe_tuples <- dst.hj_probe_tuples + src.hj_probe_tuples
+  dst.hj_probe_tuples <- dst.hj_probe_tuples + src.hj_probe_tuples;
+  dst.morsels <- dst.morsels + src.morsels;
+  dst.steals <- dst.steals + src.steals;
+  dst.busy_s <- dst.busy_s +. src.busy_s
 
 let merge cs =
   let out = create () in
@@ -38,4 +47,6 @@ let merge cs =
 let pp fmt c =
   Format.fprintf fmt
     "output=%d intermediate=%d icost=%d cache_hits=%d intersections=%d hj=(%d,%d)" c.output
-    (intermediate c) c.icost c.cache_hits c.intersections c.hj_build_tuples c.hj_probe_tuples
+    (intermediate c) c.icost c.cache_hits c.intersections c.hj_build_tuples c.hj_probe_tuples;
+  if c.morsels > 0 then
+    Format.fprintf fmt " morsels=%d steals=%d busy=%.3fs" c.morsels c.steals c.busy_s

@@ -14,6 +14,11 @@ type t = {
   mutable intersections : int;  (** E/I extension-set computations performed *)
   mutable hj_build_tuples : int;
   mutable hj_probe_tuples : int;
+  mutable morsels : int;  (** morsels executed by this domain (parallel runs) *)
+  mutable steals : int;  (** morsels taken from another domain's deque *)
+  mutable busy_s : float;
+      (** wall-clock seconds spent executing morsels, excluding idle spinning
+          — the per-domain load-imbalance signal of Figure 11 *)
 }
 
 val create : unit -> t

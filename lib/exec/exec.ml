@@ -79,6 +79,7 @@ and compile_structural rewrite env plan =
         let last_srcs = Array.make nd (-1) in
         let result = Int_vec.create ~capacity:64 () in
         let scratch = Int_vec.create ~capacity:64 () in
+        let scratch2 = Int_vec.create ~capacity:64 () in
         let cache_valid = ref false in
         fun sink ->
           cache_valid := false;
@@ -105,7 +106,7 @@ and compile_structural rewrite env plan =
                 env.c.intersections <- env.c.intersections + 1;
                 Int_vec.clear result;
                 if env.leapfrog then Sorted.leapfrog result slices
-                else Sorted.intersect result slices ~scratch;
+                else Sorted.intersect ~scratch2 result slices ~scratch;
                 Array.blit srcs 0 last_srcs 0 nd;
                 cache_valid := true
               end;
@@ -217,6 +218,7 @@ let count_fast ?(cache = true) g plan =
         let srcs = Array.make nd (-1) in
         let last_srcs = Array.make nd (-1) in
         let result = Int_vec.create () and scratch = Int_vec.create () in
+        let scratch2 = Int_vec.create () in
         let cache_valid = ref false in
         let last_n = ref 0 in
         child_driver (fun t ->
@@ -238,7 +240,7 @@ let count_fast ?(cache = true) g plan =
                 c.Counters.icost <- c.Counters.icost + Sorted.slice_len slice
               done;
               Int_vec.clear result;
-              Sorted.intersect result slices ~scratch;
+              Sorted.intersect ~scratch2 result slices ~scratch;
               last_n := Int_vec.length result;
               Array.blit srcs 0 last_srcs 0 nd;
               cache_valid := true

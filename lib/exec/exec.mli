@@ -10,6 +10,10 @@
     instead of the default homomorphic join semantics; the CFL comparison
     uses it. [limit] stops execution after that many output tuples. *)
 
+(** Raised internally (and by cooperating executors) to abort a pipeline
+    once an output [limit] is satisfied. *)
+exception Limit_reached
+
 val run :
   ?cache:bool ->
   ?distinct:bool ->
@@ -45,6 +49,11 @@ type env = {
   leapfrog : bool;  (** multiway intersections via Leapfrog Triejoin instead of the pairwise cascade *)
   c : Counters.t;
 }
+
+(** [tuple_contains t len v] tests whether [v] occurs in [t.(0 .. len-1)] —
+    the injectivity check behind [distinct], shared with the parallel
+    executor's probe-only HASH-JOIN driver. *)
+val tuple_contains : int array -> int -> int -> bool
 
 (** A rewrite hook: [rewrite recurse env plan] may return a replacement
     driver for [plan]; [recurse env child] compiles children with the same

@@ -39,14 +39,34 @@ let add t key row =
   t.count <- t.count + 1
 
 let size t = t.count
+let row_len t = t.row_len
+let key_len t = t.key_len
 
-let iter_matches t key f =
+let iter_matches_view t ~view key f =
   match H.find_opt t.index key with
   | None -> ()
   | Some offsets ->
       let data = Gf_util.Int_vec.data t.rows in
       Gf_util.Int_vec.iter
         (fun start ->
-          Array.blit data start t.view 0 t.row_len;
-          f t.view)
+          Array.blit data start view 0 t.row_len;
+          f view)
         offsets
+
+let iter_matches t key f = iter_matches_view t ~view:t.view key f
+
+let iter_rows t f =
+  let data = Gf_util.Int_vec.data t.rows in
+  H.iter
+    (fun key offsets ->
+      Gf_util.Int_vec.iter
+        (fun start ->
+          Array.blit data start t.view 0 t.row_len;
+          f key t.view)
+        offsets)
+    t.index
+
+let absorb dst src =
+  if dst.key_len <> src.key_len || dst.row_len <> src.row_len then
+    invalid_arg "Join_table.absorb: shape mismatch";
+  iter_rows src (fun key row -> add dst key row)

@@ -1,7 +1,13 @@
 module Graph = Gf_graph.Graph
 module Plan = Gf_plan.Plan
+module Deque = Gf_util.Deque
+module Timing = Gf_util.Timing
 
-type report = { counters : Counters.t; per_domain_output : int array }
+type report = {
+  counters : Counters.t;
+  per_domain : Counters.t array;
+  per_domain_output : int array;
+}
 
 (* The SCAN that streams tuples into the root pipeline: probe side of joins,
    child of extends. *)
@@ -10,53 +16,364 @@ let rec driving_scan = function
   | Plan.Extend { child; _ } -> driving_scan child
   | Plan.Hash_join { probe; _ } -> driving_scan probe
 
-let run ?(domains = 1) ?(cache = true) ?(chunk = 64) g plan =
-  let driver_node = driving_scan plan in
-  let num_sources =
-    match driver_node with
-    | Plan.Scan { slabel; _ } -> Array.length (Graph.vertices_with_label g slabel)
-    | _ -> assert false
+(* The morsel boundary: the first E/I level directly above the driving scan
+   (its outputs are what workers materialize into stealable batches), or the
+   driving scan itself when a HASH-JOIN sits immediately above it. *)
+let rec find_boundary = function
+  | Plan.Scan _ as s -> s
+  | Plan.Extend { child = Plan.Scan _; _ } as e -> e
+  | Plan.Extend { child; _ } -> find_boundary child
+  | Plan.Hash_join { probe; _ } -> find_boundary probe
+
+let scan_sources g = function
+  | Plan.Scan { slabel; _ } -> Graph.num_with_label g slabel
+  | _ -> assert false
+
+(* HASH-JOIN nodes in post-order (children before parents), so that by the
+   time a join's build side runs, every nested join already has its shared
+   table and is compiled probe-only. *)
+let collect_joins plan =
+  let rec go acc = function
+    | Plan.Scan _ -> acc
+    | Plan.Extend { child; _ } -> go acc child
+    | Plan.Hash_join { build; probe; _ } as j -> (go (go acc build) probe) @ [ j ]
   in
+  go [] plan
+
+let assq_find tables node =
+  let rec go = function
+    | [] -> None
+    | (n, t) :: rest -> if n == node then Some t else go rest
+  in
+  go tables
+
+(* A probe-only HASH-JOIN driver against a pre-built shared [table]: same
+   probe/distinct semantics as Exec's structural compilation, but the build
+   side is never executed and rows are read through a caller-owned view so
+   any number of domains can probe the frozen table concurrently. *)
+let probe_only recurse (env : Exec.env) node table =
+  match node with
+  | Plan.Hash_join { probe; probe_key_pos; build_extra_pos; vars; _ } ->
+      let probe_driver = recurse env probe in
+      let key_len = Array.length probe_key_pos in
+      let pwidth = Array.length (Plan.vars probe) in
+      let width = Array.length vars in
+      let nextra = Array.length build_extra_pos in
+      let buf = Array.make width 0 in
+      let key_buf = Array.make key_len 0 in
+      let view = Array.make (Join_table.row_len table) 0 in
+      fun sink ->
+        probe_driver (fun t ->
+            env.Exec.c.Counters.hj_probe_tuples <-
+              env.Exec.c.Counters.hj_probe_tuples + 1;
+            for i = 0 to key_len - 1 do
+              key_buf.(i) <- t.(probe_key_pos.(i))
+            done;
+            Array.blit t 0 buf 0 pwidth;
+            Join_table.iter_matches_view table ~view key_buf (fun row ->
+                let ok = ref true in
+                for i = 0 to nextra - 1 do
+                  let v = row.(build_extra_pos.(i)) in
+                  buf.(pwidth + i) <- v;
+                  if env.Exec.distinct && Exec.tuple_contains buf pwidth v then ok := false
+                done;
+                if !ok && env.Exec.distinct && nextra > 1 then begin
+                  for i = 0 to nextra - 1 do
+                    for j = i + 1 to nextra - 1 do
+                      if buf.(pwidth + i) = buf.(pwidth + j) then ok := false
+                    done
+                  done
+                end;
+                if !ok then begin
+                  env.Exec.c.Counters.produced <- env.Exec.c.Counters.produced + 1;
+                  sink buf
+                end))
+  | _ -> assert false
+
+(* A driver for [node] (the driving scan of some pipeline) that pulls
+   [chunk]-sized source ranges from a shared atomic counter — the static
+   scheme, used for parallel hash-table builds where morsel stealing buys
+   little (builds are materialized anyway). *)
+let chunked_scan (env : Exec.env) node next chunk num_sources =
+  match node with
+  | Plan.Scan { edge; slabel; dlabel; _ } ->
+      let buf = Array.make 2 0 in
+      fun sink ->
+        let continue = ref true in
+        while !continue do
+          let lo = Atomic.fetch_and_add next chunk in
+          if lo >= num_sources then continue := false
+          else begin
+            let hi = min num_sources (lo + chunk) in
+            Graph.iter_edges_range env.Exec.g ~elabel:edge.Gf_query.Query.label ~slabel
+              ~dlabel ~lo ~hi (fun u v ->
+                buf.(0) <- u;
+                buf.(1) <- v;
+                env.Exec.c.Counters.produced <- env.Exec.c.Counters.produced + 1;
+                sink buf)
+          end
+        done
+  | _ -> assert false
+
+(* Build every HASH-JOIN table exactly once, in post-order. Each build runs
+   its build sub-plan in parallel: domains pull scan chunks, fill per-domain
+   partial tables, and the partials are absorbed into one shared read-only
+   table. Returns the tables (keyed by physical plan node) and the counters
+   of the whole build phase — so build tuples are counted once, not once per
+   execution domain. *)
+let build_tables ~domains ~cache ~distinct ~leapfrog g plan =
+  let build_c = Counters.create () in
+  let tables = ref [] in
+  List.iter
+    (fun node ->
+      match node with
+      | Plan.Hash_join { build; build_key_pos; _ } ->
+          let key_len = Array.length build_key_pos in
+          let row_len = Array.length (Plan.vars build) in
+          let bscan = driving_scan build in
+          let num_sources = scan_sources g bscan in
+          let next = Atomic.make 0 in
+          let build_worker () =
+            let c = Counters.create () in
+            let env = { Exec.g; cache; distinct; leapfrog; c } in
+            let local = Join_table.create ~key_len ~row_len in
+            let rewrite recurse env n =
+              if n == bscan then Some (chunked_scan env n next 64 num_sources)
+              else
+                match assq_find !tables n with
+                | Some tbl -> Some (probe_only recurse env n tbl)
+                | None -> None
+            in
+            let d = Exec.compile_rw rewrite env build in
+            let key_buf = Array.make key_len 0 in
+            d (fun t ->
+                for i = 0 to key_len - 1 do
+                  key_buf.(i) <- t.(build_key_pos.(i))
+                done;
+                Join_table.add local key_buf t;
+                c.Counters.hj_build_tuples <- c.Counters.hj_build_tuples + 1);
+            (local, c)
+          in
+          let results =
+            if domains <= 1 then [| build_worker () |]
+            else
+              Array.map Domain.join (Array.init domains (fun _ -> Domain.spawn build_worker))
+          in
+          let table = Join_table.create ~key_len ~row_len in
+          Array.iter
+            (fun (local, c) ->
+              Join_table.absorb table local;
+              Counters.add build_c c)
+            results;
+          tables := (node, table) :: !tables
+      | _ -> assert false)
+    (collect_joins plan);
+  (!tables, build_c)
+
+(* A morsel is either a range of driving-scan source indices or a batch of
+   materialized boundary-width partial matches (flat, row-major). *)
+type morsel = Range of int * int | Batch of int array
+
+(* Bound on the owner's deque length above which boundary tuples are pushed
+   through the pipeline inline instead of being batched — keeps memory
+   proportional to [max_local * batch] tuples per domain even when the upper
+   pipeline is much slower than the producer. *)
+let max_local = 32
+
+let run ?(domains = 1) ?(cache = true) ?(distinct = false) ?(leapfrog = false) ?limit
+    ?sink ?(chunk = 64) ?(batch = 256) g plan =
+  let domains = max 1 domains in
+  let tables, build_c = build_tables ~domains ~cache ~distinct ~leapfrog g plan in
+  let driver_node = driving_scan plan in
+  let boundary_node = find_boundary plan in
+  let bwidth = Array.length (Plan.vars boundary_node) in
+  let num_sources = scan_sources g driver_node in
+  let deques = Array.init domains (fun _ -> Deque.create ~dummy:(Range (0, 0)) ()) in
+  (* Seed range morsels round-robin so every domain starts with local work
+     and steals only once its own share is drained. *)
+  let pending = Atomic.make 0 in
+  let lo = ref 0 and d = ref 0 in
+  while !lo < num_sources do
+    let hi = min num_sources (!lo + max 1 chunk) in
+    Deque.push_bottom deques.(!d) (Range (!lo, hi));
+    Atomic.incr pending;
+    lo := hi;
+    d := (!d + 1) mod domains
+  done;
+  let cancelled = Atomic.make false in
+  let out_claimed = Atomic.make 0 in
+  let sink_mutex = Mutex.create () in
+  let worker wid () =
+    let c = Counters.create () in
+    let env = { Exec.g; cache; distinct; leapfrog; c } in
+    let own = deques.(wid) in
+    (* The root sink: claims an output slot (atomically under a limit),
+       counts, and forwards to the user sink under a mutex so any sink is
+       safe. Over-claims past the limit abort the claiming worker. *)
+    let emit_out t =
+      (match limit with
+      | None -> ()
+      | Some l ->
+          let prev = Atomic.fetch_and_add out_claimed 1 in
+          if prev >= l then begin
+            Atomic.set cancelled true;
+            raise Exec.Limit_reached
+          end;
+          if prev + 1 >= l then Atomic.set cancelled true);
+      c.Counters.output <- c.Counters.output + 1;
+      match sink with
+      | None -> ()
+      | Some f ->
+          Mutex.lock sink_mutex;
+          (try f t with e -> Mutex.unlock sink_mutex; raise e);
+          Mutex.unlock sink_mutex
+    in
+    let rewrite recurse env node =
+      if node == boundary_node then
+        Some
+          (fun sink ->
+            (* [sink] is the compiled pipeline above the boundary; this
+               driver feeds it from the work-stealing scheduler. *)
+            let cur_lo = ref 0 and cur_hi = ref 0 in
+            let lower_rw _ (lenv : Exec.env) n =
+              if n == driver_node then
+                match n with
+                | Plan.Scan { edge; slabel; dlabel; _ } ->
+                    let buf = Array.make 2 0 in
+                    Some
+                      (fun s ->
+                        Graph.iter_edges_range lenv.Exec.g
+                          ~elabel:edge.Gf_query.Query.label ~slabel ~dlabel ~lo:!cur_lo
+                          ~hi:!cur_hi (fun u v ->
+                            buf.(0) <- u;
+                            buf.(1) <- v;
+                            lenv.Exec.c.Counters.produced <-
+                              lenv.Exec.c.Counters.produced + 1;
+                            s buf))
+                | _ -> assert false
+              else None
+            in
+            let lower = Exec.compile_rw lower_rw env boundary_node in
+            let tuple = Array.make bwidth 0 in
+            let replay data =
+              let n = Array.length data / bwidth in
+              for r = 0 to n - 1 do
+                Array.blit data (r * bwidth) tuple 0 bwidth;
+                sink tuple
+              done
+            in
+            let bbuf = ref (Array.make (batch * bwidth) 0) in
+            let bn = ref 0 in
+            let emit_lower t =
+              if Deque.length own < max_local then begin
+                Array.blit t 0 !bbuf (!bn * bwidth) bwidth;
+                incr bn;
+                if !bn = batch then begin
+                  Atomic.incr pending;
+                  Deque.push_bottom own (Batch !bbuf);
+                  bbuf := Array.make (batch * bwidth) 0;
+                  bn := 0
+                end
+              end
+              else sink t
+            in
+            let flush_inline () =
+              let n = !bn in
+              bn := 0;
+              let data = !bbuf in
+              for r = 0 to n - 1 do
+                Array.blit data (r * bwidth) tuple 0 bwidth;
+                sink tuple
+              done
+            in
+            let process m =
+              c.Counters.morsels <- c.Counters.morsels + 1;
+              match m with
+              | Range (rlo, rhi) ->
+                  cur_lo := rlo;
+                  cur_hi := rhi;
+                  lower emit_lower;
+                  flush_inline ()
+              | Batch data -> replay data
+            in
+            let steal_one () =
+              let rec go k =
+                if k >= domains then None
+                else
+                  let v = (wid + 1 + k) mod domains in
+                  if v = wid then go (k + 1)
+                  else
+                    match Deque.steal deques.(v) with
+                    | Some m -> Some m
+                    | None -> go (k + 1)
+              in
+              go 0
+            in
+            let timed m =
+              let t0 = Timing.now_s () in
+              process m;
+              c.Counters.busy_s <- c.Counters.busy_s +. (Timing.now_s () -. t0);
+              Atomic.decr pending
+            in
+            while (not (Atomic.get cancelled)) && Atomic.get pending > 0 do
+              match Deque.pop_bottom own with
+              | Some m -> timed m
+              | None -> (
+                  match steal_one () with
+                  | Some m ->
+                      c.Counters.steals <- c.Counters.steals + 1;
+                      timed m
+                  | None -> Domain.cpu_relax ())
+            done)
+      else
+        match assq_find tables node with
+        | Some tbl -> Some (probe_only recurse env node tbl)
+        | None -> None
+    in
+    let driver = Exec.compile_rw rewrite env plan in
+    (try driver emit_out with Exec.Limit_reached -> ());
+    c
+  in
+  let results =
+    if domains <= 1 then [| worker 0 () |]
+    else Array.map Domain.join (Array.init domains (fun i -> Domain.spawn (worker i)))
+  in
+  {
+    counters = Counters.merge (build_c :: Array.to_list results);
+    per_domain = results;
+    per_domain_output = Array.map (fun c -> c.Counters.output) results;
+  }
+
+let count ?domains ?cache ?distinct ?leapfrog ?limit g plan =
+  (run ?domains ?cache ?distinct ?leapfrog ?limit g plan).counters.Counters.output
+
+(* The pre-morsel scheme, kept as the A/B baseline for the Figure 11 harness:
+   every domain compiles the full plan (rebuilding hash tables per domain)
+   and pulls static chunks of the driving scan from one shared counter.
+   Counting only. *)
+let run_chunked ?(domains = 1) ?(cache = true) ?(chunk = 64) g plan =
+  let driver_node = driving_scan plan in
+  let num_sources = scan_sources g driver_node in
   let next = Atomic.make 0 in
   let worker () =
+    let t0 = Timing.now_s () in
     let c = Counters.create () in
     let env = { Exec.g; cache; distinct = false; leapfrog = false; c } in
-    (* Replace (physically) the driving scan with a chunk-pulling scan. *)
     let rewrite _recurse (env : Exec.env) node =
-      match node with
-      | Plan.Scan { edge; slabel; dlabel; _ } when node == driver_node ->
-          let buf = Array.make 2 0 in
-          Some
-            (fun sink ->
-              let continue = ref true in
-              while !continue do
-                let lo = Atomic.fetch_and_add next chunk in
-                if lo >= num_sources then continue := false
-                else begin
-                  let hi = min num_sources (lo + chunk) in
-                  Graph.iter_edges_range env.Exec.g ~elabel:edge.Gf_query.Query.label ~slabel
-                    ~dlabel ~lo ~hi (fun u v ->
-                      buf.(0) <- u;
-                      buf.(1) <- v;
-                      env.Exec.c.Counters.produced <- env.Exec.c.Counters.produced + 1;
-                      sink buf)
-                end
-              done)
-      | _ -> None
+      if node == driver_node then Some (chunked_scan env node next chunk num_sources)
+      else None
     in
     let driver = Exec.compile_rw rewrite env plan in
     driver (fun _ -> c.Counters.output <- c.Counters.output + 1);
+    c.Counters.busy_s <- Timing.now_s () -. t0;
     c
   in
-  if domains <= 1 then begin
-    let c = worker () in
-    { counters = c; per_domain_output = [| c.Counters.output |] }
-  end
-  else begin
-    let handles = Array.init domains (fun _ -> Domain.spawn worker) in
-    let results = Array.map Domain.join handles in
-    {
-      counters = Counters.merge (Array.to_list results);
-      per_domain_output = Array.map (fun c -> c.Counters.output) results;
-    }
-  end
+  let results =
+    if domains <= 1 then [| worker () |]
+    else Array.map Domain.join (Array.init domains (fun _ -> Domain.spawn worker))
+  in
+  {
+    counters = Counters.merge (Array.to_list results);
+    per_domain = results;
+    per_domain_output = Array.map (fun c -> c.Counters.output) results;
+  }

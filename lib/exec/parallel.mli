@@ -1,20 +1,67 @@
-(** Work-stealing parallel execution (Section 7).
+(** Morsel-driven work-stealing parallel execution (Section 7).
 
-    Every domain ("worker" in the paper) gets its own copy of the compiled
-    plan and pulls ranges of the driving SCAN's source vertices from a
-    shared queue, performing E/I extensions without coordination. The
-    driving SCAN is found by following probe/child edges from the root: in
-    a WCO plan it is the plan's only SCAN; in a hybrid plan each domain
-    additionally builds its own copy of the hash tables (the paper instead
-    shares a partitioned table — with [d >> w] partitions and locks — which
-    matters only for build-heavy plans; Figure 11's queries are WCO).
+    Each OCaml domain ("worker" in the paper) owns a deque of morsels. A
+    morsel is either a range of the driving SCAN's source vertices or a batch
+    of materialized partial matches from the first E/I level above that scan.
+    Workers pop their own deque LIFO; when it runs dry they steal the oldest
+    morsel from a victim's deque, so a skewed high-degree source vertex no
+    longer serializes a whole chunk on one worker: the partial matches it
+    fans out into are batched, pushed, and stolen like any other work.
 
-    The graph is immutable and shared. Counters are per-domain and merged. *)
+    HASH-JOIN build sides are executed exactly once, before the workers
+    start: each build runs in parallel (domains pull scan chunks into
+    per-domain partial tables, merged into one shared table), and every
+    domain then probes the frozen table read-only through its own row view.
+    Build tuples are therefore counted once, not once per domain.
+
+    The full sequential feature set is supported: [distinct], [leapfrog],
+    [limit] (cooperative cancellation through an atomic output counter —
+    exactly [min limit total] tuples are emitted), and [sink] (invoked under
+    a mutex, so any closure is safe; tuples are reused buffers, copy to
+    retain). The graph and tables are immutable and shared; counters are
+    per-domain and merged, with [morsels], [steals] and [busy_s] recording
+    how the load actually spread. *)
 
 type report = {
-  counters : Counters.t;
+  counters : Counters.t;  (** merged across domains, plus the build phase once *)
+  per_domain : Counters.t array;
+      (** per-domain execution counters — [busy_s] max/min is the imbalance
+          signal, [steals] how much rebalancing happened *)
   per_domain_output : int array;  (** work division across domains *)
 }
 
-(** [run ~domains g plan] executes with that many domains. *)
-val run : ?domains:int -> ?cache:bool -> ?chunk:int -> Gf_graph.Graph.t -> Gf_plan.Plan.t -> report
+(** [run ~domains g plan] executes with that many domains. [chunk] is the
+    number of driving-scan source vertices per range morsel; [batch] the
+    number of partial matches per stealable batch morsel. *)
+val run :
+  ?domains:int ->
+  ?cache:bool ->
+  ?distinct:bool ->
+  ?leapfrog:bool ->
+  ?limit:int ->
+  ?sink:(int array -> unit) ->
+  ?chunk:int ->
+  ?batch:int ->
+  Gf_graph.Graph.t ->
+  Gf_plan.Plan.t ->
+  report
+
+(** [count ~domains g plan] is the parallel match count. *)
+val count :
+  ?domains:int ->
+  ?cache:bool ->
+  ?distinct:bool ->
+  ?leapfrog:bool ->
+  ?limit:int ->
+  Gf_graph.Graph.t ->
+  Gf_plan.Plan.t ->
+  int
+
+(** [run_chunked ~domains g plan] is the previous static scheme, kept as the
+    Figure 11 A/B baseline: every domain compiles the full plan (hash-join
+    builds re-executed per domain!) and pulls fixed chunks of the driving
+    scan from one shared atomic counter. Counting only — no [distinct],
+    [leapfrog], [limit] or [sink]. Its [busy_s] is each worker's total wall
+    time, directly comparable with the morsel executor's. *)
+val run_chunked :
+  ?domains:int -> ?cache:bool -> ?chunk:int -> Gf_graph.Graph.t -> Gf_plan.Plan.t -> report

@@ -137,6 +137,7 @@ let has_edge g u v ~elabel =
   Gf_util.Sorted.member arr lo hi v
 
 let vertices_with_label g l = g.by_label.(l)
+let num_with_label g l = Array.length g.by_label.(l)
 
 let iter_edges_range g ~elabel ~slabel ~dlabel ~lo ~hi f =
   let vs = g.by_label.(slabel) in

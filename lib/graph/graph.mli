@@ -55,6 +55,11 @@ val has_edge : t -> int -> int -> elabel:int -> bool
     [l]. *)
 val vertices_with_label : t -> int -> int array
 
+(** [num_with_label g l] is [Array.length (vertices_with_label g l)] without
+    exposing the array — the source-range space the parallel executor carves
+    into morsels. *)
+val num_with_label : t -> int -> int
+
 (** [iter_edges g ~elabel ~slabel ~dlabel f] calls [f u v] for every edge
     [u -> v] with edge label [elabel], source label [slabel], destination
     label [dlabel] — the SCAN operator's access path. *)

@@ -1,0 +1,58 @@
+type 'a t = {
+  lock : Mutex.t;
+  mutable buf : 'a array; (* ring buffer *)
+  mutable head : int; (* index of the oldest element *)
+  mutable len : int;
+  dummy : 'a;
+}
+
+let create ?(capacity = 16) ~dummy () =
+  { lock = Mutex.create (); buf = Array.make (max capacity 1) dummy; head = 0; len = 0; dummy }
+
+let length t = t.len
+
+let grow t =
+  let cap = Array.length t.buf in
+  let nbuf = Array.make (2 * cap) t.dummy in
+  for i = 0 to t.len - 1 do
+    nbuf.(i) <- t.buf.((t.head + i) mod cap)
+  done;
+  t.buf <- nbuf;
+  t.head <- 0
+
+let push_bottom t x =
+  Mutex.lock t.lock;
+  if t.len = Array.length t.buf then grow t;
+  t.buf.((t.head + t.len) mod Array.length t.buf) <- x;
+  t.len <- t.len + 1;
+  Mutex.unlock t.lock
+
+let pop_bottom t =
+  Mutex.lock t.lock;
+  let r =
+    if t.len = 0 then None
+    else begin
+      let i = (t.head + t.len - 1) mod Array.length t.buf in
+      let x = t.buf.(i) in
+      t.buf.(i) <- t.dummy;
+      t.len <- t.len - 1;
+      Some x
+    end
+  in
+  Mutex.unlock t.lock;
+  r
+
+let steal t =
+  Mutex.lock t.lock;
+  let r =
+    if t.len = 0 then None
+    else begin
+      let x = t.buf.(t.head) in
+      t.buf.(t.head) <- t.dummy;
+      t.head <- (t.head + 1) mod Array.length t.buf;
+      t.len <- t.len - 1;
+      Some x
+    end
+  in
+  Mutex.unlock t.lock;
+  r

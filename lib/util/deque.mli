@@ -1,0 +1,29 @@
+(** Work-stealing deques for the morsel-driven parallel executor.
+
+    Each domain owns one deque: the owner pushes and pops at the bottom
+    (LIFO, so freshly split work stays hot in its producer's cache), thieves
+    steal from the top (FIFO, so they take the oldest — typically largest —
+    unit of work). A single mutex per deque keeps the implementation obviously
+    correct; operations are O(1) and the critical sections are a few words
+    long, so contention is negligible next to the morsel execution they
+    bracket. *)
+
+type 'a t
+
+(** [create ~dummy ()] is an empty deque. [dummy] fills unused slots so the
+    ring buffer never retains stolen elements. *)
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+
+(** [length t] is the current element count. Reading it without the lock is
+    intentional: it is only used as a heuristic (bounding the local queue),
+    and a stale value is harmless. *)
+val length : 'a t -> int
+
+(** [push_bottom t x] appends at the owner's end. *)
+val push_bottom : 'a t -> 'a -> unit
+
+(** [pop_bottom t] removes the newest element (owner side, LIFO). *)
+val pop_bottom : 'a t -> 'a option
+
+(** [steal t] removes the oldest element (thief side, FIFO). *)
+val steal : 'a t -> 'a option

@@ -72,7 +72,7 @@ let count_intersect2 a alo ahi b blo bhi =
   intersect2 out a alo ahi b blo bhi;
   Int_vec.length out
 
-let intersect out (slices : slice array) ~scratch =
+let intersect ?scratch2 out (slices : slice array) ~scratch =
   match Array.length slices with
   | 0 -> ()
   | 1 ->
@@ -86,20 +86,29 @@ let intersect out (slices : slice array) ~scratch =
       if n = 2 then intersect2 out a0 lo0 hi0 a1 lo1 hi1
       else begin
         (* Iteratively narrow a running result, ping-ponging between the two
-           buffers so no per-call allocation happens. *)
+           scratch buffers so no per-call allocation happens. n = 3 needs only
+           one buffer; the second is touched — and, absent [scratch2],
+           allocated — only from four slices up. *)
         let cur = scratch in
         Int_vec.clear cur;
         intersect2 cur a0 lo0 hi0 a1 lo1 hi1;
-        let tmp = Int_vec.create ~capacity:(Int_vec.length cur) () in
-        let curr = ref cur and next = ref tmp in
-        for k = 2 to n - 2 do
-          let b, blo, bhi = slices.(order.(k)) in
-          Int_vec.clear !next;
-          intersect2 !next (Int_vec.data !curr) 0 (Int_vec.length !curr) b blo bhi;
-          let t = !curr in
-          curr := !next;
-          next := t
-        done;
+        let curr = ref cur in
+        if n > 3 then begin
+          let tmp =
+            match scratch2 with
+            | Some v -> v
+            | None -> Int_vec.create ~capacity:(Int_vec.length cur) ()
+          in
+          let next = ref tmp in
+          for k = 2 to n - 2 do
+            let b, blo, bhi = slices.(order.(k)) in
+            Int_vec.clear !next;
+            intersect2 !next (Int_vec.data !curr) 0 (Int_vec.length !curr) b blo bhi;
+            let t = !curr in
+            curr := !next;
+            next := t
+          done
+        end;
         let b, blo, bhi = slices.(order.(n - 1)) in
         intersect2 out (Int_vec.data !curr) 0 (Int_vec.length !curr) b blo bhi
       end

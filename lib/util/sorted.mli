@@ -17,6 +17,11 @@ val member : int array -> int -> int -> int -> bool
     [a.(i) >= x] (or [hi] when none). *)
 val lower_bound : int array -> int -> int -> int -> int
 
+(** [gallop a lo hi x] is [lower_bound] by exponential search from [lo]:
+    O(log d) in the distance [d] to the answer instead of O(log (hi - lo)),
+    which is what makes skewed intersections and leapfrog seeks cheap. *)
+val gallop : int array -> int -> int -> int -> int
+
 (** [intersect2 out a alo ahi b blo bhi] appends the intersection of two
     sorted slices onto [out]. Switches between in-tandem merging and galloping
     depending on the length ratio. *)
@@ -24,9 +29,13 @@ val intersect2 :
   Int_vec.t -> int array -> int -> int -> int array -> int -> int -> unit
 
 (** [intersect out slices ~scratch] appends the k-way intersection onto
-    [out]. [scratch] is a reusable temporary buffer. With zero slices the
-    result is empty; with one slice it is a copy of that slice. *)
-val intersect : Int_vec.t -> slice array -> scratch:Int_vec.t -> unit
+    [out]. [scratch] is a reusable temporary buffer; [scratch2] is the second
+    ping-pong buffer for 4-way-and-wider intersections — hot callers pass it
+    to keep the E/I loop allocation-free, otherwise it is allocated on demand
+    (3-way intersections never need it). With zero slices the result is
+    empty; with one slice it is a copy of that slice. *)
+val intersect :
+  ?scratch2:Int_vec.t -> Int_vec.t -> slice array -> scratch:Int_vec.t -> unit
 
 (** [leapfrog out slices] appends the k-way intersection onto [out] using
     the Leapfrog Triejoin unary join [Veldhuizen 2012]: all iterators chase

@@ -1,5 +1,7 @@
 let now () = Unix.gettimeofday ()
 
+let now_s = now
+
 let time f =
   let t0 = now () in
   let r = f () in

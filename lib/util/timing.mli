@@ -1,5 +1,9 @@
 (** Wall-clock timing helpers for the benchmark harness. *)
 
+(** [now_s ()] is the current wall-clock time in seconds, for accumulating
+    per-domain busy-time in the parallel executor. *)
+val now_s : unit -> float
+
 (** [time f] runs [f ()] and returns [(seconds, result)]. *)
 val time : (unit -> 'a) -> float * 'a
 

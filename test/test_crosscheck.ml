@@ -61,6 +61,33 @@ let prop_all_engines_agree =
       && ok "leapfrog" (Exec.run ~leapfrog:true g plan).Counters.output
       && ok "count_fast" (Exec.count_fast g plan)
       && ok "parallel(3)" (Parallel.run ~domains:3 g plan).Parallel.counters.Counters.output
+      && ok "parallel(4) small morsels"
+           (Parallel.run ~domains:4 ~chunk:3 ~batch:4 g plan).Parallel.counters.Counters.output
+      && ok "parallel leapfrog"
+           (Parallel.run ~domains:2 ~leapfrog:true g plan).Parallel.counters.Counters.output
+      && ok "parallel chunked baseline"
+           (Parallel.run_chunked ~domains:2 g plan).Parallel.counters.Counters.output
+      && (let distinct_expected = Naive.count ~distinct:true g q in
+          List.for_all
+            (fun d ->
+              let got =
+                (Parallel.run ~domains:d ~distinct:true ~chunk:5 g plan).Parallel.counters
+                  .Counters.output
+              in
+              if got <> distinct_expected then
+                QCheck2.Test.fail_reportf "parallel distinct(%d): %d <> naive %d on %s" d got
+                  distinct_expected (Query.to_string q)
+              else true)
+            [ 1; 2; 4 ])
+      && (let lim = (expected / 2) + 1 in
+          let got =
+            (Parallel.run ~domains:3 ~limit:lim ~chunk:4 ~batch:8 g plan).Parallel.counters
+              .Counters.output
+          in
+          if got <> min lim expected then
+            QCheck2.Test.fail_reportf "parallel limit %d: emitted %d on %s" lim got
+              (Query.to_string q)
+          else true)
       && ok "adaptive" (fst (Adaptive.run cat g q plan)).Counters.output
       && ok "bj baseline" (Bj.count g q)
       && ok "eh plan"
@@ -84,6 +111,41 @@ let prop_spectrum_plans_agree =
           else true)
         all)
 
+(* The same spectrum — WCO, BJ and hybrid shapes alike — through the
+   morsel-driven executor: parallel must equal sequential for every plan
+   shape, with hash-join build work done once rather than per domain. *)
+let prop_spectrum_plans_agree_parallel =
+  QCheck2.Test.make ~name:"every spectrum plan: parallel = sequential" ~count:8
+    QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng in
+      let q = random_query rng g in
+      let expected = Naive.count g q in
+      let all, _ = Spectrum.plans ~per_subset_cap:2 ~family_cap:6 q in
+      List.for_all
+        (fun (fam, p) ->
+          let seq = Exec.run g p in
+          List.for_all
+            (fun d ->
+              let r = Parallel.run ~domains:d ~chunk:7 ~batch:16 g p in
+              if r.Parallel.counters.Counters.output <> expected then
+                QCheck2.Test.fail_reportf "%s plan parallel(%d): %d <> %d on %s"
+                  (Spectrum.family_to_string fam) d r.Parallel.counters.Counters.output
+                  expected (Query.to_string q)
+              else if
+                r.Parallel.counters.Counters.hj_build_tuples
+                <> seq.Counters.hj_build_tuples
+              then
+                QCheck2.Test.fail_reportf
+                  "%s plan parallel(%d): build tuples %d <> sequential %d on %s"
+                  (Spectrum.family_to_string fam) d
+                  r.Parallel.counters.Counters.hj_build_tuples seq.Counters.hj_build_tuples
+                  (Query.to_string q)
+              else true)
+            [ 1; 2; 4 ])
+        all)
+
 let prop_cfl_agrees_distinct =
   QCheck2.Test.make ~name:"cfl = naive distinct" ~count:20
     QCheck2.Gen.(int_bound 100_000)
@@ -101,6 +163,59 @@ let prop_data_queries_match =
       let g = random_graph rng in
       let q = Query_gen.from_data g rng ~num_vertices:(4 + Rng.int rng 4) ~dense:(Rng.bool rng) in
       Naive.count ~distinct:true g q >= 1)
+
+(* Acceptance criteria for the morsel-driven executor: on a skewed
+   (power-law) graph, a multi-domain run actually steals work, and the
+   per-domain outputs partition the sequential result exactly. *)
+let test_work_stealing_skew () =
+  let g = Generators.dataset ~scale:0.02 Generators.Twitter in
+  let q = Patterns.q 1 in
+  let plan = Plan.wco q [| 0; 1; 2 |] in
+  let seq = Exec.count g plan in
+  (* Scheduling on a loaded single-core machine could in principle let every
+     domain consume exactly its own seed; retry a few times before calling
+     the absence of steals a failure. *)
+  let rec attempt k =
+    let r = Parallel.run ~domains:4 ~chunk:4 ~batch:32 g plan in
+    check_int "skewed count" seq r.Parallel.counters.Counters.output;
+    check_int "shares sum to output" seq (Array.fold_left ( + ) 0 r.Parallel.per_domain_output);
+    check_bool "morsels executed" true (r.Parallel.counters.Counters.morsels > 4);
+    if r.Parallel.counters.Counters.steals = 0 && k > 0 then attempt (k - 1)
+    else check_bool "steals observed" true (r.Parallel.counters.Counters.steals > 0)
+  in
+  attempt 5
+
+let test_parallel_hybrid_features () =
+  let g = Generators.holme_kim (Rng.create 11) ~n:300 ~m_per:4 ~p_triad:0.5 ~recip:0.4 in
+  let q = Patterns.diamond_x in
+  let plan = Plan.hash_join q (Plan.wco q [| 1; 2; 0 |]) (Plan.wco q [| 1; 2; 3 |]) in
+  let seqc = Exec.run g plan in
+  List.iter
+    (fun d ->
+      let r = Parallel.run ~domains:d ~chunk:8 ~batch:16 g plan in
+      check_int (Printf.sprintf "hybrid count %dd" d) seqc.Counters.output
+        r.Parallel.counters.Counters.output;
+      (* Build side executed once, not once per domain. *)
+      check_int
+        (Printf.sprintf "hybrid build tuples %dd" d)
+        seqc.Counters.hj_build_tuples r.Parallel.counters.Counters.hj_build_tuples)
+    [ 1; 2; 4 ];
+  let sd = (Exec.run ~distinct:true g plan).Counters.output in
+  List.iter
+    (fun d ->
+      check_int
+        (Printf.sprintf "hybrid distinct %dd" d)
+        sd
+        (Parallel.run ~domains:d ~distinct:true g plan).Parallel.counters.Counters.output)
+    [ 1; 2; 4 ];
+  let lim = (seqc.Counters.output / 3) + 1 in
+  check_int "hybrid limit exact"
+    (min lim seqc.Counters.output)
+    (Parallel.run ~domains:4 ~limit:lim ~chunk:8 ~batch:16 g plan).Parallel.counters
+      .Counters.output;
+  let acc = ref 0 in
+  let (_ : Parallel.report) = Parallel.run ~domains:4 ~sink:(fun _ -> incr acc) g plan in
+  check_int "thread-safe sink sees every tuple" seqc.Counters.output !acc
 
 let test_count_by () =
   let g = Generators.holme_kim (Rng.create 7) ~n:150 ~m_per:4 ~p_triad:0.5 ~recip:0.3 in
@@ -144,8 +259,14 @@ let suite =
       [
         q prop_all_engines_agree;
         q prop_spectrum_plans_agree;
+        q prop_spectrum_plans_agree_parallel;
         q prop_cfl_agrees_distinct;
         q prop_data_queries_match;
+      ] );
+    ( "parallel.morsel",
+      [
+        Alcotest.test_case "work stealing on skew" `Quick test_work_stealing_skew;
+        Alcotest.test_case "hybrid features" `Quick test_parallel_hybrid_features;
       ] );
     ( "api",
       [

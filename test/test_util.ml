@@ -220,6 +220,91 @@ let test_lower_bound_member () =
   check_bool "member yes" true (Sorted.member a 0 4 6);
   check_bool "member no" false (Sorted.member a 0 4 5)
 
+let test_gallop_edges () =
+  let a = [| 10; 20; 30; 40; 50; 60; 70; 80 |] in
+  let n = Array.length a in
+  (* empty slice: lo = hi is the only possible answer *)
+  check_int "empty slice" 3 (Sorted.gallop a 3 3 25);
+  check_int "empty slice at 0" 0 (Sorted.gallop a 0 0 99);
+  (* whole-array boundaries *)
+  check_int "before first" 0 (Sorted.gallop a 0 n 5);
+  check_int "at first" 0 (Sorted.gallop a 0 n 10);
+  check_int "exact interior" 4 (Sorted.gallop a 0 n 50);
+  check_int "between keys" 4 (Sorted.gallop a 0 n 45);
+  check_int "at last" (n - 1) (Sorted.gallop a 0 n 80);
+  check_int "past last" n (Sorted.gallop a 0 n 99);
+  (* single-element slices *)
+  check_int "single hit" 2 (Sorted.gallop a 2 3 30);
+  check_int "single miss low" 2 (Sorted.gallop a 2 3 25);
+  check_int "single miss high" 3 (Sorted.gallop a 2 3 35);
+  (* sub-slice windows must clamp at hi, never run past it *)
+  check_int "subslice clamp" 5 (Sorted.gallop a 2 5 99);
+  check_int "subslice interior" 3 (Sorted.gallop a 2 5 40)
+
+(* Property: gallop is lower_bound, for any sub-slice and probe. *)
+let prop_gallop_equals_lower_bound =
+  let gen =
+    QCheck2.Gen.(
+      pair (list_size (int_bound 300) (int_bound 1000)) (pair (int_bound 1001) (int_bound 300)))
+  in
+  QCheck2.Test.make ~name:"gallop = lower_bound" ~count:300 gen (fun (l, (x, off)) ->
+      let a = List.sort_uniq compare l |> Array.of_list in
+      let n = Array.length a in
+      let lo = if n = 0 then 0 else off mod (n + 1) in
+      Sorted.gallop a lo n x = Sorted.lower_bound a lo n x)
+
+let test_leapfrog_degenerate_slices () =
+  let out = Int_vec.create () in
+  (* single-element slices, all equal keys *)
+  Sorted.leapfrog out [| ([| 7 |], 0, 1); ([| 7 |], 0, 1); ([| 7 |], 0, 1) |];
+  Alcotest.(check (array int)) "singletons equal" [| 7 |] (Int_vec.to_array out);
+  Int_vec.clear out;
+  (* single-element slices, distinct keys *)
+  Sorted.leapfrog out [| ([| 7 |], 0, 1); ([| 8 |], 0, 1) |];
+  check_int "singletons distinct" 0 (Int_vec.length out);
+  (* identical slices: intersection is the slice itself *)
+  let a = [| 1; 4; 9; 16; 25 |] in
+  Sorted.leapfrog out [| (a, 0, 5); (a, 0, 5); (a, 0, 5) |];
+  Alcotest.(check (array int)) "identical slices" a (Int_vec.to_array out);
+  Int_vec.clear out;
+  (* one slice's first key exceeds every other slice's last key: the very
+     first seek overshoots to the end on all others *)
+  Sorted.leapfrog out [| ([| 1; 2; 3 |], 0, 3); ([| 90; 100 |], 0, 2) |];
+  check_int "disjoint ranges (high last)" 0 (Int_vec.length out);
+  Sorted.leapfrog out [| ([| 90; 100 |], 0, 2); ([| 1; 2; 3 |], 0, 3); ([| 2; 91 |], 0, 2) |];
+  check_int "disjoint ranges (high first)" 0 (Int_vec.length out);
+  (* same shapes through the pairwise cascade for agreement *)
+  let scratch = Int_vec.create () in
+  Sorted.intersect out [| ([| 1; 2; 3 |], 0, 3); ([| 90; 100 |], 0, 2) |] ~scratch;
+  check_int "cascade agrees" 0 (Int_vec.length out)
+
+(* 4-way-and-wider intersections exercise the second ping-pong buffer;
+   passing ~scratch2 must not change the result. *)
+let test_intersect_wide_scratch2 () =
+  let slices =
+    [|
+      ([| 1; 2; 3; 4; 5; 6; 7; 8; 9 |], 0, 9);
+      ([| 2; 4; 6; 8; 10 |], 0, 5);
+      ([| 1; 2; 4; 6; 8 |], 0, 5);
+      ([| 4; 6; 8; 12 |], 0, 4);
+    |]
+  in
+  let out = Int_vec.create () and scratch = Int_vec.create () in
+  Sorted.intersect out slices ~scratch;
+  Alcotest.(check (array int)) "4-way default" [| 4; 6; 8 |] (Int_vec.to_array out);
+  Int_vec.clear out;
+  let scratch2 = Int_vec.create () in
+  Sorted.intersect ~scratch2 out slices ~scratch;
+  Alcotest.(check (array int)) "4-way with scratch2" [| 4; 6; 8 |] (Int_vec.to_array out);
+  (* reuse the same buffers for a second, wider call: stale contents must
+     not leak into the result *)
+  Int_vec.clear out;
+  let five =
+    Array.append slices [| ([| 0; 4; 8; 100 |], 0, 4) |]
+  in
+  Sorted.intersect ~scratch2 out five ~scratch;
+  Alcotest.(check (array int)) "5-way reused buffers" [| 4; 8 |] (Int_vec.to_array out)
+
 (* Property: intersect2 agrees with a naive quadratic implementation. *)
 let prop_intersect2 =
   let gen =
@@ -318,9 +403,13 @@ let suite =
         Alcotest.test_case "multiway" `Quick test_intersect_multiway;
         Alcotest.test_case "single/zero way" `Quick test_intersect_single_and_zero;
         Alcotest.test_case "lower_bound/member" `Quick test_lower_bound_member;
+        Alcotest.test_case "gallop edges" `Quick test_gallop_edges;
+        Alcotest.test_case "wide intersect scratch2" `Quick test_intersect_wide_scratch2;
         Alcotest.test_case "leapfrog small" `Quick test_leapfrog_small;
         Alcotest.test_case "leapfrog edges" `Quick test_leapfrog_edge_cases;
+        Alcotest.test_case "leapfrog degenerate" `Quick test_leapfrog_degenerate_slices;
         q prop_intersect2;
+        q prop_gallop_equals_lower_bound;
         q prop_intersect_multiway;
         q prop_gallop_equals_tandem;
         q prop_leapfrog_matches_pairwise;
