@@ -465,6 +465,81 @@ let figure11 () =
   print_endline " the busy-time imbalance show the scheduler functioning — see EXPERIMENTS.md)"
 
 (* ------------------------------------------------------------------ *)
+(* Governor: budget-check overhead (A/B) and deadline promptness.      *)
+(* ------------------------------------------------------------------ *)
+
+let governor () =
+  header "Governor: check overhead and deadline promptness";
+  (* A/B: unlimited governor (caps unset, checks skip the clock) vs a
+     generous budget that never trips but exercises the full check path
+     (clock read, cap compares, atomic produced-count flushes). No output
+     cap: per-output atomic claims are the cost of the cap feature itself
+     (identical to the old limit implementation), not of governor checks.
+     Same plan, warm caches, best of 9 runs. *)
+  let g = dataset_at (Gf.Generators.Twitter, scale *. 0.5) in
+  let q = Gf.Patterns.q 1 in
+  let order, _ = Gf.Planner.best_wco_order (catalog g) q in
+  let plan = Gf.Plan.wco q order in
+  let best f =
+    ignore (f ());
+    let ts = List.init 9 (fun _ -> fst (time_once f)) in
+    List.fold_left min infinity ts
+  in
+  let generous =
+    Gf.Governor.budget ~deadline_s:3600. ~max_intermediate:(1 lsl 50)
+      ~max_bytes:(1 lsl 50) ()
+  in
+  let t_plain = best (fun () -> Gf.Exec.run g plan) in
+  let t_gov = best (fun () -> Gf.Exec.run_gov ~budget:generous g plan) in
+  let c_gov, _ = Gf.Exec.run_gov ~budget:generous g plan in
+  Printf.printf
+    "Q1 twitter sequential: unlimited %.4fs, full budget %.4fs (overhead %+.1f%%, %d checks)\n"
+    t_plain t_gov
+    ((t_gov /. t_plain -. 1.) *. 100.)
+    c_gov.Gf.Counters.gov_checks;
+  let tp_plain = best (fun () -> Gf.Parallel.run ~domains:4 g plan) in
+  let tp_gov = best (fun () -> Gf.Parallel.run ~domains:4 ~budget:generous g plan) in
+  Printf.printf "Q1 twitter 4 domains:  unlimited %.4fs, full budget %.4fs (overhead %+.1f%%)\n"
+    tp_plain tp_gov
+    ((tp_gov /. tp_plain -. 1.) *. 100.);
+  (* Deadline promptness: a clique-heavy graph (high clustering + planted
+     8-cliques) where the acyclic 4-clique Q5 runs far past any deadline;
+     every domain must observe the trip and return well under 3x the
+     deadline, counters intact. *)
+  subheader "50 ms deadline, clique-heavy graph (Q5 = acyclic 4-clique)";
+  let rng = Gf.Rng.create 42 in
+  let n = max 2_000 (int_of_float (80_000. *. scale)) in
+  let gc =
+    Gf.Generators.plant_cliques rng
+      (Gf.Generators.holme_kim rng ~n ~m_per:8 ~p_triad:0.9 ~recip:0.3)
+      ~count:(n / 50) ~size:8
+  in
+  let q5 = Gf.Patterns.q 5 in
+  let plan5 = Gf.Plan.wco q5 (Array.init (Gf.Query.num_vertices q5) Fun.id) in
+  let deadline = Gf.Governor.budget ~deadline_s:0.05 () in
+  List.iter
+    (fun d ->
+      let t, r =
+        time_once (fun () -> Gf.Parallel.run ~domains:d ~budget:deadline gc plan5)
+      in
+      Printf.printf "%d domain(s): returned in %3.0f ms, outcome %s, %s tuples produced\n" d
+        (t *. 1000.)
+        (Gf.Governor.outcome_to_string r.Gf.Parallel.outcome)
+        (fmt_count r.Gf.Parallel.counters.Gf.Counters.produced))
+    [ 1; 4 ];
+  (* Deterministic fault injection: the same seed always fails at the same
+     produced-tuple count. *)
+  subheader "seeded fault injection";
+  let frng = Gf.Rng.create 7 in
+  let at = 1 + Gf.Rng.int frng 100_000 in
+  let fc, fo =
+    Gf.Exec.run_gov ~fault:{ Gf.Governor.at_tuple = at; operator = "extend" } g plan
+  in
+  Printf.printf "fault scheduled at tuple %d -> outcome %s, %s tuples produced\n" at
+    (Gf.Governor.outcome_to_string fo)
+    (fmt_count fc.Gf.Counters.produced)
+
+(* ------------------------------------------------------------------ *)
 (* Tables 10 & 11: catalogue accuracy (q-error) vs z and h.            *)
 (* ------------------------------------------------------------------ *)
 
@@ -827,6 +902,7 @@ let sections =
     ("table9", table9);
     ("figure10", figure10);
     ("figure11", figure11);
+    ("governor", governor);
     ("table10", table10);
     ("table11", table11);
     ("table12", table12);

@@ -7,15 +7,22 @@
 open Cmdliner
 module Gf = Graphflow
 
+let die msg =
+  prerr_endline ("gfq: " ^ msg);
+  exit 1
+
 let load_graph graph_file dataset scale labels seed =
   let g =
     match (graph_file, dataset) with
-    | Some path, _ -> Gf.Graph_io.load path
+    | Some path, _ -> (
+        match Gf.Graph_io.load_result path with
+        | Ok g -> g
+        | Error e -> die (Gf.Graph_io.load_error_to_string e))
     | None, Some name -> (
         match Gf.Generators.dataset_name_of_string name with
         | Some d -> Gf.Generators.dataset ~scale d
-        | None -> failwith (Printf.sprintf "unknown dataset %S" name))
-    | None, None -> failwith "provide --graph FILE or --dataset NAME"
+        | None -> die (Printf.sprintf "unknown dataset %S" name))
+    | None, None -> die "provide --graph FILE or --dataset NAME"
   in
   if labels > 1 then Gf.Graph.relabel g (Gf.Rng.create seed) ~num_vlabels:1 ~num_elabels:labels
   else g
@@ -48,19 +55,36 @@ let query_arg =
     & info [ "query"; "q" ] ~docv:"PATTERN"
         ~doc:"Query pattern, e.g. 'a1->a2, a2->a3, a1->a3', or Q1..Q14 for the benchmark set.")
 
-let parse_query s =
+(* A parse error rendered with a caret under the offending offset. *)
+let show_parse_error (e : Gf.Parse_error.t) =
+  Printf.sprintf "parse error: %s\n  %s\n  %s^" e.Gf.Parse_error.message
+    e.Gf.Parse_error.input
+    (String.make (min e.Gf.Parse_error.pos (String.length e.Gf.Parse_error.input)) ' ')
+
+let parse_query_result s =
   match
     if String.length s >= 2 && s.[0] = 'Q' then int_of_string_opt (String.sub s 1 (String.length s - 1))
     else None
   with
-  | Some i -> Gf.Patterns.q i
-  | None ->
+  | Some i -> (
+      match Gf.Patterns.q i with
+      | q -> Ok q
+      | exception (Failure m | Invalid_argument m) -> Error m)
+  | None -> (
       (* MATCH (...) patterns go through the Cypher frontend, everything
          else through the edge-list DSL. *)
       let upper = String.uppercase_ascii (String.trim s) in
       if String.length upper >= 5 && String.sub upper 0 5 = "MATCH" then
-        fst (Gf.Cypher.parse s)
-      else Gf.Db.parse_query s
+        match Gf.Cypher.parse_result s with
+        | Ok (q, _) -> Ok q
+        | Error e -> Error (show_parse_error e)
+      else
+        match Gf.Query_parser.parse_result s with
+        | Ok q -> Ok q
+        | Error e -> Error (show_parse_error e))
+
+let parse_query s =
+  match parse_query_result s with Ok q -> q | Error msg -> die msg
 
 let generate_cmd =
   let out = Arg.(required & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output path.") in
@@ -98,19 +122,58 @@ let plan_cmd =
 let run_cmd =
   let adaptive = Arg.(value & flag & info [ "adaptive" ] ~doc:"Adaptive QVO selection.") in
   let limit = Arg.(value & opt (some int) None & info [ "limit" ] ~doc:"Stop after N matches.") in
-  let go graph_file dataset scale labels seed qs adaptive limit =
+  let timeout_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:"Wall-clock deadline; the run returns a truncated outcome when it trips.")
+  in
+  let max_rows =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-rows" ] ~docv:"N" ~doc:"Output-row cap (like --limit, reported as truncation).")
+  in
+  let max_intermediate =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-intermediate" ] ~docv:"N" ~doc:"Cap on intermediate tuples produced.")
+  in
+  let max_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-bytes" ] ~docv:"B"
+          ~doc:"Cap on approximate bytes of materialized state (join tables, batches).")
+  in
+  let go graph_file dataset scale labels seed qs adaptive limit timeout_ms max_rows
+      max_intermediate max_bytes =
     let g = load_graph graph_file dataset scale labels seed in
     let db = Gf.Db.create g in
     let q = parse_query qs in
-    let secs, c = Gf.Rng.create 0 |> fun _ ->
-      let t0 = Unix.gettimeofday () in
-      let c = Gf.Db.run ~adaptive ?limit db q in
-      (Unix.gettimeofday () -. t0, c)
+    let max_output =
+      match (limit, max_rows) with
+      | Some a, Some b -> Some (min a b)
+      | (Some _ as a), None -> a
+      | None, b -> b
     in
-    Format.printf "matches: %d@.time: %.3fs@.%a@." c.Gf.Counters.output secs Gf.Counters.pp c
+    let budget =
+      Gf.Governor.budget
+        ?deadline_s:(Option.map (fun ms -> float_of_int ms /. 1000.) timeout_ms)
+        ?max_output ?max_intermediate ?max_bytes ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let c, outcome = Gf.Db.run_gov ~adaptive ~budget db q in
+    let secs = Unix.gettimeofday () -. t0 in
+    Format.printf "matches: %d@.outcome: %a@.time: %.3fs@.%a@." c.Gf.Counters.output
+      Gf.Governor.pp_outcome outcome secs Gf.Counters.pp c
   in
-  Cmd.v (Cmd.info "run" ~doc:"Optimize and execute a query.")
-    Term.(const go $ graph_file $ dataset $ scale $ labels $ seed $ query_arg $ adaptive $ limit)
+  Cmd.v (Cmd.info "run" ~doc:"Optimize and execute a query under an optional budget.")
+    Term.(
+      const go $ graph_file $ dataset $ scale $ labels $ seed $ query_arg $ adaptive $ limit
+      $ timeout_ms $ max_rows $ max_intermediate $ max_bytes)
 
 let spectrum_cmd =
   let go graph_file dataset scale labels seed qs =
@@ -144,6 +207,10 @@ let shell_cmd =
   let go graph_file dataset scale labels seed =
     let g = load_graph graph_file dataset scale labels seed in
     let db = Gf.Db.create g in
+    (* In the shell a parse error must not exit the process. *)
+    let parse_query s =
+      match parse_query_result s with Ok q -> q | Error m -> failwith m
+    in
     Format.printf "graphflow shell — %a@." Gf.Graph_stats.pp_summary
       (Gf.Graph_stats.summarize ~samples:200 g);
     print_endline

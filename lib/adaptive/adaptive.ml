@@ -6,6 +6,7 @@ module Query = Gf_query.Query
 module Plan = Gf_plan.Plan
 module Exec = Gf_exec.Exec
 module Counters = Gf_exec.Counters
+module Governor = Gf_exec.Governor
 module Catalog = Gf_catalog.Catalog
 module Cost_model = Gf_opt.Cost_model
 
@@ -156,7 +157,7 @@ let reestimate g ord tuple =
     ord.steps;
   !cost
 
-let run ?(cache = true) ?limit ?(sink = fun _ -> ()) cat g q plan =
+let run ?(cache = true) ?limit ?gov ?(sink = fun _ -> ()) cat g q plan =
   let model = Cost_model.create cat q in
   let seg_count = ref 0 in
   let cand_count = ref 0 in
@@ -269,10 +270,12 @@ let run ?(cache = true) ?limit ?(sink = fun _ -> ()) cat g q plan =
                             out_buf.(p) <- partial.(ord.out_perm.(p))
                           done;
                           c.Counters.produced <- c.Counters.produced + 1;
+                          Governor.tick env.Exec.gov c;
                           sink out_buf
                         end
                         else begin
                           c.Counters.produced <- c.Counters.produced + 1;
+                          Governor.tick env.Exec.gov c;
                           exec_step (j + 1)
                         end
                       done
@@ -281,7 +284,7 @@ let run ?(cache = true) ?limit ?(sink = fun _ -> ()) cat g q plan =
         )
     | _ -> None
   in
-  let counters = Exec.run_rw ~rewrite ~cache ?limit ~sink g plan in
+  let counters = Exec.run_rw ~rewrite ~cache ?limit ?gov ~sink g plan in
   let used = List.length (List.filter (fun o -> o.routed > 0) !all_orderings) in
   ( counters,
     {

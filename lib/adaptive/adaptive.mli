@@ -21,10 +21,14 @@ type stats = {
 
 (** [run cat g q plan] executes [plan] with adaptive segments. The plan must
     be a plan for [q]. Output tuple schema is [Plan.vars plan] (adaptive
-    segments permute their output back to the fixed schema). *)
+    segments permute their output back to the fixed schema). [gov] runs the
+    query under an externally created governor; adaptive pipelines tick it
+    per produced tuple like the structural operators, so budgets trip inside
+    segments too. *)
 val run :
   ?cache:bool ->
   ?limit:int ->
+  ?gov:Gf_exec.Governor.t ->
   ?sink:(int array -> unit) ->
   Gf_catalog.Catalog.t ->
   Gf_graph.Graph.t ->

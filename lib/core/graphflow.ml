@@ -4,12 +4,14 @@ module Graph_stats = Gf_graph.Stats
 module Graph_io = Gf_graph.Graph_io
 module Query = Gf_query.Query
 module Query_parser = Gf_query.Parser
+module Parse_error = Gf_query.Parse_error
 module Cypher = Gf_query.Cypher
 module Patterns = Gf_query.Patterns
 module Canon = Gf_query.Canon
 module Plan = Gf_plan.Plan
 module Exec = Gf_exec.Exec
 module Counters = Gf_exec.Counters
+module Governor = Gf_exec.Governor
 module Naive = Gf_exec.Naive
 module Parallel = Gf_exec.Parallel
 module Catalog = Gf_catalog.Catalog
@@ -45,6 +47,16 @@ module Db = struct
     if adaptive && Adaptive.adaptable p then
       fst (Adaptive.run ?limit ?sink db.catalog db.graph q p)
     else Exec.run ?limit ?sink db.graph p
+
+  let run_gov ?(adaptive = false) ?budget ?fault ?sink db q =
+    let p, _ = plan db q in
+    if adaptive && Adaptive.adaptable p then begin
+      let gov = Governor.create ?fault (Option.value budget ~default:Governor.unlimited) in
+      let sink = Option.value sink ~default:(fun _ -> ()) in
+      let c = fst (Adaptive.run ~gov ~sink db.catalog db.graph q p) in
+      (c, Governor.outcome gov)
+    end
+    else Exec.run_gov ?budget ?fault ?sink db.graph p
 
   let count ?adaptive db q =
     let c = run ?adaptive db q in

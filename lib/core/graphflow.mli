@@ -24,12 +24,14 @@ module Graph_stats = Gf_graph.Stats
 module Graph_io = Gf_graph.Graph_io
 module Query = Gf_query.Query
 module Query_parser = Gf_query.Parser
+module Parse_error = Gf_query.Parse_error
 module Cypher = Gf_query.Cypher
 module Patterns = Gf_query.Patterns
 module Canon = Gf_query.Canon
 module Plan = Gf_plan.Plan
 module Exec = Gf_exec.Exec
 module Counters = Gf_exec.Counters
+module Governor = Gf_exec.Governor
 module Naive = Gf_exec.Naive
 module Parallel = Gf_exec.Parallel
 module Catalog = Gf_catalog.Catalog
@@ -76,6 +78,21 @@ module Db : sig
       order). *)
   val run :
     ?adaptive:bool -> ?limit:int -> ?sink:(int array -> unit) -> t -> Query.t -> Counters.t
+
+  (** [run_gov db q] optimizes and executes under a {!Governor.budget}
+      (deadline, output/intermediate caps, byte cap; default unlimited) and
+      reports the structured {!Governor.outcome} — [Completed],
+      [Truncated reason] on a budget trip, [Failed error] on an (injected)
+      operator fault. Counters and tuples already delivered to [sink] are
+      preserved whatever the outcome. *)
+  val run_gov :
+    ?adaptive:bool ->
+    ?budget:Governor.budget ->
+    ?fault:Governor.fault ->
+    ?sink:(int array -> unit) ->
+    t ->
+    Query.t ->
+    Counters.t * Governor.outcome
 
   (** [explain db q] is a human-readable description of the chosen plan. *)
   val explain : t -> Query.t -> string

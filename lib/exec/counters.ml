@@ -9,6 +9,7 @@ type t = {
   mutable morsels : int;
   mutable steals : int;
   mutable busy_s : float;
+  mutable gov_checks : int;
 }
 
 let create () =
@@ -23,6 +24,7 @@ let create () =
     morsels = 0;
     steals = 0;
     busy_s = 0.0;
+    gov_checks = 0;
   }
 
 let intermediate c = c.produced - c.output
@@ -37,7 +39,8 @@ let add dst src =
   dst.hj_probe_tuples <- dst.hj_probe_tuples + src.hj_probe_tuples;
   dst.morsels <- dst.morsels + src.morsels;
   dst.steals <- dst.steals + src.steals;
-  dst.busy_s <- dst.busy_s +. src.busy_s
+  dst.busy_s <- dst.busy_s +. src.busy_s;
+  dst.gov_checks <- dst.gov_checks + src.gov_checks
 
 let merge cs =
   let out = create () in
@@ -49,4 +52,5 @@ let pp fmt c =
     "output=%d intermediate=%d icost=%d cache_hits=%d intersections=%d hj=(%d,%d)" c.output
     (intermediate c) c.icost c.cache_hits c.intersections c.hj_build_tuples c.hj_probe_tuples;
   if c.morsels > 0 then
-    Format.fprintf fmt " morsels=%d steals=%d busy=%.3fs" c.morsels c.steals c.busy_s
+    Format.fprintf fmt " morsels=%d steals=%d busy=%.3fs" c.morsels c.steals c.busy_s;
+  if c.gov_checks > 0 then Format.fprintf fmt " gov_checks=%d" c.gov_checks

@@ -19,6 +19,9 @@ type t = {
   mutable busy_s : float;
       (** wall-clock seconds spent executing morsels, excluding idle spinning
           — the per-domain load-imbalance signal of Figure 11 *)
+  mutable gov_checks : int;
+      (** full governor checks performed (deadline/cap evaluations; ticks in
+          between cost a decrement) — the overhead signal for the governor *)
 }
 
 val create : unit -> t

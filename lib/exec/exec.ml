@@ -3,9 +3,14 @@ module Plan = Gf_plan.Plan
 module Int_vec = Gf_util.Int_vec
 module Sorted = Gf_util.Sorted
 
-exception Limit_reached
-
-type env = { g : Graph.t; cache : bool; distinct : bool; leapfrog : bool; c : Counters.t }
+type env = {
+  g : Graph.t;
+  cache : bool;
+  distinct : bool;
+  leapfrog : bool;
+  c : Counters.t;
+  gov : Governor.handle;
+}
 
 type rewrite =
   (env -> Plan.t -> (int array -> unit) -> unit) ->
@@ -37,6 +42,7 @@ and compile_structural rewrite env plan =
             buf.(0) <- u;
             buf.(1) <- v;
             env.c.produced <- env.c.produced + 1;
+            Governor.tick env.gov env.c;
             sink buf)
   | Plan.Extend { child; target_label; descriptors; vars; _ } ->
       let child_driver = compile env child in
@@ -69,6 +75,7 @@ and compile_structural rewrite env plan =
                 if not (env.distinct && tuple_contains buf (width - 1) w) then begin
                   buf.(width - 1) <- w;
                   env.c.produced <- env.c.produced + 1;
+                  Governor.tick env.gov env.c;
                   sink buf
                 end
               done)
@@ -117,6 +124,7 @@ and compile_structural rewrite env plan =
                 if not (env.distinct && tuple_contains buf (width - 1) w) then begin
                   buf.(width - 1) <- w;
                   env.c.produced <- env.c.produced + 1;
+                  Governor.tick env.gov env.c;
                   sink buf
                 end
               done)
@@ -134,14 +142,18 @@ and compile_structural rewrite env plan =
       let key_buf = Array.make key_len 0 in
       fun sink ->
         let table = Join_table.create ~key_len ~row_len:brow_len in
+        let row_bytes = Join_table.bytes_per_row table in
         build_driver (fun t ->
             for i = 0 to key_len - 1 do
               key_buf.(i) <- t.(build_key_pos.(i))
             done;
             Join_table.add table key_buf t;
-            env.c.hj_build_tuples <- env.c.hj_build_tuples + 1);
+            env.c.hj_build_tuples <- env.c.hj_build_tuples + 1;
+            Governor.add_bytes env.gov row_bytes;
+            Governor.tick env.gov env.c);
         probe_driver (fun t ->
             env.c.hj_probe_tuples <- env.c.hj_probe_tuples + 1;
+            Governor.tick env.gov env.c;
             for i = 0 to key_len - 1 do
               key_buf.(i) <- t.(probe_key_pos.(i))
             done;
@@ -163,26 +175,45 @@ and compile_structural rewrite env plan =
                 end;
                 if !ok then begin
                   env.c.produced <- env.c.produced + 1;
+                  Governor.tick env.gov env.c;
                   sink buf
                 end))
 
 let no_rewrite _ _ _ = None
 
-let run_rw ~rewrite ?(cache = true) ?(distinct = false) ?(leapfrog = false) ?limit
-    ?(sink = fun _ -> ()) g plan =
+(* The governed core: every [run] variant funnels here. When no governor is
+   supplied, [limit] becomes an output-cap budget — the old [Limit_reached]
+   escape hatch is now an ordinary [Trip]. *)
+let run_gov_rw ~rewrite ?(cache = true) ?(distinct = false) ?(leapfrog = false) ?limit
+    ?gov ?(sink = fun _ -> ()) g plan =
+  let shared =
+    match gov with
+    | Some t -> t
+    | None -> Governor.create (Governor.budget ?max_output:limit ())
+  in
+  let h = Governor.handle shared in
   let c = Counters.create () in
-  let env = { g; cache; distinct; leapfrog; c } in
+  let env = { g; cache; distinct; leapfrog; c; gov = h } in
   let driver = compile_rw rewrite env plan in
   let final t =
+    Governor.claim_output h;
     c.output <- c.output + 1;
-    sink t;
-    match limit with Some l when c.output >= l -> raise Limit_reached | _ -> ()
+    sink t
   in
-  (try driver final with Limit_reached -> ());
-  c
+  (try driver final with Governor.Trip -> ());
+  Governor.finish h c;
+  (c, Governor.outcome shared)
+
+let run_rw ~rewrite ?cache ?distinct ?leapfrog ?limit ?gov ?sink g plan =
+  fst (run_gov_rw ~rewrite ?cache ?distinct ?leapfrog ?limit ?gov ?sink g plan)
 
 let run ?cache ?distinct ?leapfrog ?limit ?sink g plan =
   run_rw ~rewrite:no_rewrite ?cache ?distinct ?leapfrog ?limit ?sink g plan
+
+let run_gov ?cache ?distinct ?leapfrog ?budget ?fault ?sink g plan =
+  let b = Option.value budget ~default:Governor.unlimited in
+  let gov = Governor.create ?fault b in
+  run_gov_rw ~rewrite:no_rewrite ?cache ?distinct ?leapfrog ~gov ?sink g plan
 
 let count ?cache ?distinct g plan =
   let c = run ?cache ?distinct g plan in
@@ -192,7 +223,8 @@ let count_fast ?(cache = true) g plan =
   match plan with
   | Plan.Extend { child; target_label; descriptors; _ } ->
       let c = Counters.create () in
-      let env = { g; cache; distinct = false; leapfrog = false; c } in
+      let gov = Governor.handle (Governor.create Governor.unlimited) in
+      let env = { g; cache; distinct = false; leapfrog = false; c; gov } in
       let child_driver = compile_rw no_rewrite env child in
       let nd = Array.length descriptors in
       let total = ref 0 in

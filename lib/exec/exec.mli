@@ -8,11 +8,13 @@
     [cache] toggles the E/I intersection cache (Table 3 studies exactly this
     switch). [distinct] requests injective (subgraph-isomorphism) matches
     instead of the default homomorphic join semantics; the CFL comparison
-    uses it. [limit] stops execution after that many output tuples. *)
+    uses it. [limit] stops execution after that many output tuples.
 
-(** Raised internally (and by cooperating executors) to abort a pipeline
-    once an output [limit] is satisfied. *)
-exception Limit_reached
+    Every run executes under a {!Governor}: budgets (deadline, output cap,
+    intermediate cap, byte cap) trip a shared flag checked cooperatively
+    from the operator inner loops, and {!run_gov} reports the structured
+    {!Governor.outcome} alongside the counters. [limit] is sugar for an
+    output-cap budget. *)
 
 val run :
   ?cache:bool ->
@@ -48,6 +50,9 @@ type env = {
   distinct : bool;
   leapfrog : bool;  (** multiway intersections via Leapfrog Triejoin instead of the pairwise cascade *)
   c : Counters.t;
+  gov : Governor.handle;
+      (** this executor's cursor on the query's governor; operators
+          {!Governor.tick} it per produced tuple *)
 }
 
 (** [tuple_contains t len v] tests whether [v] occurs in [t.(0 .. len-1)] —
@@ -69,14 +74,47 @@ type rewrite =
     (the adaptive evaluator, the parallel runner). *)
 val compile_rw : rewrite -> env -> Gf_plan.Plan.t -> (int array -> unit) -> unit
 
-(** [run_rw ~rewrite g p] is [run] with a rewrite hook. *)
+(** [run_rw ~rewrite g p] is [run] with a rewrite hook. [gov] supplies an
+    externally created governor (shared cancellation, budgets, fault
+    injection); when present, [limit] is ignored — encode it as
+    [max_output] in the budget instead. *)
 val run_rw :
   rewrite:rewrite ->
   ?cache:bool ->
   ?distinct:bool ->
   ?leapfrog:bool ->
   ?limit:int ->
+  ?gov:Governor.t ->
   ?sink:(int array -> unit) ->
   Gf_graph.Graph.t ->
   Gf_plan.Plan.t ->
   Counters.t
+
+(** [run_gov_rw] is {!run_rw} also returning the structured outcome. *)
+val run_gov_rw :
+  rewrite:rewrite ->
+  ?cache:bool ->
+  ?distinct:bool ->
+  ?leapfrog:bool ->
+  ?limit:int ->
+  ?gov:Governor.t ->
+  ?sink:(int array -> unit) ->
+  Gf_graph.Graph.t ->
+  Gf_plan.Plan.t ->
+  Counters.t * Governor.outcome
+
+(** [run_gov ?budget ?fault g p] executes under the given budget (default
+    {!Governor.unlimited}) and reports how the query ended: [Completed],
+    [Truncated reason] on any budget trip, or [Failed error] on an injected
+    fault. Counters and any tuples already delivered to [sink] are
+    preserved in all cases. *)
+val run_gov :
+  ?cache:bool ->
+  ?distinct:bool ->
+  ?leapfrog:bool ->
+  ?budget:Governor.budget ->
+  ?fault:Governor.fault ->
+  ?sink:(int array -> unit) ->
+  Gf_graph.Graph.t ->
+  Gf_plan.Plan.t ->
+  Counters.t * Governor.outcome

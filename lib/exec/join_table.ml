@@ -42,6 +42,10 @@ let size t = t.count
 let row_len t = t.row_len
 let key_len t = t.key_len
 
+(* Approximate heap cost of one stored row: the row words, one offset word
+   in the index bucket, and a word of amortized hashtable overhead. *)
+let bytes_per_row t = (t.row_len + 2) * 8
+
 let iter_matches_view t ~view key f =
   match H.find_opt t.index key with
   | None -> ()

@@ -12,6 +12,11 @@ val size : t -> int
 val row_len : t -> int
 val key_len : t -> int
 
+(** [bytes_per_row t] is the approximate heap bytes one stored row costs
+    (row words + index overhead) — what the governor's byte budget charges
+    per {!add}. *)
+val bytes_per_row : t -> int
+
 (** [iter_matches t key f] applies [f row] to every stored row whose key
     equals [key]; [row] is a view that must not be retained across calls.
     Single-threaded only: the view buffer is owned by [t]. *)

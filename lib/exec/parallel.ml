@@ -7,6 +7,7 @@ type report = {
   counters : Counters.t;
   per_domain : Counters.t array;
   per_domain_output : int array;
+  outcome : Governor.outcome;
 }
 
 (* The SCAN that streams tuples into the root pipeline: probe side of joins,
@@ -66,6 +67,7 @@ let probe_only recurse (env : Exec.env) node table =
         probe_driver (fun t ->
             env.Exec.c.Counters.hj_probe_tuples <-
               env.Exec.c.Counters.hj_probe_tuples + 1;
+            Governor.tick env.Exec.gov env.Exec.c;
             for i = 0 to key_len - 1 do
               key_buf.(i) <- t.(probe_key_pos.(i))
             done;
@@ -86,6 +88,7 @@ let probe_only recurse (env : Exec.env) node table =
                 end;
                 if !ok then begin
                   env.Exec.c.Counters.produced <- env.Exec.c.Counters.produced + 1;
+                  Governor.tick env.Exec.gov env.Exec.c;
                   sink buf
                 end))
   | _ -> assert false
@@ -110,6 +113,7 @@ let chunked_scan (env : Exec.env) node next chunk num_sources =
                 buf.(0) <- u;
                 buf.(1) <- v;
                 env.Exec.c.Counters.produced <- env.Exec.c.Counters.produced + 1;
+                Governor.tick env.Exec.gov env.Exec.c;
                 sink buf)
           end
         done
@@ -121,7 +125,7 @@ let chunked_scan (env : Exec.env) node next chunk num_sources =
    table. Returns the tables (keyed by physical plan node) and the counters
    of the whole build phase — so build tuples are counted once, not once per
    execution domain. *)
-let build_tables ~domains ~cache ~distinct ~leapfrog g plan =
+let build_tables ~domains ~cache ~distinct ~leapfrog ~gov g plan =
   let build_c = Counters.create () in
   let tables = ref [] in
   List.iter
@@ -135,8 +139,10 @@ let build_tables ~domains ~cache ~distinct ~leapfrog g plan =
           let next = Atomic.make 0 in
           let build_worker () =
             let c = Counters.create () in
-            let env = { Exec.g; cache; distinct; leapfrog; c } in
+            let h = Governor.handle gov in
+            let env = { Exec.g; cache; distinct; leapfrog; c; gov = h } in
             let local = Join_table.create ~key_len ~row_len in
+            let row_bytes = Join_table.bytes_per_row local in
             let rewrite recurse env n =
               if n == bscan then Some (chunked_scan env n next 64 num_sources)
               else
@@ -146,12 +152,24 @@ let build_tables ~domains ~cache ~distinct ~leapfrog g plan =
             in
             let d = Exec.compile_rw rewrite env build in
             let key_buf = Array.make key_len 0 in
-            d (fun t ->
-                for i = 0 to key_len - 1 do
-                  key_buf.(i) <- t.(build_key_pos.(i))
-                done;
-                Join_table.add local key_buf t;
-                c.Counters.hj_build_tuples <- c.Counters.hj_build_tuples + 1);
+            (* A tripped budget or a faulting operator must still hand back
+               the partial table and counters, and must never propagate out
+               of the domain (a raising [Domain.join] would leak its
+               siblings). *)
+            (try
+               d (fun t ->
+                   for i = 0 to key_len - 1 do
+                     key_buf.(i) <- t.(build_key_pos.(i))
+                   done;
+                   Join_table.add local key_buf t;
+                   c.Counters.hj_build_tuples <- c.Counters.hj_build_tuples + 1;
+                   Governor.add_bytes h row_bytes;
+                   Governor.tick h c)
+             with
+            | Governor.Trip -> ()
+            | e ->
+                Governor.fail gov ~operator:"hash-build" ~detail:(Printexc.to_string e));
+            Governor.finish h c;
             (local, c)
           in
           let results =
@@ -181,9 +199,29 @@ type morsel = Range of int * int | Batch of int array
 let max_local = 32
 
 let run ?(domains = 1) ?(cache = true) ?(distinct = false) ?(leapfrog = false) ?limit
-    ?sink ?(chunk = 64) ?(batch = 256) g plan =
+    ?budget ?fault ?gov ?sink ?(chunk = 64) ?(batch = 256) g plan =
   let domains = max 1 domains in
-  let tables, build_c = build_tables ~domains ~cache ~distinct ~leapfrog g plan in
+  let gov =
+    match gov with
+    | Some t -> t
+    | None ->
+        let b = Option.value budget ~default:Governor.unlimited in
+        let b =
+          match limit with
+          | None -> b
+          | Some l ->
+              {
+                b with
+                Governor.max_output =
+                  Some
+                    (match b.Governor.max_output with
+                    | None -> l
+                    | Some m -> min m l);
+              }
+        in
+        Governor.create ?fault b
+  in
+  let tables, build_c = build_tables ~domains ~cache ~distinct ~leapfrog ~gov g plan in
   let driver_node = driving_scan plan in
   let boundary_node = find_boundary plan in
   let bwidth = Array.length (Plan.vars boundary_node) in
@@ -200,33 +238,27 @@ let run ?(domains = 1) ?(cache = true) ?(distinct = false) ?(leapfrog = false) ?
     lo := hi;
     d := (!d + 1) mod domains
   done;
-  let cancelled = Atomic.make false in
-  let out_claimed = Atomic.make 0 in
   let sink_mutex = Mutex.create () in
+  let unlock_sink () = Mutex.unlock sink_mutex in
   let worker wid () =
     let c = Counters.create () in
-    let env = { Exec.g; cache; distinct; leapfrog; c } in
+    let h = Governor.handle gov in
+    let env = { Exec.g; cache; distinct; leapfrog; c; gov = h } in
     let own = deques.(wid) in
-    (* The root sink: claims an output slot (atomically under a limit),
-       counts, and forwards to the user sink under a mutex so any sink is
-       safe. Over-claims past the limit abort the claiming worker. *)
+    (* The root sink: claims an output slot from the governor (atomic under
+       an output cap — over-claims abort the claiming worker via [Trip], so
+       exactly min(cap, total) tuples are emitted), counts, and forwards to
+       the user sink under a mutex so any sink is safe. [Fun.protect]
+       guarantees the mutex is released even when the sink raises or a
+       budget trips — a governed abort can never leave it held. *)
     let emit_out t =
-      (match limit with
-      | None -> ()
-      | Some l ->
-          let prev = Atomic.fetch_and_add out_claimed 1 in
-          if prev >= l then begin
-            Atomic.set cancelled true;
-            raise Exec.Limit_reached
-          end;
-          if prev + 1 >= l then Atomic.set cancelled true);
+      Governor.claim_output h;
       c.Counters.output <- c.Counters.output + 1;
       match sink with
       | None -> ()
       | Some f ->
           Mutex.lock sink_mutex;
-          (try f t with e -> Mutex.unlock sink_mutex; raise e);
-          Mutex.unlock sink_mutex
+          Fun.protect ~finally:unlock_sink (fun () -> f t)
     in
     let rewrite recurse env node =
       if node == boundary_node then
@@ -259,9 +291,12 @@ let run ?(domains = 1) ?(cache = true) ?(distinct = false) ?(leapfrog = false) ?
               let n = Array.length data / bwidth in
               for r = 0 to n - 1 do
                 Array.blit data (r * bwidth) tuple 0 bwidth;
+                Governor.tick h c;
                 sink tuple
               done
             in
+            let batch_bytes = batch * bwidth * 8 in
+            Governor.add_bytes h batch_bytes;
             let bbuf = ref (Array.make (batch * bwidth) 0) in
             let bn = ref 0 in
             let emit_lower t =
@@ -271,6 +306,7 @@ let run ?(domains = 1) ?(cache = true) ?(distinct = false) ?(leapfrog = false) ?
                 if !bn = batch then begin
                   Atomic.incr pending;
                   Deque.push_bottom own (Batch !bbuf);
+                  Governor.add_bytes h batch_bytes;
                   bbuf := Array.make (batch * bwidth) 0;
                   bn := 0
                 end
@@ -309,13 +345,18 @@ let run ?(domains = 1) ?(cache = true) ?(distinct = false) ?(leapfrog = false) ?
               in
               go 0
             in
+            (* Busy-time and the pending count must survive a [Trip] raised
+               mid-morsel: the counters stay truthful and no sibling spins
+               forever on a pending count that will never reach zero. *)
             let timed m =
               let t0 = Timing.now_s () in
-              process m;
-              c.Counters.busy_s <- c.Counters.busy_s +. (Timing.now_s () -. t0);
-              Atomic.decr pending
+              Fun.protect
+                ~finally:(fun () ->
+                  c.Counters.busy_s <- c.Counters.busy_s +. (Timing.now_s () -. t0);
+                  Atomic.decr pending)
+                (fun () -> process m)
             in
-            while (not (Atomic.get cancelled)) && Atomic.get pending > 0 do
+            while (not (Governor.tripped gov)) && Atomic.get pending > 0 do
               match Deque.pop_bottom own with
               | Some m -> timed m
               | None -> (
@@ -331,7 +372,14 @@ let run ?(domains = 1) ?(cache = true) ?(distinct = false) ?(leapfrog = false) ?
         | None -> None
     in
     let driver = Exec.compile_rw rewrite env plan in
-    (try driver emit_out with Exec.Limit_reached -> ());
+    (* Workers never let an exception escape: a raising [Domain.join] would
+       leak the remaining domains. Budget trips end the worker quietly;
+       anything else is recorded as a structured failure (tripping the
+       governor so the siblings stop too). *)
+    (try driver emit_out with
+    | Governor.Trip -> ()
+    | e -> Governor.fail gov ~operator:"worker" ~detail:(Printexc.to_string e));
+    Governor.finish h c;
     c
   in
   let results =
@@ -342,6 +390,7 @@ let run ?(domains = 1) ?(cache = true) ?(distinct = false) ?(leapfrog = false) ?
     counters = Counters.merge (build_c :: Array.to_list results);
     per_domain = results;
     per_domain_output = Array.map (fun c -> c.Counters.output) results;
+    outcome = Governor.outcome gov;
   }
 
 let count ?domains ?cache ?distinct ?leapfrog ?limit g plan =
@@ -358,7 +407,8 @@ let run_chunked ?(domains = 1) ?(cache = true) ?(chunk = 64) g plan =
   let worker () =
     let t0 = Timing.now_s () in
     let c = Counters.create () in
-    let env = { Exec.g; cache; distinct = false; leapfrog = false; c } in
+    let gov = Governor.handle (Governor.create Governor.unlimited) in
+    let env = { Exec.g; cache; distinct = false; leapfrog = false; c; gov } in
     let rewrite _recurse (env : Exec.env) node =
       if node == driver_node then Some (chunked_scan env node next chunk num_sources)
       else None
@@ -376,4 +426,5 @@ let run_chunked ?(domains = 1) ?(cache = true) ?(chunk = 64) g plan =
     counters = Counters.merge (Array.to_list results);
     per_domain = results;
     per_domain_output = Array.map (fun c -> c.Counters.output) results;
+    outcome = Governor.Completed;
   }

@@ -15,12 +15,21 @@
     Build tuples are therefore counted once, not once per domain.
 
     The full sequential feature set is supported: [distinct], [leapfrog],
-    [limit] (cooperative cancellation through an atomic output counter —
-    exactly [min limit total] tuples are emitted), and [sink] (invoked under
-    a mutex, so any closure is safe; tuples are reused buffers, copy to
+    [limit] (an atomic output claim through the governor — exactly
+    [min limit total] tuples are emitted), and [sink] (invoked under a
+    mutex, so any closure is safe; tuples are reused buffers, copy to
     retain). The graph and tables are immutable and shared; counters are
     per-domain and merged, with [morsels], [steals] and [busy_s] recording
-    how the load actually spread. *)
+    how the load actually spread.
+
+    Every run executes under one shared {!Governor}: any domain tripping a
+    budget (deadline, output/intermediate cap, byte cap), failing, or being
+    {!Governor.cancel}led stops every other domain within one governor
+    check cadence — once per morsel at the outside, usually within a few
+    hundred tuples. Workers never let an exception escape the domain
+    (no leaked siblings on [Domain.join]); sink exceptions and operator
+    faults surface as [Failed] in the report's [outcome], and the sink
+    mutex is released on every unwind path. *)
 
 type report = {
   counters : Counters.t;  (** merged across domains, plus the build phase once *)
@@ -28,17 +37,24 @@ type report = {
       (** per-domain execution counters — [busy_s] max/min is the imbalance
           signal, [steals] how much rebalancing happened *)
   per_domain_output : int array;  (** work division across domains *)
+  outcome : Governor.outcome;  (** how the run ended; partial counters kept *)
 }
 
 (** [run ~domains g plan] executes with that many domains. [chunk] is the
     number of driving-scan source vertices per range morsel; [batch] the
-    number of partial matches per stealable batch morsel. *)
+    number of partial matches per stealable batch morsel. [budget]/[fault]
+    create the query's governor; [gov] supplies one built externally (for
+    cross-thread {!Governor.cancel}) and overrides both. [limit] tightens
+    the budget's output cap. *)
 val run :
   ?domains:int ->
   ?cache:bool ->
   ?distinct:bool ->
   ?leapfrog:bool ->
   ?limit:int ->
+  ?budget:Governor.budget ->
+  ?fault:Governor.fault ->
+  ?gov:Governor.t ->
   ?sink:(int array -> unit) ->
   ?chunk:int ->
   ?batch:int ->

@@ -1,3 +1,31 @@
+type load_error = { path : string; line : int; kind : error_kind }
+
+and error_kind =
+  | Unreadable of string
+  | Bad_header of string
+  | Truncated of string
+  | Bad_token of string
+  | Bad_vertex of int
+  | Dangling_edge of int * int
+  | Edge_count_mismatch of { expected : int; got : int }
+
+let kind_to_string = function
+  | Unreadable msg -> "cannot read: " ^ msg
+  | Bad_header h -> Printf.sprintf "bad header %S (expected \"graphflow v1\")" h
+  | Truncated what -> "truncated file: missing " ^ what
+  | Bad_token tok -> Printf.sprintf "malformed token %S" tok
+  | Bad_vertex v -> Printf.sprintf "vertex id %d out of range" v
+  | Dangling_edge (u, v) -> Printf.sprintf "edge (%d, %d) references a missing vertex" u v
+  | Edge_count_mismatch { expected; got } ->
+      Printf.sprintf "expected %d edges, got %d (truncated?)" expected got
+
+let load_error_to_string e =
+  if e.line > 0 then
+    Printf.sprintf "Graph_io.load %s, line %d: %s" e.path e.line (kind_to_string e.kind)
+  else Printf.sprintf "Graph_io.load %s: %s" e.path (kind_to_string e.kind)
+
+let pp_load_error fmt e = Format.pp_print_string fmt (load_error_to_string e)
+
 let save g path =
   let oc = open_out path in
   Fun.protect
@@ -14,33 +42,71 @@ let save g path =
         (fun (u, v, el) -> Printf.fprintf oc "e %d %d %d\n" u v el)
         (Graph.edge_array g))
 
-let load path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let fail msg = failwith (Printf.sprintf "Graph_io.load %s: %s" path msg) in
-      let header = try input_line ic with End_of_file -> fail "empty file" in
-      if header <> "graphflow v1" then fail "bad header";
-      let n, m, nv, ne =
-        match String.split_on_char ' ' (input_line ic) with
-        | [ a; b; c; d ] -> (int_of_string a, int_of_string b, int_of_string c, int_of_string d)
-        | _ -> fail "bad size line"
+exception Err of load_error
+
+let load_result path =
+  match open_in path with
+  | exception Sys_error msg -> Error { path; line = 0; kind = Unreadable msg }
+  | ic -> (
+      let lineno = ref 0 in
+      let fail kind = raise (Err { path; line = !lineno; kind }) in
+      let read_line what =
+        incr lineno;
+        try input_line ic with End_of_file -> fail (Truncated what)
       in
-      let vlabel = Array.make n 0 in
-      let edges = ref [] in
-      let count = ref 0 in
-      (try
-         while true do
-           let line = input_line ic in
-           if line <> "" then
-             match String.split_on_char ' ' line with
-             | [ "v"; id; l ] -> vlabel.(int_of_string id) <- int_of_string l
-             | [ "e"; u; v; el ] ->
-                 edges := (int_of_string u, int_of_string v, int_of_string el) :: !edges;
-                 incr count
-             | _ -> fail ("bad line: " ^ line)
-         done
-       with End_of_file -> ());
-      if !count <> m then fail (Printf.sprintf "expected %d edges, got %d" m !count);
-      Graph.build ~num_vlabels:nv ~num_elabels:ne ~vlabel ~edges:(Array.of_list !edges))
+      let int_of tok =
+        match int_of_string_opt tok with Some i -> i | None -> fail (Bad_token tok)
+      in
+      try
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () ->
+            let header = read_line "header" in
+            if header <> "graphflow v1" then fail (Bad_header header);
+            let n, m, nv, ne =
+              let line = read_line "size line" in
+              match String.split_on_char ' ' line with
+              | [ a; b; c; d ] -> (int_of a, int_of b, int_of c, int_of d)
+              | _ -> fail (Bad_token line)
+            in
+            if n < 0 || m < 0 || nv < 1 || ne < 1 then
+              fail (Bad_token (Printf.sprintf "%d %d %d %d" n m nv ne));
+            let vlabel = Array.make n 0 in
+            let edges = ref [] in
+            let count = ref 0 in
+            (try
+               while true do
+                 incr lineno;
+                 let line = input_line ic in
+                 if line <> "" then
+                   match String.split_on_char ' ' line with
+                   | [ "v"; id; l ] ->
+                       let id = int_of id in
+                       if id < 0 || id >= n then fail (Bad_vertex id);
+                       vlabel.(id) <- int_of l
+                   | [ "e"; u; v; el ] ->
+                       let u = int_of u and v = int_of v in
+                       if u < 0 || u >= n || v < 0 || v >= n then
+                         fail (Dangling_edge (u, v));
+                       edges := (u, v, int_of el) :: !edges;
+                       incr count
+                   | _ -> fail (Bad_token line)
+               done
+             with End_of_file -> ());
+            if !count <> m then begin
+              lineno := 0;
+              fail (Edge_count_mismatch { expected = m; got = !count })
+            end;
+            lineno := 0;
+            match
+              Graph.build ~num_vlabels:nv ~num_elabels:ne ~vlabel
+                ~edges:(Array.of_list !edges)
+            with
+            | g -> Ok g
+            | exception Invalid_argument msg -> fail (Bad_token msg))
+      with Err e -> Error e)
+
+let load path =
+  match load_result path with
+  | Ok g -> g
+  | Error e -> failwith (load_error_to_string e)

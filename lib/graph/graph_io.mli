@@ -11,6 +11,28 @@
 
 val save : Graph.t -> string -> unit
 
-(** [load path] parses a file written by [save]. Raises [Failure] with a
-    descriptive message on malformed input. *)
+(** What went wrong loading a graph file, and where. [line] is 1-based;
+    0 when the error is not tied to a specific line. *)
+type load_error = { path : string; line : int; kind : error_kind }
+
+and error_kind =
+  | Unreadable of string  (** missing or unreadable file (OS message) *)
+  | Bad_header of string
+  | Truncated of string  (** EOF before the named section *)
+  | Bad_token of string  (** non-integer token or malformed line *)
+  | Bad_vertex of int  (** vertex-label line with an out-of-range id *)
+  | Dangling_edge of int * int  (** edge endpoint outside [0, num_vertices) *)
+  | Edge_count_mismatch of { expected : int; got : int }
+      (** fewer/more edge lines than the size line promised — the signature
+          of a truncated file *)
+
+val load_error_to_string : load_error -> string
+val pp_load_error : Format.formatter -> load_error -> unit
+
+(** [load_result path] parses a file written by [save], reporting missing,
+    truncated, and malformed files as a structured {!load_error}. *)
+val load_result : string -> (Graph.t, load_error) result
+
+(** [load path] is {!load_result} raising [Failure] with the formatted
+    message on error (the original API, kept for convenience). *)
 val load : string -> Graph.t

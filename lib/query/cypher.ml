@@ -13,30 +13,32 @@ type token =
   | Arrow_left (* <- *)
   | Ident of string
 
+(* Tokens carry the byte offset they start at, for error reporting. *)
 let tokenize s =
-  let fail msg = failwith (Printf.sprintf "Cypher parse error: %s (in %S)" msg s) in
+  let fail ~pos msg = Parse_error.fail ~input:s ~pos msg in
   let n = String.length s in
   let tokens = ref [] in
   let i = ref 0 in
   let is_ident c =
     (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
   in
+  let push t = tokens := (t, !i) :: !tokens in
   while !i < n do
     let c = s.[!i] in
     if c = ' ' || c = '\t' || c = '\n' then incr i
-    else if c = '(' then (tokens := Lparen :: !tokens; incr i)
-    else if c = ')' then (tokens := Rparen :: !tokens; incr i)
-    else if c = '[' then (tokens := Lbracket :: !tokens; incr i)
-    else if c = ']' then (tokens := Rbracket :: !tokens; incr i)
-    else if c = ':' then (tokens := Colon :: !tokens; incr i)
-    else if c = ',' then (tokens := Comma :: !tokens; incr i)
+    else if c = '(' then (push Lparen; incr i)
+    else if c = ')' then (push Rparen; incr i)
+    else if c = '[' then (push Lbracket; incr i)
+    else if c = ']' then (push Rbracket; incr i)
+    else if c = ':' then (push Colon; incr i)
+    else if c = ',' then (push Comma; incr i)
     else if c = '-' then begin
-      if !i + 1 < n && s.[!i + 1] = '>' then (tokens := Arrow_right :: !tokens; i := !i + 2)
-      else (tokens := Dash :: !tokens; incr i)
+      if !i + 1 < n && s.[!i + 1] = '>' then (push Arrow_right; i := !i + 2)
+      else (push Dash; incr i)
     end
     else if c = '<' then begin
-      if !i + 1 < n && s.[!i + 1] = '-' then (tokens := Arrow_left :: !tokens; i := !i + 2)
-      else fail "stray '<'"
+      if !i + 1 < n && s.[!i + 1] = '-' then (push Arrow_left; i := !i + 2)
+      else fail ~pos:!i "stray '<'"
     end
     else if is_ident c then begin
       let j = ref !i in
@@ -44,11 +46,10 @@ let tokenize s =
         incr j
       done;
       let word = String.sub s !i (!j - !i) in
-      i := !j;
-      if String.uppercase_ascii word = "MATCH" then tokens := Match :: !tokens
-      else tokens := Ident word :: !tokens
+      if String.uppercase_ascii word = "MATCH" then push Match else push (Ident word);
+      i := !j
     end
-    else fail (Printf.sprintf "unexpected character %c" c)
+    else fail ~pos:!i (Printf.sprintf "unexpected character %c" c)
   done;
   List.rev !tokens
 
@@ -63,18 +64,22 @@ let intern t name =
       Hashtbl.replace t.table name i;
       i
 
-let parse s =
-  let fail msg = failwith (Printf.sprintf "Cypher parse error: %s (in %S)" msg s) in
+let parse_exn s =
+  let fail ~pos msg = Parse_error.fail ~input:s ~pos msg in
   let tokens = ref (tokenize s) in
-  let peek () = match !tokens with t :: _ -> Some t | [] -> None in
+  let pos_of () = match !tokens with (_, p) :: _ -> p | [] -> String.length s in
+  let peek () = match !tokens with (t, _) :: _ -> Some t | [] -> None in
   let next () =
     match !tokens with
-    | t :: rest ->
+    | (t, _) :: rest ->
         tokens := rest;
         t
-    | [] -> fail "unexpected end of input"
+    | [] -> fail ~pos:(String.length s) "unexpected end of input"
   in
-  let expect t what = if next () <> t then fail ("expected " ^ what) in
+  let expect t what =
+    let p = pos_of () in
+    if next () <> t then fail ~pos:p ("expected " ^ what)
+  in
   let vars = { table = Hashtbl.create 8; next = 0 } in
   let labels = { table = Hashtbl.create 8; next = 0 } in
   let etypes = { table = Hashtbl.create 8; next = 0 } in
@@ -82,10 +87,14 @@ let parse s =
   let vlabels = Hashtbl.create 8 in
   let edges = ref [] in
   (* A label token is an integer (used directly) or a name (interned). *)
-  let label_id pool = function
+  let label_id ~pos pool = function
     | Ident w -> (
         match int_of_string_opt w with Some i when i >= 0 -> i | _ -> intern pool w)
-    | _ -> fail "expected a label"
+    | _ -> fail ~pos "expected a label"
+  in
+  let next_label pool =
+    let p = pos_of () in
+    label_id ~pos:p pool (next ())
   in
   let parse_node () =
     expect Lparen "'('";
@@ -102,7 +111,7 @@ let parse s =
     (match peek () with
     | Some Colon ->
         ignore (next ());
-        Hashtbl.replace vlabels v (label_id labels (next ()))
+        Hashtbl.replace vlabels v (next_label labels)
     | _ -> ());
     expect Rparen "')'";
     v
@@ -117,20 +126,22 @@ let parse s =
             match peek () with
             | Some Colon ->
                 ignore (next ());
-                label_id etypes (next ())
+                next_label etypes
             | _ -> 0
           in
           expect Rbracket "']'";
           t
       | _ -> 0
     in
+    let p = pos_of () in
     match next () with
     | Dash ->
         let t = bracket_type () in
+        let p2 = pos_of () in
         (match next () with
         | Arrow_right -> `Out t
-        | Dash -> fail "undirected edges are not supported; use -> or <-"
-        | _ -> fail "expected '->'")
+        | Dash -> fail ~pos:p2 "undirected edges are not supported; use -> or <-"
+        | _ -> fail ~pos:p2 "expected '->'")
     | Arrow_right ->
         (* '-[..]->' tokenizes Dash then Arrow_right; bare '-->' tokenizes
            Dash Dash '>'... handled by Dash branch; a direct Arrow_right
@@ -140,7 +151,7 @@ let parse s =
         let t = bracket_type () in
         expect Dash "'-'";
         `In t
-    | _ -> fail "expected an edge"
+    | _ -> fail ~pos:p "expected an edge"
   in
   let parse_pattern () =
     let v = ref (parse_node ()) in
@@ -169,12 +180,12 @@ let parse s =
         more ()
     | Some t ->
         ignore t;
-        fail "trailing tokens"
+        fail ~pos:(pos_of ()) "trailing tokens"
     | None -> ()
   in
   more ();
   let n = vars.next in
-  if n = 0 then fail "no vertices";
+  if n = 0 then fail ~pos:0 "no vertices";
   let vl = Array.init n (fun i -> Option.value ~default:0 (Hashtbl.find_opt vlabels i)) in
   let q =
     try
@@ -183,8 +194,18 @@ let parse s =
           (Array.of_list
              (List.rev_map (fun (a, b, t) -> Query.{ src = a; dst = b; label = t }) !edges))
         ()
-    with Invalid_argument m -> fail m
+    with Invalid_argument m -> fail ~pos:0 m
   in
-  if not (Query.is_connected q) then fail "pattern is not connected";
+  if not (Query.is_connected q) then fail ~pos:0 "pattern is not connected";
   let table = Hashtbl.fold (fun k v acc -> (k, v) :: acc) vars.table [] in
   (q, List.sort (fun (_, a) (_, b) -> compare a b) table)
+
+let parse_result s =
+  match parse_exn s with
+  | r -> Ok r
+  | exception Parse_error.Error e -> Error e
+
+let parse s =
+  match parse_result s with
+  | Ok r -> r
+  | Error e -> failwith ("Cypher parse error: " ^ Parse_error.to_string e)

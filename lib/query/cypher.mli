@@ -19,6 +19,11 @@
     - ["MATCH (a:0)-[:1]->(b)<-[:1]-(c)"] — labeled, with a reversed edge;
     - ["MATCH (a)-->(b)-->(c)-->(a)"] — a directed 3-cycle as one chain. *)
 
-(** [parse s] returns the query and the variable table (name -> vertex id).
-    Raises [Failure] with a message on syntax errors. *)
+(** [parse_result s] returns the query and the variable table
+    (name -> vertex id), or a structured {!Parse_error.t} whose [pos] is
+    the byte offset of the offending token. *)
+val parse_result : string -> (Query.t * (string * int) list, Parse_error.t) result
+
+(** [parse s] is {!parse_result} raising [Failure] with the formatted
+    message on error (the original API, kept for convenience). *)
 val parse : string -> Query.t * (string * int) list

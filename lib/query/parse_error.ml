@@ -1,0 +1,10 @@
+type t = { message : string; input : string; pos : int }
+
+let to_string e =
+  Printf.sprintf "%s at offset %d (in %S)" e.message e.pos e.input
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+exception Error of t
+
+let fail ~input ~pos message = raise (Error { message; input; pos })

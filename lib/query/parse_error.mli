@@ -1,0 +1,18 @@
+(** Structured parse errors shared by the pattern-DSL ({!Parser}) and the
+    Cypher ({!Cypher}) frontends. *)
+
+type t = {
+  message : string;  (** what went wrong *)
+  input : string;  (** the full input being parsed *)
+  pos : int;  (** byte offset into [input] where the error was detected *)
+}
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Internal unwinding exception used by the parsers; the [_result] entry
+    points never let it escape. *)
+exception Error of t
+
+(** [fail ~input ~pos msg] raises {!Error}. *)
+val fail : input:string -> pos:int -> string -> 'a

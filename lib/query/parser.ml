@@ -1,15 +1,37 @@
-let parse s =
-  let fail msg = failwith (Printf.sprintf "Query parse error: %s (in %S)" msg s) in
-  let items = String.split_on_char ',' s |> List.map String.trim |> List.filter (( <> ) "") in
-  if items = [] then fail "empty query";
+let is_space c = c = ' ' || c = '\t' || c = '\n'
+
+(* Split on ',', keeping the byte offset of each trimmed item. *)
+let split_items s =
+  let n = String.length s in
+  let items = ref [] in
+  let start = ref 0 in
+  for i = 0 to n do
+    if i = n || s.[i] = ',' then begin
+      let lo = ref !start and hi = ref i in
+      while !lo < !hi && is_space s.[!lo] do
+        incr lo
+      done;
+      while !hi > !lo && is_space s.[!hi - 1] do
+        decr hi
+      done;
+      if !hi > !lo then items := (!lo, String.sub s !lo (!hi - !lo)) :: !items;
+      start := i + 1
+    end
+  done;
+  List.rev !items
+
+let parse_exn s =
+  let fail ~pos msg = Parse_error.fail ~input:s ~pos msg in
+  let items = split_items s in
+  if items = [] then fail ~pos:0 "empty query";
   let names = Hashtbl.create 8 in
   let next = ref 0 in
-  let vertex name =
-    if name = "" then fail "empty vertex name";
+  let vertex ~pos name =
+    if name = "" then fail ~pos "empty vertex name";
     String.iter
       (fun c ->
         if not ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_')
-        then fail ("bad vertex name " ^ name))
+        then fail ~pos ("bad vertex name " ^ name))
       name;
     match Hashtbl.find_opt names name with
     | Some i -> i
@@ -21,13 +43,13 @@ let parse s =
   in
   let vlabels = Hashtbl.create 8 in
   let edges = ref [] in
-  let parse_int what str =
+  let parse_int ~pos what str =
     match int_of_string_opt (String.trim str) with
     | Some i when i >= 0 -> i
-    | _ -> fail ("bad " ^ what ^ " " ^ str)
+    | _ -> fail ~pos ("bad " ^ what ^ " " ^ str)
   in
   List.iter
-    (fun item ->
+    (fun (off, item) ->
       match String.index_opt item '>' with
       | Some gt when gt > 0 && item.[gt - 1] = '-' ->
           let lhs = String.trim (String.sub item 0 (gt - 1)) in
@@ -37,27 +59,38 @@ let parse s =
             | None -> (rhs, 0)
             | Some at ->
                 ( String.trim (String.sub rhs 0 at),
-                  parse_int "edge label" (String.sub rhs (at + 1) (String.length rhs - at - 1)) )
+                  parse_int ~pos:(off + gt) "edge label"
+                    (String.sub rhs (at + 1) (String.length rhs - at - 1)) )
           in
-          let u = vertex lhs and v = vertex rhs_name in
+          let u = vertex ~pos:off lhs and v = vertex ~pos:(off + gt + 1) rhs_name in
           edges := Query.{ src = u; dst = v; label = elabel } :: !edges
       | _ -> (
           match String.index_opt item ':' with
           | Some colon ->
               let name = String.trim (String.sub item 0 colon) in
               let l =
-                parse_int "vertex label"
+                parse_int ~pos:(off + colon) "vertex label"
                   (String.sub item (colon + 1) (String.length item - colon - 1))
               in
-              Hashtbl.replace vlabels (vertex name) l
-          | None -> fail ("expected edge or label declaration, got " ^ item)))
+              Hashtbl.replace vlabels (vertex ~pos:off name) l
+          | None -> fail ~pos:off ("expected edge or label declaration, got " ^ item)))
     items;
   let n = !next in
-  if n = 0 then fail "no vertices";
+  if n = 0 then fail ~pos:0 "no vertices";
   let vl = Array.init n (fun i -> Option.value ~default:0 (Hashtbl.find_opt vlabels i)) in
   let q =
     try Query.create ~num_vertices:n ~vlabels:vl ~edges:(Array.of_list (List.rev !edges)) ()
-    with Invalid_argument m -> fail m
+    with Invalid_argument m -> fail ~pos:0 m
   in
-  if not (Query.is_connected q) then fail "query is not connected";
+  if not (Query.is_connected q) then fail ~pos:0 "query is not connected";
   q
+
+let parse_result s =
+  match parse_exn s with
+  | q -> Ok q
+  | exception Parse_error.Error e -> Error e
+
+let parse s =
+  match parse_result s with
+  | Ok q -> q
+  | Error e -> failwith ("Query parse error: " ^ Parse_error.to_string e)

@@ -11,6 +11,11 @@
     appearance. Example: ["a1->a2, a2->a3, a1->a3"] is the asymmetric
     triangle; ["u:1, u->v@2"] labels vertex [u] with 1 and the edge with 2. *)
 
-(** [parse s] raises [Failure] with a position message on syntax errors,
-    duplicate edges, or unconnected queries. *)
+(** [parse_result s] parses, reporting syntax errors, duplicate edges and
+    unconnected queries as a structured {!Parse_error.t} with the byte
+    offset of the offending item. *)
+val parse_result : string -> (Query.t, Parse_error.t) result
+
+(** [parse s] is {!parse_result} raising [Failure] with the formatted
+    message on error (the original API, kept for convenience). *)
 val parse : string -> Query.t

@@ -57,6 +57,27 @@ let test_errors () =
   check_bool "stray <" true (fails "MATCH (a)<(b)");
   check_bool "trailing" true (fails "MATCH (a)-->(b) extra")
 
+let test_error_positions () =
+  let err s =
+    match Cypher.parse_result s with
+    | Ok _ -> Alcotest.fail ("accepted: " ^ s)
+    | Error e ->
+        check_bool "input preserved" true (e.Parse_error.input = s);
+        e
+  in
+  (* Tokens carry their byte offsets; the lexer error points at the '?'. *)
+  let e = err "MATCH (a)-->(b)?" in
+  check_int "lexer offset" 15 e.Parse_error.pos;
+  (* A parse error past the end of input reports the input length. *)
+  let e = err "MATCH (a" in
+  check_int "eof offset" 8 e.Parse_error.pos;
+  check_bool "eof pos in bounds" true (e.Parse_error.pos <= String.length e.Parse_error.input);
+  (match Cypher.parse_result "MATCH (a)-->(b)" with
+  | Ok (q, vars) ->
+      check_int "ok path intact" 2 (Query.num_vertices q);
+      check_int "var table" 2 (List.length vars)
+  | Error e -> Alcotest.fail (Parse_error.to_string e))
+
 let test_agrees_with_dsl () =
   let q1, _ = Cypher.parse "MATCH (u)-->(v), (v)-->(w), (u)-->(w), (v)-->(x), (w)-->(x)" in
   let q2 = Parser.parse "u->v, v->w, u->w, v->x, w->x" in
@@ -75,6 +96,7 @@ let suite =
         Alcotest.test_case "diamond-x" `Quick test_diamond_x;
         Alcotest.test_case "optional MATCH" `Quick test_match_keyword_optional;
         Alcotest.test_case "errors" `Quick test_errors;
+        Alcotest.test_case "error positions" `Quick test_error_positions;
         Alcotest.test_case "agrees with DSL" `Quick test_agrees_with_dsl;
       ] );
   ]

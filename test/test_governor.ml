@@ -1,0 +1,260 @@
+(* Governor robustness: budgets, structured outcomes, cross-domain
+   cancellation promptness, and deterministic fault injection. The fault
+   seed honors GFQ_FAULT_SEED so CI can sweep unwinding points. *)
+
+module Generators = Gf_graph.Generators
+module Rng = Gf_util.Rng
+module Timing = Gf_util.Timing
+module Query = Gf_query.Query
+module Patterns = Gf_query.Patterns
+module Plan = Gf_plan.Plan
+module Exec = Gf_exec.Exec
+module Counters = Gf_exec.Counters
+module Governor = Gf_exec.Governor
+module Parallel = Gf_exec.Parallel
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fault_seed =
+  match Option.bind (Sys.getenv_opt "GFQ_FAULT_SEED") int_of_string_opt with
+  | Some s -> s
+  | None -> 7
+
+let graph () = Generators.holme_kim (Rng.create 11) ~n:400 ~m_per:5 ~p_triad:0.6 ~recip:0.3
+
+(* High clustering plus planted 8-cliques: the acyclic 4-clique Q5 keeps
+   producing tuples for far longer than any deadline used below. *)
+let clique_graph () =
+  let rng = Rng.create 42 in
+  Generators.plant_cliques rng
+    (Generators.holme_kim rng ~n:6_000 ~m_per:8 ~p_triad:0.9 ~recip:0.3)
+    ~count:120 ~size:8
+
+let identity_wco q = Plan.wco q (Array.init (Query.num_vertices q) Fun.id)
+
+let q5_plan () =
+  let q = Patterns.q 5 in
+  identity_wco q
+
+let triangle_plan () = identity_wco (Patterns.q 1)
+
+let hj_plan () =
+  let q = Patterns.cycle 4 in
+  Plan.hash_join q (Plan.wco q [| 0; 1; 2 |]) (Plan.wco q [| 2; 3; 0 |])
+
+let key t = String.concat "," (List.map string_of_int (Array.to_list t))
+
+let is_truncated r o = o = Governor.Truncated r
+
+let test_unlimited_completes () =
+  let g = graph () in
+  let plan = triangle_plan () in
+  let total = Exec.count g plan in
+  let c, o = Exec.run_gov g plan in
+  check_bool "completed" true (o = Governor.Completed);
+  check_int "all outputs" total c.Counters.output;
+  check_bool "checks recorded" true (c.Counters.gov_checks > 0)
+
+let test_output_cap_exact () =
+  let g = graph () in
+  let plan = triangle_plan () in
+  let total = Exec.count g plan in
+  check_bool "enough matches" true (total > 10);
+  List.iter
+    (fun cap ->
+      let budget = Governor.budget ~max_output:cap () in
+      let c, o = Exec.run_gov ~budget g plan in
+      check_int (Printf.sprintf "cap %d outputs" cap) (min cap total) c.Counters.output;
+      if cap <= total then
+        check_bool
+          (Printf.sprintf "cap %d truncated" cap)
+          true
+          (is_truncated Governor.Output_limit o)
+      else check_bool (Printf.sprintf "cap %d completed" cap) true (o = Governor.Completed))
+    [ 1; total / 2; total; total + 5 ]
+
+let test_truncated_prefix_sequential () =
+  (* A sequential truncated run's outputs are exactly a prefix of the full
+     run's output stream. *)
+  let g = graph () in
+  let plan = triangle_plan () in
+  let collect budget =
+    let out = ref [] in
+    let _, o = Exec.run_gov ?budget ~sink:(fun t -> out := key t :: !out) g plan in
+    (List.rev !out, o)
+  in
+  let full, o_full = collect None in
+  check_bool "full completed" true (o_full = Governor.Completed);
+  let cap = List.length full / 3 in
+  let part, o_part = collect (Some (Governor.budget ~max_output:cap ())) in
+  check_bool "partial truncated" true (is_truncated Governor.Output_limit o_part);
+  check_int "prefix length" cap (List.length part);
+  check_bool "prefix consistent" true (part = List.filteri (fun i _ -> i < cap) full)
+
+let test_truncated_subset_parallel () =
+  (* Parallel truncation emits some min(cap, total)-sized subset of the full
+     result, never an invented tuple and never a duplicate (the query has no
+     automorphic duplicates under a WCO identity order). *)
+  let g = graph () in
+  let plan = triangle_plan () in
+  let full = Hashtbl.create 1024 in
+  let r_full =
+    Parallel.run ~domains:4 ~sink:(fun t -> Hashtbl.replace full (key t) ()) g plan
+  in
+  check_bool "full completed" true (r_full.Parallel.outcome = Governor.Completed);
+  let total = r_full.Parallel.counters.Counters.output in
+  let cap = total / 3 in
+  let seen = ref [] in
+  let r =
+    Parallel.run ~domains:4 ~limit:cap ~sink:(fun t -> seen := key t :: !seen) g plan
+  in
+  check_bool "truncated" true (is_truncated Governor.Output_limit r.Parallel.outcome);
+  check_int "exactly cap outputs" cap r.Parallel.counters.Counters.output;
+  check_int "sink saw each claim" cap (List.length !seen);
+  check_int "domain split adds up" cap
+    (Array.fold_left ( + ) 0 r.Parallel.per_domain_output);
+  List.iter (fun k -> check_bool "subset of full" true (Hashtbl.mem full k)) !seen;
+  let dedup = Hashtbl.create cap in
+  List.iter (fun k -> Hashtbl.replace dedup k ()) !seen;
+  check_int "no duplicates" cap (Hashtbl.length dedup)
+
+let test_intermediate_cap () =
+  let g = clique_graph () in
+  let plan = q5_plan () in
+  let cap = 1_000 in
+  let c, o = Exec.run_gov ~budget:(Governor.budget ~max_intermediate:cap ()) g plan in
+  check_bool "truncated" true (is_truncated Governor.Intermediate_limit o);
+  (* Sequential: overshoot is bounded by one check cadence. *)
+  check_bool "within one cadence" true
+    (c.Counters.produced >= cap && c.Counters.produced <= cap + Governor.cadence)
+
+let test_memory_cap () =
+  let g = graph () in
+  let c, o = Exec.run_gov ~budget:(Governor.budget ~max_bytes:256 ()) g (hj_plan ()) in
+  check_bool "build trips byte cap" true (is_truncated Governor.Memory_limit o);
+  ignore c;
+  let r = Parallel.run ~domains:2 ~budget:(Governor.budget ~max_bytes:128 ()) g (q5_plan ()) in
+  check_bool "batch alloc trips byte cap" true
+    (is_truncated Governor.Memory_limit r.Parallel.outcome)
+
+let test_deadline_promptness () =
+  (* The acceptance gate: a 50 ms deadline on a clique-heavy graph returns
+     Truncated Deadline promptly at 1 and at 4 domains (mid-steal), with
+     counter totals intact and every domain joined. The bound here is looser
+     than the benchmarked 150 ms to tolerate loaded CI machines. *)
+  let g = clique_graph () in
+  let plan = q5_plan () in
+  List.iter
+    (fun domains ->
+      let gov = Governor.create (Governor.budget ~deadline_s:0.05 ~max_output:1_000_000 ()) in
+      let t0 = Timing.now_s () in
+      let r = Parallel.run ~domains ~gov g plan in
+      let dt = Timing.now_s () -. t0 in
+      check_bool
+        (Printf.sprintf "%d domains: deadline outcome" domains)
+        true
+        (is_truncated Governor.Deadline r.Parallel.outcome);
+      check_bool (Printf.sprintf "%d domains: token observed" domains) true
+        (Governor.tripped gov);
+      check_bool (Printf.sprintf "%d domains: prompt (%.0f ms)" domains (dt *. 1000.)) true
+        (dt < 1.0);
+      check_bool (Printf.sprintf "%d domains: produced something" domains) true
+        (r.Parallel.counters.Counters.produced > 0);
+      check_int
+        (Printf.sprintf "%d domains: per-domain counters" domains)
+        domains
+        (Array.length r.Parallel.per_domain);
+      check_int
+        (Printf.sprintf "%d domains: output totals add up" domains)
+        r.Parallel.counters.Counters.output
+        (Array.fold_left ( + ) 0 r.Parallel.per_domain_output))
+    [ 1; 4 ]
+
+let test_cancel_from_another_domain () =
+  let g = clique_graph () in
+  let plan = q5_plan () in
+  let gov = Governor.create Governor.unlimited in
+  let canceller =
+    Domain.spawn (fun () ->
+        let t0 = Timing.now_s () in
+        while Timing.now_s () -. t0 < 0.02 do
+          Domain.cpu_relax ()
+        done;
+        Governor.cancel gov)
+  in
+  let r = Parallel.run ~domains:2 ~gov g plan in
+  Domain.join canceller;
+  check_bool "cancelled" true (is_truncated Governor.Cancelled r.Parallel.outcome)
+
+let test_fault_mid_extend () =
+  (* Deterministic unwinding mid-intersection: the injected fault fires at
+     the first governor check at or past a seeded produced-tuple count. *)
+  let g = clique_graph () in
+  let plan = q5_plan () in
+  let rng = Rng.create fault_seed in
+  let at = 1 + Rng.int rng 20_000 in
+  let fault = { Governor.at_tuple = at; operator = "extend" } in
+  let c, o = Exec.run_gov ~fault g plan in
+  (match o with
+  | Governor.Failed e ->
+      check_bool "operator recorded" true (e.Governor.operator = "extend")
+  | _ -> Alcotest.fail "expected a Failed outcome");
+  check_bool "fired at the seeded point" true
+    (c.Counters.produced >= at && c.Counters.produced <= at + (2 * Governor.cadence));
+  (* Parallel: same fault, all domains unwind and join; counter totals
+     survive the failure. *)
+  let r = Parallel.run ~domains:4 ~fault g plan in
+  (match r.Parallel.outcome with
+  | Governor.Failed _ -> ()
+  | _ -> Alcotest.fail "expected a parallel Failed outcome");
+  check_bool "parallel counters flushed" true (r.Parallel.counters.Counters.produced >= at)
+
+let test_fault_mid_hash_build () =
+  let g = graph () in
+  let plan = hj_plan () in
+  let fault = { Governor.at_tuple = 5; operator = "hash-build" } in
+  let r = Parallel.run ~domains:2 ~fault g plan in
+  (match r.Parallel.outcome with
+  | Governor.Failed _ -> ()
+  | _ -> Alcotest.fail "expected failure during the shared build");
+  (* Clean unwinding: the same plan runs to completion immediately after. *)
+  let r2 = Parallel.run ~domains:2 g plan in
+  check_bool "rerun completes" true (r2.Parallel.outcome = Governor.Completed);
+  check_int "rerun count intact" (Exec.count g plan) r2.Parallel.counters.Counters.output
+
+let test_sink_exception_releases_mutex () =
+  (* A sink that throws mid-run must not leave the sink mutex locked: the
+     other domain would deadlock on its next emit and the run never return. *)
+  let g = graph () in
+  let plan = triangle_plan () in
+  let calls = ref 0 in
+  let sink _ =
+    incr calls;
+    if !calls = 50 then failwith "sink blew up"
+  in
+  let r = Parallel.run ~domains:2 ~sink g plan in
+  (match r.Parallel.outcome with
+  | Governor.Failed e -> check_bool "worker fault" true (e.Governor.operator = "worker")
+  | _ -> Alcotest.fail "expected the sink failure to surface");
+  check_bool "sink was reached" true (!calls >= 50);
+  let r2 = Parallel.run ~domains:2 ~sink:(fun _ -> ()) g plan in
+  check_bool "rerun completes" true (r2.Parallel.outcome = Governor.Completed)
+
+let suite =
+  [
+    ( "governor",
+      [
+        Alcotest.test_case "unlimited completes" `Quick test_unlimited_completes;
+        Alcotest.test_case "output cap exact" `Quick test_output_cap_exact;
+        Alcotest.test_case "truncated prefix (seq)" `Quick test_truncated_prefix_sequential;
+        Alcotest.test_case "truncated subset (par)" `Quick test_truncated_subset_parallel;
+        Alcotest.test_case "intermediate cap" `Quick test_intermediate_cap;
+        Alcotest.test_case "memory cap" `Quick test_memory_cap;
+        Alcotest.test_case "deadline promptness" `Quick test_deadline_promptness;
+        Alcotest.test_case "cancel from another domain" `Quick test_cancel_from_another_domain;
+        Alcotest.test_case "fault mid-extend" `Quick test_fault_mid_extend;
+        Alcotest.test_case "fault mid-hash-build" `Quick test_fault_mid_hash_build;
+        Alcotest.test_case "sink exception frees mutex" `Quick test_sink_exception_releases_mutex;
+      ] );
+  ]

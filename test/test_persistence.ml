@@ -1,6 +1,8 @@
 open Gf_query
 module Catalog = Gf_catalog.Catalog
 module Generators = Gf_graph.Generators
+module Graph = Gf_graph.Graph
+module Graph_io = Gf_graph.Graph_io
 module Rng = Gf_util.Rng
 
 let check_int = Alcotest.(check int)
@@ -92,8 +94,83 @@ let test_count_fast_non_extend_root () =
   let plan = Plan.hash_join q (Plan.wco q [| 0; 1; 2 |]) (Plan.wco q [| 2; 3; 0 |]) in
   check_int "join root falls back" (Exec.count g plan) (Exec.count_fast g plan)
 
+let test_graph_roundtrip () =
+  let g =
+    Graph.relabel (graph ()) (Rng.create 3) ~num_vlabels:3 ~num_elabels:2
+  in
+  let path = Filename.temp_file "gf_graph" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Graph_io.save g path;
+      match Graph_io.load_result path with
+      | Error e -> Alcotest.fail (Graph_io.load_error_to_string e)
+      | Ok g2 ->
+          check_int "vertices" (Graph.num_vertices g) (Graph.num_vertices g2);
+          check_int "edges" (Graph.num_edges g) (Graph.num_edges g2);
+          check_int "vlabels" (Graph.num_vlabels g) (Graph.num_vlabels g2);
+          check_int "elabels" (Graph.num_elabels g) (Graph.num_elabels g2);
+          for v = 0 to Graph.num_vertices g - 1 do
+            check_int "vertex label" (Graph.vlabel g v) (Graph.vlabel g2 v)
+          done;
+          let sorted g = List.sort compare (Array.to_list (Graph.edge_array g)) in
+          check_bool "edge set" true (sorted g = sorted g2))
+
+let load_string content =
+  let path = Filename.temp_file "gf_graph" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc content;
+      close_out oc;
+      Graph_io.load_result path)
+
+let test_graph_load_errors () =
+  let kind_of content =
+    match load_string content with
+    | Ok _ -> Alcotest.fail ("accepted corrupt input: " ^ String.escaped content)
+    | Error e -> e.Graph_io.kind
+  in
+  (match Graph_io.load_result "/nonexistent/gf_graph.txt" with
+  | Error { kind = Graph_io.Unreadable _; _ } -> ()
+  | _ -> Alcotest.fail "missing file must be Unreadable");
+  (match kind_of "nope\n" with
+  | Graph_io.Bad_header h -> check_bool "header text" true (h = "nope")
+  | _ -> Alcotest.fail "expected Bad_header");
+  (match kind_of "graphflow v1\n" with
+  | Graph_io.Truncated _ -> ()
+  | _ -> Alcotest.fail "EOF before size line must be Truncated");
+  (match kind_of "graphflow v1\n3 1 1 1\ne 0 x 0\n" with
+  | Graph_io.Bad_token "x" -> ()
+  | _ -> Alcotest.fail "non-integer token must be Bad_token");
+  (match kind_of "graphflow v1\n3 1 1 1\nv 5 1\ne 0 1 0\n" with
+  | Graph_io.Bad_vertex 5 -> ()
+  | _ -> Alcotest.fail "out-of-range vertex id must be Bad_vertex");
+  (match kind_of "graphflow v1\n3 1 1 1\ne 0 7 0\n" with
+  | Graph_io.Dangling_edge (0, 7) -> ()
+  | _ -> Alcotest.fail "edge endpoint past n must be Dangling_edge");
+  (match kind_of "graphflow v1\n3 2 1 1\ne 0 1 0\n" with
+  | Graph_io.Edge_count_mismatch { expected = 2; got = 1 } -> ()
+  | _ -> Alcotest.fail "short edge section must be Edge_count_mismatch");
+  (* Line numbers point at the offending line (1-based). *)
+  (match load_string "graphflow v1\n3 1 1 1\nv 5 1\n" with
+  | Error e -> check_int "error line" 3 e.Graph_io.line
+  | Ok _ -> Alcotest.fail "expected an error");
+  (* The raising wrapper keeps the original Failure contract. *)
+  check_bool "load raises Failure" true
+    (try
+       ignore (Graph_io.load "/nonexistent/gf_graph.txt");
+       false
+     with Failure _ -> true)
+
 let suite =
   [
+    ( "graph_io",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_graph_roundtrip;
+        Alcotest.test_case "corrupt inputs" `Quick test_graph_load_errors;
+      ] );
     ( "persistence",
       [
         Alcotest.test_case "catalog roundtrip" `Quick test_catalog_roundtrip;

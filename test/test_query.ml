@@ -182,6 +182,28 @@ let test_parser_errors () =
   check_bool "disconnected" true (fails "a->b, c->d");
   check_bool "dup edge" true (fails "a->b, a->b")
 
+let test_parser_error_positions () =
+  (* parse_result reports the byte offset of the offending item, so callers
+     can point a caret at it. *)
+  let err s =
+    match Parser.parse_result s with
+    | Ok _ -> Alcotest.fail ("accepted: " ^ s)
+    | Error e ->
+        check_bool "input preserved" true (e.Parse_error.input = s);
+        e
+  in
+  let e = err "a1->a2, garbage" in
+  check_int "offset of bad item" 8 e.Parse_error.pos;
+  let e = err "a->b, u->v@zzz" in
+  check_int "offset of bad edge label" 8 e.Parse_error.pos;
+  check_bool "message names the token" true
+    (String.length e.Parse_error.message > 0);
+  let e = err "" in
+  check_int "empty query at 0" 0 e.Parse_error.pos;
+  (match Parser.parse_result "a->b, b->c" with
+  | Ok q -> check_int "ok path intact" 3 (Query.num_vertices q)
+  | Error e -> Alcotest.fail (Parse_error.to_string e))
+
 (* ---------- Patterns ---------- *)
 
 let test_patterns_shapes () =
@@ -245,6 +267,7 @@ let suite =
         Alcotest.test_case "triangle" `Quick test_parser_triangle;
         Alcotest.test_case "labels" `Quick test_parser_labels;
         Alcotest.test_case "errors" `Quick test_parser_errors;
+        Alcotest.test_case "error positions" `Quick test_parser_error_positions;
       ] );
     ( "query.patterns",
       [
