@@ -540,6 +540,49 @@ let governor () =
     (fmt_count fc.Gf.Counters.produced)
 
 (* ------------------------------------------------------------------ *)
+(* Observability: per-operator profiling overhead + EXPLAIN ANALYZE.   *)
+(* ------------------------------------------------------------------ *)
+
+let observability () =
+  header "Observability: per-operator profiling overhead (Q1, twitter)";
+  (* A/B: profiling off (no [~prof] — compile-time branch, the pipeline is
+     byte-identical to a pre-profiler build) vs on (boundary switches: two
+     clock reads per tuple per wrapped operator). Same plan, warm caches,
+     best of 9. The "off" number is the one EXPERIMENTS.md tracks against
+     the pre-profiler baseline. *)
+  let g = dataset_at (Gf.Generators.Twitter, scale *. 0.5) in
+  let q = Gf.Patterns.q 1 in
+  let cat = catalog g in
+  let order, _ = Gf.Planner.best_wco_order cat q in
+  let plan = Gf.Plan.wco q order in
+  let best f =
+    ignore (f ());
+    let ts = List.init 9 (fun _ -> fst (time_once f)) in
+    List.fold_left min infinity ts
+  in
+  let t_off = best (fun () -> Gf.Exec.run g plan) in
+  let t_on =
+    best (fun () -> Gf.Exec.run ~prof:(Gf.Profile.create plan) g plan)
+  in
+  Printf.printf
+    "Q1 twitter sequential: profiling off %.4fs, on %.4fs (enabled cost %+.1f%%)\n" t_off
+    t_on
+    ((t_on /. t_off -. 1.) *. 100.);
+  let tp_off = best (fun () -> Gf.Parallel.run ~domains:4 g plan) in
+  let tp_on =
+    best (fun () -> Gf.Parallel.run ~domains:4 ~prof:(Gf.Profile.create plan) g plan)
+  in
+  Printf.printf
+    "Q1 twitter 4 domains:  profiling off %.4fs, on %.4fs (enabled cost %+.1f%%)\n" tp_off
+    tp_on
+    ((tp_on /. tp_off -. 1.) *. 100.);
+  (* The join against the cost model the profile pays for. *)
+  subheader "EXPLAIN ANALYZE (sequential run)";
+  let prof = Gf.Profile.create plan in
+  let (_ : Gf.Counters.t) = Gf.Exec.run ~prof g plan in
+  print_string (Gf.Explain.to_string (Gf.Explain.rows cat q plan prof))
+
+(* ------------------------------------------------------------------ *)
 (* Tables 10 & 11: catalogue accuracy (q-error) vs z and h.            *)
 (* ------------------------------------------------------------------ *)
 
@@ -903,6 +946,7 @@ let sections =
     ("figure10", figure10);
     ("figure11", figure11);
     ("governor", governor);
+    ("observability", observability);
     ("table10", table10);
     ("table11", table11);
     ("table12", table12);

@@ -148,8 +148,34 @@ let run_cmd =
       & info [ "max-bytes" ] ~docv:"B"
           ~doc:"Cap on approximate bytes of materialized state (join tables, batches).")
   in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Execute on N domains with the morsel-driven parallel executor.")
+  in
+  let explain_analyze =
+    Arg.(
+      value & flag
+      & info [ "explain-analyze" ]
+          ~doc:
+            "Profile per-operator actuals and print them joined against the optimizer's \
+             estimates (cardinality and cost q-errors per operator).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the run (counters, outcome, per-operator rows) as one JSON object.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"After the run, print the Prometheus text exposition of the query metrics.")
+  in
   let go graph_file dataset scale labels seed qs adaptive limit timeout_ms max_rows
-      max_intermediate max_bytes =
+      max_intermediate max_bytes domains explain_analyze json metrics =
     let g = load_graph graph_file dataset scale labels seed in
     let db = Gf.Db.create g in
     let q = parse_query qs in
@@ -164,16 +190,27 @@ let run_cmd =
         ?deadline_s:(Option.map (fun ms -> float_of_int ms /. 1000.) timeout_ms)
         ?max_output ?max_intermediate ?max_bytes ()
     in
-    let t0 = Unix.gettimeofday () in
-    let c, outcome = Gf.Db.run_gov ~adaptive ~budget db q in
-    let secs = Unix.gettimeofday () -. t0 in
-    Format.printf "matches: %d@.outcome: %a@.time: %.3fs@.%a@." c.Gf.Counters.output
-      Gf.Governor.pp_outcome outcome secs Gf.Counters.pp c
+    if explain_analyze || json then begin
+      (* [--json] implies a profiled run so the envelope always carries the
+         per-operator rows. *)
+      let a = Gf.Db.explain_analyze ~adaptive ~domains ~budget db q in
+      if json then print_endline (Gf.Db.analysis_to_json a)
+      else print_string (Gf.Db.analysis_to_string a)
+    end
+    else begin
+      let t0 = Unix.gettimeofday () in
+      let c, outcome = Gf.Db.run_gov ~adaptive ~domains ~budget db q in
+      let secs = Unix.gettimeofday () -. t0 in
+      Format.printf "matches: %d@.outcome: %a@.time: %.3fs@.%a@." c.Gf.Counters.output
+        Gf.Governor.pp_outcome outcome secs Gf.Counters.pp c
+    end;
+    if metrics then print_string (Gf.Db.metrics_exposition ())
   in
   Cmd.v (Cmd.info "run" ~doc:"Optimize and execute a query under an optional budget.")
     Term.(
       const go $ graph_file $ dataset $ scale $ labels $ seed $ query_arg $ adaptive $ limit
-      $ timeout_ms $ max_rows $ max_intermediate $ max_bytes)
+      $ timeout_ms $ max_rows $ max_intermediate $ max_bytes $ domains $ explain_analyze
+      $ json $ metrics)
 
 let spectrum_cmd =
   let go graph_file dataset scale labels seed qs =

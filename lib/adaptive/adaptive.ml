@@ -157,7 +157,7 @@ let reestimate g ord tuple =
     ord.steps;
   !cost
 
-let run ?(cache = true) ?limit ?gov ?(sink = fun _ -> ()) cat g q plan =
+let run ?(cache = true) ?(distinct = false) ?limit ?gov ?prof ?(sink = fun _ -> ()) cat g q plan =
   let model = Cost_model.create cat q in
   let seg_count = ref 0 in
   let cand_count = ref 0 in
@@ -263,20 +263,27 @@ let run ?(cache = true) ?limit ?gov ?(sink = fun _ -> ()) cat g q plan =
                       end;
                       let n = Int_vec.length st.result in
                       for i = 0 to n - 1 do
-                        partial.(nb + j) <- Int_vec.unsafe_get st.result i;
-                        if j + 1 = nsteps then begin
-                          (* Permute back to the fixed plan schema. *)
-                          for p = 0 to width - 1 do
-                            out_buf.(p) <- partial.(ord.out_perm.(p))
-                          done;
-                          c.Counters.produced <- c.Counters.produced + 1;
-                          Governor.tick env.Exec.gov c;
-                          sink out_buf
-                        end
-                        else begin
-                          c.Counters.produced <- c.Counters.produced + 1;
-                          Governor.tick env.Exec.gov c;
-                          exec_step (j + 1)
+                        let w = Int_vec.unsafe_get st.result i in
+                        (* Injectivity under [distinct]: a candidate equal to
+                           any already-bound vertex of this partial match is
+                           dropped, matching the structural E/I operator. *)
+                        if not (env.Exec.distinct && Exec.tuple_contains partial (nb + j) w)
+                        then begin
+                          partial.(nb + j) <- w;
+                          if j + 1 = nsteps then begin
+                            (* Permute back to the fixed plan schema. *)
+                            for p = 0 to width - 1 do
+                              out_buf.(p) <- partial.(ord.out_perm.(p))
+                            done;
+                            c.Counters.produced <- c.Counters.produced + 1;
+                            Governor.tick env.Exec.gov c;
+                            sink out_buf
+                          end
+                          else begin
+                            c.Counters.produced <- c.Counters.produced + 1;
+                            Governor.tick env.Exec.gov c;
+                            exec_step (j + 1)
+                          end
                         end
                       done
                     in
@@ -284,7 +291,7 @@ let run ?(cache = true) ?limit ?gov ?(sink = fun _ -> ()) cat g q plan =
         )
     | _ -> None
   in
-  let counters = Exec.run_rw ~rewrite ~cache ?limit ?gov ~sink g plan in
+  let counters = Exec.run_rw ~rewrite ~cache ~distinct ?limit ?gov ?prof ~sink g plan in
   let used = List.length (List.filter (fun o -> o.routed > 0) !all_orderings) in
   ( counters,
     {

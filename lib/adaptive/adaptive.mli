@@ -21,14 +21,22 @@ type stats = {
 
 (** [run cat g q plan] executes [plan] with adaptive segments. The plan must
     be a plan for [q]. Output tuple schema is [Plan.vars plan] (adaptive
-    segments permute their output back to the fixed schema). [gov] runs the
-    query under an externally created governor; adaptive pipelines tick it
-    per produced tuple like the structural operators, so budgets trip inside
-    segments too. *)
+    segments permute their output back to the fixed schema). [distinct]
+    requests injective (subgraph-isomorphism) matches: adaptive pipelines
+    apply the same repeated-vertex filter as the structural E/I operator, so
+    results match [Exec.run ~distinct:true] of the fixed plan. [gov] runs
+    the query under an externally created governor; adaptive pipelines tick
+    it per produced tuple like the structural operators, so budgets trip
+    inside segments too. [prof] profiles per-operator actuals; all work of
+    an adaptive segment (whatever ordering each tuple was routed to) is
+    charged to the segment's chain-root operator id, and the interior chain
+    operators it replaces report zero. *)
 val run :
   ?cache:bool ->
+  ?distinct:bool ->
   ?limit:int ->
   ?gov:Gf_exec.Governor.t ->
+  ?prof:Gf_exec.Profile.t ->
   ?sink:(int array -> unit) ->
   Gf_catalog.Catalog.t ->
   Gf_graph.Graph.t ->

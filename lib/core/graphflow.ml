@@ -12,6 +12,8 @@ module Plan = Gf_plan.Plan
 module Exec = Gf_exec.Exec
 module Counters = Gf_exec.Counters
 module Governor = Gf_exec.Governor
+module Profile = Gf_exec.Profile
+module Metrics = Gf_exec.Metrics
 module Naive = Gf_exec.Naive
 module Parallel = Gf_exec.Parallel
 module Catalog = Gf_catalog.Catalog
@@ -20,6 +22,7 @@ module Wander = Gf_catalog.Wander
 module Cost = Gf_opt.Cost
 module Cost_model = Gf_opt.Cost_model
 module Planner = Gf_opt.Planner
+module Explain = Gf_opt.Explain
 module Adaptive = Gf_adaptive.Adaptive
 module Simplex = Gf_lp.Simplex
 module Edge_cover = Gf_lp.Edge_cover
@@ -42,21 +45,111 @@ module Db = struct
   let parse_query = Query_parser.parse
   let plan db q = Planner.plan ~opts:db.opts db.catalog q
 
+  (* Query-level metrics. Looked up by name at record time (not cached in
+     globals) so a [Metrics.reset] between queries cannot leave increments
+     going to unregistered cells. *)
+  let observe_run seconds (c : Counters.t) outcome =
+    Metrics.inc (Metrics.counter ~help:"Queries executed" "gf_queries_total");
+    Metrics.inc ~by:c.Counters.output
+      (Metrics.counter ~help:"Output tuples emitted" "gf_query_matches_total");
+    Metrics.inc ~by:c.Counters.produced
+      (Metrics.counter ~help:"Tuples produced by all operators" "gf_tuples_produced_total");
+    Metrics.inc ~by:c.Counters.icost
+      (Metrics.counter ~help:"Adjacency-list entries touched (i-cost, Eq. 1)"
+         "gf_icost_total");
+    (match outcome with
+    | Governor.Completed -> ()
+    | Governor.Truncated _ ->
+        Metrics.inc (Metrics.counter ~help:"Queries truncated by a budget" "gf_queries_truncated_total")
+    | Governor.Failed _ ->
+        Metrics.inc (Metrics.counter ~help:"Queries that failed" "gf_queries_failed_total"));
+    Metrics.observe
+      (Metrics.histogram ~help:"Query latency in seconds" "gf_query_seconds")
+      seconds
+
+  let metrics_exposition () = Metrics.exposition ()
+
   let run ?(adaptive = false) ?limit ?sink db q =
     let p, _ = plan db q in
-    if adaptive && Adaptive.adaptable p then
-      fst (Adaptive.run ?limit ?sink db.catalog db.graph q p)
-    else Exec.run ?limit ?sink db.graph p
+    let t0 = Gf_util.Timing.now_s () in
+    let c =
+      if adaptive && Adaptive.adaptable p then
+        fst (Adaptive.run ?limit ?sink db.catalog db.graph q p)
+      else Exec.run ?limit ?sink db.graph p
+    in
+    observe_run (Gf_util.Timing.now_s () -. t0) c Governor.Completed;
+    c
 
-  let run_gov ?(adaptive = false) ?budget ?fault ?sink db q =
+  let run_gov ?(adaptive = false) ?(domains = 1) ?budget ?fault ?sink db q =
     let p, _ = plan db q in
-    if adaptive && Adaptive.adaptable p then begin
-      let gov = Governor.create ?fault (Option.value budget ~default:Governor.unlimited) in
-      let sink = Option.value sink ~default:(fun _ -> ()) in
-      let c = fst (Adaptive.run ~gov ~sink db.catalog db.graph q p) in
-      (c, Governor.outcome gov)
-    end
-    else Exec.run_gov ?budget ?fault ?sink db.graph p
+    let t0 = Gf_util.Timing.now_s () in
+    let c, outcome =
+      if domains > 1 then begin
+        let r = Parallel.run ~domains ?budget ?fault ?sink db.graph p in
+        (r.Parallel.counters, r.Parallel.outcome)
+      end
+      else if adaptive && Adaptive.adaptable p then begin
+        let gov = Governor.create ?fault (Option.value budget ~default:Governor.unlimited) in
+        let sink = Option.value sink ~default:(fun _ -> ()) in
+        let c = fst (Adaptive.run ~gov ~sink db.catalog db.graph q p) in
+        (c, Governor.outcome gov)
+      end
+      else Exec.run_gov ?budget ?fault ?sink db.graph p
+    in
+    observe_run (Gf_util.Timing.now_s () -. t0) c outcome;
+    (c, outcome)
+
+  type analysis = {
+    plan : Plan.t;
+    rows : Explain.row list;
+    counters : Counters.t;
+    outcome : Governor.outcome;
+    seconds : float;
+  }
+
+  let explain_analyze ?(adaptive = false) ?(domains = 1) ?budget ?fault db q =
+    let p, _ = plan db q in
+    let prof = Profile.create p in
+    let t0 = Gf_util.Timing.now_s () in
+    let c, outcome =
+      if domains > 1 then begin
+        let r = Parallel.run ~domains ?budget ?fault ~prof db.graph p in
+        (r.Parallel.counters, r.Parallel.outcome)
+      end
+      else if adaptive && Adaptive.adaptable p then begin
+        let gov = Governor.create ?fault (Option.value budget ~default:Governor.unlimited) in
+        let c = fst (Adaptive.run ~gov ~prof db.catalog db.graph q p) in
+        (c, Governor.outcome gov)
+      end
+      else Exec.run_gov ?budget ?fault ~prof db.graph p
+    in
+    let seconds = Gf_util.Timing.now_s () -. t0 in
+    observe_run seconds c outcome;
+    let rows =
+      Explain.rows ~cache_conscious:db.opts.Planner.cache_conscious
+        ~weights:db.opts.Planner.weights db.catalog q p prof
+    in
+    { plan = p; rows; counters = c; outcome; seconds }
+
+  let analysis_to_string a =
+    Format.asprintf "matches: %d@.outcome: %a@.time: %.3fs@.%a@.%s"
+      a.counters.Counters.output Governor.pp_outcome a.outcome a.seconds Counters.pp
+      a.counters (Explain.to_string a.rows)
+
+  let counters_to_json (c : Counters.t) =
+    Printf.sprintf
+      "{\"output\":%d,\"produced\":%d,\"icost\":%d,\"cache_hits\":%d,\"intersections\":%d,\"hj_build\":%d,\"hj_probe\":%d,\"morsels\":%d,\"steals\":%d,\"busy_s\":%.6f,\"gov_checks\":%d}"
+      c.Counters.output c.Counters.produced c.Counters.icost c.Counters.cache_hits
+      c.Counters.intersections c.Counters.hj_build_tuples c.Counters.hj_probe_tuples
+      c.Counters.morsels c.Counters.steals c.Counters.busy_s c.Counters.gov_checks
+
+  let analysis_to_json a =
+    Printf.sprintf
+      "{\"matches\":%d,\"outcome\":\"%s\",\"time_s\":%.6f,\"counters\":%s,\"operators\":%s}"
+      a.counters.Counters.output
+      (Explain.json_escape (Governor.outcome_to_string a.outcome))
+      a.seconds (counters_to_json a.counters)
+      (Explain.rows_to_json a.rows)
 
   let count ?adaptive db q =
     let c = run ?adaptive db q in

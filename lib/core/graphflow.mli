@@ -32,6 +32,8 @@ module Plan = Gf_plan.Plan
 module Exec = Gf_exec.Exec
 module Counters = Gf_exec.Counters
 module Governor = Gf_exec.Governor
+module Profile = Gf_exec.Profile
+module Metrics = Gf_exec.Metrics
 module Naive = Gf_exec.Naive
 module Parallel = Gf_exec.Parallel
 module Catalog = Gf_catalog.Catalog
@@ -40,6 +42,7 @@ module Wander = Gf_catalog.Wander
 module Cost = Gf_opt.Cost
 module Cost_model = Gf_opt.Cost_model
 module Planner = Gf_opt.Planner
+module Explain = Gf_opt.Explain
 module Adaptive = Gf_adaptive.Adaptive
 module Simplex = Gf_lp.Simplex
 module Edge_cover = Gf_lp.Edge_cover
@@ -87,6 +90,7 @@ module Db : sig
       preserved whatever the outcome. *)
   val run_gov :
     ?adaptive:bool ->
+    ?domains:int ->
     ?budget:Governor.budget ->
     ?fault:Governor.fault ->
     ?sink:(int array -> unit) ->
@@ -96,6 +100,48 @@ module Db : sig
 
   (** [explain db q] is a human-readable description of the chosen plan. *)
   val explain : t -> Query.t -> string
+
+  (** The result of {!explain_analyze}: the chosen plan, one {!Explain.row}
+      per operator joining estimates against profiled actuals, and the
+      whole-run counters/outcome/latency. *)
+  type analysis = {
+    plan : Plan.t;
+    rows : Explain.row list;
+    counters : Counters.t;
+    outcome : Governor.outcome;
+    seconds : float;
+  }
+
+  (** [explain_analyze db q] optimizes, executes with per-operator
+      profiling on, and joins each operator's estimated cardinality and
+      cost (from the catalogue-backed cost model, under the db's planner
+      options) against the actuals, with q-errors. [domains > 1] runs the
+      morsel-driven parallel executor and merges the per-domain profiles —
+      the rows are identically shaped whichever path ran. [adaptive] routes
+      E/I chains adaptively (segment work is charged to the chain root;
+      ignored when [domains > 1]). *)
+  val explain_analyze :
+    ?adaptive:bool ->
+    ?domains:int ->
+    ?budget:Governor.budget ->
+    ?fault:Governor.fault ->
+    t ->
+    Query.t ->
+    analysis
+
+  (** Render an {!analysis} as the [gfq run --explain-analyze] text block
+      (matches / outcome / time / counters, then the per-operator table). *)
+  val analysis_to_string : analysis -> string
+
+  (** Render an {!analysis} as one JSON object
+      ([{"matches":..,"outcome":..,"time_s":..,"counters":{..},"operators":[..]}]). *)
+  val analysis_to_json : analysis -> string
+
+  (** Prometheus text exposition of the process-wide query metrics
+      ([gf_queries_total], [gf_query_matches_total], [gf_icost_total],
+      [gf_query_seconds] latency histogram, ...). Every [run]/[run_gov]/
+      [count]/[explain_analyze] call records into them. *)
+  val metrics_exposition : unit -> string
 
   (** [estimate_cardinality db q] is the catalogue-based estimate of the
       number of matches. *)

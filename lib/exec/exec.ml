@@ -10,6 +10,7 @@ type env = {
   leapfrog : bool;
   c : Counters.t;
   gov : Governor.handle;
+  prof : Profile.t option;
 }
 
 type rewrite =
@@ -28,9 +29,20 @@ let tuple_contains tuple len v =
    it receives the recursive compiler so intercepted segments can still
    compile their own children normally. *)
 let rec compile_rw rewrite env plan =
-  match rewrite (compile_rw rewrite) env plan with
-  | Some driver -> driver
-  | None -> compile_structural rewrite env plan
+  let driver =
+    match rewrite (compile_rw rewrite) env plan with
+    | Some driver -> driver
+    | None -> compile_structural rewrite env plan
+  in
+  (* The profiling branch is taken here, once per operator at plan-compile
+     time: with no profile the driver is returned untouched and the compiled
+     pipeline is identical to an unprofiled build — zero per-tuple cost. *)
+  match env.prof with
+  | None -> driver
+  | Some p -> (
+      match Profile.id_of p plan with
+      | None -> driver
+      | Some id -> Profile.wrap p env.c id driver)
 
 and compile_structural rewrite env plan =
   let compile env plan = compile_rw rewrite env plan in
@@ -185,7 +197,7 @@ let no_rewrite _ _ _ = None
    supplied, [limit] becomes an output-cap budget — the old [Limit_reached]
    escape hatch is now an ordinary [Trip]. *)
 let run_gov_rw ~rewrite ?(cache = true) ?(distinct = false) ?(leapfrog = false) ?limit
-    ?gov ?(sink = fun _ -> ()) g plan =
+    ?gov ?prof ?(sink = fun _ -> ()) g plan =
   let shared =
     match gov with
     | Some t -> t
@@ -193,38 +205,48 @@ let run_gov_rw ~rewrite ?(cache = true) ?(distinct = false) ?(leapfrog = false) 
   in
   let h = Governor.handle shared in
   let c = Counters.create () in
-  let env = { g; cache; distinct; leapfrog; c; gov = h } in
+  let env = { g; cache; distinct; leapfrog; c; gov = h; prof } in
   let driver = compile_rw rewrite env plan in
   let final t =
     Governor.claim_output h;
     c.output <- c.output + 1;
     sink t
   in
+  (match prof with Some p -> Profile.start p c | None -> ());
   (try driver final with Governor.Trip -> ());
+  (* On a Trip the unwind skipped the trailing boundary switches; [finish]
+     charges the outstanding deltas so truncated profiles stay consistent. *)
+  (match prof with Some p -> Profile.finish p c | None -> ());
   Governor.finish h c;
   (c, Governor.outcome shared)
 
-let run_rw ~rewrite ?cache ?distinct ?leapfrog ?limit ?gov ?sink g plan =
-  fst (run_gov_rw ~rewrite ?cache ?distinct ?leapfrog ?limit ?gov ?sink g plan)
+let run_rw ~rewrite ?cache ?distinct ?leapfrog ?limit ?gov ?prof ?sink g plan =
+  fst (run_gov_rw ~rewrite ?cache ?distinct ?leapfrog ?limit ?gov ?prof ?sink g plan)
 
-let run ?cache ?distinct ?leapfrog ?limit ?sink g plan =
-  run_rw ~rewrite:no_rewrite ?cache ?distinct ?leapfrog ?limit ?sink g plan
+let run ?cache ?distinct ?leapfrog ?limit ?prof ?sink g plan =
+  run_rw ~rewrite:no_rewrite ?cache ?distinct ?leapfrog ?limit ?prof ?sink g plan
 
-let run_gov ?cache ?distinct ?leapfrog ?budget ?fault ?sink g plan =
+let run_gov ?cache ?distinct ?leapfrog ?budget ?fault ?prof ?sink g plan =
   let b = Option.value budget ~default:Governor.unlimited in
   let gov = Governor.create ?fault b in
-  run_gov_rw ~rewrite:no_rewrite ?cache ?distinct ?leapfrog ~gov ?sink g plan
+  run_gov_rw ~rewrite:no_rewrite ?cache ?distinct ?leapfrog ~gov ?prof ?sink g plan
 
 let count ?cache ?distinct g plan =
   let c = run ?cache ?distinct g plan in
   c.Counters.output
 
-let count_fast ?(cache = true) g plan =
+let count_fast ?(cache = true) ?(distinct = false) ?(leapfrog = false) g plan =
+  (* Distinct semantics need the final extensions enumerated (each candidate
+     is checked against the bound prefix), so the factorized shortcut does
+     not apply: fall back to the counting run rather than silently returning
+     homomorphic counts. *)
+  if distinct then count ~cache ~distinct:true g plan
+  else
   match plan with
   | Plan.Extend { child; target_label; descriptors; _ } ->
       let c = Counters.create () in
       let gov = Governor.handle (Governor.create Governor.unlimited) in
-      let env = { g; cache; distinct = false; leapfrog = false; c; gov } in
+      let env = { g; cache; distinct = false; leapfrog; c; gov; prof = None } in
       let child_driver = compile_rw no_rewrite env child in
       let nd = Array.length descriptors in
       let total = ref 0 in
@@ -272,7 +294,8 @@ let count_fast ?(cache = true) g plan =
                 c.Counters.icost <- c.Counters.icost + Sorted.slice_len slice
               done;
               Int_vec.clear result;
-              Sorted.intersect ~scratch2 result slices ~scratch;
+              if leapfrog then Sorted.leapfrog result slices
+              else Sorted.intersect ~scratch2 result slices ~scratch;
               last_n := Int_vec.length result;
               Array.blit srcs 0 last_srcs 0 nd;
               cache_valid := true

@@ -21,6 +21,7 @@ val run :
   ?distinct:bool ->
   ?leapfrog:bool ->
   ?limit:int ->
+  ?prof:Profile.t ->
   ?sink:(int array -> unit) ->
   Gf_graph.Graph.t ->
   Gf_plan.Plan.t ->
@@ -34,8 +35,13 @@ val count : ?cache:bool -> ?distinct:bool -> Gf_graph.Graph.t -> Gf_plan.Plan.t 
     contributes its size instead of being enumerated — the simplest form of
     the factorized processing the paper discusses in Sections 3.2.3 and 10.
     Combined with the intersection cache this skips the whole output loop
-    for cache-hitting tuples. Homomorphic semantics only. *)
-val count_fast : ?cache:bool -> Gf_graph.Graph.t -> Gf_plan.Plan.t -> int
+    for cache-hitting tuples. [leapfrog] selects the same multiway
+    intersection kernel as {!run}. [distinct] falls back to
+    [count ~distinct:true] (injectivity checks need the final extensions
+    enumerated); either way [count_fast] always agrees with {!count} under
+    the same flags. *)
+val count_fast :
+  ?cache:bool -> ?distinct:bool -> ?leapfrog:bool -> Gf_graph.Graph.t -> Gf_plan.Plan.t -> int
 
 (** [collect g p] materializes all output tuples (tests and small queries
     only). *)
@@ -53,6 +59,10 @@ type env = {
   gov : Governor.handle;
       (** this executor's cursor on the query's governor; operators
           {!Governor.tick} it per produced tuple *)
+  prof : Profile.t option;
+      (** when set, {!compile_rw} wraps every operator's driver with
+          {!Profile.wrap}; when [None] the compiled pipeline carries no
+          profiling code at all (the branch is at compile time) *)
 }
 
 (** [tuple_contains t len v] tests whether [v] occurs in [t.(0 .. len-1)] —
@@ -85,6 +95,7 @@ val run_rw :
   ?leapfrog:bool ->
   ?limit:int ->
   ?gov:Governor.t ->
+  ?prof:Profile.t ->
   ?sink:(int array -> unit) ->
   Gf_graph.Graph.t ->
   Gf_plan.Plan.t ->
@@ -98,6 +109,7 @@ val run_gov_rw :
   ?leapfrog:bool ->
   ?limit:int ->
   ?gov:Governor.t ->
+  ?prof:Profile.t ->
   ?sink:(int array -> unit) ->
   Gf_graph.Graph.t ->
   Gf_plan.Plan.t ->
@@ -114,6 +126,7 @@ val run_gov :
   ?leapfrog:bool ->
   ?budget:Governor.budget ->
   ?fault:Governor.fault ->
+  ?prof:Profile.t ->
   ?sink:(int array -> unit) ->
   Gf_graph.Graph.t ->
   Gf_plan.Plan.t ->

@@ -123,6 +123,12 @@ val claim_output : handle -> unit
     once the byte cap is exceeded. A no-op when no byte cap is set. *)
 val add_bytes : handle -> int -> unit
 
+(** [release_bytes h n] returns [n] bytes of materialized state that is no
+    longer live (a consumed morsel batch), so [max_bytes] bounds *live*
+    bytes rather than cumulative allocation. The shared total is clamped at
+    zero. A no-op when no byte cap is set or [n <= 0]. *)
+val release_bytes : handle -> int -> unit
+
 (** [finish h c] flushes the remaining produced delta and records the
     number of full checks into [c.gov_checks]. Call once per domain after
     its pipeline ends (normally or by {!Trip}) so counter totals survive

@@ -1,0 +1,113 @@
+(* A tiny process-global metrics registry with Prometheus-style text
+   exposition. Counters are atomic (domains increment them concurrently);
+   the registry itself is mutex-guarded and creation is idempotent by
+   metric name. *)
+
+type counter = { c_name : string; c_help : string; value : int Atomic.t }
+
+(* Log-bucketed histogram: bucket [i] counts observations <= le.(i); the
+   last implicit bucket is +Inf. Sums are stored as micro-units in an
+   atomic int so observation needs no lock. *)
+type histogram = {
+  h_name : string;
+  h_help : string;
+  le : float array;
+  buckets : int Atomic.t array;
+  inf : int Atomic.t;
+  sum_us : int Atomic.t;
+  count : int Atomic.t;
+}
+
+type metric = Counter of counter | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 16
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let counter ?(help = "") name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Counter c) -> c
+      | Some (Histogram _) -> invalid_arg ("Metrics.counter: " ^ name ^ " is a histogram")
+      | None ->
+          let c = { c_name = name; c_help = help; value = Atomic.make 0 } in
+          Hashtbl.replace registry name (Counter c);
+          c)
+
+(* Default latency buckets: 1 µs to ~134 s, doubling. *)
+let default_buckets = Array.init 28 (fun i -> 1e-6 *. Float.of_int (1 lsl i))
+
+let histogram ?(help = "") ?(buckets = default_buckets) name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Histogram h) -> h
+      | Some (Counter _) -> invalid_arg ("Metrics.histogram: " ^ name ^ " is a counter")
+      | None ->
+          let h =
+            {
+              h_name = name;
+              h_help = help;
+              le = buckets;
+              buckets = Array.map (fun _ -> Atomic.make 0) buckets;
+              inf = Atomic.make 0;
+              sum_us = Atomic.make 0;
+              count = Atomic.make 0;
+            }
+          in
+          Hashtbl.replace registry name (Histogram h);
+          h)
+
+let inc ?(by = 1) c = ignore (Atomic.fetch_and_add c.value by)
+let counter_value c = Atomic.get c.value
+
+let observe h v =
+  let n = Array.length h.le in
+  let rec find i = if i >= n then None else if v <= h.le.(i) then Some i else find (i + 1) in
+  (match find 0 with
+  | Some i -> ignore (Atomic.fetch_and_add h.buckets.(i) 1)
+  | None -> ignore (Atomic.fetch_and_add h.inf 1));
+  ignore (Atomic.fetch_and_add h.sum_us (int_of_float (v *. 1e6)));
+  ignore (Atomic.fetch_and_add h.count 1)
+
+let histogram_count h = Atomic.get h.count
+
+let reset () = with_lock (fun () -> Hashtbl.reset registry)
+
+let exposition () =
+  let buf = Buffer.create 1024 in
+  let metrics =
+    with_lock (fun () -> Hashtbl.fold (fun _ m acc -> m :: acc) registry [])
+  in
+  let name_of = function Counter c -> c.c_name | Histogram h -> h.h_name in
+  List.sort (fun a b -> compare (name_of a) (name_of b)) metrics
+  |> List.iter (fun m ->
+         match m with
+         | Counter c ->
+             if c.c_help <> "" then
+               Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" c.c_name c.c_help);
+             Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" c.c_name);
+             Buffer.add_string buf (Printf.sprintf "%s %d\n" c.c_name (Atomic.get c.value))
+         | Histogram h ->
+             if h.h_help <> "" then
+               Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" h.h_name h.h_help);
+             Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" h.h_name);
+             (* Prometheus buckets are cumulative. *)
+             let cum = ref 0 in
+             Array.iteri
+               (fun i le ->
+                 cum := !cum + Atomic.get h.buckets.(i);
+                 Buffer.add_string buf
+                   (Printf.sprintf "%s_bucket{le=\"%g\"} %d\n" h.h_name le !cum))
+               h.le;
+             cum := !cum + Atomic.get h.inf;
+             Buffer.add_string buf
+               (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" h.h_name !cum);
+             Buffer.add_string buf
+               (Printf.sprintf "%s_sum %g\n" h.h_name
+                  (float_of_int (Atomic.get h.sum_us) /. 1e6));
+             Buffer.add_string buf
+               (Printf.sprintf "%s_count %d\n" h.h_name (Atomic.get h.count)));
+  Buffer.contents buf

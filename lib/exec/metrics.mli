@@ -1,0 +1,40 @@
+(** A process-global metrics registry with Prometheus-style text
+    exposition — the scrape surface for a future server/daemon front end,
+    already wired through [Db] and [gfq].
+
+    Metrics are created idempotently by name ([counter "x"] twice returns
+    the same counter). Counters and histogram cells are atomic, so domains
+    may bump them concurrently; only registry creation and exposition take
+    the registry mutex. *)
+
+type counter
+type histogram
+
+(** [counter name] registers (or finds) a monotonically increasing
+    counter. Raises [Invalid_argument] when [name] is already a
+    histogram. *)
+val counter : ?help:string -> string -> counter
+
+val inc : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+(** Default histogram buckets: log-2 spaced from 1 µs to ~134 s. *)
+val default_buckets : float array
+
+(** [histogram name] registers (or finds) a histogram with log-bucketed
+    upper bounds [buckets] (an implicit +Inf bucket is added). *)
+val histogram : ?help:string -> ?buckets:float array -> string -> histogram
+
+(** [observe h v] records one observation (e.g. a query latency in
+    seconds). *)
+val observe : histogram -> float -> unit
+
+val histogram_count : histogram -> int
+
+(** Prometheus text exposition of every registered metric, sorted by name:
+    [# TYPE] lines, cumulative [_bucket{le="..."}] rows, [_sum] and
+    [_count]. *)
+val exposition : unit -> string
+
+(** Clear the registry (tests). *)
+val reset : unit -> unit

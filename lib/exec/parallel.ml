@@ -125,7 +125,7 @@ let chunked_scan (env : Exec.env) node next chunk num_sources =
    table. Returns the tables (keyed by physical plan node) and the counters
    of the whole build phase — so build tuples are counted once, not once per
    execution domain. *)
-let build_tables ~domains ~cache ~distinct ~leapfrog ~gov g plan =
+let build_tables ~domains ~cache ~distinct ~leapfrog ~gov ~prof g plan =
   let build_c = Counters.create () in
   let tables = ref [] in
   List.iter
@@ -137,10 +137,18 @@ let build_tables ~domains ~cache ~distinct ~leapfrog ~gov g plan =
           let bscan = driving_scan build in
           let num_sources = scan_sources g bscan in
           let next = Atomic.make 0 in
+          (* Table inserts are this join node's work: with profiling on, the
+             build sink runs with the join operator current so its time and
+             hj_build tuples land on the join's row — exactly where the
+             sequential executor charges them. *)
+          let join_id =
+            match prof with None -> None | Some p -> Profile.id_of p node
+          in
           let build_worker () =
             let c = Counters.create () in
             let h = Governor.handle gov in
-            let env = { Exec.g; cache; distinct; leapfrog; c; gov = h } in
+            let dprof = Option.map Profile.fresh prof in
+            let env = { Exec.g; cache; distinct; leapfrog; c; gov = h; prof = dprof } in
             let local = Join_table.create ~key_len ~row_len in
             let row_bytes = Join_table.bytes_per_row local in
             let rewrite recurse env n =
@@ -152,6 +160,11 @@ let build_tables ~domains ~cache ~distinct ~leapfrog ~gov g plan =
             in
             let d = Exec.compile_rw rewrite env build in
             let key_buf = Array.make key_len 0 in
+            (match dprof with
+            | Some p ->
+                Profile.start p c;
+                Option.iter (fun id -> Profile.enter p c id) join_id
+            | None -> ());
             (* A tripped budget or a faulting operator must still hand back
                the partial table and counters, and must never propagate out
                of the domain (a raising [Domain.join] would leak its
@@ -169,8 +182,9 @@ let build_tables ~domains ~cache ~distinct ~leapfrog ~gov g plan =
             | Governor.Trip -> ()
             | e ->
                 Governor.fail gov ~operator:"hash-build" ~detail:(Printexc.to_string e));
+            (match dprof with Some p -> Profile.finish p c | None -> ());
             Governor.finish h c;
-            (local, c)
+            (local, c, dprof)
           in
           let results =
             if domains <= 1 then [| build_worker () |]
@@ -179,9 +193,12 @@ let build_tables ~domains ~cache ~distinct ~leapfrog ~gov g plan =
           in
           let table = Join_table.create ~key_len ~row_len in
           Array.iter
-            (fun (local, c) ->
+            (fun (local, c, dprof) ->
               Join_table.absorb table local;
-              Counters.add build_c c)
+              Counters.add build_c c;
+              match (prof, dprof) with
+              | Some into, Some p -> Profile.merge_into ~into p
+              | _ -> ())
             results;
           tables := (node, table) :: !tables
       | _ -> assert false)
@@ -199,7 +216,7 @@ type morsel = Range of int * int | Batch of int array
 let max_local = 32
 
 let run ?(domains = 1) ?(cache = true) ?(distinct = false) ?(leapfrog = false) ?limit
-    ?budget ?fault ?gov ?sink ?(chunk = 64) ?(batch = 256) g plan =
+    ?budget ?fault ?gov ?prof ?sink ?(chunk = 64) ?(batch = 256) g plan =
   let domains = max 1 domains in
   let gov =
     match gov with
@@ -221,7 +238,7 @@ let run ?(domains = 1) ?(cache = true) ?(distinct = false) ?(leapfrog = false) ?
         in
         Governor.create ?fault b
   in
-  let tables, build_c = build_tables ~domains ~cache ~distinct ~leapfrog ~gov g plan in
+  let tables, build_c = build_tables ~domains ~cache ~distinct ~leapfrog ~gov ~prof g plan in
   let driver_node = driving_scan plan in
   let boundary_node = find_boundary plan in
   let bwidth = Array.length (Plan.vars boundary_node) in
@@ -243,7 +260,8 @@ let run ?(domains = 1) ?(cache = true) ?(distinct = false) ?(leapfrog = false) ?
   let worker wid () =
     let c = Counters.create () in
     let h = Governor.handle gov in
-    let env = { Exec.g; cache; distinct; leapfrog; c; gov = h } in
+    let dprof = Option.map Profile.fresh prof in
+    let env = { Exec.g; cache; distinct; leapfrog; c; gov = h; prof = dprof } in
     let own = deques.(wid) in
     (* The root sink: claims an output slot from the governor (atomic under
        an output cap — over-claims abort the claiming worker via [Trip], so
@@ -287,15 +305,19 @@ let run ?(domains = 1) ?(cache = true) ?(distinct = false) ?(leapfrog = false) ?
             in
             let lower = Exec.compile_rw lower_rw env boundary_node in
             let tuple = Array.make bwidth 0 in
+            let batch_bytes = batch * bwidth * 8 in
             let replay data =
               let n = Array.length data / bwidth in
               for r = 0 to n - 1 do
                 Array.blit data (r * bwidth) tuple 0 bwidth;
                 Governor.tick h c;
                 sink tuple
-              done
+              done;
+              (* The batch buffer is dead once replayed: return its bytes so
+                 the cap bounds live batches (max_local per domain), not the
+                 cumulative allocation of the whole run. *)
+              Governor.release_bytes h batch_bytes
             in
-            let batch_bytes = batch * bwidth * 8 in
             Governor.add_bytes h batch_bytes;
             let bbuf = ref (Array.make (batch * bwidth) 0) in
             let bn = ref 0 in
@@ -365,13 +387,16 @@ let run ?(domains = 1) ?(cache = true) ?(distinct = false) ?(leapfrog = false) ?
                       c.Counters.steals <- c.Counters.steals + 1;
                       timed m
                   | None -> Domain.cpu_relax ())
-            done)
+            done;
+            (* The worker's private buffer dies with the loop. *)
+            Governor.release_bytes h batch_bytes)
       else
         match assq_find tables node with
         | Some tbl -> Some (probe_only recurse env node tbl)
         | None -> None
     in
     let driver = Exec.compile_rw rewrite env plan in
+    (match dprof with Some p -> Profile.start p c | None -> ());
     (* Workers never let an exception escape: a raising [Domain.join] would
        leak the remaining domains. Budget trips end the worker quietly;
        anything else is recorded as a structured failure (tripping the
@@ -379,17 +404,26 @@ let run ?(domains = 1) ?(cache = true) ?(distinct = false) ?(leapfrog = false) ?
     (try driver emit_out with
     | Governor.Trip -> ()
     | e -> Governor.fail gov ~operator:"worker" ~detail:(Printexc.to_string e));
+    (match dprof with Some p -> Profile.finish p c | None -> ());
     Governor.finish h c;
-    c
+    (c, dprof)
   in
   let results =
     if domains <= 1 then [| worker 0 () |]
     else Array.map Domain.join (Array.init domains (fun i -> Domain.spawn (worker i)))
   in
+  (* Merge the per-domain profiles in the coordinating thread, keyed by the
+     shared preorder operator ids — same shape for every domain, so the
+     merged profile is identical in form to a sequential one. *)
+  (match prof with
+  | Some into ->
+      Array.iter (fun (_, dprof) -> Option.iter (fun p -> Profile.merge_into ~into p) dprof) results
+  | None -> ());
+  let per_domain = Array.map fst results in
   {
-    counters = Counters.merge (build_c :: Array.to_list results);
-    per_domain = results;
-    per_domain_output = Array.map (fun c -> c.Counters.output) results;
+    counters = Counters.merge (build_c :: Array.to_list per_domain);
+    per_domain;
+    per_domain_output = Array.map (fun (c, _) -> c.Counters.output) results;
     outcome = Governor.outcome gov;
   }
 
@@ -408,7 +442,7 @@ let run_chunked ?(domains = 1) ?(cache = true) ?(chunk = 64) g plan =
     let t0 = Timing.now_s () in
     let c = Counters.create () in
     let gov = Governor.handle (Governor.create Governor.unlimited) in
-    let env = { Exec.g; cache; distinct = false; leapfrog = false; c; gov } in
+    let env = { Exec.g; cache; distinct = false; leapfrog = false; c; gov; prof = None } in
     let rewrite _recurse (env : Exec.env) node =
       if node == driver_node then Some (chunked_scan env node next chunk num_sources)
       else None

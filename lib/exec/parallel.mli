@@ -45,7 +45,13 @@ type report = {
     number of partial matches per stealable batch morsel. [budget]/[fault]
     create the query's governor; [gov] supplies one built externally (for
     cross-thread {!Governor.cancel}) and overrides both. [limit] tightens
-    the budget's output cap. *)
+    the budget's output cap.
+
+    [prof] collects a per-operator profile: each domain records into a
+    {!Profile.fresh} copy (same operator-id space) and the copies are
+    merged into [prof] after the domains join — counter columns are
+    exact, per-operator time sums CPU time across domains. Build-phase
+    work is profiled once, like its counters. *)
 val run :
   ?domains:int ->
   ?cache:bool ->
@@ -55,6 +61,7 @@ val run :
   ?budget:Governor.budget ->
   ?fault:Governor.fault ->
   ?gov:Governor.t ->
+  ?prof:Profile.t ->
   ?sink:(int array -> unit) ->
   ?chunk:int ->
   ?batch:int ->

@@ -1,0 +1,154 @@
+module Bitset = Gf_util.Bitset
+module Plan = Gf_plan.Plan
+module Catalog = Gf_catalog.Catalog
+module Profile = Gf_exec.Profile
+
+type row = {
+  id : int;
+  label : string;
+  kind : Profile.kind;
+  depth : int;
+  est_card : float;
+  act_card : int;
+  card_q : float;
+  est_cost : float;
+  act_cost : float;
+  cost_q : float option;
+  time_s : float;
+  cache_hits : int;
+  intersections : int;
+  hj_build : int;
+  hj_probe : int;
+}
+
+(* The chain of an Extend node, for [Cost_model.extension_icost]: vertex-set
+   prefixes from the anchor of the E/I chain it roots (a SCAN pair or a
+   HASH-JOIN output) up to its child — anchor first, child last, matching
+   how the planner builds chains while enumerating orders. *)
+let chain_below = function
+  | Plan.Extend { child; _ } ->
+      let rec down acc n =
+        match n with
+        | Plan.Extend { child = c; _ } -> down (Plan.var_set n :: acc) c
+        | anchor -> Plan.var_set anchor :: acc
+      in
+      down [] child
+  | _ -> []
+
+let rows ?cache_conscious ?weights cat q plan prof =
+  let model = Cost_model.create ?cache_conscious ?weights cat q in
+  let w = Option.value weights ~default:Cost.default_weights in
+  if not (Profile.plan prof == plan) then
+    invalid_arg "Explain.rows: profile belongs to a different plan";
+  Array.map
+    (fun (o : Profile.op) ->
+      let node = fst (Plan.operators plan).(o.id) in
+      let est_card = Cost_model.card model (Plan.var_set node) in
+      let est_cost, act_cost, cost_q =
+        match node with
+        | Plan.Scan _ -> (0.0, 0.0, None)
+        | Plan.Extend { target; child; _ } ->
+            let est =
+              Cost_model.extension_icost model ~chain:(chain_below node)
+                ~child:(Plan.var_set child) ~v:target
+            in
+            let act = float_of_int o.icost in
+            (est, act, Some (Catalog.q_error ~estimate:est ~truth:act))
+        | Plan.Hash_join { build; probe; _ } ->
+            let est =
+              Cost_model.hash_join_cost model (Plan.var_set build) (Plan.var_set probe)
+            in
+            (* Actual cost under the same weights the model uses (Section
+               4.2's w1/w2): build and probe tuples that actually flowed
+               through this join's table. *)
+            let act =
+              (w.Cost.w1 *. float_of_int o.hj_build)
+              +. (w.Cost.w2 *. float_of_int o.hj_probe)
+            in
+            (est, act, Some (Catalog.q_error ~estimate:est ~truth:act))
+      in
+      {
+        id = o.id;
+        label = o.label;
+        kind = o.kind;
+        depth = o.depth;
+        est_card;
+        act_card = o.produced;
+        card_q = Catalog.q_error ~estimate:est_card ~truth:(float_of_int o.produced);
+        est_cost;
+        act_cost;
+        cost_q;
+        time_s = o.time_s;
+        cache_hits = o.cache_hits;
+        intersections = o.intersections;
+        hj_build = o.hj_build;
+        hj_probe = o.hj_probe;
+      })
+    (Profile.ops prof)
+  |> Array.to_list
+
+let fmt_f v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.3g" v
+
+let fmt_q = function
+  | q when Float.is_nan q -> "-"
+  | q when q = infinity -> "inf"
+  | q -> Printf.sprintf "%.2f" q
+
+let to_string rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-3s %-28s %12s %12s %7s %12s %12s %7s %9s %s\n" "op" "operator"
+       "est.card" "act.card" "q-err" "est.cost" "act.cost" "q-err" "time" "notes");
+  List.iter
+    (fun r ->
+      let label =
+        let s = String.make (2 * r.depth) ' ' ^ r.label in
+        if String.length s > 28 then String.sub s 0 28 else s
+      in
+      let notes =
+        match r.kind with
+        | Profile.Extend ->
+            Printf.sprintf "hits=%d inter=%d" r.cache_hits r.intersections
+        | Profile.Hash_join -> Printf.sprintf "build=%d probe=%d" r.hj_build r.hj_probe
+        | Profile.Scan -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-3d %-28s %12s %12d %7s %12s %12s %7s %8.3fs %s\n" r.id label
+           (fmt_f r.est_card) r.act_card (fmt_q r.card_q) (fmt_f r.est_cost)
+           (fmt_f r.act_cost)
+           (match r.cost_q with None -> "-" | Some q -> fmt_q q)
+           r.time_s notes))
+    rows;
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float v =
+  if Float.is_nan v then "null"
+  else if v = infinity then "1e999"
+  else Printf.sprintf "%.6g" v
+
+let row_to_json r =
+  Printf.sprintf
+    "{\"id\":%d,\"operator\":\"%s\",\"kind\":\"%s\",\"depth\":%d,\"est_card\":%s,\"act_card\":%d,\"card_q_error\":%s,\"est_cost\":%s,\"act_cost\":%s,\"cost_q_error\":%s,\"time_s\":%s,\"cache_hits\":%d,\"intersections\":%d,\"hj_build\":%d,\"hj_probe\":%d}"
+    r.id (json_escape r.label)
+    (Profile.kind_to_string r.kind)
+    r.depth (json_float r.est_card) r.act_card (json_float r.card_q)
+    (json_float r.est_cost) (json_float r.act_cost)
+    (match r.cost_q with None -> "null" | Some q -> json_float q)
+    (json_float r.time_s) r.cache_hits r.intersections r.hj_build r.hj_probe
+
+let rows_to_json rows = "[" ^ String.concat "," (List.map row_to_json rows) ^ "]"

@@ -1,0 +1,61 @@
+(** EXPLAIN ANALYZE: join the optimizer's estimates against a run's
+    per-operator actuals.
+
+    For every operator of a profiled plan this reports the estimated
+    cardinality ({!Cost_model.card} of the operator's vertex set) against
+    the tuples it actually produced, and the estimated cost against the
+    actual cost, each with its q-error ([max(est/truth, truth/est)] —
+    the paper's catalogue-accuracy metric, Tables 10/11):
+
+    - E/I operators: estimated i-cost ({!Cost_model.extension_icost} with
+      the operator's chain reconstructed from the plan) vs the
+      adjacency-list sizes it actually touched (Eq. 1);
+    - HASH-JOIN operators: [w1*card(build) + w2*card(probe)] vs the same
+      formula over actual build/probe tuple counts;
+    - SCAN operators: cardinality only (their cost is not modeled).
+
+    This lives in the optimizer layer (not [Gf_exec]) because it needs the
+    catalogue-backed cost model; the execution layer only ever records
+    actuals ({!Gf_exec.Profile}). *)
+
+type row = {
+  id : int;  (** stable operator id ({!Gf_plan.Plan.operators} preorder) *)
+  label : string;
+  kind : Gf_exec.Profile.kind;
+  depth : int;
+  est_card : float;
+  act_card : int;  (** tuples the operator produced *)
+  card_q : float;  (** q-error of [est_card] vs [act_card] *)
+  est_cost : float;  (** estimated i-cost (E/I) or weighted join cost; 0 for scans *)
+  act_cost : float;
+  cost_q : float option;  (** [None] for scans (no modeled cost) *)
+  time_s : float;  (** self wall time (summed across domains when parallel) *)
+  cache_hits : int;
+  intersections : int;
+  hj_build : int;
+  hj_probe : int;
+}
+
+(** [rows cat q plan prof] is one row per operator, in operator-id order.
+    [cache_conscious] and [weights] should match the planner options that
+    produced the plan so estimates are the ones the optimizer acted on.
+    Raises [Invalid_argument] when [prof] was created for a different plan
+    value. *)
+val rows :
+  ?cache_conscious:bool ->
+  ?weights:Cost.weights ->
+  Gf_catalog.Catalog.t ->
+  Gf_query.Query.t ->
+  Gf_plan.Plan.t ->
+  Gf_exec.Profile.t ->
+  row list
+
+(** Fixed-width text table. *)
+val to_string : row list -> string
+
+(** JSON array of operator objects (est/actual/q-error per row). *)
+val rows_to_json : row list -> string
+
+(** Escape a string for embedding in a JSON literal (shared with [gfq]'s
+    [--json] envelope). *)
+val json_escape : string -> string

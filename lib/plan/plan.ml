@@ -140,6 +140,33 @@ let rec max_ei_chain p =
   | Extend { child; _ } -> max (chain_at p) (max_ei_chain child)
   | Hash_join { build; probe; _ } -> max (max_ei_chain build) (max_ei_chain probe)
 
+let operators p =
+  let acc = ref [] in
+  let rec go depth node =
+    acc := (node, depth) :: !acc;
+    match node with
+    | Scan _ -> ()
+    | Extend { child; _ } -> go (depth + 1) child
+    | Hash_join { build; probe; _ } ->
+        go (depth + 1) build;
+        go (depth + 1) probe
+  in
+  go 0 p;
+  Array.of_list (List.rev !acc)
+
+let op_label = function
+  | Scan { edge; _ } -> Printf.sprintf "SCAN a%d->a%d" (edge.src + 1) (edge.dst + 1)
+  | Extend { child; target; descriptors; _ } ->
+      let cvars = vars child in
+      Printf.sprintf "E/I a%d <- %s" (target + 1)
+        (String.concat ","
+           (Array.to_list descriptors
+           |> List.map (fun d -> Printf.sprintf "a%d" (cvars.(d.pos) + 1))))
+  | Hash_join { key; _ } ->
+      Printf.sprintf "HASH-JOIN {%s}"
+        (String.concat ","
+           (Array.to_list key |> List.map (fun v -> Printf.sprintf "a%d" (v + 1))))
+
 let dir_str = function Graph.Fwd -> "f" | Graph.Bwd -> "b"
 
 let rec signature = function

@@ -79,6 +79,20 @@ val num_ei_operators : t -> int
 
 val max_ei_chain : t -> int
 
+(** [operators p] enumerates the plan's operator tree in preorder (node
+    before children; a join's build side before its probe side) with each
+    node's depth. The index into the returned array is the node's stable
+    operator id — the profiling layer ({!Gf_exec.Profile}) and
+    [explain_analyze] both key on it, so an operator keeps the same id
+    across sequential, adaptive and parallel runs of the same plan value.
+    Nodes are compared physically ([==]); plan values are immutable and
+    shared, never rebuilt between planning and execution. *)
+val operators : t -> (t * int) array
+
+(** [op_label p] is a short one-line label for the root operator of [p]
+    (e.g. ["SCAN a1->a2"], ["E/I a3 <- a1,a2"], ["HASH-JOIN {a2,a3}"]). *)
+val op_label : t -> string
+
 (** [signature p] is a canonical string of the operator tree, used to
     deduplicate plans that perform identical operations (e.g. the two
     orderings sharing a SCAN of the same edge). *)

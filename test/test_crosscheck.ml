@@ -60,6 +60,7 @@ let prop_all_engines_agree =
       && ok "cache off" (Exec.run ~cache:false g plan).Counters.output
       && ok "leapfrog" (Exec.run ~leapfrog:true g plan).Counters.output
       && ok "count_fast" (Exec.count_fast g plan)
+      && ok "count_fast leapfrog" (Exec.count_fast ~leapfrog:true g plan)
       && ok "parallel(3)" (Parallel.run ~domains:3 g plan).Parallel.counters.Counters.output
       && ok "parallel(4) small morsels"
            (Parallel.run ~domains:4 ~chunk:3 ~batch:4 g plan).Parallel.counters.Counters.output
@@ -68,7 +69,17 @@ let prop_all_engines_agree =
       && ok "parallel chunked baseline"
            (Parallel.run_chunked ~domains:2 g plan).Parallel.counters.Counters.output
       && (let distinct_expected = Naive.count ~distinct:true g q in
-          List.for_all
+          (let got = Exec.count_fast ~distinct:true g plan in
+           got = distinct_expected
+           ||
+           QCheck2.Test.fail_reportf "count_fast distinct: %d <> naive %d on %s" got
+             distinct_expected (Query.to_string q))
+          && (let got = (fst (Adaptive.run ~distinct:true cat g q plan)).Counters.output in
+              got = distinct_expected
+              ||
+              QCheck2.Test.fail_reportf "adaptive distinct: %d <> naive %d on %s" got
+                distinct_expected (Query.to_string q))
+          && List.for_all
             (fun d ->
               let got =
                 (Parallel.run ~domains:d ~distinct:true ~chunk:5 g plan).Parallel.counters
@@ -217,6 +228,33 @@ let test_parallel_hybrid_features () =
   let (_ : Parallel.report) = Parallel.run ~domains:4 ~sink:(fun _ -> incr acc) g plan in
   check_int "thread-safe sink sees every tuple" seqc.Counters.output !acc
 
+(* Regression: the adaptive executor used to ignore distinct semantics —
+   adaptively-routed segments emitted tuples with repeated data vertices
+   that a distinct [Exec] run filters. Pin adaptive = Exec = naive under
+   [distinct] on queries long enough to be adaptable: a 4-clique, and a
+   4-cycle on a reciprocal-heavy graph where non-injective matches
+   actually exist (so the filter provably fires). *)
+let test_adaptive_distinct () =
+  let g = Generators.holme_kim (Rng.create 5) ~n:250 ~m_per:4 ~p_triad:0.6 ~recip:0.6 in
+  let cat = Catalog.create ~z:150 g in
+  List.iter
+    (fun (name, q) ->
+      let plan = Plan.wco q (Array.init (Query.num_vertices q) Fun.id) in
+      let expected = Naive.count ~distinct:true g q in
+      check_int (name ^ ": exec distinct")
+        expected
+        (Exec.run ~distinct:true g plan).Counters.output;
+      check_int (name ^ ": adaptive distinct")
+        expected
+        (fst (Adaptive.run ~distinct:true cat g q plan)).Counters.output)
+    [ ("clique", Patterns.clique 4 ~cyclic:false); ("cycle", Patterns.cycle 4) ];
+  (* The cycle admits a1=a3 / a2=a4 homomorphisms over reciprocal edges, so
+     distinct must strictly shrink the count here — otherwise this test
+     exercises nothing. *)
+  let q = Patterns.cycle 4 in
+  check_bool "filter actually fires" true
+    (Naive.count ~distinct:true g q < Naive.count g q)
+
 let test_count_by () =
   let g = Generators.holme_kim (Rng.create 7) ~n:150 ~m_per:4 ~p_triad:0.5 ~recip:0.3 in
   let db = Graphflow.Db.create ~z:150 g in
@@ -270,6 +308,7 @@ let suite =
       ] );
     ( "api",
       [
+        Alcotest.test_case "adaptive distinct" `Quick test_adaptive_distinct;
         Alcotest.test_case "count_by" `Quick test_count_by;
         Alcotest.test_case "to_dot" `Quick test_to_dot;
       ] );

@@ -267,6 +267,32 @@ let prop_labeled_plans_correct =
         (fun order -> Exec.count g (Plan.wco q order) = expected)
         (Query.connected_orders q))
 
+(* Regression: [count_fast] used to silently drop [~leapfrog] (always the
+   pairwise cascade) and force non-distinct semantics. It must now agree
+   with [count] under every flag combination, on the ablation query set. *)
+let test_count_fast_flags () =
+  let g = small_graph () in
+  List.iter
+    (fun (name, q) ->
+      let plan = Plan.wco q (Array.init (Query.num_vertices q) Fun.id) in
+      let expected = Exec.count g plan in
+      let distinct_expected = Exec.count ~distinct:true g plan in
+      check_int (name ^ ": plain") expected (Exec.count_fast g plan);
+      check_int (name ^ ": cache off") expected (Exec.count_fast ~cache:false g plan);
+      check_int (name ^ ": leapfrog") expected (Exec.count_fast ~leapfrog:true g plan);
+      check_int (name ^ ": leapfrog, cache off") expected
+        (Exec.count_fast ~cache:false ~leapfrog:true g plan);
+      check_int (name ^ ": distinct") distinct_expected
+        (Exec.count_fast ~distinct:true g plan);
+      check_int (name ^ ": distinct leapfrog") distinct_expected
+        (Exec.count_fast ~distinct:true ~leapfrog:true g plan))
+    [
+      ("triangle", Patterns.asymmetric_triangle);
+      ("diamond-x", Patterns.diamond_x);
+      ("tailed triangle", Patterns.tailed_triangle);
+      ("4-cycle", Patterns.cycle 4);
+    ]
+
 let suite =
   let q t = QCheck_alcotest.to_alcotest t in
   [
@@ -291,6 +317,7 @@ let suite =
         Alcotest.test_case "limit" `Quick test_limit;
         Alcotest.test_case "distinct" `Quick test_distinct;
         Alcotest.test_case "distinct hash join" `Quick test_distinct_hash_join;
+        Alcotest.test_case "count_fast flags" `Quick test_count_fast_flags;
       ] );
     ( "plan.structure",
       [

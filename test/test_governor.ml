@@ -138,6 +138,35 @@ let test_memory_cap () =
   check_bool "batch alloc trips byte cap" true
     (is_truncated Governor.Memory_limit r.Parallel.outcome)
 
+let test_byte_release_on_consumption () =
+  (* Regression: batch bytes are charged when a morsel batch is allocated
+     but must be *released* when the batch is replayed (consumed). Before
+     the fix the governor accumulated every allocation, so any query whose
+     cumulative batching exceeded [max_bytes] tripped Memory_limit even
+     though live memory stayed tiny. Small batches on a triangle query make
+     cumulative allocation blow well past the cap while live batches stay
+     bounded by [max_local]. *)
+  let g = graph () in
+  let plan = triangle_plan () in
+  let total = Exec.count g plan in
+  let cap = 32_768 in
+  let chunk = 16 and batch = 16 in
+  let r =
+    Parallel.run ~domains:1 ~chunk ~batch
+      ~budget:(Governor.budget ~max_bytes:cap ())
+      g plan
+  in
+  check_bool "bounded live batches complete" true (r.Parallel.outcome = Governor.Completed);
+  check_int "all outputs" total r.Parallel.counters.Counters.output;
+  (* Prove the run actually cycled more batch bytes than the cap: every
+     morsel beyond the seeded ranges is a replayed batch, each of
+     [batch * width * 8] bytes. Without release, this run would have
+     tripped. *)
+  let width = 3 in
+  let ranges = (Gf_graph.Graph.num_vertices g + chunk - 1) / chunk in
+  let batches = r.Parallel.counters.Counters.morsels - ranges in
+  check_bool "cumulative batch bytes exceed the cap" true (batches * batch * width * 8 > cap)
+
 let test_deadline_promptness () =
   (* The acceptance gate: a 50 ms deadline on a clique-heavy graph returns
      Truncated Deadline promptly at 1 and at 4 domains (mid-steal), with
@@ -251,6 +280,8 @@ let suite =
         Alcotest.test_case "truncated subset (par)" `Quick test_truncated_subset_parallel;
         Alcotest.test_case "intermediate cap" `Quick test_intermediate_cap;
         Alcotest.test_case "memory cap" `Quick test_memory_cap;
+        Alcotest.test_case "byte release on consumption" `Quick
+          test_byte_release_on_consumption;
         Alcotest.test_case "deadline promptness" `Quick test_deadline_promptness;
         Alcotest.test_case "cancel from another domain" `Quick test_cancel_from_another_domain;
         Alcotest.test_case "fault mid-extend" `Quick test_fault_mid_extend;
