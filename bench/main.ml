@@ -540,6 +540,40 @@ let governor () =
     (fmt_count fc.Gf.Counters.produced)
 
 (* ------------------------------------------------------------------ *)
+(* Resilience: service-layer overhead over a direct governed run.      *)
+(* ------------------------------------------------------------------ *)
+
+let resilience () =
+  header "Resilience: service submit vs a direct governed run (Q1, twitter)";
+  (* Per-request cost of the full service path — admission queue, breaker
+     verdict, ladder bookkeeping, worker handoff and the reply condvar —
+     over the same query run directly through [Db.run_gov]. Warm caches,
+     best of 9. The absolute gap is the price of one queued round-trip;
+     it should stay in the noise for any non-trivial query. *)
+  let g = dataset_at (Gf.Generators.Twitter, scale *. 0.5) in
+  let db = Gf.Db.create g in
+  let q = Gf.Patterns.q 1 in
+  let best f =
+    ignore (f ());
+    let ts = List.init 9 (fun _ -> fst (time_once f)) in
+    List.fold_left min infinity ts
+  in
+  let t_direct = best (fun () -> Gf.Db.run_gov db q) in
+  let svc =
+    Gf_server.Service.create
+      ~config:{ Gf_server.Service.default_config with Gf_server.Service.workers = 2 }
+      db
+  in
+  let req = Gf_server.Service.request q in
+  let t_service = best (fun () -> Gf_server.Service.submit svc req) in
+  Gf_server.Service.drain svc;
+  Printf.printf
+    "Q1 twitter: direct %.4fs, via service %.4fs (overhead %+.1f%%, %+.0f us/request)\n"
+    t_direct t_service
+    ((t_service /. t_direct -. 1.) *. 100.)
+    ((t_service -. t_direct) *. 1e6)
+
+(* ------------------------------------------------------------------ *)
 (* Observability: per-operator profiling overhead + EXPLAIN ANALYZE.   *)
 (* ------------------------------------------------------------------ *)
 
@@ -946,6 +980,7 @@ let sections =
     ("figure10", figure10);
     ("figure11", figure11);
     ("governor", governor);
+    ("resilience", resilience);
     ("observability", observability);
     ("table10", table10);
     ("table11", table11);

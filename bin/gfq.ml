@@ -227,18 +227,327 @@ let spectrum_cmd =
 let catalogue_cmd =
   let h = Arg.(value & opt int 3 & info [ "H"; "max-pattern" ] ~doc:"Max pattern size (paper's h).") in
   let z = Arg.(value & opt int 1000 & info [ "z"; "samples" ] ~doc:"Sample size (paper's z).") in
-  let go graph_file dataset scale labels seed h z =
-    let g = load_graph graph_file dataset scale labels seed in
-    let cat = Gf.Catalog.create ~h ~z g in
-    let secs, n = Gf.Rng.create 0 |> fun _ ->
-      let t0 = Unix.gettimeofday () in
-      let n = Gf.Catalog.build_exhaustive cat in
-      (Unix.gettimeofday () -. t0, n)
-    in
-    Format.printf "catalogue: %d entries (h=%d z=%d) built in %.2fs@." n h z secs
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:"Persist the built catalogue (crash-safe: temp file + rename).")
   in
-  Cmd.v (Cmd.info "catalogue" ~doc:"Build the exhaustive subgraph catalogue.")
-    Term.(const go $ graph_file $ dataset $ scale $ labels $ seed $ h $ z)
+  let load =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "load" ] ~docv:"FILE"
+          ~doc:"Load a previously saved catalogue instead of building one.")
+  in
+  let go graph_file dataset scale labels seed h z save load =
+    let g = load_graph graph_file dataset scale labels seed in
+    match load with
+    | Some path -> (
+        match Gf.Catalog.load_result g path with
+        | Ok cat ->
+            Format.printf "catalogue: %d entries (h=%d z=%d) loaded from %s@."
+              (Gf.Catalog.num_entries cat) (Gf.Catalog.h cat) (Gf.Catalog.z cat) path
+        | Error e -> die (Gf.Catalog.load_error_to_string e))
+    | None ->
+        let cat = Gf.Catalog.create ~h ~z g in
+        let t0 = Unix.gettimeofday () in
+        let n = Gf.Catalog.build_exhaustive cat in
+        let secs = Unix.gettimeofday () -. t0 in
+        Format.printf "catalogue: %d entries (h=%d z=%d) built in %.2fs@." n h z secs;
+        Option.iter
+          (fun path ->
+            Gf.Catalog.save cat path;
+            Format.printf "saved to %s@." path)
+          save
+  in
+  Cmd.v (Cmd.info "catalogue" ~doc:"Build, save, or load the exhaustive subgraph catalogue.")
+    Term.(const go $ graph_file $ dataset $ scale $ labels $ seed $ h $ z $ save $ load)
+
+(* --- serve: the resilient query service over a socket ------------------ *)
+
+let endpoint_arg_of socket port host =
+  match (socket, port) with
+  | Some path, None -> Gf_server.Server.Unix_path path
+  | None, Some p -> Gf_server.Server.Tcp (host, p)
+  | Some _, Some _ -> die "provide --socket or --port, not both"
+  | None, None -> die "provide --socket PATH or --port N"
+
+let endpoint_to_string = function
+  | Gf_server.Server.Unix_path p -> "unix:" ^ p
+  | Gf_server.Server.Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let port_arg =
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"N" ~doc:"TCP port.")
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"TCP host.")
+
+let serve_cmd =
+  let workers =
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc:"Worker threads.")
+  in
+  let queue =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Admission-queue capacity; excess requests are shed with a structured rejection.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"First-rung parallelism of the retry ladder (<= 1 skips the parallel rung).")
+  in
+  let timeout_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS" ~doc:"Default per-request deadline.")
+  in
+  let max_rows =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-rows" ] ~docv:"N" ~doc:"Default output-row cap per request.")
+  in
+  let max_intermediate =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-intermediate" ] ~docv:"N" ~doc:"Default intermediate-tuple cap per request.")
+  in
+  let degraded_timeout_ms =
+    Arg.(
+      value & opt int 2000
+      & info [ "degraded-timeout-ms" ] ~docv:"MS"
+          ~doc:"Deadline of the final (reduced-budget) ladder rung.")
+  in
+  let backoff_ms =
+    Arg.(
+      value & opt int 50
+      & info [ "backoff-ms" ] ~docv:"MS" ~doc:"Base retry backoff (doubles per attempt, jittered).")
+  in
+  let backoff_cap_ms =
+    Arg.(value & opt int 1000 & info [ "backoff-cap-ms" ] ~docv:"MS" ~doc:"Backoff ceiling.")
+  in
+  let breaker_window =
+    Arg.(value & opt int 32 & info [ "breaker-window" ] ~docv:"N" ~doc:"Breaker sliding window.")
+  in
+  let breaker_min =
+    Arg.(
+      value & opt int 8
+      & info [ "breaker-min" ] ~docv:"N" ~doc:"Minimum samples before the breaker may open.")
+  in
+  let breaker_threshold =
+    Arg.(
+      value & opt float 0.5
+      & info [ "breaker-threshold" ] ~docv:"F" ~doc:"Failure fraction that opens the breaker.")
+  in
+  let breaker_cooldown_ms =
+    Arg.(
+      value & opt int 5000
+      & info [ "breaker-cooldown-ms" ] ~docv:"MS"
+          ~doc:"Time the breaker stays open before half-opening on a probe.")
+  in
+  let fault_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~env:(Cmd.Env.info "GFQ_FAULT_SEED")
+          ~doc:"Chaos source: deterministically inject first-attempt faults into ~1/4 of requests.")
+  in
+  let go graph_file dataset scale labels seed socket port host workers queue domains
+      timeout_ms max_rows max_intermediate degraded_timeout_ms backoff_ms backoff_cap_ms
+      breaker_window breaker_min breaker_threshold breaker_cooldown_ms fault_seed =
+    let endpoint = endpoint_arg_of socket port host in
+    let g = load_graph graph_file dataset scale labels seed in
+    let db = Gf.Db.create g in
+    let ladder =
+      {
+        Gf_server.Ladder.domains;
+        budget =
+          Gf.Governor.budget
+            ?deadline_s:(Option.map (fun ms -> float_of_int ms /. 1000.) timeout_ms)
+            ?max_output:max_rows ?max_intermediate ();
+        degraded_budget =
+          Gf.Governor.budget
+            ~deadline_s:(float_of_int degraded_timeout_ms /. 1000.)
+            ~max_output:(Option.value max_rows ~default:10_000)
+            ~max_intermediate:(Option.value max_intermediate ~default:1_000_000)
+            ();
+        backoff_base_s = float_of_int backoff_ms /. 1000.;
+        backoff_cap_s = float_of_int backoff_cap_ms /. 1000.;
+      }
+    in
+    let breaker =
+      {
+        Gf_server.Breaker.window = breaker_window;
+        min_samples = breaker_min;
+        failure_threshold = breaker_threshold;
+        cooldown_s = float_of_int breaker_cooldown_ms /. 1000.;
+      }
+    in
+    let config =
+      { Gf_server.Service.default_config with queue_capacity = queue; workers; ladder; breaker; fault_seed; seed }
+    in
+    let service = Gf_server.Service.create ~config db in
+    Gf_server.Server.serve
+      ~on_ready:(fun ep ->
+        Format.printf "gfq serve: listening on %s (workers=%d queue=%d domains=%d%s)@."
+          (endpoint_to_string ep) workers queue domains
+          (match fault_seed with
+          | Some s -> Printf.sprintf " fault-seed=%d" s
+          | None -> "");
+        Format.print_flush ())
+      service endpoint;
+    Format.printf "gfq serve: drained, exiting@."
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve queries over a socket: bounded admission queue, retry-with-degradation \
+          ladder, circuit breaker, graceful drain on shutdown.")
+    Term.(
+      const go $ graph_file $ dataset $ scale $ labels $ seed $ socket_arg $ port_arg
+      $ host_arg $ workers $ queue $ domains $ timeout_ms $ max_rows $ max_intermediate
+      $ degraded_timeout_ms $ backoff_ms $ backoff_cap_ms $ breaker_window $ breaker_min
+      $ breaker_threshold $ breaker_cooldown_ms $ fault_seed)
+
+(* --- soak: a concurrent client driver for CI and load checks ----------- *)
+
+let soak_cmd =
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client connections.")
+  in
+  let requests =
+    Arg.(value & opt int 25 & info [ "requests" ] ~docv:"N" ~doc:"Requests per client.")
+  in
+  let soak_seed =
+    Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc:"Request-mix seed.")
+  in
+  let send_shutdown =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Send a shutdown request after the clients finish.")
+  in
+  let connect_timeout_s =
+    Arg.(
+      value & opt float 15.0
+      & info [ "connect-timeout" ] ~docv:"S" ~doc:"Give up connecting after this long.")
+  in
+  let go socket port host clients requests soak_seed send_shutdown connect_timeout_s =
+    let endpoint = endpoint_arg_of socket port host in
+    let sockaddr =
+      match endpoint with
+      | Gf_server.Server.Unix_path path -> Unix.ADDR_UNIX path
+      | Gf_server.Server.Tcp (h, p) ->
+          let addr =
+            try Unix.inet_addr_of_string h
+            with Failure _ -> (Unix.gethostbyname h).Unix.h_addr_list.(0)
+          in
+          Unix.ADDR_INET (addr, p)
+    in
+    let connect () =
+      let deadline = Unix.gettimeofday () +. connect_timeout_s in
+      let rec go () =
+        let fd = Unix.socket (Unix.domain_of_sockaddr sockaddr) Unix.SOCK_STREAM 0 in
+        match Unix.connect fd sockaddr with
+        | () -> fd
+        | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            if Unix.gettimeofday () > deadline then die "soak: could not connect to server";
+            Unix.sleepf 0.1;
+            go ()
+      in
+      go ()
+    in
+    (* The request mix: well-behaved runs, budget-tripping runs (truncate),
+       and fault-injected runs (exercise the retry ladder). *)
+    let request_line rng =
+      let triangle = "a1->a2, a2->a3, a1->a3" in
+      let square = "a1->a2, a2->a3, a3->a4, a1->a4" in
+      match Gf.Rng.int rng 5 with
+      | 0 | 1 -> "run q=" ^ triangle
+      | 2 -> "run rows=1 max_rows=5 q=" ^ square
+      | 3 -> Printf.sprintf "run max_intermediate=%d q=%s" (50 + Gf.Rng.int rng 200) square
+      | _ -> Printf.sprintf "run fault_at=%d q=%s" (1 + Gf.Rng.int rng 500) triangle
+    in
+    let bad = ref 0 and ok_n = ref 0 and rejected_n = ref 0 and err_n = ref 0 in
+    let tally = Mutex.create () in
+    let has_sub hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+      nn = 0 || at 0
+    in
+    let validate line =
+      Mutex.lock tally;
+      (if has_sub line "\"ok\":true" then incr ok_n
+       else if has_sub line "\"error\":\"rejected\"" then incr rejected_n
+       else if has_sub line "\"ok\":false" then incr err_n
+       else begin
+         incr bad;
+         Printf.eprintf "soak: malformed response: %s\n%!" line
+       end);
+      Mutex.unlock tally
+    in
+    let client i =
+      let fd = connect () in
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      let rng = Gf.Rng.create (soak_seed lxor (i * 0x9e3779b9)) in
+      (try
+         for _ = 1 to requests do
+           output_string oc (request_line rng);
+           output_char oc '\n';
+           flush oc;
+           match input_line ic with
+           | line -> validate line
+           | exception End_of_file ->
+               Mutex.lock tally;
+               incr bad;
+               Mutex.unlock tally;
+               Printf.eprintf "soak: connection closed mid-session\n%!"
+         done
+       with Sys_error _ | Unix.Unix_error _ ->
+         Mutex.lock tally;
+         incr bad;
+         Mutex.unlock tally);
+      try Unix.close fd with Unix.Unix_error _ -> ()
+    in
+    let threads = List.init clients (fun i -> Thread.create client i) in
+    List.iter Thread.join threads;
+    if send_shutdown then begin
+      let fd = connect () in
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      output_string oc "shutdown\n";
+      flush oc;
+      (match input_line ic with
+      | line -> if not (has_sub line "\"ok\":true") then incr bad
+      | exception End_of_file -> incr bad);
+      try Unix.close fd with Unix.Unix_error _ -> ()
+    end;
+    Printf.printf "soak: %d clients x %d requests: ok=%d rejected=%d error=%d malformed=%d\n"
+      clients requests !ok_n !rejected_n !err_n !bad;
+    if !bad > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Drive a running gfq serve with concurrent clients mixing good, budget-tripping, \
+          and faulted requests; exit nonzero on any malformed response.")
+    Term.(
+      const go $ socket_arg $ port_arg $ host_arg $ clients $ requests $ soak_seed
+      $ send_shutdown $ connect_timeout_s)
 
 let shell_cmd =
   let go graph_file dataset scale labels seed =
@@ -302,4 +611,14 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ generate_cmd; stats_cmd; plan_cmd; run_cmd; spectrum_cmd; catalogue_cmd; shell_cmd ]))
+          [
+            generate_cmd;
+            stats_cmd;
+            plan_cmd;
+            run_cmd;
+            spectrum_cmd;
+            catalogue_cmd;
+            serve_cmd;
+            soak_cmd;
+            shell_cmd;
+          ]))

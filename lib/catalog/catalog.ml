@@ -441,12 +441,14 @@ let build_exhaustive t =
   done;
   num_entries t
 
+(* Crash-safe: temp sibling + rename ({!Gf_util.Atomic_file}). The v2
+   format carries the entry count in the parameter line and a trailing
+   [end] marker so [load_result] can tell a torn file from a complete
+   one. *)
 let save t path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      Printf.fprintf oc "graphflow-catalog v1\n%d %d\n" t.h t.z;
+  Gf_util.Atomic_file.write path (fun oc ->
+      Printf.fprintf oc "graphflow-catalog v2\n%d %d %d\n" t.h t.z
+        (Hashtbl.length t.entries);
       Hashtbl.iter
         (fun code e ->
           Printf.fprintf oc "entry %s %.17g %.17g %d %d\n" code e.mu e.total_size e.samples
@@ -457,67 +459,155 @@ let save t path =
                 (match dir with Graph.Fwd -> 'f' | Graph.Bwd -> 'b')
                 el s)
             e.sizes)
-        t.entries)
+        t.entries;
+      Printf.fprintf oc "end\n")
+
+type load_error = { path : string; line : int; kind : error_kind }
+
+and error_kind =
+  | Unreadable of string
+  | Bad_header of string
+  | Bad_params of string
+  | Bad_token of string
+  | Orphan_size
+  | Size_count_mismatch of { expected : int; got : int }
+  | Truncated of { expected_entries : int; got : int }
+
+let kind_to_string = function
+  | Unreadable msg -> "cannot read: " ^ msg
+  | Bad_header h ->
+      Printf.sprintf "bad header %S (expected \"graphflow-catalog v1|v2\")" h
+  | Bad_params p -> Printf.sprintf "bad parameter line %S (expected \"h z [entries]\")" p
+  | Bad_token tok -> Printf.sprintf "malformed token %S" tok
+  | Orphan_size -> "size line without a preceding entry"
+  | Size_count_mismatch { expected; got } ->
+      Printf.sprintf "entry declares %d size lines, got %d (truncated?)" expected got
+  | Truncated { expected_entries; got } ->
+      Printf.sprintf
+        "truncated file: expected %d entries and a trailing \"end\" marker, got %d"
+        expected_entries got
+
+let load_error_to_string e =
+  if e.line > 0 then
+    Printf.sprintf "Catalog.load %s, line %d: %s" e.path e.line (kind_to_string e.kind)
+  else Printf.sprintf "Catalog.load %s: %s" e.path (kind_to_string e.kind)
+
+let pp_load_error fmt e = Format.pp_print_string fmt (load_error_to_string e)
+
+exception Err of load_error
+
+let load_result g path =
+  match open_in path with
+  | exception Sys_error msg -> Error { path; line = 0; kind = Unreadable msg }
+  | ic -> (
+      let lineno = ref 0 in
+      let fail kind = raise (Err { path; line = !lineno; kind }) in
+      let int_of tok =
+        match int_of_string_opt tok with Some i -> i | None -> fail (Bad_token tok)
+      in
+      let float_of tok =
+        match float_of_string_opt tok with Some f -> f | None -> fail (Bad_token tok)
+      in
+      try
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () ->
+            incr lineno;
+            let header =
+              try input_line ic with End_of_file -> fail (Bad_header "<empty file>")
+            in
+            let v2 =
+              match header with
+              | "graphflow-catalog v2" -> true
+              | "graphflow-catalog v1" -> false
+              | h -> fail (Bad_header h)
+            in
+            incr lineno;
+            let params =
+              try input_line ic
+              with End_of_file -> fail (Bad_params "<end of file>")
+            in
+            let h, z, expected_entries =
+              match (v2, String.split_on_char ' ' params) with
+              | false, [ a; b ] -> (int_of a, int_of b, None)
+              | true, [ a; b; c ] -> (int_of a, int_of b, Some (int_of c))
+              | _ -> fail (Bad_params params)
+            in
+            let t =
+              match create ~h ~z g with
+              | t -> t
+              | exception Invalid_argument msg -> fail (Bad_params msg)
+            in
+            (* (code, mu, total_size, samples, declared size count, sizes rev) *)
+            let pending = ref None in
+            let flush_pending () =
+              match !pending with
+              | Some (code, mu, total_size, samples, declared, sizes) ->
+                  let got = List.length sizes in
+                  if got <> declared then
+                    fail (Size_count_mismatch { expected = declared; got });
+                  Hashtbl.replace t.entries code
+                    { mu; total_size; samples; sizes = List.rev sizes };
+                  pending := None
+              | None -> ()
+            in
+            let finished = ref false in
+            (try
+               while not !finished do
+                 incr lineno;
+                 let line = input_line ic in
+                 match String.split_on_char ' ' line with
+                 | [ "entry"; code; mu; total; samples; nsizes ] ->
+                     flush_pending ();
+                     pending :=
+                       Some
+                         ( code,
+                           float_of mu,
+                           float_of total,
+                           int_of samples,
+                           int_of nsizes,
+                           [] )
+                 | [ "size"; v; dir; el; s ] -> (
+                     match !pending with
+                     | None -> fail Orphan_size
+                     | Some (code, mu, total, samples, declared, sizes) ->
+                         let d =
+                           match dir with
+                           | "f" -> Graph.Fwd
+                           | "b" -> Graph.Bwd
+                           | _ -> fail (Bad_token dir)
+                         in
+                         pending :=
+                           Some
+                             ( code,
+                               mu,
+                               total,
+                               samples,
+                               declared,
+                               ((int_of v, d, int_of el), float_of s) :: sizes ))
+                 | [ "end" ] ->
+                     flush_pending ();
+                     finished := true
+                 | [ "" ] -> ()
+                 | _ -> fail (Bad_token line)
+               done
+             with End_of_file -> ());
+            flush_pending ();
+            (match expected_entries with
+            | Some n ->
+                let got = Hashtbl.length t.entries in
+                if (not !finished) || got <> n then begin
+                  lineno := 0;
+                  fail (Truncated { expected_entries = n; got })
+                end
+            | None -> ());
+            Ok t)
+      with Err e -> Error e)
 
 let load g path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let fail msg = failwith (Printf.sprintf "Catalog.load %s: %s" path msg) in
-      (try if input_line ic <> "graphflow-catalog v1" then fail "bad header"
-       with End_of_file -> fail "empty file");
-      let h, z =
-        match String.split_on_char ' ' (input_line ic) with
-        | [ a; b ] -> (int_of_string a, int_of_string b)
-        | _ -> fail "bad parameter line"
-      in
-      let t = create ~h ~z g in
-      let pending = ref None in
-      let flush_pending () =
-        match !pending with
-        | Some (code, mu, total_size, samples, sizes) ->
-            Hashtbl.replace t.entries code
-              { mu; total_size; samples; sizes = List.rev sizes };
-            pending := None
-        | None -> ()
-      in
-      (try
-         while true do
-           let line = input_line ic in
-           match String.split_on_char ' ' line with
-           | "entry" :: code :: mu :: total :: samples :: _nsizes :: [] ->
-               flush_pending ();
-               pending :=
-                 Some
-                   ( code,
-                     float_of_string mu,
-                     float_of_string total,
-                     int_of_string samples,
-                     [] )
-           | [ "size"; v; dir; el; s ] -> (
-               match !pending with
-               | None -> fail "size line without entry"
-               | Some (code, mu, total, samples, sizes) ->
-                   let d =
-                     match dir with
-                     | "f" -> Graph.Fwd
-                     | "b" -> Graph.Bwd
-                     | _ -> fail "bad direction"
-                   in
-                   pending :=
-                     Some
-                       ( code,
-                         mu,
-                         total,
-                         samples,
-                         ((int_of_string v, d, int_of_string el), float_of_string s) :: sizes ))
-           | [ "" ] -> ()
-           | _ -> fail ("bad line: " ^ line)
-         done
-       with End_of_file -> ());
-      flush_pending ();
-      t)
+  match load_result g path with
+  | Ok t -> t
+  | Error e -> failwith (load_error_to_string e)
 
 let q_error ~estimate ~truth =
   let e = Float.max 1.0 estimate and r = Float.max 1.0 truth in

@@ -102,10 +102,41 @@ val pp_entry : Format.formatter -> entry -> unit
 
 (** [save cat path] persists the materialized entries (lazy entries computed
     so far, or everything after [build_exhaustive]) so a later session can
-    skip sampling. *)
+    skip sampling. The write is crash-safe: bytes go to a [path.tmp.<pid>]
+    sibling renamed over [path] only once fully written
+    ({!Gf_util.Atomic_file}), so a crash mid-save leaves the previous file
+    intact. The file carries the entry count and a trailing [end] marker so
+    {!load_result} can detect torn files. *)
 val save : t -> string -> unit
 
-(** [load g path] restores a catalogue saved by [save]. The graph must be
-    the one the statistics were sampled from (the file records only
-    parameters and entries). Raises [Failure] on malformed input. *)
+(** What went wrong loading a catalogue file, and where. [line] is 1-based;
+    0 when the error is not tied to a specific line. Mirrors
+    {!Gf_graph.Graph_io.load_error}. *)
+type load_error = { path : string; line : int; kind : error_kind }
+
+and error_kind =
+  | Unreadable of string  (** missing or unreadable file (OS message) *)
+  | Bad_header of string
+  | Bad_params of string  (** malformed [h z [entries]] parameter line *)
+  | Bad_token of string  (** non-numeric token or malformed line *)
+  | Orphan_size  (** a [size] line with no preceding [entry] *)
+  | Size_count_mismatch of { expected : int; got : int }
+      (** an entry declared more size lines than it carried — the signature
+          of a file cut mid-entry *)
+  | Truncated of { expected_entries : int; got : int }
+      (** a v2 file missing entries or its trailing [end] marker *)
+
+val load_error_to_string : load_error -> string
+val pp_load_error : Format.formatter -> load_error -> unit
+
+(** [load_result g path] restores a catalogue saved by [save], reporting
+    missing, truncated, and malformed files as a structured {!load_error}.
+    Accepts both the current v2 format and legacy v1 files (which carry no
+    entry count, so torn v1 files are detected only when cut mid-entry). The
+    graph must be the one the statistics were sampled from (the file records
+    only parameters and entries). *)
+val load_result : Gf_graph.Graph.t -> string -> (t, load_error) result
+
+(** [load g path] is {!load_result} raising [Failure] with the formatted
+    message on error (the original API, kept for convenience). *)
 val load : Gf_graph.Graph.t -> string -> t

@@ -80,21 +80,26 @@ module Db = struct
     observe_run (Gf_util.Timing.now_s () -. t0) c Governor.Completed;
     c
 
-  let run_gov ?(adaptive = false) ?(domains = 1) ?budget ?fault ?sink db q =
+  let run_gov ?(adaptive = false) ?(domains = 1) ?budget ?fault ?gov ?sink db q =
     let p, _ = plan db q in
     let t0 = Gf_util.Timing.now_s () in
     let c, outcome =
       if domains > 1 then begin
-        let r = Parallel.run ~domains ?budget ?fault ?sink db.graph p in
+        let r = Parallel.run ~domains ?budget ?fault ?gov ?sink db.graph p in
         (r.Parallel.counters, r.Parallel.outcome)
       end
       else if adaptive && Adaptive.adaptable p then begin
-        let gov = Governor.create ?fault (Option.value budget ~default:Governor.unlimited) in
+        let gov =
+          match gov with
+          | Some t -> t
+          | None ->
+              Governor.create ?fault (Option.value budget ~default:Governor.unlimited)
+        in
         let sink = Option.value sink ~default:(fun _ -> ()) in
         let c = fst (Adaptive.run ~gov ~sink db.catalog db.graph q p) in
         (c, Governor.outcome gov)
       end
-      else Exec.run_gov ?budget ?fault ?sink db.graph p
+      else Exec.run_gov ?budget ?fault ?gov ?sink db.graph p
     in
     observe_run (Gf_util.Timing.now_s () -. t0) c outcome;
     (c, outcome)

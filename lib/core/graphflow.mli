@@ -87,12 +87,16 @@ module Db : sig
       reports the structured {!Governor.outcome} — [Completed],
       [Truncated reason] on a budget trip, [Failed error] on an (injected)
       operator fault. Counters and tuples already delivered to [sink] are
-      preserved whatever the outcome. *)
+      preserved whatever the outcome. [gov] supplies an externally created
+      governor — the hook a server uses to cancel in-flight queries from
+      another thread ({!Governor.cancel}); when present, [budget] and
+      [fault] are ignored (they were fixed at the governor's creation). *)
   val run_gov :
     ?adaptive:bool ->
     ?domains:int ->
     ?budget:Governor.budget ->
     ?fault:Governor.fault ->
+    ?gov:Governor.t ->
     ?sink:(int array -> unit) ->
     t ->
     Query.t ->

@@ -23,6 +23,55 @@ let tuple_contains tuple len v =
   let rec go i = i < len && (tuple.(i) = v || go (i + 1)) in
   go 0
 
+(* Deadline granularity inside one E/I intersection. [tick] fires per
+   *produced* tuple, so an intersection over huge adjacency lists that emits
+   few or no tuples used to run to completion — however long — before the
+   governor could see a deadline. Two complementary fixes, both free for
+   small intersections:
+
+   - the lists' total length is charged as governor work up front
+     ([Governor.tick_work], [work_grain] list entries = one tick), bounding
+     the gap *between* expensive intersections;
+   - an intersection whose smallest list is longer than [segment] elements
+     is computed in [segment]-sized sub-slices of that list (the k-way
+     intersection distributes over a partition of any one input), with a
+     work charge between segments — bounding the uninterruptible stretch
+     *inside* a single giant intersection. *)
+let work_grain_shift = 8 (* 256 list entries ~ one produced-tuple tick *)
+let segment = 8192
+
+let governed_intersect env result slices ~scratch ~scratch2 =
+  let nd = Array.length slices in
+  let min_i = ref 0 and min_len = ref max_int and total = ref 0 in
+  for i = 0 to nd - 1 do
+    let l = Sorted.slice_len slices.(i) in
+    total := !total + l;
+    if l < !min_len then begin
+      min_len := l;
+      min_i := i
+    end
+  done;
+  Governor.tick_work env.gov env.c (!total asr work_grain_shift);
+  if !min_len <= segment then
+    if env.leapfrog then Sorted.leapfrog result slices
+    else Sorted.intersect ~scratch2 result slices ~scratch
+  else begin
+    (* A Trip between segments leaves [slices.(min_i)] narrowed, which is
+       fine: the raise unwinds the whole run and the operator state dies
+       with it. *)
+    let arr, lo, hi = slices.(!min_i) in
+    let seg_lo = ref lo in
+    while !seg_lo < hi do
+      let seg_hi = min hi (!seg_lo + segment) in
+      slices.(!min_i) <- (arr, !seg_lo, seg_hi);
+      if env.leapfrog then Sorted.leapfrog result slices
+      else Sorted.intersect ~scratch2 result slices ~scratch;
+      seg_lo := seg_hi;
+      if !seg_lo < hi then Governor.tick_work env.gov env.c segment
+    done;
+    slices.(!min_i) <- (arr, lo, hi)
+  end
+
 (* Compile [plan] into a driver function: [driver sink] runs the pipeline,
    passing each produced tuple (a reused buffer) to [sink]. [rewrite] lets a
    caller (the adaptive executor) take over compilation of chosen sub-plans;
@@ -80,6 +129,7 @@ and compile_structural rewrite env plan =
               else begin
                 env.c.icost <- env.c.icost + (hi - lo);
                 env.c.intersections <- env.c.intersections + 1;
+                Governor.tick_work env.gov env.c ((hi - lo) asr work_grain_shift);
                 last_src := src
               end;
               for i = lo to hi - 1 do
@@ -124,8 +174,7 @@ and compile_structural rewrite env plan =
                 done;
                 env.c.intersections <- env.c.intersections + 1;
                 Int_vec.clear result;
-                if env.leapfrog then Sorted.leapfrog result slices
-                else Sorted.intersect ~scratch2 result slices ~scratch;
+                governed_intersect env result slices ~scratch ~scratch2;
                 Array.blit srcs 0 last_srcs 0 nd;
                 cache_valid := true
               end;
@@ -226,9 +275,12 @@ let run_rw ~rewrite ?cache ?distinct ?leapfrog ?limit ?gov ?prof ?sink g plan =
 let run ?cache ?distinct ?leapfrog ?limit ?prof ?sink g plan =
   run_rw ~rewrite:no_rewrite ?cache ?distinct ?leapfrog ?limit ?prof ?sink g plan
 
-let run_gov ?cache ?distinct ?leapfrog ?budget ?fault ?prof ?sink g plan =
-  let b = Option.value budget ~default:Governor.unlimited in
-  let gov = Governor.create ?fault b in
+let run_gov ?cache ?distinct ?leapfrog ?budget ?fault ?gov ?prof ?sink g plan =
+  let gov =
+    match gov with
+    | Some t -> t
+    | None -> Governor.create ?fault (Option.value budget ~default:Governor.unlimited)
+  in
   run_gov_rw ~rewrite:no_rewrite ?cache ?distinct ?leapfrog ~gov ?prof ?sink g plan
 
 let count ?cache ?distinct g plan =
@@ -294,8 +346,7 @@ let count_fast ?(cache = true) ?(distinct = false) ?(leapfrog = false) g plan =
                 c.Counters.icost <- c.Counters.icost + Sorted.slice_len slice
               done;
               Int_vec.clear result;
-              if leapfrog then Sorted.leapfrog result slices
-              else Sorted.intersect ~scratch2 result slices ~scratch;
+              governed_intersect env result slices ~scratch ~scratch2;
               last_n := Int_vec.length result;
               Array.blit srcs 0 last_srcs 0 nd;
               cache_valid := true

@@ -119,13 +119,17 @@ val run_gov_rw :
     {!Governor.unlimited}) and reports how the query ended: [Completed],
     [Truncated reason] on any budget trip, or [Failed error] on an injected
     fault. Counters and any tuples already delivered to [sink] are
-    preserved in all cases. *)
+    preserved in all cases. [gov] supplies an externally created governor
+    (cross-thread cancellation, e.g. a server draining its in-flight
+    queries); when present, [budget] and [fault] are ignored — they were
+    fixed at the governor's creation. *)
 val run_gov :
   ?cache:bool ->
   ?distinct:bool ->
   ?leapfrog:bool ->
   ?budget:Governor.budget ->
   ?fault:Governor.fault ->
+  ?gov:Governor.t ->
   ?prof:Profile.t ->
   ?sink:(int array -> unit) ->
   Gf_graph.Graph.t ->

@@ -132,6 +132,12 @@ let tick h c =
   h.fuel <- h.fuel - 1;
   if h.fuel <= 0 then check h c
 
+let tick_work h c n =
+  if n > 0 then begin
+    h.fuel <- h.fuel - n;
+    if h.fuel <= 0 then check h c
+  end
+
 let claim_output h =
   let t = h.shared in
   if t.out_cap < max_int then begin

@@ -106,6 +106,14 @@ val cadence : int
     {!check} every {!cadence} calls. *)
 val tick : handle -> Counters.t -> unit
 
+(** [tick_work h c n] charges [n] tuple-equivalents of work at once —
+    used by the E/I operator to account the scanned adjacency-list length
+    of an intersection that produces few (or no) tuples, so a long run of
+    expensive-but-unproductive intersections still reaches a deadline
+    check within one cadence of work rather than one cadence of produced
+    tuples. A no-op when [n <= 0]. *)
+val tick_work : handle -> Counters.t -> int -> unit
+
 (** [check h c] flushes [c.produced] to the shared total, evaluates the
     fault trigger, the intermediate cap and the deadline, and raises {!Trip}
     if the governor has tripped (here or elsewhere). *)

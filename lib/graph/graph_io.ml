@@ -26,11 +26,10 @@ let load_error_to_string e =
 
 let pp_load_error fmt e = Format.pp_print_string fmt (load_error_to_string e)
 
+(* Crash-safe: write a temp sibling and rename into place, so a crash (or
+   kill -9) mid-save never leaves a torn file where a loadable graph was. *)
 let save g path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Gf_util.Atomic_file.write path (fun oc ->
       Printf.fprintf oc "graphflow v1\n";
       Printf.fprintf oc "%d %d %d %d\n" (Graph.num_vertices g) (Graph.num_edges g)
         (Graph.num_vlabels g) (Graph.num_elabels g);

@@ -9,6 +9,10 @@
     v}
     Vertices absent from [v] lines have label 0. *)
 
+(** [save g path] writes the graph crash-safely: the bytes go to a
+    [path.tmp.<pid>] sibling which is renamed over [path] only once fully
+    written ({!Gf_util.Atomic_file}), so a crash mid-save leaves the
+    previous file intact. *)
 val save : Graph.t -> string -> unit
 
 (** What went wrong loading a graph file, and where. [line] is 1-based;

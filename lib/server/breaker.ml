@@ -1,0 +1,121 @@
+module Metrics = Gf_exec.Metrics
+
+type config = {
+  window : int;
+  min_samples : int;
+  failure_threshold : float;
+  cooldown_s : float;
+}
+
+let default_config =
+  { window = 32; min_samples = 8; failure_threshold = 0.5; cooldown_s = 5.0 }
+
+type state = Closed | Open | Half_open
+
+let state_to_string = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type t = {
+  cfg : config;
+  now : unit -> float;
+  m : Mutex.t;
+  ring : bool array;  (** [true] = failure *)
+  mutable head : int;  (** next write position *)
+  mutable filled : int;
+  mutable failures : int;
+  mutable st : state;
+  mutable opened_at : float;
+  mutable probe_in_flight : bool;
+}
+
+let create ?(now = Unix.gettimeofday) cfg =
+  if cfg.window < 1 then invalid_arg "Breaker.create: window < 1";
+  {
+    cfg;
+    now;
+    m = Mutex.create ();
+    ring = Array.make cfg.window false;
+    head = 0;
+    filled = 0;
+    failures = 0;
+    st = Closed;
+    opened_at = neg_infinity;
+    probe_in_flight = false;
+  }
+
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+(* Metrics are looked up by name at transition time (the registry pattern
+   used by [Db.observe_run]) so [Metrics.reset] between tests is safe. *)
+let count_transition which =
+  Metrics.inc
+    (Metrics.counter
+       ~help:("Circuit breaker transitions to " ^ which)
+       ("gf_server_breaker_" ^ which ^ "_total"))
+
+let reset_window t =
+  Array.fill t.ring 0 t.cfg.window false;
+  t.head <- 0;
+  t.filled <- 0;
+  t.failures <- 0
+
+let open_now t =
+  t.st <- Open;
+  t.opened_at <- t.now ();
+  t.probe_in_flight <- false;
+  count_transition "opened"
+
+let state t = with_lock t (fun () -> t.st)
+
+let admit t =
+  with_lock t (fun () ->
+      match t.st with
+      | Closed -> `Admit
+      | Open ->
+          if t.now () -. t.opened_at >= t.cfg.cooldown_s then begin
+            t.st <- Half_open;
+            t.probe_in_flight <- true;
+            count_transition "half_opened";
+            `Admit
+          end
+          else `Reject
+      | Half_open ->
+          if t.probe_in_flight then `Reject
+          else begin
+            t.probe_in_flight <- true;
+            `Admit
+          end)
+
+let record t ~ok =
+  with_lock t (fun () ->
+      match t.st with
+      | Open -> ()
+      | Half_open ->
+          t.probe_in_flight <- false;
+          if ok then begin
+            t.st <- Closed;
+            reset_window t;
+            count_transition "closed"
+          end
+          else open_now t
+      | Closed ->
+          (* Slide the window: retire the value being overwritten. *)
+          if t.filled = t.cfg.window then begin
+            if t.ring.(t.head) then t.failures <- t.failures - 1
+          end
+          else t.filled <- t.filled + 1;
+          t.ring.(t.head) <- not ok;
+          if not ok then t.failures <- t.failures + 1;
+          t.head <- (t.head + 1) mod t.cfg.window;
+          if
+            t.filled >= t.cfg.min_samples
+            && float_of_int t.failures /. float_of_int t.filled
+               >= t.cfg.failure_threshold
+          then begin
+            open_now t;
+            reset_window t
+          end)

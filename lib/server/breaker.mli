@@ -1,0 +1,48 @@
+(** A circuit breaker over recent request outcomes.
+
+    The service records each finished request as ok / not-ok into a sliding
+    window. When the window holds at least [min_samples] results and the
+    failure fraction reaches [failure_threshold], the breaker {e opens}:
+    requests are rejected immediately (fast failure) instead of being run
+    against a backend that is currently melting down. After [cooldown_s]
+    seconds the breaker {e half-opens} and admits exactly one probe
+    request; if the probe succeeds the breaker closes (window reset), if it
+    fails the breaker re-opens and the cooldown restarts.
+
+    All transitions are counted in the {!Gf_exec.Metrics} registry
+    ([gf_server_breaker_opened_total], [..._half_opened_total],
+    [..._closed_total]).
+
+    Thread-safe: every operation takes the breaker's mutex. *)
+
+type config = {
+  window : int;  (** number of recent requests considered *)
+  min_samples : int;  (** no verdict before this many results *)
+  failure_threshold : float;  (** open when failures/window >= this *)
+  cooldown_s : float;  (** seconds open before half-opening *)
+}
+
+val default_config : config
+(** window 32, min_samples 8, threshold 0.5, cooldown 5 s. *)
+
+type state = Closed | Open | Half_open
+
+val state_to_string : state -> string
+
+type t
+
+val create : ?now:(unit -> float) -> config -> t
+(** [now] injects the clock — tests drive the cooldown deterministically
+    with a fake clock; the default is [Unix.gettimeofday]. *)
+
+val state : t -> state
+
+val admit : t -> [ `Admit | `Reject ]
+(** Ask to run one request. [`Admit] in Closed state; in Open state,
+    [`Reject] until the cooldown elapses, then the breaker half-opens and
+    admits the single probe; in Half_open, [`Reject] while the probe is in
+    flight. *)
+
+val record : t -> ok:bool -> unit
+(** Report the outcome of an admitted request. Results arriving while the
+    breaker is Open (stragglers admitted before the trip) are ignored. *)

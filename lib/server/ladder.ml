@@ -1,0 +1,112 @@
+module Gf = Graphflow
+module Governor = Gf.Governor
+module Counters = Gf.Counters
+
+type config = {
+  domains : int;
+  budget : Governor.budget;
+  degraded_budget : Governor.budget;
+  backoff_base_s : float;
+  backoff_cap_s : float;
+}
+
+let default_config =
+  {
+    domains = 1;
+    budget = Governor.unlimited;
+    degraded_budget =
+      Governor.budget ~deadline_s:2.0 ~max_output:10_000 ~max_intermediate:1_000_000 ();
+    backoff_base_s = 0.05;
+    backoff_cap_s = 1.0;
+  }
+
+type rung = { name : string; domains : int; budget : Governor.budget }
+
+let rungs (cfg : config) =
+  let tail =
+    [
+      { name = "sequential"; domains = 1; budget = cfg.budget };
+      { name = "degraded"; domains = 1; budget = cfg.degraded_budget };
+    ]
+  in
+  if cfg.domains > 1 then
+    { name = "parallel"; domains = cfg.domains; budget = cfg.budget } :: tail
+  else tail
+
+type result = {
+  outcome : Governor.outcome;
+  counters : Counters.t;
+  attempts : int;
+  retries : int;
+  degraded : bool;
+  rung : string;
+  backoffs : float list;
+}
+
+let backoff_delay cfg rng attempt =
+  let base = cfg.backoff_base_s *. (2.0 ** float_of_int attempt) in
+  let capped = Float.min base cfg.backoff_cap_s in
+  (* Jitter in [0.5, 1.0) of the capped delay, from the caller's seeded
+     stream — deterministic under a fixed seed. *)
+  capped *. (0.5 +. Gf.Rng.float rng 0.5)
+
+let run ?(sleep = Unix.sleepf) ?(attach = fun _ -> fun () -> ()) ?fault
+    ?(fault_attempts = 1) ?sink ~rng cfg db q =
+  let rungs = rungs cfg in
+  let total = List.length rungs in
+  let backoffs = ref [] in
+  let rec go attempt = function
+    | [] -> assert false
+    | rung :: rest ->
+        let fault = if attempt < fault_attempts then fault else None in
+        let gov = Governor.create ?fault rung.budget in
+        let detach = attach gov in
+        (* Buffer this attempt's rows; flush only if the attempt is
+           accepted, so a failed attempt leaks nothing downstream. *)
+        let buffered = ref [] in
+        let attempt_sink =
+          Option.map
+            (fun _ -> fun tuple -> buffered := Array.copy tuple :: !buffered)
+            sink
+        in
+        let c, outcome =
+          Fun.protect
+            ~finally:(fun () -> detach ())
+            (fun () ->
+              Gf.Db.run_gov ~domains:rung.domains ~gov ?sink:attempt_sink db q)
+        in
+        let finish ~flush ~degraded =
+          (match sink with
+          | Some push when flush -> List.iter push (List.rev !buffered)
+          | _ -> ());
+          {
+            outcome;
+            counters = c;
+            attempts = attempt + 1;
+            retries = attempt;
+            degraded;
+            rung = rung.name;
+            backoffs = List.rev !backoffs;
+          }
+        in
+        match outcome with
+        | Governor.Completed -> finish ~flush:true ~degraded:(rung.name = "degraded")
+        | Governor.Truncated Governor.Cancelled ->
+            (* The service is draining: stop immediately, deliver nothing. *)
+            finish ~flush:false ~degraded:false
+        | Governor.Truncated _ ->
+            (* A truncated answer is the degraded response we were after —
+               retrying under the same budget would truncate again. *)
+            finish ~flush:true ~degraded:true
+        | Governor.Failed _ ->
+            if attempt + 1 >= total then
+              (* Out of rungs: report the failure, leak no partial rows. *)
+              finish ~flush:false ~degraded:false
+            else begin
+              let d = backoff_delay cfg rng attempt in
+              backoffs := d :: !backoffs;
+              sleep d;
+              go (attempt + 1) rest
+            end
+  in
+  go 0 rungs

@@ -1,0 +1,18 @@
+(** The socket front end: accepts connections on a Unix-domain or TCP
+    endpoint and speaks the newline-delimited {!Wire} protocol, one
+    request line in, one JSON response line out, dispatching [run]
+    requests into the {!Service}.
+
+    Shutdown: a [shutdown] request (or SIGINT/SIGTERM) stops the accept
+    loop, drains the service gracefully ({!Service.drain} — queued
+    requests answered [Truncated Cancelled], in-flight queries cancelled
+    through their governors), closes the remaining connections, joins
+    every connection thread, and returns. [serve] then removes the Unix
+    socket path it created. *)
+
+type endpoint = Unix_path of string | Tcp of string * int
+
+val serve : ?on_ready:(endpoint -> unit) -> Service.t -> endpoint -> unit
+(** Blocks until shutdown. [on_ready] fires once the socket is listening
+    (before the first accept) — the hook tests and the CLI use to print
+    the address or release a waiting client. *)

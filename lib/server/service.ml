@@ -1,0 +1,345 @@
+module Gf = Graphflow
+module Governor = Gf.Governor
+module Counters = Gf.Counters
+module Metrics = Gf_exec.Metrics
+
+type config = {
+  queue_capacity : int;
+  workers : int;
+  ladder : Ladder.config;
+  breaker : Breaker.config;
+  fault_seed : int option;
+  seed : int;
+  now : unit -> float;
+  sleep : float -> unit;
+}
+
+let default_config =
+  {
+    queue_capacity = 64;
+    workers = 4;
+    ladder = Ladder.default_config;
+    breaker = Breaker.default_config;
+    fault_seed = None;
+    seed = 42;
+    now = Unix.gettimeofday;
+    sleep = Unix.sleepf;
+  }
+
+type request = {
+  query : Gf.Query.t;
+  timeout_ms : int option;
+  max_rows : int option;
+  max_intermediate : int option;
+  fault_at : int option;
+  fault_all : bool;
+  collect_rows : bool;
+}
+
+let request query =
+  {
+    query;
+    timeout_ms = None;
+    max_rows = None;
+    max_intermediate = None;
+    fault_at = None;
+    fault_all = false;
+    collect_rows = false;
+  }
+
+type reject_reason = Queue_full | Breaker_open | Draining
+
+let reject_reason_to_string = function
+  | Queue_full -> "queue_full"
+  | Breaker_open -> "breaker_open"
+  | Draining -> "draining"
+
+type reply = {
+  id : int;
+  result : Ladder.result;
+  rows : int array list;
+  queue_s : float;
+  exec_s : float;
+}
+
+type ticket = {
+  tid : int;
+  tm : Mutex.t;
+  tcv : Condition.t;
+  mutable answer : reply option;
+}
+
+type job = { req : request; tkt : ticket; enqueued_at : float }
+
+type t = {
+  db : Gf.Db.t;
+  cfg : config;
+  breaker : Breaker.t;
+  m : Mutex.t;
+  not_empty : Condition.t;
+  queue : job Queue.t;
+  active : (int, Governor.t) Hashtbl.t;  (** in-flight attempt governors, by id *)
+  mutable next_id : int;
+  mutable is_draining : bool;
+  mutable threads : Thread.t list;
+}
+
+(* Metrics looked up by name at record time (the [Db.observe_run] pattern)
+   so a [Metrics.reset] between tests is harmless. *)
+let c_inc ?by name help = Metrics.inc ?by (Metrics.counter ~help name)
+
+let fulfill tkt answer =
+  Mutex.lock tkt.tm;
+  tkt.answer <- Some answer;
+  Condition.broadcast tkt.tcv;
+  Mutex.unlock tkt.tm
+
+let run_job t job =
+  let tkt = job.tkt in
+  let queue_s = t.cfg.now () -. job.enqueued_at in
+  Metrics.observe
+    (Metrics.histogram ~help:"Seconds spent in the admission queue"
+       "gf_server_queue_seconds")
+    queue_s;
+  let req = job.req in
+  (* Per-request deterministic streams: backoff jitter from the service
+     seed, chaos faults from the fault seed (GFQ_FAULT_SEED convention). *)
+  let rng = Gf.Rng.create (t.cfg.seed lxor (tkt.tid * 0x9e3779b9)) in
+  let fault =
+    match req.fault_at with
+    | Some at -> Some { Governor.at_tuple = at; operator = "injected" }
+    | None -> (
+        match t.cfg.fault_seed with
+        | None -> None
+        | Some fs ->
+            let frng = Gf.Rng.create (fs lxor (tkt.tid * 0x1f123bb5)) in
+            if Gf.Rng.int frng 4 = 0 then
+              Some { Governor.at_tuple = 1 + Gf.Rng.int frng 2048; operator = "chaos" }
+            else None)
+  in
+  let fault_attempts = if req.fault_all then max_int else 1 in
+  (* Request overrides replace the ladder budget's fields; the degraded
+     budget keeps whichever cap is tighter. *)
+  let override v o = match o with Some _ -> o | None -> v in
+  let tighter a b =
+    match (a, b) with
+    | Some x, Some y -> Some (min x y)
+    | (Some _ as s), None | None, (Some _ as s) -> s
+    | None, None -> None
+  in
+  let deadline = Option.map (fun ms -> float_of_int ms /. 1000.0) req.timeout_ms in
+  let base = t.cfg.ladder.Ladder.budget in
+  let degraded = t.cfg.ladder.Ladder.degraded_budget in
+  let lcfg =
+    {
+      t.cfg.ladder with
+      Ladder.budget =
+        {
+          Governor.deadline_s = override base.Governor.deadline_s deadline;
+          max_output = override base.Governor.max_output req.max_rows;
+          max_intermediate = override base.Governor.max_intermediate req.max_intermediate;
+          max_bytes = base.Governor.max_bytes;
+        };
+      degraded_budget =
+        {
+          Governor.deadline_s = tighter degraded.Governor.deadline_s deadline;
+          max_output = tighter degraded.Governor.max_output req.max_rows;
+          max_intermediate = tighter degraded.Governor.max_intermediate req.max_intermediate;
+          max_bytes = degraded.Governor.max_bytes;
+        };
+    }
+  in
+  let attach gov =
+    Mutex.lock t.m;
+    (* A drain may have started since this job was dequeued: make sure the
+       attempt sees the cancellation rather than running to completion. *)
+    if t.is_draining then Governor.cancel gov;
+    Hashtbl.replace t.active tkt.tid gov;
+    Mutex.unlock t.m;
+    fun () ->
+      Mutex.lock t.m;
+      Hashtbl.remove t.active tkt.tid;
+      Mutex.unlock t.m
+  in
+  let rows = ref [] in
+  let sink = if req.collect_rows then Some (fun r -> rows := r :: !rows) else None in
+  let t0 = t.cfg.now () in
+  let result =
+    Ladder.run ~sleep:t.cfg.sleep ~attach ?fault ~fault_attempts ?sink ~rng lcfg t.db
+      req.query
+  in
+  let exec_s = t.cfg.now () -. t0 in
+  let ok = match result.Ladder.outcome with Governor.Failed _ -> false | _ -> true in
+  Breaker.record t.breaker ~ok;
+  (match result.Ladder.outcome with
+  | Governor.Completed ->
+      c_inc "gf_server_requests_completed_total" "Requests answered Completed"
+  | Governor.Truncated _ ->
+      c_inc "gf_server_requests_truncated_total" "Requests answered Truncated"
+  | Governor.Failed _ ->
+      c_inc "gf_server_requests_failed_total" "Requests answered Failed");
+  if result.Ladder.retries > 0 then
+    c_inc ~by:result.Ladder.retries "gf_server_retries_total"
+      "Ladder retries across all requests";
+  if result.Ladder.degraded then
+    c_inc "gf_server_degraded_total" "Requests answered from a degraded rung";
+  Metrics.observe
+    (Metrics.histogram ~help:"Request execution seconds (attempts + backoffs)"
+       "gf_server_request_seconds")
+    exec_s;
+  fulfill tkt { id = tkt.tid; result; rows = List.rev !rows; queue_s; exec_s }
+
+let rec worker_loop t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.queue && not t.is_draining do
+    Condition.wait t.not_empty t.m
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.m (* draining: exit *)
+  else begin
+    let job = Queue.pop t.queue in
+    Mutex.unlock t.m;
+    run_job t job;
+    worker_loop t
+  end
+
+let create ?(config = default_config) db =
+  let t =
+    {
+      db;
+      cfg = config;
+      breaker = Breaker.create ~now:config.now config.breaker;
+      m = Mutex.create ();
+      not_empty = Condition.create ();
+      queue = Queue.create ();
+      active = Hashtbl.create 16;
+      next_id = 0;
+      is_draining = false;
+      threads = [];
+    }
+  in
+  t.threads <- List.init config.workers (fun _ -> Thread.create worker_loop t);
+  t
+
+let submit_async t req =
+  Mutex.lock t.m;
+  let decision =
+    if t.is_draining then begin
+      c_inc "gf_server_shed_draining_total" "Requests shed while draining";
+      Error Draining
+    end
+    else if Queue.length t.queue >= t.cfg.queue_capacity then begin
+      c_inc "gf_server_shed_queue_full_total" "Requests shed by the bounded queue";
+      Error Queue_full
+    end
+    else
+      (* Breaker last, so a full queue cannot eat the half-open probe. *)
+      match Breaker.admit t.breaker with
+      | `Reject ->
+          c_inc "gf_server_shed_breaker_open_total"
+            "Requests shed by the open circuit breaker";
+          Error Breaker_open
+      | `Admit ->
+          t.next_id <- t.next_id + 1;
+          let tkt =
+            {
+              tid = t.next_id;
+              tm = Mutex.create ();
+              tcv = Condition.create ();
+              answer = None;
+            }
+          in
+          Queue.push { req; tkt; enqueued_at = t.cfg.now () } t.queue;
+          c_inc "gf_server_admitted_total" "Requests admitted to the queue";
+          Condition.signal t.not_empty;
+          Ok tkt
+  in
+  Mutex.unlock t.m;
+  decision
+
+let await _t tkt =
+  Mutex.lock tkt.tm;
+  while tkt.answer = None do
+    Condition.wait tkt.tcv tkt.tm
+  done;
+  let answer = Option.get tkt.answer in
+  Mutex.unlock tkt.tm;
+  answer
+
+let fulfilled tkt =
+  Mutex.lock tkt.tm;
+  let r = tkt.answer <> None in
+  Mutex.unlock tkt.tm;
+  r
+
+let step t =
+  Mutex.lock t.m;
+  if Queue.is_empty t.queue then begin
+    Mutex.unlock t.m;
+    false
+  end
+  else begin
+    let job = Queue.pop t.queue in
+    Mutex.unlock t.m;
+    run_job t job;
+    true
+  end
+
+let submit t req =
+  match submit_async t req with
+  | Error r -> Error r
+  | Ok tkt ->
+      if t.cfg.workers = 0 then while (not (fulfilled tkt)) && step t do () done;
+      Ok (await t tkt)
+
+let drain t =
+  Mutex.lock t.m;
+  let first = not t.is_draining in
+  t.is_draining <- true;
+  let queued = Queue.fold (fun acc j -> j :: acc) [] t.queue in
+  Queue.clear t.queue;
+  let govs = Hashtbl.fold (fun _ g acc -> g :: acc) t.active [] in
+  let threads = t.threads in
+  t.threads <- [];
+  Condition.broadcast t.not_empty;
+  Mutex.unlock t.m;
+  (* Cancel in-flight attempts: their governors trip at the next check and
+     the ladder reports [Truncated Cancelled]. *)
+  List.iter Governor.cancel govs;
+  (* Answer everything still queued without running it. *)
+  List.iter
+    (fun job ->
+      c_inc "gf_server_requests_truncated_total" "Requests answered Truncated";
+      fulfill job.tkt
+        {
+          id = job.tkt.tid;
+          result =
+            {
+              Ladder.outcome = Governor.Truncated Governor.Cancelled;
+              counters = Counters.create ();
+              attempts = 0;
+              retries = 0;
+              degraded = false;
+              rung = "none";
+              backoffs = [];
+            };
+          rows = [];
+          queue_s = t.cfg.now () -. job.enqueued_at;
+          exec_s = 0.0;
+        })
+    (List.rev queued);
+  List.iter Thread.join threads;
+  if first then c_inc "gf_server_drains_total" "Service drains completed"
+
+let draining t =
+  Mutex.lock t.m;
+  let d = t.is_draining in
+  Mutex.unlock t.m;
+  d
+
+let queue_depth t =
+  Mutex.lock t.m;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.m;
+  n
+
+let breaker_state t = Breaker.state t.breaker

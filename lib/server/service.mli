@@ -1,0 +1,96 @@
+(** The concurrent query service: a bounded admission queue in front of a
+    worker pool, each request executed through the {!Ladder} under the
+    {!Breaker}'s verdict.
+
+    Admission ({!submit_async}) never blocks: when the service is draining,
+    the queue is full, or the breaker is open, it returns a structured
+    rejection immediately (load shedding). Checks run in that order, so a
+    full queue cannot consume the breaker's half-open probe.
+
+    Shutdown ({!drain}) is graceful: admission stops, requests still queued
+    are answered [Truncated Cancelled] without running, in-flight requests
+    are cancelled through their registered governors
+    ({!Gf.Governor.cancel}), and worker threads are joined before [drain]
+    returns. Idempotent.
+
+    Everything observable is counted in the {!Gf_exec.Metrics} registry:
+    [gf_server_admitted_total], the three [gf_server_shed_*_total]
+    rejection counters, [gf_server_requests_{completed,truncated,failed}_total],
+    [gf_server_retries_total], [gf_server_degraded_total],
+    [gf_server_drains_total], and the [gf_server_queue_seconds] /
+    [gf_server_request_seconds] histograms.
+
+    With [workers = 0] no threads are spawned and {!step} pumps the queue
+    synchronously — the deterministic mode the unit tests use. *)
+
+module Gf = Graphflow
+
+type config = {
+  queue_capacity : int;
+  workers : int;
+  ladder : Ladder.config;
+  breaker : Breaker.config;
+  fault_seed : int option;
+      (** chaos source: when set, roughly one request in four gets a
+          deterministic first-attempt fault derived from this seed and the
+          request id (the [GFQ_FAULT_SEED] convention) *)
+  seed : int;  (** seeds per-request backoff-jitter streams *)
+  now : unit -> float;  (** injectable clock (breaker cooldown, latency) *)
+  sleep : float -> unit;  (** injectable backoff sleep *)
+}
+
+val default_config : config
+(** capacity 64, workers 4, default ladder/breaker, no chaos, seed 42,
+    real clock and sleep. *)
+
+(** One query request. [None] budget fields inherit the ladder's budget. *)
+type request = {
+  query : Gf.Query.t;
+  timeout_ms : int option;
+  max_rows : int option;
+  max_intermediate : int option;
+  fault_at : int option;  (** explicit injected fault (testing) *)
+  fault_all : bool;  (** fault every attempt, not just the first *)
+  collect_rows : bool;  (** buffer result rows into the reply *)
+}
+
+val request : Gf.Query.t -> request
+(** A plain request: no overrides, rows not collected. *)
+
+type reject_reason = Queue_full | Breaker_open | Draining
+
+val reject_reason_to_string : reject_reason -> string
+
+type reply = {
+  id : int;  (** admission ticket number, 1-based *)
+  result : Ladder.result;
+  rows : int array list;  (** in emission order; [] unless [collect_rows] *)
+  queue_s : float;  (** time spent queued *)
+  exec_s : float;  (** time spent executing (all attempts + backoffs) *)
+}
+
+type ticket
+type t
+
+val create : ?config:config -> Gf.Db.t -> t
+
+val submit_async : t -> request -> (ticket, reject_reason) result
+(** Non-blocking admission. [Error] is the structured shed decision;
+    rejected requests do no work at all. *)
+
+val await : t -> ticket -> reply
+(** Block until the ticket's request has been answered (run, or cancelled
+    by {!drain}). *)
+
+val submit : t -> request -> (reply, reject_reason) result
+(** [submit_async] + [await]. With [workers = 0] the request is pumped
+    inline, so this is also the synchronous single-threaded entry point. *)
+
+val step : t -> bool
+(** Run one queued request on the calling thread; [false] when the queue
+    is empty. The [workers = 0] test pump. *)
+
+val drain : t -> unit
+val draining : t -> bool
+val queue_depth : t -> int
+val breaker_state : t -> Breaker.state

@@ -1,0 +1,152 @@
+module Gf = Graphflow
+
+let json_escape = Gf.Explain.json_escape
+
+(* A parse error rendered with a caret under the offending offset (the
+   same presentation as the gfq CLI). *)
+let show_parse_error (e : Gf.Parse_error.t) =
+  Printf.sprintf "parse error: %s | %s | %s^" e.Gf.Parse_error.message
+    e.Gf.Parse_error.input
+    (String.make (min e.Gf.Parse_error.pos (String.length e.Gf.Parse_error.input)) ' ')
+
+let parse_query s =
+  match
+    if String.length s >= 2 && s.[0] = 'Q' then
+      int_of_string_opt (String.sub s 1 (String.length s - 1))
+    else None
+  with
+  | Some i -> (
+      match Gf.Patterns.q i with
+      | q -> Ok q
+      | exception (Failure m | Invalid_argument m) -> Error m)
+  | None ->
+      let upper = String.uppercase_ascii (String.trim s) in
+      if String.length upper >= 5 && String.sub upper 0 5 = "MATCH" then
+        match Gf.Cypher.parse_result s with
+        | Ok (q, _) -> Ok q
+        | Error e -> Error (show_parse_error e)
+      else (
+        match Gf.Query_parser.parse_result s with
+        | Ok q -> Ok q
+        | Error e -> Error (show_parse_error e))
+
+type request = Ping | Metrics_req | Shutdown | Run of Service.request
+
+exception Bad of string
+
+let parse_run rest =
+  let timeout = ref None
+  and max_rows = ref None
+  and max_inter = ref None
+  and fault_at = ref None
+  and fault_all = ref false
+  and collect = ref false in
+  let len = String.length rest in
+  let int_v k v =
+    match int_of_string_opt v with
+    | Some n when n >= 0 -> n
+    | _ -> raise (Bad (Printf.sprintf "option %s needs a non-negative integer, got %S" k v))
+  in
+  let rec go i =
+    if i >= len then raise (Bad "missing q=<query>")
+    else if rest.[i] = ' ' then go (i + 1)
+    else if i + 2 <= len && String.sub rest i 2 = "q=" then
+      (* q= consumes the rest of the line. *)
+      String.sub rest (i + 2) (len - i - 2)
+    else begin
+      let j = match String.index_from_opt rest i ' ' with Some j -> j | None -> len in
+      let tok = String.sub rest i (j - i) in
+      (match String.index_opt tok '=' with
+      | None -> (
+          (* Boolean options may appear as bare flags. *)
+          match tok with
+          | "fault_all" -> fault_all := true
+          | "rows" -> collect := true
+          | _ -> raise (Bad (Printf.sprintf "bad option %S (expected key=value)" tok)))
+      | Some eq -> (
+          let k = String.sub tok 0 eq in
+          let v = String.sub tok (eq + 1) (String.length tok - eq - 1) in
+          match k with
+          | "timeout_ms" -> timeout := Some (int_v k v)
+          | "max_rows" -> max_rows := Some (int_v k v)
+          | "max_intermediate" -> max_inter := Some (int_v k v)
+          | "fault_at" -> fault_at := Some (int_v k v)
+          | "fault_all" -> fault_all := v = "1" || v = "true"
+          | "rows" -> collect := v = "1" || v = "true"
+          | _ -> raise (Bad (Printf.sprintf "unknown option %S" k))));
+      go j
+    end
+  in
+  let qtext = go 0 in
+  match parse_query qtext with
+  | Error e -> Error e
+  | Ok query ->
+      Ok
+        {
+          (Service.request query) with
+          Service.timeout_ms = !timeout;
+          max_rows = !max_rows;
+          max_intermediate = !max_inter;
+          fault_at = !fault_at;
+          fault_all = !fault_all;
+          collect_rows = !collect;
+        }
+
+let parse_request line =
+  let line = String.trim line in
+  match line with
+  | "" -> Error "empty request"
+  | "ping" -> Ok Ping
+  | "metrics" -> Ok Metrics_req
+  | "shutdown" -> Ok Shutdown
+  | _ ->
+      let run_body =
+        if line = "run" then Some ""
+        else if String.length line > 4 && String.sub line 0 4 = "run " then
+          Some (String.sub line 4 (String.length line - 4))
+        else None
+      in
+      let body_result =
+        match run_body with
+        | Some body -> ( try parse_run body with Bad m -> Error m)
+        | None -> (
+            (* A bare line is a plain run of that query. *)
+            match parse_query line with
+            | Ok q -> Ok (Service.request q)
+            | Error e -> Error e)
+      in
+      Result.map (fun r -> Run r) body_result
+
+let pong = {|{"ok":true,"type":"pong"}|}
+let draining_resp = {|{"ok":false,"error":"rejected","reason":"draining"}|}
+
+let rows_json rows =
+  let row r =
+    "[" ^ String.concat "," (Array.to_list (Array.map string_of_int r)) ^ "]"
+  in
+  "[" ^ String.concat "," (List.map row rows) ^ "]"
+
+let ok_run ~(reply : Service.reply) =
+  let r = reply.Service.result in
+  let base =
+    Printf.sprintf
+      "{\"ok\":true,\"id\":%d,\"outcome\":\"%s\",\"matches\":%d,\"attempts\":%d,\"retries\":%d,\"degraded\":%b,\"rung\":\"%s\",\"queue_s\":%.6f,\"exec_s\":%.6f"
+      reply.Service.id
+      (json_escape (Gf.Governor.outcome_to_string r.Ladder.outcome))
+      r.Ladder.counters.Gf.Counters.output r.Ladder.attempts r.Ladder.retries
+      r.Ladder.degraded (json_escape r.Ladder.rung) reply.Service.queue_s
+      reply.Service.exec_s
+  in
+  if reply.Service.rows = [] then base ^ "}"
+  else base ^ ",\"rows\":" ^ rows_json reply.Service.rows ^ "}"
+
+let rejected reason =
+  Printf.sprintf "{\"ok\":false,\"error\":\"rejected\",\"reason\":\"%s\"}"
+    (Service.reject_reason_to_string reason)
+
+let error_resp ~kind ~detail =
+  Printf.sprintf "{\"ok\":false,\"error\":\"%s\",\"detail\":\"%s\"}" (json_escape kind)
+    (json_escape detail)
+
+let metrics_resp exposition =
+  Printf.sprintf "{\"ok\":true,\"metrics\":\"%s\"}" (json_escape exposition)

@@ -1,0 +1,52 @@
+(** The newline-delimited request/response protocol spoken by [gfq serve].
+
+    Requests are single lines:
+    {v
+    ping
+    metrics
+    shutdown
+    run [timeout_ms=N] [max_rows=N] [max_intermediate=N]
+        [fault_at=N] [fault_all] [rows] q=<query>
+    <query>                        (a bare line is a plain run)
+    v}
+    where [<query>] is anything [gfq] accepts: the edge-list DSL
+    ([a1->a2, a2->a3, a1->a3]), a [MATCH ...] pattern, or [Q1..Q14].
+    The [q=] option must come last — it consumes the rest of the line.
+
+    Responses are single JSON lines, always with a boolean ["ok"]:
+    {v
+    {"ok":true,"type":"pong"}
+    {"ok":true,"id":3,"outcome":"completed","matches":980,...}
+    {"ok":false,"error":"rejected","reason":"queue_full"}
+    {"ok":false,"error":"parse","detail":"..."}
+    v} *)
+
+module Gf = Graphflow
+
+type request =
+  | Ping
+  | Metrics_req
+  | Shutdown
+  | Run of Service.request
+
+val parse_request : string -> (request, string) result
+(** [Error detail] on an unknown keyword, malformed option, or query parse
+    error ([detail] includes the caret-annotated position for the DSL). *)
+
+val parse_query : string -> (Gf.Query.t, string) result
+(** Q1..Q14 / [MATCH ...] / edge-list DSL — the [gfq] query surface. *)
+
+(** Response builders (single JSON lines, no trailing newline). *)
+
+val pong : string
+val draining_resp : string
+
+val ok_run : reply:Service.reply -> string
+(** Includes outcome, matches, attempts/retries/degraded/rung, queue and
+    exec seconds, and — when the request collected rows — the rows. *)
+
+val rejected : Service.reject_reason -> string
+val error_resp : kind:string -> detail:string -> string
+val metrics_resp : string -> string
+(** Wraps the Prometheus exposition as [{"ok":true,"metrics":"..."}] with
+    newlines escaped, keeping the one-line framing. *)

@@ -1,0 +1,15 @@
+(** Crash-safe file writes: write-to-temp-then-rename.
+
+    [write path f] writes the file produced by [f] to a temporary sibling
+    ([path.tmp.<pid>], same directory so the rename cannot cross a
+    filesystem), fsyncs it, and atomically renames it over [path]. A crash
+    — or an exception from [f] — at any point before the rename leaves the
+    previous contents of [path] intact; at worst a stale [*.tmp.*] sibling
+    survives a kill -9, and the next successful [write] simply replaces the
+    target. On an exception the temp file is removed and the exception
+    re-raised. *)
+
+(** [write path f] atomically replaces [path] with the bytes [f] writes.
+    [fsync] (default [true]) flushes the temp file to disk before the
+    rename, so a machine crash cannot publish a hole-filled file. *)
+val write : ?fsync:bool -> string -> (out_channel -> unit) -> unit

@@ -2,6 +2,7 @@
    cancellation promptness, and deterministic fault injection. The fault
    seed honors GFQ_FAULT_SEED so CI can sweep unwinding points. *)
 
+module Graph = Gf_graph.Graph
 module Generators = Gf_graph.Generators
 module Rng = Gf_util.Rng
 module Timing = Gf_util.Timing
@@ -252,6 +253,129 @@ let test_fault_mid_hash_build () =
   check_bool "rerun completes" true (r2.Parallel.outcome = Governor.Completed);
   check_int "rerun count intact" (Exec.count g plan) r2.Parallel.counters.Counters.output
 
+(* Two labeled anchors [a] (label 1) and [b] (label 2), each pointing at
+   its own block of label-0 targets — [overlap] of them shared, plus
+   [private_each] private per anchor — and the single edge [a -> b]. The
+   labeled triangle below scans exactly one tuple off that edge and then
+   closes with one intersection over both (huge) adjacency lists. *)
+let anchored_graph ~overlap ~private_each =
+  let n = 2 + overlap + (2 * private_each) in
+  let vlabel = Array.make n 0 in
+  vlabel.(0) <- 1;
+  vlabel.(1) <- 2;
+  let edges = ref [ (0, 1, 0) ] in
+  for i = 0 to overlap - 1 do
+    let v = 2 + i in
+    edges := (0, v, 0) :: (1, v, 0) :: !edges
+  done;
+  for i = 0 to private_each - 1 do
+    edges := (0, 2 + overlap + i, 0) :: !edges;
+    edges := (1, 2 + overlap + private_each + i, 0) :: !edges
+  done;
+  Graph.build ~num_vlabels:3 ~num_elabels:1 ~vlabel ~edges:(Array.of_list !edges)
+
+let anchored_triangle () =
+  Query.create ~num_vertices:3 ~vlabels:[| 1; 2; 0 |]
+    ~edges:
+      [|
+        { Query.src = 0; dst = 1; label = 0 };
+        { Query.src = 0; dst = 2; label = 0 };
+        { Query.src = 1; dst = 2; label = 0 };
+      |]
+    ()
+
+let test_tick_granularity () =
+  (* Regression for deadline granularity inside one E/I intersection. The
+     closing intersection here scans 100k adjacency entries and produces
+     nothing, while the scan produced a single tuple — far less than one
+     check cadence. Before work-based ticking the governor never looked
+     during (or after) the intersection, so an at_tuple=1 fault and an
+     already-expired deadline were both silently outrun: the run came back
+     Completed. With [tick_work] the scanned list length itself drains the
+     check fuel. Fully deterministic — no wall-clock assertions. *)
+  let g = anchored_graph ~overlap:0 ~private_each:50_000 in
+  let plan = identity_wco (anchored_triangle ()) in
+  check_int "the query itself is empty" 0 (Exec.count g plan);
+  let fault = { Governor.at_tuple = 1; operator = "granularity" } in
+  let _, o = Exec.run_gov ~fault g plan in
+  (match o with
+  | Governor.Failed e ->
+      check_bool "fault operator recorded" true (e.Governor.operator = "granularity")
+  | _ -> Alcotest.fail "fault must be seen inside the unproductive intersection");
+  let _, o = Exec.run_gov ~budget:(Governor.budget ~deadline_s:0.0 ()) g plan in
+  check_bool "expired deadline seen mid-intersection" true
+    (is_truncated Governor.Deadline o)
+
+let test_segmented_intersection () =
+  (* Adjacency lists longer than the segmentation threshold (8192): the
+     k-way intersection is computed over sub-slices of its smallest input.
+     Both kernels must still find exactly the shared targets, and a tripped
+     budget must unwind before the (well-known) full result is emitted. *)
+  let overlap = 9_000 and private_each = 2_000 in
+  let g = anchored_graph ~overlap ~private_each in
+  let plan = identity_wco (anchored_triangle ()) in
+  let collect ?leapfrog () =
+    let rows = ref [] in
+    let _, o =
+      Exec.run_gov ?leapfrog ~sink:(fun t -> rows := Array.copy t :: !rows) g plan
+    in
+    check_bool "completed" true (o = Governor.Completed);
+    List.sort compare !rows
+  in
+  let pairwise = collect () in
+  let lf = collect ~leapfrog:true () in
+  check_int "pairwise finds every shared target" overlap (List.length pairwise);
+  check_bool "leapfrog agrees with pairwise" true (pairwise = lf);
+  let c, o = Exec.run_gov ~budget:(Governor.budget ~deadline_s:0.0 ()) g plan in
+  check_bool "deadline trips inside the segmented intersection" true
+    (is_truncated Governor.Deadline o);
+  check_bool "tripped before the full result" true (c.Counters.output < overlap)
+
+let test_fault_seed_sweep () =
+  (* GFQ_FAULT_SEED sweep: wherever the seeded fault lands, a Failed run
+     reports only rows the clean run reports and no duplicates, and a run
+     the fault misses entirely (at_tuple past the produced total) is exact.
+     No budget is set, so Truncated is impossible. Sequential and 2-domain
+     parallel both hold the guarantee. *)
+  let g = graph () in
+  let plan = triangle_plan () in
+  let full = Hashtbl.create 4096 in
+  let full_n = ref 0 in
+  let _, o =
+    Exec.run_gov
+      ~sink:(fun t ->
+        Hashtbl.replace full (key t) ();
+        incr full_n)
+      g plan
+  in
+  check_bool "reference completed" true (o = Governor.Completed);
+  for s = fault_seed to fault_seed + 9 do
+    let rng = Rng.create s in
+    let at = 1 + Rng.int rng 6_000 in
+    let fault = { Governor.at_tuple = at; operator = "sweep" } in
+    let tag what = Printf.sprintf "seed %d: %s" s what in
+    let seen = ref [] in
+    let _, o = Exec.run_gov ~fault ~sink:(fun t -> seen := key t :: !seen) g plan in
+    List.iter (fun k -> check_bool (tag "seq subset of full") true (Hashtbl.mem full k)) !seen;
+    let dedup = Hashtbl.create 64 in
+    List.iter (fun k -> Hashtbl.replace dedup k ()) !seen;
+    check_int (tag "seq no duplicates") (List.length !seen) (Hashtbl.length dedup);
+    (match o with
+    | Governor.Completed -> check_int (tag "untripped run exact") !full_n (List.length !seen)
+    | Governor.Failed _ -> check_bool (tag "failed run emits no more than full") true
+        (List.length !seen <= !full_n)
+    | Governor.Truncated _ -> Alcotest.fail (tag "no budget: Truncated impossible"));
+    let seen_p = ref [] in
+    let r = Parallel.run ~domains:2 ~fault ~sink:(fun t -> seen_p := key t :: !seen_p) g plan in
+    List.iter
+      (fun k -> check_bool (tag "par subset of full") true (Hashtbl.mem full k))
+      !seen_p;
+    match r.Parallel.outcome with
+    | Governor.Completed -> check_int (tag "par untripped exact") !full_n (List.length !seen_p)
+    | Governor.Failed _ -> ()
+    | Governor.Truncated _ -> Alcotest.fail (tag "par: no budget: Truncated impossible")
+  done
+
 let test_sink_exception_releases_mutex () =
   (* A sink that throws mid-run must not leave the sink mutex locked: the
      other domain would deadlock on its next emit and the run never return. *)
@@ -286,6 +410,10 @@ let suite =
         Alcotest.test_case "cancel from another domain" `Quick test_cancel_from_another_domain;
         Alcotest.test_case "fault mid-extend" `Quick test_fault_mid_extend;
         Alcotest.test_case "fault mid-hash-build" `Quick test_fault_mid_hash_build;
+        Alcotest.test_case "tick granularity mid-intersection" `Quick test_tick_granularity;
+        Alcotest.test_case "segmented intersection correct" `Quick
+          test_segmented_intersection;
+        Alcotest.test_case "fault seed sweep" `Quick test_fault_seed_sweep;
         Alcotest.test_case "sink exception frees mutex" `Quick test_sink_exception_releases_mutex;
       ] );
   ]

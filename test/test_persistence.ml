@@ -70,6 +70,158 @@ let test_catalog_load_errors () =
   check_bool "bad params" true (fails "graphflow-catalog v1\nxyz\n");
   check_bool "orphan size" true (fails "graphflow-catalog v1\n3 100\nsize 0 f 0 1.0\n")
 
+(* --- crash-safe writes and structured catalog errors ------------------- *)
+
+let read_all p = In_channel.with_open_text p In_channel.input_all
+let write_file p s = Out_channel.with_open_text p (fun oc -> output_string oc s)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "gf_persist" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+let tmp_siblings dir =
+  Sys.readdir dir |> Array.to_list |> List.filter (fun n -> contains n ".tmp.")
+
+let test_atomic_file_crash () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "data.txt" in
+      Gf_util.Atomic_file.write path (fun oc -> output_string oc "version-1\n");
+      check_bool "written" true (read_all path = "version-1\n");
+      (* The writer dies mid-write: the previous contents survive, the temp
+         is removed, and the exception propagates. *)
+      let raised =
+        try
+          Gf_util.Atomic_file.write path (fun oc ->
+              output_string oc "version-2 partial";
+              failwith "simulated crash");
+          false
+        with Failure _ -> true
+      in
+      check_bool "exception propagates" true raised;
+      check_bool "previous contents intact" true (read_all path = "version-1\n");
+      check_int "no temp sibling left" 0 (List.length (tmp_siblings dir));
+      (* A stale temp from a kill -9'd process never shadows the target: the
+         next successful write still replaces the target atomically. *)
+      write_file (path ^ ".tmp.999999") "torn half-writ";
+      Gf_util.Atomic_file.write path (fun oc -> output_string oc "version-3\n");
+      check_bool "stale tmp ignored by readers of the target" true
+        (read_all path = "version-3\n"))
+
+let test_saves_leave_no_tmp () =
+  let g = graph () in
+  with_temp_dir (fun dir ->
+      let cpath = Filename.concat dir "cat.txt" in
+      let gpath = Filename.concat dir "graph.txt" in
+      let cat = Catalog.create ~h:3 ~z:200 g in
+      ignore (Catalog.entry cat Patterns.asymmetric_triangle ~new_vertex:2);
+      Catalog.save cat cpath;
+      Graph_io.save g gpath;
+      check_int "no temp siblings after save" 0 (List.length (tmp_siblings dir));
+      check_bool "catalog loads back" true (Catalog.num_entries (Catalog.load g cpath) >= 1);
+      check_bool "graph loads back" true (Result.is_ok (Graph_io.load_result gpath)))
+
+let test_catalog_save_torn () =
+  (* kill -9 mid-save: the in-progress temp is torn and never renamed; the
+     published file is byte-identical and still loads. The torn bytes
+     themselves are detected as corrupt, never silently accepted. *)
+  let g = graph () in
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "cat.txt" in
+      let cat = Catalog.create ~h:3 ~z:200 g in
+      ignore (Catalog.entry cat Patterns.asymmetric_triangle ~new_vertex:2);
+      ignore (Catalog.entry cat Patterns.diamond_x ~new_vertex:3);
+      Catalog.save cat path;
+      let v1_bytes = read_all path in
+      let n = Catalog.num_entries (Catalog.load g path) in
+      let stale = Printf.sprintf "%s.tmp.%d" path 999999 in
+      write_file stale (String.sub v1_bytes 0 (String.length v1_bytes * 2 / 3));
+      check_bool "published file untouched" true (read_all path = v1_bytes);
+      check_int "and still loads" n (Catalog.num_entries (Catalog.load g path));
+      (match Catalog.load_result g stale with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "torn temp file must not load");
+      (* The next save simply replaces the target. *)
+      ignore (Catalog.entry cat (Patterns.cycle 3) ~new_vertex:2);
+      Catalog.save cat path;
+      check_bool "resave replaces target" true
+        (Catalog.num_entries (Catalog.load g path) >= n))
+
+let test_catalog_structured_errors () =
+  let g = graph () in
+  let error_of content =
+    let path = Filename.temp_file "gf_cat" ".txt" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        write_file path content;
+        match Catalog.load_result g path with
+        | Ok _ -> Alcotest.fail ("accepted corrupt input: " ^ String.escaped content)
+        | Error e -> e)
+  in
+  (match Catalog.load_result g "/nonexistent/gf_cat.txt" with
+  | Error { kind = Catalog.Unreadable _; _ } -> ()
+  | _ -> Alcotest.fail "missing file must be Unreadable");
+  (match (error_of "nope\n").Catalog.kind with
+  | Catalog.Bad_header "nope" -> ()
+  | _ -> Alcotest.fail "expected Bad_header");
+  (match (error_of "graphflow-catalog v1\nxyz\n").Catalog.kind with
+  | Catalog.Bad_params "xyz" -> ()
+  | _ -> Alcotest.fail "wrong parameter arity must be Bad_params");
+  (match (error_of "graphflow-catalog v1\n3 abc\n").Catalog.kind with
+  | Catalog.Bad_token "abc" -> ()
+  | _ -> Alcotest.fail "non-integer parameter must be Bad_token");
+  (let e = error_of "graphflow-catalog v1\n3 100\nsize 0 f 0 1.0\n" in
+   (match e.Catalog.kind with
+   | Catalog.Orphan_size -> ()
+   | _ -> Alcotest.fail "size before any entry must be Orphan_size");
+   check_int "line points at the offender" 3 e.Catalog.line);
+  (match
+     (error_of
+        "graphflow-catalog v1\n3 100\nentry ab 1.0 2.0 3 2\nsize 0 f 0 1.0\nend\n")
+       .Catalog.kind
+   with
+  | Catalog.Size_count_mismatch { expected = 2; got = 1 } -> ()
+  | _ -> Alcotest.fail "short size section must be Size_count_mismatch");
+  (match
+     (error_of "graphflow-catalog v1\n3 100\nentry ab 1.0 2.0 3 1\nsize 0 x 0 1.0\n")
+       .Catalog.kind
+   with
+  | Catalog.Bad_token "x" -> ()
+  | _ -> Alcotest.fail "bad direction must be Bad_token");
+  (* v2 carries the entry count and a trailing end marker: both a missing
+     entry and a missing marker mean the file is torn. *)
+  (match
+     (error_of "graphflow-catalog v2\n3 100 2\nentry ab 1.0 2.0 3 0\nend\n").Catalog.kind
+   with
+  | Catalog.Truncated { expected_entries = 2; got = 1 } -> ()
+  | _ -> Alcotest.fail "missing entry must be Truncated");
+  (match
+     (error_of "graphflow-catalog v2\n3 100 1\nentry ab 1.0 2.0 3 0\n").Catalog.kind
+   with
+  | Catalog.Truncated { expected_entries = 1; got = 1 } -> ()
+  | _ -> Alcotest.fail "missing end marker must be Truncated");
+  (* A well-formed v1 file (no count, no marker) still loads. *)
+  let v1 = "graphflow-catalog v1\n3 100\nentry ab 1.0 2.0 3 1\nsize 0 f 0 1.0\n" in
+  let path = Filename.temp_file "gf_cat" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      write_file path v1;
+      match Catalog.load_result g path with
+      | Ok t -> check_int "v1 accepted" 1 (Catalog.num_entries t)
+      | Error e -> Alcotest.fail (Catalog.load_error_to_string e))
+
 let test_count_fast_matches_count () =
   let g = graph () in
   let open Gf_plan in
@@ -176,6 +328,10 @@ let suite =
         Alcotest.test_case "catalog roundtrip" `Quick test_catalog_roundtrip;
         Alcotest.test_case "load then extend" `Quick test_catalog_load_then_extend;
         Alcotest.test_case "load errors" `Quick test_catalog_load_errors;
+        Alcotest.test_case "atomic write crash" `Quick test_atomic_file_crash;
+        Alcotest.test_case "saves leave no temp" `Quick test_saves_leave_no_tmp;
+        Alcotest.test_case "torn save detected" `Quick test_catalog_save_torn;
+        Alcotest.test_case "structured load errors" `Quick test_catalog_structured_errors;
       ] );
     ( "exec.count_fast",
       [

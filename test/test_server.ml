@@ -1,0 +1,489 @@
+(* The service layer: wire protocol, circuit breaker, retry ladder,
+   admission queue, drain, and the socket server end-to-end. Every test is
+   deterministic: fake clocks drive the breaker cooldown, recorded sleeps
+   replace real backoff, and workers = 0 pumps the queue synchronously. *)
+
+module Gf = Graphflow
+module Breaker = Gf_server.Breaker
+module Ladder = Gf_server.Ladder
+module Service = Gf_server.Service
+module Server = Gf_server.Server
+module Wire = Gf_server.Wire
+module Governor = Gf.Governor
+module Metrics = Gf.Metrics
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let graph () =
+  Gf.Generators.holme_kim (Gf.Rng.create 11) ~n:400 ~m_per:5 ~p_triad:0.6 ~recip:0.3
+
+let db () = Gf.Db.create (graph ())
+let triangle = Gf.Patterns.q 1
+
+let sorted_rows rows = List.sort compare (List.map Array.to_list rows)
+
+let reference_rows db q =
+  let rows = ref [] in
+  let c, o = Gf.Db.run_gov ~sink:(fun r -> rows := Array.copy r :: !rows) db q in
+  Alcotest.(check bool) "reference completed" true (o = Governor.Completed);
+  (sorted_rows !rows, c.Gf.Counters.output)
+
+(* --- wire ------------------------------------------------------------- *)
+
+let test_wire_parse () =
+  check_bool "ping" true (Wire.parse_request " ping " = Ok Wire.Ping);
+  check_bool "metrics" true (Wire.parse_request "metrics" = Ok Wire.Metrics_req);
+  check_bool "shutdown" true (Wire.parse_request "shutdown" = Ok Wire.Shutdown);
+  (match Wire.parse_request "run timeout_ms=250 max_rows=10 rows=1 q=a1->a2, a2->a3, a1->a3" with
+  | Ok (Wire.Run r) ->
+      check_bool "timeout" true (r.Service.timeout_ms = Some 250);
+      check_bool "max_rows" true (r.Service.max_rows = Some 10);
+      check_bool "collect" true r.Service.collect_rows;
+      check_bool "no fault" true (r.Service.fault_at = None)
+  | _ -> Alcotest.fail "run with options must parse");
+  (match Wire.parse_request "run fault_at=5 fault_all=1 q=Q1" with
+  | Ok (Wire.Run r) ->
+      check_bool "fault_at" true (r.Service.fault_at = Some 5);
+      check_bool "fault_all" true r.Service.fault_all
+  | _ -> Alcotest.fail "Q-pattern via q= must parse");
+  (match Wire.parse_request "run rows fault_all q=Q1" with
+  | Ok (Wire.Run r) ->
+      check_bool "bare rows flag" true r.Service.collect_rows;
+      check_bool "bare fault_all flag" true r.Service.fault_all
+  | _ -> Alcotest.fail "bare boolean flags must parse");
+  (match Wire.parse_request "a1->a2, a2->a3, a1->a3" with
+  | Ok (Wire.Run r) -> check_bool "bare query defaults" true (not r.Service.collect_rows)
+  | _ -> Alcotest.fail "bare line must parse as run");
+  check_bool "empty rejected" true (Result.is_error (Wire.parse_request "   "));
+  check_bool "bad option" true (Result.is_error (Wire.parse_request "run nope q=Q1"));
+  check_bool "bad int" true (Result.is_error (Wire.parse_request "run max_rows=x q=Q1"));
+  check_bool "missing q" true (Result.is_error (Wire.parse_request "run max_rows=3"));
+  check_bool "bad query" true (Result.is_error (Wire.parse_request "run q=@@@"))
+
+(* --- breaker ---------------------------------------------------------- *)
+
+let test_breaker_state_machine () =
+  let clock = ref 0.0 in
+  let cfg =
+    { Breaker.window = 4; min_samples = 4; failure_threshold = 0.5; cooldown_s = 10.0 }
+  in
+  let b = Breaker.create ~now:(fun () -> !clock) cfg in
+  check_bool "starts closed" true (Breaker.state b = Breaker.Closed);
+  (* Below min_samples nothing trips, even at 100% failure. *)
+  Breaker.record b ~ok:false;
+  Breaker.record b ~ok:false;
+  Breaker.record b ~ok:false;
+  check_bool "needs min samples" true (Breaker.state b = Breaker.Closed);
+  Breaker.record b ~ok:false;
+  check_bool "opens at threshold" true (Breaker.state b = Breaker.Open);
+  check_bool "open rejects" true (Breaker.admit b = `Reject);
+  (* Cooldown not elapsed: still rejecting. *)
+  clock := 9.9;
+  check_bool "still open" true (Breaker.admit b = `Reject);
+  (* Cooldown elapsed: half-open, exactly one probe admitted. *)
+  clock := 10.5;
+  check_bool "probe admitted" true (Breaker.admit b = `Admit);
+  check_bool "half-open" true (Breaker.state b = Breaker.Half_open);
+  check_bool "second probe rejected" true (Breaker.admit b = `Reject);
+  (* Failed probe: back to open, cooldown restarts. *)
+  Breaker.record b ~ok:false;
+  check_bool "reopened" true (Breaker.state b = Breaker.Open);
+  clock := 15.0;
+  check_bool "new cooldown running" true (Breaker.admit b = `Reject);
+  clock := 21.0;
+  check_bool "second probe" true (Breaker.admit b = `Admit);
+  (* Successful probe: closed, window reset (old failures forgotten). *)
+  Breaker.record b ~ok:true;
+  check_bool "recovered" true (Breaker.state b = Breaker.Closed);
+  Breaker.record b ~ok:false;
+  Breaker.record b ~ok:false;
+  Breaker.record b ~ok:false;
+  check_bool "window was reset" true (Breaker.state b = Breaker.Closed)
+
+let test_breaker_sliding_window () =
+  let b =
+    Breaker.create
+      ~now:(fun () -> 0.0)
+      { Breaker.window = 4; min_samples = 4; failure_threshold = 0.75; cooldown_s = 1.0 }
+  in
+  (* Two old failures slide out; the window never reaches 3/4 failures. *)
+  Breaker.record b ~ok:false;
+  Breaker.record b ~ok:false;
+  Breaker.record b ~ok:true;
+  Breaker.record b ~ok:true;
+  Breaker.record b ~ok:true;
+  Breaker.record b ~ok:false;
+  check_bool "slid out" true (Breaker.state b = Breaker.Closed)
+
+(* --- ladder ----------------------------------------------------------- *)
+
+let ladder_cfg =
+  {
+    Ladder.domains = 1;
+    budget = Governor.unlimited;
+    degraded_budget = Governor.budget ~max_output:10 ();
+    backoff_base_s = 0.01;
+    backoff_cap_s = 1.0;
+  }
+
+let test_ladder_retry_recovers () =
+  let db = db () in
+  let expected_rows, total = reference_rows db triangle in
+  check_bool "graph has triangles" true (total > 50);
+  (* Degraded budget roomy enough not to bind: the retry must reproduce the
+     full answer even though it lands on the last rung (domains = 1 has
+     only sequential -> degraded). *)
+  let cfg =
+    { ladder_cfg with Ladder.degraded_budget = Governor.budget ~max_output:1_000_000 () }
+  in
+  let sleeps = ref [] in
+  let rows = ref [] in
+  let r =
+    Ladder.run
+      ~sleep:(fun d -> sleeps := d :: !sleeps)
+      ~fault:{ Governor.at_tuple = 5; operator = "test" }
+      ~sink:(fun t -> rows := Array.copy t :: !rows)
+      ~rng:(Gf.Rng.create 123) cfg db triangle
+  in
+  check_bool "completed" true (r.Ladder.outcome = Governor.Completed);
+  check_int "attempts" 2 r.Ladder.attempts;
+  check_int "retries" 1 r.Ladder.retries;
+  check_string "rung" "degraded" r.Ladder.rung;
+  (* Retried-then-completed is indistinguishable from first-try completion:
+     the failed attempt leaked nothing, the accepted attempt delivered
+     everything. *)
+  check_bool "rows match naive exactly" true (sorted_rows !rows = expected_rows);
+  (* Backoffs are deterministic: recompute from the same seeded stream. *)
+  let rng' = Gf.Rng.create 123 in
+  let expected_backoff = 0.01 *. (0.5 +. Gf.Rng.float rng' 0.5) in
+  (match r.Ladder.backoffs with
+  | [ d ] ->
+      check_bool "jittered backoff" true (d = expected_backoff);
+      check_bool "sleep taken" true (!sleeps = [ d ])
+  | _ -> Alcotest.fail "expected exactly one backoff");
+  (* Same seed, same schedule. *)
+  let r2 =
+    Ladder.run ~sleep:ignore
+      ~fault:{ Governor.at_tuple = 5; operator = "test" }
+      ~rng:(Gf.Rng.create 123) cfg db triangle
+  in
+  check_bool "deterministic backoffs" true (r.Ladder.backoffs = r2.Ladder.backoffs)
+
+let test_ladder_retry_exact_match () =
+  (* With a full-budget retry rung available (parallel first), a fault on
+     the first attempt retried on the sequential rung completes and matches
+     the naive answer exactly. *)
+  let db = db () in
+  let expected_rows, _ = reference_rows db triangle in
+  let cfg = { ladder_cfg with Ladder.domains = 2 } in
+  let rows = ref [] in
+  let r =
+    Ladder.run ~sleep:ignore
+      ~fault:{ Governor.at_tuple = 5; operator = "test" }
+      ~sink:(fun t -> rows := Array.copy t :: !rows)
+      ~rng:(Gf.Rng.create 7) cfg db triangle
+  in
+  check_bool "completed" true (r.Ladder.outcome = Governor.Completed);
+  check_int "attempts" 2 r.Ladder.attempts;
+  check_string "rung" "sequential" r.Ladder.rung;
+  check_bool "not degraded" true (not r.Ladder.degraded);
+  check_bool "rows match naive exactly" true (sorted_rows !rows = expected_rows)
+
+let test_ladder_degraded_rung () =
+  (* A fault that fires on every attempt: the degraded rung's reduced
+     budget pre-empts the fault point, turning a hard failure into a
+     structured truncated answer. *)
+  let db = db () in
+  let r =
+    Ladder.run ~sleep:ignore
+      ~fault:{ Governor.at_tuple = 500; operator = "test" }
+      ~fault_attempts:max_int ~rng:(Gf.Rng.create 9) ladder_cfg db triangle
+  in
+  check_bool "truncated" true (r.Ladder.outcome = Governor.Truncated Governor.Output_limit);
+  check_string "rung" "degraded" r.Ladder.rung;
+  check_bool "degraded" true r.Ladder.degraded;
+  check_int "rows capped" 10 r.Ladder.counters.Gf.Counters.output
+
+let test_ladder_exhausted_fails () =
+  (* A fault early enough to beat even the degraded budget on every rung:
+     the ladder reports the structured failure. *)
+  let db = db () in
+  (* No budget on the degraded rung either, so nothing pre-empts the fault. *)
+  let cfg = { ladder_cfg with Ladder.degraded_budget = Governor.unlimited } in
+  let rows = ref [] in
+  let r =
+    Ladder.run ~sleep:ignore
+      ~fault:{ Governor.at_tuple = 1; operator = "flaky-op" }
+      ~fault_attempts:max_int
+      ~sink:(fun t -> rows := t :: !rows)
+      ~rng:(Gf.Rng.create 3) cfg db triangle
+  in
+  (match r.Ladder.outcome with
+  | Governor.Failed e -> check_string "operator" "flaky-op" e.Governor.operator
+  | _ -> Alcotest.fail "expected Failed");
+  check_int "attempts = rung count" (List.length (Ladder.rungs cfg)) r.Ladder.attempts;
+  check_bool "failed answers leak no rows" true (!rows = [])
+
+(* --- service ---------------------------------------------------------- *)
+
+let sync_config ?(queue = 2) ?(ladder = ladder_cfg) ?(breaker = Breaker.default_config)
+    ?(clock = ref 0.0) () =
+  {
+    Service.default_config with
+    Service.queue_capacity = queue;
+    workers = 0;
+    ladder;
+    breaker;
+    now = (fun () -> !clock);
+    sleep = ignore;
+  }
+
+(* A degraded rung roomy enough never to bind on the test graph. *)
+let roomy_ladder =
+  { ladder_cfg with Ladder.degraded_budget = Governor.budget ~max_output:1_000_000 () }
+
+(* A degraded rung with no budget at all: a fault that fires on every
+   attempt yields a hard Failed instead of being pre-empted into a
+   truncation. *)
+let no_net_ladder = { ladder_cfg with Ladder.degraded_budget = Governor.unlimited }
+
+let test_service_queue_full () =
+  Metrics.reset ();
+  let svc = Service.create ~config:(sync_config ~queue:2 ()) (db ()) in
+  let req = Service.request triangle in
+  let t1 = Result.get_ok (Service.submit_async svc req) in
+  let t2 = Result.get_ok (Service.submit_async svc req) in
+  (match Service.submit_async svc req with
+  | Error Service.Queue_full -> ()
+  | _ -> Alcotest.fail "third submit must be shed: queue full");
+  check_int "depth" 2 (Service.queue_depth svc);
+  check_bool "pump 1" true (Service.step svc);
+  check_bool "pump 2" true (Service.step svc);
+  check_bool "queue dry" true (not (Service.step svc));
+  let r1 = Service.await svc t1 and r2 = Service.await svc t2 in
+  check_bool "both completed" true
+    (r1.Service.result.Ladder.outcome = Governor.Completed
+    && r2.Service.result.Ladder.outcome = Governor.Completed);
+  check_int "ids in admission order" 1 r1.Service.id;
+  check_int "second id" 2 r2.Service.id;
+  let exposition = Metrics.exposition () in
+  let has needle =
+    let nh = String.length exposition and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub exposition i nn = needle || at (i + 1)) in
+    at 0
+  in
+  check_bool "shed counted" true (has "gf_server_shed_queue_full_total 1");
+  check_bool "admissions counted" true (has "gf_server_admitted_total 2")
+
+let test_service_breaker_recovery () =
+  let clock = ref 0.0 in
+  let breaker =
+    { Breaker.window = 4; min_samples = 4; failure_threshold = 0.5; cooldown_s = 10.0 }
+  in
+  let svc =
+    Service.create ~config:(sync_config ~queue:8 ~ladder:no_net_ladder ~breaker ~clock ()) (db ())
+  in
+  let failing =
+    { (Service.request triangle) with Service.fault_at = Some 1; fault_all = true }
+  in
+  (* Four hard failures open the breaker. *)
+  for i = 1 to 4 do
+    match Service.submit svc failing with
+    | Ok r ->
+        check_bool
+          (Printf.sprintf "request %d failed" i)
+          true
+          (match r.Service.result.Ladder.outcome with Governor.Failed _ -> true | _ -> false)
+    | Error _ -> Alcotest.fail "must be admitted while breaker is closed"
+  done;
+  check_bool "breaker open" true (Service.breaker_state svc = Breaker.Open);
+  (match Service.submit_async svc (Service.request triangle) with
+  | Error Service.Breaker_open -> ()
+  | _ -> Alcotest.fail "open breaker must shed");
+  (* After the cooldown one probe is admitted; its success closes the
+     breaker and normal service resumes. *)
+  clock := 11.0;
+  (match Service.submit svc (Service.request triangle) with
+  | Ok r -> check_bool "probe ok" true (r.Service.result.Ladder.outcome = Governor.Completed)
+  | Error _ -> Alcotest.fail "probe must be admitted after cooldown");
+  check_bool "breaker closed" true (Service.breaker_state svc = Breaker.Closed);
+  (match Service.submit svc (Service.request triangle) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "closed breaker must admit")
+
+let test_service_retry_metrics () =
+  Metrics.reset ();
+  let svc = Service.create ~config:(sync_config ~queue:4 ~ladder:roomy_ladder ()) (db ()) in
+  let req = { (Service.request triangle) with Service.fault_at = Some 5 } in
+  (match Service.submit svc req with
+  | Ok r ->
+      check_int "one retry" 1 r.Service.result.Ladder.retries;
+      check_bool "not failed" true
+        (match r.Service.result.Ladder.outcome with Governor.Failed _ -> false | _ -> true)
+  | Error _ -> Alcotest.fail "must be admitted");
+  let exposition = Metrics.exposition () in
+  let has needle =
+    let nh = String.length exposition and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub exposition i nn = needle || at (i + 1)) in
+    at 0
+  in
+  check_bool "retry counted in exposition" true (has "gf_server_retries_total 1");
+  check_bool "outcome counted" true (has "gf_server_requests_completed_total 1")
+
+let test_service_drain () =
+  Metrics.reset ();
+  let svc = Service.create ~config:(sync_config ~queue:8 ()) (db ()) in
+  let req = Service.request triangle in
+  let t1 = Result.get_ok (Service.submit_async svc req) in
+  let t2 = Result.get_ok (Service.submit_async svc req) in
+  Service.drain svc;
+  (* Queued work is answered, not run. *)
+  let r1 = Service.await svc t1 and r2 = Service.await svc t2 in
+  check_bool "queued answered cancelled" true
+    (r1.Service.result.Ladder.outcome = Governor.Truncated Governor.Cancelled
+    && r2.Service.result.Ladder.outcome = Governor.Truncated Governor.Cancelled);
+  check_int "no attempts made" 0 r1.Service.result.Ladder.attempts;
+  (* Admission is closed. *)
+  (match Service.submit_async svc req with
+  | Error Service.Draining -> ()
+  | _ -> Alcotest.fail "draining service must shed");
+  (* Idempotent. *)
+  Service.drain svc;
+  check_bool "drain flag" true (Service.draining svc)
+
+let test_service_drain_cancels_inflight () =
+  (* Drain cancels a request a real worker thread has already dequeued.
+     Deterministic: the first attempt fails (injected fault) and the
+     backoff sleep parks the worker until the main thread starts the
+     drain — the retry's governor is then cancelled at attach, so the
+     request is answered [Truncated Cancelled] without a timing race. *)
+  let svc = ref None in
+  let bm = Mutex.create () and bc = Condition.create () in
+  let in_backoff = ref false in
+  let sleep _ =
+    Mutex.lock bm;
+    in_backoff := true;
+    Condition.broadcast bc;
+    Mutex.unlock bm;
+    let rec until_draining () =
+      match !svc with
+      | Some s when Service.draining s -> ()
+      | _ ->
+          Unix.sleepf 0.001;
+          until_draining ()
+    in
+    until_draining ()
+  in
+  let config =
+    { (sync_config ~queue:4 ~ladder:roomy_ladder ()) with Service.workers = 1; sleep }
+  in
+  let s = Service.create ~config (db ()) in
+  svc := Some s;
+  let req = { (Service.request triangle) with Service.fault_at = Some 1 } in
+  let tkt = Result.get_ok (Service.submit_async s req) in
+  Mutex.lock bm;
+  while not !in_backoff do
+    Condition.wait bc bm
+  done;
+  Mutex.unlock bm;
+  let t0 = Unix.gettimeofday () in
+  Service.drain s;
+  let reply = Service.await s tkt in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  check_bool "in-flight query cancelled" true
+    (reply.Service.result.Ladder.outcome = Governor.Truncated Governor.Cancelled);
+  check_bool "the failed attempt was made" true (reply.Service.result.Ladder.attempts >= 1);
+  check_bool "no rows leak from a cancelled request" true (reply.Service.rows = []);
+  check_bool "drain prompt" true (elapsed < 30.0)
+
+(* --- socket server end-to-end ----------------------------------------- *)
+
+let test_server_end_to_end () =
+  let dir = Filename.temp_file "gfsrv" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "gfq.sock" in
+  let config =
+    { Service.default_config with Service.workers = 2; ladder = ladder_cfg }
+  in
+  let svc = Service.create ~config (db ()) in
+  let ready_m = Mutex.create () and ready_cv = Condition.create () in
+  let ready = ref false in
+  let server_thread =
+    Thread.create
+      (fun () ->
+        Server.serve
+          ~on_ready:(fun _ ->
+            Mutex.lock ready_m;
+            ready := true;
+            Condition.broadcast ready_cv;
+            Mutex.unlock ready_m)
+          svc (Server.Unix_path path))
+      ()
+  in
+  Mutex.lock ready_m;
+  while not !ready do
+    Condition.wait ready_cv ready_m
+  done;
+  Mutex.unlock ready_m;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let roundtrip line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    input_line ic
+  in
+  let has hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+  in
+  check_string "ping" {|{"ok":true,"type":"pong"}|} (roundtrip "ping");
+  let run = roundtrip "run rows=1 max_rows=2 q=a1->a2, a2->a3, a1->a3" in
+  check_bool "run ok" true (has run "\"ok\":true");
+  check_bool "run truncated" true (has run "truncated");
+  check_bool "run rows" true (has run "\"rows\":[[");
+  let bad = roundtrip "run q=@@@" in
+  check_bool "parse error is structured" true (has bad "\"error\":\"parse\"");
+  let m = roundtrip "metrics" in
+  check_bool "metrics exposed" true (has m "gf_server_admitted_total");
+  let bye = roundtrip "shutdown" in
+  check_bool "shutdown acked" true (has bye "shutting_down");
+  Thread.join server_thread;
+  check_bool "socket removed" true (not (Sys.file_exists path));
+  check_bool "service drained" true (Service.draining svc);
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Unix.rmdir dir
+
+let suite =
+  [
+    ( "server.wire",
+      [ Alcotest.test_case "request parsing" `Quick test_wire_parse ] );
+    ( "server.breaker",
+      [
+        Alcotest.test_case "state machine" `Quick test_breaker_state_machine;
+        Alcotest.test_case "sliding window" `Quick test_breaker_sliding_window;
+      ] );
+    ( "server.ladder",
+      [
+        Alcotest.test_case "retry recovers" `Quick test_ladder_retry_recovers;
+        Alcotest.test_case "retry matches naive exactly" `Quick test_ladder_retry_exact_match;
+        Alcotest.test_case "degraded rung truncates" `Quick test_ladder_degraded_rung;
+        Alcotest.test_case "ladder exhausted" `Quick test_ladder_exhausted_fails;
+      ] );
+    ( "server.service",
+      [
+        Alcotest.test_case "queue full sheds" `Quick test_service_queue_full;
+        Alcotest.test_case "breaker opens and recovers" `Quick test_service_breaker_recovery;
+        Alcotest.test_case "retry metrics" `Quick test_service_retry_metrics;
+        Alcotest.test_case "drain" `Quick test_service_drain;
+        Alcotest.test_case "drain cancels in-flight" `Quick test_service_drain_cancels_inflight;
+      ] );
+    ( "server.socket",
+      [ Alcotest.test_case "end to end" `Quick test_server_end_to_end ] );
+  ]
