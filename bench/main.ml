@@ -616,6 +616,50 @@ let observability () =
   let (_ : Gf.Counters.t) = Gf.Exec.run ~prof g plan in
   print_string (Gf.Explain.to_string (Gf.Explain.rows cat q plan prof))
 
+let tracing () =
+  header "Tracing: span-recording overhead and export (Q1, twitter)";
+  (* A/B: untraced vs traced [run_gov]. The untraced path is one [option]
+     branch per phase boundary (never per tuple), so "off" must sit within
+     noise of the pre-tracing build. Traced runs implicitly profile (the
+     per-operator summary track needs self-times), so the honest comparison
+     for the tracing increment alone is traced vs profiled-untraced. Best
+     of 9, warm caches. *)
+  let g = dataset_at (Gf.Generators.Twitter, scale *. 0.5) in
+  let q = Gf.Patterns.q 1 in
+  let cat = catalog g in
+  let order, _ = Gf.Planner.best_wco_order cat q in
+  let plan = Gf.Plan.wco q order in
+  let best f =
+    ignore (f ());
+    let ts = List.init 9 (fun _ -> fst (time_once f)) in
+    List.fold_left min infinity ts
+  in
+  let t_off = best (fun () -> Gf.Exec.run_gov g plan) in
+  let t_prof = best (fun () -> Gf.Exec.run_gov ~prof:(Gf.Profile.create plan) g plan) in
+  let t_on = best (fun () -> Gf.Exec.run_gov ~trace:(Gf.Trace.create ()) g plan) in
+  Printf.printf
+    "Q1 twitter sequential: untraced %.4fs, profiled %.4fs, traced %.4fs (traced vs \
+     untraced %+.1f%%, vs profiled %+.1f%%)\n"
+    t_off t_prof t_on
+    ((t_on /. t_off -. 1.) *. 100.)
+    ((t_on /. t_prof -. 1.) *. 100.);
+  let tp_off = best (fun () -> Gf.Parallel.run ~domains:4 g plan) in
+  let tp_on =
+    best (fun () -> Gf.Parallel.run ~domains:4 ~trace:(Gf.Trace.create ()) g plan)
+  in
+  Printf.printf "Q1 twitter 4 domains:  untraced %.4fs, traced %.4fs (%+.1f%%)\n" tp_off
+    tp_on
+    ((tp_on /. tp_off -. 1.) *. 100.);
+  (* What a traced parallel run records and exports. *)
+  let tr = Gf.Trace.create () in
+  let (_ : Gf.Parallel.report) = Gf.Parallel.run ~domains:4 ~trace:tr g plan in
+  let json = Gf.Trace.to_chrome_json tr in
+  Printf.printf
+    "traced 4-domain run: %d spans (%d dropped), Chrome JSON %d bytes, %d B/E events\n"
+    (List.length (Gf.Trace.spans tr))
+    (Gf.Trace.dropped tr) (String.length json)
+    (List.length (Gf.Trace.chrome_events tr))
+
 (* ------------------------------------------------------------------ *)
 (* Tables 10 & 11: catalogue accuracy (q-error) vs z and h.            *)
 (* ------------------------------------------------------------------ *)
@@ -982,6 +1026,7 @@ let sections =
     ("governor", governor);
     ("resilience", resilience);
     ("observability", observability);
+    ("tracing", tracing);
     ("table10", table10);
     ("table11", table11);
     ("table12", table12);

@@ -174,8 +174,24 @@ let run_cmd =
       & info [ "metrics" ]
           ~doc:"After the run, print the Prometheus text exposition of the query metrics.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Record a full span trace of the run (planner, executor, per-domain morsels, \
+             per-operator summary) and write it as Chrome trace-event JSON — load the file \
+             at ui.perfetto.dev or chrome://tracing.")
+  in
+  let trace_tree =
+    Arg.(
+      value & flag
+      & info [ "trace-tree" ]
+          ~doc:"Record a span trace and print it as an indented tree on stdout.")
+  in
   let go graph_file dataset scale labels seed qs adaptive limit timeout_ms max_rows
-      max_intermediate max_bytes domains explain_analyze json metrics =
+      max_intermediate max_bytes domains explain_analyze json metrics trace_out trace_tree =
     let g = load_graph graph_file dataset scale labels seed in
     let db = Gf.Db.create g in
     let q = parse_query qs in
@@ -190,7 +206,12 @@ let run_cmd =
         ?deadline_s:(Option.map (fun ms -> float_of_int ms /. 1000.) timeout_ms)
         ?max_output ?max_intermediate ?max_bytes ()
     in
+    let trace =
+      if trace_out <> None || trace_tree then Some (Gf.Trace.create ()) else None
+    in
     if explain_analyze || json then begin
+      if trace <> None then
+        die "--trace-out/--trace-tree need a plain run (drop --explain-analyze/--json)";
       (* [--json] implies a profiled run so the envelope always carries the
          per-operator rows. *)
       let a = Gf.Db.explain_analyze ~adaptive ~domains ~budget db q in
@@ -199,18 +220,31 @@ let run_cmd =
     end
     else begin
       let t0 = Unix.gettimeofday () in
-      let c, outcome = Gf.Db.run_gov ~adaptive ~domains ~budget db q in
+      let c, outcome = Gf.Db.run_gov ~adaptive ~domains ~budget ?trace db q in
       let secs = Unix.gettimeofday () -. t0 in
       Format.printf "matches: %d@.outcome: %a@.time: %.3fs@.%a@." c.Gf.Counters.output
         Gf.Governor.pp_outcome outcome secs Gf.Counters.pp c
     end;
+    Option.iter
+      (fun tr ->
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            output_string oc (Gf.Trace.to_chrome_json tr);
+            output_char oc '\n';
+            close_out oc;
+            Format.printf "trace: %d spans (%d dropped) -> %s@." (List.length (Gf.Trace.spans tr))
+              (Gf.Trace.dropped tr) path)
+          trace_out;
+        if trace_tree then print_string (Gf.Trace.render tr))
+      trace;
     if metrics then print_string (Gf.Db.metrics_exposition ())
   in
   Cmd.v (Cmd.info "run" ~doc:"Optimize and execute a query under an optional budget.")
     Term.(
       const go $ graph_file $ dataset $ scale $ labels $ seed $ query_arg $ adaptive $ limit
       $ timeout_ms $ max_rows $ max_intermediate $ max_bytes $ domains $ explain_analyze
-      $ json $ metrics)
+      $ json $ metrics $ trace_out $ trace_tree)
 
 let spectrum_cmd =
   let go graph_file dataset scale labels seed qs =
@@ -549,6 +583,100 @@ let soak_cmd =
       const go $ socket_arg $ port_arg $ host_arg $ clients $ requests $ soak_seed
       $ send_shutdown $ connect_timeout_s)
 
+(* --- slowlog: read a running server's flight recorder ------------------ *)
+
+let slowlog_cmd =
+  let count =
+    Arg.(value & opt int 10 & info [ "n"; "count" ] ~docv:"N" ~doc:"Records to fetch.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Fetch the service health snapshot (the stats wire command).")
+  in
+  let trace_id =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace" ] ~docv:"ID"
+          ~doc:"Fetch the retained span trace for a flight-recorder record id.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:
+            "With --trace: strip the wire envelope and write the bare Chrome trace JSON to \
+             FILE, ready for ui.perfetto.dev.")
+  in
+  let go socket port host count stats trace_id out =
+    let endpoint = endpoint_arg_of socket port host in
+    let sockaddr =
+      match endpoint with
+      | Gf_server.Server.Unix_path path -> Unix.ADDR_UNIX path
+      | Gf_server.Server.Tcp (h, p) ->
+          let addr =
+            try Unix.inet_addr_of_string h
+            with Failure _ -> (Unix.gethostbyname h).Unix.h_addr_list.(0)
+          in
+          Unix.ADDR_INET (addr, p)
+    in
+    let fd = Unix.socket (Unix.domain_of_sockaddr sockaddr) Unix.SOCK_STREAM 0 in
+    (match Unix.connect fd sockaddr with
+    | () -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+        die
+          (Printf.sprintf "could not connect to %s: %s" (endpoint_to_string endpoint)
+             (Unix.error_message e)));
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let ask line =
+      output_string oc line;
+      output_char oc '\n';
+      flush oc;
+      match input_line ic with
+      | reply -> reply
+      | exception End_of_file -> die "server closed the connection before replying"
+    in
+    (match (stats, trace_id) with
+    | true, _ -> print_endline (ask "stats")
+    | false, Some id -> (
+        let reply = ask (Printf.sprintf "trace id=%d" id) in
+        (* The envelope is {"ok":true,"id":N,"trace":<JSON>} with the trace
+           nested raw as the last field, so it can be stripped by position:
+           everything between "trace": and the final brace. *)
+        let marker = {|"trace":|} in
+        let mlen = String.length marker and len = String.length reply in
+        let rec find i =
+          if i + mlen > len then None
+          else if String.sub reply i mlen = marker then Some (i + mlen)
+          else find (i + 1)
+        in
+        match find 0 with
+        | Some start when String.length reply > start ->
+            let body = String.sub reply start (len - start - 1) in
+            (match out with
+            | Some path ->
+                let oc = open_out path in
+                output_string oc body;
+                output_char oc '\n';
+                close_out oc;
+                Printf.printf "trace %d -> %s\n" id path
+            | None -> print_endline body)
+        | _ ->
+            prerr_endline reply;
+            exit 1)
+    | false, None -> print_endline (ask (Printf.sprintf "slowlog %d" count)));
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "slowlog"
+       ~doc:
+         "Read a running gfq serve's always-on flight recorder: recent query records, the \
+          stats health snapshot, or a retained span trace by id.")
+    Term.(const go $ socket_arg $ port_arg $ host_arg $ count $ stats $ trace_id $ out)
+
 let shell_cmd =
   let go graph_file dataset scale labels seed =
     let g = load_graph graph_file dataset scale labels seed in
@@ -620,5 +748,6 @@ let () =
             catalogue_cmd;
             serve_cmd;
             soak_cmd;
+            slowlog_cmd;
             shell_cmd;
           ]))

@@ -33,6 +33,8 @@ module Query_gen = Gf_baseline.Query_gen
 module Spectrum = Gf_spectrum.Spectrum
 module Rng = Gf_util.Rng
 module Bitset = Gf_util.Bitset
+module Trace = Gf_obs.Trace
+module Recorder = Gf_obs.Recorder
 
 module Db = struct
   type t = { graph : Graph.t; catalog : Catalog.t; opts : Planner.opts }
@@ -80,15 +82,22 @@ module Db = struct
     observe_run (Gf_util.Timing.now_s () -. t0) c Governor.Completed;
     c
 
-  let run_gov ?(adaptive = false) ?(domains = 1) ?budget ?fault ?gov ?sink db q =
-    let p, _ = plan db q in
+  let run_gov ?(adaptive = false) ?(domains = 1) ?budget ?fault ?gov ?trace ?sink db q =
+    (* The planner runs on this thread: give it its own buffer (tid 2) so
+       optimization time is visible next to the execution tracks. *)
+    let pbuf = Option.map (fun tr -> Trace.buffer ~name:"planner" tr ~tid:2) trace in
+    let p, _ = Planner.plan ~opts:db.opts ?trace:pbuf db.catalog q in
+    (match pbuf with Some b -> Trace.close_all b | None -> ());
     let t0 = Gf_util.Timing.now_s () in
     let c, outcome =
       if domains > 1 then begin
-        let r = Parallel.run ~domains ?budget ?fault ?gov ?sink db.graph p in
+        let r = Parallel.run ~domains ?budget ?fault ?gov ?trace ?sink db.graph p in
         (r.Parallel.counters, r.Parallel.outcome)
       end
       else if adaptive && Adaptive.adaptable p then begin
+        (* The adaptive evaluator has no span hooks yet: a traced adaptive
+           run still records planner spans and the whole-query record, just
+           no per-operator tracks. *)
         let gov =
           match gov with
           | Some t -> t
@@ -99,7 +108,7 @@ module Db = struct
         let c = fst (Adaptive.run ~gov ~sink db.catalog db.graph q p) in
         (c, Governor.outcome gov)
       end
-      else Exec.run_gov ?budget ?fault ?gov ?sink db.graph p
+      else Exec.run_gov ?budget ?fault ?gov ?trace ?sink db.graph p
     in
     observe_run (Gf_util.Timing.now_s () -. t0) c outcome;
     (c, outcome)

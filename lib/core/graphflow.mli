@@ -53,6 +53,8 @@ module Query_gen = Gf_baseline.Query_gen
 module Spectrum = Gf_spectrum.Spectrum
 module Rng = Gf_util.Rng
 module Bitset = Gf_util.Bitset
+module Trace = Gf_obs.Trace
+module Recorder = Gf_obs.Recorder
 
 (** Session facade: a graph plus its subgraph catalogue and planner
     configuration. *)
@@ -90,13 +92,20 @@ module Db : sig
       preserved whatever the outcome. [gov] supplies an externally created
       governor — the hook a server uses to cancel in-flight queries from
       another thread ({!Governor.cancel}); when present, [budget] and
-      [fault] are ignored (they were fixed at the governor's creation). *)
+      [fault] are ignored (they were fixed at the governor's creation).
+
+      [trace] opts the whole query into span tracing: planner spans
+      (tid 2), executor spans (tid 1, or tids 9/10+ for parallel runs), and
+      a per-operator summary track (tid 100) are recorded into it; export
+      with {!Trace.to_chrome_json} or {!Trace.render}. The untraced path is
+      unchanged — tracing costs one [option] branch per phase boundary. *)
   val run_gov :
     ?adaptive:bool ->
     ?domains:int ->
     ?budget:Governor.budget ->
     ?fault:Governor.fault ->
     ?gov:Governor.t ->
+    ?trace:Trace.t ->
     ?sink:(int array -> unit) ->
     t ->
     Query.t ->

@@ -2,6 +2,7 @@ module Graph = Gf_graph.Graph
 module Plan = Gf_plan.Plan
 module Int_vec = Gf_util.Int_vec
 module Sorted = Gf_util.Sorted
+module Trace = Gf_obs.Trace
 
 type env = {
   g : Graph.t;
@@ -11,6 +12,7 @@ type env = {
   c : Counters.t;
   gov : Governor.handle;
   prof : Profile.t option;
+  trace : Trace.buf option;
 }
 
 type rewrite =
@@ -59,17 +61,28 @@ let governed_intersect env result slices ~scratch ~scratch2 =
     (* A Trip between segments leaves [slices.(min_i)] narrowed, which is
        fine: the raise unwinds the whole run and the operator state dies
        with it. *)
-    let arr, lo, hi = slices.(!min_i) in
-    let seg_lo = ref lo in
-    while !seg_lo < hi do
-      let seg_hi = min hi (!seg_lo + segment) in
-      slices.(!min_i) <- (arr, !seg_lo, seg_hi);
-      if env.leapfrog then Sorted.leapfrog result slices
-      else Sorted.intersect ~scratch2 result slices ~scratch;
-      seg_lo := seg_hi;
-      if !seg_lo < hi then Governor.tick_work env.gov env.c segment
-    done;
-    slices.(!min_i) <- (arr, lo, hi)
+    let segmented () =
+      let arr, lo, hi = slices.(!min_i) in
+      let seg_lo = ref lo in
+      while !seg_lo < hi do
+        let seg_hi = min hi (!seg_lo + segment) in
+        slices.(!min_i) <- (arr, !seg_lo, seg_hi);
+        if env.leapfrog then Sorted.leapfrog result slices
+        else Sorted.intersect ~scratch2 result slices ~scratch;
+        seg_lo := seg_hi;
+        if !seg_lo < hi then Governor.tick_work env.gov env.c segment
+      done;
+      slices.(!min_i) <- (arr, lo, hi)
+    in
+    (* Only the giant (segmented) path gets a span: it is rare by
+       construction, and it is exactly the case a timeline viewer needs to
+       see — a single intersection long enough to stall a domain. *)
+    match env.trace with
+    | None -> segmented ()
+    | Some tb ->
+        Trace.span ~cat:"intersect"
+          ~args:[ ("lists", Int nd); ("min_len", Int !min_len); ("icost", Int !total) ]
+          tb "giant-intersect" segmented
   end
 
 (* Compile [plan] into a driver function: [driver sink] runs the pipeline,
@@ -204,14 +217,34 @@ and compile_structural rewrite env plan =
       fun sink ->
         let table = Join_table.create ~key_len ~row_len:brow_len in
         let row_bytes = Join_table.bytes_per_row table in
-        build_driver (fun t ->
-            for i = 0 to key_len - 1 do
-              key_buf.(i) <- t.(build_key_pos.(i))
-            done;
-            Join_table.add table key_buf t;
-            env.c.hj_build_tuples <- env.c.hj_build_tuples + 1;
-            Governor.add_bytes env.gov row_bytes;
-            Governor.tick env.gov env.c);
+        let build () =
+          build_driver (fun t ->
+              for i = 0 to key_len - 1 do
+                key_buf.(i) <- t.(build_key_pos.(i))
+              done;
+              Join_table.add table key_buf t;
+              env.c.hj_build_tuples <- env.c.hj_build_tuples + 1;
+              Governor.add_bytes env.gov row_bytes;
+              Governor.tick env.gov env.c)
+        in
+        (* Phase spans, not per-tuple spans: one build span and one probe
+           span per hash-join execution keeps the traced hot path identical
+           to the untraced one. *)
+        (match env.trace with
+        | None -> build ()
+        | Some tb ->
+            let before = env.c.hj_build_tuples in
+            Trace.begin_span ~cat:"hash-join" tb "hj-build";
+            Fun.protect
+              ~finally:(fun () ->
+                Trace.end_span ~args:[ ("rows", Int (env.c.hj_build_tuples - before)) ] tb)
+              build;
+            Trace.begin_span ~cat:"hash-join" tb "hj-probe");
+        Fun.protect ~finally:(fun () ->
+            match env.trace with
+            | Some tb -> Trace.end_span ~args:[ ("probes", Int env.c.hj_probe_tuples) ] tb
+            | None -> ())
+        @@ fun () ->
         probe_driver (fun t ->
             env.c.hj_probe_tuples <- env.c.hj_probe_tuples + 1;
             Governor.tick env.gov env.c;
@@ -242,11 +275,39 @@ and compile_structural rewrite env plan =
 
 let no_rewrite _ _ _ = None
 
+(* Synthesize one span per operator from a profile's self-times, packed
+   sequentially on a dedicated "operators" track starting at [t0_us]. The
+   real per-tuple boundary switching already lives in [Profile]; re-emitting
+   it as spans per tuple would dominate the trace, so the timeline shows
+   the per-operator totals instead — by construction their durations sum
+   exactly to the profile's totals. *)
+let emit_operator_track ?(tid = 100) ?(name = "operators") tr prof ~t0_us =
+  let b = Trace.buffer ~name tr ~tid in
+  let t = ref t0_us in
+  Array.iter
+    (fun (op : Profile.op) ->
+      let dur = int_of_float (Float.round (op.time_s *. 1e6)) in
+      Trace.add_complete ~cat:"operator"
+        ~args:
+          [
+            ("kind", Trace.Str (Profile.kind_to_string op.kind));
+            ("produced", Int op.produced);
+            ("icost", Int op.icost);
+            ("cache_hits", Int op.cache_hits);
+            ("self_ms", Float (op.time_s *. 1e3));
+          ]
+        b ~name:op.label ~ts_us:!t ~dur_us:dur;
+      t := !t + dur)
+    (Profile.ops prof)
+
 (* The governed core: every [run] variant funnels here. When no governor is
    supplied, [limit] becomes an output-cap budget — the old [Limit_reached]
-   escape hatch is now an ordinary [Trip]. *)
+   escape hatch is now an ordinary [Trip]. [trace] opts the run into span
+   recording: the executor registers its own buffer (tid 1) on the trace,
+   and a traced run is implicitly profiled so the operator summary track
+   can be synthesized even when the caller asked for no profile. *)
 let run_gov_rw ~rewrite ?(cache = true) ?(distinct = false) ?(leapfrog = false) ?limit
-    ?gov ?prof ?(sink = fun _ -> ()) g plan =
+    ?gov ?prof ?trace ?(sink = fun _ -> ()) g plan =
   let shared =
     match gov with
     | Some t -> t
@@ -254,18 +315,30 @@ let run_gov_rw ~rewrite ?(cache = true) ?(distinct = false) ?(leapfrog = false) 
   in
   let h = Governor.handle shared in
   let c = Counters.create () in
-  let env = { g; cache; distinct; leapfrog; c; gov = h; prof } in
+  let prof = match (prof, trace) with None, Some _ -> Some (Profile.create plan) | _ -> prof in
+  let tbuf = Option.map (fun tr -> Trace.buffer ~name:"exec" tr ~tid:1) trace in
+  let env = { g; cache; distinct; leapfrog; c; gov = h; prof; trace = tbuf } in
   let driver = compile_rw rewrite env plan in
   let final t =
     Governor.claim_output h;
     c.output <- c.output + 1;
     sink t
   in
+  let t0_us = Trace.now_us () in
+  (match tbuf with Some b -> Trace.begin_span ~cat:"exec" b "execute" | None -> ());
   (match prof with Some p -> Profile.start p c | None -> ());
   (try driver final with Governor.Trip -> ());
   (* On a Trip the unwind skipped the trailing boundary switches; [finish]
      charges the outstanding deltas so truncated profiles stay consistent. *)
   (match prof with Some p -> Profile.finish p c | None -> ());
+  (match tbuf with
+  | Some b ->
+      Trace.end_span ~args:[ ("output", Int c.output) ] b;
+      Trace.close_all b
+  | None -> ());
+  (match (trace, prof) with
+  | Some tr, Some p -> emit_operator_track tr p ~t0_us
+  | _ -> ());
   Governor.finish h c;
   (c, Governor.outcome shared)
 
@@ -275,13 +348,13 @@ let run_rw ~rewrite ?cache ?distinct ?leapfrog ?limit ?gov ?prof ?sink g plan =
 let run ?cache ?distinct ?leapfrog ?limit ?prof ?sink g plan =
   run_rw ~rewrite:no_rewrite ?cache ?distinct ?leapfrog ?limit ?prof ?sink g plan
 
-let run_gov ?cache ?distinct ?leapfrog ?budget ?fault ?gov ?prof ?sink g plan =
+let run_gov ?cache ?distinct ?leapfrog ?budget ?fault ?gov ?prof ?trace ?sink g plan =
   let gov =
     match gov with
     | Some t -> t
     | None -> Governor.create ?fault (Option.value budget ~default:Governor.unlimited)
   in
-  run_gov_rw ~rewrite:no_rewrite ?cache ?distinct ?leapfrog ~gov ?prof ?sink g plan
+  run_gov_rw ~rewrite:no_rewrite ?cache ?distinct ?leapfrog ~gov ?prof ?trace ?sink g plan
 
 let count ?cache ?distinct g plan =
   let c = run ?cache ?distinct g plan in
@@ -298,7 +371,7 @@ let count_fast ?(cache = true) ?(distinct = false) ?(leapfrog = false) g plan =
   | Plan.Extend { child; target_label; descriptors; _ } ->
       let c = Counters.create () in
       let gov = Governor.handle (Governor.create Governor.unlimited) in
-      let env = { g; cache; distinct = false; leapfrog; c; gov; prof = None } in
+      let env = { g; cache; distinct = false; leapfrog; c; gov; prof = None; trace = None } in
       let child_driver = compile_rw no_rewrite env child in
       let nd = Array.length descriptors in
       let total = ref 0 in

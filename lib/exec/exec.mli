@@ -63,6 +63,11 @@ type env = {
       (** when set, {!compile_rw} wraps every operator's driver with
           {!Profile.wrap}; when [None] the compiled pipeline carries no
           profiling code at all (the branch is at compile time) *)
+  trace : Gf_obs.Trace.buf option;
+      (** when set, the executor records phase spans (hash-join build/probe,
+          giant segmented intersections) into this buffer; per-tuple code is
+          never instrumented, so [None] vs [Some] differs only at operator
+          phase boundaries *)
 }
 
 (** [tuple_contains t len v] tests whether [v] occurs in [t.(0 .. len-1)] —
@@ -101,7 +106,13 @@ val run_rw :
   Gf_plan.Plan.t ->
   Counters.t
 
-(** [run_gov_rw] is {!run_rw} also returning the structured outcome. *)
+(** [run_gov_rw] is {!run_rw} also returning the structured outcome.
+
+    [trace] opts the run into span tracing: the executor registers its own
+    recording buffer (tid 1) on the trace, records an [execute] root span
+    plus hash-join / giant-intersection phase spans, and synthesizes a
+    per-operator summary track (tid 100) from the profile after the run. A
+    traced run is implicitly profiled. *)
 val run_gov_rw :
   rewrite:rewrite ->
   ?cache:bool ->
@@ -110,10 +121,18 @@ val run_gov_rw :
   ?limit:int ->
   ?gov:Governor.t ->
   ?prof:Profile.t ->
+  ?trace:Gf_obs.Trace.t ->
   ?sink:(int array -> unit) ->
   Gf_graph.Graph.t ->
   Gf_plan.Plan.t ->
   Counters.t * Governor.outcome
+
+(** [emit_operator_track tr prof ~t0_us] synthesizes the per-operator
+    summary track: one span per operator, durations = profile self-times,
+    packed sequentially from [t0_us] on thread [tid] (default 100) so their
+    lengths sum exactly to the profile's totals. Used by the sequential and
+    parallel executors; exposed for cooperating runners. *)
+val emit_operator_track : ?tid:int -> ?name:string -> Gf_obs.Trace.t -> Profile.t -> t0_us:int -> unit
 
 (** [run_gov ?budget ?fault g p] executes under the given budget (default
     {!Governor.unlimited}) and reports how the query ended: [Completed],
@@ -131,6 +150,7 @@ val run_gov :
   ?fault:Governor.fault ->
   ?gov:Governor.t ->
   ?prof:Profile.t ->
+  ?trace:Gf_obs.Trace.t ->
   ?sink:(int array -> unit) ->
   Gf_graph.Graph.t ->
   Gf_plan.Plan.t ->

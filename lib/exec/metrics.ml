@@ -6,15 +6,17 @@
 type counter = { c_name : string; c_help : string; value : int Atomic.t }
 
 (* Log-bucketed histogram: bucket [i] counts observations <= le.(i); the
-   last implicit bucket is +Inf. Sums are stored as micro-units in an
-   atomic int so observation needs no lock. *)
+   last implicit bucket is +Inf. Sums are stored as nano-units in an
+   atomic int so observation needs no lock; nanoseconds rather than
+   microseconds because sub-µs operator timings would otherwise truncate
+   to zero and drift [_sum] low. 63-bit ns still covers ~292 years. *)
 type histogram = {
   h_name : string;
   h_help : string;
   le : float array;
   buckets : int Atomic.t array;
   inf : int Atomic.t;
-  sum_us : int Atomic.t;
+  sum_ns : int Atomic.t;
   count : int Atomic.t;
 }
 
@@ -53,7 +55,7 @@ let histogram ?(help = "") ?(buckets = default_buckets) name =
               le = buckets;
               buckets = Array.map (fun _ -> Atomic.make 0) buckets;
               inf = Atomic.make 0;
-              sum_us = Atomic.make 0;
+              sum_ns = Atomic.make 0;
               count = Atomic.make 0;
             }
           in
@@ -69,10 +71,38 @@ let observe h v =
   (match find 0 with
   | Some i -> ignore (Atomic.fetch_and_add h.buckets.(i) 1)
   | None -> ignore (Atomic.fetch_and_add h.inf 1));
-  ignore (Atomic.fetch_and_add h.sum_us (int_of_float (v *. 1e6)));
+  ignore (Atomic.fetch_and_add h.sum_ns (int_of_float (Float.round (v *. 1e9))));
   ignore (Atomic.fetch_and_add h.count 1)
 
 let histogram_count h = Atomic.get h.count
+let histogram_sum h = float_of_int (Atomic.get h.sum_ns) /. 1e9
+
+(* Quantile estimate by linear interpolation inside the log buckets: find
+   the bucket where the cumulative count crosses [p * count], then place
+   the value proportionally between the bucket's bounds. Coarse (buckets
+   double), but monotone and good enough for slowlog p50/p95/p99. *)
+let quantile h p =
+  let count = Atomic.get h.count in
+  if count = 0 then Float.nan
+  else
+    let p = Float.min 1.0 (Float.max 0.0 p) in
+    let target = p *. float_of_int count in
+    let n = Array.length h.le in
+    let rec walk i cum =
+      if i >= n then
+        (* Target falls in the +Inf bucket: no upper bound to interpolate
+           against, report the last finite boundary. *)
+        if n = 0 then Float.nan else h.le.(n - 1)
+      else
+        let c = cum + Atomic.get h.buckets.(i) in
+        if float_of_int c >= target && c > cum then
+          let lo = if i = 0 then 0.0 else h.le.(i - 1) in
+          let hi = h.le.(i) in
+          let frac = (target -. float_of_int cum) /. float_of_int (c - cum) in
+          lo +. (frac *. (hi -. lo))
+        else walk (i + 1) c
+    in
+    walk 0 0
 
 let reset () = with_lock (fun () -> Hashtbl.reset registry)
 
@@ -107,7 +137,7 @@ let exposition () =
                (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" h.h_name !cum);
              Buffer.add_string buf
                (Printf.sprintf "%s_sum %g\n" h.h_name
-                  (float_of_int (Atomic.get h.sum_us) /. 1e6));
+                  (float_of_int (Atomic.get h.sum_ns) /. 1e9));
              Buffer.add_string buf
                (Printf.sprintf "%s_count %d\n" h.h_name (Atomic.get h.count)));
   Buffer.contents buf

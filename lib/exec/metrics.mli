@@ -31,6 +31,16 @@ val observe : histogram -> float -> unit
 
 val histogram_count : histogram -> int
 
+(** Sum of all observations in seconds. Accumulated internally in integer
+    nanoseconds so sub-microsecond observations do not truncate away. *)
+val histogram_sum : histogram -> float
+
+(** [quantile h p] estimates the [p]-quantile ([0. <= p <= 1.]) by linear
+    interpolation inside the log bucket where the cumulative count crosses
+    [p * count]. Returns [nan] on an empty histogram; a target in the +Inf
+    bucket reports the last finite boundary. *)
+val quantile : histogram -> float -> float
+
 (** Prometheus text exposition of every registered metric, sorted by name:
     [# TYPE] lines, cumulative [_bucket{le="..."}] rows, [_sum] and
     [_count]. *)

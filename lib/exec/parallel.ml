@@ -2,6 +2,7 @@ module Graph = Gf_graph.Graph
 module Plan = Gf_plan.Plan
 module Deque = Gf_util.Deque
 module Timing = Gf_util.Timing
+module Trace = Gf_obs.Trace
 
 type report = {
   counters : Counters.t;
@@ -125,13 +126,17 @@ let chunked_scan (env : Exec.env) node next chunk num_sources =
    table. Returns the tables (keyed by physical plan node) and the counters
    of the whole build phase — so build tuples are counted once, not once per
    execution domain. *)
-let build_tables ~domains ~cache ~distinct ~leapfrog ~gov ~prof g plan =
+let build_tables ~domains ~cache ~distinct ~leapfrog ~gov ~prof ~tbuf g plan =
   let build_c = Counters.create () in
   let tables = ref [] in
   List.iter
     (fun node ->
       match node with
       | Plan.Hash_join { build; build_key_pos; _ } ->
+          let before_build = build_c.Counters.hj_build_tuples in
+          (match tbuf with
+          | Some tb -> Trace.begin_span ~cat:"hash-join" tb "build-table"
+          | None -> ());
           let key_len = Array.length build_key_pos in
           let row_len = Array.length (Plan.vars build) in
           let bscan = driving_scan build in
@@ -148,7 +153,9 @@ let build_tables ~domains ~cache ~distinct ~leapfrog ~gov ~prof g plan =
             let c = Counters.create () in
             let h = Governor.handle gov in
             let dprof = Option.map Profile.fresh prof in
-            let env = { Exec.g; cache; distinct; leapfrog; c; gov = h; prof = dprof } in
+            let env =
+              { Exec.g; cache; distinct; leapfrog; c; gov = h; prof = dprof; trace = None }
+            in
             let local = Join_table.create ~key_len ~row_len in
             let row_bytes = Join_table.bytes_per_row local in
             let rewrite recurse env n =
@@ -200,6 +207,12 @@ let build_tables ~domains ~cache ~distinct ~leapfrog ~gov ~prof g plan =
               | Some into, Some p -> Profile.merge_into ~into p
               | _ -> ())
             results;
+          (match tbuf with
+          | Some tb ->
+              Trace.end_span
+                ~args:[ ("rows", Int (build_c.Counters.hj_build_tuples - before_build)) ]
+                tb
+          | None -> ());
           tables := (node, table) :: !tables
       | _ -> assert false)
     (collect_joins plan);
@@ -216,8 +229,13 @@ type morsel = Range of int * int | Batch of int array
 let max_local = 32
 
 let run ?(domains = 1) ?(cache = true) ?(distinct = false) ?(leapfrog = false) ?limit
-    ?budget ?fault ?gov ?prof ?sink ?(chunk = 64) ?(batch = 256) g plan =
+    ?budget ?fault ?gov ?prof ?trace ?sink ?(chunk = 64) ?(batch = 256) g plan =
   let domains = max 1 domains in
+  (* A traced run is implicitly profiled: the merged profile feeds the
+     per-operator summary track, mirroring the sequential executor. *)
+  let prof = match (prof, trace) with None, Some _ -> Some (Profile.create plan) | _ -> prof in
+  let cbuf = Option.map (fun tr -> Trace.buffer ~name:"coordinator" tr ~tid:9) trace in
+  let t0_us = Trace.now_us () in
   let gov =
     match gov with
     | Some t -> t
@@ -238,7 +256,13 @@ let run ?(domains = 1) ?(cache = true) ?(distinct = false) ?(leapfrog = false) ?
         in
         Governor.create ?fault b
   in
-  let tables, build_c = build_tables ~domains ~cache ~distinct ~leapfrog ~gov ~prof g plan in
+  (match cbuf with
+  | Some tb -> Trace.begin_span ~cat:"parallel" ~args:[ ("domains", Int domains) ] tb "build-tables"
+  | None -> ());
+  let tables, build_c =
+    build_tables ~domains ~cache ~distinct ~leapfrog ~gov ~prof ~tbuf:cbuf g plan
+  in
+  (match cbuf with Some tb -> Trace.end_span tb | None -> ());
   let driver_node = driving_scan plan in
   let boundary_node = find_boundary plan in
   let bwidth = Array.length (Plan.vars boundary_node) in
@@ -261,7 +285,14 @@ let run ?(domains = 1) ?(cache = true) ?(distinct = false) ?(leapfrog = false) ?
     let c = Counters.create () in
     let h = Governor.handle gov in
     let dprof = Option.map Profile.fresh prof in
-    let env = { Exec.g; cache; distinct; leapfrog; c; gov = h; prof = dprof } in
+    (* Each domain records into its own buffer — registration takes the
+       trace mutex once per domain, recording is domain-local mutation. *)
+    let wbuf =
+      Option.map
+        (fun tr -> Trace.buffer ~name:(Printf.sprintf "domain %d" wid) tr ~tid:(10 + wid))
+        trace
+    in
+    let env = { Exec.g; cache; distinct; leapfrog; c; gov = h; prof = dprof; trace = wbuf } in
     let own = deques.(wid) in
     (* The root sink: claims an output slot from the governor (atomic under
        an output cap — over-claims abort the claiming worker via [Trip], so
@@ -362,7 +393,7 @@ let run ?(domains = 1) ?(cache = true) ?(distinct = false) ?(leapfrog = false) ?
                   if v = wid then go (k + 1)
                   else
                     match Deque.steal deques.(v) with
-                    | Some m -> Some m
+                    | Some m -> Some (m, v)
                     | None -> go (k + 1)
               in
               go 0
@@ -376,15 +407,34 @@ let run ?(domains = 1) ?(cache = true) ?(distinct = false) ?(leapfrog = false) ?
                 ~finally:(fun () ->
                   c.Counters.busy_s <- c.Counters.busy_s +. (Timing.now_s () -. t0);
                   Atomic.decr pending)
-                (fun () -> process m)
+                (fun () ->
+                  (* The untraced path is this single match — no span
+                     machinery runs when tracing is off. *)
+                  match wbuf with
+                  | None -> process m
+                  | Some tb ->
+                      let args =
+                        match m with
+                        | Range (rlo, rhi) ->
+                            [ ("kind", Trace.Str "range"); ("lo", Trace.Int rlo); ("hi", Int rhi) ]
+                        | Batch data ->
+                            [ ("kind", Trace.Str "batch");
+                              ("rows", Int (Array.length data / bwidth));
+                            ]
+                      in
+                      Trace.span ~cat:"morsel" ~args tb "morsel" (fun () -> process m))
             in
             while (not (Governor.tripped gov)) && Atomic.get pending > 0 do
               match Deque.pop_bottom own with
               | Some m -> timed m
               | None -> (
                   match steal_one () with
-                  | Some m ->
+                  | Some (m, v) ->
                       c.Counters.steals <- c.Counters.steals + 1;
+                      (match wbuf with
+                      | Some tb ->
+                          Trace.instant ~cat:"steal" ~args:[ ("victim", Trace.Int v) ] tb "steal"
+                      | None -> ());
                       timed m
                   | None -> Domain.cpu_relax ())
             done;
@@ -397,6 +447,7 @@ let run ?(domains = 1) ?(cache = true) ?(distinct = false) ?(leapfrog = false) ?
     in
     let driver = Exec.compile_rw rewrite env plan in
     (match dprof with Some p -> Profile.start p c | None -> ());
+    (match wbuf with Some tb -> Trace.begin_span ~cat:"worker" tb "worker" | None -> ());
     (* Workers never let an exception escape: a raising [Domain.join] would
        leak the remaining domains. Budget trips end the worker quietly;
        anything else is recorded as a structured failure (tripping the
@@ -404,14 +455,34 @@ let run ?(domains = 1) ?(cache = true) ?(distinct = false) ?(leapfrog = false) ?
     (try driver emit_out with
     | Governor.Trip -> ()
     | e -> Governor.fail gov ~operator:"worker" ~detail:(Printexc.to_string e));
+    (match wbuf with
+    | Some tb ->
+        (* An unwinding Trip can leave morsel spans open; close them so the
+           export stays balanced. *)
+        Trace.close_all tb;
+        ignore
+          (Trace.instant ~cat:"worker"
+             ~args:
+               [ ("morsels", Trace.Int c.Counters.morsels);
+                 ("steals", Int c.Counters.steals);
+                 ("output", Int c.Counters.output);
+               ]
+             tb "worker-done")
+    | None -> ());
     (match dprof with Some p -> Profile.finish p c | None -> ());
     Governor.finish h c;
     (c, dprof)
   in
+  (match cbuf with Some tb -> Trace.begin_span ~cat:"parallel" tb "run" | None -> ());
   let results =
     if domains <= 1 then [| worker 0 () |]
     else Array.map Domain.join (Array.init domains (fun i -> Domain.spawn (worker i)))
   in
+  (match cbuf with
+  | Some tb ->
+      Trace.end_span tb;
+      Trace.close_all tb
+  | None -> ());
   (* Merge the per-domain profiles in the coordinating thread, keyed by the
      shared preorder operator ids — same shape for every domain, so the
      merged profile is identical in form to a sequential one. *)
@@ -419,6 +490,12 @@ let run ?(domains = 1) ?(cache = true) ?(distinct = false) ?(leapfrog = false) ?
   | Some into ->
       Array.iter (fun (_, dprof) -> Option.iter (fun p -> Profile.merge_into ~into p) dprof) results
   | None -> ());
+  (* One merged operator-summary track: durations are self-times summed
+     across build and all domains, so the track reads as CPU time (it can
+     exceed the wall clock, like [busy_s]). *)
+  (match (trace, prof) with
+  | Some tr, Some p -> Exec.emit_operator_track tr p ~t0_us
+  | _ -> ());
   let per_domain = Array.map fst results in
   {
     counters = Counters.merge (build_c :: Array.to_list per_domain);
@@ -442,7 +519,9 @@ let run_chunked ?(domains = 1) ?(cache = true) ?(chunk = 64) g plan =
     let t0 = Timing.now_s () in
     let c = Counters.create () in
     let gov = Governor.handle (Governor.create Governor.unlimited) in
-    let env = { Exec.g; cache; distinct = false; leapfrog = false; c; gov; prof = None } in
+    let env =
+      { Exec.g; cache; distinct = false; leapfrog = false; c; gov; prof = None; trace = None }
+    in
     let rewrite _recurse (env : Exec.env) node =
       if node == driver_node then Some (chunked_scan env node next chunk num_sources)
       else None

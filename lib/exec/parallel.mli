@@ -51,7 +51,15 @@ type report = {
     {!Profile.fresh} copy (same operator-id space) and the copies are
     merged into [prof] after the domains join — counter columns are
     exact, per-operator time sums CPU time across domains. Build-phase
-    work is profiled once, like its counters. *)
+    work is profiled once, like its counters.
+
+    [trace] opts the run into span tracing: a coordinator buffer (tid 9)
+    records the table-build and run phases, each domain records its own
+    buffer (tid 10+wid) with a [worker] root span, per-morsel spans and
+    steal markers, and a merged per-operator summary track (tid 100) is
+    synthesized from the profile after the domains join. Domains never
+    share a recording buffer, so tracing adds no cross-domain contention;
+    a traced run is implicitly profiled. *)
 val run :
   ?domains:int ->
   ?cache:bool ->
@@ -62,6 +70,7 @@ val run :
   ?fault:Governor.fault ->
   ?gov:Governor.t ->
   ?prof:Profile.t ->
+  ?trace:Gf_obs.Trace.t ->
   ?sink:(int array -> unit) ->
   ?chunk:int ->
   ?batch:int ->

@@ -1,0 +1,298 @@
+module Timing = Gf_util.Timing
+
+type arg = Int of int | Str of string | Float of float
+
+type span = {
+  name : string;
+  cat : string;
+  tid : int;
+  ts_us : int;
+  dur_us : int;
+  depth : int;
+  args : (string * arg) list;
+}
+
+type open_span = {
+  o_name : string;
+  o_cat : string;
+  o_ts : int;
+  o_args : (string * arg) list;
+}
+
+(* One buffer per recording thread of control (an OCaml domain, a service
+   worker thread). Recording mutates only this buffer — no atomics, no
+   locks, no contention between domains. The ring overwrites its oldest
+   completed span when full (flight-recorder semantics); [n] keeps counting
+   so drops are visible. *)
+type buf = {
+  tid : int;
+  tname : string;
+  cap : int;
+  ring : span array;
+  mutable n : int; (* total spans recorded; slot = n mod cap *)
+  mutable stack : open_span list;
+}
+
+type t = {
+  capacity : int;
+  m : Mutex.t; (* guards [bufs] registration/export only, never recording *)
+  mutable bufs : buf list;
+}
+
+let dummy_span = { name = ""; cat = ""; tid = 0; ts_us = 0; dur_us = 0; depth = 0; args = [] }
+
+let create ?(capacity = 8192) () =
+  { capacity = max 16 capacity; m = Mutex.create (); bufs = [] }
+
+let buffer ?(name = "") t ~tid =
+  let b =
+    {
+      tid;
+      tname = name;
+      cap = t.capacity;
+      ring = Array.make t.capacity dummy_span;
+      n = 0;
+      stack = [];
+    }
+  in
+  Mutex.lock t.m;
+  t.bufs <- b :: t.bufs;
+  Mutex.unlock t.m;
+  b
+
+let now_us = Timing.now_us
+
+let push b s =
+  b.ring.(b.n mod b.cap) <- s;
+  b.n <- b.n + 1
+
+let add_complete ?(cat = "") ?(args = []) b ~name ~ts_us ~dur_us =
+  push b
+    { name; cat; tid = b.tid; ts_us; dur_us = max 0 dur_us; depth = List.length b.stack; args }
+
+let begin_span ?(cat = "") ?(args = []) b name =
+  b.stack <- { o_name = name; o_cat = cat; o_ts = Timing.now_us (); o_args = args } :: b.stack
+
+let end_span ?(args = []) b =
+  match b.stack with
+  | [] -> () (* unmatched end: ignore rather than corrupt the stack *)
+  | o :: rest ->
+      b.stack <- rest;
+      let now = Timing.now_us () in
+      push b
+        {
+          name = o.o_name;
+          cat = o.o_cat;
+          tid = b.tid;
+          ts_us = o.o_ts;
+          dur_us = max 0 (now - o.o_ts);
+          depth = List.length rest;
+          args = o.o_args @ args;
+        }
+
+let span ?cat ?args b name f =
+  begin_span ?cat ?args b name;
+  Fun.protect ~finally:(fun () -> end_span b) f
+
+let instant ?(cat = "") ?(args = []) b name =
+  add_complete ~cat ~args b ~name ~ts_us:(Timing.now_us ()) ~dur_us:0
+
+(* Close every open span — the unwind path (governor trips, faults) skips
+   the orderly end_span calls, and an export must never see an unbalanced
+   stack. *)
+let close_all b = while b.stack <> [] do end_span b done
+
+let buf_spans b =
+  let stored = min b.n b.cap in
+  (* Oldest first: recording order within the buffer. *)
+  List.init stored (fun i -> b.ring.((b.n - stored + i) mod b.cap))
+
+let with_bufs t f =
+  Mutex.lock t.m;
+  let bufs = t.bufs in
+  Mutex.unlock t.m;
+  f (List.rev bufs)
+
+let spans t =
+  with_bufs t (fun bufs ->
+      List.concat_map buf_spans bufs |> List.stable_sort (fun a b -> compare a.ts_us b.ts_us))
+
+let dropped t =
+  with_bufs t (fun bufs -> List.fold_left (fun acc b -> acc + max 0 (b.n - b.cap)) 0 bufs)
+
+(* --- export ------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let arg_to_json = function
+  | Int i -> string_of_int i
+  | Float f ->
+      if Float.is_nan f then "null"
+      else if Float.abs f = infinity then "1e999"
+      else Printf.sprintf "%.6g" f
+  | Str s -> "\"" ^ json_escape s ^ "\""
+
+let args_to_json args =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) (arg_to_json v)) args)
+  ^ "}"
+
+(* A begin or end event in the exported stream. *)
+type event = { e_ph : char; e_name : string; e_cat : string; e_tid : int; e_ts : int;
+               e_args : (string * arg) list }
+
+(* Per-tid well-nested B/E emission. Spans within one tid come from a stack
+   discipline so they nest by construction, but merged synthesized spans and
+   µs truncation can produce boundary ties; sorting containers first and
+   clamping children to their parent's end makes the output provably
+   balanced and properly nested whatever the input. *)
+let events_of_tid tid spans =
+  let arr = Array.of_list spans in
+  let key s = (s.ts_us, -(s.ts_us + s.dur_us), s.depth) in
+  (* Stable: ties keep recording order. *)
+  let idx = Array.mapi (fun i s -> (key s, i, s)) arr in
+  Array.sort (fun (ka, ia, _) (kb, ib, _) -> compare (ka, ia) (kb, ib)) idx;
+  let out = ref [] in
+  let emit e = out := e :: !out in
+  let stack = ref [] in
+  let close_upto ts =
+    let rec go () =
+      match !stack with
+      | (s, e) :: rest when e <= ts ->
+          emit { e_ph = 'E'; e_name = s.name; e_cat = s.cat; e_tid = tid; e_ts = e; e_args = [] };
+          stack := rest;
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  Array.iter
+    (fun (_, _, s) ->
+      close_upto s.ts_us;
+      let end_ts =
+        match !stack with
+        | (_, parent_end) :: _ -> min (s.ts_us + s.dur_us) parent_end
+        | [] -> s.ts_us + s.dur_us
+      in
+      emit { e_ph = 'B'; e_name = s.name; e_cat = s.cat; e_tid = tid; e_ts = s.ts_us; e_args = s.args };
+      stack := (s, end_ts) :: !stack)
+    idx;
+  List.iter
+    (fun (s, e) ->
+      emit { e_ph = 'E'; e_name = s.name; e_cat = s.cat; e_tid = tid; e_ts = e; e_args = [] })
+    !stack;
+  stack := [];
+  List.rev !out
+
+let by_tid (spans : span list) =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (s : span) ->
+      let l = Option.value (Hashtbl.find_opt tbl s.tid) ~default:[] in
+      Hashtbl.replace tbl s.tid (s :: l))
+    spans;
+  Hashtbl.fold (fun tid l acc -> (tid, List.rev l) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let events t =
+  let spans = spans t in
+  List.concat_map (fun (tid, ss) -> events_of_tid tid ss) (by_tid spans)
+
+let chrome_events t =
+  List.map (fun e -> (e.e_ph, e.e_tid, e.e_ts, e.e_name)) (events t)
+
+let to_chrome_json t =
+  let evs = events t in
+  let base = List.fold_left (fun acc e -> min acc e.e_ts) max_int evs in
+  let base = if base = max_int then 0 else base in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let add s =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf s
+  in
+  add "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"gfq\"}}";
+  with_bufs t (fun bufs ->
+      List.iter
+        (fun b ->
+          if b.tname <> "" then
+            add
+              (Printf.sprintf
+                 "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+                 b.tid (json_escape b.tname)))
+        bufs);
+  List.iter
+    (fun e ->
+      let cat = if e.e_cat = "" then "span" else e.e_cat in
+      let args = if e.e_args = [] then "" else ",\"args\":" ^ args_to_json e.e_args in
+      add
+        (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"ts\":%d,\"pid\":1,\"tid\":%d%s}"
+           (json_escape e.e_name) (json_escape cat) e.e_ph (e.e_ts - base) e.e_tid args))
+    evs;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+(* --- terminal renderer ------------------------------------------------- *)
+
+let arg_to_string = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+
+let render t =
+  let buf = Buffer.create 1024 in
+  let name_of_tid tid =
+    with_bufs t (fun bufs ->
+        match List.find_opt (fun b -> b.tid = tid && b.tname <> "") bufs with
+        | Some b -> Printf.sprintf "tid %d (%s)" tid b.tname
+        | None -> Printf.sprintf "tid %d" tid)
+  in
+  List.iter
+    (fun (tid, ss) ->
+      Buffer.add_string buf (name_of_tid tid);
+      Buffer.add_char buf '\n';
+      (* Rebuild the nesting with the same walk the exporter uses, printing
+         a line per B event at its stack depth. *)
+      let evs = events_of_tid tid ss in
+      let depth = ref 0 in
+      let durations = Hashtbl.create 64 in
+      List.iter (fun s -> Hashtbl.add durations (s.ts_us, s.name) s.dur_us) ss;
+      List.iter
+        (fun e ->
+          match e.e_ph with
+          | 'B' ->
+              let dur = Option.value (Hashtbl.find_opt durations (e.e_ts, e.e_name)) ~default:0 in
+              let args =
+                if e.e_args = [] then ""
+                else
+                  "  ["
+                  ^ String.concat " "
+                      (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k (arg_to_string v)) e.e_args)
+                  ^ "]"
+              in
+              Buffer.add_string buf
+                (Printf.sprintf "  %-*s%-*s %10.3fms%s\n" (2 * !depth) "" (max 1 (40 - (2 * !depth)))
+                   e.e_name
+                   (float_of_int dur /. 1000.)
+                   args);
+              incr depth
+          | _ -> decr depth)
+        evs)
+    (by_tid (spans t));
+  let d = dropped t in
+  if d > 0 then Buffer.add_string buf (Printf.sprintf "  (%d spans dropped by full ring buffers)\n" d);
+  Buffer.contents buf

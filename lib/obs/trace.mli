@@ -1,0 +1,93 @@
+(** Span tracing with per-thread ring buffers and Chrome trace-event export.
+
+    Each recording thread of control (an OCaml domain, a service worker)
+    owns a {!buf}; recording into it is plain mutation of thread-local
+    state, so concurrent domains never contend. Buffers are merged only at
+    export time, under the trace's registration mutex.
+
+    Spans are stored {e completed} — a begin/end pair becomes one ring
+    entry when the span ends — and the exporter re-derives balanced,
+    properly nested [B]/[E] event pairs per tid, so a trace loads cleanly
+    in Perfetto / [chrome://tracing] even when ring overwrite dropped
+    ancestors. *)
+
+(** A span argument value, rendered into the Chrome [args] object. *)
+type arg = Int of int | Str of string | Float of float
+
+type span = {
+  name : string;
+  cat : string;
+  tid : int;
+  ts_us : int;  (** wall-clock start, µs ({!Gf_util.Timing.now_us}) *)
+  dur_us : int;
+  depth : int;  (** nesting depth at recording time *)
+  args : (string * arg) list;
+}
+
+(** Per-thread recording buffer. Not thread-safe: each buffer must be used
+    by exactly one thread of control. *)
+type buf
+
+(** A trace: a set of registered buffers sharing one capacity. *)
+type t
+
+(** [create ?capacity ()] makes an empty trace. [capacity] (default 8192)
+    is the per-buffer ring size; when a buffer fills, its oldest spans are
+    overwritten and counted in {!dropped}. *)
+val create : ?capacity:int -> unit -> t
+
+(** [buffer ?name t ~tid] registers a new recording buffer. [tid] becomes
+    the Chrome thread id; [name], if nonempty, is exported as the thread
+    name. Safe to call from any domain. *)
+val buffer : ?name:string -> t -> tid:int -> buf
+
+(** Current wall clock in integer microseconds — the span timestamp unit,
+    re-exported for callers synthesizing spans via {!add_complete}. *)
+val now_us : unit -> int
+
+(** [begin_span b name] opens a span now. Nesting is tracked per buffer. *)
+val begin_span : ?cat:string -> ?args:(string * arg) list -> buf -> string -> unit
+
+(** [end_span b] closes the innermost open span, recording it into the
+    ring. [args] are appended to the span's begin-time args. A call with no
+    open span is ignored. *)
+val end_span : ?args:(string * arg) list -> buf -> unit
+
+(** [span b name f] runs [f ()] inside a span, closing it even on raise. *)
+val span : ?cat:string -> ?args:(string * arg) list -> buf -> string -> (unit -> 'a) -> 'a
+
+(** [instant b name] records a zero-duration marker (steals, trips). *)
+val instant : ?cat:string -> ?args:(string * arg) list -> buf -> string -> unit
+
+(** [add_complete b ~name ~ts_us ~dur_us] records an already-measured span
+    (queue waits, operator summaries synthesized from a {e Profile}). *)
+val add_complete :
+  ?cat:string -> ?args:(string * arg) list -> buf -> name:string -> ts_us:int -> dur_us:int -> unit
+
+(** Close every still-open span in [b] — the unwind path for governor
+    trips and injected faults, so exports never see a dangling stack. *)
+val close_all : buf -> unit
+
+(** All recorded spans across buffers, sorted by start time. Call only
+    after recording threads have quiesced (joined / returned). *)
+val spans : t -> span list
+
+(** Total spans lost to ring overwrite across all buffers. *)
+val dropped : t -> int
+
+(** The exported event stream as [(phase, tid, ts_us, name)] tuples,
+    phase ['B'] or ['E'] — for tests asserting per-tid balance without
+    parsing JSON. *)
+val chrome_events : t -> (char * int * int * string) list
+
+(** Chrome trace-event JSON ([{"traceEvents":[...]}]) with thread-name
+    metadata; timestamps normalized so the earliest event is at 0. *)
+val to_chrome_json : t -> string
+
+(** Terminal span tree: one block per tid, indentation showing nesting,
+    durations in milliseconds. *)
+val render : t -> string
+
+(** JSON string escaping matching the wire protocol's framing rules;
+    shared with {!Recorder}. *)
+val json_escape : string -> string

@@ -118,10 +118,19 @@ let connected_subsets q =
   done;
   by_size
 
-let plan ?(opts = default_opts) cat q =
+let plan ?(opts = default_opts) ?trace cat q =
   check_no_multi_pair q;
   let m = Query.num_vertices q in
   if m < 2 then raise (No_plan "queries need at least 2 vertices");
+  (* Raising paths below (No_plan) bypass the end_span; the trace owner
+     closes dangling spans at export, so a failed optimization still shows
+     as an open-ended [optimize] span rather than corrupting the trace. *)
+  (match trace with
+  | Some tb ->
+      Gf_obs.Trace.begin_span ~cat:"planner"
+        ~args:[ ("vertices", Gf_obs.Trace.Int m); ("edges", Int (Query.num_edges q)) ]
+        tb "optimize"
+  | None -> ());
   let model = Cost_model.create ~cache_conscious:opts.cache_conscious ~weights:opts.weights cat q in
   let table : (Bitset.t, info) Hashtbl.t = Hashtbl.create 64 in
   (* Level 2: scans. *)
@@ -132,11 +141,19 @@ let plan ?(opts = default_opts) cat q =
     (scan_pairs q);
   (* Exhaustive WCO enumeration: best cost and ordering per subset. *)
   let best_wco : (Bitset.t, float * int list) Hashtbl.t = Hashtbl.create 64 in
-  if opts.mode <> Bj_only && m <= opts.beam_threshold then
+  if opts.mode <> Bj_only && m <= opts.beam_threshold then begin
+    (match trace with
+    | Some tb -> Gf_obs.Trace.begin_span ~cat:"planner" tb "wco-enumeration"
+    | None -> ());
     enumerate_wco model q (fun subset cost _chain order_rev ->
         match Hashtbl.find_opt best_wco subset with
         | Some (c, _) when c <= cost -> ()
         | _ -> Hashtbl.replace best_wco subset (cost, order_rev));
+    match trace with
+    | Some tb ->
+        Gf_obs.Trace.end_span ~args:[ ("subsets", Gf_obs.Trace.Int (Hashtbl.length best_wco)) ] tb
+    | None -> ()
+  end;
   (* Full subset enumeration is 2^m: only for small queries. In beam mode
      (Section 4.4) level-k candidates are generated from the kept table
      entries instead — single-vertex extensions of kept (k-1)-subsets and
@@ -172,6 +189,9 @@ let plan ?(opts = default_opts) cat q =
     | Some info -> (
         match best with Some b when b.cost <= info.cost -> best | _ -> ignore s; Some info)
   in
+  (match trace with
+  | Some tb -> Gf_obs.Trace.begin_span ~cat:"planner" tb "dp-enumeration"
+  | None -> ());
   for k = 3 to m do
     List.iter
       (fun s ->
@@ -327,8 +347,16 @@ let plan ?(opts = default_opts) cat q =
       List.iteri (fun i (s, _) -> if i >= opts.beam_width then Hashtbl.remove table s) sorted
     end
   done;
+  (match trace with
+  | Some tb ->
+      Gf_obs.Trace.end_span ~args:[ ("table", Gf_obs.Trace.Int (Hashtbl.length table)) ] tb
+  | None -> ());
   match Hashtbl.find_opt table (Bitset.full m) with
-  | Some info -> (info.plan, info.cost)
+  | Some info ->
+      (match trace with
+      | Some tb -> Gf_obs.Trace.end_span ~args:[ ("cost", Gf_obs.Trace.Float info.cost) ] tb
+      | None -> ());
+      (info.plan, info.cost)
   | None ->
       raise
         (No_plan

@@ -32,8 +32,17 @@ val default_opts : opts
     constraint a triangle is only computable by an intersection). *)
 exception No_plan of string
 
-(** [plan cat q] is the chosen plan and its estimated cost (i-cost units). *)
-val plan : ?opts:opts -> Gf_catalog.Catalog.t -> Gf_query.Query.t -> Gf_plan.Plan.t * float
+(** [plan cat q] is the chosen plan and its estimated cost (i-cost units).
+    [trace] records an [optimize] span with [wco-enumeration] and
+    [dp-enumeration] phase spans into the given buffer — the planner runs on
+    the caller's thread, so it records into the caller's buffer rather than
+    registering its own. *)
+val plan :
+  ?opts:opts ->
+  ?trace:Gf_obs.Trace.buf ->
+  Gf_catalog.Catalog.t ->
+  Gf_query.Query.t ->
+  Gf_plan.Plan.t * float
 
 (** [best_wco_order cat q] is the minimum-estimated-cost query vertex
     ordering over all prefix-connected orderings, with its cost. Used both

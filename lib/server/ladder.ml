@@ -51,7 +51,7 @@ let backoff_delay cfg rng attempt =
   capped *. (0.5 +. Gf.Rng.float rng 0.5)
 
 let run ?(sleep = Unix.sleepf) ?(attach = fun _ -> fun () -> ()) ?fault
-    ?(fault_attempts = 1) ?sink ~rng cfg db q =
+    ?(fault_attempts = 1) ?sink ?trace ?tbuf ~rng cfg db q =
   let rungs = rungs cfg in
   let total = List.length rungs in
   let backoffs = ref [] in
@@ -69,12 +69,28 @@ let run ?(sleep = Unix.sleepf) ?(attach = fun _ -> fun () -> ()) ?fault
             (fun _ -> fun tuple -> buffered := Array.copy tuple :: !buffered)
             sink
         in
+        (match tbuf with
+        | Some b ->
+            Gf.Trace.begin_span ~cat:"ladder"
+              ~args:
+                [ ("rung", Gf.Trace.Str rung.name);
+                  ("attempt", Int (attempt + 1));
+                  ("domains", Int rung.domains);
+                ]
+              b "attempt"
+        | None -> ());
         let c, outcome =
           Fun.protect
             ~finally:(fun () -> detach ())
             (fun () ->
-              Gf.Db.run_gov ~domains:rung.domains ~gov ?sink:attempt_sink db q)
+              Gf.Db.run_gov ~domains:rung.domains ~gov ?trace ?sink:attempt_sink db q)
         in
+        (match tbuf with
+        | Some b ->
+            Gf.Trace.end_span
+              ~args:[ ("outcome", Gf.Trace.Str (Governor.outcome_to_string outcome)) ]
+              b
+        | None -> ());
         let finish ~flush ~degraded =
           (match sink with
           | Some push when flush -> List.iter push (List.rev !buffered)
@@ -105,7 +121,13 @@ let run ?(sleep = Unix.sleepf) ?(attach = fun _ -> fun () -> ()) ?fault
             else begin
               let d = backoff_delay cfg rng attempt in
               backoffs := d :: !backoffs;
-              sleep d;
+              (match tbuf with
+              | Some b ->
+                  Gf.Trace.span ~cat:"ladder"
+                    ~args:[ ("delay_ms", Gf.Trace.Float (d *. 1e3)) ]
+                    b "backoff"
+                    (fun () -> sleep d)
+              | None -> sleep d);
               go (attempt + 1) rest
             end
   in

@@ -58,6 +58,8 @@ val run :
   ?fault:Gf.Governor.fault ->
   ?fault_attempts:int ->
   ?sink:(int array -> unit) ->
+  ?trace:Gf.Trace.t ->
+  ?tbuf:Gf.Trace.buf ->
   rng:Gf.Rng.t ->
   config ->
   Gf.Db.t ->
@@ -71,4 +73,9 @@ val run :
     ({!Gf.Governor.cancel} during drain). [fault] injects a deterministic
     fault into the first [fault_attempts] attempts (default 1: the fault
     fires once and the retry recovers — set it higher to keep a request
-    failing on every rung). [sleep] replaces [Unix.sleepf] in tests. *)
+    failing on every rung). [sleep] replaces [Unix.sleepf] in tests.
+
+    [trace] is forwarded to {!Gf.Db.run_gov} for each attempt; [tbuf] (the
+    caller's recording buffer — the ladder runs on the caller's thread)
+    records an [attempt] span per rung, with outcome, and a [backoff] span
+    per sleep. *)

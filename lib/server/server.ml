@@ -44,6 +44,18 @@ let handle_conn st conn =
           | Ok Wire.Metrics_req ->
               respond (Wire.metrics_resp (Metrics.exposition ()));
               true
+          | Ok Wire.Stats ->
+              respond (Wire.stats_resp (Service.stats st.service));
+              true
+          | Ok (Wire.Slowlog n) ->
+              respond
+                (Wire.slowlog_resp (Gf.Recorder.recent (Service.recorder st.service) n));
+              true
+          | Ok (Wire.Trace_of id) ->
+              (match Gf.Recorder.find_trace (Service.recorder st.service) id with
+              | Some json -> respond (Wire.trace_resp ~id json)
+              | None -> respond (Wire.trace_not_found id));
+              true
           | Ok Wire.Shutdown ->
               respond {|{"ok":true,"type":"shutting_down"}|};
               request_stop st;

@@ -2,6 +2,8 @@ module Gf = Graphflow
 module Governor = Gf.Governor
 module Counters = Gf.Counters
 module Metrics = Gf_exec.Metrics
+module Trace = Gf.Trace
+module Recorder = Gf.Recorder
 
 type config = {
   queue_capacity : int;
@@ -12,6 +14,10 @@ type config = {
   seed : int;
   now : unit -> float;
   sleep : float -> unit;
+  slowlog_capacity : int;
+  trace_retain : int;
+  slow_s : float;
+  trace_capacity : int;
 }
 
 let default_config =
@@ -24,27 +30,35 @@ let default_config =
     seed = 42;
     now = Unix.gettimeofday;
     sleep = Unix.sleepf;
+    slowlog_capacity = 256;
+    trace_retain = 8;
+    slow_s = 0.25;
+    trace_capacity = 8192;
   }
 
 type request = {
   query : Gf.Query.t;
+  text : string;
   timeout_ms : int option;
   max_rows : int option;
   max_intermediate : int option;
   fault_at : int option;
   fault_all : bool;
   collect_rows : bool;
+  trace : bool;
 }
 
 let request query =
   {
     query;
+    text = "";
     timeout_ms = None;
     max_rows = None;
     max_intermediate = None;
     fault_at = None;
     fault_all = false;
     collect_rows = false;
+    trace = false;
   }
 
 type reject_reason = Queue_full | Breaker_open | Draining
@@ -60,6 +74,8 @@ type reply = {
   rows : int array list;
   queue_s : float;
   exec_s : float;
+  record_id : int;
+  traced : bool;
 }
 
 type ticket = {
@@ -75,6 +91,7 @@ type t = {
   db : Gf.Db.t;
   cfg : config;
   breaker : Breaker.t;
+  recorder : Recorder.t;
   m : Mutex.t;
   not_empty : Condition.t;
   queue : job Queue.t;
@@ -83,6 +100,8 @@ type t = {
   mutable is_draining : bool;
   mutable threads : Thread.t list;
 }
+
+let recorder t = t.recorder
 
 (* Metrics looked up by name at record time (the [Db.observe_run] pattern)
    so a [Metrics.reset] between tests is harmless. *)
@@ -163,12 +182,37 @@ let run_job t job =
   in
   let rows = ref [] in
   let sink = if req.collect_rows then Some (fun r -> rows := r :: !rows) else None in
+  (* Tracing is opt-in per request: the untraced path allocates nothing and
+     branches once per phase boundary. A traced request gets its own trace
+     object; the service's lifecycle buffer is tid 0. *)
+  let trace, tbuf =
+    if req.trace then begin
+      let tr = Trace.create ~capacity:t.cfg.trace_capacity () in
+      let b = Trace.buffer ~name:"request" tr ~tid:0 in
+      (* The queue wait already happened; synthesize it so the timeline
+         starts at admission, not at dequeue. *)
+      let now = Trace.now_us () in
+      Trace.add_complete ~cat:"service" b ~name:"queue-wait"
+        ~ts_us:(now - int_of_float (queue_s *. 1e6))
+        ~dur_us:(int_of_float (queue_s *. 1e6));
+      Trace.begin_span ~cat:"service" ~args:[ ("id", Trace.Int tkt.tid) ] b "request";
+      (Some tr, Some b)
+    end
+    else (None, None)
+  in
   let t0 = t.cfg.now () in
   let result =
-    Ladder.run ~sleep:t.cfg.sleep ~attach ?fault ~fault_attempts ?sink ~rng lcfg t.db
-      req.query
+    Ladder.run ~sleep:t.cfg.sleep ~attach ?fault ~fault_attempts ?sink ?trace ?tbuf ~rng lcfg
+      t.db req.query
   in
   let exec_s = t.cfg.now () -. t0 in
+  (match tbuf with
+  | Some b ->
+      Trace.end_span
+        ~args:[ ("rung", Trace.Str result.Ladder.rung); ("attempts", Int result.Ladder.attempts) ]
+        b;
+      Trace.close_all b
+  | None -> ());
   let ok = match result.Ladder.outcome with Governor.Failed _ -> false | _ -> true in
   Breaker.record t.breaker ~ok;
   (match result.Ladder.outcome with
@@ -187,7 +231,34 @@ let run_job t job =
     (Metrics.histogram ~help:"Request execution seconds (attempts + backoffs)"
        "gf_server_request_seconds")
     exec_s;
-  fulfill tkt { id = tkt.tid; result; rows = List.rev !rows; queue_s; exec_s }
+  (* Flight recorder: one record per executed request, always on. The top
+     operators come from the trace's operator-summary spans (traced
+     requests only — the untraced path stays profile-free). *)
+  let top_ops =
+    match trace with
+    | None -> []
+    | Some tr ->
+        Trace.spans tr
+        |> List.filter_map (fun (s : Trace.span) ->
+               if s.Trace.cat = "operator" then
+                 Some (s.Trace.name, float_of_int s.Trace.dur_us /. 1e6)
+               else None)
+        |> List.sort (fun (_, a) (_, b) -> compare b a)
+        |> List.filteri (fun i _ -> i < 3)
+  in
+  let digest =
+    try Gf.Plan.signature (fst (Gf.Db.plan t.db req.query)) with _ -> "?"
+  in
+  let record_id =
+    Recorder.record t.recorder ~query:req.text ~plan:digest
+      ~outcome:(Governor.outcome_to_string result.Ladder.outcome)
+      ~latency_s:exec_s ~queue_s ~rung:result.Ladder.rung ~attempts:result.Ladder.attempts
+      ~retries:result.Ladder.retries ~top_ops ~traced:req.trace
+      ?trace_json:(Option.map Trace.to_chrome_json trace)
+      ()
+  in
+  fulfill tkt
+    { id = tkt.tid; result; rows = List.rev !rows; queue_s; exec_s; record_id; traced = req.trace }
 
 let rec worker_loop t =
   Mutex.lock t.m;
@@ -208,6 +279,9 @@ let create ?(config = default_config) db =
       db;
       cfg = config;
       breaker = Breaker.create ~now:config.now config.breaker;
+      recorder =
+        Recorder.create ~capacity:config.slowlog_capacity ~retain:config.trace_retain
+          ~slow_s:config.slow_s ();
       m = Mutex.create ();
       not_empty = Condition.create ();
       queue = Queue.create ();
@@ -325,6 +399,8 @@ let drain t =
           rows = [];
           queue_s = t.cfg.now () -. job.enqueued_at;
           exec_s = 0.0;
+          record_id = 0;
+          traced = false;
         })
     (List.rev queued);
   List.iter Thread.join threads;
@@ -343,3 +419,39 @@ let queue_depth t =
   n
 
 let breaker_state t = Breaker.state t.breaker
+
+type stats = {
+  s_queue_depth : int;
+  s_breaker : Breaker.state;
+  s_draining : bool;
+  s_admitted : int;
+  s_completed : int;
+  s_truncated : int;
+  s_failed : int;
+  s_retries : int;
+  s_slowlog : int;
+  s_p50_ms : float;
+  s_p95_ms : float;
+  s_p99_ms : float;
+}
+
+(* Counters read by name (0 if never bumped); the latency quantiles come
+   from the request-seconds histogram via [Metrics.quantile]. *)
+let stats t =
+  let cv name = Metrics.counter_value (Metrics.counter name) in
+  let h = Metrics.histogram "gf_server_request_seconds" in
+  let q p = match Metrics.quantile h p with x when Float.is_nan x -> 0.0 | x -> x *. 1e3 in
+  {
+    s_queue_depth = queue_depth t;
+    s_breaker = breaker_state t;
+    s_draining = draining t;
+    s_admitted = cv "gf_server_admitted_total";
+    s_completed = cv "gf_server_requests_completed_total";
+    s_truncated = cv "gf_server_requests_truncated_total";
+    s_failed = cv "gf_server_requests_failed_total";
+    s_retries = cv "gf_server_retries_total";
+    s_slowlog = Recorder.length t.recorder;
+    s_p50_ms = q 0.50;
+    s_p95_ms = q 0.95;
+    s_p99_ms = q 0.99;
+  }

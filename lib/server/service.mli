@@ -37,21 +37,28 @@ type config = {
   seed : int;  (** seeds per-request backoff-jitter streams *)
   now : unit -> float;  (** injectable clock (breaker cooldown, latency) *)
   sleep : float -> unit;  (** injectable backoff sleep *)
+  slowlog_capacity : int;  (** flight-recorder ring size *)
+  trace_retain : int;  (** retained full traces per retention ring *)
+  slow_s : float;  (** latency promoting a trace to the pinned slow ring *)
+  trace_capacity : int;  (** per-buffer span ring size for traced requests *)
 }
 
 val default_config : config
 (** capacity 64, workers 4, default ladder/breaker, no chaos, seed 42,
-    real clock and sleep. *)
+    real clock and sleep; flight recorder of 256 records, 8 retained
+    traces, 250 ms slow threshold. *)
 
 (** One query request. [None] budget fields inherit the ladder's budget. *)
 type request = {
   query : Gf.Query.t;
+  text : string;  (** raw query text, for the flight recorder ("" if unknown) *)
   timeout_ms : int option;
   max_rows : int option;
   max_intermediate : int option;
   fault_at : int option;  (** explicit injected fault (testing) *)
   fault_all : bool;  (** fault every attempt, not just the first *)
   collect_rows : bool;  (** buffer result rows into the reply *)
+  trace : bool;  (** record a full span trace for this request *)
 }
 
 val request : Gf.Query.t -> request
@@ -67,6 +74,8 @@ type reply = {
   rows : int array list;  (** in emission order; [] unless [collect_rows] *)
   queue_s : float;  (** time spent queued *)
   exec_s : float;  (** time spent executing (all attempts + backoffs) *)
+  record_id : int;  (** flight-recorder record id (0 when not recorded) *)
+  traced : bool;  (** a full trace was recorded and retained *)
 }
 
 type ticket
@@ -94,3 +103,29 @@ val drain : t -> unit
 val draining : t -> bool
 val queue_depth : t -> int
 val breaker_state : t -> Breaker.state
+
+(** The always-on flight recorder: one {!Gf.Recorder.record} per executed
+    request (query text, plan digest, outcome, latency, ladder state, top
+    operators by self-time for traced requests), with full traces retained
+    for recent traced requests and pinned for those slower than
+    [config.slow_s]. The [slowlog]/[trace] wire commands read it. *)
+val recorder : t -> Gf.Recorder.t
+
+(** A point-in-time health snapshot for the [stats] wire command. *)
+type stats = {
+  s_queue_depth : int;
+  s_breaker : Breaker.state;
+  s_draining : bool;
+  s_admitted : int;
+  s_completed : int;
+  s_truncated : int;
+  s_failed : int;
+  s_retries : int;
+  s_slowlog : int;  (** records currently held by the flight recorder *)
+  s_p50_ms : float;  (** request-latency quantiles ({!Gf.Metrics.quantile});
+                         0 before the first request *)
+  s_p95_ms : float;
+  s_p99_ms : float;
+}
+
+val stats : t -> stats

@@ -30,7 +30,14 @@ let parse_query s =
         | Ok q -> Ok q
         | Error e -> Error (show_parse_error e))
 
-type request = Ping | Metrics_req | Shutdown | Run of Service.request
+type request =
+  | Ping
+  | Metrics_req
+  | Shutdown
+  | Stats
+  | Slowlog of int
+  | Trace_of of int
+  | Run of Service.request
 
 exception Bad of string
 
@@ -40,7 +47,8 @@ let parse_run rest =
   and max_inter = ref None
   and fault_at = ref None
   and fault_all = ref false
-  and collect = ref false in
+  and collect = ref false
+  and trace = ref false in
   let len = String.length rest in
   let int_v k v =
     match int_of_string_opt v with
@@ -62,6 +70,7 @@ let parse_run rest =
           match tok with
           | "fault_all" -> fault_all := true
           | "rows" -> collect := true
+          | "trace" -> trace := true
           | _ -> raise (Bad (Printf.sprintf "bad option %S (expected key=value)" tok)))
       | Some eq -> (
           let k = String.sub tok 0 eq in
@@ -73,6 +82,7 @@ let parse_run rest =
           | "fault_at" -> fault_at := Some (int_v k v)
           | "fault_all" -> fault_all := v = "1" || v = "true"
           | "rows" -> collect := v = "1" || v = "true"
+          | "trace" -> trace := v = "1" || v = "true"
           | _ -> raise (Bad (Printf.sprintf "unknown option %S" k))));
       go j
     end
@@ -84,12 +94,14 @@ let parse_run rest =
       Ok
         {
           (Service.request query) with
-          Service.timeout_ms = !timeout;
+          Service.text = qtext;
+          timeout_ms = !timeout;
           max_rows = !max_rows;
           max_intermediate = !max_inter;
           fault_at = !fault_at;
           fault_all = !fault_all;
           collect_rows = !collect;
+          trace = !trace;
         }
 
 let parse_request line =
@@ -99,6 +111,23 @@ let parse_request line =
   | "ping" -> Ok Ping
   | "metrics" -> Ok Metrics_req
   | "shutdown" -> Ok Shutdown
+  | "stats" -> Ok Stats
+  | "slowlog" -> Ok (Slowlog 10)
+  | _ when String.length line > 8 && String.sub line 0 8 = "slowlog " -> (
+      let v = String.trim (String.sub line 8 (String.length line - 8)) in
+      match int_of_string_opt v with
+      | Some n when n > 0 -> Ok (Slowlog n)
+      | _ -> Error (Printf.sprintf "slowlog needs a positive count, got %S" v))
+  | _ when String.length line > 6 && String.sub line 0 6 = "trace " -> (
+      let v = String.trim (String.sub line 6 (String.length line - 6)) in
+      let v =
+        if String.length v > 3 && String.sub v 0 3 = "id=" then
+          String.sub v 3 (String.length v - 3)
+        else v
+      in
+      match int_of_string_opt v with
+      | Some n when n > 0 -> Ok (Trace_of n)
+      | _ -> Error (Printf.sprintf "trace needs id=<record id>, got %S" v))
   | _ ->
       let run_body =
         if line = "run" then Some ""
@@ -137,6 +166,11 @@ let ok_run ~(reply : Service.reply) =
       r.Ladder.degraded (json_escape r.Ladder.rung) reply.Service.queue_s
       reply.Service.exec_s
   in
+  let base =
+    if reply.Service.traced then
+      base ^ Printf.sprintf ",\"traced\":true,\"trace_id\":%d" reply.Service.record_id
+    else base
+  in
   if reply.Service.rows = [] then base ^ "}"
   else base ^ ",\"rows\":" ^ rows_json reply.Service.rows ^ "}"
 
@@ -150,3 +184,28 @@ let error_resp ~kind ~detail =
 
 let metrics_resp exposition =
   Printf.sprintf "{\"ok\":true,\"metrics\":\"%s\"}" (json_escape exposition)
+
+let stats_resp (s : Service.stats) =
+  Printf.sprintf
+    "{\"ok\":true,\"queue_depth\":%d,\"breaker\":\"%s\",\"draining\":%b,\"admitted\":%d,\"completed\":%d,\"truncated\":%d,\"failed\":%d,\"retries\":%d,\"slowlog\":%d,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f}"
+    s.Service.s_queue_depth
+    (json_escape (Breaker.state_to_string s.Service.s_breaker))
+    s.Service.s_draining s.Service.s_admitted s.Service.s_completed s.Service.s_truncated
+    s.Service.s_failed s.Service.s_retries s.Service.s_slowlog s.Service.s_p50_ms
+    s.Service.s_p95_ms s.Service.s_p99_ms
+
+(* Embedded query text may contain anything the client typed; the records
+   are escaped JSON objects, so the whole reply stays a single line (the
+   framing rule shared with [metrics_resp]). *)
+let slowlog_resp records =
+  Printf.sprintf "{\"ok\":true,\"count\":%d,\"records\":[%s]}" (List.length records)
+    (String.concat "," (List.map Gf.Recorder.record_to_json records))
+
+(* The retained Chrome JSON is itself single-line (built by
+   [Trace.to_chrome_json], which escapes every string); nest it raw as the
+   last field so clients can split it out by position. *)
+let trace_resp ~id json = Printf.sprintf "{\"ok\":true,\"id\":%d,\"trace\":%s}" id json
+
+let trace_not_found id =
+  Printf.sprintf
+    "{\"ok\":false,\"error\":\"not_found\",\"detail\":\"no retained trace for id %d\"}" id

@@ -4,9 +4,12 @@
     {v
     ping
     metrics
+    stats
+    slowlog [n]
+    trace id=N
     shutdown
     run [timeout_ms=N] [max_rows=N] [max_intermediate=N]
-        [fault_at=N] [fault_all] [rows] q=<query>
+        [fault_at=N] [fault_all] [rows] [trace] q=<query>
     <query>                        (a bare line is a plain run)
     v}
     where [<query>] is anything [gfq] accepts: the edge-list DSL
@@ -27,6 +30,9 @@ type request =
   | Ping
   | Metrics_req
   | Shutdown
+  | Stats  (** service health snapshot *)
+  | Slowlog of int  (** the [n] most recent flight-recorder records *)
+  | Trace_of of int  (** retained Chrome trace JSON for a record id *)
   | Run of Service.request
 
 val parse_request : string -> (request, string) result
@@ -43,10 +49,26 @@ val draining_resp : string
 
 val ok_run : reply:Service.reply -> string
 (** Includes outcome, matches, attempts/retries/degraded/rung, queue and
-    exec seconds, and — when the request collected rows — the rows. *)
+    exec seconds; traced requests additionally carry
+    [,"traced":true,"trace_id":N] (fetch with [trace id=N]); and — when the
+    request collected rows — the rows. *)
 
 val rejected : Service.reject_reason -> string
 val error_resp : kind:string -> detail:string -> string
 val metrics_resp : string -> string
 (** Wraps the Prometheus exposition as [{"ok":true,"metrics":"..."}] with
     newlines escaped, keeping the one-line framing. *)
+
+val stats_resp : Service.stats -> string
+(** [{"ok":true,"queue_depth":..,"breaker":"..","p50_ms":..,...}]. *)
+
+val slowlog_resp : Gf.Recorder.record list -> string
+(** [{"ok":true,"count":N,"records":[...]}]; embedded query text is escaped
+    (newlines become [\n]) so the reply stays one line — the same framing
+    rule as {!metrics_resp}. *)
+
+val trace_resp : id:int -> string -> string
+(** Nests the retained Chrome trace JSON raw as the final [trace] field:
+    [{"ok":true,"id":N,"trace":{...}}]. *)
+
+val trace_not_found : int -> string

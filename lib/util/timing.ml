@@ -2,6 +2,12 @@ let now () = Unix.gettimeofday ()
 
 let now_s = now
 
+(* Integer microseconds on the same clock as [now_s]: the timestamp unit of
+   the Chrome trace-event format, so span stamps need no conversion at
+   export time. One clock for busy-time, profiles and traces keeps the
+   three views of a run comparable. *)
+let now_us () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e6))
+
 let time f =
   let t0 = now () in
   let r = f () in

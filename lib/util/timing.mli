@@ -4,6 +4,10 @@
     per-domain busy-time in the parallel executor. *)
 val now_s : unit -> float
 
+(** [now_us ()] is the same clock in integer microseconds — the native
+    timestamp unit of Chrome trace-event JSON, used by [Gf_obs.Trace]. *)
+val now_us : unit -> int
+
 (** [time f] runs [f ()] and returns [(seconds, result)]. *)
 val time : (unit -> 'a) -> float * 'a
 

@@ -1,0 +1,345 @@
+(* The observability layer: span traces (nesting, ring overwrite, balanced
+   Chrome export, renderer), the flight recorder (ring, retention, slow
+   promotion), metric quantiles and nanosecond sum precision, and the
+   acceptance gates for traced runs: every begin has a matching end per
+   tid, and the operator summary track sums to the profile's totals. *)
+
+module Trace = Gf_obs.Trace
+module Recorder = Gf_obs.Recorder
+module Metrics = Gf_exec.Metrics
+module Exec = Gf_exec.Exec
+module Parallel = Gf_exec.Parallel
+module Profile = Gf_exec.Profile
+module Governor = Gf_exec.Governor
+module Plan = Gf_plan.Plan
+module Generators = Gf_graph.Generators
+module Rng = Gf_util.Rng
+open Gf_query
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let has hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
+
+(* The acceptance gate for every exported trace: per tid, the B/E stream
+   is a well-formed bracket sequence with matching names. *)
+let check_balanced msg tr =
+  let stacks = Hashtbl.create 8 in
+  List.iter
+    (fun (ph, tid, _ts, name) ->
+      let st = Option.value (Hashtbl.find_opt stacks tid) ~default:[] in
+      match ph with
+      | 'B' -> Hashtbl.replace stacks tid (name :: st)
+      | 'E' -> (
+          match st with
+          | top :: rest when top = name -> Hashtbl.replace stacks tid rest
+          | _ -> Alcotest.fail (Printf.sprintf "%s: unmatched E %S on tid %d" msg name tid))
+      | ph -> Alcotest.fail (Printf.sprintf "%s: unknown phase %c" msg ph))
+    (Trace.chrome_events tr);
+  Hashtbl.iter
+    (fun tid st ->
+      if st <> [] then
+        Alcotest.fail (Printf.sprintf "%s: %d unclosed spans on tid %d" msg (List.length st) tid))
+    stacks
+
+(* --- trace core -------------------------------------------------------- *)
+
+let test_trace_nesting () =
+  let tr = Trace.create () in
+  let b = Trace.buffer ~name:"worker" tr ~tid:7 in
+  Trace.begin_span ~cat:"outer" b "a";
+  Trace.begin_span b "b";
+  Trace.instant b "tick";
+  Trace.end_span ~args:[ ("rows", Trace.Int 3) ] b;
+  Trace.end_span b;
+  let spans = Trace.spans tr in
+  check_int "three spans" 3 (List.length spans);
+  let find n = List.find (fun s -> s.Trace.name = n) spans in
+  check_int "outer depth" 0 (find "a").Trace.depth;
+  check_int "inner depth" 1 (find "b").Trace.depth;
+  check_int "instant depth" 2 (find "tick").Trace.depth;
+  check_bool "end args recorded" true
+    (List.mem_assoc "rows" (find "b").Trace.args);
+  check_bool "inner within outer" true
+    ((find "b").Trace.ts_us >= (find "a").Trace.ts_us
+    && (find "b").Trace.ts_us + (find "b").Trace.dur_us
+       <= (find "a").Trace.ts_us + (find "a").Trace.dur_us);
+  check_balanced "nesting" tr;
+  (* Stray end is ignored, not corrupting. *)
+  Trace.end_span b;
+  check_int "stray end ignored" 3 (List.length (Trace.spans tr))
+
+let test_trace_ring_overwrite () =
+  let tr = Trace.create ~capacity:16 () in
+  let b = Trace.buffer tr ~tid:1 in
+  for i = 1 to 50 do
+    Trace.span b (Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  check_int "ring keeps newest" 16 (List.length (Trace.spans tr));
+  check_int "drops counted" 34 (Trace.dropped tr);
+  check_bool "oldest survivor is s35" true
+    (List.exists (fun s -> s.Trace.name = "s35") (Trace.spans tr));
+  check_bool "s34 overwritten" true
+    (not (List.exists (fun s -> s.Trace.name = "s34") (Trace.spans tr)));
+  check_balanced "after overwrite" tr;
+  check_bool "renderer reports drops" true (has (Trace.render tr) "34 spans dropped")
+
+let test_trace_unwind () =
+  (* A governor trip unwinds without orderly end_span calls; close_all must
+     leave a balanced trace, and [span] must close on raise. *)
+  let tr = Trace.create () in
+  let b = Trace.buffer tr ~tid:1 in
+  (try Trace.span b "raising" (fun () -> failwith "boom") with Failure _ -> ());
+  Trace.begin_span b "p";
+  Trace.begin_span b "q";
+  Trace.begin_span b "r";
+  Trace.close_all b;
+  check_int "all recorded" 4 (List.length (Trace.spans tr));
+  check_balanced "unwind" tr
+
+let test_trace_chrome_json () =
+  let tr = Trace.create () in
+  let b = Trace.buffer ~name:"exec" tr ~tid:1 in
+  Trace.span b "we\"ird\nname" (fun () -> Trace.instant b "i");
+  let json = Trace.to_chrome_json tr in
+  check_bool "envelope" true (has json "\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+  check_bool "thread name metadata" true
+    (has json "\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1");
+  check_bool "names escaped" true (has json "we\\\"ird\\nname");
+  check_bool "timestamps normalized to zero" true (has json "\"ts\":0");
+  check_bool "single line" true (not (String.contains json '\n'));
+  (* Synthesized (add_complete) spans merge into the same stream. *)
+  let t0 = Trace.now_us () in
+  Trace.add_complete b ~name:"queue-wait" ~ts_us:(t0 - 500) ~dur_us:200;
+  check_balanced "with synthesized span" tr
+
+let test_trace_concurrent_domains () =
+  (* Domains hammering their own buffers and the shared metrics registry
+     concurrently: no events lost, per-tid streams balanced. *)
+  Metrics.reset ();
+  let tr = Trace.create ~capacity:4096 () in
+  let h = Metrics.histogram "gf_test_obs_concurrent_seconds" in
+  let c = Metrics.counter "gf_test_obs_concurrent_total" in
+  let per_domain = 500 and domains = 4 in
+  let work i () =
+    let b = Trace.buffer ~name:(Printf.sprintf "domain %d" i) tr ~tid:(20 + i) in
+    for j = 1 to per_domain do
+      Trace.span b "work"
+        ~args:[ ("j", Trace.Int j) ]
+        (fun () ->
+          Metrics.observe h 0.4e-6;
+          Metrics.inc c)
+    done
+  in
+  let ds = List.init domains (fun i -> Domain.spawn (work i)) in
+  List.iter Domain.join ds;
+  check_int "no spans lost" (domains * per_domain) (List.length (Trace.spans tr));
+  check_int "no drops" 0 (Trace.dropped tr);
+  check_balanced "concurrent" tr;
+  check_int "no observations lost" (domains * per_domain) (Metrics.histogram_count h);
+  check_int "no increments lost" (domains * per_domain) (Metrics.counter_value c);
+  (* The satellite regression: 2000 sub-microsecond observations must not
+     truncate to a zero _sum (they did when the sum was kept in µs). *)
+  check_bool "sub-microsecond observations accumulate" true (Metrics.histogram_sum h > 0.0);
+  Alcotest.(check (float 0.01)) "ns-accumulated sum" (float_of_int (domains * per_domain) *. 0.4e-6)
+    (Metrics.histogram_sum h)
+
+(* --- metrics: quantiles ------------------------------------------------ *)
+
+let test_quantile () =
+  Metrics.reset ();
+  let buckets = [| 1.0; 2.0; 4.0; 8.0 |] in
+  let h = Metrics.histogram ~buckets "gf_test_obs_quantile_seconds" in
+  check_bool "empty is nan" true (Float.is_nan (Metrics.quantile h 0.5));
+  for _ = 1 to 100 do
+    Metrics.observe h 1.5
+  done;
+  (* All mass in (1,2]: linear interpolation inside that bucket. *)
+  check_float "p50 of uniform bucket" 1.5 (Metrics.quantile h 0.5);
+  check_float "p0 is bucket floor" 1.0 (Metrics.quantile h 0.0);
+  check_float "p100 is bucket ceiling" 2.0 (Metrics.quantile h 1.0);
+  let h2 = Metrics.histogram ~buckets "gf_test_obs_quantile2_seconds" in
+  for _ = 1 to 50 do
+    Metrics.observe h2 0.5
+  done;
+  for _ = 1 to 50 do
+    Metrics.observe h2 3.0
+  done;
+  check_float "p25 in first bucket" 0.5 (Metrics.quantile h2 0.25);
+  check_float "p50 at first bucket ceiling" 1.0 (Metrics.quantile h2 0.5);
+  check_float "p75 in third bucket" 3.0 (Metrics.quantile h2 0.75);
+  let h3 = Metrics.histogram ~buckets "gf_test_obs_quantile3_seconds" in
+  for _ = 1 to 10 do
+    Metrics.observe h3 100.0
+  done;
+  check_float "overflow reports last finite boundary" 8.0 (Metrics.quantile h3 0.5);
+  check_float "clamped p" 8.0 (Metrics.quantile h3 2.0)
+
+let test_sum_precision () =
+  Metrics.reset ();
+  let h = Metrics.histogram "gf_test_obs_precision_seconds" in
+  for _ = 1 to 1000 do
+    Metrics.observe h 0.4e-6
+  done;
+  check_bool "nonzero sum" true (Metrics.histogram_sum h > 0.0);
+  Alcotest.(check (float 1e-6)) "sum close to 0.4ms" 4e-4 (Metrics.histogram_sum h);
+  check_bool "exposition carries the nonzero sum" true
+    (not (has (Metrics.exposition ()) "gf_test_obs_precision_seconds_sum 0.000000"))
+
+(* --- flight recorder --------------------------------------------------- *)
+
+let rec_one ?(traced = false) ?trace_json ?(latency = 0.01) r q =
+  Recorder.record r ~query:q ~plan:"sig" ~outcome:"completed" ~latency_s:latency
+    ~queue_s:0.0 ~rung:"sequential" ~attempts:1 ~retries:0 ~top_ops:[] ~traced ?trace_json ()
+
+let test_recorder_ring () =
+  let r = Recorder.create ~capacity:4 ~retain:2 ~slow_s:0.1 () in
+  let ids = List.init 6 (fun i -> rec_one r (Printf.sprintf "q%d" (i + 1))) in
+  check_bool "ids monotonic from 1" true (ids = [ 1; 2; 3; 4; 5; 6 ]);
+  check_int "ring bounded" 4 (Recorder.length r);
+  let recent = Recorder.recent r 10 in
+  check_bool "newest first, oldest evicted" true
+    (List.map (fun x -> x.Recorder.id) recent = [ 6; 5; 4; 3 ]);
+  check_bool "recent k limits" true (List.length (Recorder.recent r 2) = 2);
+  let j = Recorder.record_to_json (List.hd recent) in
+  check_bool "record json has query" true (has j "\"query\":\"q6\"");
+  check_bool "record json has outcome" true (has j "\"outcome\":\"completed\"")
+
+let test_recorder_retention () =
+  let r = Recorder.create ~capacity:32 ~retain:2 ~slow_s:0.1 () in
+  let t1 = rec_one ~traced:true ~trace_json:"{\"n\":1}" r "t1" in
+  let t2 = rec_one ~traced:true ~trace_json:"{\"n\":2}" r "t2" in
+  let t3 = rec_one ~traced:true ~trace_json:"{\"n\":3}" r "t3" in
+  check_bool "oldest recent trace evicted" true (Recorder.find_trace r t1 = None);
+  check_bool "recent traces kept" true
+    (Recorder.find_trace r t2 = Some "{\"n\":2}" && Recorder.find_trace r t3 = Some "{\"n\":3}");
+  (* A slow trace is pinned: later traffic evicts recent traces around it. *)
+  let s = rec_one ~traced:true ~trace_json:"{\"slow\":1}" ~latency:0.5 r "slow" in
+  check_bool "slow flagged" true (List.exists (fun x -> x.Recorder.slow) (Recorder.recent r 1));
+  let _ = rec_one ~traced:true ~trace_json:"{\"n\":4}" r "t4" in
+  let _ = rec_one ~traced:true ~trace_json:"{\"n\":5}" r "t5" in
+  let _ = rec_one ~traced:true ~trace_json:"{\"n\":6}" r "t6" in
+  check_bool "slow trace outlives recent eviction" true
+    (Recorder.find_trace r s = Some "{\"slow\":1}");
+  check_bool "fast trace evicted meanwhile" true (Recorder.find_trace r t3 = None);
+  check_bool "retained ids ascending include slow" true
+    (let ids = Recorder.retained_ids r in
+     List.mem s ids && List.sort compare ids = ids);
+  check_float "threshold exposed" 0.1 (Recorder.slow_threshold r)
+
+let test_recorder_json_escaping () =
+  let r = Recorder.create () in
+  let _ = rec_one r "a\nb\"c\\d" in
+  let j = Recorder.record_to_json (List.hd (Recorder.recent r 1)) in
+  check_bool "one line" true (not (String.contains j '\n'));
+  check_bool "newline escaped" true (has j "a\\nb\\\"c\\\\d")
+
+(* --- traced runs: the acceptance gates --------------------------------- *)
+
+let graph () = Generators.holme_kim (Rng.create 11) ~n:300 ~m_per:4 ~p_triad:0.5 ~recip:0.4
+
+let hybrid_plan () =
+  let q = Patterns.diamond_x in
+  Plan.hash_join q (Plan.wco q [| 1; 2; 0 |]) (Plan.wco q [| 1; 2; 3 |])
+
+(* Operator summary track vs the profile it was synthesized from: the span
+   durations must sum to the profile's total self time within 5% (they are
+   packed from per-op µs roundings, so in practice they are equal). *)
+let check_operator_track msg tr prof =
+  let ops_total =
+    Array.fold_left (fun acc o -> acc +. o.Profile.time_s) 0.0 (Profile.ops prof)
+  in
+  let track =
+    List.filter (fun s -> s.Trace.cat = "operator") (Trace.spans tr)
+    |> List.fold_left (fun acc s -> acc +. (float_of_int s.Trace.dur_us /. 1e6)) 0.0
+  in
+  check_int (msg ^ ": one span per operator")
+    (Array.length (Profile.ops prof))
+    (List.length (List.filter (fun s -> s.Trace.cat = "operator") (Trace.spans tr)));
+  check_bool
+    (Printf.sprintf "%s: operator track %.6fs within 5%% of profile %.6fs" msg track ops_total)
+    true
+    (Float.abs (track -. ops_total) <= (0.05 *. ops_total) +. 3e-6)
+
+let test_traced_sequential () =
+  let g = graph () in
+  let plan = hybrid_plan () in
+  let tr = Trace.create () in
+  let prof = Profile.create plan in
+  let c, outcome = Exec.run_gov ~prof ~trace:tr g plan in
+  check_bool "completed" true (outcome = Governor.Completed);
+  check_bool "produced matches" true (c.Gf_exec.Counters.output > 0);
+  check_balanced "sequential traced" tr;
+  check_bool "execute span present" true
+    (List.exists (fun s -> s.Trace.name = "execute") (Trace.spans tr));
+  check_bool "hash-join build span present" true
+    (List.exists (fun s -> s.Trace.name = "hj-build") (Trace.spans tr));
+  check_operator_track "sequential" tr prof
+
+let test_traced_sequential_trip () =
+  (* A budget trip unwinds mid-pipeline; the exported trace must still be
+     balanced (the executor's close_all covers the abandoned stack). *)
+  let g = graph () in
+  let plan = hybrid_plan () in
+  let tr = Trace.create () in
+  let _, outcome =
+    Exec.run_gov ~budget:(Governor.budget ~max_output:5 ()) ~trace:tr g plan
+  in
+  check_bool "truncated" true
+    (match outcome with Governor.Truncated _ -> true | _ -> false);
+  check_balanced "truncated traced" tr
+
+let test_traced_parallel () =
+  let g = graph () in
+  let plan = hybrid_plan () in
+  let tr = Trace.create () in
+  let prof = Profile.create plan in
+  let report = Parallel.run ~domains:4 ~prof ~trace:tr g plan in
+  check_bool "parallel completed" true (report.Parallel.outcome = Governor.Completed);
+  check_balanced "parallel traced" tr;
+  let spans = Trace.spans tr in
+  let tids = List.sort_uniq compare (List.map (fun s -> s.Trace.tid) spans) in
+  check_bool "coordinator + 4 domains + operator track" true
+    (List.for_all (fun t -> List.mem t tids) [ 9; 10; 11; 12; 13; 100 ]);
+  check_bool "worker root spans" true
+    (List.length (List.filter (fun s -> s.Trace.name = "worker") spans) = 4);
+  check_bool "morsel spans recorded" true
+    (List.exists (fun s -> s.Trace.name = "morsel") spans);
+  check_operator_track "parallel" tr prof;
+  (* Sequential and parallel agree on the answer even when traced. *)
+  let c_seq = Exec.run g plan in
+  check_int "traced parallel count matches sequential"
+    c_seq.Gf_exec.Counters.output report.Parallel.counters.Gf_exec.Counters.output
+
+let suite =
+  [
+    ( "obs.trace",
+      [
+        Alcotest.test_case "nesting and balance" `Quick test_trace_nesting;
+        Alcotest.test_case "ring overwrite" `Quick test_trace_ring_overwrite;
+        Alcotest.test_case "unwind paths" `Quick test_trace_unwind;
+        Alcotest.test_case "chrome json export" `Quick test_trace_chrome_json;
+        Alcotest.test_case "concurrent domains" `Quick test_trace_concurrent_domains;
+      ] );
+    ( "obs.metrics",
+      [
+        Alcotest.test_case "quantiles" `Quick test_quantile;
+        Alcotest.test_case "nanosecond sum precision" `Quick test_sum_precision;
+      ] );
+    ( "obs.recorder",
+      [
+        Alcotest.test_case "bounded ring" `Quick test_recorder_ring;
+        Alcotest.test_case "trace retention and slow pinning" `Quick test_recorder_retention;
+        Alcotest.test_case "json escaping" `Quick test_recorder_json_escaping;
+      ] );
+    ( "obs.traced-runs",
+      [
+        Alcotest.test_case "sequential" `Quick test_traced_sequential;
+        Alcotest.test_case "budget trip stays balanced" `Quick test_traced_sequential_trip;
+        Alcotest.test_case "parallel acceptance" `Quick test_traced_parallel;
+      ] );
+  ]

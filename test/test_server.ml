@@ -60,7 +60,42 @@ let test_wire_parse () =
   check_bool "bad option" true (Result.is_error (Wire.parse_request "run nope q=Q1"));
   check_bool "bad int" true (Result.is_error (Wire.parse_request "run max_rows=x q=Q1"));
   check_bool "missing q" true (Result.is_error (Wire.parse_request "run max_rows=3"));
-  check_bool "bad query" true (Result.is_error (Wire.parse_request "run q=@@@"))
+  check_bool "bad query" true (Result.is_error (Wire.parse_request "run q=@@@"));
+  (* The observability commands. *)
+  check_bool "stats" true (Wire.parse_request "stats" = Ok Wire.Stats);
+  check_bool "slowlog default" true (Wire.parse_request "slowlog" = Ok (Wire.Slowlog 10));
+  check_bool "slowlog n" true (Wire.parse_request "slowlog 5" = Ok (Wire.Slowlog 5));
+  check_bool "slowlog 0 rejected" true (Result.is_error (Wire.parse_request "slowlog 0"));
+  check_bool "trace id=" true (Wire.parse_request "trace id=3" = Ok (Wire.Trace_of 3));
+  check_bool "trace bare id" true (Wire.parse_request "trace 7" = Ok (Wire.Trace_of 7));
+  check_bool "trace garbage rejected" true (Result.is_error (Wire.parse_request "trace x"));
+  (match Wire.parse_request "run trace q=Q1" with
+  | Ok (Wire.Run r) ->
+      check_bool "trace flag" true r.Service.trace;
+      check_string "query text captured" "Q1" r.Service.text
+  | _ -> Alcotest.fail "run trace must parse");
+  (match Wire.parse_request "run trace=1 rows q=Q1" with
+  | Ok (Wire.Run r) -> check_bool "trace=1" true (r.Service.trace && r.Service.collect_rows)
+  | _ -> Alcotest.fail "run trace=1 must parse")
+
+(* Embedded query text must not break the one-line framing: newlines and
+   quotes come back escaped inside the slowlog reply. *)
+let test_wire_slowlog_escaping () =
+  let r = Gf.Recorder.create () in
+  let _ =
+    Gf.Recorder.record r ~query:"a1->a2,\na2->a3 \"x\"" ~plan:"sig" ~outcome:"completed"
+      ~latency_s:0.01 ~queue_s:0.0 ~rung:"sequential" ~attempts:1 ~retries:0 ~top_ops:[]
+      ~traced:false ()
+  in
+  let resp = Wire.slowlog_resp (Gf.Recorder.recent r 10) in
+  check_bool "single line" true (not (String.contains resp '\n'));
+  let has hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+  in
+  check_bool "count" true (has resp "\"count\":1");
+  check_bool "newline escaped" true (has resp "a1->a2,\\na2->a3 \\\"x\\\"")
 
 (* --- breaker ---------------------------------------------------------- *)
 
@@ -398,6 +433,47 @@ let test_service_drain_cancels_inflight () =
   check_bool "no rows leak from a cancelled request" true (reply.Service.rows = []);
   check_bool "drain prompt" true (elapsed < 30.0)
 
+let test_service_flight_recorder () =
+  Metrics.reset ();
+  let has hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+  in
+  let svc = Service.create ~config:(sync_config ~queue:4 ~ladder:roomy_ladder ()) (db ()) in
+  let plain = { (Service.request triangle) with Service.text = "tri-plain" } in
+  (match Service.submit svc plain with
+  | Ok r ->
+      check_bool "every request is recorded" true (r.Service.record_id > 0);
+      check_bool "plain request untraced" true (not r.Service.traced)
+  | Error _ -> Alcotest.fail "plain request must run");
+  let traced =
+    { (Service.request triangle) with Service.text = "tri-traced"; trace = true }
+  in
+  (match Service.submit svc traced with
+  | Ok r -> (
+      check_bool "traced reply flagged" true r.Service.traced;
+      let rc = Service.recorder svc in
+      (match Gf.Recorder.find_trace rc r.Service.record_id with
+      | Some json -> check_bool "retained trace is chrome json" true (has json "\"traceEvents\":[")
+      | None -> Alcotest.fail "traced request must retain its trace");
+      let recs = Gf.Recorder.recent rc 10 in
+      check_int "both requests recorded" 2 (List.length recs);
+      let top = List.hd recs in
+      check_string "query text kept" "tri-traced" top.Gf.Recorder.query;
+      check_bool "plan digest kept" true (top.Gf.Recorder.plan <> "" && top.Gf.Recorder.plan <> "?");
+      check_bool "top operators from the trace" true
+        (top.Gf.Recorder.top_ops <> [] && List.length top.Gf.Recorder.top_ops <= 3))
+  | Error _ -> Alcotest.fail "traced request must run");
+  let s = Service.stats svc in
+  check_int "stats admitted" 2 s.Service.s_admitted;
+  check_int "stats completed" 2 s.Service.s_completed;
+  check_int "stats slowlog depth" 2 s.Service.s_slowlog;
+  check_bool "stats breaker" true (s.Service.s_breaker = Breaker.Closed);
+  check_bool "stats quantiles ordered" true
+    (s.Service.s_p50_ms >= 0.0 && s.Service.s_p95_ms >= s.Service.s_p50_ms
+   && s.Service.s_p99_ms >= s.Service.s_p95_ms)
+
 (* --- socket server end-to-end ----------------------------------------- *)
 
 let test_server_end_to_end () =
@@ -452,6 +528,32 @@ let test_server_end_to_end () =
   check_bool "parse error is structured" true (has bad "\"error\":\"parse\"");
   let m = roundtrip "metrics" in
   check_bool "metrics exposed" true (has m "gf_server_admitted_total");
+  (* The flight-recorder surface: a traced run hands back a trace_id that
+     the trace command resolves to retained Chrome JSON. *)
+  let tr_run = roundtrip "run trace q=a1->a2, a2->a3, a1->a3" in
+  check_bool "traced run flagged" true (has tr_run "\"traced\":true");
+  let trace_id =
+    let marker = "\"trace_id\":" in
+    let mlen = String.length marker and len = String.length tr_run in
+    let rec find i =
+      if i + mlen > len then Alcotest.fail "traced reply carries no trace_id"
+      else if String.sub tr_run i mlen = marker then i + mlen
+      else find (i + 1)
+    in
+    let st = find 0 in
+    let rec fin j = if j < len && tr_run.[j] >= '0' && tr_run.[j] <= '9' then fin (j + 1) else j in
+    int_of_string (String.sub tr_run st (fin st - st))
+  in
+  let sl = roundtrip "slowlog 5" in
+  check_bool "slowlog well-formed" true (has sl "\"ok\":true" && has sl "\"records\":[");
+  check_bool "slowlog carries query text" true (has sl "a1-\\u003ea2" || has sl "a1->a2");
+  let st_resp = roundtrip "stats" in
+  check_bool "stats well-formed" true
+    (has st_resp "\"ok\":true" && has st_resp "\"queue_depth\":" && has st_resp "\"breaker\":\""
+   && has st_resp "\"p95_ms\":");
+  let tresp = roundtrip (Printf.sprintf "trace id=%d" trace_id) in
+  check_bool "trace fetched by id" true (has tresp "\"ok\":true" && has tresp "\"traceEvents\":[");
+  check_bool "missing trace is structured" true (has (roundtrip "trace id=99999") "not_found");
   let bye = roundtrip "shutdown" in
   check_bool "shutdown acked" true (has bye "shutting_down");
   Thread.join server_thread;
@@ -463,7 +565,10 @@ let test_server_end_to_end () =
 let suite =
   [
     ( "server.wire",
-      [ Alcotest.test_case "request parsing" `Quick test_wire_parse ] );
+      [
+        Alcotest.test_case "request parsing" `Quick test_wire_parse;
+        Alcotest.test_case "slowlog framing" `Quick test_wire_slowlog_escaping;
+      ] );
     ( "server.breaker",
       [
         Alcotest.test_case "state machine" `Quick test_breaker_state_machine;
@@ -483,6 +588,7 @@ let suite =
         Alcotest.test_case "retry metrics" `Quick test_service_retry_metrics;
         Alcotest.test_case "drain" `Quick test_service_drain;
         Alcotest.test_case "drain cancels in-flight" `Quick test_service_drain_cancels_inflight;
+        Alcotest.test_case "flight recorder" `Quick test_service_flight_recorder;
       ] );
     ( "server.socket",
       [ Alcotest.test_case "end to end" `Quick test_server_end_to_end ] );
