@@ -925,7 +925,157 @@ let ablation_intersection_kernel () =
       ("diamond-X", Gf.Patterns.diamond_x, [| 1; 2; 0; 3 |]);
       ("4-clique", Gf.Patterns.clique 4 ~cyclic:false, [| 0; 1; 2; 3 |]);
       ("5-clique", Gf.Patterns.clique 5 ~cyclic:false, [| 0; 1; 2; 3; 4 |]);
+    ];
+  subheader
+    (Printf.sprintf "two-list kernels, elements/s by length ratio (C dispatch: %s)"
+       (Gf.Sorted.with_kernel_mode Gf.Sorted.Simd Gf.Sorted.kernel_name));
+  (* Synthetic sorted lists with ~50%% overlap; the skewed buckets exercise
+     the blocked-galloping path, the balanced ones the shuffle path. *)
+  let rng = Gf.Rng.create 7 in
+  let gen len =
+    let out = Array.make len 0 in
+    let v = ref 0 in
+    for i = 0 to len - 1 do
+      v := !v + 1 + Gf.Rng.int rng 2;
+      out.(i) <- !v
+    done;
+    out
+  in
+  let time_kernel mode a la b lb =
+    Gf.Sorted.with_kernel_mode mode (fun () ->
+        let out = Gf.Int_vec.create () in
+        (* pilot to size the measured loop to ~0.15s *)
+        let pilot = 200 in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to pilot do
+          Gf.Int_vec.clear out;
+          Gf.Sorted.intersect2 out a 0 la b 0 lb
+        done;
+        let per = (Unix.gettimeofday () -. t0) /. float_of_int pilot in
+        let reps = max 200 (int_of_float (0.15 /. Float.max per 1e-9)) in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to reps do
+          Gf.Int_vec.clear out;
+          Gf.Sorted.intersect2 out a 0 la b 0 lb
+        done;
+        let t = Unix.gettimeofday () -. t0 in
+        float_of_int ((la + lb) * reps) /. t)
+  in
+  Printf.printf "%-12s %14s %14s %9s\n" "ratio" "scalar el/s" "simd el/s" "speedup";
+  List.iter
+    (fun (label, la, lb) ->
+      let a_arr = gen la in
+      (* keep value ranges aligned so the lists actually intersect *)
+      let b_arr =
+        if la = lb then gen lb
+        else Array.init lb (fun i -> a_arr.(i * la / lb) + (i mod 2))
+             |> Array.to_list |> List.sort_uniq compare |> Array.of_list
+      in
+      let lb = Array.length b_arr in
+      let a = Gf.Buf.of_int_array a_arr and b = Gf.Buf.of_int_array b_arr in
+      let s = time_kernel Gf.Sorted.Scalar a la b lb in
+      let v = time_kernel Gf.Sorted.Simd a la b lb in
+      Printf.printf "%-12s %14s %14s %8.2fx\n" label
+        (fmt_count (int_of_float s))
+        (fmt_count (int_of_float v))
+        (v /. s))
+    [
+      ("1:1 (4K)", 4096, 4096);
+      ("1:1 (64K)", 65536, 65536);
+      ("1:8", 2048, 16384);
+      ("1:64", 512, 32768);
+      ("1:512", 64, 32768);
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Storage: heap int-array CSR vs off-heap Bigarray CSR vs mmap.       *)
+(* ------------------------------------------------------------------ *)
+
+let storage () =
+  header "Storage: heap int-array CSR vs off-heap Bigarray CSR vs mmap snapshot";
+  let g = dataset Gf.Generators.Livejournal in
+  let n = Gf.Graph.num_vertices g in
+  let ne = Gf.Graph.num_elabels g and nv = Gf.Graph.num_vlabels g in
+  let r = Gf.Graph.residency g in
+  Printf.printf "graph: n=%s m=%s, %s off-heap (%d-byte ids), %s heap metadata\n"
+    (fmt_count n)
+    (fmt_count (Gf.Graph.num_edges g))
+    (fmt_count r.Gf.Graph.offheap_bytes)
+    r.Gf.Graph.nbr_width
+    (fmt_count r.Gf.Graph.heap_bytes);
+  (* A: heap copy of the CSR as ordinary int arrays (the pre-refactor
+     representation): one array per (v, dir, el, nl) partition. *)
+  let t_copy, heap =
+    time_once (fun () ->
+        Array.init (n * ne * nv) (fun i ->
+            let v = i / (ne * nv) in
+            let el = i mod (ne * nv) / nv and nl = i mod nv in
+            let arr, lo, hi = Gf.Graph.neighbours g Gf.Graph.Fwd v ~elabel:el ~nlabel:nl in
+            Gf.Buf.sub_array arr lo hi))
+  in
+  let heap_bytes =
+    Array.fold_left (fun acc a -> acc + ((Array.length a + 1) * 8)) 0 heap
+  in
+  Printf.printf "heap int-array copy: %s bytes (%.2fx off-heap), built in %.3fs\n"
+    (fmt_count heap_bytes)
+    (float_of_int heap_bytes /. Float.max (float_of_int r.Gf.Graph.offheap_bytes) 1.0)
+    t_copy;
+  (* Full forward-adjacency sweep under each representation. *)
+  let sweep_heap () =
+    let acc = ref 0 in
+    Array.iter (fun a -> Array.iter (fun x -> acc := !acc + x) a) heap;
+    !acc
+  in
+  let sweep_graph g =
+    let acc = ref 0 in
+    for v = 0 to n - 1 do
+      for el = 0 to ne - 1 do
+        for nl = 0 to nv - 1 do
+          let arr, lo, hi = Gf.Graph.neighbours g Gf.Graph.Fwd v ~elabel:el ~nlabel:nl in
+          for i = lo to hi - 1 do
+            acc := !acc + Gf.Buf.unsafe_get arr i
+          done
+        done
+      done
+    done;
+    !acc
+  in
+  let t_heap, sum_heap = time_warm sweep_heap in
+  let t_ba, sum_ba = time_warm (fun () -> sweep_graph g) in
+  assert (sum_heap = sum_ba);
+  Printf.printf "adjacency sweep: heap arrays %.3fs, bigarray CSR %.3fs (%.2fx)\n" t_heap t_ba
+    (t_ba /. Float.max t_heap 1e-9);
+  (* Snapshot: save, mmap load latency, and query parity built vs mapped. *)
+  let path = Filename.temp_file "gfq_bench" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let t_save, () = time_once (fun () -> Gf.Graph_io.save_snapshot g path) in
+      let t_load, gm = time_once (fun () -> Gf.Graph_io.load_snapshot path) in
+      let sz = (Unix.stat path).Unix.st_size in
+      Printf.printf "snapshot: %s bytes, save %.3fs, mmap load %.6fs\n" (fmt_count sz)
+        t_save t_load;
+      let t_text, _ =
+        time_once (fun () ->
+            let tmp = Filename.temp_file "gfq_bench" ".graph" in
+            Fun.protect
+              ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+              (fun () ->
+                Gf.Graph_io.save g tmp;
+                Gf.Graph_io.load tmp))
+      in
+      Printf.printf "text round-trip for comparison: %.3fs (%.0fx slower than mmap)\n" t_text
+        (t_text /. Float.max t_load 1e-9);
+      let t_sweep_m, sum_m = time_warm (fun () -> sweep_graph gm) in
+      assert (sum_m = sum_ba);
+      Printf.printf "adjacency sweep on mapped graph: %.3fs (%.2fx vs built)\n" t_sweep_m
+        (t_sweep_m /. Float.max t_ba 1e-9);
+      let plan = Gf.Plan.wco Gf.Patterns.asymmetric_triangle [| 0; 1; 2 |] in
+      let t_q, c = time_warm (fun () -> Gf.Exec.run g plan) in
+      let t_qm, cm = time_warm (fun () -> Gf.Exec.run gm plan) in
+      assert (c.Gf.Counters.output = cm.Gf.Counters.output);
+      Printf.printf "triangle count: built %.3fs, mapped %.3fs on %s matches\n" t_q t_qm
+        (fmt_count c.Gf.Counters.output))
 
 let ablation_factorized_count () =
   header "Ablation: factorized counting (Sections 3.2.3 / 10)";
@@ -1037,6 +1187,7 @@ let sections =
     ("ablation_estimators", ablation_estimators);
     ("ablation_intersection", ablation_intersection_kernel);
     ("ablation_factorized", ablation_factorized_count);
+    ("storage", storage);
     ("bechamel", bechamel_suite);
   ]
 

@@ -48,6 +48,22 @@ let labels =
 
 let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Random seed for labeling.")
 
+let kernel_arg =
+  let kernel_conv =
+    Arg.enum
+      [ ("scalar", Gf.Sorted.Scalar); ("simd", Gf.Sorted.Simd); ("auto", Gf.Sorted.Auto) ]
+  in
+  Arg.(
+    value
+    & opt (some kernel_conv) None
+    & info [ "kernel" ] ~docv:"KERNEL"
+        ~doc:
+          "Intersection kernel: $(b,scalar) (portable OCaml), $(b,simd) (vectorized C \
+           stubs), or $(b,auto) (probe the CPU; the default). Overrides the GFQ_KERNEL \
+           environment variable.")
+
+let apply_kernel k = Option.iter Gf.Sorted.set_kernel_mode k
+
 let query_arg =
   Arg.(
     required
@@ -96,6 +112,37 @@ let generate_cmd =
   in
   Cmd.v (Cmd.info "generate" ~doc:"Generate a synthetic dataset and save it.")
     Term.(const go $ dataset_pos $ scale $ labels $ seed $ out)
+
+let snapshot_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Snapshot output path.")
+  in
+  let go graph_file dataset scale labels seed out =
+    let g = load_graph graph_file dataset scale labels seed in
+    let t0 = Unix.gettimeofday () in
+    Gf.Graph_io.save_snapshot g out;
+    let save_s = Unix.gettimeofday () -. t0 in
+    let t1 = Unix.gettimeofday () in
+    match Gf.Graph_io.load_snapshot_result out with
+    | Error e -> die (Gf.Graph_io.load_error_to_string e)
+    | Ok g2 ->
+        let load_s = Unix.gettimeofday () -. t1 in
+        let r = Gf.Graph.residency g2 in
+        Format.printf
+          "wrote %s: n=%d m=%d, %d bytes off-heap (%d-byte neighbour ids)@.save: %.3fs, \
+           mmap load+verify: %.6fs@."
+          out (Gf.Graph.num_vertices g2) (Gf.Graph.num_edges g2) r.Gf.Graph.offheap_bytes
+          r.Gf.Graph.nbr_width save_s load_s
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:
+         "Write a graph as an mmap-loadable binary snapshot and verify it loads. All \
+          graph-reading commands auto-detect snapshots by their magic bytes.")
+    Term.(const go $ graph_file $ dataset $ scale $ labels $ seed $ out)
 
 let stats_cmd =
   let go graph_file dataset scale labels seed =
@@ -190,8 +237,9 @@ let run_cmd =
       & info [ "trace-tree" ]
           ~doc:"Record a span trace and print it as an indented tree on stdout.")
   in
-  let go graph_file dataset scale labels seed qs adaptive limit timeout_ms max_rows
+  let go graph_file dataset scale labels seed qs kernel adaptive limit timeout_ms max_rows
       max_intermediate max_bytes domains explain_analyze json metrics trace_out trace_tree =
+    apply_kernel kernel;
     let g = load_graph graph_file dataset scale labels seed in
     let db = Gf.Db.create g in
     let q = parse_query qs in
@@ -222,8 +270,9 @@ let run_cmd =
       let t0 = Unix.gettimeofday () in
       let c, outcome = Gf.Db.run_gov ~adaptive ~domains ~budget ?trace db q in
       let secs = Unix.gettimeofday () -. t0 in
-      Format.printf "matches: %d@.outcome: %a@.time: %.3fs@.%a@." c.Gf.Counters.output
-        Gf.Governor.pp_outcome outcome secs Gf.Counters.pp c
+      Format.printf "matches: %d@.outcome: %a@.time: %.3fs@.kernel: %s@.%a@."
+        c.Gf.Counters.output Gf.Governor.pp_outcome outcome secs (Gf.Sorted.kernel_name ())
+        Gf.Counters.pp c
     end;
     Option.iter
       (fun tr ->
@@ -242,9 +291,9 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Optimize and execute a query under an optional budget.")
     Term.(
-      const go $ graph_file $ dataset $ scale $ labels $ seed $ query_arg $ adaptive $ limit
-      $ timeout_ms $ max_rows $ max_intermediate $ max_bytes $ domains $ explain_analyze
-      $ json $ metrics $ trace_out $ trace_tree)
+      const go $ graph_file $ dataset $ scale $ labels $ seed $ query_arg $ kernel_arg
+      $ adaptive $ limit $ timeout_ms $ max_rows $ max_intermediate $ max_bytes $ domains
+      $ explain_analyze $ json $ metrics $ trace_out $ trace_tree)
 
 let spectrum_cmd =
   let go graph_file dataset scale labels seed qs =
@@ -399,9 +448,10 @@ let serve_cmd =
           ~env:(Cmd.Env.info "GFQ_FAULT_SEED")
           ~doc:"Chaos source: deterministically inject first-attempt faults into ~1/4 of requests.")
   in
-  let go graph_file dataset scale labels seed socket port host workers queue domains
+  let go graph_file dataset scale labels seed kernel socket port host workers queue domains
       timeout_ms max_rows max_intermediate degraded_timeout_ms backoff_ms backoff_cap_ms
       breaker_window breaker_min breaker_threshold breaker_cooldown_ms fault_seed =
+    apply_kernel kernel;
     let endpoint = endpoint_arg_of socket port host in
     let g = load_graph graph_file dataset scale labels seed in
     let db = Gf.Db.create g in
@@ -451,10 +501,10 @@ let serve_cmd =
          "Serve queries over a socket: bounded admission queue, retry-with-degradation \
           ladder, circuit breaker, graceful drain on shutdown.")
     Term.(
-      const go $ graph_file $ dataset $ scale $ labels $ seed $ socket_arg $ port_arg
-      $ host_arg $ workers $ queue $ domains $ timeout_ms $ max_rows $ max_intermediate
-      $ degraded_timeout_ms $ backoff_ms $ backoff_cap_ms $ breaker_window $ breaker_min
-      $ breaker_threshold $ breaker_cooldown_ms $ fault_seed)
+      const go $ graph_file $ dataset $ scale $ labels $ seed $ kernel_arg $ socket_arg
+      $ port_arg $ host_arg $ workers $ queue $ domains $ timeout_ms $ max_rows
+      $ max_intermediate $ degraded_timeout_ms $ backoff_ms $ backoff_cap_ms
+      $ breaker_window $ breaker_min $ breaker_threshold $ breaker_cooldown_ms $ fault_seed)
 
 (* --- soak: a concurrent client driver for CI and load checks ----------- *)
 
@@ -741,6 +791,7 @@ let () =
        (Cmd.group info
           [
             generate_cmd;
+            snapshot_cmd;
             stats_cmd;
             plan_cmd;
             run_cmd;

@@ -107,7 +107,7 @@ let build_ordering cat model q ~anchor_vars ~bound_set ~fixed_schema order =
             cover_prefix;
             srcs = Array.make nd (-1);
             last_srcs = Array.make nd (-1);
-            slices = Array.make nd ([||], 0, 0);
+            slices = Array.make nd Sorted.empty_slice;
             result = Int_vec.create ~capacity:32 ();
             scratch = Int_vec.create ~capacity:32 ();
             scratch2 = Int_vec.create ~capacity:32 ();

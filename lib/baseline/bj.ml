@@ -75,7 +75,7 @@ let run ?edge_order ?limit g q =
         in
         expansions := !expansions + (hi - lo);
         for j = lo to hi - 1 do
-          assignment.(e.dst) <- arr.(j);
+          assignment.(e.dst) <- Gf_util.Buf.unsafe_get arr j;
           incr intermediate;
           step (i + 1)
         done;
@@ -88,7 +88,7 @@ let run ?edge_order ?limit g q =
         in
         expansions := !expansions + (hi - lo);
         for j = lo to hi - 1 do
-          assignment.(e.src) <- arr.(j);
+          assignment.(e.src) <- Gf_util.Buf.unsafe_get arr j;
           incr intermediate;
           step (i + 1)
         done;

@@ -127,7 +127,7 @@ let run ?limit g q =
         match from_neighbour with
         | Some (dv, dir, el) ->
             let arr, lo, hi = Graph.neighbours g dir dv ~elabel:el ~nlabel:(Query.vlabel q qv) in
-            Array.sub arr lo (hi - lo)
+            Gf_util.Buf.sub_array arr lo hi
         | None -> cands.(qv)
       in
       let extended = ref false in

@@ -8,9 +8,7 @@ let neighbours_all g v =
     List.iter
       (fun dir ->
         let arr, lo, hi = Graph.neighbours_any_nlabel g dir v ~elabel:el in
-        for i = lo to hi - 1 do
-          acc := arr.(i) :: !acc
-        done)
+        Gf_util.Buf.iter_range (fun w -> acc := w :: !acc) arr lo hi)
       [ Graph.Fwd; Graph.Bwd ]
   done;
   !acc
@@ -59,16 +57,17 @@ let from_data g rng ~num_vertices ~dense =
     (fun qi v ->
       for el = 0 to Graph.num_elabels g - 1 do
         let arr, lo, hi = Graph.neighbours_any_nlabel g Graph.Fwd v ~elabel:el in
-        for i = lo to hi - 1 do
-          match Hashtbl.find_opt index arr.(i) with
-          | Some qj ->
-              let key = (min qi qj, max qi qj) in
-              if not (Hashtbl.mem seen_pair key) then begin
-                Hashtbl.replace seen_pair key ();
-                induced := Query.{ src = qi; dst = qj; label = el } :: !induced
-              end
-          | None -> ()
-        done
+        Gf_util.Buf.iter_range
+          (fun w ->
+            match Hashtbl.find_opt index w with
+            | Some qj ->
+                let key = (min qi qj, max qi qj) in
+                if not (Hashtbl.mem seen_pair key) then begin
+                  Hashtbl.replace seen_pair key ();
+                  induced := Query.{ src = qi; dst = qj; label = el } :: !induced
+                end
+            | None -> ())
+          arr lo hi
       done)
     members;
   let induced = Array.of_list !induced in

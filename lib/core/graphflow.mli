@@ -53,6 +53,9 @@ module Query_gen = Gf_baseline.Query_gen
 module Spectrum = Gf_spectrum.Spectrum
 module Rng = Gf_util.Rng
 module Bitset = Gf_util.Bitset
+module Buf = Gf_util.Buf
+module Int_vec = Gf_util.Int_vec
+module Sorted = Gf_util.Sorted
 module Trace = Gf_obs.Trace
 module Recorder = Gf_obs.Recorder
 

@@ -146,7 +146,7 @@ and compile_structural rewrite env plan =
                 last_src := src
               end;
               for i = lo to hi - 1 do
-                let w = Array.unsafe_get arr i in
+                let w = Gf_util.Buf.unsafe_get arr i in
                 if not (env.distinct && tuple_contains buf (width - 1) w) then begin
                   buf.(width - 1) <- w;
                   env.c.produced <- env.c.produced + 1;
@@ -156,7 +156,7 @@ and compile_structural rewrite env plan =
               done)
       end
       else begin
-        let slices = Array.make nd ([||], 0, 0) in
+        let slices = Array.make nd Sorted.empty_slice in
         let srcs = Array.make nd (-1) in
         let last_srcs = Array.make nd (-1) in
         let result = Int_vec.create ~capacity:64 () in
@@ -192,9 +192,8 @@ and compile_structural rewrite env plan =
                 cache_valid := true
               end;
               let n = Int_vec.length result in
-              let data = Int_vec.data result in
               for i = 0 to n - 1 do
-                let w = Array.unsafe_get data i in
+                let w = Int_vec.unsafe_get result i in
                 if not (env.distinct && tuple_contains buf (width - 1) w) then begin
                   buf.(width - 1) <- w;
                   env.c.produced <- env.c.produced + 1;
@@ -393,7 +392,7 @@ let count_fast ?(cache = true) ?(distinct = false) ?(leapfrog = false) g plan =
             total := !total + !last_n)
       end
       else begin
-        let slices = Array.make nd ([||], 0, 0) in
+        let slices = Array.make nd Sorted.empty_slice in
         let srcs = Array.make nd (-1) in
         let last_srcs = Array.make nd (-1) in
         let result = Int_vec.create () and scratch = Int_vec.create () in

@@ -50,22 +50,20 @@ let iter_matches_view t ~view key f =
   match H.find_opt t.index key with
   | None -> ()
   | Some offsets ->
-      let data = Gf_util.Int_vec.data t.rows in
       Gf_util.Int_vec.iter
         (fun start ->
-          Array.blit data start view 0 t.row_len;
+          Gf_util.Int_vec.blit_to_array t.rows start view 0 t.row_len;
           f view)
         offsets
 
 let iter_matches t key f = iter_matches_view t ~view:t.view key f
 
 let iter_rows t f =
-  let data = Gf_util.Int_vec.data t.rows in
   H.iter
     (fun key offsets ->
       Gf_util.Int_vec.iter
         (fun start ->
-          Array.blit data start t.view 0 t.row_len;
+          Gf_util.Int_vec.blit_to_array t.rows start t.view 0 t.row_len;
           f key t.view)
         offsets)
     t.index

@@ -42,7 +42,7 @@ let iter ?(distinct = false) g q f =
         match !bound_nbr with
         | Some (dv, dir, el) ->
             let arr, lo, hi = Graph.neighbours g dir dv ~elabel:el ~nlabel:(Query.vlabel q qv) in
-            Array.sub arr lo (hi - lo)
+            Gf_util.Buf.sub_array arr lo hi
         | None -> Graph.vertices_with_label g (Query.vlabel q qv)
       in
       Array.iter

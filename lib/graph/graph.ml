@@ -1,57 +1,88 @@
+module Buf = Gf_util.Buf
+
 type direction = Fwd | Bwd
 
 type side = {
-  nbr : int array;
+  nbr : Buf.t;
   (* Partition offsets: slot (v, el, nl) at index (v * ne + el) * nv + nl.
      Length n * ne * nv + 1. Neighbour ids are sorted within a partition. *)
-  off : int array;
+  off : Buf.i64a;
 }
+
+(* Where the off-heap storage came from: built in-process, or a binary
+   snapshot mapped straight off disk (zero deserialization). *)
+type origin = Built | Mapped of string
 
 type t = {
   n : int;
   m : int;
   nv : int;
   ne : int;
-  vlabel : int array;
+  vlabel : Buf.i64a;
   fwd : side;
   bwd : side;
   by_label : int array array; (* vertices grouped by label, ascending *)
+  origin : origin;
 }
 
 let num_vertices g = g.n
 let num_edges g = g.m
 let num_vlabels g = g.nv
 let num_elabels g = g.ne
-let vlabel g v = g.vlabel.(v)
+let vlabel g v = Bigarray.Array1.get g.vlabel v
+let origin g = g.origin
 
 let slot g v el nl = ((v * g.ne) + el) * g.nv + nl
+
+(* Vertices grouped by label, rebuilt from [vlabel] in O(n) — derived
+   state that is never persisted. *)
+let group_by_label ~n ~nv (vlabel : Buf.i64a) =
+  let counts = Array.make nv 0 in
+  for v = 0 to n - 1 do
+    let l = Bigarray.Array1.unsafe_get vlabel v in
+    counts.(l) <- counts.(l) + 1
+  done;
+  let by_label = Array.map (fun c -> Array.make c 0) counts in
+  let cursor = Array.make nv 0 in
+  for v = 0 to n - 1 do
+    let l = Bigarray.Array1.unsafe_get vlabel v in
+    by_label.(l).(cursor.(l)) <- v;
+    cursor.(l) <- cursor.(l) + 1
+  done;
+  by_label
 
 let build_side ~n ~nv ~ne ~vlabel ~sources ~targets ~elabels =
   let m = Array.length sources in
   let nslots = (n * ne * nv) + 1 in
-  let off = Array.make nslots 0 in
+  let off = Buf.alloc_i64 nslots in
+  Bigarray.Array1.fill off 0;
   let slot v el nl = ((v * ne) + el) * nv + nl in
   for e = 0 to m - 1 do
     let s = slot sources.(e) elabels.(e) vlabel.(targets.(e)) in
-    off.(s + 1) <- off.(s + 1) + 1
+    Bigarray.Array1.unsafe_set off (s + 1) (Bigarray.Array1.unsafe_get off (s + 1) + 1)
   done;
   for i = 1 to nslots - 1 do
-    off.(i) <- off.(i) + off.(i - 1)
+    Bigarray.Array1.unsafe_set off i
+      (Bigarray.Array1.unsafe_get off i + Bigarray.Array1.unsafe_get off (i - 1))
   done;
-  let cursor = Array.copy off in
-  let nbr = Array.make m 0 in
+  let cursor = Array.init nslots (fun i -> Bigarray.Array1.unsafe_get off i) in
+  let nbr = Buf.alloc ~max_value:(max 0 (n - 1)) m in
   for e = 0 to m - 1 do
     let s = slot sources.(e) elabels.(e) vlabel.(targets.(e)) in
-    nbr.(cursor.(s)) <- targets.(e);
+    Buf.unsafe_set nbr cursor.(s) targets.(e);
     cursor.(s) <- cursor.(s) + 1
   done;
-  (* Sort each partition by neighbour id. *)
+  (* Sort each partition by neighbour id (build-time only: bounce through a
+     heap scratch array per partition). *)
   for s = 0 to nslots - 2 do
-    let lo = off.(s) and hi = off.(s + 1) in
+    let lo = Bigarray.Array1.unsafe_get off s
+    and hi = Bigarray.Array1.unsafe_get off (s + 1) in
     if hi - lo > 1 then begin
-      let part = Array.sub nbr lo (hi - lo) in
+      let part = Buf.sub_array nbr lo hi in
       Array.sort compare part;
-      Array.blit part 0 nbr lo (hi - lo)
+      for i = 0 to hi - lo - 1 do
+        Buf.unsafe_set nbr (lo + i) part.(i)
+      done
     end
   done;
   { nbr; off }
@@ -95,19 +126,20 @@ let build ~num_vlabels ~num_elabels ~vlabel ~edges =
     build_side ~n ~nv:num_vlabels ~ne:num_elabels ~vlabel ~sources:dsts ~targets:srcs
       ~elabels:els
   in
-  let by_label = Array.make num_vlabels [] in
-  for v = n - 1 downto 0 do
-    by_label.(vlabel.(v)) <- v :: by_label.(vlabel.(v))
+  let vl = Buf.alloc_i64 n in
+  for v = 0 to n - 1 do
+    Bigarray.Array1.unsafe_set vl v vlabel.(v)
   done;
   {
     n;
     m;
     nv = num_vlabels;
     ne = num_elabels;
-    vlabel = Array.copy vlabel;
+    vlabel = vl;
     fwd;
     bwd;
-    by_label = Array.map Array.of_list by_label;
+    by_label = group_by_label ~n ~nv:num_vlabels vl;
+    origin = Built;
   }
 
 let side g = function Fwd -> g.fwd | Bwd -> g.bwd
@@ -115,25 +147,25 @@ let side g = function Fwd -> g.fwd | Bwd -> g.bwd
 let neighbours g dir v ~elabel ~nlabel : Gf_util.Sorted.slice =
   let s = side g dir in
   let i = slot g v elabel nlabel in
-  (s.nbr, s.off.(i), s.off.(i + 1))
+  (s.nbr, Bigarray.Array1.unsafe_get s.off i, Bigarray.Array1.unsafe_get s.off (i + 1))
 
 let neighbours_any_nlabel g dir v ~elabel : Gf_util.Sorted.slice =
   let s = side g dir in
   let i0 = slot g v elabel 0 in
-  (s.nbr, s.off.(i0), s.off.(i0 + g.nv))
+  (s.nbr, Bigarray.Array1.unsafe_get s.off i0, Bigarray.Array1.unsafe_get s.off (i0 + g.nv))
 
 let degree g dir v =
   let s = side g dir in
   let lo = slot g v 0 0 in
-  s.off.(lo + (g.ne * g.nv)) - s.off.(lo)
+  Bigarray.Array1.unsafe_get s.off (lo + (g.ne * g.nv)) - Bigarray.Array1.unsafe_get s.off lo
 
 let partition_size g dir v ~elabel ~nlabel =
   let s = side g dir in
   let i = slot g v elabel nlabel in
-  s.off.(i + 1) - s.off.(i)
+  Bigarray.Array1.unsafe_get s.off (i + 1) - Bigarray.Array1.unsafe_get s.off i
 
 let has_edge g u v ~elabel =
-  let arr, lo, hi = neighbours g Fwd u ~elabel ~nlabel:g.vlabel.(v) in
+  let arr, lo, hi = neighbours g Fwd u ~elabel ~nlabel:(vlabel g v) in
   Gf_util.Sorted.member arr lo hi v
 
 let vertices_with_label g l = g.by_label.(l)
@@ -144,9 +176,7 @@ let iter_edges_range g ~elabel ~slabel ~dlabel ~lo ~hi f =
   for i = lo to hi - 1 do
     let u = vs.(i) in
     let arr, plo, phi = neighbours g Fwd u ~elabel ~nlabel:dlabel in
-    for j = plo to phi - 1 do
-      f u (Array.unsafe_get arr j)
-    done
+    Buf.iter_range (fun v -> f u v) arr plo phi
   done
 
 let iter_edges g ~elabel ~slabel ~dlabel f =
@@ -171,7 +201,7 @@ let sample_edge g rng ~elabel ~slabel ~dlabel =
            let sz = partition_size g Fwd u ~elabel ~nlabel:dlabel in
            if !k < sz then begin
              let arr, lo, _ = neighbours g Fwd u ~elabel ~nlabel:dlabel in
-             result := Some (u, arr.(lo + !k));
+             result := Some (u, Buf.get arr (lo + !k));
              raise Exit
            end
            else k := !k - sz)
@@ -187,10 +217,11 @@ let edge_array g =
     for el = 0 to g.ne - 1 do
       for nl = 0 to g.nv - 1 do
         let arr, lo, hi = neighbours g Fwd v ~elabel:el ~nlabel:nl in
-        for j = lo to hi - 1 do
-          out.(!i) <- (v, arr.(j), el);
-          incr i
-        done
+        Buf.iter_range
+          (fun w ->
+            out.(!i) <- (v, w, el);
+            incr i)
+          arr lo hi
       done
     done
   done;
@@ -202,3 +233,92 @@ let relabel g rng ~num_vlabels ~num_elabels =
     Array.map (fun (u, v, _) -> (u, v, Gf_util.Rng.int rng num_elabels)) (edge_array g)
   in
   build ~num_vlabels ~num_elabels ~vlabel ~edges
+
+(* ------------------------------------------------------------------ *)
+(* Storage accounting and raw-parts boundary (snapshot IO)             *)
+(* ------------------------------------------------------------------ *)
+
+type residency = {
+  offheap_bytes : int;
+  heap_bytes : int;
+  mapped : bool;
+  nbr_width : int;
+}
+
+let residency g =
+  let side_bytes s = Buf.bytes s.nbr + (Bigarray.Array1.dim s.off * 8) in
+  {
+    offheap_bytes = (Bigarray.Array1.dim g.vlabel * 8) + side_bytes g.fwd + side_bytes g.bwd;
+    (* by_label is the only remaining heap-resident index: n vertex ids
+       plus one header-ish word per label bucket. *)
+    heap_bytes = (g.n + (3 * g.nv)) * 8;
+    mapped = (match g.origin with Mapped _ -> true | Built -> false);
+    nbr_width = Buf.width_bytes g.fwd.nbr;
+  }
+
+module Raw = struct
+  type parts = {
+    n : int;
+    m : int;
+    nv : int;
+    ne : int;
+    vlabel : Buf.i64a;
+    fwd_off : Buf.i64a;
+    fwd_nbr : Buf.t;
+    bwd_off : Buf.i64a;
+    bwd_nbr : Buf.t;
+  }
+end
+
+let to_raw g : Raw.parts =
+  {
+    n = g.n;
+    m = g.m;
+    nv = g.nv;
+    ne = g.ne;
+    vlabel = g.vlabel;
+    fwd_off = g.fwd.off;
+    fwd_nbr = g.fwd.nbr;
+    bwd_off = g.bwd.off;
+    bwd_nbr = g.bwd.nbr;
+  }
+
+let of_raw ?mapped_from (p : Raw.parts) =
+  let nslots = (p.n * p.ne * p.nv) + 1 in
+  let check cond msg = if not cond then Error msg else Ok () in
+  let ( let* ) = Result.bind in
+  let* () = check (p.n >= 0 && p.m >= 0 && p.nv >= 1 && p.ne >= 1) "bad dimensions" in
+  let* () = check (Bigarray.Array1.dim p.vlabel = p.n) "vlabel length mismatch" in
+  let* () =
+    check
+      (Bigarray.Array1.dim p.fwd_off = nslots && Bigarray.Array1.dim p.bwd_off = nslots)
+      "offset table length mismatch"
+  in
+  let* () =
+    check
+      (Buf.length p.fwd_nbr = p.m && Buf.length p.bwd_nbr = p.m)
+      "adjacency length mismatch"
+  in
+  let ends_ok (off : Buf.i64a) =
+    nslots = 1
+    || (Bigarray.Array1.get off 0 = 0 && Bigarray.Array1.get off (nslots - 1) = p.m)
+  in
+  let* () = check (ends_ok p.fwd_off && ends_ok p.bwd_off) "offset table endpoints" in
+  let labels_ok = ref true in
+  for v = 0 to p.n - 1 do
+    let l = Bigarray.Array1.unsafe_get p.vlabel v in
+    if l < 0 || l >= p.nv then labels_ok := false
+  done;
+  let* () = check !labels_ok "vertex label out of range" in
+  Ok
+    {
+      n = p.n;
+      m = p.m;
+      nv = p.nv;
+      ne = p.ne;
+      vlabel = p.vlabel;
+      fwd = { nbr = p.fwd_nbr; off = p.fwd_off };
+      bwd = { nbr = p.bwd_nbr; off = p.bwd_off };
+      by_label = group_by_label ~n:p.n ~nv:p.nv p.vlabel;
+      origin = (match mapped_from with Some path -> Mapped path | None -> Built);
+    }

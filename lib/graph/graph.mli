@@ -1,15 +1,29 @@
-(** In-memory directed labeled graph with label-partitioned sorted adjacency
-    lists — the storage layer of Section 2 of the paper.
+(** Directed labeled graph with label-partitioned sorted adjacency lists —
+    the storage layer of Section 2 of the paper.
 
     Both forward and backward adjacency lists are indexed. Each vertex's list
     is partitioned first by edge label and then by the label of the neighbour
     vertex; within a partition, neighbours are sorted by vertex id so that
     multiway intersections run over sorted slices. Partition bounds are O(1)
-    lookups. *)
+    lookups.
+
+    Offsets and adjacency live off-heap in {!Gf_util.Buf} bigarrays:
+    adjacency narrows to int32 when vertex ids fit, the GC never scans the
+    payload, C intersection kernels address it directly, and a binary
+    snapshot maps straight into place ({!Graph_io}). Only the per-label
+    vertex grouping stays on the OCaml heap; it is derived state, rebuilt
+    from the label array in O(n) on load. *)
 
 type t
 
 type direction = Fwd | Bwd
+
+(** Where the off-heap storage came from: built in this process, or
+    memory-mapped from the named snapshot file (zero-copy — pages fault in
+    from disk on first touch). *)
+type origin = Built | Mapped of string
+
+val origin : t -> origin
 
 (** [build ~num_vlabels ~num_elabels ~vlabel ~edges] constructs the indexes
     from an edge list [(src, dst, elabel)]. Self-loops and duplicate
@@ -88,3 +102,42 @@ val relabel : t -> Gf_util.Rng.t -> num_vlabels:int -> num_elabels:int -> t
 
 (** [edge_array g] lists all edges as [(src, dst, elabel)] in index order. *)
 val edge_array : t -> (int * int * int) array
+
+(** {1 Storage accounting} *)
+
+type residency = {
+  offheap_bytes : int;  (** bigarray payload: offsets, adjacency, labels *)
+  heap_bytes : int;  (** derived per-label grouping kept on the OCaml heap *)
+  mapped : bool;  (** true when the off-heap payload is a file mapping *)
+  nbr_width : int;  (** adjacency element width in bytes: 4 or 8 *)
+}
+
+val residency : t -> residency
+
+(** {1 Raw parts — the snapshot IO boundary} *)
+
+module Raw : sig
+  (** The exact off-heap arrays of a graph, exposed so {!Graph_io} can
+      write them to disk verbatim and rebuild a graph around mapped
+      sections without copying. *)
+  type parts = {
+    n : int;
+    m : int;
+    nv : int;
+    ne : int;
+    vlabel : Gf_util.Buf.i64a;
+    fwd_off : Gf_util.Buf.i64a;
+    fwd_nbr : Gf_util.Buf.t;
+    bwd_off : Gf_util.Buf.i64a;
+    bwd_nbr : Gf_util.Buf.t;
+  }
+end
+
+val to_raw : t -> Raw.parts
+
+(** [of_raw ?mapped_from parts] reassembles a graph around the given
+    arrays, validating structural invariants (dimensions, offset-table
+    endpoints, label ranges) and rebuilding the per-label grouping.
+    [mapped_from] tags the result as {!Mapped}. Errors are descriptive
+    strings for {!Graph_io} to wrap. *)
+val of_raw : ?mapped_from:string -> Raw.parts -> (t, string) result

@@ -1,3 +1,5 @@
+module Buf = Gf_util.Buf
+
 type load_error = { path : string; line : int; kind : error_kind }
 
 and error_kind =
@@ -8,6 +10,10 @@ and error_kind =
   | Bad_vertex of int
   | Dangling_edge of int * int
   | Edge_count_mismatch of { expected : int; got : int }
+  | Bad_version of int
+  | Foreign_endian
+  | Torn of string
+  | Invalid of string
 
 let kind_to_string = function
   | Unreadable msg -> "cannot read: " ^ msg
@@ -18,6 +24,10 @@ let kind_to_string = function
   | Dangling_edge (u, v) -> Printf.sprintf "edge (%d, %d) references a missing vertex" u v
   | Edge_count_mismatch { expected; got } ->
       Printf.sprintf "expected %d edges, got %d (truncated?)" expected got
+  | Bad_version v -> Printf.sprintf "unsupported snapshot version %d (expected 1)" v
+  | Foreign_endian -> "snapshot written on a machine with different endianness"
+  | Torn what -> "torn snapshot: " ^ what
+  | Invalid what -> "invalid snapshot contents: " ^ what
 
 let load_error_to_string e =
   if e.line > 0 then
@@ -41,9 +51,217 @@ let save g path =
         (fun (u, v, el) -> Printf.fprintf oc "e %d %d %d\n" u v el)
         (Graph.edge_array g))
 
+(* ------------------------------------------------------------------ *)
+(* Binary snapshot format (mmap-loadable, zero deserialization)        *)
+(*                                                                     *)
+(* Layout — all sections 8-byte aligned, native-endian:                *)
+(*   0   "GFQSNAP1"                                                    *)
+(*   8   version (=1)                                                  *)
+(*   16  endianness probe 0x0123456789abcdef                           *)
+(*   24  n   32  m   40  nv   48  ne   56  nbr width in bytes (4|8)    *)
+(*   64  vlabel        n      x 8 bytes                                *)
+(*   ..  fwd_off       nslots x 8                                      *)
+(*   ..  fwd_nbr       m      x w, zero-padded to 8                    *)
+(*   ..  bwd_off       nslots x 8                                      *)
+(*   ..  bwd_nbr       m      x w, zero-padded to 8                    *)
+(*   ..  "GFQSEND1"                                                    *)
+(* where nslots = n*ne*nv + 1. Torn/truncated files are caught by the  *)
+(* exact-size check plus the trailer; partially-visible writes cannot  *)
+(* happen anyway because saves go through Atomic_file (tmp + rename).  *)
+(* Loading maps each section in place with [Unix.map_file]: no parse,  *)
+(* no copy — pages fault in from disk on first touch.                  *)
+(* ------------------------------------------------------------------ *)
+
+let snap_magic = "GFQSNAP1"
+let snap_trailer = "GFQSEND1"
+let snap_version = 1
+let endian_probe = 0x0123456789abcdefL
+let header_size = 64
+let align8 x = (x + 7) land lnot 7
+
+type layout = {
+  l_vlabel : int;
+  l_fwd_off : int;
+  l_fwd_nbr : int;
+  l_bwd_off : int;
+  l_bwd_nbr : int;
+  l_trailer : int;
+  l_total : int;
+}
+
+let snap_layout ~n ~m ~nv ~ne ~w =
+  let nslots = (n * ne * nv) + 1 in
+  let l_vlabel = header_size in
+  let l_fwd_off = l_vlabel + (8 * n) in
+  let l_fwd_nbr = l_fwd_off + (8 * nslots) in
+  let l_bwd_off = l_fwd_nbr + align8 (w * m) in
+  let l_bwd_nbr = l_bwd_off + (8 * nslots) in
+  let l_trailer = l_bwd_nbr + align8 (w * m) in
+  { l_vlabel; l_fwd_off; l_fwd_nbr; l_bwd_off; l_bwd_nbr; l_trailer; l_total = l_trailer + 8 }
+
+(* Chunked native-endian writes: bounce bigarray contents through one
+   reusable Bytes buffer rather than a byte-at-a-time loop. *)
+let chunk_bytes = 65536
+
+let write_i64a oc (a : Buf.i64a) =
+  let buf = Bytes.create chunk_bytes in
+  let per = chunk_bytes / 8 in
+  let len = Bigarray.Array1.dim a in
+  let i = ref 0 in
+  while !i < len do
+    let k = min per (len - !i) in
+    for j = 0 to k - 1 do
+      Bytes.set_int64_ne buf (j * 8) (Int64.of_int (Bigarray.Array1.unsafe_get a (!i + j)))
+    done;
+    output oc buf 0 (k * 8);
+    i := !i + k
+  done
+
+let write_i32a oc (a : Buf.i32a) =
+  let buf = Bytes.create chunk_bytes in
+  let per = chunk_bytes / 4 in
+  let len = Bigarray.Array1.dim a in
+  let i = ref 0 in
+  while !i < len do
+    let k = min per (len - !i) in
+    for j = 0 to k - 1 do
+      Bytes.set_int32_ne buf (j * 4) (Bigarray.Array1.unsafe_get a (!i + j))
+    done;
+    output oc buf 0 (k * 4);
+    i := !i + k
+  done
+
+let write_nbr oc (b : Buf.t) =
+  (match b with Buf.I32 a -> write_i32a oc a | Buf.I64 a -> write_i64a oc a);
+  let pad = align8 (Buf.bytes b) - Buf.bytes b in
+  if pad > 0 then output_string oc (String.make pad '\000')
+
+let save_snapshot g path =
+  let p = Graph.to_raw g in
+  let w = Buf.width_bytes p.Graph.Raw.fwd_nbr in
+  Gf_util.Atomic_file.write path (fun oc ->
+      let hdr = Bytes.make header_size '\000' in
+      Bytes.blit_string snap_magic 0 hdr 0 8;
+      Bytes.set_int64_ne hdr 8 (Int64.of_int snap_version);
+      Bytes.set_int64_ne hdr 16 endian_probe;
+      Bytes.set_int64_ne hdr 24 (Int64.of_int p.Graph.Raw.n);
+      Bytes.set_int64_ne hdr 32 (Int64.of_int p.Graph.Raw.m);
+      Bytes.set_int64_ne hdr 40 (Int64.of_int p.Graph.Raw.nv);
+      Bytes.set_int64_ne hdr 48 (Int64.of_int p.Graph.Raw.ne);
+      Bytes.set_int64_ne hdr 56 (Int64.of_int w);
+      output_bytes oc hdr;
+      write_i64a oc p.Graph.Raw.vlabel;
+      write_i64a oc p.Graph.Raw.fwd_off;
+      write_nbr oc p.Graph.Raw.fwd_nbr;
+      write_i64a oc p.Graph.Raw.bwd_off;
+      write_nbr oc p.Graph.Raw.bwd_nbr;
+      output_string oc snap_trailer)
+
 exception Err of load_error
 
-let load_result path =
+let really_read fd buf =
+  let len = Bytes.length buf in
+  let got = ref 0 in
+  (try
+     while !got < len do
+       let k = Unix.read fd buf !got (len - !got) in
+       if k = 0 then raise Exit;
+       got := !got + k
+     done
+   with Exit -> ());
+  !got = len
+
+let map_i64 fd ~pos ~len : Buf.i64a =
+  if len = 0 then Buf.alloc_i64 0
+  else
+    Bigarray.array1_of_genarray
+      (Unix.map_file fd ~pos:(Int64.of_int pos) Bigarray.int Bigarray.c_layout false [| len |])
+
+let map_nbr fd ~pos ~len ~w : Buf.t =
+  if w = 4 then
+    if len = 0 then Buf.I32 (Buf.alloc_i32 0)
+    else
+      Buf.I32
+        (Bigarray.array1_of_genarray
+           (Unix.map_file fd ~pos:(Int64.of_int pos) Bigarray.int32 Bigarray.c_layout false
+              [| len |]))
+  else Buf.I64 (map_i64 fd ~pos ~len)
+
+let load_snapshot_result path =
+  let fail kind = raise (Err { path; line = 0; kind }) in
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error { path; line = 0; kind = Unreadable (Unix.error_message e) }
+  | fd -> (
+      try
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            let size = (Unix.fstat fd).Unix.st_size in
+            if size < header_size + 8 then fail (Torn "file shorter than header");
+            let hdr = Bytes.create header_size in
+            if not (really_read fd hdr) then fail (Torn "short header read");
+            if Bytes.sub_string hdr 0 8 <> snap_magic then
+              fail (Bad_header (Bytes.sub_string hdr 0 8));
+            let field o = Int64.to_int (Bytes.get_int64_ne hdr o) in
+            if Bytes.get_int64_ne hdr 16 <> endian_probe then fail Foreign_endian;
+            let v = field 8 in
+            if v <> snap_version then fail (Bad_version v);
+            let n = field 24 and m = field 32 and nv = field 40 and ne = field 48 in
+            let w = field 56 in
+            if n < 0 || m < 0 || nv < 1 || ne < 1 || (w <> 4 && w <> 8) then
+              fail (Invalid (Printf.sprintf "dimensions %d %d %d %d width %d" n m nv ne w));
+            let lay = snap_layout ~n ~m ~nv ~ne ~w in
+            if size <> lay.l_total then
+              fail
+                (Torn
+                   (Printf.sprintf "size %d bytes, header promises %d" size lay.l_total));
+            let tr = Bytes.create 8 in
+            ignore (Unix.lseek fd lay.l_trailer Unix.SEEK_SET);
+            if not (really_read fd tr) then fail (Torn "short trailer read");
+            if Bytes.to_string tr <> snap_trailer then fail (Torn "missing trailer");
+            let nslots = (n * ne * nv) + 1 in
+            let parts =
+              {
+                Graph.Raw.n;
+                m;
+                nv;
+                ne;
+                vlabel = map_i64 fd ~pos:lay.l_vlabel ~len:n;
+                fwd_off = map_i64 fd ~pos:lay.l_fwd_off ~len:nslots;
+                fwd_nbr = map_nbr fd ~pos:lay.l_fwd_nbr ~len:m ~w;
+                bwd_off = map_i64 fd ~pos:lay.l_bwd_off ~len:nslots;
+                bwd_nbr = map_nbr fd ~pos:lay.l_bwd_nbr ~len:m ~w;
+              }
+            in
+            match Graph.of_raw ~mapped_from:path parts with
+            | Ok g -> Ok g
+            | Error msg -> fail (Invalid msg))
+      with
+      | Err e -> Error e
+      | Unix.Unix_error (e, _, _) ->
+          Error { path; line = 0; kind = Unreadable (Unix.error_message e) }
+      | Sys_error msg -> Error { path; line = 0; kind = Unreadable msg })
+
+let load_snapshot path =
+  match load_snapshot_result path with
+  | Ok g -> g
+  | Error e -> failwith (load_error_to_string e)
+
+(* Peek the first 8 bytes to tell a binary snapshot from the text format. *)
+let is_snapshot path =
+  match open_in_bin path with
+  | exception Sys_error _ -> false
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let b = Bytes.create 8 in
+          match really_input ic b 0 8 with
+          | () -> Bytes.to_string b = snap_magic
+          | exception End_of_file -> false)
+
+let load_text_result path =
   match open_in path with
   | exception Sys_error msg -> Error { path; line = 0; kind = Unreadable msg }
   | ic -> (
@@ -104,6 +322,10 @@ let load_result path =
             | g -> Ok g
             | exception Invalid_argument msg -> fail (Bad_token msg))
       with Err e -> Error e)
+
+(* Auto-detect by magic: callers point [load_result] at either format. *)
+let load_result path =
+  if is_snapshot path then load_snapshot_result path else load_text_result path
 
 let load path =
   match load_result path with

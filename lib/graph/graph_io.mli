@@ -1,19 +1,31 @@
-(** Text serialization of graphs.
+(** Graph serialization: a human-readable text format and an mmap-loadable
+    binary snapshot, auto-detected on load.
 
-    Format:
+    Text format:
     {v
     graphflow v1
     <num_vertices> <num_edges> <num_vlabels> <num_elabels>
     v <id> <vlabel>        (one line per vertex with nonzero label)
     e <src> <dst> <elabel> (one line per edge)
     v}
-    Vertices absent from [v] lines have label 0. *)
+    Vertices absent from [v] lines have label 0.
 
-(** [save g path] writes the graph crash-safely: the bytes go to a
+    Binary snapshot ("GFQSNAP1"): the graph's off-heap arrays written
+    verbatim, native-endian, each section 8-byte aligned, closed by a
+    trailer magic. Loading memory-maps each section in place — zero
+    parsing, zero copying; pages fault in from disk on first touch, so a
+    multi-gigabyte graph "loads" in microseconds and shares clean pages
+    across processes. *)
+
+(** [save g path] writes the text format crash-safely: the bytes go to a
     [path.tmp.<pid>] sibling which is renamed over [path] only once fully
     written ({!Gf_util.Atomic_file}), so a crash mid-save leaves the
     previous file intact. *)
 val save : Graph.t -> string -> unit
+
+(** [save_snapshot g path] writes the binary snapshot, with the same
+    atomic tmp-and-rename discipline as {!save}. *)
+val save_snapshot : Graph.t -> string -> unit
 
 (** What went wrong loading a graph file, and where. [line] is 1-based;
     0 when the error is not tied to a specific line. *)
@@ -29,13 +41,29 @@ and error_kind =
   | Edge_count_mismatch of { expected : int; got : int }
       (** fewer/more edge lines than the size line promised — the signature
           of a truncated file *)
+  | Bad_version of int  (** snapshot with an unsupported format version *)
+  | Foreign_endian  (** snapshot written under a different byte order *)
+  | Torn of string
+      (** snapshot whose size or trailer does not match its header — a
+          truncated or interrupted copy *)
+  | Invalid of string  (** snapshot sections fail structural validation *)
 
 val load_error_to_string : load_error -> string
 val pp_load_error : Format.formatter -> load_error -> unit
 
-(** [load_result path] parses a file written by [save], reporting missing,
-    truncated, and malformed files as a structured {!load_error}. *)
+(** [load_result path] loads either format, auto-detected by the leading
+    magic bytes, reporting missing, truncated, and malformed files as a
+    structured {!load_error}. *)
 val load_result : string -> (Graph.t, load_error) result
+
+(** [load_snapshot_result path] loads the binary snapshot only: header and
+    dimensions validated, total size and trailer checked against the
+    header (torn-file detection), then every section [Unix.map_file]'d in
+    place. The resulting graph reports {!Graph.origin} [Mapped path]. *)
+val load_snapshot_result : string -> (Graph.t, load_error) result
+
+(** [load_snapshot path] is {!load_snapshot_result} raising [Failure]. *)
+val load_snapshot : string -> Graph.t
 
 (** [load path] is {!load_result} raising [Failure] with the formatted
     message on error (the original API, kept for convenience). *)

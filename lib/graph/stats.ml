@@ -31,9 +31,7 @@ let local_clustering g v =
   let collect dir =
     for el = 0 to Graph.num_elabels g - 1 do
       let arr, lo, hi = Graph.neighbours_any_nlabel g dir v ~elabel:el in
-      for i = lo to hi - 1 do
-        add arr.(i)
-      done
+      Gf_util.Buf.iter_range add arr lo hi
     done
   in
   collect Graph.Fwd;

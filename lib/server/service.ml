@@ -433,6 +433,11 @@ type stats = {
   s_p50_ms : float;
   s_p95_ms : float;
   s_p99_ms : float;
+  s_kernel : string;
+  s_graph_offheap_bytes : int;
+  s_graph_heap_bytes : int;
+  s_graph_mapped : bool;
+  s_graph_nbr_width : int;
 }
 
 (* Counters read by name (0 if never bumped); the latency quantiles come
@@ -441,6 +446,7 @@ let stats t =
   let cv name = Metrics.counter_value (Metrics.counter name) in
   let h = Metrics.histogram "gf_server_request_seconds" in
   let q p = match Metrics.quantile h p with x when Float.is_nan x -> 0.0 | x -> x *. 1e3 in
+  let r = Gf.Graph.residency (Gf.Db.graph t.db) in
   {
     s_queue_depth = queue_depth t;
     s_breaker = breaker_state t;
@@ -454,4 +460,9 @@ let stats t =
     s_p50_ms = q 0.50;
     s_p95_ms = q 0.95;
     s_p99_ms = q 0.99;
+    s_kernel = Gf_util.Sorted.kernel_name ();
+    s_graph_offheap_bytes = r.Gf.Graph.offheap_bytes;
+    s_graph_heap_bytes = r.Gf.Graph.heap_bytes;
+    s_graph_mapped = r.Gf.Graph.mapped;
+    s_graph_nbr_width = r.Gf.Graph.nbr_width;
   }

@@ -126,6 +126,11 @@ type stats = {
                          0 before the first request *)
   s_p95_ms : float;
   s_p99_ms : float;
+  s_kernel : string;  (** resolved intersection kernel, e.g. ["simd-avx2"] *)
+  s_graph_offheap_bytes : int;  (** graph payload living outside the OCaml heap *)
+  s_graph_heap_bytes : int;  (** derived heap-resident index structures *)
+  s_graph_mapped : bool;  (** whether the payload is an mmap'd snapshot *)
+  s_graph_nbr_width : int;  (** adjacency element width in bytes: 4 or 8 *)
 }
 
 val stats : t -> stats

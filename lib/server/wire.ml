@@ -187,12 +187,14 @@ let metrics_resp exposition =
 
 let stats_resp (s : Service.stats) =
   Printf.sprintf
-    "{\"ok\":true,\"queue_depth\":%d,\"breaker\":\"%s\",\"draining\":%b,\"admitted\":%d,\"completed\":%d,\"truncated\":%d,\"failed\":%d,\"retries\":%d,\"slowlog\":%d,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f}"
+    "{\"ok\":true,\"queue_depth\":%d,\"breaker\":\"%s\",\"draining\":%b,\"admitted\":%d,\"completed\":%d,\"truncated\":%d,\"failed\":%d,\"retries\":%d,\"slowlog\":%d,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,\"kernel\":\"%s\",\"graph_offheap_bytes\":%d,\"graph_heap_bytes\":%d,\"graph_mapped\":%b,\"graph_nbr_width\":%d}"
     s.Service.s_queue_depth
     (json_escape (Breaker.state_to_string s.Service.s_breaker))
     s.Service.s_draining s.Service.s_admitted s.Service.s_completed s.Service.s_truncated
     s.Service.s_failed s.Service.s_retries s.Service.s_slowlog s.Service.s_p50_ms
-    s.Service.s_p95_ms s.Service.s_p99_ms
+    s.Service.s_p95_ms s.Service.s_p99_ms (json_escape s.Service.s_kernel)
+    s.Service.s_graph_offheap_bytes s.Service.s_graph_heap_bytes s.Service.s_graph_mapped
+    s.Service.s_graph_nbr_width
 
 (* Embedded query text may contain anything the client typed; the records
    are escaped JSON objects, so the whole reply stays a single line (the

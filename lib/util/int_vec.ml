@@ -1,56 +1,65 @@
-type t = { mutable data : int array; mutable len : int }
+type t = { mutable data : Buf.i64a; mutable len : int }
 
 let create ?(capacity = 16) () =
-  { data = Array.make (max capacity 1) 0; len = 0 }
+  { data = Buf.alloc_i64 (max capacity 1); len = 0 }
 
 let length v = v.len
 
 let get v i =
   if i < 0 || i >= v.len then invalid_arg "Int_vec.get";
-  Array.unsafe_get v.data i
+  Bigarray.Array1.unsafe_get v.data i
 
 let set v i x =
   if i < 0 || i >= v.len then invalid_arg "Int_vec.set";
-  Array.unsafe_set v.data i x
+  Bigarray.Array1.unsafe_set v.data i x
 
-let unsafe_get v i = Array.unsafe_get v.data i
+let unsafe_get v i = Bigarray.Array1.unsafe_get v.data i
 
 let ensure v n =
-  if n > Array.length v.data then begin
-    let cap = ref (Array.length v.data) in
+  if n > Bigarray.Array1.dim v.data then begin
+    let cap = ref (Bigarray.Array1.dim v.data) in
     while !cap < n do
       cap := !cap * 2
     done;
-    let data = Array.make !cap 0 in
-    Array.blit v.data 0 data 0 v.len;
+    let data = Buf.alloc_i64 !cap in
+    if v.len > 0 then
+      Bigarray.Array1.blit
+        (Bigarray.Array1.sub v.data 0 v.len)
+        (Bigarray.Array1.sub data 0 v.len);
     v.data <- data
   end
 
 let push v x =
   ensure v (v.len + 1);
-  Array.unsafe_set v.data v.len x;
+  Bigarray.Array1.unsafe_set v.data v.len x;
   v.len <- v.len + 1
 
 let clear v = v.len <- 0
 let is_empty v = v.len = 0
-let data v = v.data
-let to_array v = Array.sub v.data 0 v.len
+let big v = v.data
+let buf v = Buf.I64 v.data
+let unsafe_set_len v n = v.len <- n
+let capacity_bytes v = Bigarray.Array1.dim v.data * 8
+
+let to_array v = Array.init v.len (fun i -> Bigarray.Array1.unsafe_get v.data i)
 
 let of_array a =
   let v = create ~capacity:(max 1 (Array.length a)) () in
-  Array.blit a 0 v.data 0 (Array.length a);
+  for i = 0 to Array.length a - 1 do
+    Bigarray.Array1.unsafe_set v.data i a.(i)
+  done;
   v.len <- Array.length a;
   v
 
 let iter f v =
   for i = 0 to v.len - 1 do
-    f (Array.unsafe_get v.data i)
+    f (Bigarray.Array1.unsafe_get v.data i)
   done
 
 let fold_left f init v =
   let acc = ref init in
   for i = 0 to v.len - 1 do
-    acc := f !acc (Array.unsafe_get v.data i)
+    acc := f !acc (Bigarray.Array1.unsafe_get v.data i)
   done;
   !acc
 
@@ -58,21 +67,48 @@ let push_array dst a lo hi =
   let n = hi - lo in
   if n > 0 then begin
     ensure dst (dst.len + n);
-    Array.blit a lo dst.data dst.len n;
+    for i = 0 to n - 1 do
+      Bigarray.Array1.unsafe_set dst.data (dst.len + i) a.(lo + i)
+    done;
     dst.len <- dst.len + n
   end
 
-let append dst src = push_array dst src.data 0 src.len
+let push_buf dst b lo hi =
+  let n = hi - lo in
+  if n > 0 then begin
+    ensure dst (dst.len + n);
+    (match b with
+    | Buf.I64 src ->
+        Bigarray.Array1.blit
+          (Bigarray.Array1.sub src lo n)
+          (Bigarray.Array1.sub dst.data dst.len n)
+    | Buf.I32 src ->
+        for i = 0 to n - 1 do
+          Bigarray.Array1.unsafe_set dst.data (dst.len + i)
+            (Int32.to_int (Bigarray.Array1.unsafe_get src (lo + i)))
+        done);
+    dst.len <- dst.len + n
+  end
+
+let append dst src = push_buf dst (Buf.I64 src.data) 0 src.len
 
 let copy_from dst src =
   ensure dst src.len;
-  Array.blit src.data 0 dst.data 0 src.len;
+  if src.len > 0 then
+    Bigarray.Array1.blit
+      (Bigarray.Array1.sub src.data 0 src.len)
+      (Bigarray.Array1.sub dst.data 0 src.len);
   dst.len <- src.len
+
+let blit_to_array v lo dst dlo n =
+  for i = 0 to n - 1 do
+    dst.(dlo + i) <- Bigarray.Array1.unsafe_get v.data (lo + i)
+  done
 
 let pp fmt v =
   Format.fprintf fmt "[@[";
   for i = 0 to v.len - 1 do
     if i > 0 then Format.fprintf fmt ";@ ";
-    Format.fprintf fmt "%d" v.data.(i)
+    Format.fprintf fmt "%d" (Bigarray.Array1.unsafe_get v.data i)
   done;
   Format.fprintf fmt "@]]"

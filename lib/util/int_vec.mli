@@ -1,7 +1,11 @@
-(** Growable arrays of unboxed integers.
+(** Growable off-heap vectors of unboxed integers.
 
     Used pervasively as output buffers for intersections and as flat tuple
-    storage; all operations are amortized O(1) and allocation-light. *)
+    storage. The backing store is a native-int [Bigarray] ([Buf.i64a]):
+    contents are never scanned by the GC, OCaml reads and writes are
+    allocation-free, and the C intersection kernels write results directly
+    into the same buffer — the hot path never bounces between heap and
+    off-heap representations. All operations are amortized O(1). *)
 
 type t
 
@@ -27,9 +31,27 @@ val clear : t -> unit
 
 val is_empty : t -> bool
 
-(** [data v] is the backing array; only indices [0 .. length v - 1] are
-    meaningful. The array is invalidated by the next [push] that grows it. *)
-val data : t -> int array
+(** [ensure v n] grows the backing store (geometrically) to hold at least
+    [n] elements without changing the length. Kernels call this before
+    handing the raw buffer to C. *)
+val ensure : t -> int -> unit
+
+(** [big v] is the raw backing bigarray; only indices
+    [0 .. length v - 1] are meaningful, and the value is invalidated by
+    the next growth. Passed to the C kernels. *)
+val big : t -> Buf.i64a
+
+(** [buf v] is the backing store as a width-tagged [Buf.t] — what
+    intermediate intersection results are sliced from. *)
+val buf : t -> Buf.t
+
+(** [unsafe_set_len v n] declares [n] elements valid — used after a C
+    kernel has written results in place. [n] must not exceed the ensured
+    capacity. *)
+val unsafe_set_len : t -> int -> unit
+
+(** [capacity_bytes v] is the off-heap footprint of the backing store. *)
+val capacity_bytes : t -> int
 
 val to_array : t -> int array
 
@@ -45,8 +67,16 @@ val append : t -> t -> unit
 (** [push_array dst a lo hi] pushes [a.(lo) .. a.(hi-1)] onto [dst]. *)
 val push_array : t -> int array -> int -> int -> unit
 
+(** [push_buf dst b lo hi] pushes a buffer range onto [dst], widening
+    int32 elements as needed. *)
+val push_buf : t -> Buf.t -> int -> int -> unit
+
 (** [copy_from dst src] makes [dst] an exact copy of [src]'s contents,
     reusing [dst]'s storage when large enough. *)
 val copy_from : t -> t -> unit
+
+(** [blit_to_array v lo dst dlo n] copies [n] elements starting at [lo]
+    into a heap array — the row-view boundary of the join table. *)
+val blit_to_array : t -> int -> int array -> int -> int -> unit
 
 val pp : Format.formatter -> t -> unit

@@ -1,29 +1,108 @@
-type slice = int array * int * int
+type slice = Buf.t * int * int
 
 let slice_len ((_, lo, hi) : slice) = hi - lo
+let empty_slice : slice = (Buf.empty, 0, 0)
+
+let of_array ?width a : slice = (Buf.of_int_array ?width a, 0, Array.length a)
+
+(* ------------------------------------------------------------------ *)
+(* C stubs and kernel dispatch                                         *)
+(* ------------------------------------------------------------------ *)
+
+external cpu_level : unit -> int = "gfq_cpu_level" [@@noalloc]
+
+external c_intersect_i32_i32 :
+  Buf.i32a -> int -> int -> Buf.i32a -> int -> int -> Buf.i64a -> int -> int
+  = "gfq_intersect_i32_i32_bc" "gfq_intersect_i32_i32"
+[@@noalloc]
+
+external c_intersect_i64_i32 :
+  Buf.i64a -> int -> int -> Buf.i32a -> int -> int -> Buf.i64a -> int -> int
+  = "gfq_intersect_i64_i32_bc" "gfq_intersect_i64_i32"
+[@@noalloc]
+
+external c_intersect_i64_i64 :
+  Buf.i64a -> int -> int -> Buf.i64a -> int -> int -> Buf.i64a -> int -> int
+  = "gfq_intersect_i64_i64_bc" "gfq_intersect_i64_i64"
+[@@noalloc]
+
+type kernel_mode = Scalar | Simd | Auto
+
+let kernel_mode_to_string = function
+  | Scalar -> "scalar"
+  | Simd -> "simd"
+  | Auto -> "auto"
+
+let kernel_mode_of_string = function
+  | "scalar" -> Some Scalar
+  | "simd" -> Some Simd
+  | "auto" -> Some Auto
+  | _ -> None
+
+let simd_available () = cpu_level () >= 1
+
+let requested = ref Auto
+let use_simd = ref false
+
+let set_kernel_mode m =
+  requested := m;
+  use_simd :=
+    match m with Scalar -> false | Simd -> true | Auto -> simd_available ()
+
+let kernel_mode () = !requested
+
+(* The resolved kernel, for `stats` and benchmark reports. A forced [Simd]
+   on hardware without vector units still runs through the C stubs, whose
+   internal dispatch falls back to portable scalar C — reported
+   distinctly so an A/B knows what it measured. *)
+let kernel_name () =
+  if not !use_simd then "scalar"
+  else
+    match cpu_level () with
+    | 2 -> "simd-avx2"
+    | 1 -> "simd-sse"
+    | _ -> "simd-c-scalar"
+
+let with_kernel_mode m f =
+  let saved = !requested in
+  set_kernel_mode m;
+  Fun.protect ~finally:(fun () -> set_kernel_mode saved) f
+
+let () =
+  set_kernel_mode
+    (match Sys.getenv_opt "GFQ_KERNEL" with
+    | Some s -> (
+        match kernel_mode_of_string (String.lowercase_ascii (String.trim s)) with
+        | Some m -> m
+        | None -> Auto)
+    | None -> Auto)
+
+(* ------------------------------------------------------------------ *)
+(* Search primitives (portable, allocation-free)                       *)
+(* ------------------------------------------------------------------ *)
 
 let lower_bound a lo hi x =
   let l = ref lo and h = ref hi in
   while !l < !h do
     let mid = (!l + !h) / 2 in
-    if Array.unsafe_get a mid < x then l := mid + 1 else h := mid
+    if Buf.unsafe_get a mid < x then l := mid + 1 else h := mid
   done;
   !l
 
 let member a lo hi x =
   let i = lower_bound a lo hi x in
-  i < hi && Array.unsafe_get a i = x
+  i < hi && Buf.unsafe_get a i = x
 
 (* Exponential search for x in a.(lo..hi-1), returns the least index with
    a.(i) >= x. Starts from lo, doubling the probe distance: O(log d) where d is
    the distance to the answer, which makes skewed intersections cheap. *)
 let gallop a lo hi x =
-  if lo >= hi || Array.unsafe_get a lo >= x then lo
+  if lo >= hi || Buf.unsafe_get a lo >= x then lo
   else begin
     let step = ref 1 in
     let prev = ref lo in
     let cur = ref (lo + 1) in
-    while !cur < hi && Array.unsafe_get a !cur < x do
+    while !cur < hi && Buf.unsafe_get a !cur < x do
       prev := !cur;
       step := !step * 2;
       cur := min hi (!cur + !step)
@@ -31,10 +110,14 @@ let gallop a lo hi x =
     lower_bound a (!prev + 1) (min !cur hi) x
   end
 
+(* ------------------------------------------------------------------ *)
+(* Pairwise intersection: scalar OCaml fallback + SIMD dispatch        *)
+(* ------------------------------------------------------------------ *)
+
 let intersect2_tandem out a alo ahi b blo bhi =
   let i = ref alo and j = ref blo in
   while !i < ahi && !j < bhi do
-    let x = Array.unsafe_get a !i and y = Array.unsafe_get b !j in
+    let x = Buf.unsafe_get a !i and y = Buf.unsafe_get b !j in
     if x < y then incr i
     else if y < x then incr j
     else begin
@@ -49,9 +132,9 @@ let intersect2_gallop out a alo ahi b blo bhi =
   let j = ref blo in
   let i = ref alo in
   while !i < ahi && !j < bhi do
-    let x = Array.unsafe_get a !i in
+    let x = Buf.unsafe_get a !i in
     j := gallop b !j bhi x;
-    if !j < bhi && Array.unsafe_get b !j = x then begin
+    if !j < bhi && Buf.unsafe_get b !j = x then begin
       Int_vec.push out x;
       incr j
     end;
@@ -60,24 +143,53 @@ let intersect2_gallop out a alo ahi b blo bhi =
 
 let gallop_threshold = 16
 
-let intersect2 out a alo ahi b blo bhi =
+let intersect2_scalar out a alo ahi b blo bhi =
   let la = ahi - alo and lb = bhi - blo in
   if la = 0 || lb = 0 then ()
   else if lb > la * gallop_threshold then intersect2_gallop out a alo ahi b blo bhi
   else if la > lb * gallop_threshold then intersect2_gallop out b blo bhi a alo ahi
   else intersect2_tandem out a alo ahi b blo bhi
 
+(* The vectorized kernels use unconditional full-width stores: reserve
+   min(|a|, |b|) for results plus 8 lanes of scratch slack. *)
+let simd_slack = 8
+
+let intersect2_simd out a alo ahi b blo bhi =
+  let la = ahi - alo and lb = bhi - blo in
+  if la = 0 || lb = 0 then ()
+  else begin
+    let pos = Int_vec.length out in
+    Int_vec.ensure out (pos + min la lb + simd_slack);
+    let o = Int_vec.big out in
+    let n =
+      match (a, b) with
+      | Buf.I32 a32, Buf.I32 b32 -> c_intersect_i32_i32 a32 alo ahi b32 blo bhi o pos
+      | Buf.I64 a64, Buf.I32 b32 -> c_intersect_i64_i32 a64 alo ahi b32 blo bhi o pos
+      | Buf.I32 a32, Buf.I64 b64 -> c_intersect_i64_i32 b64 blo bhi a32 alo ahi o pos
+      | Buf.I64 a64, Buf.I64 b64 -> c_intersect_i64_i64 a64 alo ahi b64 blo bhi o pos
+    in
+    Int_vec.unsafe_set_len out n
+  end
+
+let intersect2 out a alo ahi b blo bhi =
+  if !use_simd then intersect2_simd out a alo ahi b blo bhi
+  else intersect2_scalar out a alo ahi b blo bhi
+
 let count_intersect2 a alo ahi b blo bhi =
   let out = Int_vec.create ~capacity:64 () in
   intersect2 out a alo ahi b blo bhi;
   Int_vec.length out
+
+(* ------------------------------------------------------------------ *)
+(* Multiway intersection                                               *)
+(* ------------------------------------------------------------------ *)
 
 let intersect ?scratch2 out (slices : slice array) ~scratch =
   match Array.length slices with
   | 0 -> ()
   | 1 ->
       let a, lo, hi = slices.(0) in
-      Int_vec.push_array out a lo hi
+      Int_vec.push_buf out a lo hi
   | n ->
       let order = Array.init n (fun i -> i) in
       Array.sort (fun i j -> compare (slice_len slices.(i)) (slice_len slices.(j))) order;
@@ -103,14 +215,14 @@ let intersect ?scratch2 out (slices : slice array) ~scratch =
           for k = 2 to n - 2 do
             let b, blo, bhi = slices.(order.(k)) in
             Int_vec.clear !next;
-            intersect2 !next (Int_vec.data !curr) 0 (Int_vec.length !curr) b blo bhi;
+            intersect2 !next (Int_vec.buf !curr) 0 (Int_vec.length !curr) b blo bhi;
             let t = !curr in
             curr := !next;
             next := t
           done
         end;
         let b, blo, bhi = slices.(order.(n - 1)) in
-        intersect2 out (Int_vec.data !curr) 0 (Int_vec.length !curr) b blo bhi
+        intersect2 out (Int_vec.buf !curr) 0 (Int_vec.length !curr) b blo bhi
       end
 
 let leapfrog out (slices : slice array) =
@@ -118,7 +230,7 @@ let leapfrog out (slices : slice array) =
   if k = 0 then ()
   else if k = 1 then begin
     let a, lo, hi = slices.(0) in
-    Int_vec.push_array out a lo hi
+    Int_vec.push_buf out a lo hi
   end
   else begin
     (* Current cursor per iterator; none may start empty. *)
@@ -136,9 +248,9 @@ let leapfrog out (slices : slice array) =
       Array.sort
         (fun i j ->
           let a, lo, _ = slices.(i) and b, mo, _ = slices.(j) in
-          compare a.(lo) b.(mo))
+          compare (Buf.get a lo) (Buf.get b mo))
         order;
-      let key i = let a, _, _ = slices.(i) in a.(pos.(i)) in
+      let key i = let a, _, _ = slices.(i) in Buf.unsafe_get a pos.(i) in
       let p = ref 0 in
       (* Largest first key = key of the last iterator in sorted order. *)
       let max_key = ref (key order.(k - 1)) in
@@ -152,13 +264,13 @@ let leapfrog out (slices : slice array) =
              Int_vec.push out !max_key;
              pos.(it) <- pos.(it) + 1;
              if pos.(it) >= hi then raise Done;
-             max_key := a.(pos.(it));
+             max_key := Buf.unsafe_get a pos.(it);
              p := (!p + 1) mod k
            end
            else begin
              pos.(it) <- gallop a pos.(it) hi !max_key;
              if pos.(it) >= hi then raise Done;
-             max_key := a.(pos.(it));
+             max_key := Buf.unsafe_get a pos.(it);
              p := (!p + 1) mod k
            end
          done
@@ -169,6 +281,6 @@ let leapfrog out (slices : slice array) =
 let is_sorted_strict a lo hi =
   let ok = ref true in
   for i = lo + 1 to hi - 1 do
-    if a.(i - 1) >= a.(i) then ok := false
+    if Buf.get a (i - 1) >= Buf.get a i then ok := false
   done;
   !ok

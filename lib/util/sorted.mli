@@ -1,32 +1,81 @@
 (** Intersection kernels over sorted integer slices.
 
-    A slice is a triple [(arr, lo, hi)] denoting [arr.(lo) .. arr.(hi - 1)],
-    strictly increasing. These kernels are the computational core of the
-    EXTEND/INTERSECT operator: the worst-case optimal multiway intersection is
-    realized as iterative 2-way in-tandem intersections, smallest lists first,
-    with galloping (exponential) search when one side is much longer. *)
+    A slice is a triple [(buf, lo, hi)] denoting [buf.(lo) .. buf.(hi - 1)],
+    strictly increasing, over an off-heap {!Buf.t}. These kernels are the
+    computational core of the EXTEND/INTERSECT operator: the worst-case
+    optimal multiway intersection is realized as iterative 2-way
+    intersections, smallest lists first.
 
-type slice = int array * int * int
+    Two interchangeable pairwise kernels sit behind {!intersect2}: a
+    portable scalar OCaml kernel (in-tandem merge switching to galloping
+    search under skew) and C stubs over the raw Bigarray payloads —
+    shuffle-based SSE/AVX2 pairwise intersection and blocked galloping,
+    selected per-CPU at runtime. Both produce bit-identical output (the
+    set intersection of strictly increasing sequences is unique); the
+    differential test suite enforces it. Selection: the [GFQ_KERNEL]
+    environment variable ([scalar|simd|auto], default [auto]) at startup,
+    or {!set_kernel_mode} at runtime. *)
+
+type slice = Buf.t * int * int
 
 val slice_len : slice -> int
 
+(** The canonical zero-length slice — placeholder for slice arrays. *)
+val empty_slice : slice
+
+(** [of_array a] copies a heap array into an off-heap slice (tests,
+    benches, boundary callers). *)
+val of_array : ?width:[ `Auto | `I32 | `I64 ] -> int array -> slice
+
+(** {1 Kernel dispatch} *)
+
+type kernel_mode = Scalar | Simd | Auto
+
+val kernel_mode_of_string : string -> kernel_mode option
+val kernel_mode_to_string : kernel_mode -> string
+
+(** [set_kernel_mode m] routes subsequent {!intersect2} calls: [Scalar]
+    forces the portable OCaml kernel, [Simd] the C stubs, [Auto] picks
+    the stubs when the CPU has vector units. *)
+val set_kernel_mode : kernel_mode -> unit
+
+(** The currently requested mode. *)
+val kernel_mode : unit -> kernel_mode
+
+(** The resolved kernel actually running: ["scalar"], ["simd-avx2"],
+    ["simd-sse"], or ["simd-c-scalar"] (C stubs forced on a CPU without
+    vector units). *)
+val kernel_name : unit -> string
+
+(** Whether the C stubs report usable vector units (CPUID probe). *)
+val simd_available : unit -> bool
+
+(** [with_kernel_mode m f] runs [f] under mode [m], restoring the
+    previous mode afterwards — the benchmark A/B harness. *)
+val with_kernel_mode : kernel_mode -> (unit -> 'a) -> 'a
+
+(** Raw CPUID probe level from the stubs: 0 none, 1 SSE4, 2 AVX2. *)
+val cpu_level : unit -> int
+
+(** {1 Search primitives} *)
+
 (** [member a lo hi x] is binary search for [x] in the slice. *)
-val member : int array -> int -> int -> int -> bool
+val member : Buf.t -> int -> int -> int -> bool
 
 (** [lower_bound a lo hi x] is the least index [i in [lo, hi]] with
     [a.(i) >= x] (or [hi] when none). *)
-val lower_bound : int array -> int -> int -> int -> int
+val lower_bound : Buf.t -> int -> int -> int -> int
 
 (** [gallop a lo hi x] is [lower_bound] by exponential search from [lo]:
     O(log d) in the distance [d] to the answer instead of O(log (hi - lo)),
     which is what makes skewed intersections and leapfrog seeks cheap. *)
-val gallop : int array -> int -> int -> int -> int
+val gallop : Buf.t -> int -> int -> int -> int
+
+(** {1 Intersection} *)
 
 (** [intersect2 out a alo ahi b blo bhi] appends the intersection of two
-    sorted slices onto [out]. Switches between in-tandem merging and galloping
-    depending on the length ratio. *)
-val intersect2 :
-  Int_vec.t -> int array -> int -> int -> int array -> int -> int -> unit
+    sorted slices onto [out], through whichever kernel is active. *)
+val intersect2 : Int_vec.t -> Buf.t -> int -> int -> Buf.t -> int -> int -> unit
 
 (** [intersect out slices ~scratch] appends the k-way intersection onto
     [out]. [scratch] is a reusable temporary buffer; [scratch2] is the second
@@ -42,12 +91,12 @@ val intersect :
     the running maximum with galloping seeks, emitting on full agreement.
     Worst-case optimal like the pairwise cascade but with different
     constants: it touches every list once instead of narrowing through
-    intermediate buffers. *)
+    intermediate buffers. Always the portable OCaml implementation. *)
 val leapfrog : Int_vec.t -> slice array -> unit
 
 (** [count_intersect2 a alo ahi b blo bhi] counts intersection size without
     materializing it. *)
-val count_intersect2 : int array -> int -> int -> int array -> int -> int -> int
+val count_intersect2 : Buf.t -> int -> int -> Buf.t -> int -> int -> int
 
 (** [is_sorted_strict a lo hi] checks strict ascending order (test helper). *)
-val is_sorted_strict : int array -> int -> int -> bool
+val is_sorted_strict : Buf.t -> int -> int -> bool

@@ -28,17 +28,23 @@ let test_build_dedup_and_self_loops () =
 let test_neighbours_partitions () =
   let g = fixture () in
   (* Vertex 0 forward: label-0 edges to {1 (vl 1), 2 (vl 0)}; label-1 edge to 3. *)
-  let arr, lo, hi = Graph.neighbours g Graph.Fwd 0 ~elabel:0 ~nlabel:0 in
-  Alcotest.(check (array int)) "0 fwd e0 nl0" [| 2 |] (Array.sub arr lo (hi - lo));
-  let arr, lo, hi = Graph.neighbours g Graph.Fwd 0 ~elabel:0 ~nlabel:1 in
-  Alcotest.(check (array int)) "0 fwd e0 nl1" [| 1 |] (Array.sub arr lo (hi - lo));
-  let arr, lo, hi = Graph.neighbours g Graph.Fwd 0 ~elabel:1 ~nlabel:1 in
-  Alcotest.(check (array int)) "0 fwd e1 nl1" [| 3 |] (Array.sub arr lo (hi - lo));
+  let sub (arr, lo, hi) = Gf_util.Buf.sub_array arr lo hi in
+  Alcotest.(check (array int))
+    "0 fwd e0 nl0" [| 2 |]
+    (sub (Graph.neighbours g Graph.Fwd 0 ~elabel:0 ~nlabel:0));
+  Alcotest.(check (array int))
+    "0 fwd e0 nl1" [| 1 |]
+    (sub (Graph.neighbours g Graph.Fwd 0 ~elabel:0 ~nlabel:1));
+  Alcotest.(check (array int))
+    "0 fwd e1 nl1" [| 3 |]
+    (sub (Graph.neighbours g Graph.Fwd 0 ~elabel:1 ~nlabel:1));
   (* Vertex 2 backward, label 0: sources {0, 1, 3}; partition by source label. *)
-  let arr, lo, hi = Graph.neighbours g Graph.Bwd 2 ~elabel:0 ~nlabel:0 in
-  Alcotest.(check (array int)) "2 bwd e0 nl0" [| 0 |] (Array.sub arr lo (hi - lo));
-  let arr, lo, hi = Graph.neighbours g Graph.Bwd 2 ~elabel:0 ~nlabel:1 in
-  Alcotest.(check (array int)) "2 bwd e0 nl1" [| 1; 3 |] (Array.sub arr lo (hi - lo))
+  Alcotest.(check (array int))
+    "2 bwd e0 nl0" [| 0 |]
+    (sub (Graph.neighbours g Graph.Bwd 2 ~elabel:0 ~nlabel:0));
+  Alcotest.(check (array int))
+    "2 bwd e0 nl1" [| 1; 3 |]
+    (sub (Graph.neighbours g Graph.Bwd 2 ~elabel:0 ~nlabel:1))
 
 let test_degree_and_partition_size () =
   let g = fixture () in
@@ -192,6 +198,84 @@ let test_io_roundtrip () =
         check_int "vlabel" (Graph.vlabel g v) (Graph.vlabel g2 v)
       done)
 
+(* The binary snapshot: bit-identical round trip through save + mmap load,
+   auto-detection by magic, structured errors for torn and foreign files. *)
+let snap_fixture () =
+  Generators.erdos_renyi (Gf_util.Rng.create 21) ~n:120 ~m:900 |> fun g ->
+  Graph.relabel g (Gf_util.Rng.create 22) ~num_vlabels:3 ~num_elabels:2
+
+let with_snapshot g f =
+  let path = Filename.temp_file "gf_test" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Graph_io.save_snapshot g path;
+      f path)
+
+let test_snapshot_roundtrip () =
+  let g = snap_fixture () in
+  with_snapshot g (fun path ->
+      let g2 = Graph_io.load_snapshot path in
+      check_int "n" (Graph.num_vertices g) (Graph.num_vertices g2);
+      check_int "m" (Graph.num_edges g) (Graph.num_edges g2);
+      Alcotest.(check (list (triple int int int)))
+        "edges identical"
+        (Array.to_list (Graph.edge_array g))
+        (Array.to_list (Graph.edge_array g2));
+      for v = 0 to Graph.num_vertices g - 1 do
+        check_int "vlabel" (Graph.vlabel g v) (Graph.vlabel g2 v)
+      done;
+      check_bool "tagged mapped" true (Graph.origin g2 = Graph.Mapped path);
+      let r = Graph.residency g2 in
+      check_bool "mapped residency" true r.Graph.mapped;
+      check_bool "off-heap bytes positive" true (r.Graph.offheap_bytes > 0);
+      check_int "narrow ids (n < 2^31)" 4 r.Graph.nbr_width;
+      (* auto-detection: the generic loader must take the snapshot path *)
+      match Graph_io.load_result path with
+      | Ok g3 -> check_int "autodetected" (Graph.num_edges g) (Graph.num_edges g3)
+      | Error e -> Alcotest.fail (Graph_io.load_error_to_string e))
+
+let test_snapshot_torn_detection () =
+  let g = snap_fixture () in
+  with_snapshot g (fun path ->
+      let sz = (Unix.stat path).Unix.st_size in
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+      Unix.ftruncate fd (sz - 3);
+      Unix.close fd;
+      match Graph_io.load_snapshot_result path with
+      | Error { kind = Graph_io.Torn _; _ } -> ()
+      | Ok _ -> Alcotest.fail "torn snapshot loaded"
+      | Error e -> Alcotest.fail ("wrong error: " ^ Graph_io.load_error_to_string e))
+
+let test_snapshot_bad_version () =
+  let g = snap_fixture () in
+  with_snapshot g (fun path ->
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+      ignore (Unix.lseek fd 8 Unix.SEEK_SET);
+      ignore (Unix.write_substring fd "\042" 0 1);
+      Unix.close fd;
+      match Graph_io.load_snapshot_result path with
+      | Error { kind = Graph_io.Bad_version 42; _ } -> ()
+      | Ok _ -> Alcotest.fail "bad version loaded"
+      | Error e -> Alcotest.fail ("wrong error: " ^ Graph_io.load_error_to_string e))
+
+let test_snapshot_queries_agree () =
+  let g = snap_fixture () in
+  with_snapshot g (fun path ->
+      let gm = Graph_io.load_snapshot path in
+      (* neighbour slices over mapped storage behave identically *)
+      for v = 0 to Graph.num_vertices g - 1 do
+        for el = 0 to 1 do
+          for nl = 0 to 2 do
+            let a, alo, ahi = Graph.neighbours g Graph.Fwd v ~elabel:el ~nlabel:nl in
+            let b, blo, bhi = Graph.neighbours gm Graph.Fwd v ~elabel:el ~nlabel:nl in
+            Alcotest.(check (array int))
+              "slice" (Gf_util.Buf.sub_array a alo ahi)
+              (Gf_util.Buf.sub_array b blo bhi)
+          done
+        done
+      done)
+
 (* Property: every partition slice is strictly sorted, and fwd/bwd agree. *)
 let prop_partitions_sorted =
   let gen = QCheck2.Gen.(pair (int_range 5 40) (int_bound 200)) in
@@ -253,5 +337,12 @@ let suite =
         Alcotest.test_case "datasets build" `Slow test_datasets_build;
         Alcotest.test_case "dataset names" `Quick test_dataset_names;
       ] );
-    ("graph.io", [ Alcotest.test_case "roundtrip" `Quick test_io_roundtrip ]);
+    ( "graph.io",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
+        Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_roundtrip;
+        Alcotest.test_case "snapshot torn detection" `Quick test_snapshot_torn_detection;
+        Alcotest.test_case "snapshot bad version" `Quick test_snapshot_bad_version;
+        Alcotest.test_case "snapshot queries agree" `Quick test_snapshot_queries_agree;
+      ] );
   ]

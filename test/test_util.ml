@@ -107,7 +107,8 @@ let test_rng_sample_without_replacement () =
       check_bool "distinct" false (Hashtbl.mem distinct x);
       Hashtbl.replace distinct x ())
     s;
-  check_bool "ascending" true (Sorted.is_sorted_strict s 0 (Array.length s))
+  check_bool "ascending" true
+    (Sorted.is_sorted_strict (Buf.of_int_array s) 0 (Array.length s))
 
 let test_rng_geometric () =
   let r = Rng.create 13 in
@@ -126,17 +127,21 @@ let test_rng_geometric () =
 let naive_intersect a b =
   Array.to_list a |> List.filter (fun x -> Array.exists (( = ) x) b) |> Array.of_list
 
+(* Kernels operate on off-heap Buf slices; wrap test arrays at the edge. *)
+let ba a = Buf.of_int_array a
+let sl a : Sorted.slice = (ba a, 0, Array.length a)
+
 let test_intersect2_small () =
   let a = [| 1; 3; 5; 7; 9 |] and b = [| 2; 3; 4; 7; 10 |] in
   let out = Int_vec.create () in
-  Sorted.intersect2 out a 0 (Array.length a) b 0 (Array.length b);
+  Sorted.intersect2 out (ba a) 0 (Array.length a) (ba b) 0 (Array.length b);
   Alcotest.(check (array int)) "intersection" [| 3; 7 |] (Int_vec.to_array out)
 
 let test_intersect2_disjoint_and_empty () =
   let out = Int_vec.create () in
-  Sorted.intersect2 out [| 1; 2 |] 0 2 [| 3; 4 |] 0 2;
+  Sorted.intersect2 out (ba [| 1; 2 |]) 0 2 (ba [| 3; 4 |]) 0 2;
   check_int "disjoint" 0 (Int_vec.length out);
-  Sorted.intersect2 out [||] 0 0 [| 1 |] 0 1;
+  Sorted.intersect2 out (ba [||]) 0 0 (ba [| 1 |]) 0 1;
   check_int "empty lhs" 0 (Int_vec.length out)
 
 let test_intersect2_galloping_path () =
@@ -144,23 +149,23 @@ let test_intersect2_galloping_path () =
   let big = Array.init 10_000 (fun i -> i * 3) in
   let small = [| 0; 4242; 4243; 2999 * 3; 9999 * 3 |] in
   let out = Int_vec.create () in
-  Sorted.intersect2 out small 0 (Array.length small) big 0 (Array.length big);
+  Sorted.intersect2 out (ba small) 0 (Array.length small) (ba big) 0 (Array.length big);
   (* 4242 = 3 * 1414 is in [big]; 4243 is not. *)
   Alcotest.(check (array int)) "gallop" [| 0; 4242; 2999 * 3; 9999 * 3 |] (Int_vec.to_array out)
 
 let test_intersect2_slices () =
-  let a = [| 0; 1; 2; 3; 4; 5 |] in
+  let a = ba [| 0; 1; 2; 3; 4; 5 |] in
   let out = Int_vec.create () in
   (* Only consider a[2..5) = {2,3,4} against {3,4,5}. *)
-  Sorted.intersect2 out a 2 5 [| 3; 4; 5 |] 0 3;
+  Sorted.intersect2 out a 2 5 (ba [| 3; 4; 5 |]) 0 3;
   Alcotest.(check (array int)) "slice" [| 3; 4 |] (Int_vec.to_array out)
 
 let test_intersect_multiway () =
   let slices =
     [|
-      ([| 1; 2; 3; 4; 5; 6; 7; 8 |], 0, 8);
-      ([| 2; 4; 6; 8; 10 |], 0, 5);
-      ([| 4; 5; 6; 7; 8 |], 0, 5);
+      sl [| 1; 2; 3; 4; 5; 6; 7; 8 |];
+      sl [| 2; 4; 6; 8; 10 |];
+      sl [| 4; 5; 6; 7; 8 |];
     |]
   in
   let out = Int_vec.create () and scratch = Int_vec.create () in
@@ -169,7 +174,7 @@ let test_intersect_multiway () =
 
 let test_intersect_single_and_zero () =
   let out = Int_vec.create () and scratch = Int_vec.create () in
-  Sorted.intersect out [| ([| 5; 6 |], 0, 2) |] ~scratch;
+  Sorted.intersect out [| sl [| 5; 6 |] |] ~scratch;
   Alcotest.(check (array int)) "1-way copies" [| 5; 6 |] (Int_vec.to_array out);
   Int_vec.clear out;
   Sorted.intersect out [||] ~scratch;
@@ -178,9 +183,9 @@ let test_intersect_single_and_zero () =
 let test_leapfrog_small () =
   let slices =
     [|
-      ([| 1; 2; 3; 4; 5; 6; 7; 8 |], 0, 8);
-      ([| 2; 4; 6; 8; 10 |], 0, 5);
-      ([| 4; 5; 6; 7; 8 |], 0, 5);
+      sl [| 1; 2; 3; 4; 5; 6; 7; 8 |];
+      sl [| 2; 4; 6; 8; 10 |];
+      sl [| 4; 5; 6; 7; 8 |];
     |]
   in
   let out = Int_vec.create () in
@@ -191,20 +196,20 @@ let test_leapfrog_edge_cases () =
   let out = Int_vec.create () in
   Sorted.leapfrog out [||];
   check_int "0-way" 0 (Int_vec.length out);
-  Sorted.leapfrog out [| ([| 3; 9 |], 0, 2) |];
+  Sorted.leapfrog out [| sl [| 3; 9 |] |];
   Alcotest.(check (array int)) "1-way copies" [| 3; 9 |] (Int_vec.to_array out);
   Int_vec.clear out;
-  Sorted.leapfrog out [| ([| 1 |], 0, 1); ([||], 0, 0) |];
+  Sorted.leapfrog out [| sl [| 1 |]; sl [||] |];
   check_int "empty iterator" 0 (Int_vec.length out);
   Int_vec.clear out;
-  Sorted.leapfrog out [| ([| 1; 3 |], 0, 2); ([| 2; 4 |], 0, 2) |];
+  Sorted.leapfrog out [| sl [| 1; 3 |]; sl [| 2; 4 |] |];
   check_int "disjoint" 0 (Int_vec.length out)
 
 let prop_leapfrog_matches_pairwise =
   let gen = QCheck2.Gen.(list_size (int_range 2 6) (list_size (int_bound 120) (int_bound 400))) in
   QCheck2.Test.make ~name:"leapfrog = pairwise cascade" ~count:300 gen (fun lists ->
       let arrays = List.map (fun l -> List.sort_uniq compare l |> Array.of_list) lists in
-      let slices = Array.of_list (List.map (fun a -> (a, 0, Array.length a)) arrays) in
+      let slices = Array.of_list (List.map sl arrays) in
       let out1 = Int_vec.create () and scratch = Int_vec.create () in
       Sorted.intersect out1 slices ~scratch;
       let out2 = Int_vec.create () in
@@ -212,7 +217,7 @@ let prop_leapfrog_matches_pairwise =
       Int_vec.to_array out1 = Int_vec.to_array out2)
 
 let test_lower_bound_member () =
-  let a = [| 2; 4; 6; 8 |] in
+  let a = ba [| 2; 4; 6; 8 |] in
   check_int "lb exact" 1 (Sorted.lower_bound a 0 4 4);
   check_int "lb between" 2 (Sorted.lower_bound a 0 4 5);
   check_int "lb before" 0 (Sorted.lower_bound a 0 4 0);
@@ -221,8 +226,9 @@ let test_lower_bound_member () =
   check_bool "member no" false (Sorted.member a 0 4 5)
 
 let test_gallop_edges () =
-  let a = [| 10; 20; 30; 40; 50; 60; 70; 80 |] in
-  let n = Array.length a in
+  let raw = [| 10; 20; 30; 40; 50; 60; 70; 80 |] in
+  let a = ba raw in
+  let n = Array.length raw in
   (* empty slice: lo = hi is the only possible answer *)
   check_int "empty slice" 3 (Sorted.gallop a 3 3 25);
   check_int "empty slice at 0" 0 (Sorted.gallop a 0 0 99);
@@ -251,31 +257,32 @@ let prop_gallop_equals_lower_bound =
       let a = List.sort_uniq compare l |> Array.of_list in
       let n = Array.length a in
       let lo = if n = 0 then 0 else off mod (n + 1) in
-      Sorted.gallop a lo n x = Sorted.lower_bound a lo n x)
+      Sorted.gallop (ba a) lo n x = Sorted.lower_bound (ba a) lo n x)
 
 let test_leapfrog_degenerate_slices () =
   let out = Int_vec.create () in
   (* single-element slices, all equal keys *)
-  Sorted.leapfrog out [| ([| 7 |], 0, 1); ([| 7 |], 0, 1); ([| 7 |], 0, 1) |];
+  Sorted.leapfrog out [| sl [| 7 |]; sl [| 7 |]; sl [| 7 |] |];
   Alcotest.(check (array int)) "singletons equal" [| 7 |] (Int_vec.to_array out);
   Int_vec.clear out;
   (* single-element slices, distinct keys *)
-  Sorted.leapfrog out [| ([| 7 |], 0, 1); ([| 8 |], 0, 1) |];
+  Sorted.leapfrog out [| sl [| 7 |]; sl [| 8 |] |];
   check_int "singletons distinct" 0 (Int_vec.length out);
   (* identical slices: intersection is the slice itself *)
   let a = [| 1; 4; 9; 16; 25 |] in
-  Sorted.leapfrog out [| (a, 0, 5); (a, 0, 5); (a, 0, 5) |];
+  let s = sl a in
+  Sorted.leapfrog out [| s; s; s |];
   Alcotest.(check (array int)) "identical slices" a (Int_vec.to_array out);
   Int_vec.clear out;
   (* one slice's first key exceeds every other slice's last key: the very
      first seek overshoots to the end on all others *)
-  Sorted.leapfrog out [| ([| 1; 2; 3 |], 0, 3); ([| 90; 100 |], 0, 2) |];
+  Sorted.leapfrog out [| sl [| 1; 2; 3 |]; sl [| 90; 100 |] |];
   check_int "disjoint ranges (high last)" 0 (Int_vec.length out);
-  Sorted.leapfrog out [| ([| 90; 100 |], 0, 2); ([| 1; 2; 3 |], 0, 3); ([| 2; 91 |], 0, 2) |];
+  Sorted.leapfrog out [| sl [| 90; 100 |]; sl [| 1; 2; 3 |]; sl [| 2; 91 |] |];
   check_int "disjoint ranges (high first)" 0 (Int_vec.length out);
   (* same shapes through the pairwise cascade for agreement *)
   let scratch = Int_vec.create () in
-  Sorted.intersect out [| ([| 1; 2; 3 |], 0, 3); ([| 90; 100 |], 0, 2) |] ~scratch;
+  Sorted.intersect out [| sl [| 1; 2; 3 |]; sl [| 90; 100 |] |] ~scratch;
   check_int "cascade agrees" 0 (Int_vec.length out)
 
 (* 4-way-and-wider intersections exercise the second ping-pong buffer;
@@ -283,10 +290,10 @@ let test_leapfrog_degenerate_slices () =
 let test_intersect_wide_scratch2 () =
   let slices =
     [|
-      ([| 1; 2; 3; 4; 5; 6; 7; 8; 9 |], 0, 9);
-      ([| 2; 4; 6; 8; 10 |], 0, 5);
-      ([| 1; 2; 4; 6; 8 |], 0, 5);
-      ([| 4; 6; 8; 12 |], 0, 4);
+      sl [| 1; 2; 3; 4; 5; 6; 7; 8; 9 |];
+      sl [| 2; 4; 6; 8; 10 |];
+      sl [| 1; 2; 4; 6; 8 |];
+      sl [| 4; 6; 8; 12 |];
     |]
   in
   let out = Int_vec.create () and scratch = Int_vec.create () in
@@ -299,9 +306,7 @@ let test_intersect_wide_scratch2 () =
   (* reuse the same buffers for a second, wider call: stale contents must
      not leak into the result *)
   Int_vec.clear out;
-  let five =
-    Array.append slices [| ([| 0; 4; 8; 100 |], 0, 4) |]
-  in
+  let five = Array.append slices [| sl [| 0; 4; 8; 100 |] |] in
   Sorted.intersect ~scratch2 out five ~scratch;
   Alcotest.(check (array int)) "5-way reused buffers" [| 4; 8 |] (Int_vec.to_array out)
 
@@ -315,7 +320,7 @@ let prop_intersect2 =
       let dedup_sort l = List.sort_uniq compare l |> Array.of_list in
       let a = dedup_sort la and b = dedup_sort lb in
       let out = Int_vec.create () in
-      Sorted.intersect2 out a 0 (Array.length a) b 0 (Array.length b);
+      Sorted.intersect2 out (ba a) 0 (Array.length a) (ba b) 0 (Array.length b);
       Int_vec.to_array out = naive_intersect a b)
 
 let prop_intersect_multiway =
@@ -323,7 +328,7 @@ let prop_intersect_multiway =
   QCheck2.Test.make ~name:"k-way intersect matches pairwise folding" ~count:200 gen
     (fun lists ->
       let arrays = List.map (fun l -> List.sort_uniq compare l |> Array.of_list) lists in
-      let slices = Array.of_list (List.map (fun a -> (a, 0, Array.length a)) arrays) in
+      let slices = Array.of_list (List.map sl arrays) in
       let out = Int_vec.create () and scratch = Int_vec.create () in
       Sorted.intersect out slices ~scratch;
       let expected =
@@ -339,7 +344,7 @@ let prop_gallop_equals_tandem =
       let a = List.sort_uniq compare la |> Array.of_list in
       let b = List.sort_uniq compare lb |> Array.of_list in
       let out = Int_vec.create () in
-      Sorted.intersect2 out a 0 (Array.length a) b 0 (Array.length b);
+      Sorted.intersect2 out (ba a) 0 (Array.length a) (ba b) 0 (Array.length b);
       Int_vec.to_array out = naive_intersect a b)
 
 (* ---------- Bitset ---------- *)
