@@ -448,13 +448,85 @@ let serve_cmd =
           ~env:(Cmd.Env.info "GFQ_FAULT_SEED")
           ~doc:"Chaos source: deterministically inject first-attempt faults into ~1/4 of requests.")
   in
+  let data_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "data-dir" ] ~docv:"DIR"
+          ~doc:
+            "Durable store directory (checksummed snapshot + write-ahead log). Enables the \
+             addedge/deledge/addvertex/delvertex/checkpoint wire commands; on restart the \
+             graph is recovered from the newest valid snapshot plus WAL replay. \
+             --graph/--dataset only seed the genesis graph the first time the directory is \
+             used (default: an empty graph).")
+  in
+  let merge_threshold =
+    Arg.(
+      value
+      & opt int Gf_wal.Store.default_config.Gf_wal.Store.merge_threshold
+      & info [ "merge-threshold" ] ~docv:"N"
+          ~doc:"Merge the delta overlay into a fresh CSR after N pending operations (0 = only at checkpoint).")
+  in
+  let segment_bytes =
+    Arg.(
+      value
+      & opt int Gf_wal.Store.default_config.Gf_wal.Store.segment_bytes
+      & info [ "segment-bytes" ] ~docv:"B" ~doc:"WAL segment rotation threshold in bytes.")
+  in
+  let sync_every_append =
+    Arg.(
+      value & flag
+      & info [ "sync-every-append" ]
+          ~doc:"fsync after every WAL record instead of group commit (slower, strictest durability).")
+  in
+  let snapshots_kept =
+    Arg.(
+      value
+      & opt int Gf_wal.Store.default_config.Gf_wal.Store.snapshots_kept
+      & info [ "snapshots-kept" ] ~docv:"N"
+          ~doc:"Snapshot generations retained as fallback against bit rot.")
+  in
   let go graph_file dataset scale labels seed kernel socket port host workers queue domains
       timeout_ms max_rows max_intermediate degraded_timeout_ms backoff_ms backoff_cap_ms
-      breaker_window breaker_min breaker_threshold breaker_cooldown_ms fault_seed =
+      breaker_window breaker_min breaker_threshold breaker_cooldown_ms fault_seed data_dir
+      merge_threshold segment_bytes sync_every_append snapshots_kept =
     apply_kernel kernel;
     let endpoint = endpoint_arg_of socket port host in
-    let g = load_graph graph_file dataset scale labels seed in
-    let db = Gf.Db.create g in
+    let g =
+      match (data_dir, graph_file, dataset) with
+      | Some _, None, None ->
+          (* Durable store with no genesis source: start empty (or recover). *)
+          Gf.Graph.build ~num_vlabels:1 ~num_elabels:1 ~vlabel:[||] ~edges:[||]
+      | _ -> load_graph graph_file dataset scale labels seed
+    in
+    let store =
+      Option.map
+        (fun dir ->
+          let config =
+            {
+              Gf_wal.Store.segment_bytes;
+              sync_every_append;
+              merge_threshold;
+              snapshots_kept;
+            }
+          in
+          match Gf_wal.Store.open_store ~config ~init:g dir with
+          | Error e -> die ("store: " ^ Gf_wal.Store.open_error_to_string e)
+          | Ok st ->
+              let r = Gf_wal.Store.recovery_info st in
+              List.iter (fun w -> Format.printf "gfq serve: store warning: %s@." w) r.Gf_wal.Store.warnings;
+              Format.printf "gfq serve: store %s: version %d (%s, %d wal records replayed)@."
+                dir (Gf_wal.Store.version st)
+                (match r.Gf_wal.Store.snapshot with
+                | Some (file, v) -> Printf.sprintf "snapshot %s v%d" file v
+                | None -> "no snapshot")
+                r.Gf_wal.Store.replayed;
+              st)
+        data_dir
+    in
+    let db =
+      Gf.Db.create (match store with Some st -> Gf_wal.Store.graph st | None -> g)
+    in
     let ladder =
       {
         Gf_server.Ladder.domains;
@@ -484,27 +556,32 @@ let serve_cmd =
       { Gf_server.Service.default_config with queue_capacity = queue; workers; ladder; breaker; fault_seed; seed }
     in
     let service = Gf_server.Service.create ~config db in
+    Option.iter (Gf_server.Service.attach_store service) store;
     Gf_server.Server.serve
       ~on_ready:(fun ep ->
-        Format.printf "gfq serve: listening on %s (workers=%d queue=%d domains=%d%s)@."
+        Format.printf "gfq serve: listening on %s (workers=%d queue=%d domains=%d%s%s)@."
           (endpoint_to_string ep) workers queue domains
           (match fault_seed with
           | Some s -> Printf.sprintf " fault-seed=%d" s
-          | None -> "");
+          | None -> "")
+          (match data_dir with Some d -> " data-dir=" ^ d | None -> "");
         Format.print_flush ())
       service endpoint;
+    Option.iter Gf_wal.Store.close store;
     Format.printf "gfq serve: drained, exiting@."
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve queries over a socket: bounded admission queue, retry-with-degradation \
-          ladder, circuit breaker, graceful drain on shutdown.")
+          ladder, circuit breaker, graceful drain on shutdown. With --data-dir, durable \
+          graph mutations (write-ahead logged, crash-recoverable).")
     Term.(
       const go $ graph_file $ dataset $ scale $ labels $ seed $ kernel_arg $ socket_arg
       $ port_arg $ host_arg $ workers $ queue $ domains $ timeout_ms $ max_rows
       $ max_intermediate $ degraded_timeout_ms $ backoff_ms $ backoff_cap_ms
-      $ breaker_window $ breaker_min $ breaker_threshold $ breaker_cooldown_ms $ fault_seed)
+      $ breaker_window $ breaker_min $ breaker_threshold $ breaker_cooldown_ms $ fault_seed
+      $ data_dir $ merge_threshold $ segment_bytes $ sync_every_append $ snapshots_kept)
 
 (* --- soak: a concurrent client driver for CI and load checks ----------- *)
 
@@ -528,7 +605,72 @@ let soak_cmd =
       value & opt float 15.0
       & info [ "connect-timeout" ] ~docv:"S" ~doc:"Give up connecting after this long.")
   in
-  let go socket port host clients requests soak_seed send_shutdown connect_timeout_s =
+  let mutate_pct =
+    Arg.(
+      value & opt int 0
+      & info [ "mutate" ] ~docv:"PCT"
+          ~doc:
+            "Make PCT percent of each client's requests graph mutations \
+             (addedge/deledge/addvertex/delvertex/checkpoint) instead of queries — needs a \
+             server running with --data-dir.")
+  in
+  let crash =
+    Arg.(
+      value & flag
+      & info [ "crash" ]
+          ~doc:
+            "Crash-torture mode: no server needed. Fork a durable-store writer, kill -9 it \
+             at each WAL/checkpoint fault point across a seed matrix, recover, and verify \
+             the store came back as exactly the acknowledged prefix. Exits nonzero on any \
+             lost or phantom write.")
+  in
+  let crash_seeds =
+    Arg.(
+      value & opt int 8
+      & info [ "crash-seeds" ] ~docv:"N" ~doc:"Seeds per fault point in --crash mode.")
+  in
+  let go socket port host clients requests soak_seed send_shutdown connect_timeout_s
+      mutate_pct crash crash_seeds =
+    if crash then begin
+      (* Fork-based: must run before any thread is spawned. *)
+      let points =
+        [
+          Gf_wal.Fault.Wal_mid_record;
+          Gf_wal.Fault.Wal_pre_fsync;
+          Gf_wal.Fault.Wal_mid_rotation;
+          Gf_wal.Fault.Checkpoint_mid_rename;
+        ]
+      in
+      let rounds = ref 0 and failures = ref 0 in
+      for i = 0 to crash_seeds - 1 do
+        let seed = soak_seed + (i * 131) in
+        List.iteri
+          (fun pi p ->
+            incr rounds;
+            (* Rare points (rotation, checkpoint) fire a handful of times per
+               run; frequent ones every append. Scale the armed hit count so
+               the crash usually lands mid-run. *)
+            let after =
+              match p with
+              | Gf_wal.Fault.Wal_mid_record | Gf_wal.Fault.Wal_pre_fsync ->
+                  1 + ((seed + (pi * 17)) mod 60)
+              | Gf_wal.Fault.Wal_mid_rotation | Gf_wal.Fault.Checkpoint_mid_rename ->
+                  1 + ((seed + pi) mod 3)
+            in
+            let cfg = { (Gf_wal.Torture.default ~seed) with crash = Some (p, after) } in
+            match Gf_wal.Torture.run cfg with
+            | Ok o ->
+                Printf.printf "crash %-22s seed=%-4d after=%-2d %s\n%!"
+                  (Gf_wal.Fault.point_to_string p) seed after (Gf_wal.Torture.pp_outcome o)
+            | Error m ->
+                incr failures;
+                Printf.printf "crash %-22s seed=%-4d after=%-2d FAIL: %s\n%!"
+                  (Gf_wal.Fault.point_to_string p) seed after m)
+          points
+      done;
+      Printf.printf "soak --crash: %d rounds, %d failures\n" !rounds !failures;
+      exit (if !failures > 0 then 1 else 0)
+    end;
     let endpoint = endpoint_arg_of socket port host in
     let sockaddr =
       match endpoint with
@@ -564,6 +706,22 @@ let soak_cmd =
       | 2 -> "run rows=1 max_rows=5 q=" ^ square
       | 3 -> Printf.sprintf "run max_intermediate=%d q=%s" (50 + Gf.Rng.int rng 200) square
       | _ -> Printf.sprintf "run fault_at=%d q=%s" (1 + Gf.Rng.int rng 500) triangle
+    in
+    (* Mutations stay within a small id range so most are valid whatever
+       the server's graph; an occasional checkpoint exercises snapshotting
+       under concurrent queries. *)
+    let mutation_line rng =
+      match Gf.Rng.int rng 10 with
+      | 0 | 1 -> "addvertex"
+      | 2 | 3 | 4 | 5 ->
+          Printf.sprintf "addedge %d %d" (Gf.Rng.int rng 64) (Gf.Rng.int rng 64)
+      | 6 | 7 -> Printf.sprintf "deledge %d %d" (Gf.Rng.int rng 64) (Gf.Rng.int rng 64)
+      | 8 -> Printf.sprintf "delvertex %d" (Gf.Rng.int rng 64)
+      | _ -> "checkpoint"
+    in
+    let request_line rng =
+      if mutate_pct > 0 && Gf.Rng.int rng 100 < mutate_pct then mutation_line rng
+      else request_line rng
     in
     let bad = ref 0 and ok_n = ref 0 and rejected_n = ref 0 and err_n = ref 0 in
     let tally = Mutex.create () in
@@ -628,10 +786,12 @@ let soak_cmd =
     (Cmd.info "soak"
        ~doc:
          "Drive a running gfq serve with concurrent clients mixing good, budget-tripping, \
-          and faulted requests; exit nonzero on any malformed response.")
+          faulted, and (with --mutate) durable-mutation requests; exit nonzero on any \
+          malformed response. With --crash, run the fork/kill-9 durability torture matrix \
+          instead (no server needed).")
     Term.(
       const go $ socket_arg $ port_arg $ host_arg $ clients $ requests $ soak_seed
-      $ send_shutdown $ connect_timeout_s)
+      $ send_shutdown $ connect_timeout_s $ mutate_pct $ crash $ crash_seeds)
 
 (* --- slowlog: read a running server's flight recorder ------------------ *)
 

@@ -2,6 +2,7 @@ module Graph = Gf_graph.Graph
 module Generators = Gf_graph.Generators
 module Graph_stats = Gf_graph.Stats
 module Graph_io = Gf_graph.Graph_io
+module Delta = Gf_graph.Delta
 module Query = Gf_query.Query
 module Query_parser = Gf_query.Parser
 module Parse_error = Gf_query.Parse_error
@@ -32,6 +33,7 @@ module Cfl_baseline = Gf_baseline.Cfl
 module Query_gen = Gf_baseline.Query_gen
 module Spectrum = Gf_spectrum.Spectrum
 module Rng = Gf_util.Rng
+module Crc32 = Gf_util.Crc32
 module Bitset = Gf_util.Bitset
 module Buf = Gf_util.Buf
 module Int_vec = Gf_util.Int_vec
@@ -44,6 +46,11 @@ module Db = struct
 
   let create ?h ?z ?seed ?(opts = Planner.default_opts) graph =
     { graph; catalog = Catalog.create ?h ?z ?seed graph; opts }
+
+  (* A db re-seated on a new graph: fresh catalogue (the old one's
+     entries describe the old CSR's distributions), same planner opts.
+     This is the merge-publication path of the durable store. *)
+  let with_graph db graph = { graph; catalog = Catalog.create graph; opts = db.opts }
 
   let graph db = db.graph
   let catalog db = db.catalog

@@ -22,6 +22,7 @@ module Graph = Gf_graph.Graph
 module Generators = Gf_graph.Generators
 module Graph_stats = Gf_graph.Stats
 module Graph_io = Gf_graph.Graph_io
+module Delta = Gf_graph.Delta
 module Query = Gf_query.Query
 module Query_parser = Gf_query.Parser
 module Parse_error = Gf_query.Parse_error
@@ -52,6 +53,7 @@ module Cfl_baseline = Gf_baseline.Cfl
 module Query_gen = Gf_baseline.Query_gen
 module Spectrum = Gf_spectrum.Spectrum
 module Rng = Gf_util.Rng
+module Crc32 = Gf_util.Crc32
 module Bitset = Gf_util.Bitset
 module Buf = Gf_util.Buf
 module Int_vec = Gf_util.Int_vec
@@ -70,6 +72,11 @@ module Db : sig
 
   val graph : t -> Graph.t
   val catalog : t -> Catalog.t
+
+  (** [with_graph db g] is [db] re-seated on [g]: a fresh (empty, lazily
+      repopulated) catalogue and the same planner options — how a durable
+      store publishes a merged CSR without rebuilding the service. *)
+  val with_graph : t -> Graph.t -> t
 
   (** [parse_query s] parses the pattern DSL (see {!Query_parser}). *)
   val parse_query : string -> Query.t

@@ -14,6 +14,7 @@ and error_kind =
   | Foreign_endian
   | Torn of string
   | Invalid of string
+  | Checksum of string
 
 let kind_to_string = function
   | Unreadable msg -> "cannot read: " ^ msg
@@ -24,10 +25,11 @@ let kind_to_string = function
   | Dangling_edge (u, v) -> Printf.sprintf "edge (%d, %d) references a missing vertex" u v
   | Edge_count_mismatch { expected; got } ->
       Printf.sprintf "expected %d edges, got %d (truncated?)" expected got
-  | Bad_version v -> Printf.sprintf "unsupported snapshot version %d (expected 1)" v
+  | Bad_version v -> Printf.sprintf "unsupported snapshot version %d (expected 1 or 2)" v
   | Foreign_endian -> "snapshot written on a machine with different endianness"
   | Torn what -> "torn snapshot: " ^ what
   | Invalid what -> "invalid snapshot contents: " ^ what
+  | Checksum what -> "snapshot checksum mismatch (bit rot or tampering): " ^ what
 
 let load_error_to_string e =
   if e.line > 0 then
@@ -56,7 +58,7 @@ let save g path =
 (*                                                                     *)
 (* Layout — all sections 8-byte aligned, native-endian:                *)
 (*   0   "GFQSNAP1"                                                    *)
-(*   8   version (=1)                                                  *)
+(*   8   version (1 | 2)                                               *)
 (*   16  endianness probe 0x0123456789abcdef                           *)
 (*   24  n   32  m   40  nv   48  ne   56  nbr width in bytes (4|8)    *)
 (*   64  vlabel        n      x 8 bytes                                *)
@@ -65,16 +67,26 @@ let save g path =
 (*   ..  bwd_off       nslots x 8                                      *)
 (*   ..  bwd_nbr       m      x w, zero-padded to 8                    *)
 (*   ..  "GFQSEND1"                                                    *)
+(* Version 2 appends a 32-byte integrity block after the trailer       *)
+(* magic:                                                              *)
+(*   +8   wal_version  u64 — the WAL LSN this snapshot reflects; the   *)
+(*        recovery state machine replays log records past it           *)
+(*   +16  CRC-32 of each section (vlabel, fwd_off, fwd_nbr, bwd_off,   *)
+(*        bwd_nbr; padding included), u32 each                         *)
+(*   +36  CRC-32 of the 64-byte header, u32                            *)
 (* where nslots = n*ne*nv + 1. Torn/truncated files are caught by the  *)
-(* exact-size check plus the trailer; partially-visible writes cannot  *)
-(* happen anyway because saves go through Atomic_file (tmp + rename).  *)
-(* Loading maps each section in place with [Unix.map_file]: no parse,  *)
-(* no copy — pages fault in from disk on first touch.                  *)
+(* exact-size check plus the trailer; v2 additionally catches bit rot  *)
+(* inside a section at open time (the checksum pass), not as wrong     *)
+(* query results. Partially-visible writes cannot happen anyway        *)
+(* because saves go through Atomic_file (tmp + rename). Loading maps   *)
+(* each section in place with [Unix.map_file]: no parse, no copy —     *)
+(* pages fault in from disk on first touch.                            *)
 (* ------------------------------------------------------------------ *)
 
 let snap_magic = "GFQSNAP1"
 let snap_trailer = "GFQSEND1"
-let snap_version = 1
+let snap_version = 2
+let v2_block = 32
 let endian_probe = 0x0123456789abcdefL
 let header_size = 64
 let align8 x = (x + 7) land lnot 7
@@ -89,7 +101,7 @@ type layout = {
   l_total : int;
 }
 
-let snap_layout ~n ~m ~nv ~ne ~w =
+let snap_layout ~version ~n ~m ~nv ~ne ~w =
   let nslots = (n * ne * nv) + 1 in
   let l_vlabel = header_size in
   let l_fwd_off = l_vlabel + (8 * n) in
@@ -97,13 +109,16 @@ let snap_layout ~n ~m ~nv ~ne ~w =
   let l_bwd_off = l_fwd_nbr + align8 (w * m) in
   let l_bwd_nbr = l_bwd_off + (8 * nslots) in
   let l_trailer = l_bwd_nbr + align8 (w * m) in
-  { l_vlabel; l_fwd_off; l_fwd_nbr; l_bwd_off; l_bwd_nbr; l_trailer; l_total = l_trailer + 8 }
+  let l_total = l_trailer + 8 + if version >= 2 then v2_block else 0 in
+  { l_vlabel; l_fwd_off; l_fwd_nbr; l_bwd_off; l_bwd_nbr; l_trailer; l_total }
 
 (* Chunked native-endian writes: bounce bigarray contents through one
-   reusable Bytes buffer rather than a byte-at-a-time loop. *)
+   reusable Bytes buffer rather than a byte-at-a-time loop. Each writer
+   folds the emitted bytes into a running CRC-32 so the v2 integrity block
+   costs no second pass over the data. *)
 let chunk_bytes = 65536
 
-let write_i64a oc (a : Buf.i64a) =
+let write_i64a oc crc (a : Buf.i64a) =
   let buf = Bytes.create chunk_bytes in
   let per = chunk_bytes / 8 in
   let len = Bigarray.Array1.dim a in
@@ -114,10 +129,11 @@ let write_i64a oc (a : Buf.i64a) =
       Bytes.set_int64_ne buf (j * 8) (Int64.of_int (Bigarray.Array1.unsafe_get a (!i + j)))
     done;
     output oc buf 0 (k * 8);
+    crc := Gf_util.Crc32.update !crc buf 0 (k * 8);
     i := !i + k
   done
 
-let write_i32a oc (a : Buf.i32a) =
+let write_i32a oc crc (a : Buf.i32a) =
   let buf = Bytes.create chunk_bytes in
   let per = chunk_bytes / 4 in
   let len = Bigarray.Array1.dim a in
@@ -128,21 +144,31 @@ let write_i32a oc (a : Buf.i32a) =
       Bytes.set_int32_ne buf (j * 4) (Bigarray.Array1.unsafe_get a (!i + j))
     done;
     output oc buf 0 (k * 4);
+    crc := Gf_util.Crc32.update !crc buf 0 (k * 4);
     i := !i + k
   done
 
-let write_nbr oc (b : Buf.t) =
-  (match b with Buf.I32 a -> write_i32a oc a | Buf.I64 a -> write_i64a oc a);
+let write_nbr oc crc (b : Buf.t) =
+  (match b with Buf.I32 a -> write_i32a oc crc a | Buf.I64 a -> write_i64a oc crc a);
   let pad = align8 (Buf.bytes b) - Buf.bytes b in
-  if pad > 0 then output_string oc (String.make pad '\000')
+  if pad > 0 then begin
+    let zeros = String.make pad '\000' in
+    output_string oc zeros;
+    crc := Gf_util.Crc32.update_string !crc zeros
+  end
 
-let save_snapshot g path =
+let section_crc f =
+  let crc = ref Gf_util.Crc32.init in
+  f crc;
+  Gf_util.Crc32.finish !crc
+
+let save_snapshot_as ~version:snap_v ?(wal_version = 0) ?before_rename g path =
   let p = Graph.to_raw g in
   let w = Buf.width_bytes p.Graph.Raw.fwd_nbr in
-  Gf_util.Atomic_file.write path (fun oc ->
+  Gf_util.Atomic_file.write ?before_rename path (fun oc ->
       let hdr = Bytes.make header_size '\000' in
       Bytes.blit_string snap_magic 0 hdr 0 8;
-      Bytes.set_int64_ne hdr 8 (Int64.of_int snap_version);
+      Bytes.set_int64_ne hdr 8 (Int64.of_int snap_v);
       Bytes.set_int64_ne hdr 16 endian_probe;
       Bytes.set_int64_ne hdr 24 (Int64.of_int p.Graph.Raw.n);
       Bytes.set_int64_ne hdr 32 (Int64.of_int p.Graph.Raw.m);
@@ -150,12 +176,27 @@ let save_snapshot g path =
       Bytes.set_int64_ne hdr 48 (Int64.of_int p.Graph.Raw.ne);
       Bytes.set_int64_ne hdr 56 (Int64.of_int w);
       output_bytes oc hdr;
-      write_i64a oc p.Graph.Raw.vlabel;
-      write_i64a oc p.Graph.Raw.fwd_off;
-      write_nbr oc p.Graph.Raw.fwd_nbr;
-      write_i64a oc p.Graph.Raw.bwd_off;
-      write_nbr oc p.Graph.Raw.bwd_nbr;
-      output_string oc snap_trailer)
+      let c_vl = section_crc (fun c -> write_i64a oc c p.Graph.Raw.vlabel) in
+      let c_fo = section_crc (fun c -> write_i64a oc c p.Graph.Raw.fwd_off) in
+      let c_fn = section_crc (fun c -> write_nbr oc c p.Graph.Raw.fwd_nbr) in
+      let c_bo = section_crc (fun c -> write_i64a oc c p.Graph.Raw.bwd_off) in
+      let c_bn = section_crc (fun c -> write_nbr oc c p.Graph.Raw.bwd_nbr) in
+      output_string oc snap_trailer;
+      if snap_v >= 2 then begin
+        let blk = Bytes.make v2_block '\000' in
+        Bytes.set_int64_ne blk 0 (Int64.of_int wal_version);
+        List.iteri
+          (fun i c -> Bytes.set_int32_ne blk (8 + (i * 4)) c)
+          [ c_vl; c_fo; c_fn; c_bo; c_bn; Gf_util.Crc32.bytes hdr ];
+        output_bytes oc blk
+      end)
+
+let save_snapshot ?wal_version g path =
+  save_snapshot_as ~version:snap_version ?wal_version g path
+
+(* The legacy no-checksum writer, kept so the backward-compatible v1 read
+   path stays tested. *)
+let save_snapshot_v1 g path = save_snapshot_as ~version:1 g path
 
 exception Err of load_error
 
@@ -170,6 +211,22 @@ let really_read fd buf =
      done
    with Exit -> ());
   !got = len
+
+(* CRC-32 of [len] file bytes starting at [pos], streamed through one
+   reusable chunk — the v2 open-time integrity pass. *)
+let range_crc fd ~pos ~len =
+  ignore (Unix.lseek fd pos Unix.SEEK_SET);
+  let buf = Bytes.create chunk_bytes in
+  let crc = ref Gf_util.Crc32.init in
+  let remaining = ref len in
+  while !remaining > 0 do
+    let want = min chunk_bytes !remaining in
+    let got = Unix.read fd buf 0 want in
+    if got = 0 then raise (Err { path = ""; line = 0; kind = Torn "short section read" });
+    crc := Gf_util.Crc32.update !crc buf 0 got;
+    remaining := !remaining - got
+  done;
+  Gf_util.Crc32.finish !crc
 
 let map_i64 fd ~pos ~len : Buf.i64a =
   if len = 0 then Buf.alloc_i64 0
@@ -187,61 +244,95 @@ let map_nbr fd ~pos ~len ~w : Buf.t =
               [| len |]))
   else Buf.I64 (map_i64 fd ~pos ~len)
 
-let load_snapshot_result path =
+(* The snapshot loader proper, running with the fd open. Raises [Err] on
+   every refusal; the caller owns closing the descriptor, so no branch in
+   here can leak it. *)
+let load_snapshot_fd path fd =
   let fail kind = raise (Err { path; line = 0; kind }) in
+  let size = (Unix.fstat fd).Unix.st_size in
+  if size < header_size + 8 then fail (Torn "file shorter than header");
+  let hdr = Bytes.create header_size in
+  if not (really_read fd hdr) then fail (Torn "short header read");
+  if Bytes.sub_string hdr 0 8 <> snap_magic then fail (Bad_header (Bytes.sub_string hdr 0 8));
+  let field o = Int64.to_int (Bytes.get_int64_ne hdr o) in
+  if Bytes.get_int64_ne hdr 16 <> endian_probe then fail Foreign_endian;
+  let v = field 8 in
+  if v <> 1 && v <> 2 then fail (Bad_version v);
+  let n = field 24 and m = field 32 and nv = field 40 and ne = field 48 in
+  let w = field 56 in
+  if n < 0 || m < 0 || nv < 1 || ne < 1 || (w <> 4 && w <> 8) then
+    fail (Invalid (Printf.sprintf "dimensions %d %d %d %d width %d" n m nv ne w));
+  let lay = snap_layout ~version:v ~n ~m ~nv ~ne ~w in
+  if size <> lay.l_total then
+    fail (Torn (Printf.sprintf "size %d bytes, header promises %d" size lay.l_total));
+  let tr = Bytes.create 8 in
+  ignore (Unix.lseek fd lay.l_trailer Unix.SEEK_SET);
+  if not (really_read fd tr) then fail (Torn "short trailer read");
+  if Bytes.to_string tr <> snap_trailer then fail (Torn "missing trailer");
+  let nslots = (n * ne * nv) + 1 in
+  let wal_version =
+    if v < 2 then 0
+    else begin
+      let blk = Bytes.create v2_block in
+      ignore (Unix.lseek fd (lay.l_trailer + 8) Unix.SEEK_SET);
+      if not (really_read fd blk) then fail (Torn "short integrity block read");
+      let expect i = Bytes.get_int32_ne blk (8 + (i * 4)) in
+      if Gf_util.Crc32.bytes hdr <> expect 5 then fail (Checksum "header");
+      let sections =
+        [
+          ("vlabel", lay.l_vlabel, lay.l_fwd_off, 0);
+          ("fwd_off", lay.l_fwd_off, lay.l_fwd_nbr, 1);
+          ("fwd_nbr", lay.l_fwd_nbr, lay.l_bwd_off, 2);
+          ("bwd_off", lay.l_bwd_off, lay.l_bwd_nbr, 3);
+          ("bwd_nbr", lay.l_bwd_nbr, lay.l_trailer, 4);
+        ]
+      in
+      List.iter
+        (fun (name, pos, stop, i) ->
+          let got = try range_crc fd ~pos ~len:(stop - pos) with Err _ -> fail (Torn ("short " ^ name ^ " read")) in
+          if got <> expect i then fail (Checksum name))
+        sections;
+      Int64.to_int (Bytes.get_int64_ne blk 0)
+    end
+  in
+  let parts =
+    {
+      Graph.Raw.n;
+      m;
+      nv;
+      ne;
+      vlabel = map_i64 fd ~pos:lay.l_vlabel ~len:n;
+      fwd_off = map_i64 fd ~pos:lay.l_fwd_off ~len:nslots;
+      fwd_nbr = map_nbr fd ~pos:lay.l_fwd_nbr ~len:m ~w;
+      bwd_off = map_i64 fd ~pos:lay.l_bwd_off ~len:nslots;
+      bwd_nbr = map_nbr fd ~pos:lay.l_bwd_nbr ~len:m ~w;
+    }
+  in
+  match Graph.of_raw ~mapped_from:path parts with
+  | Ok g -> (g, wal_version)
+  | Error msg -> fail (Invalid msg)
+
+(* Every branch — success, structured refusal, unexpected system error —
+   funnels through the single [Unix.close] below; a refused torn or
+   foreign-endian snapshot can no longer leak the descriptor. The mapped
+   sections stay valid after close (mmap holds its own reference). *)
+let load_snapshot_versioned path =
   match Unix.openfile path [ Unix.O_RDONLY ] 0 with
   | exception Unix.Unix_error (e, _, _) ->
       Error { path; line = 0; kind = Unreadable (Unix.error_message e) }
-  | fd -> (
-      try
-        Fun.protect
-          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-          (fun () ->
-            let size = (Unix.fstat fd).Unix.st_size in
-            if size < header_size + 8 then fail (Torn "file shorter than header");
-            let hdr = Bytes.create header_size in
-            if not (really_read fd hdr) then fail (Torn "short header read");
-            if Bytes.sub_string hdr 0 8 <> snap_magic then
-              fail (Bad_header (Bytes.sub_string hdr 0 8));
-            let field o = Int64.to_int (Bytes.get_int64_ne hdr o) in
-            if Bytes.get_int64_ne hdr 16 <> endian_probe then fail Foreign_endian;
-            let v = field 8 in
-            if v <> snap_version then fail (Bad_version v);
-            let n = field 24 and m = field 32 and nv = field 40 and ne = field 48 in
-            let w = field 56 in
-            if n < 0 || m < 0 || nv < 1 || ne < 1 || (w <> 4 && w <> 8) then
-              fail (Invalid (Printf.sprintf "dimensions %d %d %d %d width %d" n m nv ne w));
-            let lay = snap_layout ~n ~m ~nv ~ne ~w in
-            if size <> lay.l_total then
-              fail
-                (Torn
-                   (Printf.sprintf "size %d bytes, header promises %d" size lay.l_total));
-            let tr = Bytes.create 8 in
-            ignore (Unix.lseek fd lay.l_trailer Unix.SEEK_SET);
-            if not (really_read fd tr) then fail (Torn "short trailer read");
-            if Bytes.to_string tr <> snap_trailer then fail (Torn "missing trailer");
-            let nslots = (n * ne * nv) + 1 in
-            let parts =
-              {
-                Graph.Raw.n;
-                m;
-                nv;
-                ne;
-                vlabel = map_i64 fd ~pos:lay.l_vlabel ~len:n;
-                fwd_off = map_i64 fd ~pos:lay.l_fwd_off ~len:nslots;
-                fwd_nbr = map_nbr fd ~pos:lay.l_fwd_nbr ~len:m ~w;
-                bwd_off = map_i64 fd ~pos:lay.l_bwd_off ~len:nslots;
-                bwd_nbr = map_nbr fd ~pos:lay.l_bwd_nbr ~len:m ~w;
-              }
-            in
-            match Graph.of_raw ~mapped_from:path parts with
-            | Ok g -> Ok g
-            | Error msg -> fail (Invalid msg))
-      with
-      | Err e -> Error e
-      | Unix.Unix_error (e, _, _) ->
-          Error { path; line = 0; kind = Unreadable (Unix.error_message e) }
-      | Sys_error msg -> Error { path; line = 0; kind = Unreadable msg })
+  | fd ->
+      let result =
+        match load_snapshot_fd path fd with
+        | ok -> Ok ok
+        | exception Err e -> Error e
+        | exception Unix.Unix_error (e, _, _) ->
+            Error { path; line = 0; kind = Unreadable (Unix.error_message e) }
+        | exception Sys_error msg -> Error { path; line = 0; kind = Unreadable msg }
+      in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      result
+
+let load_snapshot_result path = Result.map fst (load_snapshot_versioned path)
 
 let load_snapshot path =
   match load_snapshot_result path with

@@ -15,7 +15,14 @@
     trailer magic. Loading memory-maps each section in place — zero
     parsing, zero copying; pages fault in from disk on first touch, so a
     multi-gigabyte graph "loads" in microseconds and shares clean pages
-    across processes. *)
+    across processes.
+
+    Format version 2 appends a 32-byte integrity block after the trailer:
+    the WAL version (log sequence number) the snapshot reflects, a CRC-32
+    per section, and a CRC-32 of the header. The loader verifies every
+    checksum at open time, so bit rot surfaces as a structured
+    [Checksum] refusal instead of silently wrong query results. Version 1
+    files (no checksums, WAL version 0) remain loadable. *)
 
 (** [save g path] writes the text format crash-safely: the bytes go to a
     [path.tmp.<pid>] sibling which is renamed over [path] only once fully
@@ -23,9 +30,23 @@
     previous file intact. *)
 val save : Graph.t -> string -> unit
 
-(** [save_snapshot g path] writes the binary snapshot, with the same
-    atomic tmp-and-rename discipline as {!save}. *)
-val save_snapshot : Graph.t -> string -> unit
+(** [save_snapshot ?wal_version g path] writes the binary snapshot
+    (format version 2: section checksums + WAL version, default 0), with
+    the same atomic tmp-and-rename discipline as {!save}. *)
+val save_snapshot : ?wal_version:int -> Graph.t -> string -> unit
+
+(** [save_snapshot_as ~version ?wal_version ?before_rename g path] is the
+    general writer: [version] selects the format (1 = legacy, no
+    integrity block; 2 = current), [before_rename] is forwarded to
+    {!Gf_util.Atomic_file.write} — the hook crash torture uses to kill
+    the process after the temp snapshot is durable but before the rename
+    publishes it. *)
+val save_snapshot_as :
+  version:int -> ?wal_version:int -> ?before_rename:(string -> unit) -> Graph.t -> string -> unit
+
+(** [save_snapshot_v1 g path] writes a legacy version-1 snapshot (no
+    integrity block) — keeps the backward-compatible read path honest. *)
+val save_snapshot_v1 : Graph.t -> string -> unit
 
 (** What went wrong loading a graph file, and where. [line] is 1-based;
     0 when the error is not tied to a specific line. *)
@@ -47,6 +68,9 @@ and error_kind =
       (** snapshot whose size or trailer does not match its header — a
           truncated or interrupted copy *)
   | Invalid of string  (** snapshot sections fail structural validation *)
+  | Checksum of string
+      (** a v2 section checksum did not match — bit rot or tampering in
+          the named section *)
 
 val load_error_to_string : load_error -> string
 val pp_load_error : Format.formatter -> load_error -> unit
@@ -61,6 +85,11 @@ val load_result : string -> (Graph.t, load_error) result
     header (torn-file detection), then every section [Unix.map_file]'d in
     place. The resulting graph reports {!Graph.origin} [Mapped path]. *)
 val load_snapshot_result : string -> (Graph.t, load_error) result
+
+(** [load_snapshot_versioned path] is {!load_snapshot_result} plus the
+    snapshot's recorded WAL version (0 for version-1 files) — the point
+    recovery resumes log replay from. *)
+val load_snapshot_versioned : string -> (Graph.t * int, load_error) result
 
 (** [load_snapshot path] is {!load_snapshot_result} raising [Failure]. *)
 val load_snapshot : string -> Graph.t

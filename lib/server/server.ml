@@ -65,6 +65,11 @@ let handle_conn st conn =
               | Ok reply -> respond (Wire.ok_run ~reply)
               | Error reason -> respond (Wire.rejected reason));
               true
+          | Ok (Wire.Mutate (mut, trace)) ->
+              (match Service.mutate st.service ~trace ~text:line mut with
+              | Ok reply -> respond (Wire.ok_mutation reply ~traced:trace)
+              | Error e -> respond (Wire.mutation_rejected e));
+              true
         in
         if continue then loop ()
   in

@@ -76,6 +76,7 @@ type reply = {
   exec_s : float;
   record_id : int;
   traced : bool;
+  graph_version : int;
 }
 
 type ticket = {
@@ -88,7 +89,7 @@ type ticket = {
 type job = { req : request; tkt : ticket; enqueued_at : float }
 
 type t = {
-  db : Gf.Db.t;
+  mutable db : Gf.Db.t;
   cfg : config;
   breaker : Breaker.t;
   recorder : Recorder.t;
@@ -99,9 +100,14 @@ type t = {
   mutable next_id : int;
   mutable is_draining : bool;
   mutable threads : Thread.t list;
+  mutable store : Gf_wal.Store.t option;
 }
 
 let recorder t = t.recorder
+let store t = t.store
+
+let graph_version t =
+  match t.store with Some st -> Gf_wal.Store.graph_version st | None -> 0
 
 (* Metrics looked up by name at record time (the [Db.observe_run] pattern)
    so a [Metrics.reset] between tests is harmless. *)
@@ -200,10 +206,13 @@ let run_job t job =
     end
     else (None, None)
   in
+  (* One load of the (mutable) db for the whole job, so plan digest and
+     execution agree on a graph even if a merge publishes mid-request. *)
+  let db = t.db in
   let t0 = t.cfg.now () in
   let result =
     Ladder.run ~sleep:t.cfg.sleep ~attach ?fault ~fault_attempts ?sink ?trace ?tbuf ~rng lcfg
-      t.db req.query
+      db req.query
   in
   let exec_s = t.cfg.now () -. t0 in
   (match tbuf with
@@ -246,9 +255,7 @@ let run_job t job =
         |> List.sort (fun (_, a) (_, b) -> compare b a)
         |> List.filteri (fun i _ -> i < 3)
   in
-  let digest =
-    try Gf.Plan.signature (fst (Gf.Db.plan t.db req.query)) with _ -> "?"
-  in
+  let digest = try Gf.Plan.signature (fst (Gf.Db.plan db req.query)) with _ -> "?" in
   let record_id =
     Recorder.record t.recorder ~query:req.text ~plan:digest
       ~outcome:(Governor.outcome_to_string result.Ladder.outcome)
@@ -258,7 +265,16 @@ let run_job t job =
       ()
   in
   fulfill tkt
-    { id = tkt.tid; result; rows = List.rev !rows; queue_s; exec_s; record_id; traced = req.trace }
+    {
+      id = tkt.tid;
+      result;
+      rows = List.rev !rows;
+      queue_s;
+      exec_s;
+      record_id;
+      traced = req.trace;
+      graph_version = graph_version t;
+    }
 
 let rec worker_loop t =
   Mutex.lock t.m;
@@ -289,6 +305,7 @@ let create ?(config = default_config) db =
       next_id = 0;
       is_draining = false;
       threads = [];
+      store = None;
     }
   in
   t.threads <- List.init config.workers (fun _ -> Thread.create worker_loop t);
@@ -401,6 +418,7 @@ let drain t =
           exec_s = 0.0;
           record_id = 0;
           traced = false;
+          graph_version = graph_version t;
         })
     (List.rev queued);
   List.iter Thread.join threads;
@@ -420,6 +438,154 @@ let queue_depth t =
 
 let breaker_state t = Breaker.state t.breaker
 
+(* ------------------------------------------------------------------ *)
+(* Durable mutations                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Store = Gf_wal.Store
+
+type mutation =
+  | M_add_edge of { u : int; v : int; elabel : int }
+  | M_del_edge of { u : int; v : int; elabel : int }
+  | M_add_vertex of { label : int }
+  | M_del_vertex of { v : int }
+  | M_checkpoint
+
+type mutation_reply = {
+  m_lsn : int;
+  m_applied : bool;
+  m_vertex : int option;
+  m_version : int;
+  m_graph_version : int;
+  m_durable : int;
+  m_record : int;
+}
+
+type mutation_error =
+  | M_read_only
+  | M_draining
+  | M_invalid of string
+  | M_failed of string
+
+let mutation_error_to_string = function
+  | M_read_only -> "read_only: no durable store attached (serve without --data-dir)"
+  | M_draining -> "draining"
+  | M_invalid d -> "invalid: " ^ d
+  | M_failed d -> "wal_failed: " ^ d
+
+let attach_store t st =
+  t.store <- Some st;
+  (* The store's graph is the recovered truth (snapshot + replay); the db
+     the service was created with only supplied the genesis state. *)
+  t.db <- Gf.Db.with_graph t.db (Store.graph st);
+  Store.set_on_merge st (fun version ->
+      (* Called under the store's writer lock: re-seat the db on the new
+         CSR. The old catalogue's statistics described the old graph, so
+         every entry is invalidated wholesale. *)
+      let entries = Gf.Catalog.num_entries (Gf.Db.catalog t.db) in
+      t.db <- Gf.Db.with_graph t.db (Store.graph st);
+      c_inc "gf_server_catalog_invalidations_total"
+        "Catalogue invalidations forced by merged mutations";
+      if entries > 0 then
+        c_inc ~by:entries "gf_server_catalog_entries_invalidated_total"
+          "Catalogue entries dropped by merge invalidations";
+      ignore version)
+
+let mutation_text = function
+  | M_add_edge { u; v; elabel } -> Printf.sprintf "addedge %d %d %d" u v elabel
+  | M_del_edge { u; v; elabel } -> Printf.sprintf "deledge %d %d %d" u v elabel
+  | M_add_vertex { label } -> Printf.sprintf "addvertex %d" label
+  | M_del_vertex { v } -> Printf.sprintf "delvertex %d" v
+  | M_checkpoint -> "checkpoint"
+
+let mutate t ?(trace = false) ?text mut =
+  if draining t then Error M_draining
+  else
+    match t.store with
+    | None ->
+        c_inc "gf_server_mutations_rejected_total" "Mutations refused";
+        Error M_read_only
+    | Some st -> (
+        let text = match text with Some s -> s | None -> mutation_text mut in
+        let tr, tbuf =
+          if trace then begin
+            let tr = Trace.create ~capacity:t.cfg.trace_capacity () in
+            (Some tr, Some (Trace.buffer ~name:"mutation" tr ~tid:0))
+          end
+          else (None, None)
+        in
+        let sp name f =
+          match tbuf with None -> f () | Some b -> Trace.span ~cat:"wal" b name f
+        in
+        let t0 = t.cfg.now () in
+        let applied =
+          match mut with
+          | M_add_edge { u; v; elabel } ->
+              Result.map
+                (fun (lsn, a) -> (lsn, a = Gf.Delta.Applied, None))
+                (sp "wal-apply" (fun () -> Store.add_edge st u v ~elabel))
+          | M_del_edge { u; v; elabel } ->
+              Result.map
+                (fun (lsn, a) -> (lsn, a = Gf.Delta.Applied, None))
+                (sp "wal-apply" (fun () -> Store.del_edge st u v ~elabel))
+          | M_add_vertex { label } ->
+              Result.map
+                (fun (lsn, id) -> (lsn, true, Some id))
+                (sp "wal-apply" (fun () -> Store.add_vertex st ~label))
+          | M_del_vertex { v } ->
+              Result.map
+                (fun (lsn, a) -> (lsn, a = Gf.Delta.Applied, None))
+                (sp "wal-apply" (fun () -> Store.del_vertex st v))
+          | M_checkpoint ->
+              Result.map (fun v -> (v, true, None)) (sp "checkpoint" (fun () -> Store.checkpoint st))
+        in
+        (* Acknowledge only after a covering fsync: [Store.sync] group-
+           commits, so concurrent connections share one fsync. Checkpoint
+           already syncs internally. *)
+        let acked =
+          match applied with
+          | Error _ -> applied
+          | Ok _ when mut = M_checkpoint -> applied
+          | Ok _ -> (
+              match sp "wal-sync" (fun () -> Store.sync st) with
+              | Ok _ -> applied
+              | Error e -> Error e)
+        in
+        let latency = t.cfg.now () -. t0 in
+        let outcome, err =
+          match acked with
+          | Ok _ -> ("applied", None)
+          | Error (Store.Invalid e) -> ("invalid", Some (M_invalid (Gf.Delta.error_to_string e)))
+          | Error (Store.Failed msg) -> ("failed", Some (M_failed msg))
+        in
+        let record_id =
+          Recorder.record t.recorder ~query:text ~plan:"wal" ~outcome ~latency_s:latency
+            ~queue_s:0.0 ~rung:"wal" ~attempts:1 ~retries:0 ~top_ops:[] ~traced:trace
+            ?trace_json:(Option.map Trace.to_chrome_json tr)
+            ()
+        in
+        match (acked, err) with
+        | Ok (lsn, was_applied, vertex), _ ->
+            c_inc "gf_server_mutations_total" "Mutations acknowledged durable";
+            Metrics.observe
+              (Metrics.histogram ~help:"Mutation ack latency in seconds"
+                 "gf_server_mutation_seconds")
+              latency;
+            Ok
+              {
+                m_lsn = lsn;
+                m_applied = was_applied;
+                m_vertex = vertex;
+                m_version = Store.version st;
+                m_graph_version = Store.graph_version st;
+                m_durable = Store.durable_lsn st;
+                m_record = record_id;
+              }
+        | Error _, Some e ->
+            c_inc "gf_server_mutations_rejected_total" "Mutations refused";
+            Error e
+        | Error _, None -> assert false)
+
 type stats = {
   s_queue_depth : int;
   s_breaker : Breaker.state;
@@ -438,6 +604,12 @@ type stats = {
   s_graph_heap_bytes : int;
   s_graph_mapped : bool;
   s_graph_nbr_width : int;
+  s_graph_version : int;
+  s_wal_version : int;
+  s_wal_durable : int;
+  s_wal_pending : int;
+  s_checkpoints : int;
+  s_mutations : int;
 }
 
 (* Counters read by name (0 if never bumped); the latency quantiles come
@@ -465,4 +637,10 @@ let stats t =
     s_graph_heap_bytes = r.Gf.Graph.heap_bytes;
     s_graph_mapped = r.Gf.Graph.mapped;
     s_graph_nbr_width = r.Gf.Graph.nbr_width;
+    s_graph_version = graph_version t;
+    s_wal_version = (match t.store with Some st -> Store.version st | None -> 0);
+    s_wal_durable = (match t.store with Some st -> Store.durable_lsn st | None -> 0);
+    s_wal_pending = (match t.store with Some st -> Store.pending st | None -> 0);
+    s_checkpoints = (match t.store with Some st -> Store.checkpoints st | None -> 0);
+    s_mutations = cv "gf_server_mutations_total";
   }

@@ -76,12 +76,71 @@ type reply = {
   exec_s : float;  (** time spent executing (all attempts + backoffs) *)
   record_id : int;  (** flight-recorder record id (0 when not recorded) *)
   traced : bool;  (** a full trace was recorded and retained *)
+  graph_version : int;  (** merged-CSR version the query ran against (0 = no store) *)
 }
 
 type ticket
 type t
 
 val create : ?config:config -> Gf.Db.t -> t
+
+(** {1 Durable mutations}
+
+    When a {!Gf_wal.Store} is attached, the service accepts graph
+    mutations: each one is validated and applied to the store's delta
+    overlay, logged to the write-ahead log, and acknowledged only after a
+    covering fsync (group commit batches concurrent acks behind one
+    fsync). The store's writer lock is the single-writer admission:
+    mutations from any number of connections serialize there, while the
+    read path keeps executing against the current merged CSR untouched.
+
+    Whenever the store publishes a new merged CSR, the service re-seats
+    its [Db] on it ({!Gf.Db.with_graph}) — invalidating every catalogue
+    entry, since the old statistics described the old graph — and bumps
+    [gf_server_catalog_invalidations_total]. Without an attached store
+    the service is read-only and every mutation is refused. *)
+
+(** [attach_store t store] wires [store] in and immediately re-seats the
+    db on the store's (possibly recovered) graph. Call before serving. *)
+val attach_store : t -> Gf_wal.Store.t -> unit
+
+val store : t -> Gf_wal.Store.t option
+
+(** Current merged-CSR version; 0 when no store is attached. Carried in
+    every run reply so clients can correlate results with graph state. *)
+val graph_version : t -> int
+
+type mutation =
+  | M_add_edge of { u : int; v : int; elabel : int }
+  | M_del_edge of { u : int; v : int; elabel : int }
+  | M_add_vertex of { label : int }
+  | M_del_vertex of { v : int }
+  | M_checkpoint
+
+type mutation_reply = {
+  m_lsn : int;  (** the WAL record (or checkpoint version) *)
+  m_applied : bool;  (** [false] when the operation was a no-op *)
+  m_vertex : int option;  (** the id minted by [M_add_vertex] *)
+  m_version : int;  (** store version after the mutation *)
+  m_graph_version : int;
+  m_durable : int;  (** durable LSN at ack time — always >= [m_lsn] *)
+  m_record : int;  (** flight-recorder id (trace handle when traced) *)
+}
+
+type mutation_error =
+  | M_read_only  (** no store attached (serve without [--data-dir]) *)
+  | M_draining
+  | M_invalid of string  (** structured delta validation refusal *)
+  | M_failed of string  (** the WAL failed; the store went read-only *)
+
+val mutation_error_to_string : mutation_error -> string
+
+(** [mutate t mut] applies one durable mutation (see above for the ack
+    discipline). [trace] records wal-apply / wal-sync / checkpoint spans
+    into a retained trace, fetchable via the [trace] wire command with
+    [m_record]. [text] is the raw command line for the flight recorder. *)
+val mutate :
+  t -> ?trace:bool -> ?text:string -> mutation -> (mutation_reply, mutation_error) result
 
 val submit_async : t -> request -> (ticket, reject_reason) result
 (** Non-blocking admission. [Error] is the structured shed decision;
@@ -131,6 +190,12 @@ type stats = {
   s_graph_heap_bytes : int;  (** derived heap-resident index structures *)
   s_graph_mapped : bool;  (** whether the payload is an mmap'd snapshot *)
   s_graph_nbr_width : int;  (** adjacency element width in bytes: 4 or 8 *)
+  s_graph_version : int;  (** merged-CSR version (0 = no store attached) *)
+  s_wal_version : int;  (** last applied LSN *)
+  s_wal_durable : int;  (** last fsync-covered LSN *)
+  s_wal_pending : int;  (** overlay operations not yet merged *)
+  s_checkpoints : int;  (** checkpoints taken since open *)
+  s_mutations : int;  (** mutations acknowledged *)
 }
 
 val stats : t -> stats

@@ -38,8 +38,60 @@ type request =
   | Slowlog of int
   | Trace_of of int
   | Run of Service.request
+  | Mutate of Service.mutation * bool
 
 exception Bad of string
+
+(* Mutation commands are positional: [addedge 3 7] / [addedge 3 7 1], with
+   an optional trailing [trace] token. *)
+let parse_mutation cmd rest =
+  let toks =
+    String.split_on_char ' ' rest |> List.filter (fun s -> s <> "")
+  in
+  let trace, toks =
+    match List.rev toks with
+    | "trace" :: r -> (true, List.rev r)
+    | _ -> (false, toks)
+  in
+  let int_tok what s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> n
+    | _ -> raise (Bad (Printf.sprintf "%s needs a non-negative integer, got %S" what s))
+  in
+  let mut =
+    match (cmd, toks) with
+    | "addedge", [ u; v ] ->
+        Service.M_add_edge
+          { u = int_tok "addedge <u>" u; v = int_tok "addedge <v>" v; elabel = 0 }
+    | "addedge", [ u; v; el ] ->
+        Service.M_add_edge
+          {
+            u = int_tok "addedge <u>" u;
+            v = int_tok "addedge <v>" v;
+            elabel = int_tok "addedge <elabel>" el;
+          }
+    | "addedge", _ -> raise (Bad "usage: addedge <u> <v> [<elabel>] [trace]")
+    | "deledge", [ u; v ] ->
+        Service.M_del_edge
+          { u = int_tok "deledge <u>" u; v = int_tok "deledge <v>" v; elabel = 0 }
+    | "deledge", [ u; v; el ] ->
+        Service.M_del_edge
+          {
+            u = int_tok "deledge <u>" u;
+            v = int_tok "deledge <v>" v;
+            elabel = int_tok "deledge <elabel>" el;
+          }
+    | "deledge", _ -> raise (Bad "usage: deledge <u> <v> [<elabel>] [trace]")
+    | "addvertex", [] -> Service.M_add_vertex { label = 0 }
+    | "addvertex", [ l ] -> Service.M_add_vertex { label = int_tok "addvertex <label>" l }
+    | "addvertex", _ -> raise (Bad "usage: addvertex [<label>] [trace]")
+    | "delvertex", [ v ] -> Service.M_del_vertex { v = int_tok "delvertex <v>" v }
+    | "delvertex", _ -> raise (Bad "usage: delvertex <v> [trace]")
+    | "checkpoint", [] -> Service.M_checkpoint
+    | "checkpoint", _ -> raise (Bad "usage: checkpoint [trace]")
+    | _ -> assert false
+  in
+  Mutate (mut, trace)
 
 let parse_run rest =
   let timeout = ref None
@@ -128,6 +180,19 @@ let parse_request line =
       match int_of_string_opt v with
       | Some n when n > 0 -> Ok (Trace_of n)
       | _ -> Error (Printf.sprintf "trace needs id=<record id>, got %S" v))
+  | _
+    when List.exists
+           (fun cmd ->
+             line = cmd
+             || String.length line > String.length cmd
+                && String.sub line 0 (String.length cmd + 1) = cmd ^ " ")
+           [ "addedge"; "deledge"; "addvertex"; "delvertex"; "checkpoint" ] -> (
+      let cmd, rest =
+        match String.index_opt line ' ' with
+        | None -> (line, "")
+        | Some i -> (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+      in
+      try Ok (parse_mutation cmd rest) with Bad m -> Error m)
   | _ ->
       let run_body =
         if line = "run" then Some ""
@@ -166,6 +231,7 @@ let ok_run ~(reply : Service.reply) =
       r.Ladder.degraded (json_escape r.Ladder.rung) reply.Service.queue_s
       reply.Service.exec_s
   in
+  let base = base ^ Printf.sprintf ",\"graph_version\":%d" reply.Service.graph_version in
   let base =
     if reply.Service.traced then
       base ^ Printf.sprintf ",\"traced\":true,\"trace_id\":%d" reply.Service.record_id
@@ -182,19 +248,44 @@ let error_resp ~kind ~detail =
   Printf.sprintf "{\"ok\":false,\"error\":\"%s\",\"detail\":\"%s\"}" (json_escape kind)
     (json_escape detail)
 
+let ok_mutation (r : Service.mutation_reply) ~traced =
+  let base =
+    Printf.sprintf
+      "{\"ok\":true,\"type\":\"applied\",\"lsn\":%d,\"applied\":%b,\"version\":%d,\"graph_version\":%d,\"durable\":%d"
+      r.Service.m_lsn r.Service.m_applied r.Service.m_version r.Service.m_graph_version
+      r.Service.m_durable
+  in
+  let base =
+    match r.Service.m_vertex with
+    | Some v -> base ^ Printf.sprintf ",\"vertex\":%d" v
+    | None -> base
+  in
+  if traced then base ^ Printf.sprintf ",\"trace_id\":%d}" r.Service.m_record
+  else base ^ "}"
+
+let mutation_rejected (e : Service.mutation_error) =
+  match e with
+  | Service.M_draining -> draining_resp
+  | Service.M_read_only ->
+      error_resp ~kind:"read_only" ~detail:"mutations need a server started with --data-dir"
+  | Service.M_invalid d -> error_resp ~kind:"invalid" ~detail:d
+  | Service.M_failed d -> error_resp ~kind:"wal_failed" ~detail:d
+
 let metrics_resp exposition =
   Printf.sprintf "{\"ok\":true,\"metrics\":\"%s\"}" (json_escape exposition)
 
 let stats_resp (s : Service.stats) =
   Printf.sprintf
-    "{\"ok\":true,\"queue_depth\":%d,\"breaker\":\"%s\",\"draining\":%b,\"admitted\":%d,\"completed\":%d,\"truncated\":%d,\"failed\":%d,\"retries\":%d,\"slowlog\":%d,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,\"kernel\":\"%s\",\"graph_offheap_bytes\":%d,\"graph_heap_bytes\":%d,\"graph_mapped\":%b,\"graph_nbr_width\":%d}"
+    "{\"ok\":true,\"queue_depth\":%d,\"breaker\":\"%s\",\"draining\":%b,\"admitted\":%d,\"completed\":%d,\"truncated\":%d,\"failed\":%d,\"retries\":%d,\"slowlog\":%d,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,\"kernel\":\"%s\",\"graph_offheap_bytes\":%d,\"graph_heap_bytes\":%d,\"graph_mapped\":%b,\"graph_nbr_width\":%d,\"graph_version\":%d,\"wal_version\":%d,\"wal_durable\":%d,\"wal_pending\":%d,\"checkpoints\":%d,\"mutations\":%d}"
     s.Service.s_queue_depth
     (json_escape (Breaker.state_to_string s.Service.s_breaker))
     s.Service.s_draining s.Service.s_admitted s.Service.s_completed s.Service.s_truncated
     s.Service.s_failed s.Service.s_retries s.Service.s_slowlog s.Service.s_p50_ms
     s.Service.s_p95_ms s.Service.s_p99_ms (json_escape s.Service.s_kernel)
     s.Service.s_graph_offheap_bytes s.Service.s_graph_heap_bytes s.Service.s_graph_mapped
-    s.Service.s_graph_nbr_width
+    s.Service.s_graph_nbr_width s.Service.s_graph_version s.Service.s_wal_version
+    s.Service.s_wal_durable s.Service.s_wal_pending s.Service.s_checkpoints
+    s.Service.s_mutations
 
 (* Embedded query text may contain anything the client typed; the records
    are escaped JSON objects, so the whole reply stays a single line (the

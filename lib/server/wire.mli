@@ -8,10 +8,17 @@
     slowlog [n]
     trace id=N
     shutdown
+    addedge <u> <v> [<elabel>] [trace]
+    deledge <u> <v> [<elabel>] [trace]
+    addvertex [<label>] [trace]
+    delvertex <v> [trace]
+    checkpoint [trace]
     run [timeout_ms=N] [max_rows=N] [max_intermediate=N]
         [fault_at=N] [fault_all] [rows] [trace] q=<query>
     <query>                        (a bare line is a plain run)
     v}
+    Mutation commands need the server started with [--data-dir]; they are
+    acknowledged only after the write-ahead-log record is fsynced.
     where [<query>] is anything [gfq] accepts: the edge-list DSL
     ([a1->a2, a2->a3, a1->a3]), a [MATCH ...] pattern, or [Q1..Q14].
     The [q=] option must come last — it consumes the rest of the line.
@@ -34,6 +41,7 @@ type request =
   | Slowlog of int  (** the [n] most recent flight-recorder records *)
   | Trace_of of int  (** retained Chrome trace JSON for a record id *)
   | Run of Service.request
+  | Mutate of Service.mutation * bool  (** mutation, [trace] flag *)
 
 val parse_request : string -> (request, string) result
 (** [Error detail] on an unknown keyword, malformed option, or query parse
@@ -55,6 +63,17 @@ val ok_run : reply:Service.reply -> string
 
 val rejected : Service.reject_reason -> string
 val error_resp : kind:string -> detail:string -> string
+
+val ok_mutation : Service.mutation_reply -> traced:bool -> string
+(** [{"ok":true,"type":"applied","lsn":N,"applied":B,"version":N,
+    "graph_version":N,"durable":N}] plus ["vertex"] for [addvertex] and
+    ["trace_id"] when traced. *)
+
+val mutation_rejected : Service.mutation_error -> string
+(** Structured refusal: [read_only] (no [--data-dir]), [invalid]
+    (validation), [wal_failed] (store went read-only), or the standard
+    draining rejection. *)
+
 val metrics_resp : string -> string
 (** Wraps the Prometheus exposition as [{"ok":true,"metrics":"..."}] with
     newlines escaped, keeping the one-line framing. *)

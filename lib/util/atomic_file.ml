@@ -1,4 +1,4 @@
-let write ?(fsync = true) path f =
+let write ?(fsync = true) ?(before_rename = fun _ -> ()) path f =
   let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
   let oc = open_out tmp in
   (try
@@ -10,6 +10,7 @@ let write ?(fsync = true) path f =
      close_out_noerr oc;
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
+  before_rename tmp;
   try Sys.rename tmp path
   with e ->
     (try Sys.remove tmp with Sys_error _ -> ());

@@ -11,5 +11,10 @@
 
 (** [write path f] atomically replaces [path] with the bytes [f] writes.
     [fsync] (default [true]) flushes the temp file to disk before the
-    rename, so a machine crash cannot publish a hole-filled file. *)
-val write : ?fsync:bool -> string -> (out_channel -> unit) -> unit
+    rename, so a machine crash cannot publish a hole-filled file.
+    [before_rename] runs after the temp file is durable but before the
+    rename publishes it, receiving the temp path — the window where crash
+    torture injects kill -9 to prove a half-finished checkpoint is
+    invisible. *)
+val write :
+  ?fsync:bool -> ?before_rename:(string -> unit) -> string -> (out_channel -> unit) -> unit

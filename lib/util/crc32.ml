@@ -1,0 +1,35 @@
+(* CRC-32/ISO-HDLC: reflected polynomial 0xEDB88320, init 0xFFFFFFFF,
+   final xor 0xFFFFFFFF — the checksum zlib, PNG, and gzip use. The
+   accumulator is kept pre-inverted so [update] is a pure table loop. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let init = 0xFFFFFFFFl
+
+let update crc bytes pos len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length bytes then
+    invalid_arg "Crc32.update: range out of bounds";
+  let table = Lazy.force table in
+  let crc = ref crc in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code (Bytes.unsafe_get bytes i)))) 0xFFl)
+    in
+    crc := Int32.logxor (Array.unsafe_get table idx) (Int32.shift_right_logical !crc 8)
+  done;
+  !crc
+
+let update_string crc s = update crc (Bytes.unsafe_of_string s) 0 (String.length s)
+let finish crc = Int32.logxor crc 0xFFFFFFFFl
+let string s = finish (update_string init s)
+let bytes b = finish (update init b 0 (Bytes.length b))

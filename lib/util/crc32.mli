@@ -1,0 +1,27 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
+
+    The integrity check behind every durable byte this system writes: the
+    write-ahead log frames each record with a CRC of its payload, and v2
+    binary snapshots carry one checksum per section so bit-rot is caught
+    when the file is opened, not as silently wrong query results.
+
+    Checksums are incremental: feed chunks through {!update} as they are
+    written, so a multi-gigabyte section never needs a second pass. *)
+
+(** The initial accumulator value. *)
+val init : int32
+
+(** [update crc bytes pos len] folds [len] bytes starting at [pos] into the
+    running checksum. *)
+val update : int32 -> Bytes.t -> int -> int -> int32
+
+(** [update_string crc s] folds a whole string. *)
+val update_string : int32 -> string -> int32
+
+(** [finish crc] is the final CRC-32 value for the accumulated input. *)
+val finish : int32 -> int32
+
+(** [string s] / [bytes b] are one-shot conveniences. *)
+val string : string -> int32
+
+val bytes : Bytes.t -> int32

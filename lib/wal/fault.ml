@@ -1,0 +1,51 @@
+type point = Wal_mid_record | Wal_pre_fsync | Wal_mid_rotation | Checkpoint_mid_rename
+
+let point_to_string = function
+  | Wal_mid_record -> "wal.mid_record"
+  | Wal_pre_fsync -> "wal.pre_fsync"
+  | Wal_mid_rotation -> "wal.mid_rotation"
+  | Checkpoint_mid_rename -> "checkpoint.mid_rename"
+
+let point_of_string = function
+  | "wal.mid_record" -> Some Wal_mid_record
+  | "wal.pre_fsync" -> Some Wal_pre_fsync
+  | "wal.mid_rotation" -> Some Wal_mid_rotation
+  | "checkpoint.mid_rename" -> Some Checkpoint_mid_rename
+  | _ -> None
+
+(* armed = Some (point, hits-remaining). A plain ref, not atomics: the
+   write path is single-writer by construction and the torture child arms
+   before spawning any work. *)
+let armed : (point * int ref) option ref = ref None
+
+let arm p ~after = armed := Some (p, ref (max 1 after))
+let disarm () = armed := None
+
+let arm_from_env () =
+  match Sys.getenv_opt "GFQ_CRASH_POINT" with
+  | None -> false
+  | Some s -> (
+      match point_of_string (String.trim s) with
+      | None -> false
+      | Some p ->
+          let after =
+            match Sys.getenv_opt "GFQ_CRASH_AFTER" with
+            | Some n -> ( match int_of_string_opt (String.trim n) with Some k -> k | None -> 1)
+            | None -> 1
+          in
+          arm p ~after;
+          true)
+
+let hit p =
+  match !armed with
+  | Some (q, left) when q = p ->
+      decr left;
+      if !left <= 0 then begin
+        (* Die like a power cut: SIGKILL bypasses at_exit, channel
+           buffers, and every finaliser — exactly what the recovery path
+           must survive. *)
+        Unix.kill (Unix.getpid ()) Sys.sigkill;
+        (* unreachable, but keep the type checker honest if kill fails *)
+        exit 137
+      end
+  | _ -> ()

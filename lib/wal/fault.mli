@@ -1,0 +1,45 @@
+(** Crash-point injection for the durability torture harness.
+
+    A fault point is a named place in the write path where the torture
+    driver wants the process to die as if the machine lost power — by
+    [SIGKILL]ing itself, so no [at_exit], no buffered flush, no unwind
+    runs. Production code calls {!hit} at each point; the call is a single
+    branch on a [None] ref unless a crash has been armed, so the
+    instrumented paths cost nothing in normal operation.
+
+    Arming is either programmatic ({!arm}) or via environment, which is
+    how the forked torture child and [gfq soak --crash] configure
+    themselves:
+
+    - [GFQ_CRASH_POINT]: one of [wal.mid_record], [wal.pre_fsync],
+      [wal.mid_rotation], [checkpoint.mid_rename]
+    - [GFQ_CRASH_AFTER]: die on the [n]-th time that point is reached
+      (1-based, default 1) *)
+
+type point =
+  | Wal_mid_record  (** half an appended record written and flushed *)
+  | Wal_pre_fsync  (** record fully written, covering fsync not issued *)
+  | Wal_mid_rotation  (** new segment created, old segment still current *)
+  | Checkpoint_mid_rename
+      (** snapshot temp file durable, rename not yet published *)
+
+val point_of_string : string -> point option
+val point_to_string : point -> string
+
+(** [arm point ~after] arms a crash on the [after]-th hit of [point]
+    (1-based). Re-arming replaces the previous arming. *)
+val arm : point -> after:int -> unit
+
+(** [disarm ()] clears any armed crash (including one armed from the
+    environment). *)
+val disarm : unit -> unit
+
+(** [arm_from_env ()] reads [GFQ_CRASH_POINT] / [GFQ_CRASH_AFTER] and arms
+    accordingly; no-op when unset or unparseable. Returns [true] if a
+    crash was armed. *)
+val arm_from_env : unit -> bool
+
+(** [hit point] records that execution reached [point]; if an armed crash
+    matches and its countdown reaches zero, the process [SIGKILL]s itself
+    and never returns. *)
+val hit : point -> unit

@@ -1,0 +1,334 @@
+module Graph = Gf_graph.Graph
+module Graph_io = Gf_graph.Graph_io
+module Delta = Gf_graph.Delta
+module Metrics = Gf_exec.Metrics
+
+type config = {
+  segment_bytes : int;
+  sync_every_append : bool;
+  merge_threshold : int;
+  snapshots_kept : int;
+}
+
+let default_config =
+  { segment_bytes = 8 * 1024 * 1024; sync_every_append = false; merge_threshold = 4096; snapshots_kept = 2 }
+
+type open_error =
+  | Wal_error of Wal.error
+  | Snapshot_error of Graph_io.load_error
+  | Replay_apply of { lsn : int; what : string }
+  | Store_io of string
+
+let open_error_to_string = function
+  | Wal_error e -> "store: " ^ Wal.error_to_string e
+  | Snapshot_error e -> "store: no loadable snapshot: " ^ Graph_io.load_error_to_string e
+  | Replay_apply { lsn; what } ->
+      Printf.sprintf "store: wal record %d refused during replay: %s" lsn what
+  | Store_io msg -> "store: io error: " ^ msg
+
+type recovery = { snapshot : (string * int) option; replayed : int; warnings : string list }
+
+type mut_error = Invalid of Delta.error | Failed of string
+
+let mut_error_to_string = function
+  | Invalid e -> Delta.error_to_string e
+  | Failed msg -> "store failed (read-only): " ^ msg
+
+type t = {
+  cfg : config;
+  dir : string;
+  wal : Wal.t;
+  delta : Delta.t;
+  wm : Mutex.t;
+  mutable on_merge : int -> unit;
+  mutable failed : string option;
+  mutable ckpts : int;
+  recovery : recovery;
+}
+
+(* Metrics are bumped by name at use-time so [Metrics.reset] in tests is
+   always safe (same discipline as the service layer). *)
+let c_inc ?(by = 1) name = Metrics.inc ~by (Metrics.counter name)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot directory conventions                                      *)
+(* ------------------------------------------------------------------ *)
+
+let snap_name v = Printf.sprintf "snap.%016d.gfq" v
+
+let snap_version_of_name name =
+  if String.length name = 25 && String.sub name 0 5 = "snap." && String.sub name 21 4 = ".gfq"
+  then int_of_string_opt (String.sub name 5 16)
+  else None
+
+(* Ascending by version (zero-padded names sort numerically). *)
+let snapshot_files dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter (fun n -> snap_version_of_name n <> None)
+      |> List.sort compare
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+(* ------------------------------------------------------------------ *)
+
+exception Replay_fail of open_error
+
+let apply_replay delta ~lsn op =
+  let check = function
+    | Ok _ ->
+        if Delta.version delta <> lsn then
+          raise
+            (Replay_fail
+               (Replay_apply
+                  {
+                    lsn;
+                    what =
+                      Printf.sprintf "version drift: delta at %d after record %d"
+                        (Delta.version delta) lsn;
+                  }))
+    | Error e -> raise (Replay_fail (Replay_apply { lsn; what = Delta.error_to_string e }))
+  in
+  match op with
+  | Wal.Add_edge { u; v; elabel } -> check (Delta.add_edge delta u v ~elabel)
+  | Wal.Del_edge { u; v; elabel } -> check (Delta.del_edge delta u v ~elabel)
+  | Wal.Add_vertex { label } -> check (Result.map ignore (Delta.add_vertex delta ~label))
+  | Wal.Del_vertex { v } -> check (Delta.del_vertex delta v)
+  | Wal.Checkpoint _ -> Delta.tick delta
+
+let open_store ?(config = default_config) ~init dir =
+  try
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    (* Newest snapshot that passes its checksums wins; every rejected
+       generation becomes a warning, not a guess. *)
+    let warnings = ref [] in
+    let rec pick = function
+      | [] -> (None, None)
+      | name :: older -> (
+          match Graph_io.load_snapshot_versioned (Filename.concat dir name) with
+          | Ok (g, wv) -> (Some (name, g, wv), None)
+          | Error e ->
+              warnings :=
+                Printf.sprintf "snapshot %s rejected: %s" name (Graph_io.load_error_to_string e)
+                :: !warnings;
+              let chosen, _ = pick older in
+              (chosen, Some e))
+    in
+    let snaps_desc = List.rev (snapshot_files dir) in
+    let chosen, first_err = pick snaps_desc in
+    match (chosen, first_err, snaps_desc) with
+    | None, Some e, _ :: _ -> Error (Snapshot_error e)
+    | _ ->
+        let base, from_v, snap_info =
+          match chosen with
+          | Some (name, g, wv) -> (g, wv, Some (name, wv))
+          | None -> (init, 0, None)
+        in
+        let delta = Delta.create ~version:from_v base in
+        let replayed = ref 0 in
+        (match
+           Wal.replay ~from_lsn:from_v dir (fun ~lsn op ->
+               apply_replay delta ~lsn op;
+               incr replayed)
+         with
+        | Error e -> Error (Wal_error e)
+        | Ok _last ->
+            (match
+               Wal.open_log ~segment_bytes:config.segment_bytes
+                 ~sync_every_append:config.sync_every_append dir
+             with
+            | Error e -> Error (Wal_error e)
+            | Ok wal ->
+                c_inc ~by:!replayed "gf_wal_records_replayed_total";
+                if !replayed > 0 || snap_info <> None then c_inc "gf_wal_recoveries_total";
+                Ok
+                  {
+                    cfg = config;
+                    dir;
+                    wal;
+                    delta;
+                    wm = Mutex.create ();
+                    on_merge = (fun _ -> ());
+                    failed = None;
+                    ckpts = 0;
+                    recovery =
+                      { snapshot = snap_info; replayed = !replayed; warnings = List.rev !warnings };
+                  }))
+  with
+  | Replay_fail e -> Error e
+  | Unix.Unix_error (e, _, _) -> Error (Store_io (Unix.error_message e))
+  | Sys_error msg -> Error (Store_io msg)
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let recovery_info t = t.recovery
+let config t = t.cfg
+let dir t = t.dir
+let graph t = Delta.graph t.delta
+let version t = Delta.version t.delta
+let graph_version t = Delta.merged_version t.delta
+let durable_lsn t = Wal.durable_lsn t.wal
+let pending t = Delta.pending t.delta
+let live_edges t = Delta.live_edges t.delta
+let live_vertices t = Delta.live_vertices t.delta
+let set_on_merge t f = t.on_merge <- f
+let checkpoints t = t.ckpts
+
+(* ------------------------------------------------------------------ *)
+(* Mutations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let with_writer t f =
+  Mutex.lock t.wm;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.wm) f
+
+let do_merge t =
+  let g = Delta.merge t.delta in
+  c_inc "gf_wal_merges_total";
+  t.on_merge (Delta.merged_version t.delta);
+  g
+
+let fail t msg =
+  t.failed <- Some msg;
+  c_inc "gf_wal_failures_total";
+  Error (Failed msg)
+
+(* Delta-first, then log: the overlay validated and applied the change
+   (bumping version), so the WAL record's LSN must land exactly on the
+   new version — the invariant replay re-checks. An append failure after
+   a successful apply leaves memory ahead of disk; the store goes
+   read-only rather than risk acking writes it cannot recover. *)
+let log_applied t op =
+  match Wal.append t.wal op with
+  | Error e -> fail t (Wal.error_to_string e)
+  | Ok lsn ->
+      if lsn <> Delta.version t.delta then
+        fail t
+          (Printf.sprintf "lsn %d diverged from delta version %d" lsn (Delta.version t.delta))
+      else begin
+        c_inc "gf_wal_appends_total";
+        if t.cfg.merge_threshold > 0 && Delta.pending t.delta >= t.cfg.merge_threshold then
+          ignore (do_merge t);
+        Ok lsn
+      end
+
+let guarded t f =
+  with_writer t (fun () ->
+      match t.failed with Some msg -> Error (Failed msg) | None -> f ())
+
+let add_edge t u v ~elabel =
+  guarded t (fun () ->
+      match Delta.add_edge t.delta u v ~elabel with
+      | Error e ->
+          c_inc "gf_wal_rejected_total";
+          Error (Invalid e)
+      | Ok applied ->
+          Result.map (fun lsn -> (lsn, applied)) (log_applied t (Wal.Add_edge { u; v; elabel })))
+
+let del_edge t u v ~elabel =
+  guarded t (fun () ->
+      match Delta.del_edge t.delta u v ~elabel with
+      | Error e ->
+          c_inc "gf_wal_rejected_total";
+          Error (Invalid e)
+      | Ok applied ->
+          Result.map (fun lsn -> (lsn, applied)) (log_applied t (Wal.Del_edge { u; v; elabel })))
+
+let add_vertex t ~label =
+  guarded t (fun () ->
+      match Delta.add_vertex t.delta ~label with
+      | Error e ->
+          c_inc "gf_wal_rejected_total";
+          Error (Invalid e)
+      | Ok id -> Result.map (fun lsn -> (lsn, id)) (log_applied t (Wal.Add_vertex { label })))
+
+let del_vertex t v =
+  guarded t (fun () ->
+      match Delta.del_vertex t.delta v with
+      | Error e ->
+          c_inc "gf_wal_rejected_total";
+          Error (Invalid e)
+      | Ok applied -> Result.map (fun lsn -> (lsn, applied)) (log_applied t (Wal.Del_vertex { v })))
+
+(* No writer lock: [Wal.sync] has its own group-commit discipline, and
+   holding the writer lock across an fsync would stall appenders and
+   shrink commit groups. *)
+let sync t =
+  match t.failed with
+  | Some msg -> Error (Failed msg)
+  | None -> (
+      c_inc "gf_wal_syncs_total";
+      match Wal.sync t.wal with
+      | Ok lsn -> Ok lsn
+      | Error e -> Error (Failed (Wal.error_to_string e)))
+
+let merge_now t = with_writer t (fun () -> do_merge t)
+
+let prune_snapshots t =
+  let snaps = snapshot_files t.dir in
+  let n = List.length snaps in
+  if n > t.cfg.snapshots_kept then begin
+    List.filteri (fun i _ -> i < n - t.cfg.snapshots_kept) snaps
+    |> List.iter (fun name -> try Sys.remove (Filename.concat t.dir name) with Sys_error _ -> ());
+    fsync_dir t.dir
+  end
+
+let checkpoint t =
+  guarded t (fun () ->
+      let ( let* ) = Result.bind in
+      let wal_err = function Ok v -> Ok v | Error e -> fail t (Wal.error_to_string e) in
+      (* 1. Everything appended so far becomes durable before the marker. *)
+      let* _ = wal_err (Wal.sync t.wal) in
+      (* 2. The checkpoint marker takes the next LSN; tick keeps the
+         delta's version in lockstep. *)
+      Delta.tick t.delta;
+      let v = Delta.version t.delta in
+      let* lsn = wal_err (Wal.append t.wal (Wal.Checkpoint { version = v })) in
+      if lsn <> v then fail t (Printf.sprintf "checkpoint lsn %d diverged from version %d" lsn v)
+      else
+        let* _ = wal_err (Wal.sync t.wal) in
+        (* 3. Fold the overlay into a fresh CSR at exactly [v]. *)
+        let g = do_merge t in
+        (* 4. Publish the snapshot atomically; the pre-rename fault point
+           proves a half-finished checkpoint is invisible to recovery. *)
+        match
+          Graph_io.save_snapshot_as ~version:2 ~wal_version:v
+            ~before_rename:(fun _ -> Fault.hit Fault.Checkpoint_mid_rename)
+            g
+            (Filename.concat t.dir (snap_name v))
+        with
+        | exception Unix.Unix_error (e, _, _) -> fail t (Unix.error_message e)
+        | exception Sys_error msg -> fail t msg
+        | () ->
+            fsync_dir t.dir;
+            (* 5. The log prefix up to [v] is now redundant: rotate so the
+               open segment starts past it, then drop covered segments.
+               A crash anywhere in here is harmless — replay skips
+               records at or below the snapshot's version. *)
+            let* () = wal_err (Wal.rotate t.wal) in
+            prune_snapshots t;
+            (* Drop only segments no retained snapshot generation needs:
+               fall-back recovery may seat the OLDEST surviving snapshot
+               and must still find every record past its version. *)
+            let keep_from =
+              match List.filter_map snap_version_of_name (snapshot_files t.dir) with
+              | [] -> v
+              | vs -> List.fold_left min v vs
+            in
+            let* _ = wal_err (Wal.drop_segments_below t.wal (keep_from + 1)) in
+            t.ckpts <- t.ckpts + 1;
+            c_inc "gf_wal_checkpoints_total";
+            Ok v)
+
+let close t = Wal.close t.wal

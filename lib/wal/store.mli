@@ -1,0 +1,129 @@
+(** The durable graph store: snapshot + WAL + delta overlay, with the
+    recovery state machine that stitches them back together after a
+    crash.
+
+    On disk, a data directory holds:
+
+    - [snap.<version>.gfq] — CSR snapshots ({!Gf_graph.Graph_io} format
+      v2), named by the WAL version they reflect; the newest {e valid}
+      one wins, older ones are kept as fallback against bit rot
+    - [wal.<seq>.log] — write-ahead log segments ({!Wal})
+
+    Opening runs recovery: load the newest snapshot that passes its
+    checksums (falling back to older ones, recording a warning per
+    rejected file), seat it in a fresh {!Gf_graph.Delta}, then replay
+    every WAL record with LSN past the snapshot's version. A torn tail in
+    the final segment is truncated (crash mid-append); corruption
+    anywhere else, or a log whose oldest surviving segment starts after
+    the snapshot's version ({e ahead-of-snapshot}), refuses to open with
+    a structured error rather than serving a silently wrong graph.
+
+    Runtime writes go delta-first: validate + apply to the overlay, then
+    append the WAL record (the assigned LSN always equals the delta's
+    version — the recovery invariant), then acknowledge only once a
+    covering {!sync} has returned. With [sync_every_append] the append
+    itself syncs; otherwise callers group-commit through {!sync}.
+
+    A single writer mutex serializes mutations; reads ({!graph}) are
+    lock-free pointer loads of the current merged CSR, so the query path
+    is untouched by all of this. *)
+
+type t
+
+type config = {
+  segment_bytes : int;  (** WAL segment rotation threshold *)
+  sync_every_append : bool;  (** fsync per record instead of group commit *)
+  merge_threshold : int;
+      (** fold the overlay into a fresh CSR once this many operations are
+          pending; 0 disables auto-merge (merge only at checkpoint) *)
+  snapshots_kept : int;  (** how many generations of snapshots to retain *)
+}
+
+val default_config : config
+
+(** Why the store refused to open. Every case is a refusal to serve
+    possibly-wrong data, never a best-effort guess. *)
+type open_error =
+  | Wal_error of Wal.error  (** corrupt / ahead-of-snapshot log *)
+  | Snapshot_error of Gf_graph.Graph_io.load_error
+      (** snapshots exist but none passes validation *)
+  | Replay_apply of { lsn : int; what : string }
+      (** a logged record was refused by the delta — the log and the
+          snapshot disagree structurally *)
+  | Store_io of string
+
+val open_error_to_string : open_error -> string
+
+(** What recovery did, for operators and the torture verifier. *)
+type recovery = {
+  snapshot : (string * int) option;  (** basename and version seated, if any *)
+  replayed : int;  (** WAL records applied past the snapshot *)
+  warnings : string list;  (** rejected snapshot generations, etc. *)
+}
+
+(** [open_store ?config ~init dir] creates [dir] if needed and runs
+    recovery. [init] is the genesis graph used when no snapshot exists
+    yet (a freshly loaded dataset, or an empty graph). *)
+val open_store : ?config:config -> init:Gf_graph.Graph.t -> string -> (t, open_error) result
+
+val recovery_info : t -> recovery
+val config : t -> config
+val dir : t -> string
+
+(** The current merged CSR — what queries execute against. Lock-free. *)
+val graph : t -> Gf_graph.Graph.t
+
+(** Version of the last applied record (= last assigned LSN). *)
+val version : t -> int
+
+(** Version the merged CSR reflects; bumps exactly when a merge publishes
+    a new CSR — the invalidation key for plan/catalogue caches. *)
+val graph_version : t -> int
+
+val durable_lsn : t -> int
+val pending : t -> int
+val live_edges : t -> int
+val live_vertices : t -> int
+
+(** [set_on_merge t f] registers [f], called with the new merged version
+    (under the writer lock) each time a merge publishes a new CSR. *)
+val set_on_merge : t -> (int -> unit) -> unit
+
+(** Why a mutation was refused: [Invalid] is the client's fault
+    (structured delta validation), [Failed] means the log itself failed
+    mid-write and the store went read-only to avoid diverging from disk. *)
+type mut_error = Invalid of Gf_graph.Delta.error | Failed of string
+
+val mut_error_to_string : mut_error -> string
+
+(** Each mutation returns its LSN; it is durable (and may be acked) only
+    once [durable_lsn] covers it — call {!sync} first unless the store
+    runs [sync_every_append]. *)
+
+val add_edge : t -> int -> int -> elabel:int -> (int * Gf_graph.Delta.applied, mut_error) result
+
+val del_edge : t -> int -> int -> elabel:int -> (int * Gf_graph.Delta.applied, mut_error) result
+
+(** Returns [(lsn, vertex_id)]. *)
+val add_vertex : t -> label:int -> (int * int, mut_error) result
+
+val del_vertex : t -> int -> (int * Gf_graph.Delta.applied, mut_error) result
+
+(** Group-commit barrier: returns once every previously appended record
+    is fsynced (one caller leads, concurrent callers ride along). *)
+val sync : t -> (int, mut_error) result
+
+(** [checkpoint t] makes the log prefix disposable: sync, log a
+    checkpoint marker, merge the overlay, write a fresh snapshot (v2,
+    checksummed) at the resulting version, rotate the WAL, drop wholly
+    covered segments, and prune old snapshot generations. Returns the
+    snapshot version. *)
+val checkpoint : t -> (int, mut_error) result
+
+(** Force a merge outside checkpoint (bench, tests). *)
+val merge_now : t -> Gf_graph.Graph.t
+
+(** Number of checkpoints taken since open. *)
+val checkpoints : t -> int
+
+val close : t -> unit

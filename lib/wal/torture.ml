@@ -1,0 +1,305 @@
+module Graph = Gf_graph.Graph
+module Delta = Gf_graph.Delta
+module Rng = Gf_util.Rng
+
+type config = {
+  seed : int;
+  ops : int;
+  init_vertices : int;
+  init_edges : int;
+  num_vlabels : int;
+  num_elabels : int;
+  sync_every : int;
+  checkpoint_every : int;
+  crash : (Fault.point * int) option;
+  store_cfg : Store.config;
+}
+
+let default ~seed =
+  {
+    seed;
+    ops = 400;
+    init_vertices = 60;
+    init_edges = 300;
+    num_vlabels = 3;
+    num_elabels = 2;
+    sync_every = 4;
+    checkpoint_every = 64;
+    crash = None;
+    store_cfg =
+      {
+        Store.default_config with
+        (* Small segments so rotation happens inside a torture round. *)
+        segment_bytes = 2048;
+        merge_threshold = 48;
+      };
+  }
+
+type outcome = {
+  crashed : bool;
+  acked_ops : int;
+  acked_lsn : int;
+  recovered_lsn : int;
+  covered_ops : int;
+  replayed : int;
+  used_snapshot : bool;
+}
+
+let pp_outcome o =
+  Printf.sprintf
+    "crashed=%b acked_ops=%d acked_lsn=%d recovered_lsn=%d covered_ops=%d replayed=%d snapshot=%b"
+    o.crashed o.acked_ops o.acked_lsn o.recovered_lsn o.covered_ops o.replayed o.used_snapshot
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic inputs                                                *)
+(* ------------------------------------------------------------------ *)
+
+let init_graph cfg =
+  let rng = Rng.create ((cfg.seed * 2) + 1) in
+  let n = cfg.init_vertices in
+  let vlabel = Array.init n (fun _ -> Rng.int rng cfg.num_vlabels) in
+  let edges =
+    Array.init cfg.init_edges (fun _ ->
+        (Rng.int rng n, Rng.int rng n, Rng.int rng cfg.num_elabels))
+  in
+  Graph.build ~num_vlabels:cfg.num_vlabels ~num_elabels:cfg.num_elabels ~vlabel ~edges
+
+type op = Add of int * int * int | Del of int * int * int | Addv of int | Delv of int
+
+(* Exactly four draws per op regardless of which arm is taken, so the
+   child's stream and the parent's re-simulation can never diverge. *)
+let draw_op rng cfg nverts =
+  let r = Rng.int rng 100 in
+  let a = Rng.int rng (max 1 nverts) in
+  let b = Rng.int rng (max 1 nverts) in
+  let c = Rng.int rng (max cfg.num_vlabels cfg.num_elabels) in
+  if r < 65 then Add (a, b, c mod cfg.num_elabels)
+  else if r < 85 then Del (a, b, c mod cfg.num_elabels)
+  else if r < 96 then Addv (c mod cfg.num_vlabels)
+  else Delv a
+
+let ops_rng cfg = Rng.create ((cfg.seed * 2) + 2)
+
+(* ------------------------------------------------------------------ *)
+(* Paths and the ack channel                                           *)
+(* ------------------------------------------------------------------ *)
+
+let data_dir dir = Filename.concat dir "data"
+let ack_path dir = Filename.concat dir "acks.log"
+
+let write_ack fd ~ops ~lsn =
+  let line = Printf.sprintf "%d %d\n" ops lsn in
+  let b = Bytes.of_string line in
+  let n = Unix.write fd b 0 (Bytes.length b) in
+  ignore n;
+  Unix.fsync fd
+
+(* Last parseable line wins; a line torn by the kill is skipped. *)
+let read_acks dir =
+  match open_in (ack_path dir) with
+  | exception Sys_error _ -> (0, 0)
+  | ic ->
+      let best = ref (0, 0) in
+      (try
+         while true do
+           let line = input_line ic in
+           match String.split_on_char ' ' (String.trim line) with
+           | [ a; b ] -> (
+               match (int_of_string_opt a, int_of_string_opt b) with
+               | Some ops, Some lsn -> best := (ops, lsn)
+               | _ -> ())
+           | _ -> ()
+         done
+       with End_of_file -> ());
+      close_in_noerr ic;
+      !best
+
+(* ------------------------------------------------------------------ *)
+(* The child: mutate, sync, ack, die                                   *)
+(* ------------------------------------------------------------------ *)
+
+let apply_store st = function
+  | Add (u, v, el) -> Result.map (fun _ -> ()) (Store.add_edge st u v ~elabel:el)
+  | Del (u, v, el) -> Result.map (fun _ -> ()) (Store.del_edge st u v ~elabel:el)
+  | Addv l -> Result.map (fun _ -> ()) (Store.add_vertex st ~label:l)
+  | Delv v -> Result.map (fun _ -> ()) (Store.del_vertex st v)
+
+let child_main cfg dir =
+  (match cfg.crash with Some (p, after) -> Fault.arm p ~after | None -> ());
+  let init = init_graph cfg in
+  match Store.open_store ~config:cfg.store_cfg ~init (data_dir dir) with
+  | Error e ->
+      prerr_endline (Store.open_error_to_string e);
+      exit 2
+  | Ok st ->
+      let ack_fd =
+        Unix.openfile (ack_path dir) [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+      in
+      let rng = ops_rng cfg in
+      let fatal tag = function
+        | Error (Store.Failed msg) ->
+            prerr_endline (tag ^ ": " ^ msg);
+            exit 3
+        | Error (Store.Invalid _) | Ok _ -> ()
+      in
+      for i = 0 to cfg.ops - 1 do
+        let op = draw_op rng cfg (Store.live_vertices st) in
+        fatal "apply" (apply_store st op);
+        if (i + 1) mod cfg.sync_every = 0 then begin
+          match Store.sync st with
+          | Error (Store.Failed msg) ->
+              prerr_endline ("sync: " ^ msg);
+              exit 3
+          | Error (Store.Invalid _) -> ()
+          | Ok durable -> write_ack ack_fd ~ops:(i + 1) ~lsn:durable
+        end;
+        if cfg.checkpoint_every > 0 && (i + 1) mod cfg.checkpoint_every = 0 then begin
+          match Store.checkpoint st with
+          | Error (Store.Failed msg) ->
+              prerr_endline ("checkpoint: " ^ msg);
+              exit 3
+          | Error (Store.Invalid _) -> ()
+          | Ok v -> write_ack ack_fd ~ops:(i + 1) ~lsn:v
+        end
+      done;
+      (match Store.sync st with
+      | Ok durable -> write_ack ack_fd ~ops:cfg.ops ~lsn:durable
+      | Error _ -> ());
+      Unix.close ack_fd;
+      Store.close st;
+      exit 0
+
+(* ------------------------------------------------------------------ *)
+(* The parent: re-simulate to the recovered LSN                        *)
+(* ------------------------------------------------------------------ *)
+
+let apply_delta d = function
+  | Add (u, v, el) -> Result.map (fun _ -> ()) (Delta.add_edge d u v ~elabel:el)
+  | Del (u, v, el) -> Result.map (fun _ -> ()) (Delta.del_edge d u v ~elabel:el)
+  | Addv l -> Result.map (fun _ -> ()) (Delta.add_vertex d ~label:l)
+  | Delv v -> Result.map (fun _ -> ()) (Delta.del_vertex d v)
+
+(* Replays the deterministic op stream over a fresh delta until the
+   simulated LSN reaches [target] — applied ops consume one LSN each
+   (including noops), refused ops none, and each checkpoint the child
+   would have taken consumes one for its marker. Returns the delta and
+   how many ops the target covers. *)
+let simulate cfg ~target =
+  let d = Delta.create (init_graph cfg) in
+  let rng = ops_rng cfg in
+  let lsn = ref 0 in
+  let covered = ref 0 in
+  let i = ref 0 in
+  while !lsn < target && !i < cfg.ops do
+    let op = draw_op rng cfg (Delta.live_vertices d) in
+    (match apply_delta d op with Ok () -> incr lsn | Error _ -> ());
+    incr i;
+    covered := !i;
+    if !lsn < target && cfg.checkpoint_every > 0 && !i mod cfg.checkpoint_every = 0 then
+      incr lsn (* the checkpoint marker the child logged here *)
+  done;
+  if !lsn <> target then
+    Error (Printf.sprintf "simulation exhausted %d ops at lsn %d, target %d" !i !lsn target)
+  else Ok (d, !covered)
+
+let graph_state g =
+  let edges = Graph.edge_array g in
+  Array.sort compare edges;
+  let labels = Array.init (Graph.num_vertices g) (Graph.vlabel g) in
+  (edges, labels)
+
+let delta_state d =
+  let edges = Delta.edge_array d in
+  Array.sort compare edges;
+  let labels = Array.init (Delta.live_vertices d) (Delta.vlabel d) in
+  (edges, labels)
+
+let diff_states (re, rl) (ee, el) =
+  if Array.length rl <> Array.length el then
+    Some (Printf.sprintf "vertex count: recovered %d, expected %d" (Array.length rl) (Array.length el))
+  else if rl <> el then Some "vertex labels differ"
+  else if Array.length re <> Array.length ee then
+    Some (Printf.sprintf "edge count: recovered %d, expected %d" (Array.length re) (Array.length ee))
+  else if re <> ee then Some "edge arrays differ"
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_dir () =
+  let base = Filename.get_temp_dir_name () in
+  let rec go k =
+    let d = Filename.concat base (Printf.sprintf "gfq_torture.%d.%d" (Unix.getpid ()) k) in
+    match Unix.mkdir d 0o755 with () -> d | exception Unix.Unix_error (Unix.EEXIST, _, _) -> go (k + 1)
+  in
+  go 0
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (try Sys.readdir path with Sys_error _ -> [||]);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+
+let verify cfg dir ~crashed finish fail =
+  let acked_ops, acked_lsn = read_acks dir in
+  match Store.open_store ~config:cfg.store_cfg ~init:(init_graph cfg) (data_dir dir) with
+  | Error e -> fail (Printf.sprintf "recovery refused: %s" (Store.open_error_to_string e))
+  | Ok st ->
+      let recovered_lsn = Store.version st in
+      let info = Store.recovery_info st in
+      if recovered_lsn < acked_lsn then
+        fail
+          (Printf.sprintf "lost acked writes: acked lsn %d, recovered only %d" acked_lsn
+             recovered_lsn)
+      else (
+        match simulate cfg ~target:recovered_lsn with
+        | Error msg -> fail (Printf.sprintf "cannot reproduce recovered lsn: %s" msg)
+        | Ok (expected, covered_ops) -> (
+            let rec_state = graph_state (Store.merge_now st) in
+            let exp_state = delta_state expected in
+            Store.close st;
+            match diff_states rec_state exp_state with
+            | Some what ->
+                fail
+                  (Printf.sprintf "recovered state diverges at lsn %d: %s" recovered_lsn what)
+            | None ->
+                finish
+                  (Ok
+                     {
+                       crashed;
+                       acked_ops;
+                       acked_lsn;
+                       recovered_lsn;
+                       covered_ops;
+                       replayed = info.Store.replayed;
+                       used_snapshot = info.Store.snapshot <> None;
+                     })))
+
+let run ?dir ?(keep = false) cfg =
+  let dir, own_dir = match dir with Some d -> (d, false) | None -> (fresh_dir (), true) in
+  (* Flush before forking so buffered output is not emitted twice. *)
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 -> ( try child_main cfg dir with _ -> exit 4)
+  | pid -> (
+      let _, status = Unix.waitpid [] pid in
+      let crashed = status = Unix.WSIGNALED Sys.sigkill in
+      let finish r =
+        if own_dir && not keep && Result.is_ok r then rm_rf dir;
+        r
+      in
+      let fail s = finish (Error (s ^ " [dir " ^ dir ^ "]")) in
+      match status with
+      | Unix.WEXITED 0 ->
+          (* With a crash armed this is still legal: the armed point was
+             never reached (crash_after beyond the number of hits).
+             Verify the final state either way. *)
+          verify cfg dir ~crashed:false finish fail
+      | _ when crashed -> verify cfg dir ~crashed:true finish fail
+      | Unix.WEXITED n -> fail (Printf.sprintf "child exited %d without crashing" n)
+      | Unix.WSIGNALED s -> fail (Printf.sprintf "child killed by unexpected signal %d" s)
+      | Unix.WSTOPPED s -> fail (Printf.sprintf "child stopped by signal %d" s))

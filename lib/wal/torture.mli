@@ -1,0 +1,57 @@
+(** Crash-torture harness: fork a writer, [kill -9] it at an armed fault
+    point, recover, and prove the store came back as exactly the durable
+    prefix of what was acknowledged.
+
+    The engine is deterministic end to end: the initial graph and the
+    whole mutation stream derive from [seed], and the child draws a fixed
+    number of random values per operation, so the parent can re-simulate
+    the identical stream against a plain {!Gf_graph.Delta} without any
+    channel back from the dead child. The child appends an
+    [fsync]-covered ack line ([ops-covered durable-lsn]) after every
+    group-commit sync; the parent asserts
+
+    - {b no lost ack}: the recovered version is at least the last acked
+      LSN, and
+    - {b no phantom}: the recovered graph (full edge array + vertex
+      labels) equals the simulation at exactly the recovered LSN — not
+      one record more.
+
+    Used by the [test_torture] driver and [gfq soak --crash]. Fork-based:
+    callers must be single-threaded when invoking {!run}. *)
+
+type config = {
+  seed : int;
+  ops : int;  (** mutations the child attempts *)
+  init_vertices : int;
+  init_edges : int;
+  num_vlabels : int;
+  num_elabels : int;
+  sync_every : int;  (** group-commit + ack cadence, in ops *)
+  checkpoint_every : int;  (** 0 = never checkpoint *)
+  crash : (Fault.point * int) option;
+      (** fault point and 1-based hit count; [None] runs to completion *)
+  store_cfg : Store.config;
+}
+
+(** A config exercising every code path: mixed mutations, group commit,
+    periodic checkpoints, small segments so rotation happens. *)
+val default : seed:int -> config
+
+type outcome = {
+  crashed : bool;  (** the child died by SIGKILL at its fault point *)
+  acked_ops : int;  (** ops covered by the child's last durable ack *)
+  acked_lsn : int;
+  recovered_lsn : int;  (** store version after recovery *)
+  covered_ops : int;  (** ops the recovered state corresponds to *)
+  replayed : int;  (** WAL records applied past the snapshot *)
+  used_snapshot : bool;
+}
+
+val pp_outcome : outcome -> string
+
+(** [run ?dir ?keep config] executes one torture round in [dir] (a fresh
+    temp directory by default, removed on success, kept on failure — or
+    always kept with [keep]). [Error] carries a human-readable diagnosis:
+    lost acked writes, phantom records, recovery refusal, or a child that
+    failed without being killed. *)
+val run : ?dir:string -> ?keep:bool -> config -> (outcome, string) result

@@ -76,7 +76,31 @@ let test_wire_parse () =
   | _ -> Alcotest.fail "run trace must parse");
   (match Wire.parse_request "run trace=1 rows q=Q1" with
   | Ok (Wire.Run r) -> check_bool "trace=1" true (r.Service.trace && r.Service.collect_rows)
-  | _ -> Alcotest.fail "run trace=1 must parse")
+  | _ -> Alcotest.fail "run trace=1 must parse");
+  (* The mutation commands. *)
+  check_bool "addedge" true
+    (Wire.parse_request "addedge 3 7"
+    = Ok (Wire.Mutate (Service.M_add_edge { u = 3; v = 7; elabel = 0 }, false)));
+  check_bool "addedge labeled traced" true
+    (Wire.parse_request "addedge 3 7 2 trace"
+    = Ok (Wire.Mutate (Service.M_add_edge { u = 3; v = 7; elabel = 2 }, true)));
+  check_bool "deledge" true
+    (Wire.parse_request "deledge 4 5 1"
+    = Ok (Wire.Mutate (Service.M_del_edge { u = 4; v = 5; elabel = 1 }, false)));
+  check_bool "addvertex default label" true
+    (Wire.parse_request "addvertex" = Ok (Wire.Mutate (Service.M_add_vertex { label = 0 }, false)));
+  check_bool "addvertex labeled" true
+    (Wire.parse_request "addvertex 3" = Ok (Wire.Mutate (Service.M_add_vertex { label = 3 }, false)));
+  check_bool "delvertex" true
+    (Wire.parse_request "delvertex 9" = Ok (Wire.Mutate (Service.M_del_vertex { v = 9 }, false)));
+  check_bool "checkpoint" true
+    (Wire.parse_request "checkpoint" = Ok (Wire.Mutate (Service.M_checkpoint, false)));
+  check_bool "checkpoint traced" true
+    (Wire.parse_request "checkpoint trace" = Ok (Wire.Mutate (Service.M_checkpoint, true)));
+  check_bool "addedge arity" true (Result.is_error (Wire.parse_request "addedge 3"));
+  check_bool "addedge bad int" true (Result.is_error (Wire.parse_request "addedge a b"));
+  check_bool "delvertex arity" true (Result.is_error (Wire.parse_request "delvertex"));
+  check_bool "checkpoint extra" true (Result.is_error (Wire.parse_request "checkpoint 3"))
 
 (* Embedded query text must not break the one-line framing: newlines and
    quotes come back escaped inside the slowlog reply. *)
@@ -151,6 +175,54 @@ let test_breaker_sliding_window () =
   Breaker.record b ~ok:true;
   Breaker.record b ~ok:false;
   check_bool "slid out" true (Breaker.state b = Breaker.Closed)
+
+(* Half-open is a single-probe state: when the cooldown elapses and many
+   threads race [admit] simultaneously, exactly one may win the probe slot
+   — a second admitted probe would double-tap a backend that is still
+   being assessed. *)
+let test_breaker_half_open_single_probe () =
+  let clock = ref 0.0 in
+  let cfg =
+    { Breaker.window = 4; min_samples = 4; failure_threshold = 0.5; cooldown_s = 1.0 }
+  in
+  let trip_then_race () =
+    let b = Breaker.create ~now:(fun () -> !clock) cfg in
+    for _ = 1 to 4 do
+      Breaker.record b ~ok:false
+    done;
+    check_bool "tripped open" true (Breaker.state b = Breaker.Open);
+    clock := !clock +. 2.0;
+    let admitted = Atomic.make 0 and go = Atomic.make false in
+    let worker () =
+      while not (Atomic.get go) do
+        Thread.yield ()
+      done;
+      match Breaker.admit b with
+      | `Admit -> Atomic.incr admitted
+      | `Reject -> ()
+    in
+    let ths = List.init 16 (fun _ -> Thread.create worker ()) in
+    Atomic.set go true;
+    List.iter Thread.join ths;
+    check_int "exactly one probe admitted" 1 (Atomic.get admitted);
+    check_bool "stays half-open while probing" true (Breaker.state b = Breaker.Half_open);
+    b
+  in
+  (* Round 1: the probe succeeds; losers' rejections must not have
+     perturbed the state machine. *)
+  let b = trip_then_race () in
+  Breaker.record b ~ok:true;
+  check_bool "probe success closes" true (Breaker.state b = Breaker.Closed);
+  check_bool "closed admits freely" true (Breaker.admit b = `Admit && Breaker.admit b = `Admit);
+  (* Round 2 (fresh breaker): the probe fails; the race for the next probe
+     slot after the restarted cooldown is again single-winner. *)
+  let b = trip_then_race () in
+  Breaker.record b ~ok:false;
+  check_bool "probe failure reopens" true (Breaker.state b = Breaker.Open);
+  check_bool "reopened rejects" true (Breaker.admit b = `Reject);
+  clock := !clock +. 2.0;
+  check_bool "next probe admitted" true (Breaker.admit b = `Admit);
+  check_bool "and is again exclusive" true (Breaker.admit b = `Reject)
 
 (* --- ladder ----------------------------------------------------------- *)
 
@@ -573,6 +645,8 @@ let suite =
       [
         Alcotest.test_case "state machine" `Quick test_breaker_state_machine;
         Alcotest.test_case "sliding window" `Quick test_breaker_sliding_window;
+        Alcotest.test_case "half-open single probe under contention" `Quick
+          test_breaker_half_open_single_probe;
       ] );
     ( "server.ladder",
       [
