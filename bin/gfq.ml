@@ -237,11 +237,23 @@ let run_cmd =
       & info [ "trace-tree" ]
           ~doc:"Record a span trace and print it as an indented tree on stdout.")
   in
+  let no_plan_cache =
+    Arg.(
+      value & flag
+      & info [ "no-plan-cache" ]
+          ~doc:
+            "Plan from scratch instead of through a plan cache (a one-shot run plans once \
+             either way; this mainly silences the gf_server_plan_cache_* metrics).")
+  in
   let go graph_file dataset scale labels seed qs kernel adaptive limit timeout_ms max_rows
-      max_intermediate max_bytes domains explain_analyze json metrics trace_out trace_tree =
+      max_intermediate max_bytes domains explain_analyze json metrics trace_out trace_tree
+      no_plan_cache =
     apply_kernel kernel;
     let g = load_graph graph_file dataset scale labels seed in
-    let db = Gf.Db.create g in
+    let plan_cache =
+      if no_plan_cache then None else Some (Gf.Plan_cache.create ~capacity:64 ())
+    in
+    let db = Gf.Db.create ?plan_cache g in
     let q = parse_query qs in
     let max_output =
       match (limit, max_rows) with
@@ -293,7 +305,7 @@ let run_cmd =
     Term.(
       const go $ graph_file $ dataset $ scale $ labels $ seed $ query_arg $ kernel_arg
       $ adaptive $ limit $ timeout_ms $ max_rows $ max_intermediate $ max_bytes $ domains
-      $ explain_analyze $ json $ metrics $ trace_out $ trace_tree)
+      $ explain_analyze $ json $ metrics $ trace_out $ trace_tree $ no_plan_cache)
 
 let spectrum_cmd =
   let go graph_file dataset scale labels seed qs =
@@ -486,10 +498,20 @@ let serve_cmd =
       & info [ "snapshots-kept" ] ~docv:"N"
           ~doc:"Snapshot generations retained as fallback against bit rot.")
   in
+  let plan_cache_cap =
+    Arg.(
+      value
+      & opt int Gf.Plan_cache.default_capacity
+      & info [ "plan-cache" ] ~docv:"N"
+          ~doc:
+            "Plan-cache capacity: recurring queries are served by cached plans (keyed by \
+             canonical pattern + graph version) and converge on true-cost plans via \
+             profiled-execution feedback. 0 disables the cache.")
+  in
   let go graph_file dataset scale labels seed kernel socket port host workers queue domains
       timeout_ms max_rows max_intermediate degraded_timeout_ms backoff_ms backoff_cap_ms
       breaker_window breaker_min breaker_threshold breaker_cooldown_ms fault_seed data_dir
-      merge_threshold segment_bytes sync_every_append snapshots_kept =
+      merge_threshold segment_bytes sync_every_append snapshots_kept plan_cache_cap =
     apply_kernel kernel;
     let endpoint = endpoint_arg_of socket port host in
     let g =
@@ -524,8 +546,13 @@ let serve_cmd =
               st)
         data_dir
     in
+    let plan_cache =
+      if plan_cache_cap <= 0 then None
+      else Some (Gf.Plan_cache.create ~capacity:plan_cache_cap ())
+    in
     let db =
-      Gf.Db.create (match store with Some st -> Gf_wal.Store.graph st | None -> g)
+      Gf.Db.create ?plan_cache
+        (match store with Some st -> Gf_wal.Store.graph st | None -> g)
     in
     let ladder =
       {
@@ -559,8 +586,9 @@ let serve_cmd =
     Option.iter (Gf_server.Service.attach_store service) store;
     Gf_server.Server.serve
       ~on_ready:(fun ep ->
-        Format.printf "gfq serve: listening on %s (workers=%d queue=%d domains=%d%s%s)@."
-          (endpoint_to_string ep) workers queue domains
+        Format.printf
+          "gfq serve: listening on %s (workers=%d queue=%d domains=%d plan-cache=%d%s%s)@."
+          (endpoint_to_string ep) workers queue domains (max 0 plan_cache_cap)
           (match fault_seed with
           | Some s -> Printf.sprintf " fault-seed=%d" s
           | None -> "")
@@ -581,7 +609,8 @@ let serve_cmd =
       $ port_arg $ host_arg $ workers $ queue $ domains $ timeout_ms $ max_rows
       $ max_intermediate $ degraded_timeout_ms $ backoff_ms $ backoff_cap_ms
       $ breaker_window $ breaker_min $ breaker_threshold $ breaker_cooldown_ms $ fault_seed
-      $ data_dir $ merge_threshold $ segment_bytes $ sync_every_append $ snapshots_kept)
+      $ data_dir $ merge_threshold $ segment_bytes $ sync_every_append $ snapshots_kept
+      $ plan_cache_cap)
 
 (* --- soak: a concurrent client driver for CI and load checks ----------- *)
 

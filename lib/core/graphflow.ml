@@ -23,6 +23,7 @@ module Wander = Gf_catalog.Wander
 module Cost = Gf_opt.Cost
 module Cost_model = Gf_opt.Cost_model
 module Planner = Gf_opt.Planner
+module Plan_cache = Gf_opt.Plan_cache
 module Explain = Gf_opt.Explain
 module Adaptive = Gf_adaptive.Adaptive
 module Simplex = Gf_lp.Simplex
@@ -42,20 +43,55 @@ module Trace = Gf_obs.Trace
 module Recorder = Gf_obs.Recorder
 
 module Db = struct
-  type t = { graph : Graph.t; catalog : Catalog.t; opts : Planner.opts }
+  type t = {
+    graph : Graph.t;
+    catalog : Catalog.t;
+    opts : Planner.opts;
+    cache : Plan_cache.t option;
+    version : int;  (* graph version the plan cache keys against *)
+  }
 
-  let create ?h ?z ?seed ?(opts = Planner.default_opts) graph =
-    { graph; catalog = Catalog.create ?h ?z ?seed graph; opts }
+  let create ?h ?z ?seed ?(opts = Planner.default_opts) ?plan_cache ?(version = 0)
+      graph =
+    { graph; catalog = Catalog.create ?h ?z ?seed graph; opts; cache = plan_cache; version }
 
   (* A db re-seated on a new graph: fresh catalogue (the old one's
      entries describe the old CSR's distributions), same planner opts.
-     This is the merge-publication path of the durable store. *)
-  let with_graph db graph = { graph; catalog = Catalog.create graph; opts = db.opts }
+     This is the merge-publication path of the durable store. The plan
+     cache object is carried over but its entries are keyed by graph
+     version, so they go stale the moment the version advances (callers
+     with a durable store pass its version; otherwise we bump). *)
+  let with_graph ?version db graph =
+    {
+      graph;
+      catalog = Catalog.create graph;
+      opts = db.opts;
+      cache = db.cache;
+      version = (match version with Some v -> v | None -> db.version + 1);
+    }
 
   let graph db = db.graph
   let catalog db = db.catalog
+  let plan_cache db = db.cache
+  let graph_version db = db.version
   let parse_query = Query_parser.parse
-  let plan db q = Planner.plan ~opts:db.opts db.catalog q
+
+  let plan db q =
+    match db.cache with
+    | None -> Planner.plan ~opts:db.opts db.catalog q
+    | Some c ->
+        let r = Plan_cache.lookup c ~opts:db.opts ~graph_version:db.version db.catalog q in
+        (r.Plan_cache.plan, r.Plan_cache.cost)
+
+  (* Plan signature for the flight recorder: a cached entry answers without
+     touching hit/miss accounting. *)
+  let plan_signature db q =
+    match db.cache with
+    | Some c -> (
+        match Plan_cache.peek c ~graph_version:db.version q with
+        | Some p -> Plan.signature p
+        | None -> Plan.signature (fst (plan db q)))
+    | None -> Plan.signature (fst (plan db q))
 
   (* Query-level metrics. Looked up by name at record time (not cached in
      globals) so a [Metrics.reset] between queries cannot leave increments
@@ -92,16 +128,44 @@ module Db = struct
     observe_run (Gf_util.Timing.now_s () -. t0) c Governor.Completed;
     c
 
+  (* Fold the profiled actuals of one completed execution into the plan
+     cache's per-template corrections. Estimation rows come from the
+     uncorrected model, so ratios measure the catalogue's true error; any
+     failure here is swallowed — feedback must never fail a request. *)
+  let feed_cache db q p outcome prof =
+    match (db.cache, outcome) with
+    | Some cache, Governor.Completed -> (
+        try
+          let rows =
+            Explain.rows ~cache_conscious:db.opts.Planner.cache_conscious
+              ~weights:db.opts.Planner.weights db.catalog q p prof
+          in
+          Plan_cache.observe cache ~graph_version:db.version q p rows
+        with _ -> ())
+    | _ -> ()
+
   let run_gov ?(adaptive = false) ?(domains = 1) ?budget ?fault ?gov ?trace ?sink db q =
     (* The planner runs on this thread: give it its own buffer (tid 2) so
        optimization time is visible next to the execution tracks. *)
     let pbuf = Option.map (fun tr -> Trace.buffer ~name:"planner" tr ~tid:2) trace in
-    let p, _ = Planner.plan ~opts:db.opts ?trace:pbuf db.catalog q in
+    let p, feedback_due =
+      match db.cache with
+      | None -> (fst (Planner.plan ~opts:db.opts ?trace:pbuf db.catalog q), false)
+      | Some c ->
+          let r =
+            Plan_cache.lookup ?trace:pbuf c ~opts:db.opts ~graph_version:db.version
+              db.catalog q
+          in
+          (r.Plan_cache.plan, r.Plan_cache.feedback_due)
+    in
     (match pbuf with Some b -> Trace.close_all b | None -> ());
+    (* Warmup and every Nth run of a cached template execute profiled so
+       EXPLAIN ANALYZE actuals can feed the correction record. *)
+    let prof = if feedback_due then Some (Profile.create p) else None in
     let t0 = Gf_util.Timing.now_s () in
     let c, outcome =
       if domains > 1 then begin
-        let r = Parallel.run ~domains ?budget ?fault ?gov ?trace ?sink db.graph p in
+        let r = Parallel.run ~domains ?budget ?fault ?gov ?prof ?trace ?sink db.graph p in
         (r.Parallel.counters, r.Parallel.outcome)
       end
       else if adaptive && Adaptive.adaptable p then begin
@@ -115,12 +179,13 @@ module Db = struct
               Governor.create ?fault (Option.value budget ~default:Governor.unlimited)
         in
         let sink = Option.value sink ~default:(fun _ -> ()) in
-        let c = fst (Adaptive.run ~gov ~sink db.catalog db.graph q p) in
+        let c = fst (Adaptive.run ~gov ?prof ~sink db.catalog db.graph q p) in
         (c, Governor.outcome gov)
       end
-      else Exec.run_gov ?budget ?fault ?gov ?trace ?sink db.graph p
+      else Exec.run_gov ?budget ?fault ?gov ?prof ?trace ?sink db.graph p
     in
     observe_run (Gf_util.Timing.now_s () -. t0) c outcome;
+    (match prof with Some prof -> feed_cache db q p outcome prof | None -> ());
     (c, outcome)
 
   type analysis = {
@@ -153,6 +218,12 @@ module Db = struct
       Explain.rows ~cache_conscious:db.opts.Planner.cache_conscious
         ~weights:db.opts.Planner.weights db.catalog q p prof
     in
+    (* Every EXPLAIN ANALYZE is a profiled execution: fold it into the plan
+       cache's corrections when one is attached. *)
+    (match (db.cache, outcome) with
+    | Some cache, Governor.Completed -> (
+        try Plan_cache.observe cache ~graph_version:db.version q p rows with _ -> ())
+    | _ -> ());
     { plan = p; rows; counters = c; outcome; seconds }
 
   let analysis_to_string a =

@@ -43,6 +43,7 @@ module Wander = Gf_catalog.Wander
 module Cost = Gf_opt.Cost
 module Cost_model = Gf_opt.Cost_model
 module Planner = Gf_opt.Planner
+module Plan_cache = Gf_opt.Plan_cache
 module Explain = Gf_opt.Explain
 module Adaptive = Gf_adaptive.Adaptive
 module Simplex = Gf_lp.Simplex
@@ -67,22 +68,49 @@ module Db : sig
   type t
 
   (** [create g] attaches a lazily-populated catalogue ([h], [z] as in the
-      paper; defaults 3 and 1000) and default planner options. *)
-  val create : ?h:int -> ?z:int -> ?seed:int -> ?opts:Gf_opt.Planner.opts -> Graph.t -> t
+      paper; defaults 3 and 1000) and default planner options. [plan_cache]
+      attaches a {!Plan_cache.t}: every subsequent plan/run routes planning
+      through it (isomorphic resubmissions are served from cache, profiled
+      runs feed its corrections). [version] is the starting graph version
+      the cache keys against (a durable store passes its merge version;
+      default 0). *)
+  val create :
+    ?h:int ->
+    ?z:int ->
+    ?seed:int ->
+    ?opts:Gf_opt.Planner.opts ->
+    ?plan_cache:Plan_cache.t ->
+    ?version:int ->
+    Graph.t ->
+    t
 
   val graph : t -> Graph.t
   val catalog : t -> Catalog.t
 
+  (** The attached plan cache, if any. *)
+  val plan_cache : t -> Plan_cache.t option
+
+  (** The graph version plan-cache entries are keyed against. *)
+  val graph_version : t -> int
+
   (** [with_graph db g] is [db] re-seated on [g]: a fresh (empty, lazily
       repopulated) catalogue and the same planner options — how a durable
-      store publishes a merged CSR without rebuilding the service. *)
-  val with_graph : t -> Graph.t -> t
+      store publishes a merged CSR without rebuilding the service. The plan
+      cache object is carried over; [version] (default: previous + 1) moves
+      the cache's keying forward so stale plans cannot be served. *)
+  val with_graph : ?version:int -> t -> Graph.t -> t
 
   (** [parse_query s] parses the pattern DSL (see {!Query_parser}). *)
   val parse_query : string -> Query.t
 
-  (** [plan db q] is the optimizer's plan and its estimated cost. *)
+  (** [plan db q] is the optimizer's plan and its estimated cost; served
+      from the plan cache when one is attached. *)
   val plan : t -> Query.t -> Plan.t * float
+
+  (** [plan_signature db q] is [Plan.signature] of [q]'s plan, answered from
+      the plan cache without touching hit/miss accounting when possible —
+      the flight recorder's digest path. *)
+  val plan_signature : t -> Query.t -> string
 
   (** [count db q] optimizes and executes, returning the number of matches.
       [adaptive] enables runtime re-ordering of E/I chains (default off). *)

@@ -8,17 +8,20 @@ type t = {
   q : Query.t;
   cache_conscious : bool;
   weights : Cost.weights;
+  corrections : (Bitset.t -> float) option;
   cards : (int, float) Hashtbl.t;
   mus : (int * int, float) Hashtbl.t;
   sizes : (int * int, float) Hashtbl.t; (* (child_set, v) -> sum of descriptor sizes *)
 }
 
-let create ?(cache_conscious = true) ?(weights = Cost.default_weights) cat q =
+let create ?(cache_conscious = true) ?(weights = Cost.default_weights) ?corrections
+    cat q =
   {
     cat;
     q;
     cache_conscious;
     weights;
+    corrections;
     cards = Hashtbl.create 64;
     mus = Hashtbl.create 64;
     sizes = Hashtbl.create 64;
@@ -44,7 +47,11 @@ let mu t ~child ~v =
       Hashtbl.replace t.mus (child, v) m;
       m
 
-let rec card t s =
+(* Raw catalogue-derived estimate, before feedback corrections. The
+   recursion composes raw values only: a learned correction for subset [s]
+   is the observed ratio actual/raw-estimate, so it must scale the raw
+   estimate exactly once, at the point of use. *)
+let rec raw_card t s =
   match Hashtbl.find_opt t.cards s with
   | Some c -> c
   | None ->
@@ -79,7 +86,7 @@ let rec card t s =
                    Query.is_connected_subset t.q rest
                    && Bitset.inter (Query.neighbours t.q v) rest <> Bitset.empty
                  then begin
-                   let est = card t rest *. mu t ~child:rest ~v in
+                   let est = raw_card t rest *. mu t ~child:rest ~v in
                    if est < !best then best := est;
                    if not exhaustive then raise Exit
                  end)
@@ -90,6 +97,10 @@ let rec card t s =
       in
       Hashtbl.replace t.cards s c;
       c
+
+let card t s =
+  let c = raw_card t s in
+  match t.corrections with None -> c | Some f -> c *. f s
 
 (* Sum of the estimated sizes of the adjacency lists intersected when
    extending [child] by [v], and the set of descriptor source vertices. *)

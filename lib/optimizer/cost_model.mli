@@ -12,9 +12,16 @@
 
 type t
 
+(** [corrections], when given, maps a vertex subset to a multiplicative
+    adjustment applied on top of the catalogue-derived cardinality estimate
+    for that subset (1.0 = no adjustment). The plan cache supplies learned
+    actual/estimate ratios here so that replanning a drifted template sees
+    feedback-corrected cardinalities — and, since every operator cost
+    derives from [card], corrected costs — without touching the catalogue. *)
 val create :
   ?cache_conscious:bool ->
   ?weights:Cost.weights ->
+  ?corrections:(Gf_util.Bitset.t -> float) ->
   Gf_catalog.Catalog.t ->
   Gf_query.Query.t ->
   t

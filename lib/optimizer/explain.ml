@@ -93,7 +93,7 @@ let fmt_f v =
 
 let fmt_q = function
   | q when Float.is_nan q -> "-"
-  | q when q = infinity -> "inf"
+  | q when not (Float.is_finite q) -> if q > 0.0 then "inf" else "-inf"
   | q -> Printf.sprintf "%.2f" q
 
 let to_string rows =
@@ -136,10 +136,10 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* JSON has no literal for NaN or the infinities; [null] is the only
+   representation every parser accepts. *)
 let json_float v =
-  if Float.is_nan v then "null"
-  else if v = infinity then "1e999"
-  else Printf.sprintf "%.6g" v
+  if Float.is_finite v then Printf.sprintf "%.6g" v else "null"
 
 let row_to_json r =
   Printf.sprintf

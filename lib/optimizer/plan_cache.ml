@@ -1,0 +1,379 @@
+module Bitset = Gf_util.Bitset
+module Query = Gf_query.Query
+module Canon = Gf_query.Canon
+module Plan = Gf_plan.Plan
+module Catalog = Gf_catalog.Catalog
+module Metrics = Gf_exec.Metrics
+module Trace = Gf_obs.Trace
+
+(* Plans are cached in *canonical* vertex space: a skeleton records the
+   operator tree with every query vertex renamed through the canonical
+   permutation, so two isomorphic queries submitted with different vertex
+   numberings share one entry, and each lookup re-instantiates the skeleton
+   against the caller's own numbering (linear in plan size — against the
+   exponential cost of planning). *)
+type skel =
+  | S_scan of int * int * int  (* canonical src, canonical dst, edge label *)
+  | S_extend of skel * int  (* canonical target *)
+  | S_join of skel * skel  (* build, probe *)
+
+let rec skel_of_plan perm = function
+  | Plan.Scan { edge; _ } ->
+      S_scan (perm.(edge.Query.src), perm.(edge.Query.dst), edge.Query.label)
+  | Plan.Extend { child; target; _ } -> S_extend (skel_of_plan perm child, perm.(target))
+  | Plan.Hash_join { build; probe; _ } ->
+      S_join (skel_of_plan perm build, skel_of_plan perm probe)
+
+let instantiate q perm skel =
+  (* inv.(c) = this query's vertex at canonical position c. *)
+  let n = Array.length perm in
+  let inv = Array.make n 0 in
+  Array.iteri (fun orig c -> inv.(c) <- orig) perm;
+  let find_edge cs cd l =
+    let s = inv.(cs) and d = inv.(cd) in
+    let found = ref None in
+    Array.iter
+      (fun (e : Query.edge) ->
+        if e.Query.src = s && e.Query.dst = d && e.Query.label = l then found := Some e)
+      q.Query.edges;
+    match !found with Some e -> e | None -> raise Not_found
+  in
+  let rec inst = function
+    | S_scan (cs, cd, l) -> Plan.scan q (find_edge cs cd l)
+    | S_extend (sk, ct) -> Plan.extend q (inst sk) inv.(ct)
+    | S_join (b, p) -> Plan.hash_join q (inst b) (inst p)
+  in
+  inst skel
+
+(* Translate a query-space vertex set into canonical space. *)
+let to_canon perm s =
+  List.fold_left (fun acc v -> Bitset.add perm.(v) acc) Bitset.empty (Bitset.elements s)
+
+(* One learned adjustment: the geometric EWMA of observed actual/estimate
+   cardinality ratios for a canonical vertex subset. *)
+type corr = { mutable factor : float; mutable samples : int }
+
+type entry = {
+  mutable version : int;  (* graph_version the skeleton was planned against *)
+  mutable skel : skel;
+  mutable cost : float;  (* model cost at plan time *)
+  corrections : (Bitset.t, corr) Hashtbl.t;
+  mutable snapshot : (Bitset.t * float) list;
+      (* correction factors in force when [skel] was chosen; drift is
+         measured against these *)
+  mutable runs : int;
+  mutable stale : bool;  (* drift crossed the threshold: replan on next lookup *)
+  mutable tick : int;  (* LRU recency *)
+}
+
+type outcome = Hit | Miss | Replan
+
+type lookup_result = {
+  plan : Plan.t;
+  cost : float;
+  outcome : outcome;
+  feedback_due : bool;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  replans : int;
+  invalidations : int;
+  feedbacks : int;
+  entries : int;
+}
+
+type t = {
+  capacity : int;
+  drift_threshold : float;
+  feedback_warmup : int;
+  feedback_period : int;
+  table : (string, entry) Hashtbl.t;
+  lock : Mutex.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable replans : int;
+  mutable invalidations : int;
+  mutable feedbacks : int;
+}
+
+let default_capacity = 256
+let default_drift_threshold = 4.0
+let default_feedback_warmup = 3
+let default_feedback_period = 32
+
+(* Service-facing counters (the names the soak CI asserts on); the registry
+   is process-global and lookups by name are idempotent, so bumping them
+   here keeps Service/Db wiring trivial. *)
+let m_inc name help = Metrics.inc (Metrics.counter ~help name)
+let m_hit () = m_inc "gf_server_plan_cache_hits_total" "Plan cache lookups served from cache"
+let m_miss () = m_inc "gf_server_plan_cache_misses_total" "Plan cache lookups that planned from scratch"
+let m_evict () = m_inc "gf_server_plan_cache_evictions_total" "Plan cache entries evicted (LRU)"
+let m_replan () = m_inc "gf_server_plan_cache_replans_total" "Plan cache drift-triggered replans"
+let m_inval () = m_inc "gf_server_plan_cache_invalidations_total" "Plan cache wholesale invalidations (graph version advanced)"
+let m_feedback () = m_inc "gf_server_plan_cache_feedback_total" "Profiled executions folded into plan cache corrections"
+
+let create ?(capacity = default_capacity) ?(drift_threshold = default_drift_threshold)
+    ?(feedback_warmup = default_feedback_warmup)
+    ?(feedback_period = default_feedback_period) () =
+  if capacity < 1 then invalid_arg "Plan_cache.create: capacity must be >= 1";
+  if drift_threshold < 1.0 then
+    invalid_arg "Plan_cache.create: drift threshold must be >= 1.0";
+  {
+    capacity;
+    drift_threshold;
+    feedback_warmup;
+    feedback_period = max 1 feedback_period;
+    table = Hashtbl.create 64;
+    lock = Mutex.create ();
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    replans = 0;
+    invalidations = 0;
+    feedbacks = 0;
+  }
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    {
+      hits = t.hits;
+      misses = t.misses;
+      evictions = t.evictions;
+      replans = t.replans;
+      invalidations = t.invalidations;
+      feedbacks = t.feedbacks;
+      entries = Hashtbl.length t.table;
+    }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let invalidate t =
+  Mutex.lock t.lock;
+  Hashtbl.reset t.table;
+  t.invalidations <- t.invalidations + 1;
+  Mutex.unlock t.lock;
+  m_inval ()
+
+(* Callers hold the lock. *)
+let touch t e =
+  t.clock <- t.clock + 1;
+  e.tick <- t.clock
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, t0) when t0 <= e.tick -> ()
+      | _ -> victim := Some (k, e.tick))
+    t.table;
+  match !victim with
+  | Some (k, _) ->
+      Hashtbl.remove t.table k;
+      t.evictions <- t.evictions + 1;
+      m_evict ()
+  | None -> ()
+
+let feedback_due t e =
+  e.runs <= t.feedback_warmup || e.runs mod t.feedback_period = 0
+
+let clamp_lo = 1e-3
+let clamp_hi = 1e3
+let clamp r = Float.max clamp_lo (Float.min clamp_hi r)
+
+(* Corrections as a query-space closure for the planner: translate the
+   subset through the canonical permutation and look up the learned factor.
+   [factors] is an immutable snapshot taken under the lock, so planning can
+   run outside it. *)
+let corrections_fn perm factors s =
+  match List.assoc_opt (to_canon perm s) factors with Some f -> f | None -> 1.0
+
+let current_factors e =
+  Hashtbl.fold (fun s c acc -> (s, c.factor) :: acc) e.corrections []
+
+let lookup ?trace t ~opts ~graph_version cat q =
+  (match trace with
+  | Some tb -> Trace.begin_span ~cat:"planner" tb "plan-cache"
+  | None -> ());
+  let code, perm = Canon.code q in
+  Mutex.lock t.lock;
+  let cached =
+    match Hashtbl.find_opt t.table code with
+    | Some e when e.version = graph_version && not e.stale ->
+        touch t e;
+        e.runs <- e.runs + 1;
+        (* Snapshot what instantiation needs, then drop the lock. *)
+        Some (`Hit (e.skel, e.cost, feedback_due t e))
+    | Some e when e.version = graph_version ->
+        touch t e;
+        Some (`Drift (current_factors e))
+    | Some _ ->
+        (* Planned against an older graph: the corrections describe a graph
+           that no longer exists, so drop the whole entry. *)
+        Hashtbl.remove t.table code;
+        None
+    | None -> None
+  in
+  Mutex.unlock t.lock;
+  let plan_fresh ?corrections outcome =
+    let p, cost = Planner.plan ~opts ?trace ?corrections cat q in
+    let skel = skel_of_plan perm p in
+    Mutex.lock t.lock;
+    let e =
+      match Hashtbl.find_opt t.table code with
+      | Some e -> e
+      | None ->
+          if Hashtbl.length t.table >= t.capacity then evict_lru t;
+          let e =
+            {
+              version = graph_version;
+              skel;
+              cost;
+              corrections = Hashtbl.create 8;
+              snapshot = [];
+              runs = 0;
+              stale = false;
+              tick = 0;
+            }
+          in
+          Hashtbl.replace t.table code e;
+          e
+    in
+    e.version <- graph_version;
+    e.skel <- skel;
+    e.cost <- cost;
+    e.stale <- false;
+    e.snapshot <- current_factors e;
+    e.runs <- e.runs + 1;
+    touch t e;
+    (match outcome with
+    | Miss ->
+        t.misses <- t.misses + 1;
+        m_miss ()
+    | Replan ->
+        t.replans <- t.replans + 1;
+        m_replan ()
+    | Hit -> ());
+    let due = feedback_due t e in
+    Mutex.unlock t.lock;
+    { plan = p; cost; outcome; feedback_due = due }
+  in
+  let result =
+    match cached with
+    | Some (`Hit (skel, cost, due)) -> (
+        match instantiate q perm skel with
+        | p ->
+            Mutex.lock t.lock;
+            t.hits <- t.hits + 1;
+            Mutex.unlock t.lock;
+            m_hit ();
+            { plan = p; cost; outcome = Hit; feedback_due = due }
+        | exception _ ->
+            (* A skeleton that does not fit the query means the canonical
+               code aliased (cannot happen by construction) — recover by
+               planning from scratch rather than failing the request. *)
+            plan_fresh Miss)
+    | Some (`Drift factors) ->
+        plan_fresh ~corrections:(corrections_fn perm factors) Replan
+    | None -> plan_fresh Miss
+  in
+  (match trace with
+  | Some tb ->
+      let o =
+        match result.outcome with Hit -> "hit" | Miss -> "miss" | Replan -> "replan"
+      in
+      Trace.end_span ~args:[ ("outcome", Trace.Str o) ] tb
+  | None -> ());
+  result
+
+(* Fold one profiled execution into the template's correction record.
+   [rows] must come from {!Explain.rows} over the *uncorrected* model (which
+   is what [Explain.rows] builds), so each ratio compares the catalogue's
+   base estimate to ground truth; the EWMA then converges on the stable
+   actual/estimate ratio instead of compounding previous corrections. *)
+let observe t ~graph_version q plan rows =
+  let code, perm = Canon.code q in
+  let ops = Plan.operators plan in
+  Mutex.lock t.lock;
+  (match Hashtbl.find_opt t.table code with
+  | Some e when e.version = graph_version ->
+      let alpha = 0.5 in
+      let drift = ref 1.0 in
+      List.iter
+        (fun (r : Explain.row) ->
+          if r.Explain.id >= 0 && r.Explain.id < Array.length ops then begin
+            let node = fst ops.(r.Explain.id) in
+            let s = to_canon perm (Plan.var_set node) in
+            let est = Float.max 1.0 r.Explain.est_card in
+            let act = Float.max 1.0 (float_of_int r.Explain.act_card) in
+            let ratio = clamp (act /. est) in
+            let c =
+              match Hashtbl.find_opt e.corrections s with
+              | Some c ->
+                  (* Geometric EWMA: ratios are multiplicative, so smooth
+                     in log space. *)
+                  c.factor <-
+                    clamp
+                      (Float.exp
+                         (((1.0 -. alpha) *. Float.log c.factor)
+                         +. (alpha *. Float.log ratio)));
+                  c.samples <- c.samples + 1;
+                  c
+              | None ->
+                  let c = { factor = ratio; samples = 1 } in
+                  Hashtbl.replace e.corrections s c;
+                  c
+            in
+            let planned =
+              match List.assoc_opt s e.snapshot with Some f -> f | None -> 1.0
+            in
+            let d = Float.max (c.factor /. planned) (planned /. c.factor) in
+            if d > !drift then drift := d
+          end)
+        rows;
+      t.feedbacks <- t.feedbacks + 1;
+      m_feedback ();
+      if !drift > t.drift_threshold then e.stale <- true
+  | _ -> ());
+  Mutex.unlock t.lock
+
+(* A side-effect-free read: no counters, no LRU touch, no insert. The
+   service's flight-recorder digest path uses this so recording a plan
+   signature does not distort hit/miss accounting. *)
+let peek t ~graph_version q =
+  let code, perm = Canon.code q in
+  Mutex.lock t.lock;
+  let skel =
+    match Hashtbl.find_opt t.table code with
+    | Some e when e.version = graph_version && not e.stale -> Some e.skel
+    | _ -> None
+  in
+  Mutex.unlock t.lock;
+  match skel with
+  | None -> None
+  | Some skel -> ( match instantiate q perm skel with p -> Some p | exception _ -> None)
+
+(* Test/introspection helpers. *)
+let mem t q =
+  let code, _ = Canon.code q in
+  Mutex.lock t.lock;
+  let r = Hashtbl.mem t.table code in
+  Mutex.unlock t.lock;
+  r
+
+let is_stale t q =
+  let code, _ = Canon.code q in
+  Mutex.lock t.lock;
+  let r =
+    match Hashtbl.find_opt t.table code with Some e -> e.stale | None -> false
+  in
+  Mutex.unlock t.lock;
+  r

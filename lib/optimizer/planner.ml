@@ -118,7 +118,7 @@ let connected_subsets q =
   done;
   by_size
 
-let plan ?(opts = default_opts) ?trace cat q =
+let plan ?(opts = default_opts) ?trace ?corrections cat q =
   check_no_multi_pair q;
   let m = Query.num_vertices q in
   if m < 2 then raise (No_plan "queries need at least 2 vertices");
@@ -131,7 +131,10 @@ let plan ?(opts = default_opts) ?trace cat q =
         ~args:[ ("vertices", Gf_obs.Trace.Int m); ("edges", Int (Query.num_edges q)) ]
         tb "optimize"
   | None -> ());
-  let model = Cost_model.create ~cache_conscious:opts.cache_conscious ~weights:opts.weights cat q in
+  let model =
+    Cost_model.create ~cache_conscious:opts.cache_conscious ~weights:opts.weights
+      ?corrections cat q
+  in
   let table : (Bitset.t, info) Hashtbl.t = Hashtbl.create 64 in
   (* Level 2: scans. *)
   List.iter

@@ -36,10 +36,13 @@ exception No_plan of string
     [trace] records an [optimize] span with [wco-enumeration] and
     [dp-enumeration] phase spans into the given buffer — the planner runs on
     the caller's thread, so it records into the caller's buffer rather than
-    registering its own. *)
+    registering its own. [corrections] is forwarded to {!Cost_model.create}:
+    the plan cache passes learned per-subset cardinality adjustments here
+    when replanning a drifted template. *)
 val plan :
   ?opts:opts ->
   ?trace:Gf_obs.Trace.buf ->
+  ?corrections:(Gf_util.Bitset.t -> float) ->
   Gf_catalog.Catalog.t ->
   Gf_query.Query.t ->
   Gf_plan.Plan.t * float

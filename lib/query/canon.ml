@@ -37,21 +37,61 @@ let rec perms_of = function
           List.map (fun p -> x :: p) (perms_of rest))
         l
 
-let code ?mark q =
+let max_exact = 8
+
+let identity n = Array.init n (fun i -> i)
+
+let compute ?mark q =
   let n = Query.num_vertices q in
-  if n > 8 then invalid_arg "Canon.code: pattern too large";
-  let best = ref None in
-  List.iter
-    (fun p ->
-      (* p as list: position i holds original vertex p_i; invert it. *)
-      let perm = Array.make n 0 in
-      List.iteri (fun pos orig -> perm.(orig) <- pos) p;
-      let s = encode_under q mark perm in
-      match !best with
-      | Some (bs, _) when bs <= s -> ()
-      | _ -> best := Some (s, perm))
-    (perms_of (List.init n (fun i -> i)));
-  match !best with Some r -> r | None -> assert false
+  if n > max_exact then
+    (* Too many vertices for the factorial search: fall back to the exact
+       structural encoding under the identity numbering.  The "#" prefix
+       keeps fallback codes disjoint from true canonical codes, so equal
+       codes still imply isomorphic queries (here: identical queries) —
+       the fallback only loses hits for isomorphs submitted with a
+       different vertex numbering, it can never alias distinct shapes. *)
+    let perm = identity n in
+    ("#" ^ encode_under q mark perm, perm)
+  else begin
+    let best = ref None in
+    List.iter
+      (fun p ->
+        (* p as list: position i holds original vertex p_i; invert it. *)
+        let perm = Array.make n 0 in
+        List.iteri (fun pos orig -> perm.(orig) <- pos) p;
+        let s = encode_under q mark perm in
+        match !best with
+        | Some (bs, _) when bs <= s -> ()
+        | _ -> best := Some (s, perm))
+      (perms_of (List.init n (fun i -> i)));
+    match !best with Some r -> r | None -> assert false
+  end
+
+(* Canonicalization is O(n!) for n = 8; callers (the catalogue on every
+   estimate, the plan cache on every lookup) hit the same handful of query
+   values over and over, so memoize by structural (query, mark) key.  The
+   table is process-global and bounded; it is cleared wholesale when it
+   grows past [memo_cap] (distinct templates are few in practice).  A
+   mutex guards it because service workers canonicalize concurrently. *)
+let memo : (Query.t * int option, string * int array) Hashtbl.t = Hashtbl.create 64
+let memo_cap = 4096
+let memo_lock = Mutex.create ()
+
+let code ?mark q =
+  let key = (q, mark) in
+  Mutex.lock memo_lock;
+  match Hashtbl.find_opt memo key with
+  | Some r ->
+      Mutex.unlock memo_lock;
+      r
+  | None ->
+      Mutex.unlock memo_lock;
+      let r = compute ?mark q in
+      Mutex.lock memo_lock;
+      if Hashtbl.length memo >= memo_cap then Hashtbl.reset memo;
+      Hashtbl.replace memo key r;
+      Mutex.unlock memo_lock;
+      r
 
 let iso ?mark1 ?mark2 q1 q2 =
   Query.num_vertices q1 = Query.num_vertices q2

@@ -5,12 +5,32 @@
     vertex) must share an entry. [code] computes, by brute force over vertex
     permutations, a canonical string for a query, optionally distinguishing
     one vertex (the "new" vertex of an extension). Practical pattern sizes
-    are <= h + 1 <= 5 vertices; anything up to 8 is accepted. *)
+    are <= h + 1 <= 5 vertices; anything up to [max_exact] = 8 uses the
+    exact factorial search.
+
+    Codes are memoized per (query value, mark) in a bounded process-global
+    table, so repeated canonicalization of the same template (the plan
+    cache's lookup path, the catalogue's estimate path) costs a hash lookup
+    rather than an O(n!) search. The table is thread-safe. *)
+
+(** Largest vertex count canonicalized exactly (by permutation search). *)
+val max_exact : int
 
 (** [code ?mark q] is [(canonical_string, perm)] where [perm.(i)] is the
     canonical position of original vertex [i]. When [mark] is given, that
-    vertex is distinguished so it always occupies a fixed role in the code. *)
+    vertex is distinguished so it always occupies a fixed role in the code.
+
+    For patterns with more than [max_exact] vertices the factorial search
+    is infeasible; [code] degrades to a structural fallback: the exact
+    encoding under the identity numbering, prefixed with ["#"] so it can
+    never collide with a true canonical code. Equal codes always imply
+    isomorphic queries; beyond [max_exact] vertices, isomorphic queries
+    submitted with different vertex numberings get different codes (a
+    cache using the code as key merely misses — it never aliases). *)
 val code : ?mark:int -> Query.t -> string * int array
 
-(** [iso ?mark1 ?mark2 q1 q2] tests labeled isomorphism (respecting marks). *)
+(** [iso ?mark1 ?mark2 q1 q2] tests labeled isomorphism (respecting marks).
+    Beyond [max_exact] vertices this degrades to structural equality under
+    the given numbering: it may report [false] for renumbered isomorphs,
+    never [true] for non-isomorphs. *)
 val iso : ?mark1:int -> ?mark2:int -> Query.t -> Query.t -> bool

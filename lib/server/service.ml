@@ -255,7 +255,7 @@ let run_job t job =
         |> List.sort (fun (_, a) (_, b) -> compare b a)
         |> List.filteri (fun i _ -> i < 3)
   in
-  let digest = try Gf.Plan.signature (fst (Gf.Db.plan db req.query)) with _ -> "?" in
+  let digest = try Gf.Db.plan_signature db req.query with _ -> "?" in
   let record_id =
     Recorder.record t.recorder ~query:req.text ~plan:digest
       ~outcome:(Governor.outcome_to_string result.Ladder.outcome)
@@ -477,19 +477,24 @@ let attach_store t st =
   t.store <- Some st;
   (* The store's graph is the recovered truth (snapshot + replay); the db
      the service was created with only supplied the genesis state. *)
-  t.db <- Gf.Db.with_graph t.db (Store.graph st);
+  t.db <- Gf.Db.with_graph ~version:(Store.graph_version st) t.db (Store.graph st);
   Store.set_on_merge st (fun version ->
       (* Called under the store's writer lock: re-seat the db on the new
          CSR. The old catalogue's statistics described the old graph, so
-         every entry is invalidated wholesale. *)
+         every entry is invalidated wholesale — and so is the plan cache:
+         its plans were costed against those statistics, and re-keying the
+         db on the new graph version makes any surviving entry unreachable
+         anyway. *)
       let entries = Gf.Catalog.num_entries (Gf.Db.catalog t.db) in
-      t.db <- Gf.Db.with_graph t.db (Store.graph st);
+      t.db <- Gf.Db.with_graph ~version t.db (Store.graph st);
+      (match Gf.Db.plan_cache t.db with
+      | Some cache -> Gf.Plan_cache.invalidate cache
+      | None -> ());
       c_inc "gf_server_catalog_invalidations_total"
         "Catalogue invalidations forced by merged mutations";
       if entries > 0 then
         c_inc ~by:entries "gf_server_catalog_entries_invalidated_total"
-          "Catalogue entries dropped by merge invalidations";
-      ignore version)
+          "Catalogue entries dropped by merge invalidations")
 
 let mutation_text = function
   | M_add_edge { u; v; elabel } -> Printf.sprintf "addedge %d %d %d" u v elabel
@@ -610,6 +615,13 @@ type stats = {
   s_wal_pending : int;
   s_checkpoints : int;
   s_mutations : int;
+  s_plan_cache_hits : int;
+  s_plan_cache_misses : int;
+  s_plan_cache_evictions : int;
+  s_plan_cache_replans : int;
+  s_plan_cache_invalidations : int;
+  s_plan_cache_feedbacks : int;
+  s_plan_cache_entries : int;
 }
 
 (* Counters read by name (0 if never bumped); the latency quantiles come
@@ -619,6 +631,20 @@ let stats t =
   let h = Metrics.histogram "gf_server_request_seconds" in
   let q p = match Metrics.quantile h p with x when Float.is_nan x -> 0.0 | x -> x *. 1e3 in
   let r = Gf.Graph.residency (Gf.Db.graph t.db) in
+  let pc =
+    match Gf.Db.plan_cache t.db with
+    | Some c -> Gf.Plan_cache.stats c
+    | None ->
+        {
+          Gf.Plan_cache.hits = 0;
+          misses = 0;
+          evictions = 0;
+          replans = 0;
+          invalidations = 0;
+          feedbacks = 0;
+          entries = 0;
+        }
+  in
   {
     s_queue_depth = queue_depth t;
     s_breaker = breaker_state t;
@@ -643,4 +669,11 @@ let stats t =
     s_wal_pending = (match t.store with Some st -> Store.pending st | None -> 0);
     s_checkpoints = (match t.store with Some st -> Store.checkpoints st | None -> 0);
     s_mutations = cv "gf_server_mutations_total";
+    s_plan_cache_hits = pc.Gf.Plan_cache.hits;
+    s_plan_cache_misses = pc.Gf.Plan_cache.misses;
+    s_plan_cache_evictions = pc.Gf.Plan_cache.evictions;
+    s_plan_cache_replans = pc.Gf.Plan_cache.replans;
+    s_plan_cache_invalidations = pc.Gf.Plan_cache.invalidations;
+    s_plan_cache_feedbacks = pc.Gf.Plan_cache.feedbacks;
+    s_plan_cache_entries = pc.Gf.Plan_cache.entries;
   }

@@ -196,6 +196,14 @@ type stats = {
   s_wal_pending : int;  (** overlay operations not yet merged *)
   s_checkpoints : int;  (** checkpoints taken since open *)
   s_mutations : int;  (** mutations acknowledged *)
+  s_plan_cache_hits : int;  (** plan-cache counters; all 0 when the db has no
+                                cache attached ({!Gf.Db.create}'s [plan_cache]) *)
+  s_plan_cache_misses : int;
+  s_plan_cache_evictions : int;
+  s_plan_cache_replans : int;  (** drift-triggered re-optimizations *)
+  s_plan_cache_invalidations : int;  (** wholesale drops on merge publication *)
+  s_plan_cache_feedbacks : int;  (** profiled executions folded into corrections *)
+  s_plan_cache_entries : int;  (** live entries *)
 }
 
 val stats : t -> stats

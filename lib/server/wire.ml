@@ -276,7 +276,7 @@ let metrics_resp exposition =
 
 let stats_resp (s : Service.stats) =
   Printf.sprintf
-    "{\"ok\":true,\"queue_depth\":%d,\"breaker\":\"%s\",\"draining\":%b,\"admitted\":%d,\"completed\":%d,\"truncated\":%d,\"failed\":%d,\"retries\":%d,\"slowlog\":%d,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,\"kernel\":\"%s\",\"graph_offheap_bytes\":%d,\"graph_heap_bytes\":%d,\"graph_mapped\":%b,\"graph_nbr_width\":%d,\"graph_version\":%d,\"wal_version\":%d,\"wal_durable\":%d,\"wal_pending\":%d,\"checkpoints\":%d,\"mutations\":%d}"
+    "{\"ok\":true,\"queue_depth\":%d,\"breaker\":\"%s\",\"draining\":%b,\"admitted\":%d,\"completed\":%d,\"truncated\":%d,\"failed\":%d,\"retries\":%d,\"slowlog\":%d,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,\"kernel\":\"%s\",\"graph_offheap_bytes\":%d,\"graph_heap_bytes\":%d,\"graph_mapped\":%b,\"graph_nbr_width\":%d,\"graph_version\":%d,\"wal_version\":%d,\"wal_durable\":%d,\"wal_pending\":%d,\"checkpoints\":%d,\"mutations\":%d,\"plan_cache_hits\":%d,\"plan_cache_misses\":%d,\"plan_cache_evictions\":%d,\"plan_cache_replans\":%d,\"plan_cache_invalidations\":%d,\"plan_cache_feedbacks\":%d,\"plan_cache_entries\":%d}"
     s.Service.s_queue_depth
     (json_escape (Breaker.state_to_string s.Service.s_breaker))
     s.Service.s_draining s.Service.s_admitted s.Service.s_completed s.Service.s_truncated
@@ -285,7 +285,10 @@ let stats_resp (s : Service.stats) =
     s.Service.s_graph_offheap_bytes s.Service.s_graph_heap_bytes s.Service.s_graph_mapped
     s.Service.s_graph_nbr_width s.Service.s_graph_version s.Service.s_wal_version
     s.Service.s_wal_durable s.Service.s_wal_pending s.Service.s_checkpoints
-    s.Service.s_mutations
+    s.Service.s_mutations s.Service.s_plan_cache_hits s.Service.s_plan_cache_misses
+    s.Service.s_plan_cache_evictions s.Service.s_plan_cache_replans
+    s.Service.s_plan_cache_invalidations s.Service.s_plan_cache_feedbacks
+    s.Service.s_plan_cache_entries
 
 (* Embedded query text may contain anything the client typed; the records
    are escaped JSON objects, so the whole reply stays a single line (the

@@ -254,6 +254,63 @@ let test_cost_model_cache_conscious_cheaper () =
     (Printf.sprintf "conscious %f < oblivious %f" conscious oblivious)
     true (conscious < oblivious)
 
+(* A correction multiplier must scale [card] (and so every derived cost)
+   for exactly the requested subset, leaving others at the raw estimate. *)
+let test_corrections_scale_card () =
+  let g = graph () in
+  let cat = cat_of g in
+  let q = Patterns.asymmetric_triangle in
+  let base = Cost_model.create cat q in
+  let full = Bitset.full 3 in
+  let corrected =
+    Cost_model.create ~corrections:(fun s -> if s = full then 8.0 else 1.0) cat q
+  in
+  let b = Cost_model.card base full in
+  check_bool "raw card positive" true (b > 0.0);
+  Alcotest.(check (float 1e-6)) "corrected = 8x raw" (8.0 *. b) (Cost_model.card corrected full);
+  let pair = Bitset.of_list [ 0; 1 ] in
+  Alcotest.(check (float 1e-6))
+    "untouched subset unchanged" (Cost_model.card base pair) (Cost_model.card corrected pair)
+
+(* Non-finite q-errors must render as valid JSON ([null]) and as readable
+   text — a [-inf] slipping through %.6g would break every JSON consumer. *)
+let nonfinite_row =
+  {
+    Gf_opt.Explain.id = 0;
+    label = "E/I a3 <- a1,a2";
+    kind = Gf_exec.Profile.Extend;
+    depth = 0;
+    est_card = infinity;
+    act_card = 3;
+    card_q = neg_infinity;
+    est_cost = 1.5;
+    act_cost = 2.5;
+    cost_q = Some nan;
+    time_s = 0.001;
+    cache_hits = 0;
+    intersections = 1;
+    hj_build = 0;
+    hj_probe = 0;
+  }
+
+let contains re s =
+  try
+    ignore (Str.search_forward (Str.regexp re) s 0);
+    true
+  with Not_found -> false
+
+let test_explain_json_nonfinite () =
+  let json = Gf_opt.Explain.rows_to_json [ nonfinite_row ] in
+  check_bool "no bare inf" false (contains "[^\"]inf" json);
+  check_bool "no 1e999" false (contains "1e999" json);
+  check_bool "est_card null" true (contains "\"est_card\":null" json);
+  check_bool "card_q null" true (contains "\"card_q_error\":null" json);
+  check_bool "cost_q null" true (contains "\"cost_q_error\":null" json)
+
+let test_explain_text_nonfinite () =
+  let txt = Gf_opt.Explain.to_string [ nonfinite_row ] in
+  check_bool "negative infinity q-error rendered" true (contains "-inf" txt)
+
 let suite =
   [
     ( "optimizer.planner",
@@ -282,5 +339,12 @@ let suite =
         Alcotest.test_case "calibration degenerate" `Quick test_calibration_degenerate;
         Alcotest.test_case "card matches" `Slow test_cost_model_card_matches_catalog;
         Alcotest.test_case "conscious cheaper" `Quick test_cost_model_cache_conscious_cheaper;
+        Alcotest.test_case "corrections scale card" `Quick test_corrections_scale_card;
+      ] );
+    ( "optimizer.explain",
+      [
+        Alcotest.test_case "non-finite q-errors valid JSON" `Quick
+          test_explain_json_nonfinite;
+        Alcotest.test_case "non-finite q-errors in text" `Quick test_explain_text_nonfinite;
       ] );
   ]

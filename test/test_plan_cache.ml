@@ -1,0 +1,215 @@
+(* The plan cache: hit/miss/replan accounting, canonical-space skeleton
+   instantiation across renumbered isomorphs, graph-version invalidation,
+   drift-triggered re-optimization, LRU bounds, and thread safety. *)
+
+module Gf = Graphflow
+module Plan_cache = Gf.Plan_cache
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let graph () =
+  Gf.Generators.holme_kim (Gf.Rng.create 81) ~n:200 ~m_per:4 ~p_triad:0.5 ~recip:0.3
+
+let db_with_cache ?(capacity = 16) () =
+  let cache = Plan_cache.create ~capacity () in
+  (Gf.Db.create ~z:200 ~plan_cache:cache (graph ()), cache)
+
+let triangle = Gf.Db.parse_query "a1->a2, a2->a3, a1->a3"
+
+(* The same labeled shape as [triangle], submitted under a different vertex
+   numbering (the scanned edge differs, every edge is renamed). *)
+let triangle_renumbered = Gf.Db.parse_query "a3->a1, a1->a2, a3->a2"
+
+let test_hit_on_resubmission () =
+  let db, cache = db_with_cache () in
+  let expected = Gf.Naive.count (Gf.Db.graph db) triangle in
+  check_int "first run" expected (Gf.Db.count db triangle);
+  check_int "second run" expected (Gf.Db.count db triangle);
+  let s = Plan_cache.stats cache in
+  check_int "one miss" 1 s.Plan_cache.misses;
+  check_bool "hits recorded" true (s.Plan_cache.hits >= 1);
+  check_int "one entry" 1 s.Plan_cache.entries;
+  let p1, _ = Gf.Db.plan db triangle in
+  let p2, _ = Gf.Db.plan db triangle in
+  check_string "same signature" (Gf.Plan.signature p1) (Gf.Plan.signature p2)
+
+let test_isomorph_shares_entry () =
+  let db, cache = db_with_cache () in
+  let expected = Gf.Naive.count (Gf.Db.graph db) triangle in
+  check_int "original numbering" expected (Gf.Db.count db triangle);
+  (* The renumbered isomorph must be served from the same entry — and the
+     instantiated plan must be correct for ITS numbering, not the cached
+     query's. *)
+  check_int "renumbered isomorph" expected (Gf.Db.count db triangle_renumbered);
+  let s = Plan_cache.stats cache in
+  check_int "single template" 1 s.Plan_cache.entries;
+  check_int "no second miss" 1 s.Plan_cache.misses;
+  check_bool "served from cache" true (s.Plan_cache.hits >= 1)
+
+let test_version_bump_misses () =
+  let db, cache = db_with_cache () in
+  ignore (Gf.Db.plan db triangle);
+  let s0 = Plan_cache.stats cache in
+  check_int "miss then" 1 s0.Plan_cache.misses;
+  (* Re-seating on a graph (the merge-publication path) advances the version:
+     the old entry must not be served. *)
+  let db2 = Gf.Db.with_graph db (graph ()) in
+  check_bool "version advanced" true (Gf.Db.graph_version db2 > Gf.Db.graph_version db);
+  ignore (Gf.Db.plan db2 triangle);
+  let s1 = Plan_cache.stats cache in
+  check_int "stale version misses" 2 s1.Plan_cache.misses;
+  check_int "replaced, not duplicated" 1 s1.Plan_cache.entries
+
+let test_invalidate () =
+  let db, cache = db_with_cache () in
+  ignore (Gf.Db.plan db triangle);
+  ignore (Gf.Db.plan db Gf.Patterns.diamond_x);
+  check_int "two entries" 2 (Plan_cache.stats cache).Plan_cache.entries;
+  Plan_cache.invalidate cache;
+  let s = Plan_cache.stats cache in
+  check_int "empty" 0 s.Plan_cache.entries;
+  check_int "one invalidation" 1 s.Plan_cache.invalidations
+
+(* Synthetic q-error sequence: feed observations whose actuals dwarf the
+   estimates; the correction EWMA must cross the drift threshold, mark the
+   entry stale, and the next lookup must replan (with corrections applied). *)
+let test_drift_triggers_replan () =
+  let db, cache = db_with_cache () in
+  let cat = Gf.Db.catalog db in
+  let opts = Gf.Planner.default_opts in
+  let r0 = Plan_cache.lookup cache ~opts ~graph_version:0 cat triangle in
+  check_bool "cold lookup misses" true (r0.Plan_cache.outcome = Plan_cache.Miss);
+  let synthetic_rows plan act =
+    Gf.Plan.operators plan |> Array.to_list
+    |> List.map (fun (_, id) ->
+           {
+             Gf.Explain.id;
+             label = "synthetic";
+             kind = Gf.Profile.Scan;
+             depth = 0;
+             est_card = 10.0;
+             act_card = act;
+             card_q = 1.0;
+             est_cost = 0.0;
+             act_cost = 0.0;
+             cost_q = None;
+             time_s = 0.0;
+             cache_hits = 0;
+             intersections = 0;
+             hj_build = 0;
+             hj_probe = 0;
+           })
+  in
+  check_bool "fresh entry not stale" false (Plan_cache.is_stale cache triangle);
+  Plan_cache.observe cache ~graph_version:0 triangle r0.Plan_cache.plan
+    (synthetic_rows r0.Plan_cache.plan 1_000_000);
+  check_bool "drift marked" true (Plan_cache.is_stale cache triangle);
+  let r1 = Plan_cache.lookup cache ~opts ~graph_version:0 cat triangle in
+  check_bool "stale entry replans" true (r1.Plan_cache.outcome = Plan_cache.Replan);
+  let s = Plan_cache.stats cache in
+  check_int "replan counted" 1 s.Plan_cache.replans;
+  check_bool "feedback counted" true (s.Plan_cache.feedbacks >= 1);
+  (* Each replan snapshots the corrections in force; a replanned plan may
+     surface operator subsets not yet corrected (drift again), but the
+     subset space is finite, so the same observation stream must stop
+     triggering replans within a few rounds. *)
+  let rec converge n plan =
+    check_bool "converges within a few replans" true (n < 6);
+    Plan_cache.observe cache ~graph_version:0 triangle plan (synthetic_rows plan 1_000_000);
+    if Plan_cache.is_stale cache triangle then begin
+      let r = Plan_cache.lookup cache ~opts ~graph_version:0 cat triangle in
+      check_bool "stale replans" true (r.Plan_cache.outcome = Plan_cache.Replan);
+      converge (n + 1) r.Plan_cache.plan
+    end
+  in
+  converge 0 r1.Plan_cache.plan;
+  let r2 = Plan_cache.lookup cache ~opts ~graph_version:0 cat triangle in
+  check_bool "post-convergence hit" true (r2.Plan_cache.outcome = Plan_cache.Hit)
+
+let test_bounded_eviction () =
+  let db, cache = db_with_cache ~capacity:4 () in
+  for i = 1 to 8 do
+    ignore (Gf.Db.plan db (Gf.Patterns.q i))
+  done;
+  let s = Plan_cache.stats cache in
+  check_bool "bounded" true (s.Plan_cache.entries <= 4);
+  check_int "evictions" 4 s.Plan_cache.evictions;
+  check_int "all cold" 8 s.Plan_cache.misses;
+  (* Recency: the last-planned templates survived. *)
+  check_bool "mru survives" true (Plan_cache.mem cache (Gf.Patterns.q 8));
+  check_bool "lru evicted" false (Plan_cache.mem cache (Gf.Patterns.q 1))
+
+let test_large_pattern_fallback () =
+  (* 9 vertices exceeds Canon's exact canonicalization: the structural
+     fallback key must cache (and hit) instead of raising. *)
+  let db, cache = db_with_cache () in
+  let nine_path = Gf.Patterns.path 9 in
+  let p1, _ = Gf.Db.plan db nine_path in
+  let p2, _ = Gf.Db.plan db nine_path in
+  check_string "same plan" (Gf.Plan.signature p1) (Gf.Plan.signature p2);
+  let s = Plan_cache.stats cache in
+  check_int "one miss" 1 s.Plan_cache.misses;
+  check_bool "fallback key hits" true (s.Plan_cache.hits >= 1)
+
+let test_racing_clients () =
+  let db, cache = db_with_cache () in
+  let queries =
+    [| triangle; triangle_renumbered; Gf.Patterns.diamond_x; Gf.Patterns.cycle 4 |]
+  in
+  let expected = Array.map (Gf.Naive.count (Gf.Db.graph db)) queries in
+  let per_thread = 12 and threads = 6 in
+  let failures = Atomic.make 0 in
+  let worker k () =
+    for i = 0 to per_thread - 1 do
+      let j = (k + i) mod Array.length queries in
+      if Gf.Db.count db queries.(j) <> expected.(j) then Atomic.incr failures
+    done
+  in
+  let ts = List.init threads (fun k -> Thread.create (worker k) ()) in
+  List.iter Thread.join ts;
+  check_int "all results correct" 0 (Atomic.get failures);
+  let s = Plan_cache.stats cache in
+  (* triangle and its renumbering share one template. *)
+  check_int "templates" 3 s.Plan_cache.entries;
+  check_int "every lookup accounted" (threads * per_thread)
+    (s.Plan_cache.hits + s.Plan_cache.misses + s.Plan_cache.replans)
+
+(* run_gov's feedback path: warmup executions run profiled and fold
+   observations without failing requests. *)
+let test_run_gov_feedback () =
+  let db, cache = db_with_cache () in
+  for _ = 1 to 5 do
+    ignore (Gf.Db.run_gov db triangle)
+  done;
+  let s = Plan_cache.stats cache in
+  check_bool "warmup runs fed back" true (s.Plan_cache.feedbacks >= 1);
+  check_bool "hits recorded" true (s.Plan_cache.hits >= 3)
+
+let test_explain_analyze_feeds_cache () =
+  let db, cache = db_with_cache () in
+  let a = Gf.Db.explain_analyze db triangle in
+  check_bool "completed" true (a.Gf.Db.outcome = Gf.Governor.Completed);
+  let s = Plan_cache.stats cache in
+  check_bool "profiled run observed" true (s.Plan_cache.feedbacks >= 1)
+
+let suite =
+  [
+    ( "plan_cache",
+      [
+        Alcotest.test_case "hit on resubmission" `Quick test_hit_on_resubmission;
+        Alcotest.test_case "renumbered isomorph shares entry" `Quick
+          test_isomorph_shares_entry;
+        Alcotest.test_case "graph version bump misses" `Quick test_version_bump_misses;
+        Alcotest.test_case "invalidate drops all" `Quick test_invalidate;
+        Alcotest.test_case "drift triggers replan" `Quick test_drift_triggers_replan;
+        Alcotest.test_case "bounded LRU eviction" `Quick test_bounded_eviction;
+        Alcotest.test_case "fallback key beyond 8 vertices" `Quick
+          test_large_pattern_fallback;
+        Alcotest.test_case "racing clients" `Quick test_racing_clients;
+        Alcotest.test_case "run_gov feedback" `Quick test_run_gov_feedback;
+        Alcotest.test_case "explain_analyze feeds cache" `Quick
+          test_explain_analyze_feeds_cache;
+      ] );
+  ]

@@ -159,6 +159,32 @@ let prop_canon_invariant =
       let q2 = Query.relabel_vertices q perm in
       fst (Canon.code q) = fst (Canon.code q2))
 
+(* Beyond [Canon.max_exact] vertices, [code] must not raise: it degrades to
+   a structural fallback key ("#"-prefixed, disjoint from true canonical
+   codes) that is stable across calls and never aliases distinct shapes. *)
+let test_canon_large_fallback () =
+  let nine = Patterns.path 9 in
+  let code, perm = Canon.code nine in
+  check_bool "fallback prefixed" true (String.length code > 0 && code.[0] = '#');
+  check_bool "identity perm" true (Array.to_list perm = List.init 9 Fun.id);
+  (* Memoized: a second call returns the identical key. *)
+  Alcotest.(check string) "stable across calls" code (fst (Canon.code nine));
+  (* Distinct large shapes get distinct keys. *)
+  check_bool "no aliasing" false (code = fst (Canon.code (Patterns.cycle 9)));
+  (* Exact codes never collide with fallback keys. *)
+  check_bool "disjoint from exact codes" false ((fst (Canon.code dx)).[0] = '#');
+  (* iso degrades to structural equality, staying reflexive. *)
+  check_bool "iso reflexive" true (Canon.iso nine (Patterns.path 9));
+  check_bool "iso distinguishes" false (Canon.iso nine (Patterns.cycle 9))
+
+let test_canon_memo_consistency () =
+  (* Memoized and fresh computations agree, including with marks. *)
+  let t = Patterns.tailed_triangle in
+  let a = fst (Canon.code ~mark:2 t) in
+  let b = fst (Canon.code ~mark:2 t) in
+  Alcotest.(check string) "marked memo stable" a b;
+  check_bool "mark keys distinct from unmarked" false (a = fst (Canon.code t))
+
 (* ---------- Parser ---------- *)
 
 let test_parser_triangle () =
@@ -260,6 +286,8 @@ let suite =
         Alcotest.test_case "distinguishes" `Quick test_canon_distinguishes;
         Alcotest.test_case "marks" `Quick test_canon_mark;
         Alcotest.test_case "perm consistent" `Quick test_canon_perm_is_consistent;
+        Alcotest.test_case "large-pattern fallback" `Quick test_canon_large_fallback;
+        Alcotest.test_case "memo consistency" `Quick test_canon_memo_consistency;
         q prop_canon_invariant;
       ] );
     ( "query.parser",

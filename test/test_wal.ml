@@ -503,6 +503,48 @@ let test_service_mutations () =
       Service.drain svc;
       Store.close st)
 
+(* The merge-publication hook must invalidate the plan cache: cached plans
+   were costed against the pre-merge catalogue, and the advanced graph
+   version makes them unreachable anyway. *)
+let test_service_plan_cache_invalidation () =
+  with_temp_dir (fun dir ->
+      let st = Result.get_ok (Store.open_store ~config:store_cfg ~init:(small_graph ()) dir) in
+      let cache = Gf.Plan_cache.create () in
+      let svc =
+        Service.create ~config:service_config
+          (Gf.Db.create ~plan_cache:cache (small_graph ()))
+      in
+      Service.attach_store svc st;
+      let q = Gf.Patterns.q 1 in
+      let submit () =
+        match Service.submit svc (Service.request q) with
+        | Ok _ -> ()
+        | Error _ -> Alcotest.fail "query must be admitted"
+      in
+      submit ();
+      submit ();
+      let s1 = Service.stats svc in
+      check_bool "identical resubmission hits" true (s1.Service.s_plan_cache_hits >= 1);
+      check_bool "cold submission missed" true (s1.Service.s_plan_cache_misses >= 1);
+      (* addedge + checkpoint merges the overlay and bumps graph_version:
+         the hook must drop every cached plan. *)
+      (match Service.mutate svc (Service.M_add_edge { u = 0; v = 3; elabel = 0 }) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Service.mutation_error_to_string e));
+      (match Service.mutate svc Service.M_checkpoint with
+      | Ok r -> check_bool "merge advanced version" true (r.Service.m_graph_version > 0)
+      | Error e -> Alcotest.fail (Service.mutation_error_to_string e));
+      let s2 = Service.stats svc in
+      check_bool "merge invalidated the cache" true
+        (s2.Service.s_plan_cache_invalidations >= 1);
+      check_int "cache emptied" 0 s2.Service.s_plan_cache_entries;
+      submit ();
+      let s3 = Service.stats svc in
+      check_bool "post-merge resubmission re-plans" true
+        (s3.Service.s_plan_cache_misses > s2.Service.s_plan_cache_misses);
+      Service.drain svc;
+      Store.close st)
+
 let suite =
   [
     ( "wal.crc32",
@@ -539,5 +581,9 @@ let suite =
           test_store_auto_merge_and_invalidation;
       ] );
     ( "wal.service",
-      [ Alcotest.test_case "durable mutations end to end" `Quick test_service_mutations ] );
+      [
+        Alcotest.test_case "durable mutations end to end" `Quick test_service_mutations;
+        Alcotest.test_case "merge invalidates plan cache" `Quick
+          test_service_plan_cache_invalidation;
+      ] );
   ]
