@@ -1328,6 +1328,158 @@ let plan_cache_bench () =
     s.Gf.Plan_cache.entries s.Gf.Plan_cache.hits s.Gf.Plan_cache.misses
     s.Gf.Plan_cache.replans s.Gf.Plan_cache.feedbacks
 
+(* ------------------------------------------------------------------ *)
+(* Cluster: sharded serving overhead, straggler hedging.               *)
+(* ------------------------------------------------------------------ *)
+
+let cluster () =
+  header
+    "Cluster: coordinator + workers vs single process (NOTE: container has 1 physical core)";
+  let module Service = Gf_server.Service in
+  let module Server = Gf_server.Server in
+  let module Worker = Gf_cluster.Worker in
+  let module Topology = Gf_cluster.Topology in
+  let module Coordinator = Gf_cluster.Coordinator in
+  let g = dataset_at (Gf.Generators.Amazon, scale *. 0.5) in
+  let db = Gf.Db.create g in
+  let dir = Filename.temp_file "gfclu-bench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let start_worker ?slow_s name =
+    let svc = Service.create (Gf.Db.create g) in
+    let w =
+      Worker.create ?slow_s ~node:name ~n:(Gf.Graph.num_vertices g)
+        ~m:(Gf.Graph.num_edges g) svc
+    in
+    let path = Filename.concat dir (name ^ ".sock") in
+    let ready_m = Mutex.create () and ready_cv = Condition.create () in
+    let ready = ref false in
+    let th =
+      Thread.create
+        (fun () ->
+          Server.serve ~hook:(Worker.hook w)
+            ~on_ready:(fun _ ->
+              Mutex.lock ready_m;
+              ready := true;
+              Condition.broadcast ready_cv;
+              Mutex.unlock ready_m)
+            svc (Server.Unix_path path))
+        ()
+    in
+    Mutex.lock ready_m;
+    while not !ready do
+      Condition.wait ready_cv ready_m
+    done;
+    Mutex.unlock ready_m;
+    (path, th)
+  in
+  let stop_worker (path, th) =
+    (try
+       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+       Unix.connect fd (Unix.ADDR_UNIX path);
+       let oc = Unix.out_channel_of_descr fd in
+       output_string oc "shutdown\n";
+       flush oc;
+       (try ignore (input_line (Unix.in_channel_of_descr fd)) with _ -> ());
+       Unix.close fd
+     with Unix.Unix_error _ | Sys_error _ -> ());
+    Thread.join th
+  in
+  let topo_of paths =
+    let k = Array.length paths in
+    let lines =
+      List.init k (fun i ->
+          Printf.sprintf "shard %d unix:%s unix:%s" i paths.(i) paths.((i + 1) mod k))
+    in
+    match Topology.parse (String.concat "\n" lines ^ "\n") with
+    | Ok t -> t
+    | Error m -> failwith m
+  in
+  let coord_config ~hedge =
+    {
+      Coordinator.default_config with
+      Coordinator.hedge_after_s = hedge;
+      probe_interval_s = 0.5;
+      retries = 2;
+    }
+  in
+  let req text =
+    match Gf_server.Wire.parse_request ("run q=" ^ text) with
+    | Ok (Gf_server.Wire.Run r) -> r
+    | _ -> failwith "bench request"
+  in
+  (* Part 1: per-query latency, single process vs sharded topologies. On
+     one core sharding buys no speedup — the delta IS the wire + fan-out
+     overhead, which is the honest number to watch. *)
+  let queries = [ ("Q1", Gf.Patterns.q 1); ("Q2", Gf.Patterns.q 2); ("Q14", Gf.Patterns.q 14) ] in
+  Printf.printf "%-6s %12s %12s %12s\n" "query" "single" "1x2" "1x4";
+  let topo_sizes = [ 2; 4 ] in
+  List.iter
+    (fun (label, q) ->
+      let t_single, _ = time_warm (fun () -> Gf.Db.run_gov db q) in
+      let t_topo =
+        List.map
+          (fun k ->
+            let ws = Array.init k (fun i -> start_worker (Printf.sprintf "%s-w%d" label i)) in
+            let coord =
+              Coordinator.create ~config:(coord_config ~hedge:None)
+                (topo_of (Array.map fst ws))
+            in
+            let run () =
+              let r = Coordinator.run coord ~text:label (req label) in
+              if r.Coordinator.r_outcome <> "completed" then failwith "bench run degraded"
+            in
+            run () (* warm connections *);
+            let t, () = time_warm run in
+            Coordinator.stop coord;
+            Array.iter stop_worker ws;
+            t)
+          topo_sizes
+      in
+      Printf.printf "%-6s %11.3fs %11.3fs %11.3fs\n" label t_single (List.nth t_topo 0)
+        (List.nth t_topo 1))
+    queries;
+  (* Part 2: one straggling worker (50 ms stall per shard request) in a
+     1x4 topology. Hedging re-issues the stalled shard to its replica
+     after 20 ms; p99 should collapse toward the healthy path. *)
+  subheader "throughput and p99 under one slow worker (1x4, Q1), hedging off vs on";
+  let run_batch ~hedge n =
+    let ws =
+      Array.init 4 (fun i ->
+          if i = 0 then start_worker ~slow_s:0.05 "slow-w0"
+          else start_worker (Printf.sprintf "str-w%d" i))
+    in
+    let coord = Coordinator.create ~config:(coord_config ~hedge) (topo_of (Array.map fst ws)) in
+    let lat = Array.make n 0.0 in
+    let r0 = Coordinator.run coord ~text:"Q1" (req "Q1") in
+    if r0.Coordinator.r_outcome <> "completed" then failwith "bench straggler run degraded";
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to n - 1 do
+      let s = Unix.gettimeofday () in
+      ignore (Coordinator.run coord ~text:"Q1" (req "Q1"));
+      lat.(i) <- Unix.gettimeofday () -. s
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    let hedges =
+      match Gf_cluster.Proto.json_int (Coordinator.stats_json coord) "hedges" with
+      | Some h -> h
+      | None -> 0
+    in
+    Coordinator.stop coord;
+    Array.iter stop_worker ws;
+    Array.sort compare lat;
+    let pct p = lat.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1)) in
+    (float_of_int n /. wall, pct 0.50, pct 0.99, hedges)
+  in
+  let n = 40 in
+  let thr_off, p50_off, p99_off, _ = run_batch ~hedge:None n in
+  let thr_on, p50_on, p99_on, hedges = run_batch ~hedge:(Some 0.02) n in
+  Printf.printf "hedge off: %6.1f req/s  p50 %6.1fms  p99 %6.1fms\n" thr_off (p50_off *. 1e3)
+    (p99_off *. 1e3);
+  Printf.printf "hedge on:  %6.1f req/s  p50 %6.1fms  p99 %6.1fms  (%d hedges fired)\n" thr_on
+    (p50_on *. 1e3) (p99_on *. 1e3) hedges;
+  Printf.printf "p99 improvement from hedging: %.1fx\n" (p99_off /. Float.max p99_on 1e-9)
+
 let sections =
   [
     ("table3", table3);
@@ -1358,6 +1510,7 @@ let sections =
     ("storage", storage);
     ("durability", durability);
     ("plan_cache", plan_cache_bench);
+    ("cluster", cluster);
     ("bechamel", bechamel_suite);
   ]
 

@@ -508,18 +508,132 @@ let serve_cmd =
              canonical pattern + graph version) and converge on true-cost plans via \
              profiled-execution feedback. 0 disables the cache.")
   in
+  let worker_node =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "worker" ] ~docv:"NODE"
+          ~doc:
+            "Cluster worker role: answer hello handshakes and shard requests (ranged slices \
+             of a query's driving scan) on top of the normal wire protocol. NODE is this \
+             worker's id in handshakes and shard replies.")
+  in
+  let coordinator =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "coordinator" ] ~docv:"FILE"
+          ~doc:
+            "Cluster coordinator role: route each run request as shard requests to the \
+             workers listed in FILE (lines of 'shard <id> <endpoint> [<replica>...]'), with \
+             per-shard circuit breakers, health-aware replica failover, and request \
+             hedging. Needs no local graph.")
+  in
+  let attach_snap =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "attach-snapshot" ] ~docv:"DIR"
+          ~doc:
+            "Serve the newest valid snapshot in a store directory read-only — no WAL \
+             replay, no write lock, instant start. The worker-role fast path: many workers \
+             can attach the same store.")
+  in
+  let hedge_ms =
+    Arg.(
+      value & opt int 250
+      & info [ "hedge-ms" ] ~docv:"MS"
+          ~doc:
+            "Coordinator: hedge a shard request to the next replica after MS without an \
+             answer (0 disables hedging).")
+  in
+  let rpc_timeout_ms =
+    Arg.(
+      value & opt int 10_000
+      & info [ "rpc-timeout-ms" ] ~docv:"MS" ~doc:"Coordinator: per-attempt shard RPC deadline.")
+  in
+  let cluster_retries =
+    Arg.(
+      value & opt int 2
+      & info [ "cluster-retries" ] ~docv:"N"
+          ~doc:"Coordinator: extra endpoint attempts per shard after the first fails.")
+  in
   let go graph_file dataset scale labels seed kernel socket port host workers queue domains
       timeout_ms max_rows max_intermediate degraded_timeout_ms backoff_ms backoff_cap_ms
       breaker_window breaker_min breaker_threshold breaker_cooldown_ms fault_seed data_dir
-      merge_threshold segment_bytes sync_every_append snapshots_kept plan_cache_cap =
+      merge_threshold segment_bytes sync_every_append snapshots_kept plan_cache_cap
+      worker_node coordinator attach_snap hedge_ms rpc_timeout_ms cluster_retries =
     apply_kernel kernel;
     let endpoint = endpoint_arg_of socket port host in
+    let breaker =
+      {
+        Gf_server.Breaker.window = breaker_window;
+        min_samples = breaker_min;
+        failure_threshold = breaker_threshold;
+        cooldown_s = float_of_int breaker_cooldown_ms /. 1000.;
+      }
+    in
+    match coordinator with
+    | Some conf_file ->
+        (* Coordinator role: no local graph — the hook answers every
+           data-path line from the cluster; only ping/metrics/shutdown fall
+           through to the (empty) hosting service. *)
+        let topo =
+          match Gf_cluster.Topology.load conf_file with
+          | Ok t -> t
+          | Error m -> die ("coordinator: " ^ m)
+        in
+        let config =
+          {
+            Gf_cluster.Coordinator.default_config with
+            rpc_timeout_s = float_of_int rpc_timeout_ms /. 1000.;
+            retries = cluster_retries;
+            hedge_after_s =
+              (if hedge_ms <= 0 then None else Some (float_of_int hedge_ms /. 1000.));
+            breaker;
+          }
+        in
+        let coord = Gf_cluster.Coordinator.create ~config topo in
+        let db =
+          Gf.Db.create (Gf.Graph.build ~num_vlabels:1 ~num_elabels:1 ~vlabel:[||] ~edges:[||])
+        in
+        let service = Gf_server.Service.create db in
+        Gf_server.Server.serve
+          ~hook:(Gf_cluster.Coordinator.hook coord)
+          ~on_ready:(fun ep ->
+            Format.printf
+              "gfq serve: coordinator listening on %s (%d shards, hedge=%dms \
+               rpc-timeout=%dms retries=%d)@."
+              (endpoint_to_string ep)
+              (Gf_cluster.Topology.num_shards topo)
+              hedge_ms rpc_timeout_ms cluster_retries;
+            Format.print_flush ())
+          service endpoint;
+        Gf_cluster.Coordinator.stop coord;
+        Format.printf "gfq serve: drained, exiting@."
+    | None ->
+    if attach_snap <> None && data_dir <> None then
+      die "provide --attach-snapshot or --data-dir, not both";
+    let attached =
+      Option.map
+        (fun dir ->
+          match Gf_wal.Store.attach_snapshot dir with
+          | Ok (file, wv, g) ->
+              Format.printf "gfq serve: attached snapshot %s v%d (read-only, n=%d m=%d)@."
+                file wv (Gf.Graph.num_vertices g) (Gf.Graph.num_edges g);
+              g
+          | Error m -> die ("attach-snapshot: " ^ m))
+        attach_snap
+    in
     let g =
-      match (data_dir, graph_file, dataset) with
-      | Some _, None, None ->
-          (* Durable store with no genesis source: start empty (or recover). *)
-          Gf.Graph.build ~num_vlabels:1 ~num_elabels:1 ~vlabel:[||] ~edges:[||]
-      | _ -> load_graph graph_file dataset scale labels seed
+      match attached with
+      | Some g -> g
+      | None -> (
+          match (data_dir, graph_file, dataset) with
+          | Some _, None, None ->
+              (* Durable store with no genesis source: start empty (or recover). *)
+              Gf.Graph.build ~num_vlabels:1 ~num_elabels:1 ~vlabel:[||] ~edges:[||]
+          | _ -> load_graph graph_file dataset scale labels seed)
     in
     let store =
       Option.map
@@ -571,28 +685,38 @@ let serve_cmd =
         backoff_cap_s = float_of_int backoff_cap_ms /. 1000.;
       }
     in
-    let breaker =
-      {
-        Gf_server.Breaker.window = breaker_window;
-        min_samples = breaker_min;
-        failure_threshold = breaker_threshold;
-        cooldown_s = float_of_int breaker_cooldown_ms /. 1000.;
-      }
-    in
     let config =
       { Gf_server.Service.default_config with queue_capacity = queue; workers; ladder; breaker; fault_seed; seed }
     in
     let service = Gf_server.Service.create ~config db in
     Option.iter (Gf_server.Service.attach_store service) store;
-    Gf_server.Server.serve
+    let hook =
+      match worker_node with
+      | None -> None
+      | Some node ->
+          if Gf_cluster.Cfault.arm_from_env () then
+            Format.printf "gfq serve: cluster fault armed from GFQ_CLUSTER_FAULT@.";
+          let served =
+            match store with Some st -> Gf_wal.Store.graph st | None -> g
+          in
+          let w =
+            Gf_cluster.Worker.create ~node
+              ~n:(Gf.Graph.num_vertices served)
+              ~m:(Gf.Graph.num_edges served)
+              service
+          in
+          Some (Gf_cluster.Worker.hook w)
+    in
+    Gf_server.Server.serve ?hook
       ~on_ready:(fun ep ->
         Format.printf
-          "gfq serve: listening on %s (workers=%d queue=%d domains=%d plan-cache=%d%s%s)@."
+          "gfq serve: listening on %s (workers=%d queue=%d domains=%d plan-cache=%d%s%s%s)@."
           (endpoint_to_string ep) workers queue domains (max 0 plan_cache_cap)
           (match fault_seed with
           | Some s -> Printf.sprintf " fault-seed=%d" s
           | None -> "")
-          (match data_dir with Some d -> " data-dir=" ^ d | None -> "");
+          (match data_dir with Some d -> " data-dir=" ^ d | None -> "")
+          (match worker_node with Some n -> " worker=" ^ n | None -> "");
         Format.print_flush ())
       service endpoint;
     Option.iter Gf_wal.Store.close store;
@@ -603,16 +727,292 @@ let serve_cmd =
        ~doc:
          "Serve queries over a socket: bounded admission queue, retry-with-degradation \
           ladder, circuit breaker, graceful drain on shutdown. With --data-dir, durable \
-          graph mutations (write-ahead logged, crash-recoverable).")
+          graph mutations (write-ahead logged, crash-recoverable). With --worker or \
+          --coordinator, a node of a fault-tolerant sharded cluster.")
     Term.(
       const go $ graph_file $ dataset $ scale $ labels $ seed $ kernel_arg $ socket_arg
       $ port_arg $ host_arg $ workers $ queue $ domains $ timeout_ms $ max_rows
       $ max_intermediate $ degraded_timeout_ms $ backoff_ms $ backoff_cap_ms
       $ breaker_window $ breaker_min $ breaker_threshold $ breaker_cooldown_ms $ fault_seed
       $ data_dir $ merge_threshold $ segment_bytes $ sync_every_append $ snapshots_kept
-      $ plan_cache_cap)
+      $ plan_cache_cap $ worker_node $ coordinator $ attach_snap $ hedge_ms $ rpc_timeout_ms
+      $ cluster_retries)
 
 (* --- soak: a concurrent client driver for CI and load checks ----------- *)
+
+(* Multi-process cluster torture: spawn real worker and coordinator
+   processes (this very binary) on unix sockets in a temp dir, drive the
+   coordinator, and check that every reply is honestly classified even
+   while a worker kill-9s itself between shard dispatch and reply. *)
+let cluster_soak spec ~dataset ~scale ~clients ~requests ~soak_seed ~connect_timeout_s
+    ~replicas ~kill_worker ~crash =
+  let n_coord, n_workers =
+    match String.split_on_char 'x' spec with
+    | [ c; w ] -> (
+        match (int_of_string_opt c, int_of_string_opt w) with
+        | Some c, Some w when c >= 1 && w >= 1 -> (c, w)
+        | _ -> die "soak: --topology expects CxW, e.g. 1x4")
+    | _ -> die "soak: --topology expects CxW, e.g. 1x4"
+  in
+  if n_coord <> 1 then die "soak: only one coordinator is supported (use 1xW)";
+  let dir = Filename.temp_file "gfq-cluster" "" in
+  Unix.unlink dir;
+  Unix.mkdir dir 0o700;
+  Printf.printf "soak: cluster dir %s\n%!" dir;
+  (* Genesis graph -> read-only snapshot every worker attaches. *)
+  let dname = Option.value dataset ~default:"amazon" in
+  let g = load_graph None (Some dname) scale 1 7 in
+  let store_dir = Filename.concat dir "store" in
+  Unix.mkdir store_dir 0o700;
+  Gf.Graph_io.save_snapshot g (Filename.concat store_dir "snap.0000000000000001.gfq");
+  let triangle = "a1->a2, a2->a3, a1->a3" in
+  let square = "a1->a2, a2->a3, a3->a4, a1->a4" in
+  (* Ground truth: a completed cluster reply must carry exactly this count —
+     anything less is a silent undercount and fails the soak. *)
+  let expected = Gf.Db.count (Gf.Db.create g) (parse_query triangle) in
+  let wsock i = Filename.concat dir (Printf.sprintf "w%d.sock" i) in
+  let csock = Filename.concat dir "coord.sock" in
+  let base_env =
+    Array.of_list
+      (List.filter
+         (fun kv -> not (String.length kv >= 18 && String.sub kv 0 18 = "GFQ_CLUSTER_FAULT="))
+         (Array.to_list (Unix.environment ())))
+  in
+  let spawn argv ~log ~fault =
+    let env =
+      match fault with
+      | None -> base_env
+      | Some f -> Array.append base_env [| "GFQ_CLUSTER_FAULT=" ^ f |]
+    in
+    let fd = Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+    let pid = Unix.create_process_env Sys.executable_name argv env Unix.stdin fd fd in
+    Unix.close fd;
+    pid
+  in
+  let worker_argv i =
+    [|
+      Sys.executable_name; "serve"; "--worker"; Printf.sprintf "w%d" i;
+      "--attach-snapshot"; store_dir; "--socket"; wsock i; "--workers"; "2";
+    |]
+  in
+  let spawn_worker ?fault i =
+    spawn (worker_argv i) ~log:(Filename.concat dir (Printf.sprintf "w%d.log" i)) ~fault
+  in
+  (* In crash mode worker 0 self-SIGKILLs on its 6th shard dispatch: the
+     kill lands mid-query, between receiving the morsel and replying. *)
+  let pids =
+    Array.init n_workers (fun i ->
+        let fault = if crash && i = 0 then Some "worker-kill:6" else None in
+        spawn_worker ?fault i)
+  in
+  let conf = Filename.concat dir "workers.conf" in
+  let oc = open_out conf in
+  let reps = max 1 (min replicas n_workers) in
+  for i = 0 to n_workers - 1 do
+    output_string oc (Printf.sprintf "shard %d" i);
+    for r = 0 to reps - 1 do
+      output_string oc (Printf.sprintf " unix:%s" (wsock ((i + r) mod n_workers)))
+    done;
+    output_char oc '\n'
+  done;
+  close_out oc;
+  let coord_pid =
+    spawn
+      [|
+        Sys.executable_name; "serve"; "--coordinator"; conf; "--socket"; csock;
+        "--hedge-ms"; "150"; "--rpc-timeout-ms"; "5000"; "--cluster-retries"; "2";
+      |]
+      ~log:(Filename.concat dir "coord.log") ~fault:None
+  in
+  let connect_to ?(timeout_s = connect_timeout_s) path =
+    let deadline = Unix.gettimeofday () +. timeout_s in
+    let rec go () =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () ->
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0;
+          Unix.setsockopt_float fd Unix.SO_SNDTIMEO 30.0;
+          fd
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          if Unix.gettimeofday () > deadline then
+            die (Printf.sprintf "soak: could not connect to %s" path);
+          Unix.sleepf 0.1;
+          go ()
+    in
+    go ()
+  in
+  let oneshot ?timeout_s path line =
+    let fd = connect_to ?timeout_s path in
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    output_string oc (line ^ "\n");
+    flush oc;
+    let r = try Some (input_line ic) with End_of_file | Sys_error _ -> None in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    r
+  in
+  (* Wait until every node answers a ping before opening fire. *)
+  for i = 0 to n_workers - 1 do
+    ignore (oneshot (wsock i) "ping")
+  done;
+  ignore (oneshot csock "ping");
+  (* Supervisor: restart any worker that dies (the armed one, or the one we
+     kill from outside) — restarts attach the same snapshot, fault disarmed. *)
+  let restarts = ref 0 in
+  let stop_sup = ref false in
+  let sup_mu = Mutex.create () in
+  let supervisor =
+    Thread.create
+      (fun () ->
+        while not !stop_sup do
+          Mutex.lock sup_mu;
+          Array.iteri
+            (fun i pid ->
+              match Unix.waitpid [ Unix.WNOHANG ] pid with
+              | 0, _ -> ()
+              | _, _ ->
+                  incr restarts;
+                  Printf.printf "soak: worker %d (pid %d) died; restarting\n%!" i pid;
+                  pids.(i) <- spawn_worker i
+              | exception Unix.Unix_error _ -> ())
+            pids;
+          Mutex.unlock sup_mu;
+          Thread.delay 0.1
+        done)
+      ()
+  in
+  let killer =
+    Option.map
+      (fun i ->
+        if i < 0 || i >= n_workers then die "soak: --kill index out of range";
+        Thread.create
+          (fun () ->
+            Thread.delay 1.0;
+            Mutex.lock sup_mu;
+            let pid = pids.(i) in
+            Mutex.unlock sup_mu;
+            Printf.printf "soak: kill -9 worker %d (pid %d)\n%!" i pid;
+            try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+          ())
+      (match (kill_worker, crash) with
+      | Some i, _ -> Some i
+      | None, true when n_workers > 1 -> Some 1
+      | None, _ -> None)
+  in
+  let has_sub hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    nn = 0 || at 0
+  in
+  let bad = ref 0 in
+  let completed = ref 0 and truncated = ref 0 and partial = ref 0 in
+  let failed = ref 0 and refused = ref 0 in
+  let tally = Mutex.create () in
+  let count r = Mutex.lock tally; incr r; Mutex.unlock tally in
+  let flag_bad why line =
+    Mutex.lock tally;
+    incr bad;
+    Mutex.unlock tally;
+    Printf.eprintf "soak: BAD (%s): %s\n%!" why line
+  in
+  let exact_needle = Printf.sprintf "\"matches\":%d,\"shards\"" expected in
+  let validate kind line =
+    if has_sub line "\"outcome\":\"completed\"" then
+      if kind = `Exact && not (has_sub line exact_needle) then
+        flag_bad "completed reply with silent undercount" line
+      else count completed
+    else if has_sub line "\"outcome\":\"truncated" then count truncated
+    else if has_sub line "\"outcome\":\"partial\"" then
+      if has_sub line "\"incomplete_shards\":[]" then
+        flag_bad "partial reply names no missing shard" line
+      else count partial
+    else if has_sub line "\"outcome\":\"failed\"" then count failed
+    else if kind = `Stats then
+      if has_sub line "\"type\":\"cluster_stats\"" then count completed
+      else flag_bad "stats" line
+    else if has_sub line "\"ok\":false" then
+      if kind = `Mutate then count refused else flag_bad "unexpected refusal" line
+    else flag_bad "unclassified reply" line
+  in
+  let client ci =
+    let fd = connect_to csock in
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let rng = Gf.Rng.create (soak_seed lxor (ci * 0x9e3779b9)) in
+    (try
+       for _ = 1 to requests do
+         let line, kind =
+           match Gf.Rng.int rng 10 with
+           | 0 | 1 | 2 | 3 | 4 | 5 -> ("run q=" ^ triangle, `Exact)
+           | 6 -> ("run rows=1 max_rows=5 q=" ^ square, `Any)
+           | 7 -> ("stats", `Stats)
+           | 8 ->
+               (Printf.sprintf "addedge %d %d" (Gf.Rng.int rng 64) (Gf.Rng.int rng 64), `Mutate)
+           | _ -> ("run q=" ^ square, `Any)
+         in
+         output_string oc (line ^ "\n");
+         flush oc;
+         match input_line ic with
+         | reply -> validate kind reply
+         | exception End_of_file -> flag_bad "connection closed mid-session" line
+       done
+     with Sys_error _ | Unix.Unix_error _ -> flag_bad "client i/o error (hung?)" "");
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let threads = List.init clients (fun i -> Thread.create client i) in
+  List.iter Thread.join threads;
+  Option.iter Thread.join killer;
+  (* Scrape coordinator stats and metrics before teardown. *)
+  let scrape_int s needle =
+    (* First occurrence of [needle] followed by digits (HELP/TYPE lines
+       mention counter names without a value — skip those). *)
+    let rec find i =
+      if i + String.length needle > String.length s then None
+      else if String.sub s i (String.length needle) = needle then begin
+        let st = i + String.length needle in
+        let j = ref st in
+        while !j < String.length s && s.[!j] >= '0' && s.[!j] <= '9' do incr j done;
+        if !j = st then find (i + 1) else Some (int_of_string (String.sub s st (!j - st)))
+      end
+      else find (i + 1)
+    in
+    find 0
+  in
+  let failovers =
+    match oneshot csock "stats" with
+    | None -> 0
+    | Some s -> Option.value (scrape_int s "\"failovers\":") ~default:0
+  in
+  let failovers_metric =
+    match oneshot csock "metrics" with
+    | None -> 0
+    | Some s -> Option.value (scrape_int s "gf_cluster_failovers_total ") ~default:0
+  in
+  Printf.printf "soak: gf_cluster_failovers_total=%d\n%!" failovers_metric;
+  stop_sup := true;
+  Thread.join supervisor;
+  ignore (oneshot csock "shutdown");
+  for i = 0 to n_workers - 1 do
+    ignore (oneshot ~timeout_s:2.0 (wsock i) "shutdown")
+  done;
+  ignore (Unix.waitpid [] coord_pid);
+  Array.iter (fun pid -> try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()) pids;
+  Printf.printf
+    "soak --topology 1x%d: %d clients x %d requests: completed=%d truncated=%d partial=%d \
+     failed=%d refused=%d malformed=%d failovers=%d restarts=%d (expected matches=%d)\n"
+    n_workers clients requests !completed !truncated !partial !failed !refused !bad failovers
+    !restarts expected;
+  let tortured = crash || kill_worker <> None in
+  if tortured && min failovers failovers_metric = 0 then begin
+    Printf.eprintf "soak: FAIL: a worker died but no shard failed over to a replica\n";
+    exit 1
+  end;
+  if !completed = 0 then begin
+    Printf.eprintf "soak: FAIL: no request completed\n";
+    exit 1
+  end;
+  exit (if !bad > 0 then 1 else 0)
 
 let soak_cmd =
   let clients =
@@ -658,8 +1058,39 @@ let soak_cmd =
       value & opt int 8
       & info [ "crash-seeds" ] ~docv:"N" ~doc:"Seeds per fault point in --crash mode.")
   in
+  let topology =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "topology" ] ~docv:"CxW"
+          ~doc:
+            "Cluster soak: spawn C coordinators (only 1 supported) and W worker processes \
+             on unix sockets in a temp dir, wire them with replicated shards, and drive the \
+             coordinator with the client mix. Every reply must be classified — completed \
+             (with the exact full match count), truncated, or partial with its missing \
+             shards named; anything else fails the soak. With --crash, one worker kill-9s \
+             itself between shard dispatch and reply and is restarted, and the run asserts \
+             at least one replica failover.")
+  in
+  let replicas =
+    Arg.(
+      value & opt int 2
+      & info [ "replicas" ] ~docv:"N"
+          ~doc:"Endpoints per shard in --topology mode (primary + N-1 replicas).")
+  in
+  let kill_worker =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill" ] ~docv:"I"
+          ~doc:"In --topology mode: kill -9 worker I from outside mid-soak (it restarts).")
+  in
   let go socket port host clients requests soak_seed send_shutdown connect_timeout_s
-      mutate_pct crash crash_seeds =
+      mutate_pct crash crash_seeds topology dataset scale replicas kill_worker =
+    match topology with
+    | Some spec -> cluster_soak spec ~dataset ~scale ~clients ~requests ~soak_seed
+                     ~connect_timeout_s ~replicas ~kill_worker ~crash
+    | None ->
     if crash then begin
       (* Fork-based: must run before any thread is spawned. *)
       let points =
@@ -817,10 +1248,12 @@ let soak_cmd =
          "Drive a running gfq serve with concurrent clients mixing good, budget-tripping, \
           faulted, and (with --mutate) durable-mutation requests; exit nonzero on any \
           malformed response. With --crash, run the fork/kill-9 durability torture matrix \
-          instead (no server needed).")
+          instead (no server needed). With --topology CxW, spawn and torture a whole \
+          cluster (no server needed either).")
     Term.(
       const go $ socket_arg $ port_arg $ host_arg $ clients $ requests $ soak_seed
-      $ send_shutdown $ connect_timeout_s $ mutate_pct $ crash $ crash_seeds)
+      $ send_shutdown $ connect_timeout_s $ mutate_pct $ crash $ crash_seeds $ topology
+      $ dataset $ scale $ replicas $ kill_worker)
 
 (* --- slowlog: read a running server's flight recorder ------------------ *)
 

@@ -1,0 +1,65 @@
+type point = Worker_kill | Conn_drop | Slow_worker | Split_refusal
+
+let point_to_string = function
+  | Worker_kill -> "worker-kill"
+  | Conn_drop -> "conn-drop"
+  | Slow_worker -> "slow-worker"
+  | Split_refusal -> "split-refusal"
+
+let point_of_string = function
+  | "worker-kill" -> Some Worker_kill
+  | "conn-drop" -> Some Conn_drop
+  | "slow-worker" -> Some Slow_worker
+  | "split-refusal" -> Some Split_refusal
+  | _ -> None
+
+(* armed = Some (point, hits-remaining): the fault fires on the nth hit of
+   its point, once. A plain ref, same single-writer discipline as
+   [Gf_wal.Fault] — soak children arm from the environment before serving
+   anything. *)
+let armed : (point * int ref) option ref = ref None
+
+let arm p ~after = armed := Some (p, ref (max 1 after))
+let disarm () = armed := None
+
+(* GFQ_CLUSTER_FAULT="<point>[:<after>]", e.g. "worker-kill:3" kills the
+   process on the 3rd shard request it sees. *)
+let arm_from_env () =
+  match Sys.getenv_opt "GFQ_CLUSTER_FAULT" with
+  | None -> false
+  | Some s -> (
+      let s = String.trim s in
+      let name, after =
+        match String.index_opt s ':' with
+        | None -> (s, 1)
+        | Some i -> (
+            ( String.sub s 0 i,
+              match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+              | Some k -> k
+              | None -> 1 ))
+      in
+      match point_of_string name with
+      | None -> false
+      | Some p ->
+          arm p ~after;
+          true)
+
+(* [fire p] — should the armed fault trigger at this hit of [p]? Counts
+   down and reports [true] exactly once. [Worker_kill] does not return:
+   the process dies like a power cut (SIGKILL bypasses at_exit, channel
+   buffers, every finaliser) — the exact failure the coordinator's
+   failover path must absorb. *)
+let fire p =
+  match !armed with
+  | Some (q, left) when q = p ->
+      decr left;
+      if !left <= 0 then begin
+        disarm ();
+        if p = Worker_kill then begin
+          Unix.kill (Unix.getpid ()) Sys.sigkill;
+          exit 137
+        end;
+        true
+      end
+      else false
+  | _ -> false

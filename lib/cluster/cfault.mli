@@ -1,0 +1,31 @@
+(** Deterministic cross-process fault injection for the cluster, extending
+    the crash-point discipline of {!Gf_wal.Fault} to distributed failure
+    modes. Armed via {!arm} (tests, bench) or [GFQ_CLUSTER_FAULT] in the
+    environment ([gfq soak --topology] arms its worker children this way),
+    a fault fires exactly once, at the nth hit of its point:
+
+    - [Worker_kill] — the worker SIGKILLs itself between morsel dispatch
+      and reply (the coordinator sees a mid-request EOF);
+    - [Conn_drop] — the worker drops the connection without replying;
+    - [Slow_worker] — the worker stalls before executing (straggler;
+      exercises hedging);
+    - [Split_refusal] — the worker answers [not_owner] (split-brain:
+      a node that no longer believes it owns the shard must refuse
+      structurally, not answer with wrong data). *)
+
+type point = Worker_kill | Conn_drop | Slow_worker | Split_refusal
+
+val point_to_string : point -> string
+val point_of_string : string -> point option
+
+val arm : point -> after:int -> unit
+(** Fire at the [after]-th hit (min 1) of the point. *)
+
+val disarm : unit -> unit
+
+val arm_from_env : unit -> bool
+(** Arm from [GFQ_CLUSTER_FAULT="<point>[:<after>]"]; [true] if armed. *)
+
+val fire : point -> bool
+(** Called at each potential fault site. [true] exactly when the armed
+    fault triggers here (and disarms); [Worker_kill] never returns. *)

@@ -1,0 +1,528 @@
+module Gf = Graphflow
+module Metrics = Gf_exec.Metrics
+module Breaker = Gf_server.Breaker
+module Service = Gf_server.Service
+module Wire = Gf_server.Wire
+module Trace = Gf.Trace
+module Governor = Gf.Governor
+
+type config = {
+  node : string;
+  connect_timeout_s : float;
+  rpc_timeout_s : float;
+  retries : int;  (** extra attempts per shard beyond the first *)
+  hedge_after_s : float option;  (** straggler hedging; [None] = off *)
+  max_result_bytes : int option;  (** byte cap across streamed partials *)
+  breaker : Breaker.config;
+  probe_interval_s : float;
+  probe_timeout_s : float;
+  slowlog_capacity : int;
+}
+
+let default_config =
+  {
+    node = "coordinator";
+    connect_timeout_s = 1.0;
+    rpc_timeout_s = 10.0;
+    retries = 2;
+    hedge_after_s = Some 0.25;
+    max_result_bytes = Some (64 * 1024 * 1024);
+    breaker = Breaker.default_config;
+    probe_interval_s = 1.0;
+    probe_timeout_s = 0.5;
+    slowlog_capacity = 256;
+  }
+
+type t = {
+  cfg : config;
+  topo : Topology.t;
+  pool : Remote.pool;
+  breakers : Breaker.t array;  (** one per shard: a bad shard opens alone *)
+  health : Health.t;
+  recorder : Gf.Recorder.t;
+  m : Mutex.t;
+  mutable fingerprint : (int * int) option;  (** (n, m) agreed by the cluster *)
+  mutable next_id : int;
+  mutable requests : int;
+  mutable failovers : int;
+  mutable hedges : int;
+  mutable stopped : bool;
+}
+
+let c_inc ?(by = 1) name help = Metrics.inc ~by (Metrics.counter ~help name)
+
+let create ?(config = default_config) topo =
+  let endpoints =
+    Array.to_list topo.Topology.shards
+    |> List.concat_map (fun s -> s.Topology.endpoints)
+  in
+  {
+    cfg = config;
+    topo;
+    pool = Remote.pool_create ();
+    breakers =
+      Array.init (Topology.num_shards topo) (fun _ -> Breaker.create config.breaker);
+    health =
+      Health.create ~probe_interval_s:config.probe_interval_s
+        ~probe_timeout_s:config.probe_timeout_s ~node:config.node endpoints;
+    recorder = Gf.Recorder.create ~capacity:config.slowlog_capacity ();
+    m = Mutex.create ();
+    fingerprint = None;
+    next_id = 0;
+    requests = 0;
+    failovers = 0;
+    hedges = 0;
+    stopped = false;
+  }
+
+let stop t =
+  t.stopped <- true;
+  Health.stop t.health;
+  Remote.pool_close t.pool
+
+(* ------------------------------------------------------------------ *)
+(* One RPC attempt against one endpoint                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Dial (or reuse) a handshaken connection. The first successful hello
+   fixes the cluster's graph fingerprint; any endpoint disagreeing on
+   (n, m) is refused — identical graphs are what make per-worker plans
+   identical, and a mismatched worker would silently corrupt the union. *)
+let obtain_conn t ep =
+  match Remote.checkout t.pool ep with
+  | Some c -> Ok c
+  | None -> (
+      match Remote.connect ~timeout_s:t.cfg.connect_timeout_s ep with
+      | Error _ as e -> e
+      | Ok c -> (
+          match
+            Remote.handshake c ~timeout_s:t.cfg.connect_timeout_s ~node:t.cfg.node
+              ~role:"coordinator"
+          with
+          | Error m ->
+              Remote.close c;
+              Error m
+          | Ok peer ->
+              Mutex.lock t.m;
+              let verdict =
+                match t.fingerprint with
+                | None ->
+                    t.fingerprint <- Some (peer.Remote.n, peer.Remote.m);
+                    Ok c
+                | Some (n, m) when n = peer.Remote.n && m = peer.Remote.m -> Ok c
+                | Some (n, m) ->
+                    Error
+                      (Printf.sprintf
+                         "fingerprint_mismatch: %s serves n=%d m=%d, cluster agreed n=%d m=%d"
+                         peer.Remote.node peer.Remote.n peer.Remote.m n m)
+              in
+              Mutex.unlock t.m;
+              (match verdict with Error _ -> Remote.close c | Ok _ -> ());
+              verdict))
+
+let attempt t ep line =
+  match obtain_conn t ep with
+  | Error _ as e -> e
+  | Ok c -> (
+      match Remote.request c ~timeout_s:t.cfg.rpc_timeout_s line with
+      | Ok reply ->
+          Remote.checkin t.pool ep c;
+          Ok reply
+      | Error _ as e ->
+          (* A timed-out or reset connection may still have the reply in
+             flight: never reuse it — the next request would read a stale
+             line. *)
+          Remote.close c;
+          e)
+
+(* Classify a worker's reply line. [`Good] replies are terminal;
+   [`Retryable] ones (worker-side failure, rejection, split-brain
+   [not_owner]) re-route to the next endpoint. *)
+let classify reply =
+  match Proto.json_bool reply "ok" with
+  | Some true -> (
+      match Proto.json_str reply "outcome" with
+      | Some o
+        when String.length o >= 9 && String.sub o 0 9 = "completed" ->
+          `Good ("completed", reply)
+      | Some o
+        when String.length o >= 9 && String.sub o 0 9 = "truncated" ->
+          `Good ("truncated", reply)
+      | Some o -> `Retryable ("worker outcome: " ^ o)
+      | None -> `Retryable "malformed shard reply (no outcome)")
+  | Some false ->
+      let e = Option.value (Proto.json_str reply "error") ~default:"error" in
+      `Retryable ("worker refused: " ^ e)
+  | None -> `Retryable "malformed shard reply"
+
+type shard_result = {
+  sr_shard : int;
+  sr_ok : bool;
+  sr_outcome : string;
+      (** completed | truncated | failed | breaker_open | unreachable *)
+  sr_matches : int;
+  sr_rows : int array list;
+  sr_endpoint : string;
+  sr_attempts : int;
+  sr_failover : bool;  (** served by a non-primary endpoint *)
+  sr_hedged : bool;  (** a hedge request was launched *)
+  sr_hedge_win : bool;  (** ...and the hedge answered first *)
+  sr_detail : string;
+}
+
+let sr_fail shard outcome detail attempts =
+  {
+    sr_shard = shard;
+    sr_ok = false;
+    sr_outcome = outcome;
+    sr_matches = 0;
+    sr_rows = [];
+    sr_endpoint = "";
+    sr_attempts = attempts;
+    sr_failover = false;
+    sr_hedged = false;
+    sr_hedge_win = false;
+    sr_detail = detail;
+  }
+
+(* Race one attempt against a hedge launched [after] seconds later on the
+   next endpoint: first good reply wins, the loser's thread drains on its
+   own socket timeouts. Only used for the opening attempt — retries are
+   already failure handling, hedging them again just multiplies load. *)
+let hedged_attempt t ~after ep1 ep2 line =
+  let m = Mutex.create () and cv = Condition.create () in
+  let winner = ref None and pending = ref 1 and launched = ref false in
+  let errors = ref [] in
+  let fire ep =
+    ignore
+      (Thread.create
+         (fun () ->
+           let r = attempt t ep line in
+           Mutex.lock m;
+           (match r with
+           | Ok reply -> (
+               match classify reply with
+               | `Good (kind, reply) ->
+                   if !winner = None then winner := Some (ep, kind, reply)
+               | `Retryable why -> errors := why :: !errors)
+           | Error why -> errors := why :: !errors);
+           decr pending;
+           Condition.broadcast cv;
+           Mutex.unlock m)
+         ())
+  in
+  fire ep1;
+  Mutex.lock m;
+  let deadline = Unix.gettimeofday () +. t.cfg.rpc_timeout_s +. after +. 1.0 in
+  let rec wait () =
+    match !winner with
+    | Some (ep, kind, reply) ->
+        Mutex.unlock m;
+        `Won (ep, kind, reply, !launched)
+    | None ->
+        if !pending = 0 then begin
+          let errs = !errors in
+          Mutex.unlock m;
+          `Lost (errs, !launched)
+        end
+        else if Unix.gettimeofday () > deadline then begin
+          Mutex.unlock m;
+          `Lost ([ "hedge wait timeout" ], !launched)
+        end
+        else begin
+          (* First wake-up doubles as the hedge trigger. *)
+          Mutex.unlock m;
+          Thread.delay (if !launched then 0.02 else after);
+          Mutex.lock m;
+          if (not !launched) && !winner = None && !pending > 0 then begin
+            launched := true;
+            incr pending;
+            c_inc "gf_cluster_hedges_total" "Hedge requests launched for stragglers";
+            fire ep2
+          end;
+          wait ()
+        end
+  in
+  wait ()
+
+(* ------------------------------------------------------------------ *)
+(* One shard of one request                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_shard t ~line ~tbuf idx =
+  let shard = t.topo.Topology.shards.(idx) in
+  let primary = List.hd shard.Topology.endpoints in
+  let brk = t.breakers.(idx) in
+  (match tbuf with
+  | Some b ->
+      Trace.begin_span ~cat:"cluster"
+        ~args:[ ("shard", Trace.Int idx) ]
+        b
+        (Printf.sprintf "shard-%d" idx)
+  | None -> ());
+  let finish sr =
+    Breaker.record brk ~ok:sr.sr_ok;
+    (match tbuf with
+    | Some b ->
+        Trace.end_span
+          ~args:
+            [ ("outcome", Trace.Str sr.sr_outcome);
+              ("endpoint", Str sr.sr_endpoint);
+              ("attempts", Int sr.sr_attempts);
+            ]
+          b
+    | None -> ());
+    c_inc "gf_cluster_shard_requests_total" "Shard RPCs issued (per shard, per request)";
+    if sr.sr_ok && sr.sr_failover then begin
+      Mutex.lock t.m;
+      t.failovers <- t.failovers + 1;
+      Mutex.unlock t.m;
+      c_inc "gf_cluster_failovers_total" "Shard requests served by a non-primary endpoint"
+    end;
+    if not sr.sr_ok then
+      c_inc "gf_cluster_incomplete_shards_total" "Shard requests that returned no result";
+    sr
+  in
+  match Breaker.admit brk with
+  | `Reject -> finish (sr_fail idx "breaker_open" "per-shard circuit breaker open" 0)
+  | `Admit -> (
+      (* Routing order: healthy endpoints first (primary-first within each
+         class), but Down endpoints stay in the tail — health is advisory,
+         and when everything looks dead we still try before giving up. *)
+      let up, down =
+        List.partition (fun ep -> Health.status t.health ep = Health.Up) shard.Topology.endpoints
+      in
+      let order = up @ down in
+      let good ~ep ~kind ~reply ~attempts ~hedged ~hedge_win =
+        {
+          sr_shard = idx;
+          sr_ok = true;
+          sr_outcome = kind;
+          sr_matches = Option.value (Proto.json_int reply "matches") ~default:0;
+          sr_rows = Proto.json_rows reply;
+          sr_endpoint = Topology.endpoint_to_string ep;
+          sr_attempts = attempts;
+          sr_failover = ep <> primary;
+          sr_hedged = hedged;
+          sr_hedge_win = hedge_win;
+          sr_detail = "";
+        }
+      in
+      let max_attempts = t.cfg.retries + 1 in
+      let rec go attempts last_err = function
+        | [] ->
+            finish
+              (sr_fail idx
+                 (if attempts = 0 then "unreachable" else "failed")
+                 last_err attempts)
+        | _ when attempts >= max_attempts ->
+            finish (sr_fail idx "failed" last_err attempts)
+        | ep :: rest -> (
+            if attempts > 0 then
+              c_inc "gf_cluster_shard_retries_total"
+                "Shard attempts re-routed after a failure";
+            match attempt t ep line with
+            | Ok reply -> (
+                match classify reply with
+                | `Good (kind, reply) ->
+                    finish
+                      (good ~ep ~kind ~reply ~attempts:(attempts + 1) ~hedged:false
+                         ~hedge_win:false)
+                | `Retryable why -> go (attempts + 1) why rest)
+            | Error why -> go (attempts + 1) why rest)
+      in
+      match (t.cfg.hedge_after_s, order) with
+      | Some after, ep1 :: ep2 :: rest when not t.stopped -> (
+          match hedged_attempt t ~after ep1 ep2 line with
+          | `Won (ep, kind, reply, hedged) ->
+              let hedge_win = hedged && ep == ep2 in
+              if hedge_win then
+                c_inc "gf_cluster_hedge_wins_total" "Hedge requests that answered first";
+              finish
+                (good ~ep ~kind ~reply ~attempts:(if hedged then 2 else 1) ~hedged
+                   ~hedge_win)
+          | `Lost (errs, hedged) ->
+              (* If the primary failed before the hedge timer fired, ep2 was
+                 never contacted — it must stay in the retry order or a
+                 fast-failing primary would skip its own replica. *)
+              let attempts = if hedged then 2 else 1 in
+              let last_err = match errs with e :: _ -> e | [] -> "unreachable" in
+              go attempts last_err (if hedged then rest else ep2 :: rest))
+      | _ -> go 0 "unreachable" order)
+
+(* ------------------------------------------------------------------ *)
+(* A whole client request: fan out, gather, aggregate honestly         *)
+(* ------------------------------------------------------------------ *)
+
+type result = {
+  r_id : int;
+  r_outcome : string;  (** completed | truncated | partial | failed *)
+  r_matches : int;
+  r_incomplete : int list;
+  r_failovers : int;
+  r_hedges : int;
+  r_retries : int;
+  r_rows : int array list;
+  r_exec_s : float;
+  r_shards : shard_result array;
+}
+
+let run t ~text (req : Service.request) =
+  let k = Topology.num_shards t.topo in
+  let id =
+    Mutex.lock t.m;
+    t.next_id <- t.next_id + 1;
+    t.requests <- t.requests + 1;
+    let id = t.next_id in
+    Mutex.unlock t.m;
+    id
+  in
+  c_inc "gf_cluster_requests_total" "Client requests fanned out by the coordinator";
+  let trace =
+    if req.Service.trace then Some (Trace.create ~capacity:8192 ()) else None
+  in
+  let line i =
+    Proto.shard_req ~part:(i, k) ?timeout_ms:req.Service.timeout_ms
+      ?max_rows:req.Service.max_rows ~rows:req.Service.collect_rows text
+  in
+  (* The byte cap rides the same governor machinery queries use: every
+     shard reply's bytes are charged as materialized state, and a trip
+     turns the aggregate into an honest [truncated]. *)
+  let gov =
+    Governor.create
+      (Gf.Governor.budget ?max_bytes:t.cfg.max_result_bytes ())
+  in
+  let gov_h = Governor.handle gov in
+  let t0 = Unix.gettimeofday () in
+  let results = Array.make k None in
+  let times = Array.make k 0.0 in
+  let threads =
+    List.init k (fun i ->
+        Thread.create
+          (fun () ->
+            let tbuf =
+              Option.map (fun tr -> Trace.buffer ~name:(Printf.sprintf "shard-%d" i) tr ~tid:(10 + i)) trace
+            in
+            let s0 = Unix.gettimeofday () in
+            let sr = run_shard t ~line:(line i) ~tbuf i in
+            times.(i) <- Unix.gettimeofday () -. s0;
+            Governor.add_bytes gov_h
+              (List.fold_left (fun a r -> a + (8 * Array.length r)) 0 sr.sr_rows
+              + 64 + String.length sr.sr_detail);
+            (match tbuf with Some b -> Trace.close_all b | None -> ());
+            results.(i) <- Some sr)
+          ())
+  in
+  List.iter Thread.join threads;
+  let exec_s = Unix.gettimeofday () -. t0 in
+  let srs =
+    Array.mapi
+      (fun i r ->
+        match r with
+        | Some sr -> sr
+        | None -> sr_fail i "failed" "shard thread died" 0)
+      results
+  in
+  let incomplete =
+    Array.to_list srs |> List.filter (fun s -> not s.sr_ok) |> List.map (fun s -> s.sr_shard)
+  in
+  let bytes_tripped = Governor.tripped gov in
+  let matches = Array.fold_left (fun a s -> a + s.sr_matches) 0 srs in
+  let any_truncated =
+    bytes_tripped || Array.exists (fun s -> s.sr_ok && s.sr_outcome = "truncated") srs
+  in
+  let outcome =
+    if List.length incomplete = k then "failed"
+    else if incomplete <> [] then "partial"
+    else if any_truncated then "truncated"
+    else "completed"
+  in
+  let rows =
+    (* Stream order is shard order; under a tripped byte cap rows are
+       dropped wholesale rather than silently truncated mid-shard. *)
+    if bytes_tripped then []
+    else Array.to_list srs |> List.concat_map (fun s -> s.sr_rows)
+  in
+  let failovers = Array.fold_left (fun a s -> a + Bool.to_int (s.sr_ok && s.sr_failover)) 0 srs in
+  let hedges = Array.fold_left (fun a s -> a + Bool.to_int s.sr_hedged) 0 srs in
+  let retries = Array.fold_left (fun a s -> a + (max 0 (s.sr_attempts - 1))) 0 srs in
+  Mutex.lock t.m;
+  t.hedges <- t.hedges + hedges;
+  Mutex.unlock t.m;
+  if outcome = "partial" then
+    c_inc "gf_cluster_partial_results_total"
+      "Client replies degraded to partial (incomplete_shards marked)";
+  let top_ops =
+    Array.to_list srs
+    |> List.map (fun s ->
+           (Printf.sprintf "shard-%d[%s]" s.sr_shard s.sr_outcome, times.(s.sr_shard)))
+  in
+  ignore
+    (Gf.Recorder.record t.recorder ~query:text ~plan:"cluster" ~outcome ~latency_s:exec_s
+       ~queue_s:0.0 ~rung:"cluster" ~attempts:(retries + k) ~retries ~top_ops
+       ~traced:(trace <> None)
+       ?trace_json:(Option.map Trace.to_chrome_json trace)
+       ()
+      : int);
+  {
+    r_id = id;
+    r_outcome = outcome;
+    r_matches = matches;
+    r_incomplete = incomplete;
+    r_failovers = failovers;
+    r_hedges = hedges;
+    r_retries = retries;
+    r_rows = rows;
+    r_exec_s = exec_s;
+    r_shards = srs;
+  }
+
+let to_reply r =
+  Proto.run_resp ~id:r.r_id ~outcome:r.r_outcome ~matches:r.r_matches
+    ~shards:(Array.length r.r_shards) ~incomplete:r.r_incomplete ~failovers:r.r_failovers
+    ~hedges:r.r_hedges ~retries:r.r_retries ~exec_s:r.r_exec_s ~rows:r.r_rows
+
+(* ------------------------------------------------------------------ *)
+(* Stats + server hook                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let stats_json t =
+  Mutex.lock t.m;
+  let requests = t.requests and failovers = t.failovers and hedges = t.hedges in
+  Mutex.unlock t.m;
+  let breakers =
+    Array.to_list t.breakers
+    |> List.map (fun b -> "\"" ^ Breaker.state_to_string (Breaker.state b) ^ "\"")
+    |> String.concat ","
+  in
+  let health =
+    Health.snapshot t.health
+    |> List.map (fun (ep, st) ->
+           Printf.sprintf "{\"endpoint\":\"%s\",\"status\":\"%s\"}"
+             (Gf.Explain.json_escape ep)
+             (Health.status_to_string st))
+    |> String.concat ","
+  in
+  Printf.sprintf
+    "{\"ok\":true,\"type\":\"cluster_stats\",\"node\":\"%s\",\"shards\":%d,\"requests\":%d,\"failovers\":%d,\"hedges\":%d,\"breakers\":[%s],\"health\":[%s]}"
+    (Gf.Explain.json_escape t.cfg.node)
+    (Topology.num_shards t.topo) requests failovers hedges breakers health
+
+let hook t line : [ `Reply of string | `Close | `Pass ] =
+  let trimmed = String.trim line in
+  match Wire.parse_request trimmed with
+  | Ok (Wire.Run req) ->
+      let text = if req.Service.text = "" then trimmed else req.Service.text in
+      `Reply (to_reply (run t ~text req))
+  | Ok Wire.Stats -> `Reply (stats_json t)
+  | Ok (Wire.Slowlog n) -> `Reply (Wire.slowlog_resp (Gf.Recorder.recent t.recorder n))
+  | Ok (Wire.Trace_of id) -> (
+      match Gf.Recorder.find_trace t.recorder id with
+      | Some json -> `Reply (Wire.trace_resp ~id json)
+      | None -> `Reply (Wire.trace_not_found id))
+  | Ok (Wire.Mutate _) ->
+      `Reply
+        (Wire.error_resp ~kind:"read_only"
+           ~detail:
+             "cluster coordinator is read-only: apply mutations on the shard owner's store")
+  | Ok _ | Error _ -> `Pass

@@ -1,0 +1,121 @@
+module Metrics = Gf_exec.Metrics
+
+type status = Up | Down
+
+let status_to_string = function Up -> "up" | Down -> "down"
+
+type entry = {
+  ep : Gf_server.Server.endpoint;
+  mutable st : status;
+  mutable ok_streak : int;
+  mutable fail_streak : int;
+}
+
+type t = {
+  node : string;
+  probe_interval_s : float;
+  probe_timeout_s : float;
+  down_after : int;
+  up_after : int;
+  m : Mutex.t;
+  entries : (string, entry) Hashtbl.t;
+  mutable stopped : bool;
+  mutable thread : Thread.t option;
+}
+
+let c_inc name help = Metrics.inc (Metrics.counter ~help name)
+
+let probe_once t entry =
+  let ok =
+    match Remote.connect ~timeout_s:t.probe_timeout_s entry.ep with
+    | Error _ -> false
+    | Ok conn ->
+        let r =
+          Remote.handshake conn ~timeout_s:t.probe_timeout_s ~node:t.node ~role:"probe"
+        in
+        Remote.close conn;
+        Result.is_ok r
+  in
+  Mutex.lock t.m;
+  if ok then begin
+    entry.ok_streak <- entry.ok_streak + 1;
+    entry.fail_streak <- 0;
+    (* Hysteresis: one good probe must not flap a Down endpoint back into
+       rotation — demand [up_after] consecutive successes. *)
+    if entry.st = Down && entry.ok_streak >= t.up_after then begin
+      entry.st <- Up;
+      c_inc "gf_cluster_health_up_total" "Endpoints marked Up by the prober"
+    end
+  end
+  else begin
+    entry.fail_streak <- entry.fail_streak + 1;
+    entry.ok_streak <- 0;
+    c_inc "gf_cluster_probe_failures_total" "Failed health probes";
+    if entry.st = Up && entry.fail_streak >= t.down_after then begin
+      entry.st <- Down;
+      c_inc "gf_cluster_health_down_total" "Endpoints marked Down by the prober"
+    end
+  end;
+  Mutex.unlock t.m
+
+let probe_loop t =
+  while not t.stopped do
+    let entries =
+      Mutex.lock t.m;
+      let es = Hashtbl.fold (fun _ e acc -> e :: acc) t.entries [] in
+      Mutex.unlock t.m;
+      es
+    in
+    List.iter (fun e -> if not t.stopped then probe_once t e) entries;
+    (* Sleep in short slices so [stop] is honoured promptly. *)
+    let slices = int_of_float (Float.max 1. (t.probe_interval_s /. 0.05)) in
+    let rec nap i = if i > 0 && not t.stopped then (Thread.delay 0.05; nap (i - 1)) in
+    nap slices
+  done
+
+let create ?(probe_interval_s = 1.0) ?(probe_timeout_s = 0.5) ?(down_after = 2)
+    ?(up_after = 2) ~node endpoints =
+  let t =
+    {
+      node;
+      probe_interval_s;
+      probe_timeout_s;
+      down_after = max 1 down_after;
+      up_after = max 1 up_after;
+      m = Mutex.create ();
+      entries = Hashtbl.create 8;
+      stopped = false;
+      thread = None;
+    }
+  in
+  List.iter
+    (fun ep ->
+      let key = Topology.endpoint_to_string ep in
+      if not (Hashtbl.mem t.entries key) then
+        (* Optimistic start: an endpoint is Up until probes prove
+           otherwise, so a cold coordinator routes immediately. *)
+        Hashtbl.replace t.entries key { ep; st = Up; ok_streak = 0; fail_streak = 0 })
+    endpoints;
+  t.thread <- Some (Thread.create probe_loop t);
+  t
+
+let status t ep =
+  let key = Topology.endpoint_to_string ep in
+  Mutex.lock t.m;
+  let st = match Hashtbl.find_opt t.entries key with Some e -> e.st | None -> Up in
+  Mutex.unlock t.m;
+  st
+
+let snapshot t =
+  Mutex.lock t.m;
+  let xs = Hashtbl.fold (fun k e acc -> (k, e.st) :: acc) t.entries [] in
+  Mutex.unlock t.m;
+  List.sort compare xs
+
+let stop t =
+  t.stopped <- true;
+  match t.thread with
+  | Some th ->
+      t.thread <- None;
+      Thread.join th
+  | None -> ()

@@ -1,0 +1,35 @@
+(** Per-worker health probing with hysteresis. A background thread
+    hello-probes every endpoint on an interval; an endpoint transitions
+    Up→Down only after [down_after] consecutive failures and Down→Up only
+    after [up_after] consecutive successes, so a single dropped probe (or
+    a single lucky one) cannot flap routing. Endpoints start Up —
+    optimistic, partition-tolerant: the coordinator would rather try a
+    possibly-dead worker (bounded by RPC timeouts) than refuse a
+    possibly-alive one.
+
+    Health is advisory routing state, not a gate: when every endpoint of
+    a shard is Down the coordinator still tries them all before declaring
+    the shard incomplete. Transitions bump
+    [gf_cluster_health_up_total] / [gf_cluster_health_down_total] /
+    [gf_cluster_probe_failures_total]. *)
+
+type status = Up | Down
+
+val status_to_string : status -> string
+
+type t
+
+val create :
+  ?probe_interval_s:float ->
+  ?probe_timeout_s:float ->
+  ?down_after:int ->
+  ?up_after:int ->
+  node:string ->
+  Gf_server.Server.endpoint list ->
+  t
+(** Starts the probe thread (defaults: 1 s interval, 0.5 s timeout,
+    down after 2, up after 2). Duplicate endpoints are probed once. *)
+
+val status : t -> Gf_server.Server.endpoint -> status
+val snapshot : t -> (string * status) list
+val stop : t -> unit

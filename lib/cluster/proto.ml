@@ -1,0 +1,284 @@
+module Gf = Graphflow
+module Wire = Gf_server.Wire
+module Service = Gf_server.Service
+module Ladder = Gf_server.Ladder
+
+let version = 1
+
+exception Bad of string
+
+(* ------------------------------------------------------------------ *)
+(* hello: version + node-id handshake                                  *)
+(* ------------------------------------------------------------------ *)
+
+let hello_req ~node ~role = Printf.sprintf "hello proto=%d node=%s role=%s" version node role
+
+type hello = { p_proto : int; p_node : string; p_role : string }
+
+let parse_hello line =
+  let toks = String.split_on_char ' ' line |> List.filter (fun s -> s <> "") in
+  match toks with
+  | "hello" :: opts ->
+      let proto = ref (-1) and node = ref "?" and role = ref "?" in
+      (try
+         List.iter
+           (fun tok ->
+             match String.index_opt tok '=' with
+             | None -> raise (Bad (Printf.sprintf "bad hello option %S" tok))
+             | Some eq -> (
+                 let k = String.sub tok 0 eq in
+                 let v = String.sub tok (eq + 1) (String.length tok - eq - 1) in
+                 match k with
+                 | "proto" -> (
+                     match int_of_string_opt v with
+                     | Some p -> proto := p
+                     | None -> raise (Bad (Printf.sprintf "bad proto %S" v)))
+                 | "node" -> node := v
+                 | "role" -> role := v
+                 | _ -> raise (Bad (Printf.sprintf "unknown hello option %S" k))))
+           opts;
+         if !proto < 0 then Error "hello missing proto="
+         else Ok { p_proto = !proto; p_node = !node; p_role = !role }
+       with Bad m -> Error m)
+  | _ -> Error "not a hello"
+
+let hello_resp ~node ~n ~m ~graph_version =
+  Printf.sprintf
+    "{\"ok\":true,\"type\":\"hello\",\"proto\":%d,\"node\":\"%s\",\"n\":%d,\"m\":%d,\"graph_version\":%d}"
+    version
+    (Gf.Explain.json_escape node)
+    n m graph_version
+
+let version_mismatch ~node ~theirs =
+  Printf.sprintf
+    "{\"ok\":false,\"error\":\"version_mismatch\",\"proto\":%d,\"theirs\":%d,\"node\":\"%s\",\"detail\":\"refusing mixed-version pair: speak proto %d\"}"
+    version theirs
+    (Gf.Explain.json_escape node)
+    version
+
+(* ------------------------------------------------------------------ *)
+(* shard: a range-restricted run                                       *)
+(* ------------------------------------------------------------------ *)
+
+let shard_req ~part:(i, k) ?timeout_ms ?max_rows ~rows q =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (Printf.sprintf "shard part=%d/%d" i k);
+  (match timeout_ms with
+  | Some t -> Buffer.add_string b (Printf.sprintf " timeout_ms=%d" t)
+  | None -> ());
+  (match max_rows with
+  | Some r -> Buffer.add_string b (Printf.sprintf " max_rows=%d" r)
+  | None -> ());
+  if rows then Buffer.add_string b " rows";
+  Buffer.add_string b (" q=" ^ q);
+  Buffer.contents b
+
+let parse_part v =
+  match String.index_opt v '/' with
+  | Some s -> (
+      let i = int_of_string_opt (String.sub v 0 s)
+      and k = int_of_string_opt (String.sub v (s + 1) (String.length v - s - 1)) in
+      match (i, k) with
+      | Some i, Some k when k > 0 && i >= 0 && i < k -> Ok (i, k)
+      | _ -> Error (Printf.sprintf "bad part %S (want i/k with 0 <= i < k)" v))
+  | None -> Error (Printf.sprintf "bad part %S (want i/k)" v)
+
+(* Same option grammar as [run] (q= last, consuming the rest of the line)
+   plus the mandatory part=i/k. *)
+let parse_shard line =
+  let prefix = "shard " in
+  let plen = String.length prefix in
+  if String.length line <= plen || String.sub line 0 plen <> prefix then Error "not a shard request"
+  else begin
+    let rest = String.sub line plen (String.length line - plen) in
+    let len = String.length rest in
+    let part = ref None
+    and timeout = ref None
+    and max_rows = ref None
+    and collect = ref false in
+    let int_v k v =
+      match int_of_string_opt v with
+      | Some n when n >= 0 -> n
+      | _ -> raise (Bad (Printf.sprintf "option %s needs a non-negative integer, got %S" k v))
+    in
+    try
+      let rec go i =
+        if i >= len then raise (Bad "missing q=<query>")
+        else if rest.[i] = ' ' then go (i + 1)
+        else if i + 2 <= len && String.sub rest i 2 = "q=" then
+          String.sub rest (i + 2) (len - i - 2)
+        else begin
+          let j = match String.index_from_opt rest i ' ' with Some j -> j | None -> len in
+          let tok = String.sub rest i (j - i) in
+          (match String.index_opt tok '=' with
+          | None -> (
+              match tok with
+              | "rows" -> collect := true
+              | _ -> raise (Bad (Printf.sprintf "bad option %S (expected key=value)" tok)))
+          | Some eq -> (
+              let k = String.sub tok 0 eq in
+              let v = String.sub tok (eq + 1) (String.length tok - eq - 1) in
+              match k with
+              | "part" -> (
+                  match parse_part v with
+                  | Ok p -> part := Some p
+                  | Error e -> raise (Bad e))
+              | "timeout_ms" -> timeout := Some (int_v k v)
+              | "max_rows" -> max_rows := Some (int_v k v)
+              | _ -> raise (Bad (Printf.sprintf "unknown option %S" k))));
+          go j
+        end
+      in
+      let qtext = go 0 in
+      match !part with
+      | None -> Error "shard needs part=i/k"
+      | Some part -> (
+          match Wire.parse_query qtext with
+          | Error e -> Error e
+          | Ok query ->
+              Ok
+                {
+                  (Service.request query) with
+                  Service.text = qtext;
+                  timeout_ms = !timeout;
+                  max_rows = !max_rows;
+                  part = Some part;
+                  collect_rows = !collect;
+                })
+    with Bad m -> Error m
+  end
+
+let rows_json rows =
+  let row r = "[" ^ String.concat "," (Array.to_list (Array.map string_of_int r)) ^ "]" in
+  "[" ^ String.concat "," (List.map row rows) ^ "]"
+
+let shard_resp ~node ~part:(i, k) (reply : Service.reply) =
+  let r = reply.Service.result in
+  let base =
+    Printf.sprintf
+      "{\"ok\":true,\"type\":\"shard\",\"part\":\"%d/%d\",\"node\":\"%s\",\"outcome\":\"%s\",\"matches\":%d,\"attempts\":%d,\"rung\":\"%s\",\"exec_s\":%.6f,\"graph_version\":%d"
+      i k
+      (Gf.Explain.json_escape node)
+      (Gf.Explain.json_escape (Gf.Governor.outcome_to_string r.Ladder.outcome))
+      r.Ladder.counters.Gf.Counters.output r.Ladder.attempts
+      (Gf.Explain.json_escape r.Ladder.rung)
+      reply.Service.exec_s reply.Service.graph_version
+  in
+  if reply.Service.rows = [] then base ^ "}"
+  else base ^ ",\"rows\":" ^ rows_json reply.Service.rows ^ "}"
+
+let not_owner ~node ~part:(i, k) =
+  Printf.sprintf
+    "{\"ok\":false,\"error\":\"not_owner\",\"node\":\"%s\",\"part\":\"%d/%d\",\"detail\":\"split-brain refusal: this node does not own the shard\"}"
+    (Gf.Explain.json_escape node)
+    i k
+
+(* ------------------------------------------------------------------ *)
+(* Reply scraping: responses are single-line JSON we built ourselves   *)
+(* (or a peer built with the same code), so targeted field extraction  *)
+(* is enough — no JSON dependency.                                     *)
+(* ------------------------------------------------------------------ *)
+
+let find_field s key =
+  let pat = "\"" ^ key ^ "\":" in
+  let plen = String.length pat and slen = String.length s in
+  let rec go i =
+    if i + plen > slen then None
+    else if String.sub s i plen = pat then Some (i + plen)
+    else go (i + 1)
+  in
+  go 0
+
+let json_int s key =
+  match find_field s key with
+  | None -> None
+  | Some i ->
+      let j = ref i in
+      if !j < String.length s && s.[!j] = '-' then incr j;
+      let start = !j in
+      while !j < String.length s && s.[!j] >= '0' && s.[!j] <= '9' do
+        incr j
+      done;
+      if !j = start then None
+      else int_of_string_opt (String.sub s i (!j - i))
+
+let json_str s key =
+  match find_field s key with
+  | None -> None
+  | Some i ->
+      if i >= String.length s || s.[i] <> '"' then None
+      else begin
+        let b = Buffer.create 16 in
+        let rec go j =
+          if j >= String.length s then None
+          else
+            match s.[j] with
+            | '"' -> Some (Buffer.contents b)
+            | '\\' when j + 1 < String.length s ->
+                Buffer.add_char b s.[j + 1];
+                go (j + 2)
+            | c ->
+                Buffer.add_char b c;
+                go (j + 1)
+        in
+        go (i + 1)
+      end
+
+let json_bool s key =
+  match find_field s key with
+  | None -> None
+  | Some i ->
+      if i + 4 <= String.length s && String.sub s i 4 = "true" then Some true
+      else if i + 5 <= String.length s && String.sub s i 5 = "false" then Some false
+      else None
+
+(* "rows":[[1,2],[3,4]] — ints only, emitted by [rows_json]. *)
+let json_rows s =
+  match find_field s "rows" with
+  | None -> []
+  | Some i ->
+      if i >= String.length s || s.[i] <> '[' then []
+      else begin
+        let rows = ref [] and cur = ref [] and num = Buffer.create 8 in
+        let flush_num () =
+          if Buffer.length num > 0 then begin
+            (match int_of_string_opt (Buffer.contents num) with
+            | Some v -> cur := v :: !cur
+            | None -> ());
+            Buffer.clear num
+          end
+        in
+        (try
+           for j = i + 1 to String.length s - 1 do
+             match s.[j] with
+             | '[' -> cur := []
+             | ']' ->
+                 flush_num ();
+                 if !cur <> [] then rows := Array.of_list (List.rev !cur) :: !rows;
+                 cur := [];
+                 (* second ']' in a row closes the outer array *)
+                 if j + 1 >= String.length s || s.[j + 1] <> ',' then raise Exit
+             | ',' -> flush_num ()
+             | ('0' .. '9' | '-') as c -> Buffer.add_char num c
+             | _ -> raise Exit
+           done
+         with Exit -> ());
+        List.rev !rows
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator client reply                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_resp ~id ~outcome ~matches ~shards ~incomplete ~failovers ~hedges ~retries ~exec_s
+    ~rows =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"ok\":true,\"id\":%d,\"outcome\":\"%s\",\"matches\":%d,\"shards\":%d,\"incomplete_shards\":[%s],\"failovers\":%d,\"hedges\":%d,\"retries\":%d,\"exec_s\":%.6f"
+       id outcome matches shards
+       (String.concat "," (List.map string_of_int incomplete))
+       failovers hedges retries exec_s);
+  if rows <> [] then Buffer.add_string b (",\"rows\":" ^ rows_json rows);
+  Buffer.add_string b "}";
+  Buffer.contents b

@@ -1,0 +1,71 @@
+(** The cluster dialect of the newline-delimited wire protocol.
+
+    Two line shapes ride on top of the standard {!Gf_server.Wire} surface
+    (both are intercepted by server hooks before normal dispatch):
+
+    {v
+    hello proto=1 node=<id> role=<coordinator|worker|probe>
+    shard part=<i>/<k> [timeout_ms=N] [max_rows=N] [rows] q=<query>
+    v}
+
+    [hello] is the version + identity handshake: a worker answers with its
+    protocol version, node id, and graph fingerprint (vertex count [n],
+    edge count [m], graph version), or a structured [version_mismatch]
+    refusal when the peer speaks a different protocol — skewed deploys
+    fail loudly at connect, never mid-query.
+
+    [shard] asks the worker to run the i-th of k equal slices of the
+    query's driving-scan source space. The worker plans locally (same
+    graph + same code = same plan on every worker), so disjoint parts
+    union into exactly the full result. [q=] must come last — it consumes
+    the rest of the line, the same rule as [run].
+
+    Replies are single JSON lines; the scraping helpers below read fields
+    back out of replies this module itself built (or a peer built with
+    the same code), keeping the transport dependency-free. *)
+
+(** Protocol version spoken by this build. *)
+val version : int
+
+val hello_req : node:string -> role:string -> string
+
+type hello = { p_proto : int; p_node : string; p_role : string }
+
+val parse_hello : string -> (hello, string) result
+val hello_resp : node:string -> n:int -> m:int -> graph_version:int -> string
+val version_mismatch : node:string -> theirs:int -> string
+
+val shard_req :
+  part:int * int -> ?timeout_ms:int -> ?max_rows:int -> rows:bool -> string -> string
+
+val parse_part : string -> (int * int, string) result
+
+val parse_shard : string -> (Gf_server.Service.request, string) result
+(** The parsed request carries [part = Some (i, k)] and the query text. *)
+
+val shard_resp : node:string -> part:int * int -> Gf_server.Service.reply -> string
+val not_owner : node:string -> part:int * int -> string
+
+(** Reply field scrapers (single-line JSON built by this module). *)
+
+val json_int : string -> string -> int option
+val json_str : string -> string -> string option
+val json_bool : string -> string -> bool option
+val json_rows : string -> int array list
+
+val run_resp :
+  id:int ->
+  outcome:string ->
+  matches:int ->
+  shards:int ->
+  incomplete:int list ->
+  failovers:int ->
+  hedges:int ->
+  retries:int ->
+  exec_s:float ->
+  rows:int array list ->
+  string
+(** The coordinator's client-facing reply: [outcome] is
+    [completed|truncated|partial|failed] and [incomplete_shards] lists the
+    shard ids whose matches are missing — a partial answer is always
+    honestly marked, never a silent undercount. *)

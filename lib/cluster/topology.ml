@@ -1,0 +1,81 @@
+module Server = Gf_server.Server
+
+type shard = { id : int; endpoints : Server.endpoint list }
+type t = { shards : shard array }
+
+let parse_endpoint s =
+  let s = String.trim s in
+  if String.length s > 5 && String.sub s 0 5 = "unix:" then
+    Ok (Server.Unix_path (String.sub s 5 (String.length s - 5)))
+  else if String.length s > 4 && String.sub s 0 4 = "tcp:" then begin
+    let rest = String.sub s 4 (String.length s - 4) in
+    match String.rindex_opt rest ':' with
+    | None -> Error (Printf.sprintf "bad endpoint %S (want tcp:host:port)" s)
+    | Some i -> (
+        let host = String.sub rest 0 i
+        and port = String.sub rest (i + 1) (String.length rest - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p > 0 && p < 65536 -> Ok (Server.Tcp (host, p))
+        | _ -> Error (Printf.sprintf "bad port in endpoint %S" s))
+  end
+  else Error (Printf.sprintf "bad endpoint %S (want unix:/path or tcp:host:port)" s)
+
+let endpoint_to_string = function
+  | Server.Unix_path p -> "unix:" ^ p
+  | Server.Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+(* workers.conf: one line per shard — "shard <id> <endpoint> [<endpoint>...]"
+   with the primary first and read replicas after; '#' starts a comment. *)
+let parse contents =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let lines = String.split_on_char '\n' contents in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        match String.split_on_char ' ' line |> List.filter (fun s -> String.trim s <> "") with
+        | [] -> go (lineno + 1) acc rest
+        | "shard" :: id :: (_ :: _ as eps) -> (
+            match int_of_string_opt id with
+            | None -> err "workers.conf line %d: bad shard id %S" lineno id
+            | Some id -> (
+                let rec eps_of acc = function
+                  | [] -> Ok (List.rev acc)
+                  | e :: more -> (
+                      match parse_endpoint e with
+                      | Ok ep -> eps_of (ep :: acc) more
+                      | Error m -> err "workers.conf line %d: %s" lineno m)
+                in
+                match eps_of [] eps with
+                | Ok endpoints -> go (lineno + 1) ({ id; endpoints } :: acc) rest
+                | Error _ as e -> e))
+        | "shard" :: _ ->
+            err "workers.conf line %d: shard needs an id and at least one endpoint" lineno
+        | tok :: _ -> err "workers.conf line %d: unknown directive %S" lineno tok)
+  in
+  match go 1 [] lines with
+  | Error _ as e -> e
+  | Ok [] -> Error "workers.conf: no shards"
+  | Ok shards ->
+      let shards = List.sort (fun a b -> compare a.id b.id) shards in
+      let k = List.length shards in
+      let ok =
+        List.for_all2 (fun s want -> s.id = want) shards (List.init k Fun.id)
+      in
+      if not ok then
+        Error
+          (Printf.sprintf "workers.conf: shard ids must be contiguous 0..%d (got %s)"
+             (k - 1)
+             (String.concat "," (List.map (fun s -> string_of_int s.id) shards)))
+      else Ok { shards = Array.of_list shards }
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error m -> Error m
+  | contents -> parse contents
+
+let num_shards t = Array.length t.shards

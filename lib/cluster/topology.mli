@@ -1,0 +1,29 @@
+(** The coordinator's static view of the cluster: [k] shards, each owned
+    by a primary worker with optional read replicas. Shard [i] of [k] is
+    the i-th equal slice of every query's driving-scan source space —
+    ownership is of a scan range, not of edges, so any worker holding the
+    (full, snapshot-mapped) graph can serve any shard: replicas are free,
+    and failover is just re-dispatching the part to the next endpoint.
+
+    [workers.conf] format, one line per shard ('#' comments):
+    {v
+    shard 0 unix:/tmp/w0.sock unix:/tmp/w0b.sock   # primary, then replicas
+    shard 1 tcp:10.0.0.2:7001
+    v}
+    Shard ids must be contiguous [0..k-1]. *)
+
+type shard = { id : int; endpoints : Gf_server.Server.endpoint list  (** primary first *) }
+type t = { shards : shard array }
+
+val parse_endpoint : string -> (Gf_server.Server.endpoint, string) result
+(** ["unix:/path"] or ["tcp:host:port"]. *)
+
+val endpoint_to_string : Gf_server.Server.endpoint -> string
+
+val parse : string -> (t, string) result
+(** Parse workers.conf contents. *)
+
+val load : string -> (t, string) result
+(** Parse a workers.conf file. *)
+
+val num_shards : t -> int

@@ -1,0 +1,23 @@
+(** The worker role: a {!Gf_server.Server.serve} hook layered over a
+    normal service. [hello] lines answer the handshake (protocol version,
+    node id, graph fingerprint — or a structured [version_mismatch]
+    refusal); [shard part=i/k ... q=...] lines execute that slice of the
+    query through the service's full resilience stack (admission queue,
+    ladder, governor) and reply with a shard result; everything else
+    passes through to the standard wire protocol, so a worker is still a
+    complete [gfq serve] node (ping, stats, metrics, mutations against
+    its own store).
+
+    {!Cfault} sites fire on shard dispatch — worker-kill (SIGKILL between
+    dispatch and reply), conn-drop ([`Close] without a reply byte),
+    slow-worker (0.5 s stall), split-refusal ([not_owner]). [slow_s]
+    injects a static stall on every shard request — the bench's
+    deterministic straggler. *)
+
+type t
+
+val create : ?slow_s:float -> node:string -> n:int -> m:int -> Gf_server.Service.t -> t
+(** [n]/[m] are the served graph's vertex/edge counts — the fingerprint
+    the coordinator checks at [hello]. *)
+
+val hook : t -> Gf_server.Server.hook

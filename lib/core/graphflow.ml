@@ -144,7 +144,7 @@ module Db = struct
         with _ -> ())
     | _ -> ()
 
-  let run_gov ?(adaptive = false) ?(domains = 1) ?budget ?fault ?gov ?trace ?sink db q =
+  let run_gov ?(adaptive = false) ?(domains = 1) ?scan_part ?budget ?fault ?gov ?trace ?sink db q =
     (* The planner runs on this thread: give it its own buffer (tid 2) so
        optimization time is visible next to the execution tracks. *)
     let pbuf = Option.map (fun tr -> Trace.buffer ~name:"planner" tr ~tid:2) trace in
@@ -160,10 +160,33 @@ module Db = struct
     in
     (match pbuf with Some b -> Trace.close_all b | None -> ());
     (* Warmup and every Nth run of a cached template execute profiled so
-       EXPLAIN ANALYZE actuals can feed the correction record. *)
-    let prof = if feedback_due then Some (Profile.create p) else None in
+       EXPLAIN ANALYZE actuals can feed the correction record. A sharded run
+       never profiles: its actuals are a fraction of the full plan's
+       estimates and would poison the correction EWMAs. *)
+    let prof =
+      if feedback_due && scan_part = None then Some (Profile.create p) else None
+    in
     let t0 = Gf_util.Timing.now_s () in
     let c, outcome =
+      match scan_part with
+      | Some (i, k) ->
+          (* Cluster shard: the driving scan restricted to the i-th of k
+             equal slices of its source space. Always sequential — the
+             worker process is the parallelism unit, and every worker must
+             derive the identical plan (same catalogue, same graph) for
+             disjoint ranges to union into the exact full result. *)
+          let n = Exec.num_scan_sources db.graph p in
+          let lo = i * n / k and hi = (i + 1) * n / k in
+          let gov =
+            match gov with
+            | Some g -> g
+            | None ->
+                Governor.create ?fault (Option.value budget ~default:Governor.unlimited)
+          in
+          Exec.run_gov_rw
+            ~rewrite:(Exec.ranged_scan_rewrite p ~lo ~hi)
+            ~gov ?trace ?sink db.graph p
+      | None ->
       if domains > 1 then begin
         let r = Parallel.run ~domains ?budget ?fault ?gov ?prof ?trace ?sink db.graph p in
         (r.Parallel.counters, r.Parallel.outcome)

@@ -136,10 +136,19 @@ module Db : sig
       (tid 2), executor spans (tid 1, or tids 9/10+ for parallel runs), and
       a per-operator summary track (tid 100) are recorded into it; export
       with {!Trace.to_chrome_json} or {!Trace.render}. The untraced path is
-      unchanged — tracing costs one [option] branch per phase boundary. *)
+      unchanged — tracing costs one [option] branch per phase boundary.
+
+      [scan_part = (i, k)] executes only the i-th of [k] equal slices of the
+      plan's driving-scan source space (a cluster shard request): the union
+      of matches over disjoint parts is exactly the full result, provided
+      every part is planned against the same catalogue and graph version.
+      A sharded run is always sequential ([adaptive]/[domains] are ignored)
+      and never feeds the plan cache — partial actuals would poison the
+      correction EWMAs. *)
   val run_gov :
     ?adaptive:bool ->
     ?domains:int ->
+    ?scan_part:int * int ->
     ?budget:Governor.budget ->
     ?fault:Governor.fault ->
     ?gov:Governor.t ->

@@ -432,3 +432,35 @@ let collect ?cache ?distinct g plan =
   let acc = ref [] in
   let (_ : Counters.t) = run ?cache ?distinct ~sink:(fun t -> acc := Array.copy t :: !acc) g plan in
   List.rev !acc
+
+(* The SCAN that streams tuples into the root pipeline — same traversal as
+   the parallel executor's morsel source, re-exported here so remote shards
+   can carve the identical source space. *)
+let rec driving_scan = function
+  | Plan.Scan _ as s -> s
+  | Plan.Extend { child; _ } -> driving_scan child
+  | Plan.Hash_join { probe; _ } -> driving_scan probe
+
+let num_scan_sources g plan =
+  match driving_scan plan with
+  | Plan.Scan { slabel; _ } -> Graph.num_with_label g slabel
+  | _ -> assert false
+
+let ranged_scan_rewrite plan ~lo ~hi : rewrite =
+  let target = driving_scan plan in
+  fun _recurse env node ->
+    if node == target then
+      match node with
+      | Plan.Scan { edge; slabel; dlabel; _ } ->
+          let buf = Array.make 2 0 in
+          Some
+            (fun sink ->
+              Graph.iter_edges_range env.g ~elabel:edge.Gf_query.Query.label
+                ~slabel ~dlabel ~lo ~hi (fun u v ->
+                  buf.(0) <- u;
+                  buf.(1) <- v;
+                  env.c.Counters.produced <- env.c.Counters.produced + 1;
+                  Governor.tick env.gov env.c;
+                  sink buf))
+      | _ -> None
+    else None

@@ -127,6 +127,25 @@ val run_gov_rw :
   Gf_plan.Plan.t ->
   Counters.t * Governor.outcome
 
+(** [driving_scan p] is the SCAN that streams tuples into [p]'s root
+    pipeline: the leftmost scan through E/I children and HASH-JOIN probe
+    sides. Its source-vertex range is the unit of work division shared by
+    the parallel executor's morsels and the cluster's shard requests. *)
+val driving_scan : Gf_plan.Plan.t -> Gf_plan.Plan.t
+
+(** [num_scan_sources g p] is the size of the driving scan's source space —
+    [Graph.num_with_label] of its source label. Ranges over
+    [\[0, num_scan_sources)] partition the plan's output. *)
+val num_scan_sources : Gf_graph.Graph.t -> Gf_plan.Plan.t -> int
+
+(** [ranged_scan_rewrite p ~lo ~hi] is a rewrite restricting [p]'s driving
+    scan to source indices [\[lo, hi)] — the remote-morsel source: a worker
+    executing the full plan under this rewrite produces exactly the partial
+    matches of that shard of the scan space, and disjoint ranges covering
+    the whole space partition the query's output. HASH-JOIN build sides are
+    untouched (they must stay complete, as in the parallel executor). *)
+val ranged_scan_rewrite : Gf_plan.Plan.t -> lo:int -> hi:int -> rewrite
+
 (** [emit_operator_track tr prof ~t0_us] synthesizes the per-operator
     summary track: one span per operator, durations = profile self-times,
     packed sequentially from [t0_us] on thread [tid] (default 100) so their

@@ -50,9 +50,24 @@ let backoff_delay cfg rng attempt =
      stream — deterministic under a fixed seed. *)
   capped *. (0.5 +. Gf.Rng.float rng 0.5)
 
-let run ?(sleep = Unix.sleepf) ?(attach = fun _ -> fun () -> ()) ?fault
-    ?(fault_attempts = 1) ?sink ?trace ?tbuf ~rng cfg db q =
+let run ?(sleep = Unix.sleepf) ?(now = Unix.gettimeofday)
+    ?(attach = fun _ -> fun () -> ()) ?fault ?(fault_attempts = 1) ?part ?sink
+    ?trace ?tbuf ~rng cfg db q =
   let rungs = rungs cfg in
+  (* A sharded request is the parallelism unit itself: every worker must
+     execute the same sequential plan for disjoint ranges to union exactly,
+     so the parallel rung is skipped. *)
+  let rungs =
+    if part = None then rungs else List.filter (fun r -> r.name <> "parallel") rungs
+  in
+  let started = now () in
+  (* Deadline-aware backoff: never sleep past the point where the retry is
+     guaranteed to trip the attempt budget's deadline on arrival. *)
+  let clamp_to_deadline d =
+    match cfg.budget.Governor.deadline_s with
+    | None -> d
+    | Some dl -> Float.max 0. (Float.min d (started +. dl -. now ()))
+  in
   let total = List.length rungs in
   let backoffs = ref [] in
   let rec go attempt = function
@@ -83,7 +98,8 @@ let run ?(sleep = Unix.sleepf) ?(attach = fun _ -> fun () -> ()) ?fault
           Fun.protect
             ~finally:(fun () -> detach ())
             (fun () ->
-              Gf.Db.run_gov ~domains:rung.domains ~gov ?trace ?sink:attempt_sink db q)
+              Gf.Db.run_gov ~domains:rung.domains ?scan_part:part ~gov ?trace
+                ?sink:attempt_sink db q)
         in
         (match tbuf with
         | Some b ->
@@ -119,7 +135,7 @@ let run ?(sleep = Unix.sleepf) ?(attach = fun _ -> fun () -> ()) ?fault
               (* Out of rungs: report the failure, leak no partial rows. *)
               finish ~flush:false ~degraded:false
             else begin
-              let d = backoff_delay cfg rng attempt in
+              let d = clamp_to_deadline (backoff_delay cfg rng attempt) in
               backoffs := d :: !backoffs;
               (match tbuf with
               | Some b ->

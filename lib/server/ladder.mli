@@ -54,9 +54,11 @@ type result = {
 
 val run :
   ?sleep:(float -> unit) ->
+  ?now:(unit -> float) ->
   ?attach:(Gf.Governor.t -> unit -> unit) ->
   ?fault:Gf.Governor.fault ->
   ?fault_attempts:int ->
+  ?part:int * int ->
   ?sink:(int array -> unit) ->
   ?trace:Gf.Trace.t ->
   ?tbuf:Gf.Trace.buf ->
@@ -73,7 +75,17 @@ val run :
     ({!Gf.Governor.cancel} during drain). [fault] injects a deterministic
     fault into the first [fault_attempts] attempts (default 1: the fault
     fires once and the retry recovers — set it higher to keep a request
-    failing on every rung). [sleep] replaces [Unix.sleepf] in tests.
+    failing on every rung). [sleep] replaces [Unix.sleepf] in tests, and
+    [now] replaces [Unix.gettimeofday] — the clock against which each
+    backoff is clamped to the budget's remaining [deadline_s], so a retry
+    never sleeps past the point where the attempt is guaranteed to trip
+    the governor on arrival.
+
+    [part = (i, k)] marks a cluster shard request: every attempt executes
+    only that slice of the driving scan ({!Gf.Db.run_gov}'s [scan_part]),
+    and the parallel rung is skipped — the worker process is the
+    parallelism unit, and identical sequential plans across workers are
+    what make disjoint parts union into the exact full result.
 
     [trace] is forwarded to {!Gf.Db.run_gov} for each attempt; [tbuf] (the
     caller's recording buffer — the ladder runs on the caller's thread)

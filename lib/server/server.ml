@@ -7,8 +7,11 @@ let c_inc name help = Metrics.inc (Metrics.counter ~help name)
 
 type conn = { fd : Unix.file_descr; mutable thread : Thread.t option }
 
+type hook = string -> [ `Reply of string | `Close | `Pass ]
+
 type state = {
   service : Service.t;
+  hook : hook;
   listen_fd : Unix.file_descr;
   m : Mutex.t;
   mutable conns : conn list;
@@ -34,6 +37,12 @@ let handle_conn st conn =
     | line ->
         c_inc "gf_server_requests_received_total" "Request lines received";
         let continue =
+          match st.hook line with
+          | `Reply r ->
+              respond r;
+              true
+          | `Close -> false
+          | `Pass -> (
           match Wire.parse_request line with
           | Error detail ->
               respond (Wire.error_resp ~kind:"parse" ~detail);
@@ -69,7 +78,7 @@ let handle_conn st conn =
               (match Service.mutate st.service ~trace ~text:line mut with
               | Ok reply -> respond (Wire.ok_mutation reply ~traced:trace)
               | Error e -> respond (Wire.mutation_rejected e));
-              true
+              true)
         in
         if continue then loop ()
   in
@@ -96,12 +105,14 @@ let bind_endpoint = function
       Unix.bind fd (Unix.ADDR_INET (addr, port));
       fd
 
-let serve ?(on_ready = fun _ -> ()) service endpoint =
+let serve ?(on_ready = fun _ -> ()) ?(hook = fun _ -> `Pass) service endpoint =
   (* A client vanishing mid-response must not kill the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let listen_fd = bind_endpoint endpoint in
   Unix.listen listen_fd 64;
-  let st = { service; listen_fd; m = Mutex.create (); conns = []; stopping = false } in
+  let st =
+    { service; hook; listen_fd; m = Mutex.create (); conns = []; stopping = false }
+  in
   let old_int = ref Sys.Signal_default and old_term = ref Sys.Signal_default in
   (try
      old_int := Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> request_stop st));

@@ -12,7 +12,15 @@
 
 type endpoint = Unix_path of string | Tcp of string * int
 
-val serve : ?on_ready:(endpoint -> unit) -> Service.t -> endpoint -> unit
+(** A per-line intercept, consulted before {!Wire.parse_request}: [`Reply r]
+    answers the line with the raw response [r], [`Close] drops the
+    connection without replying (fault injection: a mid-request
+    connection-reset as the client sees it), [`Pass] falls through to the
+    standard dispatch. Cluster roles (worker shard execution, coordinator
+    fan-out) are hooks over the same accept loop and protocol. *)
+type hook = string -> [ `Reply of string | `Close | `Pass ]
+
+val serve : ?on_ready:(endpoint -> unit) -> ?hook:hook -> Service.t -> endpoint -> unit
 (** Blocks until shutdown. [on_ready] fires once the socket is listening
     (before the first accept) — the hook tests and the CLI use to print
     the address or release a waiting client. *)

@@ -44,6 +44,7 @@ type request = {
   max_intermediate : int option;
   fault_at : int option;
   fault_all : bool;
+  part : (int * int) option;
   collect_rows : bool;
   trace : bool;
 }
@@ -57,6 +58,7 @@ let request query =
     max_intermediate = None;
     fault_at = None;
     fault_all = false;
+    part = None;
     collect_rows = false;
     trace = false;
   }
@@ -211,8 +213,8 @@ let run_job t job =
   let db = t.db in
   let t0 = t.cfg.now () in
   let result =
-    Ladder.run ~sleep:t.cfg.sleep ~attach ?fault ~fault_attempts ?sink ?trace ?tbuf ~rng lcfg
-      db req.query
+    Ladder.run ~sleep:t.cfg.sleep ~now:t.cfg.now ~attach ?fault ~fault_attempts
+      ?part:req.part ?sink ?trace ?tbuf ~rng lcfg db req.query
   in
   let exec_s = t.cfg.now () -. t0 in
   (match tbuf with

@@ -57,6 +57,8 @@ type request = {
   max_intermediate : int option;
   fault_at : int option;  (** explicit injected fault (testing) *)
   fault_all : bool;  (** fault every attempt, not just the first *)
+  part : (int * int) option;
+      (** cluster shard: run only the i-th of k slices of the driving scan *)
   collect_rows : bool;  (** buffer result rows into the reply *)
   trace : bool;  (** record a full span trace for this request *)
 }

@@ -70,6 +70,20 @@ let snapshot_files dir =
       |> List.filter (fun n -> snap_version_of_name n <> None)
       |> List.sort compare
 
+(* Read-only snapshot handoff: a cluster worker starts by mapping the newest
+   checksum-valid snapshot, never opening the WAL or taking the writer role —
+   generations that fail validation are skipped, mirroring recovery's
+   fallback. *)
+let attach_snapshot dir =
+  let rec pick = function
+    | [] -> Error (Printf.sprintf "no loadable snapshot in %s" dir)
+    | name :: older -> (
+        match Graph_io.load_snapshot_versioned (Filename.concat dir name) with
+        | Ok (g, wv) -> Ok (name, wv, g)
+        | Error _ -> pick older)
+  in
+  pick (List.rev (snapshot_files dir))
+
 let fsync_dir dir =
   match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
   | exception Unix.Unix_error _ -> ()

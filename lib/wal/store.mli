@@ -66,6 +66,16 @@ type recovery = {
     yet (a freshly loaded dataset, or an empty graph). *)
 val open_store : ?config:config -> init:Gf_graph.Graph.t -> string -> (t, open_error) result
 
+(** [attach_snapshot dir] maps the newest checksum-valid snapshot in [dir]
+    read-only — [(basename, version, graph)] — without opening the WAL or
+    taking the writer role. The cluster worker's instant-start path: a
+    worker seeds itself from the store a checkpointing writer maintains,
+    skipping generations that fail validation exactly as recovery would.
+    Pending WAL records past the snapshot are not replayed (workers serve
+    the checkpointed version; the version travels in shard replies so skew
+    is visible). *)
+val attach_snapshot : string -> (string * int * Gf_graph.Graph.t, string) result
+
 val recovery_info : t -> recovery
 val config : t -> config
 val dir : t -> string
