@@ -660,6 +660,54 @@ let tracing () =
     (Gf.Trace.dropped tr) (String.length json)
     (List.length (Gf.Trace.chrome_events tr))
 
+let wire_obs () =
+  header "Wire observability: span export/graft roundtrip and exposition render";
+  (* The cross-process trace path a distributed query pays: the worker
+     serializes its span tree ([export_spans]), the coordinator grafts it
+     under a pid-tagged track ([graft]) and renders one Chrome trace.
+     Measured on a real traced run so span counts and name/arg shapes are
+     representative, best of 9, warm caches. *)
+  let g = dataset_at (Gf.Generators.Twitter, scale *. 0.5) in
+  let q = Gf.Patterns.q 1 in
+  let cat = catalog g in
+  let order, _ = Gf.Planner.best_wco_order cat q in
+  let plan = Gf.Plan.wco q order in
+  let tr = Gf.Trace.create () in
+  let (_ : Gf.Parallel.report) = Gf.Parallel.run ~domains:4 ~trace:tr g plan in
+  let best f =
+    ignore (f ());
+    let ts = List.init 9 (fun _ -> fst (time_once f)) in
+    List.fold_left min infinity ts
+  in
+  let payload = Gf.Trace.export_spans tr in
+  let t_export = best (fun () -> Gf.Trace.export_spans tr) in
+  Printf.printf "export_spans: %d spans -> %d bytes in %.6fs\n"
+    (List.length (Gf.Trace.spans tr))
+    (String.length payload) t_export;
+  let graft_once () =
+    let dst = Gf.Trace.create () in
+    Gf.Trace.graft dst ~pid:4242 ~pname:"w0 (bench)" ~skew_us:1500 payload;
+    dst
+  in
+  let t_graft = best (fun () -> graft_once ()) in
+  let stitched = graft_once () in
+  let t_render = best (fun () -> Gf.Trace.to_chrome_json stitched) in
+  let json = Gf.Trace.to_chrome_json stitched in
+  Printf.printf
+    "graft: %.6fs; stitched Chrome JSON: %d events, %d bytes in %.6fs\n"
+    t_graft
+    (List.length (Gf.Trace.chrome_events stitched))
+    (String.length json) t_render;
+  (* Exposition render cost: what one Prometheus scrape of /metrics costs
+     the serving process (registry walk + text formatting, no I/O). *)
+  let db = Gf.Db.create g in
+  let (_ : Gf.Counters.t * Gf.Governor.outcome) = Gf.Db.run_gov db q in
+  let expo = Gf.Db.metrics_exposition () in
+  let t_expo = best (fun () -> Gf.Db.metrics_exposition ()) in
+  let lines = List.length (String.split_on_char '\n' expo) in
+  Printf.printf "metrics_exposition: %d lines, %d bytes in %.6fs per scrape\n" lines
+    (String.length expo) t_expo
+
 (* ------------------------------------------------------------------ *)
 (* Tables 10 & 11: catalogue accuracy (q-error) vs z and h.            *)
 (* ------------------------------------------------------------------ *)
@@ -1497,6 +1545,7 @@ let sections =
     ("resilience", resilience);
     ("observability", observability);
     ("tracing", tracing);
+    ("wire_obs", wire_obs);
     ("table10", table10);
     ("table11", table11);
     ("table12", table12);

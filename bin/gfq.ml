@@ -166,6 +166,61 @@ let plan_cmd =
   Cmd.v (Cmd.info "plan" ~doc:"Show the optimizer's plan for a query.")
     Term.(const go $ graph_file $ dataset $ scale $ labels $ seed $ query_arg $ dot)
 
+(* --- wire client: one line out, one line back --------------------------- *)
+
+let dial_endpoint ep =
+  let sockaddr =
+    match ep with
+    | Gf_server.Server.Unix_path path -> Unix.ADDR_UNIX path
+    | Gf_server.Server.Tcp (h, p) ->
+        let addr =
+          try Unix.inet_addr_of_string h
+          with Failure _ -> (Unix.gethostbyname h).Unix.h_addr_list.(0)
+        in
+        Unix.ADDR_INET (addr, p)
+  in
+  let fd = Unix.socket (Unix.domain_of_sockaddr sockaddr) Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd sockaddr with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+      die
+        (Printf.sprintf "could not connect to %s: %s"
+           (Gf_cluster.Topology.endpoint_to_string ep)
+           (Unix.error_message e)));
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let ask line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    match input_line ic with
+    | reply -> reply
+    | exception End_of_file -> die "server closed the connection before replying"
+  in
+  (fd, ask)
+
+(* The trace envelope is {"ok":true,"id":N,"trace":<JSON>} with the trace
+   nested raw as the last field, so it can be stripped by position:
+   everything between "trace": and the final brace. *)
+let strip_trace_envelope reply =
+  let marker = {|"trace":|} in
+  let mlen = String.length marker and len = String.length reply in
+  let rec find i =
+    if i + mlen > len then None
+    else if String.sub reply i mlen = marker then Some (i + mlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some start when len > start -> Some (String.sub reply start (len - start - 1))
+  | _ -> None
+
+let write_trace_file ~id ~path body =
+  let oc = open_out path in
+  output_string oc body;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "trace %d -> %s\n" id path
+
 let run_cmd =
   let adaptive = Arg.(value & flag & info [ "adaptive" ] ~doc:"Adaptive QVO selection.") in
   let limit = Arg.(value & opt (some int) None & info [ "limit" ] ~doc:"Stop after N matches.") in
@@ -245,22 +300,68 @@ let run_cmd =
             "Plan from scratch instead of through a plan cache (a one-shot run plans once \
              either way; this mainly silences the gf_server_plan_cache_* metrics).")
   in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Run the query on a running gfq serve instead of locally: ADDR is unix:PATH or \
+             tcp:HOST:PORT. Against a cluster coordinator with --trace-out, fetches the \
+             stitched cross-process trace — coordinator attempts plus every worker that \
+             served a shard, on their own process tracks — as one Chrome trace file.")
+  in
+  (* Remote mode: the serving process executes and traces; we just speak the
+     wire protocol and, for --trace-out, pull the retained trace back out of
+     its flight recorder. *)
+  let run_remote ~addr ~qs ~timeout_ms ~max_output ~trace_out =
+    let ep =
+      match Gf_cluster.Topology.parse_endpoint addr with Ok e -> e | Error m -> die m
+    in
+    let fd, ask = dial_endpoint ep in
+    let opts = Buffer.create 32 in
+    Option.iter (fun ms -> Buffer.add_string opts (Printf.sprintf " timeout_ms=%d" ms)) timeout_ms;
+    Option.iter (fun n -> Buffer.add_string opts (Printf.sprintf " max_rows=%d" n)) max_output;
+    if trace_out <> None then Buffer.add_string opts " trace";
+    let reply = ask (Printf.sprintf "run%s q=%s" (Buffer.contents opts) qs) in
+    print_endline reply;
+    (match trace_out with
+    | None -> ()
+    | Some path -> (
+        match Gf_cluster.Proto.json_int reply "trace_id" with
+        | None -> die "reply carries no trace_id (did the server refuse the run?)"
+        | Some id -> (
+            let treply = ask (Printf.sprintf "trace id=%d" id) in
+            match strip_trace_envelope treply with
+            | Some body -> write_trace_file ~id ~path body
+            | None ->
+                prerr_endline treply;
+                exit 1)));
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
   let go graph_file dataset scale labels seed qs kernel adaptive limit timeout_ms max_rows
       max_intermediate max_bytes domains explain_analyze json metrics trace_out trace_tree
-      no_plan_cache =
+      no_plan_cache connect =
     apply_kernel kernel;
+    let remote_max_output =
+      match (limit, max_rows) with
+      | Some a, Some b -> Some (min a b)
+      | (Some _ as a), None -> a
+      | None, b -> b
+    in
+    match connect with
+    | Some addr ->
+        if explain_analyze || json || trace_tree then
+          die "--connect supports plain runs (drop --explain-analyze/--json/--trace-tree)";
+        run_remote ~addr ~qs ~timeout_ms ~max_output:remote_max_output ~trace_out
+    | None ->
     let g = load_graph graph_file dataset scale labels seed in
     let plan_cache =
       if no_plan_cache then None else Some (Gf.Plan_cache.create ~capacity:64 ())
     in
     let db = Gf.Db.create ?plan_cache g in
     let q = parse_query qs in
-    let max_output =
-      match (limit, max_rows) with
-      | Some a, Some b -> Some (min a b)
-      | (Some _ as a), None -> a
-      | None, b -> b
-    in
+    let max_output = remote_max_output in
     let budget =
       Gf.Governor.budget
         ?deadline_s:(Option.map (fun ms -> float_of_int ms /. 1000.) timeout_ms)
@@ -305,7 +406,7 @@ let run_cmd =
     Term.(
       const go $ graph_file $ dataset $ scale $ labels $ seed $ query_arg $ kernel_arg
       $ adaptive $ limit $ timeout_ms $ max_rows $ max_intermediate $ max_bytes $ domains
-      $ explain_analyze $ json $ metrics $ trace_out $ trace_tree $ no_plan_cache)
+      $ explain_analyze $ json $ metrics $ trace_out $ trace_tree $ no_plan_cache $ connect)
 
 let spectrum_cmd =
   let go graph_file dataset scale labels seed qs =
@@ -558,13 +659,46 @@ let serve_cmd =
       & info [ "cluster-retries" ] ~docv:"N"
           ~doc:"Coordinator: extra endpoint attempts per shard after the first fails.")
   in
+  let metrics_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:
+            "Expose GET /metrics (Prometheus text exposition of every gf_* series) and GET \
+             /healthz on this HTTP port, on any role — plain server, worker, or \
+             coordinator. 0 picks a free port (printed at startup).")
+  in
   let go graph_file dataset scale labels seed kernel socket port host workers queue domains
       timeout_ms max_rows max_intermediate degraded_timeout_ms backoff_ms backoff_cap_ms
       breaker_window breaker_min breaker_threshold breaker_cooldown_ms fault_seed data_dir
       merge_threshold segment_bytes sync_every_append snapshots_kept plan_cache_cap
-      worker_node coordinator attach_snap hedge_ms rpc_timeout_ms cluster_retries =
+      worker_node coordinator attach_snap hedge_ms rpc_timeout_ms cluster_retries
+      metrics_port =
     apply_kernel kernel;
     let endpoint = endpoint_arg_of socket port host in
+    (* The exposition listener serves the process-wide registry, so one
+       endpoint covers whatever roles this process plays. *)
+    let exposer =
+      Option.map
+        (fun p ->
+          match
+            Gf_obs.Expose.start ~port:p
+              [
+                ( "/metrics",
+                  fun () -> ("text/plain; version=0.0.4", Gf.Db.metrics_exposition ()) );
+                ("/healthz", fun () -> ("text/plain", "ok\n"));
+              ]
+          with
+          | Ok ex ->
+              Format.printf "gfq serve: metrics on http://127.0.0.1:%d/metrics@."
+                (Gf_obs.Expose.port ex);
+              Format.print_flush ();
+              ex
+          | Error m -> die ("metrics-port: " ^ m))
+        metrics_port
+    in
+    let stop_exposer () = Option.iter Gf_obs.Expose.stop exposer in
     let breaker =
       {
         Gf_server.Breaker.window = breaker_window;
@@ -610,6 +744,7 @@ let serve_cmd =
             Format.print_flush ())
           service endpoint;
         Gf_cluster.Coordinator.stop coord;
+        stop_exposer ();
         Format.printf "gfq serve: drained, exiting@."
     | None ->
     if attach_snap <> None && data_dir <> None then
@@ -720,6 +855,7 @@ let serve_cmd =
         Format.print_flush ())
       service endpoint;
     Option.iter Gf_wal.Store.close store;
+    stop_exposer ();
     Format.printf "gfq serve: drained, exiting@."
   in
   Cmd.v
@@ -736,7 +872,7 @@ let serve_cmd =
       $ breaker_window $ breaker_min $ breaker_threshold $ breaker_cooldown_ms $ fault_seed
       $ data_dir $ merge_threshold $ segment_bytes $ sync_every_append $ snapshots_kept
       $ plan_cache_cap $ worker_node $ coordinator $ attach_snap $ hedge_ms $ rpc_timeout_ms
-      $ cluster_retries)
+      $ cluster_retries $ metrics_port)
 
 (* --- soak: a concurrent client driver for CI and load checks ----------- *)
 
@@ -1284,59 +1420,17 @@ let slowlog_cmd =
   in
   let go socket port host count stats trace_id out =
     let endpoint = endpoint_arg_of socket port host in
-    let sockaddr =
-      match endpoint with
-      | Gf_server.Server.Unix_path path -> Unix.ADDR_UNIX path
-      | Gf_server.Server.Tcp (h, p) ->
-          let addr =
-            try Unix.inet_addr_of_string h
-            with Failure _ -> (Unix.gethostbyname h).Unix.h_addr_list.(0)
-          in
-          Unix.ADDR_INET (addr, p)
-    in
-    let fd = Unix.socket (Unix.domain_of_sockaddr sockaddr) Unix.SOCK_STREAM 0 in
-    (match Unix.connect fd sockaddr with
-    | () -> ()
-    | exception Unix.Unix_error (e, _, _) ->
-        die
-          (Printf.sprintf "could not connect to %s: %s" (endpoint_to_string endpoint)
-             (Unix.error_message e)));
-    let ic = Unix.in_channel_of_descr fd in
-    let oc = Unix.out_channel_of_descr fd in
-    let ask line =
-      output_string oc line;
-      output_char oc '\n';
-      flush oc;
-      match input_line ic with
-      | reply -> reply
-      | exception End_of_file -> die "server closed the connection before replying"
-    in
+    let fd, ask = dial_endpoint endpoint in
     (match (stats, trace_id) with
     | true, _ -> print_endline (ask "stats")
     | false, Some id -> (
         let reply = ask (Printf.sprintf "trace id=%d" id) in
-        (* The envelope is {"ok":true,"id":N,"trace":<JSON>} with the trace
-           nested raw as the last field, so it can be stripped by position:
-           everything between "trace": and the final brace. *)
-        let marker = {|"trace":|} in
-        let mlen = String.length marker and len = String.length reply in
-        let rec find i =
-          if i + mlen > len then None
-          else if String.sub reply i mlen = marker then Some (i + mlen)
-          else find (i + 1)
-        in
-        match find 0 with
-        | Some start when String.length reply > start ->
-            let body = String.sub reply start (len - start - 1) in
-            (match out with
-            | Some path ->
-                let oc = open_out path in
-                output_string oc body;
-                output_char oc '\n';
-                close_out oc;
-                Printf.printf "trace %d -> %s\n" id path
+        match strip_trace_envelope reply with
+        | Some body -> (
+            match out with
+            | Some path -> write_trace_file ~id ~path body
             | None -> print_endline body)
-        | _ ->
+        | None ->
             prerr_endline reply;
             exit 1)
     | false, None -> print_endline (ask (Printf.sprintf "slowlog %d" count)));
@@ -1348,6 +1442,186 @@ let slowlog_cmd =
          "Read a running gfq serve's always-on flight recorder: recent query records, the \
           stats health snapshot, or a retained span trace by id.")
     Term.(const go $ socket_arg $ port_arg $ host_arg $ count $ stats $ trace_id $ out)
+
+(* --- top: a refreshing terminal dashboard over the stats command -------- *)
+
+let top_cmd =
+  let interval =
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"S" ~doc:"Refresh period in seconds.")
+  in
+  let frames =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"N"
+          ~doc:
+            "Render N frames then exit (0 = refresh until interrupted; 1 prints a single \
+             frame without clearing the screen).")
+  in
+  (* The stats reply is one flat JSON line built by Printf — scan it rather
+     than depend on a JSON parser the toolchain doesn't ship. *)
+  let scrape_num s key =
+    let needle = Printf.sprintf "\"%s\":" key in
+    let nlen = String.length needle and len = String.length s in
+    let rec find i =
+      if i + nlen > len then None
+      else if String.sub s i nlen = needle then begin
+        let j = ref (i + nlen) in
+        let num c = (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E' in
+        while !j < len && num s.[!j] do incr j done;
+        if !j = i + nlen then None
+        else float_of_string_opt (String.sub s (i + nlen) (!j - i - nlen))
+      end
+      else find (i + 1)
+    in
+    find 0
+  in
+  let inum s key = Option.map int_of_float (scrape_num s key) in
+  (* Raw body of "key":[ ... ] with bracket matching (string-aware: embedded
+     worker stats and error messages are JSON strings that may contain
+     brackets). *)
+  let raw_array s key =
+    let needle = Printf.sprintf "\"%s\":[" key in
+    let nlen = String.length needle and len = String.length s in
+    let rec find i =
+      if i + nlen > len then None
+      else if String.sub s i nlen = needle then Some (i + nlen)
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> None
+    | Some start ->
+        let depth = ref 1 and i = ref start and in_str = ref false in
+        while !i < len && !depth > 0 do
+          (if !in_str then
+             match s.[!i] with
+             | '\\' -> incr i
+             | '"' -> in_str := false
+             | _ -> ()
+           else
+             match s.[!i] with
+             | '"' -> in_str := true
+             | '[' | '{' -> incr depth
+             | ']' | '}' -> decr depth
+             | _ -> ());
+          incr i
+        done;
+        if !depth = 0 then Some (String.sub s start (!i - 1 - start)) else None
+  in
+  (* Split an array body into its depth-0 {...} elements. *)
+  let objects body =
+    let len = String.length body in
+    let out = ref [] and depth = ref 0 and start = ref (-1) in
+    let in_str = ref false and esc = ref false in
+    for i = 0 to len - 1 do
+      if !esc then esc := false
+      else if !in_str then (
+        match body.[i] with '\\' -> esc := true | '"' -> in_str := false | _ -> ())
+      else
+        match body.[i] with
+        | '"' -> in_str := true
+        | '{' ->
+            if !depth = 0 then start := i;
+            incr depth
+        | '}' ->
+            decr depth;
+            if !depth = 0 && !start >= 0 then out := String.sub body !start (i - !start + 1) :: !out
+        | _ -> ()
+    done;
+    List.rev !out
+  in
+  let fmt_ms v = match v with Some f -> Printf.sprintf "%.1f" f | None -> "-" in
+  let render addr frame reply =
+    let b = Buffer.create 1024 in
+    let node = Option.value (Gf_cluster.Proto.json_str reply "node") ~default:"?" in
+    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+    if Gf_cluster.Proto.json_str reply "type" = Some "cluster_stats" then begin
+      line "gfq top — %s — coordinator %s (frame %d)" addr node frame;
+      line "requests %d   failovers %d   hedges %d (wins %d)   shards %d"
+        (Option.value (inum reply "requests") ~default:0)
+        (Option.value (inum reply "failovers") ~default:0)
+        (Option.value (inum reply "hedges") ~default:0)
+        (Option.value (inum reply "hedge_wins") ~default:0)
+        (Option.value (inum reply "shards") ~default:0);
+      line "request latency  p50 %sms  p95 %sms  p99 %sms"
+        (fmt_ms (scrape_num reply "p50_ms"))
+        (fmt_ms (scrape_num reply "p95_ms"))
+        (fmt_ms (scrape_num reply "p99_ms"));
+      (match raw_array reply "shard_latency" with
+      | None | Some "" -> ()
+      | Some body ->
+          line "";
+          line "%5s %8s %8s %8s %8s" "shard" "count" "p50ms" "p95ms" "p99ms";
+          List.iter
+            (fun o ->
+              line "%5d %8d %8s %8s %8s"
+                (Option.value (inum o "shard") ~default:0)
+                (Option.value (inum o "count") ~default:0)
+                (fmt_ms (scrape_num o "p50_ms"))
+                (fmt_ms (scrape_num o "p95_ms"))
+                (fmt_ms (scrape_num o "p99_ms")))
+            (objects body));
+      match raw_array reply "fleet" with
+      | None | Some "" -> ()
+      | Some body ->
+          line "";
+          line "fleet:";
+          List.iter
+            (fun o ->
+              let ep = Option.value (Gf_cluster.Proto.json_str o "endpoint") ~default:"?" in
+              match Gf_cluster.Proto.json_str o "error" with
+              | Some e -> line "  %-32s DOWN  %s" ep e
+              | None ->
+                  line "  %-32s up    done=%d fail=%d q=%d p99=%sms wal=v%d/%d cache=%d"
+                    ep
+                    (Option.value (inum o "completed") ~default:0)
+                    (Option.value (inum o "failed") ~default:0)
+                    (Option.value (inum o "queue_depth") ~default:0)
+                    (fmt_ms (scrape_num o "p99_ms"))
+                    (Option.value (inum o "wal_version") ~default:0)
+                    (Option.value (inum o "wal_pending") ~default:0)
+                    (Option.value (inum o "plan_cache_entries") ~default:0))
+            (objects body)
+    end
+    else begin
+      (* A plain server: show its own health line. *)
+      line "gfq top — %s (frame %d)" addr frame;
+      line "completed %d   failed %d   retries %d   queue %d   breaker %s"
+        (Option.value (inum reply "completed") ~default:0)
+        (Option.value (inum reply "failed") ~default:0)
+        (Option.value (inum reply "retries") ~default:0)
+        (Option.value (inum reply "queue_depth") ~default:0)
+        (Option.value (Gf_cluster.Proto.json_str reply "breaker") ~default:"?");
+      line "latency  p50 %sms  p95 %sms  p99 %sms"
+        (fmt_ms (scrape_num reply "p50_ms"))
+        (fmt_ms (scrape_num reply "p95_ms"))
+        (fmt_ms (scrape_num reply "p99_ms"))
+    end;
+    Buffer.contents b
+  in
+  let go socket port host interval frames =
+    let endpoint = endpoint_arg_of socket port host in
+    let addr = endpoint_to_string endpoint in
+    let fd, ask = dial_endpoint endpoint in
+    let frame = ref 0 in
+    let continue () = frames <= 0 || !frame < frames in
+    while continue () do
+      incr frame;
+      let reply = ask "stats" in
+      if frames <> 1 then print_string "\027[2J\027[H";
+      print_string (render addr !frame reply);
+      flush stdout;
+      if continue () then Unix.sleepf (Float.max 0.05 interval)
+    done;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal dashboard over a running gfq serve: polls the stats wire command \
+          and renders it. Against a cluster coordinator, shows cluster-wide request \
+          counters, per-shard latency quantiles, and every worker's own health \
+          (pulled and merged by the coordinator).")
+    Term.(const go $ socket_arg $ port_arg $ host_arg $ interval $ frames)
 
 let shell_cmd =
   let go graph_file dataset scale labels seed =
@@ -1422,5 +1696,6 @@ let () =
             serve_cmd;
             soak_cmd;
             slowlog_cmd;
+            top_cmd;
             shell_cmd;
           ]))

@@ -17,6 +17,8 @@ type config = {
   probe_interval_s : float;
   probe_timeout_s : float;
   slowlog_capacity : int;
+  slow_s : float;  (** slow-pin threshold for distributed queries *)
+  stats_interval_s : float;  (** worker stats pull period; <= 0 = on demand only *)
 }
 
 let default_config =
@@ -31,6 +33,8 @@ let default_config =
     probe_interval_s = 1.0;
     probe_timeout_s = 0.5;
     slowlog_capacity = 256;
+    slow_s = 0.25;
+    stats_interval_s = 2.0;
   }
 
 type t = {
@@ -41,44 +45,105 @@ type t = {
   health : Health.t;
   recorder : Gf.Recorder.t;
   m : Mutex.t;
+  skews : (string, int) Hashtbl.t;
+      (** per-endpoint clock skew (peer − local, µs) from the last handshake *)
   mutable fingerprint : (int * int) option;  (** (n, m) agreed by the cluster *)
   mutable next_id : int;
   mutable requests : int;
   mutable failovers : int;
   mutable hedges : int;
+  mutable hedge_wins : int;
+  mutable fleet : (string * (string, string) result) list;
+      (** last pulled worker [stats] reply (or error) per endpoint *)
+  mutable fleet_thread : Thread.t option;
   mutable stopped : bool;
 }
 
 let c_inc ?(by = 1) name help = Metrics.inc ~by (Metrics.counter ~help name)
+
+let fleet_endpoints t =
+  Array.to_list t.topo.Topology.shards
+  |> List.concat_map (fun s -> s.Topology.endpoints)
+  |> List.sort_uniq (fun a b ->
+         compare (Topology.endpoint_to_string a) (Topology.endpoint_to_string b))
+
+(* One-shot [stats] pull from every distinct endpoint. Uses fresh
+   connections rather than the RPC pool: a wedged worker must cost one
+   probe timeout, never poison a pooled query connection. *)
+let fleet_pull t =
+  fleet_endpoints t
+  |> List.map (fun ep ->
+         let key = Topology.endpoint_to_string ep in
+         match Remote.connect ~timeout_s:t.cfg.probe_timeout_s ep with
+         | Error e -> (key, Error e)
+         | Ok c ->
+             let r = Remote.request c ~timeout_s:t.cfg.probe_timeout_s "stats" in
+             Remote.close c;
+             (key, r))
+
+let fleet_refresh t =
+  let entries = fleet_pull t in
+  Mutex.lock t.m;
+  t.fleet <- entries;
+  Mutex.unlock t.m
+
+let fleet_loop t =
+  while not t.stopped do
+    fleet_refresh t;
+    (* Sleep in short slices so [stop] is honoured promptly. *)
+    let slices = int_of_float (Float.max 1. (t.cfg.stats_interval_s /. 0.05)) in
+    let rec nap i = if i > 0 && not t.stopped then (Thread.delay 0.05; nap (i - 1)) in
+    nap slices
+  done
 
 let create ?(config = default_config) topo =
   let endpoints =
     Array.to_list topo.Topology.shards
     |> List.concat_map (fun s -> s.Topology.endpoints)
   in
-  {
-    cfg = config;
-    topo;
-    pool = Remote.pool_create ();
-    breakers =
-      Array.init (Topology.num_shards topo) (fun _ -> Breaker.create config.breaker);
-    health =
-      Health.create ~probe_interval_s:config.probe_interval_s
-        ~probe_timeout_s:config.probe_timeout_s ~node:config.node endpoints;
-    recorder = Gf.Recorder.create ~capacity:config.slowlog_capacity ();
-    m = Mutex.create ();
-    fingerprint = None;
-    next_id = 0;
-    requests = 0;
-    failovers = 0;
-    hedges = 0;
-    stopped = false;
-  }
+  let t =
+    {
+      cfg = config;
+      topo;
+      pool = Remote.pool_create ();
+      breakers =
+        Array.init (Topology.num_shards topo) (fun _ -> Breaker.create config.breaker);
+      health =
+        Health.create ~probe_interval_s:config.probe_interval_s
+          ~probe_timeout_s:config.probe_timeout_s ~node:config.node endpoints;
+      recorder = Gf.Recorder.create ~capacity:config.slowlog_capacity ~slow_s:config.slow_s ();
+      m = Mutex.create ();
+      skews = Hashtbl.create 8;
+      fingerprint = None;
+      next_id = 0;
+      requests = 0;
+      failovers = 0;
+      hedges = 0;
+      hedge_wins = 0;
+      fleet = [];
+      fleet_thread = None;
+      stopped = false;
+    }
+  in
+  if config.stats_interval_s > 0.0 then
+    t.fleet_thread <- Some (Thread.create fleet_loop t);
+  t
 
 let stop t =
   t.stopped <- true;
   Health.stop t.health;
+  (match t.fleet_thread with
+  | Some th ->
+      t.fleet_thread <- None;
+      Thread.join th
+  | None -> ());
   Remote.pool_close t.pool
+
+let skew_of t ep_str =
+  Mutex.lock t.m;
+  let s = Option.value (Hashtbl.find_opt t.skews ep_str) ~default:0 in
+  Mutex.unlock t.m;
+  s
 
 (* ------------------------------------------------------------------ *)
 (* One RPC attempt against one endpoint                                *)
@@ -104,6 +169,9 @@ let obtain_conn t ep =
               Error m
           | Ok peer ->
               Mutex.lock t.m;
+              (* Latest handshake wins: skew drifts, each reconnect
+                 re-measures it. *)
+              Hashtbl.replace t.skews (Topology.endpoint_to_string ep) peer.Remote.skew_us;
               let verdict =
                 match t.fingerprint with
                 | None ->
@@ -188,8 +256,10 @@ let sr_fail shard outcome detail attempts =
 (* Race one attempt against a hedge launched [after] seconds later on the
    next endpoint: first good reply wins, the loser's thread drains on its
    own socket timeouts. Only used for the opening attempt — retries are
-   already failure handling, hedging them again just multiplies load. *)
-let hedged_attempt t ~after ep1 ep2 line =
+   already failure handling, hedging them again just multiplies load.
+   [on_reply] sees every reply line that arrived (winner or not, good or
+   failed) — the trace stitcher wants the losing replica's spans too. *)
+let hedged_attempt t ~after ?(on_reply = fun _ _ -> ()) ep1 ep2 line =
   let m = Mutex.create () and cv = Condition.create () in
   let winner = ref None and pending = ref 1 and launched = ref false in
   let errors = ref [] in
@@ -198,6 +268,7 @@ let hedged_attempt t ~after ep1 ep2 line =
       (Thread.create
          (fun () ->
            let r = attempt t ep line in
+           (match r with Ok reply -> on_reply ep reply | Error _ -> ());
            Mutex.lock m;
            (match r with
            | Ok reply -> (
@@ -249,7 +320,7 @@ let hedged_attempt t ~after ep1 ep2 line =
 (* One shard of one request                                            *)
 (* ------------------------------------------------------------------ *)
 
-let run_shard t ~line ~tbuf idx =
+let run_shard t ~line ~tbuf ?(on_reply = fun _ _ -> ()) idx =
   let shard = t.topo.Topology.shards.(idx) in
   let primary = List.hd shard.Topology.endpoints in
   let brk = t.breakers.(idx) in
@@ -309,6 +380,32 @@ let run_shard t ~line ~tbuf idx =
         }
       in
       let max_attempts = t.cfg.retries + 1 in
+      (* Each synchronous attempt gets its own span on the shard track —
+         failed attempts stay visible in the stitched trace next to the
+         replica that eventually answered. *)
+      let traced_attempt ep =
+        (match tbuf with
+        | Some b ->
+            Trace.begin_span ~cat:"cluster"
+              ~args:[ ("endpoint", Trace.Str (Topology.endpoint_to_string ep)) ]
+              b "attempt"
+        | None -> ());
+        let r = attempt t ep line in
+        (match r with Ok reply -> on_reply ep reply | Error _ -> ());
+        (match tbuf with
+        | Some b ->
+            let verdict =
+              match r with
+              | Ok reply -> (
+                  match classify reply with
+                  | `Good (kind, _) -> kind
+                  | `Retryable why -> "retryable: " ^ why)
+              | Error why -> "error: " ^ why
+            in
+            Trace.end_span ~args:[ ("result", Trace.Str verdict) ] b
+        | None -> ());
+        r
+      in
       let rec go attempts last_err = function
         | [] ->
             finish
@@ -321,7 +418,7 @@ let run_shard t ~line ~tbuf idx =
             if attempts > 0 then
               c_inc "gf_cluster_shard_retries_total"
                 "Shard attempts re-routed after a failure";
-            match attempt t ep line with
+            match traced_attempt ep with
             | Ok reply -> (
                 match classify reply with
                 | `Good (kind, reply) ->
@@ -333,11 +430,30 @@ let run_shard t ~line ~tbuf idx =
       in
       match (t.cfg.hedge_after_s, order) with
       | Some after, ep1 :: ep2 :: rest when not t.stopped -> (
-          match hedged_attempt t ~after ep1 ep2 line with
+          (match tbuf with
+          | Some b ->
+              Trace.begin_span ~cat:"cluster"
+                ~args:
+                  [ ("primary", Trace.Str (Topology.endpoint_to_string ep1));
+                    ("hedge", Str (Topology.endpoint_to_string ep2));
+                  ]
+                b "hedged-attempt"
+          | None -> ());
+          match hedged_attempt t ~after ~on_reply ep1 ep2 line with
           | `Won (ep, kind, reply, hedged) ->
               let hedge_win = hedged && ep == ep2 in
               if hedge_win then
                 c_inc "gf_cluster_hedge_wins_total" "Hedge requests that answered first";
+              (match tbuf with
+              | Some b ->
+                  Trace.end_span
+                    ~args:
+                      [ ("winner", Trace.Str (Topology.endpoint_to_string ep));
+                        ("hedged", Str (string_of_bool hedged));
+                        ("result", Str kind);
+                      ]
+                    b
+              | None -> ());
               finish
                 (good ~ep ~kind ~reply ~attempts:(if hedged then 2 else 1) ~hedged
                    ~hedge_win)
@@ -345,6 +461,15 @@ let run_shard t ~line ~tbuf idx =
               (* If the primary failed before the hedge timer fired, ep2 was
                  never contacted — it must stay in the retry order or a
                  fast-failing primary would skip its own replica. *)
+              (match tbuf with
+              | Some b ->
+                  Trace.end_span
+                    ~args:
+                      [ ("result", Trace.Str ("lost: " ^ String.concat "; " errs));
+                        ("hedged", Str (string_of_bool hedged));
+                      ]
+                    b
+              | None -> ());
               let attempts = if hedged then 2 else 1 in
               let last_err = match errs with e :: _ -> e | [] -> "unreachable" in
               go attempts last_err (if hedged then rest else ep2 :: rest))
@@ -364,6 +489,8 @@ type result = {
   r_retries : int;
   r_rows : int array list;
   r_exec_s : float;
+  r_trace_id : int option;
+      (** flight-recorder handle for the stitched trace (traced requests) *)
   r_shards : shard_result array;
 }
 
@@ -381,9 +508,27 @@ let run t ~text (req : Service.request) =
   let trace =
     if req.Service.trace then Some (Trace.create ~capacity:8192 ()) else None
   in
+  (* Trace context: the request id doubles as the propagated trace id; the
+     per-shard parent span name tells the worker (and a human reading the
+     wire) where its tree lands. *)
   let line i =
+    let trace_ctx =
+      Option.map (fun _ -> (id, Printf.sprintf "shard-%d" i)) trace
+    in
     Proto.shard_req ~part:(i, k) ?timeout_ms:req.Service.timeout_ms
-      ?max_rows:req.Service.max_rows ~rows:req.Service.collect_rows text
+      ?max_rows:req.Service.max_rows ?trace_ctx ~rows:req.Service.collect_rows text
+  in
+  (* Every ok reply line that carried a span payload, from any attempt —
+     winners, losers of hedges, and failed tries alike all end up in the
+     stitched trace. *)
+  let grafts_m = Mutex.create () in
+  let grafts = ref [] in
+  let on_reply ep reply =
+    if trace <> None && Proto.json_int reply "pid" <> None then begin
+      Mutex.lock grafts_m;
+      grafts := (Topology.endpoint_to_string ep, reply) :: !grafts;
+      Mutex.unlock grafts_m
+    end
   in
   (* The byte cap rides the same governor machinery queries use: every
      shard reply's bytes are charged as materialized state, and a trip
@@ -404,8 +549,13 @@ let run t ~text (req : Service.request) =
               Option.map (fun tr -> Trace.buffer ~name:(Printf.sprintf "shard-%d" i) tr ~tid:(10 + i)) trace
             in
             let s0 = Unix.gettimeofday () in
-            let sr = run_shard t ~line:(line i) ~tbuf i in
+            let sr = run_shard t ~line:(line i) ~tbuf ~on_reply i in
             times.(i) <- Unix.gettimeofday () -. s0;
+            Metrics.observe
+              (Metrics.histogram ~help:"Per-shard RPC seconds (all attempts)"
+                 ~labels:[ ("shard", string_of_int i) ]
+                 "gf_cluster_shard_seconds")
+              times.(i);
             Governor.add_bytes gov_h
               (List.fold_left (fun a r -> a + (8 * Array.length r)) 0 sr.sr_rows
               + 64 + String.length sr.sr_detail);
@@ -445,25 +595,50 @@ let run t ~text (req : Service.request) =
   in
   let failovers = Array.fold_left (fun a s -> a + Bool.to_int (s.sr_ok && s.sr_failover)) 0 srs in
   let hedges = Array.fold_left (fun a s -> a + Bool.to_int s.sr_hedged) 0 srs in
+  let hedge_wins = Array.fold_left (fun a s -> a + Bool.to_int s.sr_hedge_win) 0 srs in
   let retries = Array.fold_left (fun a s -> a + (max 0 (s.sr_attempts - 1))) 0 srs in
   Mutex.lock t.m;
   t.hedges <- t.hedges + hedges;
+  t.hedge_wins <- t.hedge_wins + hedge_wins;
   Mutex.unlock t.m;
+  Metrics.observe
+    (Metrics.histogram ~help:"End-to-end coordinator request seconds"
+       "gf_cluster_request_seconds")
+    exec_s;
   if outcome = "partial" then
     c_inc "gf_cluster_partial_results_total"
       "Client replies degraded to partial (incomplete_shards marked)";
+  (* Stitch the worker span trees in BEFORE the flight recorder snapshots
+     the trace: a slow distributed query pins the full cross-process
+     picture, not just the coordinator's side. *)
+  (match trace with
+  | None -> ()
+  | Some tr ->
+      Mutex.lock grafts_m;
+      let collected = !grafts in
+      Mutex.unlock grafts_m;
+      List.iter
+        (fun (ep_str, reply) ->
+          match (Proto.json_int reply "pid", Proto.json_str reply "spans") with
+          | Some pid, Some spans ->
+              let node = Option.value (Proto.json_str reply "node") ~default:"worker" in
+              Trace.graft tr ~pid
+                ~pname:(Printf.sprintf "%s (%s)" node ep_str)
+                ~skew_us:(skew_of t ep_str) spans
+          | _ -> ())
+        (List.rev collected));
   let top_ops =
     Array.to_list srs
     |> List.map (fun s ->
            (Printf.sprintf "shard-%d[%s]" s.sr_shard s.sr_outcome, times.(s.sr_shard)))
   in
-  ignore
-    (Gf.Recorder.record t.recorder ~query:text ~plan:"cluster" ~outcome ~latency_s:exec_s
-       ~queue_s:0.0 ~rung:"cluster" ~attempts:(retries + k) ~retries ~top_ops
-       ~traced:(trace <> None)
-       ?trace_json:(Option.map Trace.to_chrome_json trace)
-       ()
-      : int);
+  let record_id =
+    Gf.Recorder.record t.recorder ~query:text ~plan:"cluster" ~outcome ~latency_s:exec_s
+      ~queue_s:0.0 ~rung:"cluster" ~attempts:(retries + k) ~retries ~top_ops
+      ~traced:(trace <> None)
+      ?trace_json:(Option.map Trace.to_chrome_json trace)
+      ()
+  in
   {
     r_id = id;
     r_outcome = outcome;
@@ -474,22 +649,48 @@ let run t ~text (req : Service.request) =
     r_retries = retries;
     r_rows = rows;
     r_exec_s = exec_s;
+    r_trace_id = (match trace with Some _ -> Some record_id | None -> None);
     r_shards = srs;
   }
+
+let recorder t = t.recorder
 
 let to_reply r =
   Proto.run_resp ~id:r.r_id ~outcome:r.r_outcome ~matches:r.r_matches
     ~shards:(Array.length r.r_shards) ~incomplete:r.r_incomplete ~failovers:r.r_failovers
-    ~hedges:r.r_hedges ~retries:r.r_retries ~exec_s:r.r_exec_s ~rows:r.r_rows
+    ~hedges:r.r_hedges ~retries:r.r_retries ~exec_s:r.r_exec_s ?trace_id:r.r_trace_id
+    ~rows:r.r_rows ()
 
 (* ------------------------------------------------------------------ *)
 (* Stats + server hook                                                 *)
 (* ------------------------------------------------------------------ *)
 
+(* A histogram quantile in milliseconds, JSON-safe: an empty histogram
+   reports 0 rather than NaN (which would corrupt the JSON line). *)
+let q_ms h p =
+  let v = Metrics.quantile h p *. 1e3 in
+  if Float.is_nan v then 0.0 else v
+
 let stats_json t =
   Mutex.lock t.m;
-  let requests = t.requests and failovers = t.failovers and hedges = t.hedges in
+  let requests = t.requests
+  and failovers = t.failovers
+  and hedges = t.hedges
+  and hedge_wins = t.hedge_wins
+  and fleet = t.fleet in
   Mutex.unlock t.m;
+  (* Cold cache (first scrape before the puller's first pass): pull
+     synchronously so `gfq top` never renders an empty fleet. *)
+  let fleet =
+    if fleet = [] && not t.stopped then begin
+      fleet_refresh t;
+      Mutex.lock t.m;
+      let f = t.fleet in
+      Mutex.unlock t.m;
+      f
+    end
+    else fleet
+  in
   let breakers =
     Array.to_list t.breakers
     |> List.map (fun b -> "\"" ^ Breaker.state_to_string (Breaker.state b) ^ "\"")
@@ -503,10 +704,38 @@ let stats_json t =
              (Health.status_to_string st))
     |> String.concat ","
   in
+  let req_h = Metrics.histogram "gf_cluster_request_seconds" in
+  let shard_latency =
+    List.init (Topology.num_shards t.topo) (fun i ->
+        let h =
+          Metrics.histogram ~labels:[ ("shard", string_of_int i) ] "gf_cluster_shard_seconds"
+        in
+        Printf.sprintf
+          "{\"shard\":%d,\"count\":%d,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f}" i
+          (Metrics.histogram_count h) (q_ms h 0.50) (q_ms h 0.95) (q_ms h 0.99))
+    |> String.concat ","
+  in
+  let fleet_json =
+    fleet
+    |> List.map (fun (ep, r) ->
+           match r with
+           | Ok stats when String.length stats > 0 && stats.[0] = '{' ->
+               Printf.sprintf "{\"endpoint\":\"%s\",\"stats\":%s}"
+                 (Gf.Explain.json_escape ep) stats
+           | Ok garbage ->
+               Printf.sprintf "{\"endpoint\":\"%s\",\"error\":\"%s\"}"
+                 (Gf.Explain.json_escape ep)
+                 (Gf.Explain.json_escape ("malformed stats: " ^ garbage))
+           | Error e ->
+               Printf.sprintf "{\"endpoint\":\"%s\",\"error\":\"%s\"}"
+                 (Gf.Explain.json_escape ep) (Gf.Explain.json_escape e))
+    |> String.concat ","
+  in
   Printf.sprintf
-    "{\"ok\":true,\"type\":\"cluster_stats\",\"node\":\"%s\",\"shards\":%d,\"requests\":%d,\"failovers\":%d,\"hedges\":%d,\"breakers\":[%s],\"health\":[%s]}"
+    "{\"ok\":true,\"type\":\"cluster_stats\",\"node\":\"%s\",\"shards\":%d,\"requests\":%d,\"failovers\":%d,\"hedges\":%d,\"hedge_wins\":%d,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,\"breakers\":[%s],\"health\":[%s],\"shard_latency\":[%s],\"fleet\":[%s]}"
     (Gf.Explain.json_escape t.cfg.node)
-    (Topology.num_shards t.topo) requests failovers hedges breakers health
+    (Topology.num_shards t.topo) requests failovers hedges hedge_wins (q_ms req_h 0.50)
+    (q_ms req_h 0.95) (q_ms req_h 0.99) breakers health shard_latency fleet_json
 
 let hook t line : [ `Reply of string | `Close | `Pass ] =
   let trimmed = String.trim line in

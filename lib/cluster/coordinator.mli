@@ -25,9 +25,19 @@
 
     Observability: [gf_cluster_*] metrics (requests, shard requests,
     failovers, hedges and hedge wins, retries, incomplete shards,
-    partials), per-shard spans in traced requests (tids 10+), and a
-    flight recorder behind the standard [slowlog] / [trace id=N] wire
-    commands. *)
+    partials, request/per-shard latency histograms), per-shard spans in
+    traced requests (tids 10+) with per-attempt sub-spans, and a flight
+    recorder behind the standard [slowlog] / [trace id=N] wire commands.
+
+    A traced request propagates its trace context to the workers
+    ([trace_id=N parent=shard-i] on the shard line); each worker ships its
+    serialized span tree back in the reply and the coordinator grafts the
+    trees into one trace — per-process Chrome tracks, timestamps realigned
+    with the handshake-measured clock skew — before the flight recorder
+    snapshots it, so a slow distributed query pins the full cross-process
+    picture. A background thread pulls worker [stats] every
+    [stats_interval_s] and {!stats_json} merges them into the
+    [cluster_stats] reply `gfq top` renders. *)
 
 type config = {
   node : string;
@@ -40,6 +50,10 @@ type config = {
   probe_interval_s : float;
   probe_timeout_s : float;
   slowlog_capacity : int;
+  slow_s : float;  (** slow-pin threshold for distributed queries *)
+  stats_interval_s : float;
+      (** worker stats pull period; [<= 0] disables the background puller
+          (stats are then pulled synchronously on demand) *)
 }
 
 val default_config : config
@@ -76,6 +90,8 @@ type result = {
   r_retries : int;
   r_rows : int array list;
   r_exec_s : float;
+  r_trace_id : int option;
+      (** flight-recorder handle for the stitched trace ([trace id=N]) *)
   r_shards : shard_result array;
 }
 
@@ -83,7 +99,16 @@ val run : t -> text:string -> Gf_server.Service.request -> result
 (** [text] is the query text forwarded verbatim inside each shard line. *)
 
 val to_reply : result -> string
+
 val stats_json : t -> string
+(** The merged [cluster_stats] line: coordinator counters, request-level
+    and per-shard latency quantiles ([gf_cluster_request_seconds] /
+    [gf_cluster_shard_seconds{shard="i"}]), breaker and health state, and
+    a [fleet] array embedding each worker's own [stats] reply (or a
+    structured error for unreachable workers). *)
+
+val recorder : t -> Graphflow.Recorder.t
+(** The coordinator-side flight recorder (stitched traces live here). *)
 
 val hook : t -> Gf_server.Server.hook
 (** Intercepts [run]/[stats]/[slowlog]/[trace id=N] (answered from the

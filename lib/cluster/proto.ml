@@ -42,12 +42,15 @@ let parse_hello line =
        with Bad m -> Error m)
   | _ -> Error "not a hello"
 
-let hello_resp ~node ~n ~m ~graph_version =
+(* [clock_us] is the responder's wall clock at reply time: the caller
+   brackets the exchange with its own clock reads and derives the
+   peer-minus-local skew used to line up cross-process trace timestamps. *)
+let hello_resp ~node ~n ~m ~graph_version ~clock_us =
   Printf.sprintf
-    "{\"ok\":true,\"type\":\"hello\",\"proto\":%d,\"node\":\"%s\",\"n\":%d,\"m\":%d,\"graph_version\":%d}"
+    "{\"ok\":true,\"type\":\"hello\",\"proto\":%d,\"node\":\"%s\",\"n\":%d,\"m\":%d,\"graph_version\":%d,\"clock_us\":%d}"
     version
     (Gf.Explain.json_escape node)
-    n m graph_version
+    n m graph_version clock_us
 
 let version_mismatch ~node ~theirs =
   Printf.sprintf
@@ -60,7 +63,7 @@ let version_mismatch ~node ~theirs =
 (* shard: a range-restricted run                                       *)
 (* ------------------------------------------------------------------ *)
 
-let shard_req ~part:(i, k) ?timeout_ms ?max_rows ~rows q =
+let shard_req ~part:(i, k) ?timeout_ms ?max_rows ?trace_ctx ~rows q =
   let b = Buffer.create 64 in
   Buffer.add_string b (Printf.sprintf "shard part=%d/%d" i k);
   (match timeout_ms with
@@ -68,6 +71,13 @@ let shard_req ~part:(i, k) ?timeout_ms ?max_rows ~rows q =
   | None -> ());
   (match max_rows with
   | Some r -> Buffer.add_string b (Printf.sprintf " max_rows=%d" r)
+  | None -> ());
+  (* Trace context propagation: the coordinator's trace id plus the name
+     of the shard span the worker's tree will be grafted under. [parent]
+     is a span name, single-token by construction (no spaces). *)
+  (match trace_ctx with
+  | Some (trace_id, parent) ->
+      Buffer.add_string b (Printf.sprintf " trace_id=%d parent=%s" trace_id parent)
   | None -> ());
   if rows then Buffer.add_string b " rows";
   Buffer.add_string b (" q=" ^ q);
@@ -95,6 +105,7 @@ let parse_shard line =
     let part = ref None
     and timeout = ref None
     and max_rows = ref None
+    and trace = ref false
     and collect = ref false in
     let int_v k v =
       match int_of_string_opt v with
@@ -125,6 +136,10 @@ let parse_shard line =
                   | Error e -> raise (Bad e))
               | "timeout_ms" -> timeout := Some (int_v k v)
               | "max_rows" -> max_rows := Some (int_v k v)
+              | "trace_id" ->
+                  ignore (int_v k v);
+                  trace := true
+              | "parent" -> () (* correlation only; echoed via [shard_trace_ctx] *)
               | _ -> raise (Bad (Printf.sprintf "unknown option %S" k))));
           go j
         end
@@ -144,15 +159,54 @@ let parse_shard line =
                   max_rows = !max_rows;
                   part = Some part;
                   collect_rows = !collect;
+                  trace = !trace;
                 })
     with Bad m -> Error m
   end
+
+(* The trace context of a shard request line, for echoing in the reply:
+   (trace_id, parent span name). Tolerates any token order; [None] when
+   the request carries no trace context. *)
+let shard_trace_ctx line =
+  (* Only the option region before " q=" — query text is free-form. *)
+  let line =
+    let len = String.length line in
+    let rec find i =
+      if i + 3 > len then line
+      else if String.sub line i 3 = " q=" then String.sub line 0 i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let toks = String.split_on_char ' ' line in
+  let id = ref None and parent = ref "shard" in
+  List.iter
+    (fun tok ->
+      let pref p = String.length tok > String.length p && String.sub tok 0 (String.length p) = p in
+      let v p = String.sub tok (String.length p) (String.length tok - String.length p) in
+      if pref "trace_id=" then id := int_of_string_opt (v "trace_id=")
+      else if pref "parent=" then parent := v "parent=")
+    toks;
+  Option.map (fun id -> (id, !parent)) !id
 
 let rows_json rows =
   let row r = "[" ^ String.concat "," (Array.to_list (Array.map string_of_int r)) ^ "]" in
   "[" ^ String.concat "," (List.map row rows) ^ "]"
 
-let shard_resp ~node ~part:(i, k) (reply : Service.reply) =
+(* Worker-side observability payload attached to a traced shard reply:
+   the span tree ([Trace.export_spans], already wire-safe — no quote,
+   backslash or newline can appear), the producer's OS pid for the
+   Chrome process track, and its clock at reply time as a skew
+   cross-check. *)
+type obs = {
+  o_trace_id : int;
+  o_parent : string;
+  o_pid : int;
+  o_clock_us : int;
+  o_spans : string;
+}
+
+let shard_resp ~node ~part:(i, k) ?obs (reply : Service.reply) =
   let r = reply.Service.result in
   let base =
     Printf.sprintf
@@ -163,6 +217,17 @@ let shard_resp ~node ~part:(i, k) (reply : Service.reply) =
       r.Ladder.counters.Gf.Counters.output r.Ladder.attempts
       (Gf.Explain.json_escape r.Ladder.rung)
       reply.Service.exec_s reply.Service.graph_version
+  in
+  let base =
+    match obs with
+    | None -> base
+    | Some o ->
+        base
+        ^ Printf.sprintf
+            ",\"trace_id\":%d,\"parent_span\":\"%s\",\"pid\":%d,\"clock_us\":%d,\"spans\":\"%s\""
+            o.o_trace_id
+            (Gf.Explain.json_escape o.o_parent)
+            o.o_pid o.o_clock_us o.o_spans
   in
   if reply.Service.rows = [] then base ^ "}"
   else base ^ ",\"rows\":" ^ rows_json reply.Service.rows ^ "}"
@@ -271,7 +336,7 @@ let json_rows s =
 (* ------------------------------------------------------------------ *)
 
 let run_resp ~id ~outcome ~matches ~shards ~incomplete ~failovers ~hedges ~retries ~exec_s
-    ~rows =
+    ?trace_id ~rows () =
   let b = Buffer.create 128 in
   Buffer.add_string b
     (Printf.sprintf
@@ -279,6 +344,11 @@ let run_resp ~id ~outcome ~matches ~shards ~incomplete ~failovers ~hedges ~retri
        id outcome matches shards
        (String.concat "," (List.map string_of_int incomplete))
        failovers hedges retries exec_s);
+  (* [trace_id] is the coordinator's flight-recorder handle for the
+     stitched trace: clients fetch it with [trace id=N]. *)
+  (match trace_id with
+  | Some tid -> Buffer.add_string b (Printf.sprintf ",\"traced\":true,\"trace_id\":%d" tid)
+  | None -> ());
   if rows <> [] then Buffer.add_string b (",\"rows\":" ^ rows_json rows);
   Buffer.add_string b "}";
   Buffer.contents b

@@ -5,7 +5,7 @@
 
     {v
     hello proto=1 node=<id> role=<coordinator|worker|probe>
-    shard part=<i>/<k> [timeout_ms=N] [max_rows=N] [rows] q=<query>
+    shard part=<i>/<k> [timeout_ms=N] [max_rows=N] [trace_id=N parent=<span>] [rows] q=<query>
     v}
 
     [hello] is the version + identity handshake: a worker answers with its
@@ -32,18 +32,49 @@ val hello_req : node:string -> role:string -> string
 type hello = { p_proto : int; p_node : string; p_role : string }
 
 val parse_hello : string -> (hello, string) result
-val hello_resp : node:string -> n:int -> m:int -> graph_version:int -> string
+
+(** [clock_us] is the responder's wall clock at reply time
+    ({!Gf_obs.Trace.now_us}); the caller brackets the exchange with its own
+    clock and derives the peer-minus-local skew used to align grafted
+    trace timestamps. *)
+val hello_resp : node:string -> n:int -> m:int -> graph_version:int -> clock_us:int -> string
+
 val version_mismatch : node:string -> theirs:int -> string
 
+(** [trace_ctx] is [(trace_id, parent_span_name)] — present when the
+    coordinator wants the worker to trace its part and ship the span tree
+    back. [parent_span_name] must be a single token (no spaces). *)
 val shard_req :
-  part:int * int -> ?timeout_ms:int -> ?max_rows:int -> rows:bool -> string -> string
+  part:int * int ->
+  ?timeout_ms:int ->
+  ?max_rows:int ->
+  ?trace_ctx:int * string ->
+  rows:bool ->
+  string ->
+  string
 
 val parse_part : string -> (int * int, string) result
 
 val parse_shard : string -> (Gf_server.Service.request, string) result
-(** The parsed request carries [part = Some (i, k)] and the query text. *)
+(** The parsed request carries [part = Some (i, k)], the query text, and
+    [trace = true] when the line carried a [trace_id=]. *)
 
-val shard_resp : node:string -> part:int * int -> Gf_server.Service.reply -> string
+(** The [(trace_id, parent)] context of a shard request line, for echoing
+    in the reply; [None] when the request is untraced. *)
+val shard_trace_ctx : string -> (int * string) option
+
+(** Worker-side observability payload of a traced shard reply: the span
+    tree serialized with {!Gf_obs.Trace.export_spans} (wire-safe by
+    construction), the worker's OS pid, and its clock at reply time. *)
+type obs = {
+  o_trace_id : int;
+  o_parent : string;
+  o_pid : int;
+  o_clock_us : int;
+  o_spans : string;
+}
+
+val shard_resp : node:string -> part:int * int -> ?obs:obs -> Gf_server.Service.reply -> string
 val not_owner : node:string -> part:int * int -> string
 
 (** Reply field scrapers (single-line JSON built by this module). *)
@@ -63,9 +94,13 @@ val run_resp :
   hedges:int ->
   retries:int ->
   exec_s:float ->
+  ?trace_id:int ->
   rows:int array list ->
+  unit ->
   string
 (** The coordinator's client-facing reply: [outcome] is
     [completed|truncated|partial|failed] and [incomplete_shards] lists the
     shard ids whose matches are missing — a partial answer is always
-    honestly marked, never a silent undercount. *)
+    honestly marked, never a silent undercount. [trace_id], when present,
+    is the coordinator-side flight-recorder handle for the stitched
+    cluster trace ([trace id=N] fetches it). *)

@@ -105,12 +105,19 @@ let request conn ~timeout_s line =
 (* Handshake                                                           *)
 (* ------------------------------------------------------------------ *)
 
-type peer = { node : string; n : int; m : int; graph_version : int }
+type peer = { node : string; n : int; m : int; graph_version : int; skew_us : int }
 
 let handshake conn ~timeout_s ~node ~role =
+  (* Bracket the exchange with local clock reads: the peer stamps its
+     reply with its own clock, and peer-minus-midpoint approximates the
+     clock skew (NTP-style, error bounded by half the round trip). The
+     skew realigns grafted trace timestamps, where half-RTT jitter is
+     well under a span's width. *)
+  let t0 = Gf_obs.Trace.now_us () in
   match request conn ~timeout_s (Proto.hello_req ~node ~role) with
   | Error m -> Error ("hello: " ^ m)
   | Ok reply -> (
+      let t1 = Gf_obs.Trace.now_us () in
       match (Proto.json_bool reply "ok", Proto.json_int reply "proto") with
       | Some true, Some p when p = Proto.version ->
           Ok
@@ -119,6 +126,10 @@ let handshake conn ~timeout_s ~node ~role =
               n = Option.value (Proto.json_int reply "n") ~default:0;
               m = Option.value (Proto.json_int reply "m") ~default:0;
               graph_version = Option.value (Proto.json_int reply "graph_version") ~default:0;
+              skew_us =
+                (match Proto.json_int reply "clock_us" with
+                | Some peer_clock -> peer_clock - ((t0 + t1) / 2)
+                | None -> 0);
             }
       | Some true, Some p ->
           Error (Printf.sprintf "version_mismatch: peer speaks proto %d, we speak %d" p Proto.version)

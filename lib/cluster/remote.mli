@@ -22,8 +22,11 @@ val request : conn -> timeout_s:float -> string -> (string, string) result
 (** What the peer told us at [hello]: identity plus graph fingerprint —
     the coordinator refuses endpoints whose (n, m) disagree with the rest
     of the cluster, since identical graphs are what make per-worker plans
-    identical and shard unions exact. *)
-type peer = { node : string; n : int; m : int; graph_version : int }
+    identical and shard unions exact. [skew_us] is the peer-minus-local
+    clock offset estimated NTP-style from the handshake round trip (0
+    when the peer predates [clock_us]); the coordinator uses it to align
+    grafted worker trace timestamps with its own clock. *)
+type peer = { node : string; n : int; m : int; graph_version : int; skew_us : int }
 
 val handshake : conn -> timeout_s:float -> node:string -> role:string -> (peer, string) result
 

@@ -24,7 +24,9 @@ let hook t line : [ `Reply of string | `Close | `Pass ] =
           `Reply (Proto.version_mismatch ~node:t.node ~theirs:h.Proto.p_proto)
         else
           let gv = (Service.stats t.service).Service.s_graph_version in
-          `Reply (Proto.hello_resp ~node:t.node ~n:t.n ~m:t.m ~graph_version:gv)
+          `Reply
+            (Proto.hello_resp ~node:t.node ~n:t.n ~m:t.m ~graph_version:gv
+               ~clock_us:(Gf_obs.Trace.now_us ()))
   else if starts_with ~prefix:"shard " line then begin
     (* Fault sites, in dispatch order: the kill fires between receiving the
        morsel and producing any reply byte — exactly the window the
@@ -43,7 +45,23 @@ let hook t line : [ `Reply of string | `Close | `Pass ] =
       | Ok req -> (
           match Service.submit t.service req with
           | Ok reply ->
-              `Reply (Proto.shard_resp ~node:t.node ~part:(Option.get req.Service.part) reply)
+              (* Traced request: ship the span tree back so the coordinator
+                 can stitch it into the cluster-wide trace under this
+                 worker's own process track. *)
+              let obs =
+                match (Proto.shard_trace_ctx line, reply.Service.trace_obj) with
+                | Some (trace_id, parent), Some tr ->
+                    Some
+                      {
+                        Proto.o_trace_id = trace_id;
+                        o_parent = parent;
+                        o_pid = Unix.getpid ();
+                        o_clock_us = Gf_obs.Trace.now_us ();
+                        o_spans = Gf_obs.Trace.export_spans tr;
+                      }
+                | _ -> None
+              in
+              `Reply (Proto.shard_resp ~node:t.node ~part:(Option.get req.Service.part) ?obs reply)
           | Error reason -> `Reply (Wire.rejected reason))
     end
   end

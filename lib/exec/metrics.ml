@@ -1,9 +1,14 @@
 (* A tiny process-global metrics registry with Prometheus-style text
    exposition. Counters are atomic (domains increment them concurrently);
    the registry itself is mutex-guarded and creation is idempotent by
-   metric name. *)
+   metric name + label set. *)
 
-type counter = { c_name : string; c_help : string; value : int Atomic.t }
+type counter = {
+  c_name : string;
+  c_help : string;
+  c_labels : (string * string) list;
+  value : int Atomic.t;
+}
 
 (* Log-bucketed histogram: bucket [i] counts observations <= le.(i); the
    last implicit bucket is +Inf. Sums are stored as nano-units in an
@@ -13,6 +18,7 @@ type counter = { c_name : string; c_help : string; value : int Atomic.t }
 type histogram = {
   h_name : string;
   h_help : string;
+  h_labels : (string * string) list;
   le : float array;
   buckets : int Atomic.t array;
   inf : int Atomic.t;
@@ -22,6 +28,33 @@ type histogram = {
 
 type metric = Counter of counter | Histogram of histogram
 
+(* Prometheus label values may contain anything; the exposition format
+   escapes backslash, double-quote and newline. *)
+let escape_label_value v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let render_labels = function
+  | [] -> ""
+  | ls ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v)) ls)
+      ^ "}"
+
+(* Registry key: base name plus canonically ordered labels, so the same
+   (name, labels) pair always lands on the same cells while differently
+   labelled series of one family coexist. *)
+let series_key name labels = name ^ render_labels (List.sort compare labels)
+
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 16
 let lock = Mutex.create ()
 
@@ -29,29 +62,34 @@ let with_lock f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
-let counter ?(help = "") name =
+let counter ?(help = "") ?(labels = []) name =
+  let labels = List.sort compare labels in
+  let key = series_key name labels in
   with_lock (fun () ->
-      match Hashtbl.find_opt registry name with
+      match Hashtbl.find_opt registry key with
       | Some (Counter c) -> c
-      | Some (Histogram _) -> invalid_arg ("Metrics.counter: " ^ name ^ " is a histogram")
+      | Some (Histogram _) -> invalid_arg ("Metrics.counter: " ^ key ^ " is a histogram")
       | None ->
-          let c = { c_name = name; c_help = help; value = Atomic.make 0 } in
-          Hashtbl.replace registry name (Counter c);
+          let c = { c_name = name; c_help = help; c_labels = labels; value = Atomic.make 0 } in
+          Hashtbl.replace registry key (Counter c);
           c)
 
 (* Default latency buckets: 1 µs to ~134 s, doubling. *)
 let default_buckets = Array.init 28 (fun i -> 1e-6 *. Float.of_int (1 lsl i))
 
-let histogram ?(help = "") ?(buckets = default_buckets) name =
+let histogram ?(help = "") ?(buckets = default_buckets) ?(labels = []) name =
+  let labels = List.sort compare labels in
+  let key = series_key name labels in
   with_lock (fun () ->
-      match Hashtbl.find_opt registry name with
+      match Hashtbl.find_opt registry key with
       | Some (Histogram h) -> h
-      | Some (Counter _) -> invalid_arg ("Metrics.histogram: " ^ name ^ " is a counter")
+      | Some (Counter _) -> invalid_arg ("Metrics.histogram: " ^ key ^ " is a counter")
       | None ->
           let h =
             {
               h_name = name;
               h_help = help;
+              h_labels = labels;
               le = buckets;
               buckets = Array.map (fun _ -> Atomic.make 0) buckets;
               inf = Atomic.make 0;
@@ -59,7 +97,7 @@ let histogram ?(help = "") ?(buckets = default_buckets) name =
               count = Atomic.make 0;
             }
           in
-          Hashtbl.replace registry name (Histogram h);
+          Hashtbl.replace registry key (Histogram h);
           h)
 
 let inc ?(by = 1) c = ignore (Atomic.fetch_and_add c.value by)
@@ -112,32 +150,59 @@ let exposition () =
     with_lock (fun () -> Hashtbl.fold (fun _ m acc -> m :: acc) registry [])
   in
   let name_of = function Counter c -> c.c_name | Histogram h -> h.h_name in
-  List.sort (fun a b -> compare (name_of a) (name_of b)) metrics
-  |> List.iter (fun m ->
-         match m with
-         | Counter c ->
-             if c.c_help <> "" then
-               Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" c.c_name c.c_help);
-             Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" c.c_name);
-             Buffer.add_string buf (Printf.sprintf "%s %d\n" c.c_name (Atomic.get c.value))
-         | Histogram h ->
-             if h.h_help <> "" then
-               Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" h.h_name h.h_help);
-             Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" h.h_name);
-             (* Prometheus buckets are cumulative. *)
-             let cum = ref 0 in
-             Array.iteri
-               (fun i le ->
-                 cum := !cum + Atomic.get h.buckets.(i);
-                 Buffer.add_string buf
-                   (Printf.sprintf "%s_bucket{le=\"%g\"} %d\n" h.h_name le !cum))
-               h.le;
-             cum := !cum + Atomic.get h.inf;
-             Buffer.add_string buf
-               (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" h.h_name !cum);
-             Buffer.add_string buf
-               (Printf.sprintf "%s_sum %g\n" h.h_name
-                  (float_of_int (Atomic.get h.sum_ns) /. 1e9));
-             Buffer.add_string buf
-               (Printf.sprintf "%s_count %d\n" h.h_name (Atomic.get h.count)));
+  let labels_of = function Counter c -> c.c_labels | Histogram h -> h.h_labels in
+  (* Sort by (family, labels) so all series of a family are contiguous:
+     HELP/TYPE are emitted once per family, then one sample line per
+     labelled series. *)
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare (name_of a) (name_of b) with
+        | 0 -> compare (labels_of a) (labels_of b)
+        | n -> n)
+      metrics
+  in
+  let last_family = ref "" in
+  List.iter
+    (fun m ->
+      let fam = name_of m in
+      let header help kind =
+        if fam <> !last_family then begin
+          last_family := fam;
+          if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" fam help);
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" fam kind)
+        end
+      in
+      match m with
+      | Counter c ->
+          header c.c_help "counter";
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %d\n" c.c_name (render_labels c.c_labels)
+               (Atomic.get c.value))
+      | Histogram h ->
+          header h.h_help "histogram";
+          (* Prometheus buckets are cumulative; [le] joins the series'
+             own labels inside one brace group. *)
+          let bucket_labels le =
+            render_labels (h.h_labels @ [ ("le", le) ])
+          in
+          let cum = ref 0 in
+          Array.iteri
+            (fun i le ->
+              cum := !cum + Atomic.get h.buckets.(i);
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket%s %d\n" h.h_name
+                   (bucket_labels (Printf.sprintf "%g" le))
+                   !cum))
+            h.le;
+          cum := !cum + Atomic.get h.inf;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket%s %d\n" h.h_name (bucket_labels "+Inf") !cum);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %g\n" h.h_name (render_labels h.h_labels)
+               (float_of_int (Atomic.get h.sum_ns) /. 1e9));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" h.h_name (render_labels h.h_labels)
+               (Atomic.get h.count)))
+    sorted;
   Buffer.contents buf

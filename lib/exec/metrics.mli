@@ -11,9 +11,11 @@ type counter
 type histogram
 
 (** [counter name] registers (or finds) a monotonically increasing
-    counter. Raises [Invalid_argument] when [name] is already a
-    histogram. *)
-val counter : ?help:string -> string -> counter
+    counter. [labels] selects one series of a family: the same name with
+    different labels yields independent cells, rendered as
+    [name{k="v"}] in the exposition. Raises [Invalid_argument] when the
+    (name, labels) series is already a histogram. *)
+val counter : ?help:string -> ?labels:(string * string) list -> string -> counter
 
 val inc : ?by:int -> counter -> unit
 val counter_value : counter -> int
@@ -22,8 +24,11 @@ val counter_value : counter -> int
 val default_buckets : float array
 
 (** [histogram name] registers (or finds) a histogram with log-bucketed
-    upper bounds [buckets] (an implicit +Inf bucket is added). *)
-val histogram : ?help:string -> ?buckets:float array -> string -> histogram
+    upper bounds [buckets] (an implicit +Inf bucket is added). [labels]
+    works as for {!counter}; bucket rows merge the series labels with
+    [le] inside one brace group. *)
+val histogram :
+  ?help:string -> ?buckets:float array -> ?labels:(string * string) list -> string -> histogram
 
 (** [observe h v] records one observation (e.g. a query latency in
     seconds). *)
@@ -41,9 +46,9 @@ val histogram_sum : histogram -> float
     bucket reports the last finite boundary. *)
 val quantile : histogram -> float -> float
 
-(** Prometheus text exposition of every registered metric, sorted by name:
-    [# TYPE] lines, cumulative [_bucket{le="..."}] rows, [_sum] and
-    [_count]. *)
+(** Prometheus text exposition of every registered metric, sorted by
+    family name then labels: [# HELP]/[# TYPE] once per family, cumulative
+    [_bucket{le="..."}] rows, [_sum] and [_count]. *)
 val exposition : unit -> string
 
 (** Clear the registry (tests). *)

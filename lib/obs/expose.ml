@@ -1,0 +1,131 @@
+(* A deliberately tiny HTTP/1.0 server for metrics scraping and liveness
+   probes. One accept thread, one short-lived connection per request,
+   no keep-alive, no chunking — exactly enough for `curl :PORT/metrics`
+   and a Prometheus scraper, with zero dependencies beyond Unix.
+
+   Routes are plain thunks supplied by the caller, so this module needs
+   no knowledge of the metrics registry (gf_obs stays below gf_exec in
+   the library graph). *)
+
+type handler = unit -> string * string (* content-type, body *)
+
+type t = {
+  fd : Unix.file_descr;
+  port : int;
+  mutable stopped : bool;
+  mutable thread : Thread.t option;
+}
+
+let http_status = function
+  | 200 -> "200 OK"
+  | 404 -> "404 Not Found"
+  | 405 -> "405 Method Not Allowed"
+  | _ -> "500 Internal Server Error"
+
+let respond fd code ctype body =
+  let head =
+    Printf.sprintf
+      "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+      (http_status code) ctype (String.length body)
+  in
+  let msg = head ^ body in
+  let n = String.length msg in
+  let rec send off =
+    if off < n then
+      match Unix.write_substring fd msg off (n - off) with
+      | 0 -> ()
+      | w -> send (off + w)
+  in
+  try send 0 with Unix.Unix_error _ -> ()
+
+(* Read until the request line (first '\n') is complete; the rest of the
+   headers can stay unread — the reply is tiny and the socket is closed
+   right after, which every scraper and curl tolerate. Bounded so a
+   malicious peer cannot grow the buffer. *)
+let read_request fd =
+  let chunk = Bytes.create 2048 in
+  let acc = Buffer.create 256 in
+  let rec fill () =
+    if Buffer.length acc > 16384 then None
+    else
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> None
+      | n ->
+          Buffer.add_subbytes acc chunk 0 n;
+          let s = Buffer.contents acc in
+          (match String.index_opt s '\n' with
+          | Some i -> Some (String.sub s 0 i)
+          | None -> fill ())
+      | exception Unix.Unix_error _ -> None
+  in
+  fill ()
+
+let handle routes fd =
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0 with Unix.Unix_error _ -> ());
+  (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 2.0 with Unix.Unix_error _ -> ());
+  (match read_request fd with
+  | None -> ()
+  | Some line -> (
+      let line = String.trim line in
+      match String.split_on_char ' ' line with
+      | meth :: path :: _ when String.uppercase_ascii meth = "GET" -> (
+          (* Strip any ?query — handlers take no parameters. *)
+          let path =
+            match String.index_opt path '?' with
+            | Some i -> String.sub path 0 i
+            | None -> path
+          in
+          match List.assoc_opt path routes with
+          | Some h -> (
+              (* A buggy handler degrades to a 500 on this one connection;
+                 the listener itself must keep serving. *)
+              match h () with
+              | ctype, body -> respond fd 200 ctype body
+              | exception _ -> respond fd 500 "text/plain" "internal error\n")
+          | None -> respond fd 404 "text/plain" "not found\n")
+      | _ :: _ :: _ -> respond fd 405 "text/plain" "method not allowed\n"
+      | _ -> ()));
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t routes =
+  while not t.stopped do
+    (* Poll with a short timeout so [stop] is honoured promptly. *)
+    match Unix.select [ t.fd ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.accept t.fd with
+        | fd, _ -> if t.stopped then Unix.close fd else handle routes fd
+        | exception Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  done;
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let start ?(host = "127.0.0.1") ~port routes =
+  match
+    let addr = Unix.inet_addr_of_string host in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (addr, port));
+    Unix.listen fd 16;
+    let port =
+      match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
+    in
+    (fd, port)
+  with
+  | exception e -> Error (Printexc.to_string e)
+  | fd, port ->
+      let t = { fd; port; stopped = false; thread = None } in
+      t.thread <- Some (Thread.create (fun () -> accept_loop t routes) ());
+      Ok t
+
+let port t = t.port
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    match t.thread with
+    | Some th ->
+        t.thread <- None;
+        Thread.join th
+    | None -> ()
+  end

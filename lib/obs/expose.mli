@@ -1,0 +1,27 @@
+(** Minimal HTTP/1.0 listener for observability endpoints: [GET /metrics]
+    for Prometheus scrapers and [GET /healthz] for liveness probes.
+
+    Routes are caller-supplied thunks (path -> content-type * body), so
+    this module carries no dependency on the metrics registry — [gfq]
+    wires [Metrics.exposition] in at startup. One accept thread serves
+    one short-lived connection at a time; exposition bodies are tiny and
+    scrape intervals are seconds, so serialization is a feature, not a
+    bottleneck. *)
+
+(** A route body: returns (content-type, body). Exceptions are caught and
+    reported as a plain-text error body. *)
+type handler = unit -> string * string
+
+type t
+
+(** [start ?host ~port routes] binds and begins serving. [port] 0 picks an
+    ephemeral port (see {!port}); [host] defaults to loopback — metrics
+    stay private unless explicitly bound wider. Unknown paths get 404,
+    non-GET methods 405. *)
+val start : ?host:string -> port:int -> (string * handler) list -> (t, string) result
+
+(** The actually bound port (useful with [~port:0]). *)
+val port : t -> int
+
+(** Stop accepting and join the accept thread. Idempotent. *)
+val stop : t -> unit

@@ -5,6 +5,7 @@ type arg = Int of int | Str of string | Float of float
 type span = {
   name : string;
   cat : string;
+  pid : int;
   tid : int;
   ts_us : int;
   dur_us : int;
@@ -23,8 +24,11 @@ type open_span = {
    worker thread). Recording mutates only this buffer — no atomics, no
    locks, no contention between domains. The ring overwrites its oldest
    completed span when full (flight-recorder semantics); [n] keeps counting
-   so drops are visible. *)
+   so drops are visible. [pid] defaults to 1 for locally recorded spans;
+   grafted foreign buffers carry their producer's OS pid so Chrome trace
+   viewers render one track group per process. *)
 type buf = {
+  pid : int;
   tid : int;
   tname : string;
   cap : int;
@@ -35,18 +39,26 @@ type buf = {
 
 type t = {
   capacity : int;
-  m : Mutex.t; (* guards [bufs] registration/export only, never recording *)
+  m : Mutex.t; (* guards [bufs]/[pnames] registration/export, never recording *)
   mutable bufs : buf list;
+  mutable pnames : (int * string) list; (* pid -> process name, for export *)
 }
 
-let dummy_span = { name = ""; cat = ""; tid = 0; ts_us = 0; dur_us = 0; depth = 0; args = [] }
+let dummy_span =
+  { name = ""; cat = ""; pid = 0; tid = 0; ts_us = 0; dur_us = 0; depth = 0; args = [] }
 
 let create ?(capacity = 8192) () =
-  { capacity = max 16 capacity; m = Mutex.create (); bufs = [] }
+  { capacity = max 16 capacity; m = Mutex.create (); bufs = []; pnames = [ (1, "gfq") ] }
 
-let buffer ?(name = "") t ~tid =
+let register_process t ~pid name =
+  Mutex.lock t.m;
+  t.pnames <- (pid, name) :: List.remove_assoc pid t.pnames;
+  Mutex.unlock t.m
+
+let buffer ?(name = "") ?(pid = 1) t ~tid =
   let b =
     {
+      pid;
       tid;
       tname = name;
       cap = t.capacity;
@@ -68,7 +80,16 @@ let push b s =
 
 let add_complete ?(cat = "") ?(args = []) b ~name ~ts_us ~dur_us =
   push b
-    { name; cat; tid = b.tid; ts_us; dur_us = max 0 dur_us; depth = List.length b.stack; args }
+    {
+      name;
+      cat;
+      pid = b.pid;
+      tid = b.tid;
+      ts_us;
+      dur_us = max 0 dur_us;
+      depth = List.length b.stack;
+      args;
+    }
 
 let begin_span ?(cat = "") ?(args = []) b name =
   b.stack <- { o_name = name; o_cat = cat; o_ts = Timing.now_us (); o_args = args } :: b.stack
@@ -83,6 +104,7 @@ let end_span ?(args = []) b =
         {
           name = o.o_name;
           cat = o.o_cat;
+          pid = b.pid;
           tid = b.tid;
           ts_us = o.o_ts;
           dur_us = max 0 (now - o.o_ts);
@@ -120,6 +142,154 @@ let spans t =
 let dropped t =
   with_bufs t (fun bufs -> List.fold_left (fun acc b -> acc + max 0 (b.n - b.cap)) 0 bufs)
 
+(* --- cross-process span shipping --------------------------------------- *)
+
+(* Workers serialize their span tree into a shard reply so the coordinator
+   can stitch one cluster-wide trace. The payload is embedded as a JSON
+   string field on the newline-delimited wire, whose scraper unescapes
+   backslash sequences naively — so the format uses no backslashes at all:
+   records are ';'-separated, fields '|'-separated, and every structural or
+   non-printable character is %XX hex-escaped (URL style). *)
+
+let wire_special c =
+  match c with
+  | '%' | '|' | ';' | ':' | ',' | '"' | '\\' -> true
+  | c -> Char.code c < 0x21 || Char.code c > 0x7e
+
+let wire_enc s =
+  if String.for_all (fun c -> not (wire_special c)) s then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        if wire_special c then Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c))
+        else Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+
+let wire_dec s =
+  if not (String.contains s '%') then s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let n = String.length s in
+    let hex c =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> -1
+    in
+    let i = ref 0 in
+    while !i < n do
+      (if s.[!i] = '%' && !i + 2 < n && hex s.[!i + 1] >= 0 && hex s.[!i + 2] >= 0 then begin
+         Buffer.add_char buf (Char.chr ((hex s.[!i + 1] * 16) + hex s.[!i + 2]));
+         i := !i + 3
+       end
+       else begin
+         Buffer.add_char buf s.[!i];
+         incr i
+       end)
+    done;
+    Buffer.contents buf
+  end
+
+let arg_enc (k, v) =
+  let tv =
+    match v with
+    | Int i -> Printf.sprintf "i:%d" i
+    | Float f -> Printf.sprintf "f:%s" (wire_enc (Printf.sprintf "%h" f))
+    | Str s -> Printf.sprintf "s:%s" (wire_enc s)
+  in
+  Printf.sprintf "%s:%s" (wire_enc k) tv
+
+let arg_dec item =
+  match String.index_opt item ':' with
+  | None -> None
+  | Some i -> (
+      let k = wire_dec (String.sub item 0 i) in
+      let rest = String.sub item (i + 1) (String.length item - i - 1) in
+      if String.length rest < 2 || rest.[1] <> ':' then None
+      else
+        let v = String.sub rest 2 (String.length rest - 2) in
+        match rest.[0] with
+        | 'i' -> Option.map (fun n -> (k, Int n)) (int_of_string_opt v)
+        | 'f' -> Option.map (fun f -> (k, Float f)) (float_of_string_opt (wire_dec v))
+        | 's' -> Some (k, Str (wire_dec v))
+        | _ -> None)
+
+(* Compact, wire-safe serialization of every recorded span plus the
+   thread-name metadata needed to label foreign tracks:
+     B|tid|tname                       one per buffer
+     S|tid|ts|dur|depth|name|cat|args  one per span, args comma-separated *)
+let export_spans t =
+  let out = Buffer.create 1024 in
+  let first = ref true in
+  let record s =
+    if !first then first := false else Buffer.add_char out ';';
+    Buffer.add_string out s
+  in
+  with_bufs t (fun bufs ->
+      List.iter
+        (fun b ->
+          record (Printf.sprintf "B|%d|%s" b.tid (wire_enc b.tname));
+          List.iter
+            (fun (s : span) ->
+              record
+                (Printf.sprintf "S|%d|%d|%d|%d|%s|%s|%s" s.tid s.ts_us s.dur_us s.depth
+                   (wire_enc s.name) (wire_enc s.cat)
+                   (String.concat "," (List.map arg_enc s.args))))
+            (buf_spans b))
+        bufs);
+  Buffer.contents out
+
+(* Splice a worker's serialized span tree into this trace under its own
+   process track. [skew_us] is the worker-minus-coordinator clock offset
+   measured at handshake; subtracting it moves foreign timestamps into the
+   local clock frame so tracks line up in Perfetto. Malformed records are
+   skipped — observability must not fail the request. *)
+let graft t ~pid ~pname ~skew_us data =
+  register_process t ~pid pname;
+  let tracks : (int, buf) Hashtbl.t = Hashtbl.create 4 in
+  let track ?(tname = "") tid =
+    match Hashtbl.find_opt tracks tid with
+    | Some b -> b
+    | None ->
+        let b = buffer ~name:tname ~pid t ~tid in
+        Hashtbl.replace tracks tid b;
+        b
+  in
+  String.split_on_char ';' data
+  |> List.iter (fun rcd ->
+         match String.split_on_char '|' rcd with
+         | [ "B"; tid; tname ] -> (
+             match int_of_string_opt tid with
+             | Some tid -> ignore (track ~tname:(wire_dec tname) tid)
+             | None -> ())
+         | [ "S"; tid; ts; dur; depth; name; cat; args ] -> (
+             match
+               (int_of_string_opt tid, int_of_string_opt ts, int_of_string_opt dur,
+                int_of_string_opt depth)
+             with
+             | Some tid, Some ts, Some dur, Some depth ->
+                 let args =
+                   if args = "" then []
+                   else String.split_on_char ',' args |> List.filter_map arg_dec
+                 in
+                 push (track tid)
+                   {
+                     name = wire_dec name;
+                     cat = wire_dec cat;
+                     pid;
+                     tid;
+                     ts_us = ts - skew_us;
+                     dur_us = max 0 dur;
+                     depth;
+                     args;
+                   }
+             | _ -> ())
+         | _ -> ())
+
 (* --- export ------------------------------------------------------------ *)
 
 let json_escape s =
@@ -151,15 +321,15 @@ let args_to_json args =
   ^ "}"
 
 (* A begin or end event in the exported stream. *)
-type event = { e_ph : char; e_name : string; e_cat : string; e_tid : int; e_ts : int;
-               e_args : (string * arg) list }
+type event = { e_ph : char; e_name : string; e_cat : string; e_pid : int; e_tid : int;
+               e_ts : int; e_args : (string * arg) list }
 
-(* Per-tid well-nested B/E emission. Spans within one tid come from a stack
-   discipline so they nest by construction, but merged synthesized spans and
-   µs truncation can produce boundary ties; sorting containers first and
-   clamping children to their parent's end makes the output provably
-   balanced and properly nested whatever the input. *)
-let events_of_tid tid spans =
+(* Per-track well-nested B/E emission. Spans within one track come from a
+   stack discipline so they nest by construction, but merged synthesized
+   spans and µs truncation can produce boundary ties; sorting containers
+   first and clamping children to their parent's end makes the output
+   provably balanced and properly nested whatever the input. *)
+let events_of_track (pid, tid) spans =
   let arr = Array.of_list spans in
   let key s = (s.ts_us, -(s.ts_us + s.dur_us), s.depth) in
   (* Stable: ties keep recording order. *)
@@ -172,7 +342,9 @@ let events_of_tid tid spans =
     let rec go () =
       match !stack with
       | (s, e) :: rest when e <= ts ->
-          emit { e_ph = 'E'; e_name = s.name; e_cat = s.cat; e_tid = tid; e_ts = e; e_args = [] };
+          emit
+            { e_ph = 'E'; e_name = s.name; e_cat = s.cat; e_pid = pid; e_tid = tid; e_ts = e;
+              e_args = [] };
           stack := rest;
           go ()
       | _ -> ()
@@ -187,32 +359,48 @@ let events_of_tid tid spans =
         | (_, parent_end) :: _ -> min (s.ts_us + s.dur_us) parent_end
         | [] -> s.ts_us + s.dur_us
       in
-      emit { e_ph = 'B'; e_name = s.name; e_cat = s.cat; e_tid = tid; e_ts = s.ts_us; e_args = s.args };
+      emit
+        { e_ph = 'B'; e_name = s.name; e_cat = s.cat; e_pid = pid; e_tid = tid; e_ts = s.ts_us;
+          e_args = s.args };
       stack := (s, end_ts) :: !stack)
     idx;
   List.iter
     (fun (s, e) ->
-      emit { e_ph = 'E'; e_name = s.name; e_cat = s.cat; e_tid = tid; e_ts = e; e_args = [] })
+      emit
+        { e_ph = 'E'; e_name = s.name; e_cat = s.cat; e_pid = pid; e_tid = tid; e_ts = e;
+          e_args = [] })
     !stack;
   stack := [];
   List.rev !out
 
-let by_tid (spans : span list) =
+let by_track (spans : span list) =
   let tbl = Hashtbl.create 8 in
   List.iter
     (fun (s : span) ->
-      let l = Option.value (Hashtbl.find_opt tbl s.tid) ~default:[] in
-      Hashtbl.replace tbl s.tid (s :: l))
+      let key = (s.pid, s.tid) in
+      let l = Option.value (Hashtbl.find_opt tbl key) ~default:[] in
+      Hashtbl.replace tbl key (s :: l))
     spans;
-  Hashtbl.fold (fun tid l acc -> (tid, List.rev l) :: acc) tbl []
+  Hashtbl.fold (fun key l acc -> (key, List.rev l) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let events t =
   let spans = spans t in
-  List.concat_map (fun (tid, ss) -> events_of_tid tid ss) (by_tid spans)
+  List.concat_map (fun (key, ss) -> events_of_track key ss) (by_track spans)
 
 let chrome_events t =
   List.map (fun e -> (e.e_ph, e.e_tid, e.e_ts, e.e_name)) (events t)
+
+let pids t =
+  with_bufs t (fun bufs -> List.sort_uniq compare (List.map (fun b -> b.pid) bufs))
+
+let process_name t pid =
+  Mutex.lock t.m;
+  let n = List.assoc_opt pid t.pnames in
+  Mutex.unlock t.m;
+  match n with
+  | Some n -> n
+  | None -> if pid = 1 then "gfq" else Printf.sprintf "pid-%d" pid
 
 let to_chrome_json t =
   let evs = events t in
@@ -225,23 +413,35 @@ let to_chrome_json t =
     if !first then first := false else Buffer.add_char buf ',';
     Buffer.add_string buf s
   in
-  add "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"gfq\"}}";
+  let pids = match pids t with [] -> [ 1 ] | ps -> ps in
+  List.iter
+    (fun pid ->
+      add
+        (Printf.sprintf
+           "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"%s\"}}"
+           pid
+           (json_escape (process_name t pid))))
+    pids;
+  let seen_threads = Hashtbl.create 8 in
   with_bufs t (fun bufs ->
       List.iter
         (fun b ->
-          if b.tname <> "" then
+          if b.tname <> "" && not (Hashtbl.mem seen_threads (b.pid, b.tid)) then begin
+            Hashtbl.replace seen_threads (b.pid, b.tid) ();
             add
               (Printf.sprintf
-                 "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
-                 b.tid (json_escape b.tname)))
+                 "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+                 b.pid b.tid (json_escape b.tname))
+          end)
         bufs);
   List.iter
     (fun e ->
       let cat = if e.e_cat = "" then "span" else e.e_cat in
       let args = if e.e_args = [] then "" else ",\"args\":" ^ args_to_json e.e_args in
       add
-        (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"ts\":%d,\"pid\":1,\"tid\":%d%s}"
-           (json_escape e.e_name) (json_escape cat) e.e_ph (e.e_ts - base) e.e_tid args))
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"ts\":%d,\"pid\":%d,\"tid\":%d%s}"
+           (json_escape e.e_name) (json_escape cat) e.e_ph (e.e_ts - base) e.e_pid e.e_tid args))
     evs;
   Buffer.add_string buf "]}";
   Buffer.contents buf
@@ -255,19 +455,20 @@ let arg_to_string = function
 
 let render t =
   let buf = Buffer.create 1024 in
-  let name_of_tid tid =
+  let name_of_track (pid, tid) =
+    let proc = if pid = 1 then "" else Printf.sprintf "%s " (process_name t pid) in
     with_bufs t (fun bufs ->
-        match List.find_opt (fun b -> b.tid = tid && b.tname <> "") bufs with
-        | Some b -> Printf.sprintf "tid %d (%s)" tid b.tname
-        | None -> Printf.sprintf "tid %d" tid)
+        match List.find_opt (fun b -> b.pid = pid && b.tid = tid && b.tname <> "") bufs with
+        | Some b -> Printf.sprintf "%stid %d (%s)" proc tid b.tname
+        | None -> Printf.sprintf "%stid %d" proc tid)
   in
   List.iter
-    (fun (tid, ss) ->
-      Buffer.add_string buf (name_of_tid tid);
+    (fun (key, ss) ->
+      Buffer.add_string buf (name_of_track key);
       Buffer.add_char buf '\n';
       (* Rebuild the nesting with the same walk the exporter uses, printing
          a line per B event at its stack depth. *)
-      let evs = events_of_tid tid ss in
+      let evs = events_of_track key ss in
       let depth = ref 0 in
       let durations = Hashtbl.create 64 in
       List.iter (fun s -> Hashtbl.add durations (s.ts_us, s.name) s.dur_us) ss;
@@ -292,7 +493,7 @@ let render t =
               incr depth
           | _ -> decr depth)
         evs)
-    (by_tid (spans t));
+    (by_track (spans t));
   let d = dropped t in
   if d > 0 then Buffer.add_string buf (Printf.sprintf "  (%d spans dropped by full ring buffers)\n" d);
   Buffer.contents buf

@@ -17,6 +17,7 @@ type arg = Int of int | Str of string | Float of float
 type span = {
   name : string;
   cat : string;
+  pid : int;  (** process track; 1 for locally recorded spans *)
   tid : int;
   ts_us : int;  (** wall-clock start, µs ({!Gf_util.Timing.now_us}) *)
   dur_us : int;
@@ -36,10 +37,15 @@ type t
     overwritten and counted in {!dropped}. *)
 val create : ?capacity:int -> unit -> t
 
-(** [buffer ?name t ~tid] registers a new recording buffer. [tid] becomes
-    the Chrome thread id; [name], if nonempty, is exported as the thread
-    name. Safe to call from any domain. *)
-val buffer : ?name:string -> t -> tid:int -> buf
+(** [buffer ?name ?pid t ~tid] registers a new recording buffer. [tid]
+    becomes the Chrome thread id; [name], if nonempty, is exported as the
+    thread name; [pid] (default 1) selects the process track. Safe to call
+    from any domain. *)
+val buffer : ?name:string -> ?pid:int -> t -> tid:int -> buf
+
+(** [register_process t ~pid name] names a process track in the Chrome
+    export ([process_name] metadata). Track 1 is "gfq" by default. *)
+val register_process : t -> pid:int -> string -> unit
 
 (** Current wall clock in integer microseconds — the span timestamp unit,
     re-exported for callers synthesizing spans via {!add_complete}. *)
@@ -75,17 +81,39 @@ val spans : t -> span list
 (** Total spans lost to ring overwrite across all buffers. *)
 val dropped : t -> int
 
+(** Distinct process-track ids with at least one registered buffer,
+    ascending. A purely local trace reports [[1]]. *)
+val pids : t -> int list
+
+(** Compact wire-safe serialization of every recorded span plus buffer
+    (thread-name) metadata, for shipping a worker's span tree inside a
+    single-line JSON reply: records are [';']-separated, fields
+    ['|']-separated, structural and non-printable bytes [%XX]-escaped —
+    the payload contains no quote, backslash, space or newline, so it
+    survives the wire protocol's naive string unescaping byte-for-byte.
+    Call after recording threads have quiesced. *)
+val export_spans : t -> string
+
+(** [graft t ~pid ~pname ~skew_us data] splices a span tree serialized by
+    {!export_spans} in another process into [t], under process track
+    [pid] named [pname]. [skew_us] (producer clock minus local clock, from
+    the handshake) is subtracted from every timestamp so foreign tracks
+    line up with local ones. Malformed records are skipped silently. *)
+val graft : t -> pid:int -> pname:string -> skew_us:int -> string -> unit
+
 (** The exported event stream as [(phase, tid, ts_us, name)] tuples,
     phase ['B'] or ['E'] — for tests asserting per-tid balance without
-    parsing JSON. *)
+    parsing JSON. Tracks are emitted contiguously, so the stream stays
+    balanced per tid even when grafted processes reuse a tid. *)
 val chrome_events : t -> (char * int * int * string) list
 
-(** Chrome trace-event JSON ([{"traceEvents":[...]}]) with thread-name
-    metadata; timestamps normalized so the earliest event is at 0. *)
+(** Chrome trace-event JSON ([{"traceEvents":[...]}]) with process-name
+    and thread-name metadata per (pid, tid) track; timestamps normalized
+    so the earliest event is at 0. *)
 val to_chrome_json : t -> string
 
-(** Terminal span tree: one block per tid, indentation showing nesting,
-    durations in milliseconds. *)
+(** Terminal span tree: one block per (process, tid) track, indentation
+    showing nesting, durations in milliseconds. *)
 val render : t -> string
 
 (** JSON string escaping matching the wire protocol's framing rules;

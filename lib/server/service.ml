@@ -78,6 +78,7 @@ type reply = {
   exec_s : float;
   record_id : int;
   traced : bool;
+  trace_obj : Trace.t option;
   graph_version : int;
 }
 
@@ -275,6 +276,7 @@ let run_job t job =
       exec_s;
       record_id;
       traced = req.trace;
+      trace_obj = trace;
       graph_version = graph_version t;
     }
 
@@ -420,6 +422,7 @@ let drain t =
           exec_s = 0.0;
           record_id = 0;
           traced = false;
+          trace_obj = None;
           graph_version = graph_version t;
         })
     (List.rev queued);

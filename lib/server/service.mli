@@ -78,6 +78,9 @@ type reply = {
   exec_s : float;  (** time spent executing (all attempts + backoffs) *)
   record_id : int;  (** flight-recorder record id (0 when not recorded) *)
   traced : bool;  (** a full trace was recorded and retained *)
+  trace_obj : Gf.Trace.t option;
+      (** the recorded trace itself, for callers that re-export it (a
+          cluster worker ships its span tree back inside the shard reply) *)
   graph_version : int;  (** merged-CSR version the query ran against (0 = no store) *)
 }
 

@@ -57,8 +57,9 @@ let test_proto_roundtrip () =
     | Error _ -> false);
   check_bool "missing proto refused" true
     (Result.is_error (Proto.parse_hello "hello node=x"));
-  let resp = Proto.hello_resp ~node:"w0" ~n:10 ~m:20 ~graph_version:3 in
+  let resp = Proto.hello_resp ~node:"w0" ~n:10 ~m:20 ~graph_version:3 ~clock_us:1234 in
   check_bool "hello resp n" true (Proto.json_int resp "n" = Some 10);
+  check_bool "hello resp clock" true (Proto.json_int resp "clock_us" = Some 1234);
   check_bool "hello resp m" true (Proto.json_int resp "m" = Some 20);
   check_bool "hello resp gv" true (Proto.json_int resp "graph_version" = Some 3);
   let mm = Proto.version_mismatch ~node:"w0" ~theirs:99 in
@@ -87,7 +88,7 @@ let test_proto_roundtrip () =
 let test_run_resp_shape () =
   let r =
     Proto.run_resp ~id:7 ~outcome:"partial" ~matches:41 ~shards:4 ~incomplete:[ 2 ]
-      ~failovers:1 ~hedges:0 ~retries:3 ~exec_s:0.25 ~rows:[]
+      ~failovers:1 ~hedges:0 ~retries:3 ~exec_s:0.25 ~rows:[] ()
   in
   check_bool "ok" true (has r "\"ok\":true");
   check_bool "outcome" true (has r "\"outcome\":\"partial\"");
@@ -545,12 +546,96 @@ let test_fingerprint_mismatch_refused () =
   let coord = Coordinator.create ~config:(coord_config ~retries:0 ()) topo in
   let r = Coordinator.run coord ~text:triangle_text (run_req ()) in
   check_string "outcome" "partial" r.Coordinator.r_outcome;
-  check_bool "mismatched shard incomplete" true (r.Coordinator.r_incomplete = [ 1 ]);
+  (* Whichever worker handshakes first fixes the fingerprint; the *other*
+     one is refused. Exactly one shard must go incomplete, explicitly. *)
+  check_int "one shard incomplete" 1 (List.length r.Coordinator.r_incomplete);
+  let bad = List.hd r.Coordinator.r_incomplete in
   check_bool "refusal is explicit" true
-    (has r.Coordinator.r_shards.(1).Coordinator.sr_detail "fingerprint");
+    (has r.Coordinator.r_shards.(bad).Coordinator.sr_detail "fingerprint");
   Coordinator.stop coord;
   stop_worker w0;
   stop_worker w1
+
+let test_stitched_trace_failover () =
+  (* Cross-process trace propagation, end to end: one shard whose primary
+     endpoint is a dead socket and whose replica is a live worker, driven
+     by a traced run. The stitched trace the coordinator retains must pin
+     BOTH the failed attempt (coordinator-side span carrying its error)
+     and the winning replica's worker-side spans, each under its own
+     process track — and the retained Chrome JSON must stay balanced. *)
+  let g = graph () in
+  let db = Gf.Db.create g in
+  let _, expected = reference db triangle in
+  let dir = tmpdir () in
+  let w0 = start_worker ~dir ~node:"w0" g in
+  let dead = Filename.concat dir "dead.sock" in
+  let topo =
+    match Topology.parse (Printf.sprintf "shard 0 unix:%s unix:%s\n" dead w0.path) with
+    | Ok t -> t
+    | Error m -> Alcotest.fail m
+  in
+  let coord = Coordinator.create ~config:(coord_config ~retries:1 ()) topo in
+  let req =
+    match Wire.parse_request ("run rows trace q=" ^ triangle_text) with
+    | Ok (Wire.Run req) -> req
+    | _ -> Alcotest.fail "traced run request must parse"
+  in
+  let r = Coordinator.run coord ~text:triangle_text req in
+  check_string "outcome" "completed" r.Coordinator.r_outcome;
+  check_int "matches survive the failover" expected r.Coordinator.r_matches;
+  check_bool "failover counted" true (r.Coordinator.r_failovers >= 1);
+  let tid =
+    match r.Coordinator.r_trace_id with
+    | Some id -> id
+    | None -> Alcotest.fail "traced cluster run must return a trace id"
+  in
+  check_bool "untraced run carries no trace id" true
+    ((Coordinator.run coord ~text:triangle_text (run_req ())).Coordinator.r_trace_id = None);
+  (* Fetch the retained trace exactly as a wire client would. *)
+  let reply =
+    match Coordinator.hook coord (Printf.sprintf "trace id=%d" tid) with
+    | `Reply s -> s
+    | _ -> Alcotest.fail "coordinator must answer trace id=N"
+  in
+  check_bool "envelope ok" true (has reply "\"ok\":true");
+  (* Coordinator-side: the shard span, the dead attempt with its error, and
+     the attempt that won. *)
+  check_bool "shard span present" true (has reply "\"name\":\"shard-0\"");
+  check_bool "failed attempt pinned with its error" true (has reply "\"result\":\"error: ");
+  check_bool "winning attempt pinned" true (has reply "\"result\":\"completed\"");
+  (* Worker-side spans landed under the worker's own process track (the
+     in-process worker reports this very pid on the wire — distinct from
+     the trace's default pid 1 all coordinator spans live on). *)
+  let wpid = Unix.getpid () in
+  check_bool "worker process track" true
+    (has reply (Printf.sprintf "\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d," wpid));
+  check_bool "worker track labeled node (endpoint)" true (has reply "w0 (unix:");
+  check_bool "worker request span grafted" true (has reply "\"name\":\"request\"");
+  check_bool "coordinator process track" true
+    (has reply "\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,");
+  (* The nesting gate on the retained JSON: begins and ends pair off, and
+     both processes contributed events. *)
+  let count needle =
+    let nh = String.length reply and nn = String.length needle in
+    let rec go i acc =
+      if i + nn > nh then acc
+      else go (i + 1) (if String.sub reply i nn = needle then acc + 1 else acc)
+    in
+    go 0 0
+  in
+  check_bool "chrome events balanced" true
+    (count "\"ph\":\"B\"" = count "\"ph\":\"E\"" && count "\"ph\":\"B\"" > 0);
+  check_bool "events on both processes" true
+    (count "\"pid\":1," > 0 && count (Printf.sprintf "\"pid\":%d," wpid) > 0);
+  (* The distributed query also pinned itself in the coordinator slowlog. *)
+  let slow =
+    match Coordinator.hook coord "slowlog 5" with
+    | `Reply s -> s
+    | _ -> Alcotest.fail "coordinator must answer slowlog"
+  in
+  check_bool "slowlog knows the request" true (has slow "\"plan\":\"cluster\"");
+  Coordinator.stop coord;
+  stop_worker w0
 
 let suite =
   [
@@ -579,5 +664,7 @@ let suite =
         Alcotest.test_case "hedging beats a straggler" `Quick test_hedging_beats_straggler;
         Alcotest.test_case "fingerprint mismatch refused" `Quick
           test_fingerprint_mismatch_refused;
+        Alcotest.test_case "stitched trace spans failed attempt and winner" `Quick
+          test_stitched_trace_failover;
       ] );
   ]

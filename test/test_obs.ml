@@ -315,6 +315,162 @@ let test_traced_parallel () =
   check_int "traced parallel count matches sequential"
     c_seq.Gf_exec.Counters.output report.Parallel.counters.Gf_exec.Counters.output
 
+(* --- cross-process spans: export, graft, skew -------------------------- *)
+
+let test_export_graft_roundtrip () =
+  (* A "worker" trace with hostile names/args is serialized, shipped, and
+     grafted into a "coordinator" trace: everything must survive the wire
+     encoding, land on its own process track, and stay balanced. *)
+  let worker = Trace.create () in
+  let wb = Trace.buffer ~name:"exec|thread;1" worker ~tid:3 in
+  Trace.begin_span ~cat:"we|ird;cat" wb "sp|an;on\nwire";
+  Trace.begin_span wb "inner";
+  Trace.end_span ~args:[ ("rows", Trace.Int 42); ("sel", Trace.Float 0.125); ("q", Trace.Str "a,b|c;d") ] wb;
+  Trace.end_span wb;
+  let data = Trace.export_spans worker in
+  check_bool "wire data is one line" true (not (String.contains data '\n'));
+  let coord = Trace.create () in
+  let cb = Trace.buffer ~name:"coordinator" coord ~tid:1 in
+  Trace.span cb "request" (fun () -> ());
+  Trace.graft coord ~pid:4242 ~pname:"w0 (unix:/w0.sock)" ~skew_us:1_000_000 data;
+  let spans = Trace.spans coord in
+  check_int "local + grafted spans" 3 (List.length spans);
+  let find n = List.find (fun s -> s.Trace.name = n) spans in
+  let outer = find "sp|an;on\nwire" in
+  check_int "grafted pid" 4242 outer.Trace.pid;
+  check_int "grafted tid preserved" 3 outer.Trace.tid;
+  check_bool "category survives" true (outer.Trace.cat = "we|ird;cat");
+  let inner = find "inner" in
+  check_int "depth survives" 1 inner.Trace.depth;
+  check_bool "int arg survives" true (List.assoc "rows" inner.Trace.args = Trace.Int 42);
+  check_bool "float arg survives exactly" true (List.assoc "sel" inner.Trace.args = Trace.Float 0.125);
+  check_bool "string arg survives" true (List.assoc "q" inner.Trace.args = Trace.Str "a,b|c;d");
+  (* Skew adjustment: the worker clock ran 1s ahead, so grafted timestamps
+     come back shifted down by exactly that much. *)
+  let worker_outer =
+    List.find (fun s -> s.Trace.name = "sp|an;on\nwire") (Trace.spans worker)
+  in
+  check_int "skew subtracted" (worker_outer.Trace.ts_us - 1_000_000) outer.Trace.ts_us;
+  check_balanced "grafted trace" coord;
+  let json = Trace.to_chrome_json coord in
+  check_bool "worker process track named" true
+    (has json "\"name\":\"process_name\",\"ph\":\"M\",\"pid\":4242");
+  check_bool "coordinator process track named" true
+    (has json "\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1");
+  check_bool "grafted thread name carries pid" true
+    (has json "\"ph\":\"M\",\"pid\":4242,\"tid\":3");
+  check_bool "events carry their pid" true (has json "\"pid\":4242,\"tid\":3,\"args\"");
+  check_bool "single line" true (not (String.contains json '\n'));
+  check_bool "renderer shows the process" true (has (Trace.render coord) "w0 (unix:/w0.sock)")
+
+let test_graft_malformed () =
+  (* Garbage from the wire must never corrupt the local trace: bad records
+     are skipped, good ones in the same payload still land. *)
+  let tr = Trace.create () in
+  Trace.graft tr ~pid:7 ~pname:"w" ~skew_us:0
+    "garbage;S|x|y|z;B|notanint|n;S|1|10|5|0|ok|cat|;B|2|fine;;|||";
+  let spans = Trace.spans tr in
+  check_int "only the well-formed span landed" 1 (List.length spans);
+  check_bool "its name decoded" true ((List.hd spans).Trace.name = "ok");
+  check_balanced "after malformed graft" tr;
+  (* Graft into a live trace twice (two replicas of the same shard answer):
+     tracks are distinct per pid so nothing collides. *)
+  Trace.graft tr ~pid:8 ~pname:"w'" ~skew_us:0 "S|1|10|5|0|ok|cat|";
+  check_int "second process grafted" 2 (List.length (Trace.spans tr));
+  check_int "two pids" 2 (List.length (Trace.pids tr));
+  check_balanced "two grafts" tr
+
+(* --- metrics: labels and exposition ------------------------------------ *)
+
+let test_metrics_labels () =
+  Metrics.reset ();
+  let c0 = Metrics.counter ~help:"a counter" "gf_test_labels_total" in
+  let ca = Metrics.counter ~labels:[ ("shard", "0") ] "gf_test_labeled_total" in
+  let cb = Metrics.counter ~labels:[ ("shard", "1") ] "gf_test_labeled_total" in
+  Metrics.inc c0;
+  Metrics.inc ~by:2 ca;
+  Metrics.inc ~by:5 cb;
+  (* Same (name, labels) must resolve to the same series; label order must
+     not mint a new one. *)
+  check_bool "same series" true
+    (Metrics.counter ~labels:[ ("shard", "0") ] "gf_test_labeled_total" == ca);
+  let h = Metrics.histogram ~labels:[ ("shard", "0"); ("role", "w") ] "gf_test_labeled_seconds" in
+  Metrics.observe h 0.5;
+  let esc = Metrics.counter ~labels:[ ("q", "he said \"hi\"\\\n") ] "gf_test_escaped_total" in
+  Metrics.inc esc;
+  let e = Metrics.exposition () in
+  check_bool "bare sample unchanged" true (has e "gf_test_labels_total 1\n");
+  check_bool "labeled samples" true
+    (has e "gf_test_labeled_total{shard=\"0\"} 2\n" && has e "gf_test_labeled_total{shard=\"1\"} 5\n");
+  (* One HELP/TYPE header per family, not per labeled series. *)
+  let count_sub needle =
+    let nh = String.length e and nn = String.length needle in
+    let rec go i acc =
+      if i + nn > nh then acc
+      else go (i + 1) (if String.sub e i nn = needle then acc + 1 else acc)
+    in
+    go 0 0
+  in
+  check_int "one TYPE line per family" 1 (count_sub "# TYPE gf_test_labeled_total counter");
+  check_bool "histogram labels sorted, le last" true
+    (has e "gf_test_labeled_seconds_bucket{role=\"w\",shard=\"0\",le=\"+Inf\"} 1\n");
+  check_bool "histogram sum/count labeled" true
+    (has e "gf_test_labeled_seconds_count{role=\"w\",shard=\"0\"} 1\n");
+  check_bool "label values escaped" true
+    (has e "gf_test_escaped_total{q=\"he said \\\"hi\\\"\\\\\\n\"} 1\n");
+  Metrics.reset ()
+
+(* --- the /metrics HTTP listener ----------------------------------------- *)
+
+let test_expose_http () =
+  let hits = ref 0 in
+  let ex =
+    match
+      Gf_obs.Expose.start ~port:0
+        [
+          ("/metrics", fun () -> incr hits; ("text/plain; version=0.0.4", "gf_up 1\n"));
+          ("/healthz", fun () -> ("text/plain", "ok\n"));
+          ("/boom", fun () -> failwith "handler bug");
+        ]
+    with
+    | Ok ex -> ex
+    | Error m -> Alcotest.fail ("expose start: " ^ m)
+  in
+  let port = Gf_obs.Expose.port ex in
+  check_bool "picked a real port" true (port > 0);
+  let get path =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    let req = Printf.sprintf "GET %s HTTP/1.0\r\nHost: x\r\n\r\n" path in
+    ignore (Unix.write_substring fd req 0 (String.length req));
+    let buf = Buffer.create 256 and chunk = Bytes.create 1024 in
+    let rec drain () =
+      match Unix.read fd chunk 0 1024 with
+      | 0 -> ()
+      | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    drain ();
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Buffer.contents buf
+  in
+  let metrics = get "/metrics" in
+  check_bool "200" true (has metrics "HTTP/1.0 200 OK");
+  check_bool "content type" true (has metrics "Content-Type: text/plain; version=0.0.4");
+  check_bool "content length" true (has metrics "Content-Length: 8");
+  check_bool "body" true (has metrics "gf_up 1\n");
+  check_int "handler ran once" 1 !hits;
+  check_bool "query string routes too" true (has (get "/metrics?x=1") "gf_up 1");
+  check_bool "healthz" true (has (get "/healthz") "ok");
+  check_bool "404 structured" true (has (get "/nope") "HTTP/1.0 404 Not Found");
+  check_bool "handler exception is a 500, not a crash" true
+    (has (get "/boom") "HTTP/1.0 500 Internal Server Error");
+  check_bool "still serving after the 500" true (has (get "/metrics") "gf_up 1");
+  Gf_obs.Expose.stop ex;
+  Gf_obs.Expose.stop ex (* idempotent *)
+
 let suite =
   [
     ( "obs.trace",
@@ -324,12 +480,17 @@ let suite =
         Alcotest.test_case "unwind paths" `Quick test_trace_unwind;
         Alcotest.test_case "chrome json export" `Quick test_trace_chrome_json;
         Alcotest.test_case "concurrent domains" `Quick test_trace_concurrent_domains;
+        Alcotest.test_case "export/graft roundtrip" `Quick test_export_graft_roundtrip;
+        Alcotest.test_case "graft skips malformed records" `Quick test_graft_malformed;
       ] );
     ( "obs.metrics",
       [
         Alcotest.test_case "quantiles" `Quick test_quantile;
         Alcotest.test_case "nanosecond sum precision" `Quick test_sum_precision;
+        Alcotest.test_case "labels and exposition" `Quick test_metrics_labels;
       ] );
+    ( "obs.expose",
+      [ Alcotest.test_case "http listener" `Quick test_expose_http ] );
     ( "obs.recorder",
       [
         Alcotest.test_case "bounded ring" `Quick test_recorder_ring;
